@@ -1,0 +1,231 @@
+// Ablation A5: checkpoint/restart vs replication — the paper's §3 argument,
+// quantified.
+//
+// "Especially for applications with a maximum degree of parallelism ... it
+// is not desirable to use a large amount of the computational resources
+// (i.e. hosts in the network) exclusively for availability purposes as in
+// the case of active replication.  Thus ... it is a good compromise to
+// restrict fault tolerance to checkpointing and restarting."
+//
+// Setup: 4 parallel stateful services on a 4-workstation NOW (every host
+// needed — maximum parallelism), 30 rounds of equal-work calls issued
+// deferred-synchronously to all 4 services at once.  Strategies:
+//
+//   none        plain references, no fault tolerance
+//   checkpoint  the paper's proxies (per-call checkpoint to the store)
+//   passive x2  warm standby: primary executes, state synced to a backup
+//   active  x2  every call executes on both members of each group
+//
+// With active x2 the 8 replicas contend for the 4 CPUs: the paper's
+// resource argument shows up directly as ~2x runtime.  Each strategy is
+// also run with one workstation crash to compare recovery behaviour.
+#include "bench_common.hpp"
+#include "ft/checkpoint.hpp"
+#include "ft/replication.hpp"
+#include "ft/request_proxy.hpp"
+#include "orb/cdr.hpp"
+#include "sim/work_meter.hpp"
+
+namespace {
+
+constexpr int kHosts = 4;
+constexpr int kRoles = 4;
+constexpr int kRounds = 30;
+constexpr double kWorkPerCall = 5e4;       // 0.5 s on an idle workstation
+constexpr double kStateWork = 2.5e4;       // get/set_state marshal cost
+constexpr double kCrashTime = 7.0;
+
+// Stateful compute service: fixed work per call, running total as state.
+class WorkerServant final : public corba::Servant,
+                            public ft::CheckpointableServant {
+ public:
+  std::string_view repo_id() const noexcept override {
+    return "IDL:corbaft/bench/ReplWorker:1.0";
+  }
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override {
+    if (auto handled = try_dispatch_state(op, args)) return *handled;
+    if (op == "work") {
+      check_arity(op, args, 1);
+      sim::WorkMeter::charge(kWorkPerCall);
+      total_ += args[0].as_i64();
+      return corba::Value(total_);
+    }
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+  corba::Blob get_state() override {
+    sim::WorkMeter::charge(kStateWork);
+    corba::CdrOutputStream out;
+    out.write_i64(total_);
+    return out.take_buffer();
+  }
+  void set_state(const corba::Blob& state) override {
+    sim::WorkMeter::charge(kStateWork);
+    corba::CdrInputStream in(state);
+    total_ = in.read_i64();
+  }
+
+ private:
+  std::int64_t total_ = 0;
+};
+
+struct StrategyOutcome {
+  double runtime = 0.0;
+  bool completed = false;
+  bool state_correct = false;
+  std::size_t instances = 0;  ///< service instances consuming resources
+};
+
+/// One full experiment: build the deployment, run kRounds parallel rounds,
+/// verify final state.  `crash` injects one workstation failure.
+StrategyOutcome run_strategy(const std::string& strategy, bool crash) {
+  sim::Cluster cluster;
+  for (int i = 0; i < kHosts; ++i)
+    cluster.add_host(bench::host_name(i), bench::kHostSpeed);
+  rt::RuntimeOptions options;
+  options.infra_speed = bench::kHostSpeed;
+  options.winner_stale_after = 2.5;
+  // The checkpoint store costs the same work per operation as a replica's
+  // set_state, so the comparison isolates *where* the redundancy lives
+  // (dedicated storage vs standby service instances), not its raw price.
+  options.checkpoint_cost = {.work_per_store = kStateWork};
+  rt::SimRuntime runtime(cluster, options);
+  runtime.registry()->register_type(
+      "ReplWorker", [] { return std::make_shared<WorkerServant>(); });
+  runtime.events().run_until(1.001);
+  if (crash) cluster.crash_host_at(1.0 + kCrashTime, bench::host_name(1));
+
+  StrategyOutcome outcome;
+  const double t0 = runtime.events().now();
+  const std::int64_t expected = kRounds;  // each role adds 1 per round
+
+  try {
+    if (strategy == "none" || strategy == "checkpoint") {
+      std::vector<std::unique_ptr<ft::ProxyEngine>> engines;
+      std::vector<corba::ObjectRef> plain;
+      for (int role = 0; role < kRoles; ++role) {
+        const corba::ObjectRef instance =
+            runtime.factory_on(bench::host_name(role)).create("ReplWorker");
+        if (strategy == "checkpoint") {
+          ft::ProxyConfig config;
+          config.initial = instance;
+          config.store = runtime.checkpoint_store();
+          config.checkpoint_key = "role" + std::to_string(role);
+          config.service_type = "ReplWorker";
+          config.policy.mode = ft::RecoveryMode::factory;
+          config.policy.max_attempts = 5;
+          config.locate_factory = [&runtime] { return runtime.best_factory(); };
+          engines.push_back(std::make_unique<ft::ProxyEngine>(std::move(config)));
+        } else {
+          plain.push_back(instance);
+        }
+      }
+      outcome.instances = kRoles;
+      std::int64_t last = 0;
+      for (int round = 0; round < kRounds; ++round) {
+        if (strategy == "checkpoint") {
+          std::vector<ft::RequestProxy> requests;
+          for (auto& engine : engines) {
+            requests.emplace_back(*engine, "work");
+            requests.back().add_argument(corba::Value(std::int64_t{1}));
+            requests.back().send_deferred();
+          }
+          for (auto& request : requests) {
+            request.get_response();
+            last = request.return_value().as_i64();
+          }
+        } else {
+          std::vector<corba::Request> requests;
+          for (auto& ref : plain) {
+            requests.emplace_back(ref, "work");
+            requests.back().add_argument(corba::Value(std::int64_t{1}));
+            requests.back().send_deferred();
+          }
+          for (auto& request : requests) {
+            request.get_response();
+            last = request.return_value().as_i64();
+          }
+        }
+      }
+      outcome.state_correct = (last == expected);
+    } else {
+      const ft::ReplicationStyle style = strategy == "active x2"
+                                             ? ft::ReplicationStyle::active
+                                             : ft::ReplicationStyle::passive;
+      std::vector<std::unique_ptr<ft::ReplicaGroup>> groups;
+      for (int role = 0; role < kRoles; ++role) {
+        ft::ReplicaGroupConfig config;
+        config.style = style;
+        config.service_type = "ReplWorker";
+        // Primary on the role's host, backup on the next (wrap-around):
+        // standard replicas-on-distinct-machines deployment.
+        config.factories.push_back(runtime.factory_on(bench::host_name(role)));
+        config.factories.push_back(
+            runtime.factory_on(bench::host_name((role + 1) % kHosts)));
+        groups.push_back(std::make_unique<ft::ReplicaGroup>(std::move(config)));
+      }
+      outcome.instances = static_cast<std::size_t>(kRoles) * 2;
+      std::int64_t last = 0;
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<ft::GroupRequest> requests;
+        for (auto& group : groups) {
+          requests.emplace_back(*group, "work");
+          requests.back().add_argument(corba::Value(std::int64_t{1}));
+          requests.back().send_deferred();
+        }
+        for (auto& request : requests) {
+          request.get_response();
+          last = request.return_value().as_i64();
+        }
+      }
+      outcome.state_correct = (last == expected);
+    }
+    outcome.completed = true;
+  } catch (const corba::SystemException&) {
+    outcome.completed = false;
+  }
+  outcome.runtime = runtime.events().now() - t0;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation A5 — checkpoint/restart vs replication (§3's argument).\n"
+      "%d parallel stateful services on %d workstations, %d rounds of "
+      "0.5 s calls\n(virtual seconds; crash run kills one workstation at "
+      "t=%.0fs).\n\n",
+      kRoles, kHosts, kRounds, kCrashTime);
+  std::printf("%-14s%10s%12s%14s%12s%14s\n", "strategy", "runtime",
+              "overhead", "with crash", "instances", "state ok");
+  bench::print_rule(76);
+
+  double none_runtime = 0.0;
+  for (const std::string strategy :
+       {"none", "checkpoint", "passive x2", "active x2"}) {
+    const StrategyOutcome clean = run_strategy(strategy, false);
+    const StrategyOutcome crashed = run_strategy(strategy, true);
+    if (strategy == "none") none_runtime = clean.runtime;
+    std::printf("%-14s%10.1f%11.1f%%%14s%12zu%14s\n", strategy.c_str(),
+                clean.runtime,
+                100.0 * (clean.runtime - none_runtime) / none_runtime,
+                crashed.completed
+                    ? std::to_string(crashed.runtime).substr(0, 6).c_str()
+                    : "aborts",
+                clean.instances,
+                crashed.completed ? (crashed.state_correct ? "yes" : "NO")
+                                  : "-");
+  }
+  std::printf(
+      "\nReading: active replication executes every call twice — on a NOW "
+      "already\nsaturated by the parallel application that doubles the "
+      "runtime and the\ninstance count, which is exactly why §3 rejects it "
+      "for maximum-parallelism\nworkloads.  Checkpointing and passive "
+      "replication pay a comparable per-call\nstate-capture cost (the "
+      "paper notes its scheme is 'similar to the concept of\npassive "
+      "replication'), but checkpoint/restart needs no standby instances "
+      "on\ncompute hosts: the redundancy lives in a storage service, at "
+      "the price of a\nslower restart-and-restore recovery.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 3 reproduction: runtime of the decomposed Rosenbrock optimization
+// as a function of the number of workstations carrying background load,
+// comparing the plain naming service ("CORBA") against the Winner-informed
+// load-distributing one ("CORBA/Winner"), for the paper's two scenarios:
+//
+//   * 30-dim / 3 workers + 2-dim manager on 6 workstations (lower curves)
+//   * 100-dim / 7 workers + 6-dim manager on 10 workstations (upper curves)
+//
+// Expected shape (paper §4): the Winner curves stay flat while enough idle
+// machines remain (the naming service routes around the loaded hosts); the
+// plain curves rise steadily; with increasing background load the advantage
+// diminishes because both services are forced onto loaded machines; best
+// case ~40 % runtime reduction, and Winner is never worse than plain.
+#include "bench_common.hpp"
+
+namespace {
+
+constexpr int kTrials = 5;
+
+struct Series {
+  std::string label;
+  bench::Scenario scenario;
+  naming::ResolveStrategy strategy;
+  std::vector<double> runtimes;  // one per load level
+};
+
+}  // namespace
+
+int main() {
+  using namespace bench;
+
+  const std::vector<int> load_levels = {0, 2, 4, 6, 8};
+
+  std::vector<Series> series = {
+      {"CORBA 100/7", scenario_100_7(), naming::ResolveStrategy::round_robin, {}},
+      {"CORBA/Winner 100/7", scenario_100_7(), naming::ResolveStrategy::winner, {}},
+      {"CORBA 30/3", scenario_30_3(), naming::ResolveStrategy::round_robin, {}},
+      {"CORBA/Winner 30/3", scenario_30_3(), naming::ResolveStrategy::winner, {}},
+  };
+
+  std::printf(
+      "Fig. 3 — Decomposed 30- and 100-dimensional Rosenbrock function with "
+      "3 and 7\nworker problems under different load situations "
+      "(runtime in virtual seconds,\nmean over %d background-load "
+      "placements).\n\n",
+      kTrials);
+
+  for (Series& s : series) {
+    for (int loaded : load_levels) {
+      if (loaded > s.scenario.hosts) {
+        s.runtimes.push_back(-1.0);
+        continue;
+      }
+      s.runtimes.push_back(mean_runtime_over_placements(
+          s.scenario, s.strategy, loaded, kTrials, /*seed_base=*/1000));
+    }
+  }
+
+  std::printf("%-22s", "hosts with bg load:");
+  for (int loaded : load_levels) std::printf("%10d", loaded);
+  std::printf("\n");
+  print_rule(22 + 10 * static_cast<int>(load_levels.size()));
+  for (const Series& s : series) {
+    std::printf("%-22s", s.label.c_str());
+    for (double runtime : s.runtimes) {
+      if (runtime < 0)
+        std::printf("%10s", "-");
+      else
+        std::printf("%10.1f", runtime);
+    }
+    std::printf("\n");
+  }
+
+  // Headline statistics the paper quotes.
+  auto reduction = [](double plain, double winner) {
+    return 100.0 * (plain - winner) / plain;
+  };
+  double best_reduction = 0.0;
+  double reduction_sum = 0.0;
+  int reduction_count = 0;
+  bool winner_never_worse = true;
+  for (std::size_t pair = 0; pair < series.size(); pair += 2) {
+    const Series& plain = series[pair];
+    const Series& winner = series[pair + 1];
+    for (std::size_t i = 0; i < plain.runtimes.size(); ++i) {
+      if (plain.runtimes[i] < 0) continue;
+      const double r = reduction(plain.runtimes[i], winner.runtimes[i]);
+      best_reduction = std::max(best_reduction, r);
+      reduction_sum += r;
+      ++reduction_count;
+      if (winner.runtimes[i] > plain.runtimes[i] * 1.02)
+        winner_never_worse = false;
+    }
+  }
+  std::printf(
+      "\nbest-case runtime reduction by load distribution: %.0f%% "
+      "(paper: ~40%%)\n",
+      best_reduction);
+  std::printf("average runtime reduction: %.0f%% (paper: ~15%%)\n",
+              reduction_sum / reduction_count);
+  std::printf("Winner never worse than plain naming service: %s (paper: "
+              "\"at least the same results\")\n",
+              winner_never_worse ? "yes" : "NO");
+  return 0;
+}

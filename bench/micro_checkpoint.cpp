@@ -1,0 +1,102 @@
+// M2 — checkpoint store micro benchmarks: store/load cost as a function of
+// state size, in-memory vs file-backed backend, and the full remote
+// checkpoint cycle (get_state + store over the ORB).
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "ft/checkpoint.hpp"
+#include "ft/checkpoint_store.hpp"
+#include "orb/cdr.hpp"
+#include "orb/orb.hpp"
+
+namespace {
+
+corba::Blob blob_of(std::size_t bytes) {
+  return corba::Blob(bytes, std::byte{0x5a});
+}
+
+void BM_MemoryStore(benchmark::State& state) {
+  ft::MemoryCheckpointStore store;
+  const corba::Blob blob = blob_of(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t version = 0;
+  for (auto _ : state) store.store("k", ++version, blob);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MemoryStore)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_MemoryLoad(benchmark::State& state) {
+  ft::MemoryCheckpointStore store;
+  store.store("k", 1, blob_of(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) benchmark::DoNotOptimize(store.load("k"));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MemoryLoad)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_FileStore(benchmark::State& state) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "corbaft_bench_ckpt";
+  std::filesystem::remove_all(dir);
+  ft::FileCheckpointStore store(dir);
+  const corba::Blob blob = blob_of(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t version = 0;
+  for (auto _ : state) store.store("k", ++version, blob);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_FileStore)->Arg(256)->Arg(4096)->Arg(65536);
+
+class BlobServant final : public corba::Servant,
+                          public ft::CheckpointableServant {
+ public:
+  explicit BlobServant(std::size_t bytes) : state_(blob_of(bytes)) {}
+  std::string_view repo_id() const noexcept override {
+    return "IDL:corbaft/bench/Blob:1.0";
+  }
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override {
+    if (auto handled = try_dispatch_state(op, args)) return *handled;
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+  corba::Blob get_state() override { return state_; }
+  void set_state(const corba::Blob& state) override { state_ = state; }
+
+ private:
+  corba::Blob state_;
+};
+
+void BM_RemoteCheckpointCycle(benchmark::State& state) {
+  // The paper's per-call overhead path: fetch the service state through the
+  // ORB and store it in the (remote) checkpoint service.
+  auto network = std::make_shared<corba::InProcessNetwork>();
+  auto worker_orb = corba::ORB::init({.endpoint_name = "w", .network = network});
+  auto store_orb = corba::ORB::init({.endpoint_name = "s", .network = network});
+  auto client_orb = corba::ORB::init({.endpoint_name = "c", .network = network});
+
+  const corba::ObjectRef service = client_orb->make_ref(
+      worker_orb
+          ->activate(std::make_shared<BlobServant>(
+              static_cast<std::size_t>(state.range(0))))
+          .ior());
+  ft::CheckpointStoreStub store(client_orb->make_ref(
+      store_orb
+          ->activate(std::make_shared<ft::CheckpointStoreServant>(
+              std::make_shared<ft::MemoryCheckpointStore>()))
+          .ior()));
+
+  std::uint64_t version = 0;
+  for (auto _ : state) {
+    const corba::Blob blob = ft::get_state(service);
+    store.store("svc", ++version, blob);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RemoteCheckpointCycle)->Arg(256)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+// M1 — ORB micro benchmarks: CDR marshaling throughput, tagged-value
+// encoding, IOR stringification, and end-to-end invocation latency over the
+// in-process and TCP transports.  These are real wall-clock measurements
+// (google-benchmark), unlike the virtual-time experiment harnesses.
+#include <benchmark/benchmark.h>
+
+#include "orb/dii.hpp"
+#include "orb/orb.hpp"
+#include "orb/tcp_transport.hpp"
+
+namespace {
+
+void BM_CdrEncodeDoubles(benchmark::State& state) {
+  const std::vector<double> values(static_cast<std::size_t>(state.range(0)),
+                                   3.14);
+  for (auto _ : state) {
+    corba::CdrOutputStream out;
+    out.write_f64_seq(values);
+    benchmark::DoNotOptimize(out.buffer().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 8);
+}
+BENCHMARK(BM_CdrEncodeDoubles)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_CdrDecodeDoubles(benchmark::State& state) {
+  const std::vector<double> values(static_cast<std::size_t>(state.range(0)),
+                                   3.14);
+  corba::CdrOutputStream out;
+  out.write_f64_seq(values);
+  for (auto _ : state) {
+    corba::CdrInputStream in(out.buffer());
+    benchmark::DoNotOptimize(in.read_f64_seq());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 8);
+}
+BENCHMARK(BM_CdrDecodeDoubles)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_CdrSwappedDecode(benchmark::State& state) {
+  // Byte-order conversion path (receiver with opposite endianness).
+  const std::vector<double> values(256, 3.14);
+  const corba::ByteOrder other =
+      corba::native_byte_order() == corba::ByteOrder::little_endian
+          ? corba::ByteOrder::big_endian
+          : corba::ByteOrder::little_endian;
+  corba::CdrOutputStream out(other);
+  out.write_f64_seq(values);
+  for (auto _ : state) {
+    corba::CdrInputStream in(out.buffer(), other);
+    benchmark::DoNotOptimize(in.read_f64_seq());
+  }
+}
+BENCHMARK(BM_CdrSwappedDecode);
+
+void BM_ValueEncodeDecode(benchmark::State& state) {
+  corba::ValueSeq seq;
+  seq.emplace_back(std::int64_t{7});
+  seq.emplace_back("operation-payload");
+  seq.emplace_back(std::vector<double>(32, 1.0));
+  const corba::Value value{std::move(seq)};
+  for (auto _ : state) {
+    corba::CdrOutputStream out;
+    value.encode(out);
+    corba::CdrInputStream in(out.buffer());
+    benchmark::DoNotOptimize(corba::Value::decode(in));
+  }
+}
+BENCHMARK(BM_ValueEncodeDecode);
+
+void BM_IorStringRoundTrip(benchmark::State& state) {
+  corba::IOR ior;
+  ior.type_id = "IDL:corbaft/opt/OptWorker:1.0";
+  ior.protocol = std::string(corba::protocol::tcp);
+  ior.host = "192.168.17.23";
+  ior.port = 2809;
+  ior.key = corba::ObjectKey::from_string("worker#a17.42");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corba::IOR::from_string(ior.to_string()));
+  }
+}
+BENCHMARK(BM_IorStringRoundTrip);
+
+class EchoServant final : public corba::Servant {
+ public:
+  std::string_view repo_id() const noexcept override {
+    return "IDL:corbaft/bench/Echo:1.0";
+  }
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override {
+    if (op == "echo") return args.at(0);
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+};
+
+void BM_InprocInvoke(benchmark::State& state) {
+  auto network = std::make_shared<corba::InProcessNetwork>();
+  auto server = corba::ORB::init({.endpoint_name = "s", .network = network});
+  auto client = corba::ORB::init({.endpoint_name = "c", .network = network});
+  const corba::ObjectRef ref =
+      client->make_ref(server->activate(std::make_shared<EchoServant>()).ior());
+  const corba::Value payload(std::vector<double>(
+      static_cast<std::size_t>(state.range(0)), 1.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ref.invoke("echo", {payload}));
+  }
+}
+BENCHMARK(BM_InprocInvoke)->Arg(1)->Arg(128)->Arg(2048);
+
+void BM_TcpInvoke(benchmark::State& state) {
+  auto server = corba::ORB::init({.endpoint_name = "s", .enable_tcp = true});
+  auto client = corba::ORB::init({.endpoint_name = "c", .enable_tcp = true});
+  const corba::ObjectRef ref =
+      client->make_ref(server->activate(std::make_shared<EchoServant>()).ior());
+  const corba::Value payload(std::vector<double>(
+      static_cast<std::size_t>(state.range(0)), 1.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ref.invoke("echo", {payload}));
+  }
+}
+BENCHMARK(BM_TcpInvoke)->Arg(1)->Arg(128)->Arg(2048);
+
+void BM_TcpDeferredBatch(benchmark::State& state) {
+  // Eight deferred requests in flight at once (the manager/worker pattern).
+  auto server = corba::ORB::init({.endpoint_name = "s", .enable_tcp = true});
+  auto client = corba::ORB::init({.endpoint_name = "c", .enable_tcp = true});
+  const corba::ObjectRef ref =
+      client->make_ref(server->activate(std::make_shared<EchoServant>()).ior());
+  const corba::Value payload(std::vector<double>(64, 1.0));
+  for (auto _ : state) {
+    std::vector<corba::Request> requests;
+    for (int i = 0; i < 8; ++i) {
+      requests.emplace_back(ref, "echo");
+      requests.back().add_argument(payload);
+      requests.back().send_deferred();
+    }
+    for (corba::Request& request : requests) request.get_response();
+  }
+}
+BENCHMARK(BM_TcpDeferredBatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// M3 — simulator micro benchmarks: event-queue throughput, processor-
+// sharing host dynamics, and end-to-end simulated invocations per (real)
+// second — the figure that bounds how fast the experiment harness can run.
+#include <benchmark/benchmark.h>
+
+#include "orb/orb.hpp"
+#include "sim/cluster.hpp"
+#include "sim/sim_transport.hpp"
+#include "sim/work_meter.hpp"
+
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (int i = 0; i < state.range(0); ++i)
+      queue.schedule_at(static_cast<double>(i % 97), [] {});
+    queue.run_until_idle();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_ProcessorSharingChurn(benchmark::State& state) {
+  // Tasks arriving into an already-busy host force settle + reschedule on
+  // every submit — the hot path of the host model.
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    sim::Host host(queue, "h", 100.0);
+    for (int i = 0; i < state.range(0); ++i)
+      host.submit(10.0 + i % 7, [] {});
+    queue.run_until_idle();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ProcessorSharingChurn)->Arg(64)->Arg(512);
+
+class BurnServant final : public corba::Servant {
+ public:
+  std::string_view repo_id() const noexcept override {
+    return "IDL:corbaft/bench/Burn:1.0";
+  }
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override {
+    if (op == "burn") {
+      sim::WorkMeter::charge(args.at(0).as_f64());
+      return corba::Value();
+    }
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+};
+
+void BM_SimulatedInvocation(benchmark::State& state) {
+  // Full virtual-time call: CDR round trip, host busy period, reply event.
+  sim::Cluster cluster;
+  cluster.add_host("h", 100.0);
+  auto network = std::make_shared<corba::InProcessNetwork>();
+  auto transport = std::make_shared<sim::SimTransport>(cluster, network);
+  auto server = corba::ORB::init({.endpoint_name = "h",
+                                  .network = network,
+                                  .client_transport_override = transport});
+  cluster.map_endpoint("h", "h");
+  const corba::ObjectRef ref = server->activate(std::make_shared<BurnServant>());
+  for (auto _ : state) {
+    ref.invoke("burn", {corba::Value(1.0)});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatedInvocation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+# Benchmark binaries.  Standalone experiment harnesses (one per paper table/
+# figure plus ablations) print their results directly; micro benches use
+# google-benchmark.  All binaries land in ${CMAKE_BINARY_DIR}/bench.
+
+function(corbaft_add_bench name)
+  cmake_parse_arguments(ARG "GBENCH" "" "LIBS" ${ARGN})
+  add_executable(${name} ${CMAKE_CURRENT_LIST_DIR}/${name}.cpp)
+  target_link_libraries(${name} PRIVATE ${ARG_LIBS} corbaft_options)
+  if(ARG_GBENCH)
+    target_link_libraries(${name} PRIVATE benchmark::benchmark)
+  endif()
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+corbaft_add_bench(fig3_load_distribution LIBS corbaft::opt)
+corbaft_add_bench(table1_proxy_overhead LIBS corbaft::opt)
+corbaft_add_bench(ablation_naming_strategies LIBS corbaft::opt)
+corbaft_add_bench(ablation_checkpoint_frequency LIBS corbaft::opt)
+corbaft_add_bench(ablation_recovery LIBS corbaft::opt)
+corbaft_add_bench(ablation_migration LIBS corbaft::opt)
+corbaft_add_bench(micro_orb GBENCH LIBS corbaft::orb)
+corbaft_add_bench(micro_checkpoint GBENCH LIBS corbaft::ft)
+corbaft_add_bench(micro_sim GBENCH LIBS corbaft::sim)
+corbaft_add_bench(ablation_replication LIBS corbaft::opt)
+corbaft_add_bench(ablation_wan_metacomputing LIBS corbaft::opt)

@@ -1,0 +1,103 @@
+// Real-socket deployment: the same services, over TCP.
+//
+// Everything the other examples do in virtual time also runs on the real
+// transport: this example starts three "server processes" (ORBs with TCP
+// endpoints on loopback), a naming service with the load-distribution
+// extension, a Winner system manager fed by node managers (here with
+// synthetic sensors; swap in ProcLoadavgSensor for the real machine), and
+// an optimization worker pool — then places and calls workers through
+// stringified IORs exactly as separate processes would.
+#include <cstdio>
+
+#include "ft/checkpoint.hpp"
+#include "naming/naming_context.hpp"
+#include "naming/naming_stub.hpp"
+#include "opt/worker.hpp"
+#include "orb/tcp_transport.hpp"
+#include "winner/node_manager.hpp"
+#include "winner/system_manager.hpp"
+#include "winner/system_manager_corba.hpp"
+
+int main() {
+  // --- the "infrastructure process" ----------------------------------------
+  auto infra = corba::ORB::init({.endpoint_name = "infra", .enable_tcp = true});
+  auto winner_impl = std::make_shared<winner::SystemManager>();
+  const corba::ObjectRef winner_ref = infra->activate(
+      std::make_shared<winner::SystemManagerServant>(winner_impl));
+  naming::NamingContextOptions naming_options;
+  naming_options.default_strategy = naming::ResolveStrategy::winner;
+  naming_options.winner = winner_impl;
+  auto [naming_servant, naming_ref] =
+      naming::NamingContextServant::create_root(infra, naming_options);
+  // In a real deployment this string is what you hand to other processes.
+  const std::string naming_ior = naming_ref.ior().to_string();
+  std::printf("naming service: %.60s...\n", naming_ior.c_str());
+
+  // --- three "workstation processes" ---------------------------------------
+  opt::WorkerProblem problem;
+  problem.dimension = 30;
+  problem.blocks = 3;
+  std::vector<std::shared_ptr<corba::ORB>> nodes;
+  std::vector<std::unique_ptr<winner::NodeManager>> managers;
+  std::vector<double> synthetic_load = {2.0, 0.1, 1.0};
+  for (int i = 0; i < 3; ++i) {
+    const std::string host = "tcp-node" + std::to_string(i);
+    auto orb = corba::ORB::init({.endpoint_name = host, .enable_tcp = true});
+    // Each node bootstraps from the stringified naming IOR.
+    naming::NamingContextStub root(orb->string_to_object(naming_ior));
+    winner_impl->register_host(host, 1.0);
+    const corba::ObjectRef worker_ref =
+        orb->activate(std::make_shared<opt::OptWorkerServant>(problem));
+    root.bind_offer(naming::Name::parse("OptWorker"), worker_ref, host);
+    // A node manager reporting (synthetic) load over the wire, oneway.
+    auto manager_stub = std::make_shared<winner::SystemManagerStub>(
+        orb->make_ref(winner_ref.ior()));
+    managers.push_back(std::make_unique<winner::NodeManager>(
+        host,
+        std::make_shared<winner::CallbackSensor>(
+            [&, i] { return synthetic_load[static_cast<std::size_t>(i)]; }),
+        manager_stub, 0.05));
+    managers.back()->start_threaded();
+    nodes.push_back(std::move(orb));
+    std::printf("%s listening on port %u, synthetic load %.1f\n", host.c_str(),
+                nodes.back()->tcp_port(),
+                synthetic_load[static_cast<std::size_t>(i)]);
+  }
+
+  // --- a "client process" ----------------------------------------------------
+  auto client = corba::ORB::init({.endpoint_name = "client", .enable_tcp = true});
+  naming::NamingContextStub root(client->string_to_object(naming_ior));
+
+  // Wait until every node has reported at least once.
+  for (const auto& manager : managers)
+    while (manager->reports_sent() == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  // Load-aware resolution over real sockets: tcp-node1 has the least load.
+  const corba::ObjectRef picked = root.resolve(naming::Name::parse("OptWorker"));
+  std::printf("\nresolve() picked %s (expected tcp-node1)\n",
+              picked.ior().host == "127.0.0.1" ? "a TCP endpoint" : "?!");
+
+  opt::OptWorkerStub worker(picked);
+  const std::vector<double> coupling = {1.0, 1.0};
+  const opt::SolveOutcome outcome = worker.solve(0, coupling, 2000);
+  std::printf("remote solve over TCP: best=%.4f after %lld evaluations\n",
+              outcome.best_value,
+              static_cast<long long>(outcome.evaluations));
+
+  // Checkpoint over the wire, restore into a different node's worker.
+  const corba::Blob state = ft::get_state(picked);
+  const corba::ObjectRef other = root.resolve_with(
+      naming::Name::parse("OptWorker"), naming::ResolveStrategy::round_robin);
+  ft::set_state(other, state);
+  std::printf("checkpoint (%zu bytes) transplanted to another node: calls=%lld\n",
+              state.size(),
+              static_cast<long long>(opt::OptWorkerStub(other).calls()));
+
+  for (auto& manager : managers) manager->stop();
+  for (auto& node : nodes) node->shutdown();
+  infra->shutdown();
+  client->shutdown();
+  std::printf("clean shutdown.\n");
+  return outcome.evaluations > 0 ? 0 : 1;
+}

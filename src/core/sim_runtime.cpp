@@ -1,0 +1,215 @@
+#include "core/sim_runtime.hpp"
+
+namespace rt {
+
+SimRuntime::SimRuntime(sim::Cluster& cluster, RuntimeOptions options)
+    : cluster_(cluster), options_(std::move(options)) {
+  worker_hosts_ = cluster_.host_names();
+  if (worker_hosts_.empty())
+    throw corba::BAD_PARAM("SimRuntime requires a non-empty cluster");
+
+  network_ = std::make_shared<corba::InProcessNetwork>();
+
+  // Dedicated infrastructure workstation: hosts naming, Winner and the
+  // checkpoint store, but never competes for application placement (it is
+  // not registered with the system manager).
+  cluster_.add_host(names::kInfraHost, options_.infra_speed);
+  // Each ORB gets its own simulator transport carrying its endpoint as the
+  // message source, so cross-domain (WAN) traffic is charged correctly.
+  auto make_orb = [&](const std::string& endpoint) {
+    cluster_.map_endpoint(endpoint, endpoint == "client" ? names::kInfraHost
+                                                         : endpoint);
+    auto orb = corba::ORB::init(
+        {.endpoint_name = endpoint,
+         .network = network_,
+         .client_transport_override = std::make_shared<sim::SimTransport>(
+             cluster_, network_, endpoint, options_.request_timeout)});
+    return orb;
+  };
+  const bool hierarchical = !options_.host_domains.empty();
+  if (hierarchical) {
+    if (options_.home_domain.empty())
+      throw corba::BAD_PARAM("host_domains requires a home_domain");
+    for (const auto& [host, domain] : options_.host_domains)
+      cluster_.set_host_domain(host, domain);
+    cluster_.set_host_domain(names::kInfraHost, options_.home_domain);
+  }
+
+  infra_orb_ = make_orb(names::kInfraHost);
+  client_orb_ = make_orb("client");
+
+  // Winner: one central system manager, or (hierarchical mode) one per site
+  // federated by a MetaSystemManager with the WAN placement penalty.
+  const winner::SystemManagerOptions manager_options{
+      .stale_after = options_.winner_stale_after,
+      .clock = [this] { return cluster_.events().now(); }};
+  if (hierarchical) {
+    auto meta = std::make_shared<winner::MetaSystemManager>(
+        winner::MetaManagerOptions{.home_domain = options_.home_domain,
+                                   .remote_penalty =
+                                       options_.wan_remote_penalty});
+    for (const auto& [host, domain] : options_.host_domains) {
+      if (site_managers_.count(domain)) continue;
+      auto site = std::make_shared<winner::SystemManager>(manager_options);
+      site_managers_[domain] = site;
+      meta->add_domain(domain, site);
+      site_manager_refs_[domain] = infra_orb_->activate(
+          std::make_shared<winner::SystemManagerServant>(site),
+          "SystemManager-" + domain);
+    }
+    load_info_ = meta;
+    winner_ref_ = site_manager_refs_.at(options_.home_domain);
+  } else {
+    winner_impl_ = std::make_shared<winner::SystemManager>(manager_options);
+    load_info_ = winner_impl_;
+    winner_ref_ = infra_orb_->activate(
+        std::make_shared<winner::SystemManagerServant>(winner_impl_),
+        "SystemManager");
+  }
+
+  // Load-distributing naming service wired to Winner (Fig. 1).
+  naming::NamingContextOptions naming_options;
+  naming_options.default_strategy = options_.naming_strategy;
+  naming_options.winner = load_info_;
+  naming_options.random_seed = options_.seed;
+  auto [naming_servant, naming_ref] =
+      naming::NamingContextServant::create_root(infra_orb_, naming_options);
+  naming_servant_ = naming_servant;
+  naming_ref_ = naming_ref;
+
+  // Checkpoint storage service (the paper's unoptimized prototype).
+  checkpoint_backend_ =
+      std::make_shared<ft::MemoryCheckpointStore>(options_.checkpoint_cost);
+  store_ref_ = infra_orb_->activate(
+      std::make_shared<ft::CheckpointStoreServant>(checkpoint_backend_),
+      "CheckpointStore");
+
+  registry_ = std::make_shared<ft::ServantFactoryRegistry>();
+
+  // Per-workstation server process: ORB + node manager + service factory.
+  naming::NamingContextStub root(infra_orb_->make_ref(naming_ref_.ior()));
+  root.bind_new_context(naming::Name::parse(names::kFactoriesContext));
+  for (const std::string& host : worker_hosts_) {
+    Node node;
+    node.host = host;
+    node.orb = make_orb(host);
+    // Register with the (site) system manager; node managers report to
+    // their own site's manager, as a WAN deployment would.
+    corba::ObjectRef site_ref = winner_ref_;
+    if (hierarchical) {
+      const std::string domain = cluster_.domain_of(host);
+      auto meta =
+          std::static_pointer_cast<winner::MetaSystemManager>(load_info_);
+      meta->register_host(domain + "/" + host, cluster_.host(host).speed());
+      site_ref = site_manager_refs_.at(domain);
+    } else {
+      winner_impl_->register_host(host, cluster_.host(host).speed());
+    }
+    auto manager_stub = std::make_shared<winner::SystemManagerStub>(
+        node.orb->make_ref(site_ref.ior()));
+    node.node_manager = std::make_unique<winner::NodeManager>(
+        host, std::make_shared<winner::SimHostSensor>(cluster_.host(host)),
+        manager_stub, options_.report_period);
+    if (options_.start_node_managers)
+      node.node_manager->start_simulated(cluster_.events());
+    node.factory_ref = node.orb->activate(
+        std::make_shared<ft::ServiceFactoryServant>(node.orb, host, registry_),
+        "Factory");
+    root.bind(naming::Name::parse(names::kFactoriesContext).append(host),
+              node.factory_ref);
+    nodes_.push_back(std::move(node));
+  }
+
+  // Make the services discoverable the CORBA way.
+  for (const auto& orb : {infra_orb_, client_orb_}) {
+    orb->register_initial_reference("NameService",
+                                    orb->make_ref(naming_ref_.ior()));
+    orb->register_initial_reference("WinnerSystemManager",
+                                    orb->make_ref(winner_ref_.ior()));
+    orb->register_initial_reference("CheckpointStore",
+                                    orb->make_ref(store_ref_.ior()));
+  }
+}
+
+SimRuntime::~SimRuntime() { stop_node_managers(); }
+
+void SimRuntime::stop_node_managers() {
+  for (Node& node : nodes_)
+    if (node.node_manager) node.node_manager->stop();
+}
+
+std::shared_ptr<corba::ORB> SimRuntime::node_orb(const std::string& host) const {
+  for (const Node& node : nodes_)
+    if (node.host == host) return node.orb;
+  throw corba::BAD_PARAM("no node for host '" + host + "'");
+}
+
+naming::NamingContextStub SimRuntime::naming() const {
+  return naming::NamingContextStub(client_orb_->make_ref(naming_ref_.ior()));
+}
+
+winner::SystemManagerStub SimRuntime::winner_stub() const {
+  return winner::SystemManagerStub(client_orb_->make_ref(winner_ref_.ior()));
+}
+
+std::shared_ptr<ft::CheckpointStoreClient> SimRuntime::checkpoint_store() const {
+  return std::make_shared<ft::CheckpointStoreStub>(
+      client_orb_->make_ref(store_ref_.ior()));
+}
+
+corba::ObjectRef SimRuntime::deploy(const std::string& host,
+                                    std::shared_ptr<corba::Servant> servant,
+                                    const naming::Name& name) {
+  const corba::ObjectRef ref = node_orb(host)->activate(std::move(servant));
+  naming().bind_offer(name, ref, host);
+  return client_orb_->make_ref(ref.ior());
+}
+
+void SimRuntime::deploy_everywhere(const naming::Name& name,
+                                   const std::string& service_type) {
+  for (const std::string& host : worker_hosts_)
+    deploy(host, registry_->create(service_type), name);
+}
+
+corba::ObjectRef SimRuntime::resolve(const naming::Name& name) const {
+  return naming().resolve(name);
+}
+
+ft::ServiceFactoryStub SimRuntime::factory_on(const std::string& host) const {
+  naming::Name name = naming::Name::parse(names::kFactoriesContext);
+  name.append(host);
+  return ft::ServiceFactoryStub(naming().resolve(name));
+}
+
+ft::ServiceFactoryStub SimRuntime::best_factory() const {
+  const std::string host = load_info_->best_host(worker_hosts_);
+  load_info_->notify_placement(host);
+  return factory_on(host);
+}
+
+std::shared_ptr<winner::SystemManager> SimRuntime::site_manager(
+    const std::string& domain) const {
+  auto it = site_managers_.find(domain);
+  if (it == site_managers_.end())
+    throw corba::BAD_PARAM("unknown site: " + domain);
+  return it->second;
+}
+
+ft::ProxyConfig SimRuntime::make_proxy_config(const naming::Name& name,
+                                              const std::string& service_type,
+                                              const std::string& checkpoint_key,
+                                              ft::RecoveryPolicy policy,
+                                              corba::ObjectRef initial) const {
+  ft::ProxyConfig config;
+  config.initial = initial.is_nil() ? resolve(name) : std::move(initial);
+  config.naming = std::make_shared<naming::NamingContextStub>(naming());
+  config.service_name = name;
+  config.store = checkpoint_store();
+  config.checkpoint_key = checkpoint_key;
+  config.service_type = service_type;
+  config.policy = policy;
+  config.locate_factory = [this] { return best_factory(); };
+  return config;
+}
+
+}  // namespace rt

@@ -1,0 +1,27 @@
+#include "ft/checkpoint.hpp"
+
+namespace ft {
+
+std::optional<corba::Value> CheckpointableServant::try_dispatch_state(
+    std::string_view op, const corba::ValueSeq& args) {
+  if (op == kGetStateOp) {
+    corba::Servant::check_arity(op, args, 0);
+    return corba::Value(get_state());
+  }
+  if (op == kSetStateOp) {
+    corba::Servant::check_arity(op, args, 1);
+    set_state(args[0].as_blob());
+    return corba::Value();
+  }
+  return std::nullopt;
+}
+
+corba::Blob get_state(const corba::ObjectRef& ref) {
+  return ref.invoke(kGetStateOp, {}).as_blob();
+}
+
+void set_state(const corba::ObjectRef& ref, const corba::Blob& state) {
+  ref.invoke(kSetStateOp, {corba::Value(state)});
+}
+
+}  // namespace ft

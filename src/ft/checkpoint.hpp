@@ -1,0 +1,51 @@
+// Checkpointable objects.
+//
+// The paper's fault tolerance rests on one capability: "(a) save the state
+// (checkpoint) of the server object e.g. after each successful call ... and
+// (b) ... restore this state in a newly created server object" (§3).  A
+// service opts in by answering the two implicit operations _get_state /
+// _set_state with an opaque state blob.  CheckpointableServant is the
+// server-side mixin; free functions get_state/set_state are the client-side
+// accessors used by proxies.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "orb/object_adapter.hpp"
+#include "orb/orb.hpp"
+
+namespace ft {
+
+inline constexpr std::string_view kGetStateOp = "_get_state";
+inline constexpr std::string_view kSetStateOp = "_set_state";
+
+/// Server-side mixin.  A skeleton supporting checkpointing derives from its
+/// interface skeleton *and* this class, and gives its dispatch() a chance to
+/// route the two state operations:
+///
+///   corba::Value dispatch(std::string_view op, const corba::ValueSeq& a) {
+///     if (auto handled = try_dispatch_state(op, a)) return *handled;
+///     ...interface operations...
+///   }
+class CheckpointableServant {
+ public:
+  virtual ~CheckpointableServant() = default;
+
+  /// Serializes the servant's full application state.
+  virtual corba::Blob get_state() = 0;
+
+  /// Replaces the servant's state with a previously serialized one.
+  virtual void set_state(const corba::Blob& state) = 0;
+
+ protected:
+  /// Routes kGetStateOp / kSetStateOp; std::nullopt for other operations.
+  std::optional<corba::Value> try_dispatch_state(std::string_view op,
+                                                 const corba::ValueSeq& args);
+};
+
+/// Client-side accessors (used by fault-tolerance proxies).
+corba::Blob get_state(const corba::ObjectRef& ref);
+void set_state(const corba::ObjectRef& ref, const corba::Blob& state);
+
+}  // namespace ft

@@ -1,0 +1,216 @@
+#include "ft/checkpoint_store.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "sim/work_meter.hpp"
+
+namespace ft {
+
+namespace {
+
+corba::RegisterUserException<NoCheckpoint> register_no_checkpoint;
+
+}  // namespace
+
+MemoryCheckpointStore::MemoryCheckpointStore(CostModel cost) : cost_(cost) {}
+
+void MemoryCheckpointStore::store(const std::string& key, std::uint64_t version,
+                                  const corba::Blob& state) {
+  sim::WorkMeter::charge(cost_.work_per_store +
+                         cost_.work_per_byte * static_cast<double>(state.size()));
+  std::lock_guard lock(mu_);
+  Checkpoint& checkpoint = checkpoints_[key];
+  if (checkpoint.version != 0 && version <= checkpoint.version)
+    throw corba::BAD_PARAM("stale checkpoint version " +
+                           std::to_string(version) + " <= " +
+                           std::to_string(checkpoint.version));
+  checkpoint.version = version;
+  checkpoint.state = state;
+  ++store_count_;
+}
+
+std::optional<Checkpoint> MemoryCheckpointStore::load(const std::string& key) {
+  std::lock_guard lock(mu_);
+  auto it = checkpoints_.find(key);
+  if (it == checkpoints_.end()) return std::nullopt;
+  sim::WorkMeter::charge(cost_.work_per_store +
+                         cost_.work_per_byte *
+                             static_cast<double>(it->second.state.size()));
+  ++load_count_;
+  return it->second;
+}
+
+void MemoryCheckpointStore::remove(const std::string& key) {
+  std::lock_guard lock(mu_);
+  checkpoints_.erase(key);
+}
+
+std::vector<std::string> MemoryCheckpointStore::keys() {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> result;
+  result.reserve(checkpoints_.size());
+  for (const auto& [key, checkpoint] : checkpoints_) result.push_back(key);
+  return result;
+}
+
+std::uint64_t MemoryCheckpointStore::stores() const {
+  std::lock_guard lock(mu_);
+  return store_count_;
+}
+
+std::uint64_t MemoryCheckpointStore::loads() const {
+  std::lock_guard lock(mu_);
+  return load_count_;
+}
+
+FileCheckpointStore::FileCheckpointStore(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  std::filesystem::create_directories(directory_);
+}
+
+std::filesystem::path FileCheckpointStore::path_for(const std::string& key) const {
+  // Keys may contain characters unsuitable for file names; hex-encode them.
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string encoded;
+  encoded.reserve(key.size() * 2);
+  for (unsigned char c : key) {
+    encoded.push_back(kHex[c >> 4]);
+    encoded.push_back(kHex[c & 0xf]);
+  }
+  return directory_ / (encoded + ".ckpt");
+}
+
+void FileCheckpointStore::store(const std::string& key, std::uint64_t version,
+                                const corba::Blob& state) {
+  std::lock_guard lock(mu_);
+  if (auto existing = [&]() -> std::optional<std::uint64_t> {
+        std::ifstream in(path_for(key), std::ios::binary);
+        std::uint64_t v = 0;
+        if (in.read(reinterpret_cast<char*>(&v), sizeof(v))) return v;
+        return std::nullopt;
+      }();
+      existing && version <= *existing) {
+    throw corba::BAD_PARAM("stale checkpoint version " +
+                           std::to_string(version) + " <= " +
+                           std::to_string(*existing));
+  }
+  const std::filesystem::path target = path_for(key);
+  const std::filesystem::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw corba::INTERNAL("cannot write " + tmp.string());
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(reinterpret_cast<const char*>(state.data()),
+              static_cast<std::streamsize>(state.size()));
+    if (!out) throw corba::INTERNAL("short write to " + tmp.string());
+  }
+  std::filesystem::rename(tmp, target);
+}
+
+std::optional<Checkpoint> FileCheckpointStore::load(const std::string& key) {
+  std::lock_guard lock(mu_);
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  Checkpoint checkpoint;
+  if (!in.read(reinterpret_cast<char*>(&checkpoint.version),
+               sizeof(checkpoint.version)))
+    throw corba::INTERNAL("corrupt checkpoint file for key '" + key + "'");
+  char byte;
+  while (in.get(byte)) checkpoint.state.push_back(static_cast<std::byte>(byte));
+  return checkpoint;
+}
+
+void FileCheckpointStore::remove(const std::string& key) {
+  std::lock_guard lock(mu_);
+  std::error_code ignored;
+  std::filesystem::remove(path_for(key), ignored);
+}
+
+std::vector<std::string> FileCheckpointStore::keys() {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> result;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    if (entry.path().extension() != ".ckpt") continue;
+    const std::string encoded = entry.path().stem().string();
+    std::string key;
+    for (std::size_t i = 0; i + 1 < encoded.size(); i += 2) {
+      auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return -1;
+      };
+      const int hi = nibble(encoded[i]);
+      const int lo = nibble(encoded[i + 1]);
+      if (hi < 0 || lo < 0) break;
+      key.push_back(static_cast<char>((hi << 4) | lo));
+    }
+    result.push_back(std::move(key));
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+CheckpointStoreServant::CheckpointStoreServant(
+    std::shared_ptr<CheckpointStoreClient> impl)
+    : impl_(std::move(impl)) {
+  if (!impl_) throw corba::BAD_PARAM("null checkpoint store backend");
+}
+
+corba::Value CheckpointStoreServant::dispatch(std::string_view op,
+                                              const corba::ValueSeq& args) {
+  if (op == "store") {
+    check_arity(op, args, 3);
+    impl_->store(args[0].as_string(), args[1].as_u64(), args[2].as_blob());
+    return {};
+  }
+  if (op == "load") {
+    check_arity(op, args, 1);
+    const auto checkpoint = impl_->load(args[0].as_string());
+    if (!checkpoint)
+      throw NoCheckpoint("no checkpoint for key '" + args[0].as_string() + "'");
+    return corba::Value(corba::ValueSeq{corba::Value(checkpoint->version),
+                                        corba::Value(checkpoint->state)});
+  }
+  if (op == "remove") {
+    check_arity(op, args, 1);
+    impl_->remove(args[0].as_string());
+    return {};
+  }
+  if (op == "keys") {
+    check_arity(op, args, 0);
+    corba::ValueSeq out;
+    for (const std::string& key : impl_->keys()) out.emplace_back(key);
+    return corba::Value(std::move(out));
+  }
+  throw corba::BAD_OPERATION(std::string(op));
+}
+
+void CheckpointStoreStub::store(const std::string& key, std::uint64_t version,
+                                const corba::Blob& state) {
+  call("store", {corba::Value(key), corba::Value(version), corba::Value(state)});
+}
+
+std::optional<Checkpoint> CheckpointStoreStub::load(const std::string& key) {
+  try {
+    const corba::Value reply = call("load", {corba::Value(key)});
+    const corba::ValueSeq& fields = reply.as_sequence();
+    return Checkpoint{fields.at(0).as_u64(), fields.at(1).as_blob()};
+  } catch (const NoCheckpoint&) {
+    return std::nullopt;
+  }
+}
+
+void CheckpointStoreStub::remove(const std::string& key) {
+  call("remove", {corba::Value(key)});
+}
+
+std::vector<std::string> CheckpointStoreStub::keys() {
+  const corba::Value reply = call("keys", {});
+  std::vector<std::string> result;
+  for (const corba::Value& key : reply.as_sequence())
+    result.push_back(key.as_string());
+  return result;
+}
+
+}  // namespace ft

@@ -1,0 +1,142 @@
+// Checkpoint storage service.
+//
+// The paper prototypes "a simple service for storing checkpointing data ...
+// functions to store/retrieve arbitrary values" with no persistence and no
+// optimization.  This module provides that service as a proper CORBA object:
+// a versioned key -> blob store with an in-memory backend (the paper's
+// prototype, including a configurable simulated cost so the Table 1 overhead
+// experiment can model the "rather inefficient" implementation) and a
+// file-backed backend (the persistence the paper lists as missing).
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "orb/object_adapter.hpp"
+#include "orb/stub.hpp"
+
+namespace ft {
+
+inline constexpr std::string_view kCheckpointStoreRepoId =
+    "IDL:corbaft/ft/CheckpointStore:1.0";
+
+struct NoCheckpoint : corba::UserException {
+  explicit NoCheckpoint(std::string detail)
+      : corba::UserException(std::string(static_repo_id()), std::move(detail)) {}
+  static constexpr std::string_view static_repo_id() {
+    return "IDL:corbaft/ft/NoCheckpoint:1.0";
+  }
+};
+
+struct Checkpoint {
+  std::uint64_t version = 0;
+  corba::Blob state;
+};
+
+/// Client API of the checkpoint store; implemented by the backends (for
+/// colocated use) and by CheckpointStoreStub (remote use).
+class CheckpointStoreClient {
+ public:
+  virtual ~CheckpointStoreClient() = default;
+
+  /// Stores a checkpoint.  Versions must be monotone per key; a stale
+  /// version (<= the stored one) is rejected with BAD_PARAM so a lagging
+  /// writer can never overwrite a newer state.
+  virtual void store(const std::string& key, std::uint64_t version,
+                     const corba::Blob& state) = 0;
+
+  /// Latest checkpoint for `key`, or std::nullopt when none exists.
+  virtual std::optional<Checkpoint> load(const std::string& key) = 0;
+
+  /// Removes the checkpoint (no-op when absent).
+  virtual void remove(const std::string& key) = 0;
+
+  virtual std::vector<std::string> keys() = 0;
+};
+
+/// In-memory backend — the paper's proof-of-concept store.  `work_per_byte`
+/// and `work_per_store` charge simulated work on the hosting workstation for
+/// each store/load, modeling the unoptimized implementation whose cost the
+/// Table 1 experiment measures.
+class MemoryCheckpointStore final : public CheckpointStoreClient {
+ public:
+  struct CostModel {
+    double work_per_store = 0.0;
+    double work_per_byte = 0.0;
+  };
+
+  MemoryCheckpointStore() : MemoryCheckpointStore(CostModel{}) {}
+  explicit MemoryCheckpointStore(CostModel cost);
+
+  void store(const std::string& key, std::uint64_t version,
+             const corba::Blob& state) override;
+  std::optional<Checkpoint> load(const std::string& key) override;
+  void remove(const std::string& key) override;
+  std::vector<std::string> keys() override;
+
+  std::uint64_t stores() const;
+  std::uint64_t loads() const;
+
+ private:
+  CostModel cost_;
+  mutable std::mutex mu_;
+  std::map<std::string, Checkpoint> checkpoints_;
+  std::uint64_t store_count_ = 0;
+  std::uint64_t load_count_ = 0;
+};
+
+/// File-backed backend: one file per key under `directory`, written
+/// atomically (tmp + rename), surviving process restarts.
+class FileCheckpointStore final : public CheckpointStoreClient {
+ public:
+  explicit FileCheckpointStore(std::filesystem::path directory);
+
+  void store(const std::string& key, std::uint64_t version,
+             const corba::Blob& state) override;
+  std::optional<Checkpoint> load(const std::string& key) override;
+  void remove(const std::string& key) override;
+  std::vector<std::string> keys() override;
+
+  const std::filesystem::path& directory() const noexcept { return directory_; }
+
+ private:
+  std::filesystem::path path_for(const std::string& key) const;
+
+  std::filesystem::path directory_;
+  mutable std::mutex mu_;
+};
+
+/// CORBA servant exposing any backend.
+class CheckpointStoreServant final : public corba::Servant {
+ public:
+  explicit CheckpointStoreServant(std::shared_ptr<CheckpointStoreClient> impl);
+
+  std::string_view repo_id() const noexcept override {
+    return kCheckpointStoreRepoId;
+  }
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override;
+
+ private:
+  std::shared_ptr<CheckpointStoreClient> impl_;
+};
+
+/// Client-side stub.
+class CheckpointStoreStub final : public corba::StubBase,
+                                  public CheckpointStoreClient {
+ public:
+  CheckpointStoreStub() = default;
+  explicit CheckpointStoreStub(corba::ObjectRef ref)
+      : StubBase(std::move(ref)) {}
+
+  void store(const std::string& key, std::uint64_t version,
+             const corba::Blob& state) override;
+  std::optional<Checkpoint> load(const std::string& key) override;
+  void remove(const std::string& key) override;
+  std::vector<std::string> keys() override;
+};
+
+}  // namespace ft

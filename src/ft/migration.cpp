@@ -1,0 +1,89 @@
+#include "ft/migration.hpp"
+
+#include <algorithm>
+
+#include "orb/log.hpp"
+
+namespace ft {
+
+MigrationManager::MigrationManager(
+    std::shared_ptr<winner::LoadInformationService> winner,
+    MigrationOptions options)
+    : winner_(std::move(winner)), options_(options) {
+  if (!winner_)
+    throw corba::BAD_PARAM("migration manager requires load information");
+  if (!(options_.period > 0)) throw corba::BAD_PARAM("period must be positive");
+  if (!(options_.min_improvement > 0))
+    throw corba::BAD_PARAM("min_improvement must be positive");
+  if (options_.max_migrations_per_sweep < 1)
+    throw corba::BAD_PARAM("max_migrations_per_sweep must be >= 1");
+}
+
+MigrationManager::~MigrationManager() { stop(); }
+
+void MigrationManager::manage(ProxyEngine& engine) {
+  std::lock_guard lock(mu_);
+  if (std::find(engines_.begin(), engines_.end(), &engine) == engines_.end())
+    engines_.push_back(&engine);
+}
+
+void MigrationManager::unmanage(ProxyEngine& engine) {
+  std::lock_guard lock(mu_);
+  std::erase(engines_, &engine);
+}
+
+void MigrationManager::sweep() noexcept {
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<ProxyEngine*> engines;
+  {
+    std::lock_guard lock(mu_);
+    engines = engines_;
+  }
+  int migrated = 0;
+  for (ProxyEngine* engine : engines) {
+    if (migrated >= options_.max_migrations_per_sweep) break;
+    try {
+      const std::string current = engine->current_host();
+      if (current.empty()) continue;
+      const std::string best = winner_->best_host({});
+      if (best == current) continue;
+      // Indexes are load per unit speed; scale the gap by the current
+      // host's speed so the threshold reads in runnable-process units
+      // regardless of the cluster's absolute speed scale.
+      const double gap_processes =
+          (winner_->host_index(current) - winner_->host_index(best)) *
+          winner_->host_speed(current);
+      if (gap_processes < options_.min_improvement) continue;
+      // recover_now() is exactly a migration when nothing has failed: a
+      // fresh instance on the best host, the checkpoint restored into it,
+      // offers repaired, the proxy re-targeted.
+      engine->recover_now();  // placement is reported by the resolve/factory
+      migrations_.fetch_add(1, std::memory_order_relaxed);
+      corba::log::emit(corba::log::Level::info, "ft.migration",
+                       "migrated a service from " + current + " to " +
+                           engine->current_host() + " (load gap " +
+                           std::to_string(gap_processes) + ")");
+      ++migrated;
+    } catch (const corba::Exception&) {
+      // Load data unavailable or migration impossible right now; the
+      // service keeps running where it is.
+    }
+  }
+}
+
+void MigrationManager::simulated_tick(sim::EventQueue& events) {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  sweep();
+  events.schedule_after(options_.period,
+                        [this, &events] { simulated_tick(events); });
+}
+
+void MigrationManager::start_simulated(sim::EventQueue& events) {
+  if (running_.exchange(true)) return;
+  events.schedule_after(options_.period,
+                        [this, &events] { simulated_tick(events); });
+}
+
+void MigrationManager::stop() { running_.store(false); }
+
+}  // namespace ft

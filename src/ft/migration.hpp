@@ -1,0 +1,75 @@
+// Automatic load-driven migration.
+//
+// §3 observes that a checkpoint/restore-capable service can be migrated
+// "not only when an error occurred but also due to a changing load
+// situation on a host".  The MigrationManager automates that: it
+// periodically compares, for every managed service, the Winner load index
+// of the service's current workstation with the index of the best
+// alternative, and migrates the service through its proxy's recovery path
+// (factory on the best host, state restore, offer rebinding) when the gap
+// exceeds a threshold.
+//
+// The threshold matters: the service's own execution raises its host's
+// load index by ~1, so a manager that migrated on any positive gap would
+// chase its own tail from machine to machine.  The default (1.5) tolerates
+// the self-load plus noise and reacts from one extra foreign compute-bound
+// process upward.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ft/proxy.hpp"
+#include "sim/event_queue.hpp"
+#include "winner/load_info.hpp"
+
+namespace ft {
+
+struct MigrationOptions {
+  /// Interval between sweeps (virtual seconds; simulated drive mode only —
+  /// migration decisions need the same clock as the load data).
+  double period = 5.0;
+  /// Minimum load-index gap (current - best) that triggers a migration.
+  double min_improvement = 1.5;
+  /// Upper bound on migrations per sweep (spreads re-placement cost).
+  int max_migrations_per_sweep = 1;
+};
+
+class MigrationManager {
+ public:
+  MigrationManager(std::shared_ptr<winner::LoadInformationService> winner,
+                   MigrationOptions options = {});
+  ~MigrationManager();
+
+  MigrationManager(const MigrationManager&) = delete;
+  MigrationManager& operator=(const MigrationManager&) = delete;
+
+  /// Registers a proxy-managed service.  The engine must outlive the
+  /// manager (or be removed with unmanage()).
+  void manage(ProxyEngine& engine);
+  void unmanage(ProxyEngine& engine);
+
+  /// One decision sweep.  Exposed for tests; driven by start_simulated.
+  void sweep() noexcept;
+
+  void start_simulated(sim::EventQueue& events);
+  void stop();
+
+  std::uint64_t migrations() const noexcept { return migrations_.load(); }
+  std::uint64_t sweeps() const noexcept { return sweeps_.load(); }
+
+ private:
+  void simulated_tick(sim::EventQueue& events);
+
+  std::shared_ptr<winner::LoadInformationService> winner_;
+  MigrationOptions options_;
+  std::mutex mu_;
+  std::vector<ProxyEngine*> engines_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> migrations_{0};
+  std::atomic<std::uint64_t> sweeps_{0};
+};
+
+}  // namespace ft

@@ -1,0 +1,175 @@
+#include "ft/proxy.hpp"
+
+#include "orb/log.hpp"
+
+namespace ft {
+
+ProxyEngine::ProxyEngine(ProxyConfig config)
+    : config_(std::move(config)), current_(config_.initial) {
+  if (current_.is_nil()) throw corba::BAD_PARAM("proxy requires a target");
+  if (config_.policy.max_attempts < 1)
+    throw corba::BAD_PARAM("max_attempts must be >= 1");
+  if (config_.store && config_.checkpoint_key.empty())
+    throw corba::BAD_PARAM("checkpoint store requires a checkpoint key");
+}
+
+bool ProxyEngine::should_retry(const corba::SystemException& error) const {
+  if (error.completed() == corba::CompletionStatus::completed_maybe &&
+      !config_.policy.retry_on_completed_maybe)
+    return false;
+  return true;
+}
+
+corba::Value ProxyEngine::call(std::string_view op, corba::ValueSeq args) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      corba::Value result = current_.invoke(op, args);
+      note_success();
+      return result;
+    } catch (const corba::COMM_FAILURE& error) {
+      if (attempt >= config_.policy.max_attempts || !should_retry(error)) throw;
+    } catch (const corba::TRANSIENT& error) {
+      if (attempt >= config_.policy.max_attempts || !should_retry(error)) throw;
+    } catch (const corba::TIMEOUT& error) {
+      // A hung/overloaded server is as good as a dead one to the caller.
+      if (attempt >= config_.policy.max_attempts || !should_retry(error)) throw;
+    }
+    ++retries_;
+    recover_now();
+  }
+}
+
+void ProxyEngine::note_success() {
+  if (!config_.store || config_.policy.checkpoint_every <= 0) return;
+  if (++calls_since_checkpoint_ < config_.policy.checkpoint_every) return;
+  try {
+    checkpoint_now();
+  } catch (const corba::SystemException&) {
+    // The call itself succeeded; a failure while *checkpointing* must not
+    // fail it — and retrying it would execute it twice.  Count the miss and
+    // move to a live instance so the next call does not fail too.
+    ++checkpoint_failures_;
+    corba::log::emit(corba::log::Level::warning, "ft.proxy",
+                     "checkpoint of '" + config_.checkpoint_key +
+                         "' failed; attempting relocation");
+    try {
+      recover_now();
+    } catch (const corba::SystemException&) {
+      // No replacement available right now; the next call's retry loop
+      // will surface the failure if the situation persists.
+    }
+  }
+}
+
+void ProxyEngine::checkpoint_now() {
+  if (!config_.store) return;
+  const corba::Blob state = get_state(current_);
+  config_.store->store(config_.checkpoint_key, ++version_, state);
+  ++checkpoints_;
+  calls_since_checkpoint_ = 0;
+}
+
+std::string ProxyEngine::host_of_current() const {
+  if (!config_.naming || config_.service_name.empty()) return {};
+  try {
+    for (const naming::Offer& offer :
+         config_.naming->list_offers(config_.service_name)) {
+      if (offer.ref.ior() == current_.ior()) return offer.host;
+    }
+  } catch (const corba::Exception&) {
+    // Offer bookkeeping is best-effort; recovery proceeds without it.
+  }
+  return {};
+}
+
+void ProxyEngine::rebind(corba::ObjectRef next) {
+  current_ = std::move(next);
+  ++recoveries_;
+  if (corba::log::enabled())
+    corba::log::emit(corba::log::Level::info, "ft.proxy",
+                     "service '" + config_.service_name.to_string() +
+                         "' re-targeted to " +
+                         current_.ior().to_display_string());
+  if (on_rebind) on_rebind(current_);
+}
+
+void ProxyEngine::recover_now() {
+  // Acquire-then-swap: the old instance's bookkeeping is only touched after
+  // a replacement has been secured and restored, so a recovery that fails
+  // midway (store unreachable, no factory, ...) leaves the proxy and the
+  // naming service exactly as they were.
+  const corba::IOR failed = current_.ior();
+  const std::string failed_host = host_of_current();
+  const RecoveryMode mode = config_.policy.mode;
+
+  corba::ObjectRef next;
+  std::string next_host;
+  bool from_factory = false;
+
+  // 1a. Try another existing offer.  The failed instance's offer may still
+  // be bound, so give cycling strategies a few draws to move past it.
+  if (mode == RecoveryMode::reresolve ||
+      mode == RecoveryMode::reresolve_then_factory) {
+    if (config_.naming && !config_.service_name.empty()) {
+      try {
+        for (int attempt = 0; attempt < 4 && next.is_nil(); ++attempt) {
+          corba::ObjectRef candidate = config_.naming->resolve_with(
+              config_.service_name, config_.policy.resolve_strategy);
+          if (!(candidate.ior() == failed)) next = std::move(candidate);
+        }
+      } catch (const naming::NotFound&) {
+        // No offers left; fall through to the factory if allowed.
+      } catch (const corba::SystemException&) {
+        // Naming unreachable; fall through to the factory if allowed.
+      }
+    }
+    if (next.is_nil() && mode == RecoveryMode::reresolve)
+      throw corba::TRANSIENT("recovery failed: no replacement offer for '" +
+                                 config_.service_name.to_string() + "'",
+                             corba::minor_code::unspecified,
+                             corba::CompletionStatus::completed_no);
+  }
+
+  // 1b. Start a brand-new instance through a factory on a good host.
+  if (next.is_nil()) {
+    if (!config_.locate_factory)
+      throw corba::TRANSIENT("recovery failed: no factory locator configured",
+                             corba::minor_code::unspecified,
+                             corba::CompletionStatus::completed_no);
+    ServiceFactoryStub factory = config_.locate_factory();
+    if (factory.is_nil())
+      throw corba::TRANSIENT("recovery failed: no factory available",
+                             corba::minor_code::unspecified,
+                             corba::CompletionStatus::completed_no);
+    next = factory.create(config_.service_type);
+    next_host = factory.host();
+    from_factory = true;
+  }
+
+  // 2. Restore the last checkpoint into the replacement.
+  if (config_.policy.restore_on_recover && config_.store) {
+    if (const auto checkpoint = config_.store->load(config_.checkpoint_key))
+      set_state(next, checkpoint->state);
+  }
+
+  // 3. Repair the offer pool (best effort): drop the failed instance's
+  // offer, advertise a factory-created replacement.
+  if (config_.naming && !config_.service_name.empty()) {
+    if (config_.policy.unbind_failed_offer && !failed_host.empty()) {
+      try {
+        config_.naming->unbind_offer(config_.service_name, failed_host);
+      } catch (const corba::Exception&) {
+      }
+    }
+    if (from_factory && config_.policy.rebind_new_offer) {
+      try {
+        config_.naming->bind_offer(config_.service_name, next, next_host);
+      } catch (const corba::Exception&) {
+      }
+    }
+  }
+
+  rebind(std::move(next));
+}
+
+}  // namespace ft

@@ -1,0 +1,161 @@
+// Fault-tolerance proxy machinery.
+//
+// The paper's design (§3, Fig. 2): the client uses a *proxy class derived
+// from the IDL stub class*; every method call goes through the proxy, which
+//   1. performs the call through the inherited stub,
+//   2. after success, fetches a checkpoint of the server object's state and
+//      stores it in the checkpoint storage service,
+//   3. on CORBA::COMM_FAILURE, obtains a replacement service — by
+//      re-resolving the name (fresh reference on a live host) and/or asking
+//      a ServiceFactory on the currently best host to start a new instance —
+//      restores the last checkpoint into it, and retries.
+//
+// ProxyEngine implements steps 1-3 once, operation-name based, so that a
+// hand-written proxy method is a single line (the paper notes the manual
+// proxies "could be easily automated"; the engine is that automation, minus
+// C++'s lack of reflection over method signatures).  Hand-written proxies
+// derive from their stub (preserving substitutability) and own an engine;
+// the engine's rebind hook re-targets the inherited stub after recovery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ft/checkpoint.hpp"
+#include "ft/checkpoint_store.hpp"
+#include "ft/service_factory.hpp"
+#include "naming/naming.hpp"
+
+namespace ft {
+
+/// What recover() tries, in order.
+enum class RecoveryMode {
+  /// Re-resolve the service name: use another existing offer.
+  reresolve,
+  /// Ask a ServiceFactory (on the best host) for a brand-new instance.
+  factory,
+  /// Re-resolve first; if that fails (e.g. no offers left), use a factory.
+  reresolve_then_factory,
+};
+
+struct RecoveryPolicy {
+  /// Maximum tries per logical call: 1 means no fault tolerance beyond the
+  /// original attempt.
+  int max_attempts = 3;
+
+  /// Checkpoint after every N-th successful call (1 = the paper's "after
+  /// each method call on the server side"); 0 disables checkpointing.
+  int checkpoint_every = 1;
+
+  RecoveryMode mode = RecoveryMode::reresolve_then_factory;
+
+  /// Strategy for the re-resolve (winner = pick a well-loaded live host).
+  naming::ResolveStrategy resolve_strategy = naming::ResolveStrategy::winner;
+
+  /// Restore the latest checkpoint into the replacement instance.
+  bool restore_on_recover = true;
+
+  /// Remove the failed instance's offer from the naming service so nobody
+  /// else resolves to the dead object.
+  bool unbind_failed_offer = true;
+
+  /// Advertise a factory-created replacement as a new offer under the
+  /// service name (keeps the offer pool at full strength).
+  bool rebind_new_offer = true;
+
+  /// Retry even when the failure reported COMPLETED_MAYBE.  The paper's
+  /// workloads are idempotent per call; non-idempotent services should turn
+  /// this off and surface the failure instead.
+  bool retry_on_completed_maybe = true;
+};
+
+struct ProxyConfig {
+  /// Initial reference of the service instance.
+  corba::ObjectRef initial;
+
+  /// Naming context holding the service's offers (stub or servant).
+  std::shared_ptr<naming::NamingContext> naming;
+
+  /// Name the service's offers are bound under.
+  naming::Name service_name;
+
+  /// Checkpoint storage (stub or backend).  May be null: the proxy then
+  /// provides retry/re-resolve fault tolerance for stateless services.
+  std::shared_ptr<CheckpointStoreClient> store;
+
+  /// Key under which this service's checkpoints are stored.
+  std::string checkpoint_key;
+
+  /// Returns a factory on a good host (required for factory modes).
+  /// Typically supplied by the runtime as: best Winner host -> its factory.
+  std::function<ServiceFactoryStub()> locate_factory;
+
+  /// Service type passed to the factory.
+  std::string service_type;
+
+  RecoveryPolicy policy;
+};
+
+class ProxyEngine {
+ public:
+  explicit ProxyEngine(ProxyConfig config);
+
+  /// The fault-tolerant invocation wrapper (steps 1-3 above).
+  corba::Value call(std::string_view op, corba::ValueSeq args);
+
+  /// Current target (changes after recovery).
+  const corba::ObjectRef& current() const noexcept { return current_; }
+
+  const RecoveryPolicy& policy() const noexcept { return config_.policy; }
+
+  /// Workstation the current instance runs on, from the naming service's
+  /// offer bookkeeping (empty when unknown).
+  std::string current_host() const { return host_of_current(); }
+
+  /// Forces an immediate checkpoint regardless of checkpoint_every.
+  /// Throws on failure (the periodic path in note_success does not).
+  void checkpoint_now();
+
+  /// Forces recovery (used by request proxies and by migration: move the
+  /// service even though no call failed).
+  void recover_now();
+
+  /// Called by call()/request proxies after each successful invocation.
+  /// Runs the checkpoint policy.  A transport failure *during the
+  /// checkpoint* must not fail (or worse, retry) the already-successful
+  /// call: it is swallowed, counted in checkpoint_failures(), and a
+  /// best-effort recovery moves the proxy to a live instance.  The state
+  /// delta of the last call may then be lost — the inherent window of
+  /// checkpoint/restart fault tolerance.
+  void note_success();
+
+  /// Hook invoked with the new reference after every rebind; hand-written
+  /// proxies use it to re-target their inherited stub.
+  std::function<void(const corba::ObjectRef&)> on_rebind;
+
+  // --- telemetry ------------------------------------------------------------
+  std::uint64_t recoveries() const noexcept { return recoveries_; }
+  std::uint64_t checkpoints_taken() const noexcept { return checkpoints_; }
+  std::uint64_t retries() const noexcept { return retries_; }
+  std::uint64_t checkpoint_failures() const noexcept {
+    return checkpoint_failures_;
+  }
+
+ private:
+  bool should_retry(const corba::SystemException& error) const;
+  std::string host_of_current() const;
+  void rebind(corba::ObjectRef next);
+
+  ProxyConfig config_;
+  corba::ObjectRef current_;
+  std::uint64_t version_ = 0;
+  int calls_since_checkpoint_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t checkpoint_failures_ = 0;
+};
+
+}  // namespace ft

@@ -1,0 +1,258 @@
+#include "ft/replication.hpp"
+
+namespace ft {
+
+std::string_view to_string(ReplicationStyle style) noexcept {
+  return style == ReplicationStyle::active ? "active" : "passive";
+}
+
+ReplicaGroup::ReplicaGroup(ReplicaGroupConfig config)
+    : config_(std::move(config)) {
+  if (config_.factories.empty())
+    throw corba::BAD_PARAM("replica group needs at least one factory");
+  if (config_.service_type.empty())
+    throw corba::BAD_PARAM("replica group needs a service type");
+  if (config_.sync_every < 1)
+    throw corba::BAD_PARAM("sync_every must be >= 1");
+  for (ServiceFactoryStub& factory : config_.factories) {
+    Member member;
+    member.factory = factory;
+    member.ref = factory.create(config_.service_type);
+    member.alive = true;
+    members_.push_back(std::move(member));
+  }
+}
+
+std::size_t ReplicaGroup::alive_members() const {
+  std::size_t alive = 0;
+  for (const Member& member : members_)
+    if (member.alive) ++alive;
+  return alive;
+}
+
+ReplicaGroup::Member* ReplicaGroup::primary_member() {
+  if (!members_[primary_index_].alive) return nullptr;
+  return &members_[primary_index_];
+}
+
+const ReplicaGroup::Member* ReplicaGroup::primary_member() const {
+  if (!members_[primary_index_].alive) return nullptr;
+  return &members_[primary_index_];
+}
+
+corba::ObjectRef ReplicaGroup::primary() const {
+  if (config_.style == ReplicationStyle::passive) {
+    const Member* member = primary_member();
+    return member ? member->ref : corba::ObjectRef();
+  }
+  for (const Member& member : members_)
+    if (member.alive) return member.ref;
+  return {};
+}
+
+corba::Value ReplicaGroup::invoke(std::string_view op, corba::ValueSeq args) {
+  GroupRequest request(*this, std::string(op));
+  for (corba::Value& arg : args) request.add_argument(std::move(arg));
+  request.invoke();
+  return request.return_value();
+}
+
+void ReplicaGroup::note_passive_success() {
+  if (++calls_since_sync_ >= config_.sync_every) sync_now();
+}
+
+void ReplicaGroup::promote_next_backup() {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].alive) {
+      primary_index_ = i;
+      if (config_.auto_repair) repair();
+      return;
+    }
+  }
+  if (config_.auto_repair) repair();
+}
+
+void ReplicaGroup::sync_now() {
+  if (config_.style == ReplicationStyle::active) return;
+  Member* primary = primary_member();
+  if (primary == nullptr) return;
+  corba::Blob state;
+  try {
+    state = get_state(primary->ref);
+  } catch (const corba::SystemException&) {
+    return;  // primary died between call and sync; next invoke fails over
+  }
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i == primary_index_ || !members_[i].alive) continue;
+    try {
+      set_state(members_[i].ref, state);
+    } catch (const corba::SystemException&) {
+      members_[i].alive = false;
+    }
+  }
+  ++syncs_;
+  calls_since_sync_ = 0;
+}
+
+void ReplicaGroup::repair() {
+  const corba::ObjectRef source = primary();
+  for (Member& member : members_) {
+    if (member.alive) continue;
+    try {
+      corba::ObjectRef fresh = member.factory.create(config_.service_type);
+      // A repaired member must catch up with the group's state before it
+      // can serve (both styles: active members would otherwise diverge).
+      if (!source.is_nil()) {
+        try {
+          set_state(fresh, get_state(source));
+        } catch (const corba::BAD_OPERATION&) {
+          // Stateless service: nothing to copy.
+        } catch (const corba::NO_IMPLEMENT&) {
+        }
+      }
+      member.ref = std::move(fresh);
+      member.alive = true;
+      ++repairs_;
+    } catch (const corba::SystemException&) {
+      // Host still down; try again on the next failure/repair cycle.
+    }
+  }
+}
+
+GroupRequest::GroupRequest(ReplicaGroup& group, std::string operation)
+    : group_(group), operation_(std::move(operation)) {}
+
+GroupRequest& GroupRequest::add_argument(corba::Value v) {
+  if (sent_)
+    throw corba::BAD_INV_ORDER("add_argument after send",
+                               corba::minor_code::unspecified,
+                               corba::CompletionStatus::completed_no);
+  arguments_.push_back(std::move(v));
+  return *this;
+}
+
+void GroupRequest::send_active() {
+  in_flight_.clear();
+  for (std::size_t i = 0; i < group_.members_.size(); ++i) {
+    if (!group_.members_[i].alive) continue;
+    corba::Request request(group_.members_[i].ref, operation_);
+    for (const corba::Value& arg : arguments_) request.add_argument(arg);
+    request.send_deferred();
+    in_flight_.emplace_back(i, std::move(request));
+  }
+  if (in_flight_.empty())
+    throw corba::COMM_FAILURE("replica group has no live members",
+                              corba::minor_code::unspecified,
+                              corba::CompletionStatus::completed_no);
+}
+
+void GroupRequest::send_passive() {
+  ReplicaGroup::Member* primary = group_.primary_member();
+  if (primary == nullptr) {
+    group_.promote_next_backup();
+    primary = group_.primary_member();
+  }
+  if (primary == nullptr)
+    throw corba::COMM_FAILURE("replica group exhausted: no live backup",
+                              corba::minor_code::unspecified,
+                              corba::CompletionStatus::completed_no);
+  in_flight_.clear();
+  corba::Request request(primary->ref, operation_);
+  for (const corba::Value& arg : arguments_) request.add_argument(arg);
+  request.send_deferred();
+  in_flight_.emplace_back(group_.primary_index_, std::move(request));
+}
+
+void GroupRequest::send_deferred() {
+  if (sent_)
+    throw corba::BAD_INV_ORDER("group request already sent",
+                               corba::minor_code::unspecified,
+                               corba::CompletionStatus::completed_no);
+  if (group_.config_.style == ReplicationStyle::active) {
+    send_active();
+  } else {
+    send_passive();
+  }
+  sent_ = true;
+}
+
+void GroupRequest::get_response() {
+  if (!sent_)
+    throw corba::BAD_INV_ORDER("get_response before send_deferred",
+                               corba::minor_code::unspecified,
+                               corba::CompletionStatus::completed_no);
+  if (completed_) return;
+
+  if (group_.config_.style == ReplicationStyle::active) {
+    bool have_result = false;
+    for (auto& [index, request] : in_flight_) {
+      try {
+        request.get_response();
+        if (!have_result) {
+          result_ = request.return_value();
+          have_result = true;
+        } else if (group_.config_.verify_agreement &&
+                   !(request.return_value() == result_)) {
+          throw corba::INTERNAL(
+              "active replicas disagree: non-deterministic servant?",
+              corba::minor_code::unspecified,
+              corba::CompletionStatus::completed_yes);
+        }
+      } catch (const corba::COMM_FAILURE&) {
+        group_.members_[index].alive = false;
+      } catch (const corba::TRANSIENT&) {
+        group_.members_[index].alive = false;
+      }
+    }
+    if (group_.config_.auto_repair &&
+        group_.alive_members() < group_.members_.size())
+      group_.repair();
+    if (!have_result)
+      throw corba::COMM_FAILURE("all replicas failed during the call",
+                                corba::minor_code::unspecified,
+                                corba::CompletionStatus::completed_maybe);
+    completed_ = true;
+    return;
+  }
+
+  // Passive: complete against the primary; fail over and re-send until a
+  // backup answers or the group is exhausted.
+  for (std::size_t attempt = 0; attempt <= group_.members_.size(); ++attempt) {
+    auto& [index, request] = in_flight_.front();
+    try {
+      request.get_response();
+      result_ = request.return_value();
+      completed_ = true;
+      group_.note_passive_success();
+      return;
+    } catch (const corba::COMM_FAILURE&) {
+      group_.members_[index].alive = false;
+      ++group_.failovers_;
+    } catch (const corba::TRANSIENT&) {
+      group_.members_[index].alive = false;
+      ++group_.failovers_;
+    }
+    group_.promote_next_backup();
+    sent_ = false;
+    send_passive();
+    sent_ = true;
+  }
+  throw corba::COMM_FAILURE("replica group exhausted: no live backup",
+                            corba::minor_code::unspecified,
+                            corba::CompletionStatus::completed_maybe);
+}
+
+void GroupRequest::invoke() {
+  send_deferred();
+  get_response();
+}
+
+const corba::Value& GroupRequest::return_value() const {
+  if (!completed_)
+    throw corba::BAD_INV_ORDER("return_value before completion",
+                               corba::minor_code::unspecified,
+                               corba::CompletionStatus::completed_no);
+  return result_;
+}
+
+}  // namespace ft

@@ -1,0 +1,153 @@
+// Replication-based fault tolerance: the alternative the paper argues
+// against.
+//
+// §3 discusses object-group systems — Piranha (active/passive replication
+// on a group-aware ORB), IGOR (portable group replication) and the OMG
+// FT-CORBA proposal — and rejects them for maximum-parallelism workloads:
+// "it is not desirable to use a large amount of the computational resources
+// (i.e. hosts in the network) exclusively for availability purposes as in
+// the case of active replication".  This module implements both replication
+// styles over plain CORBA objects (no ORB extensions, in the spirit of
+// IGOR) so the trade-off can be measured instead of asserted — see
+// bench/ablation_replication.
+//
+//   * active:  every invocation executes on ALL group members (deferred-
+//     synchronous fan-out); the first successful reply is returned, so a
+//     member failure is masked with zero disruption.  Requires
+//     deterministic servants; costs k× the compute.
+//   * passive (warm standby): invocations execute on the primary only;
+//     after every `sync_every` successful calls the primary's state is
+//     copied to the backups (the same _get_state/_set_state protocol the
+//     checkpoint proxies use).  On primary failure a backup is promoted —
+//     losing whatever state changed since the last sync.
+//
+// Failed members are repaired in the background by re-creating them through
+// their host's ServiceFactory (skipped while the host stays dead).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ft/checkpoint.hpp"
+#include "ft/service_factory.hpp"
+#include "orb/dii.hpp"
+
+namespace ft {
+
+enum class ReplicationStyle { active, passive };
+
+std::string_view to_string(ReplicationStyle style) noexcept;
+
+struct ReplicaGroupConfig {
+  ReplicationStyle style = ReplicationStyle::passive;
+
+  /// Service type instantiated through the factories.
+  std::string service_type;
+
+  /// One factory per member; the group size is factories.size().  Members
+  /// are pinned to their factory's host (standard FT-CORBA deployment:
+  /// replicas on distinct machines).
+  std::vector<ServiceFactoryStub> factories;
+
+  /// passive: sync state to the backups after every N-th successful call
+  /// (1 = after each call, mirroring the paper's checkpoint frequency).
+  int sync_every = 1;
+
+  /// Re-create failed members on their host as soon as it is reachable
+  /// again (active) / after failover (passive).
+  bool auto_repair = true;
+
+  /// active: cross-check that all successful replies agree; a mismatch
+  /// raises INTERNAL (detects non-deterministic servants).
+  bool verify_agreement = false;
+};
+
+class GroupRequest;
+
+class ReplicaGroup {
+ public:
+  /// Creates the initial members through the factories.  Throws BAD_PARAM
+  /// for an empty factory list.
+  explicit ReplicaGroup(ReplicaGroupConfig config);
+
+  /// Fault-tolerant invocation per the configured style.  Throws
+  /// COMM_FAILURE only when every member is unreachable.
+  corba::Value invoke(std::string_view op, corba::ValueSeq args);
+
+  std::size_t size() const noexcept { return members_.size(); }
+  std::size_t alive_members() const;
+
+  /// Current primary (passive) / first live member (active).
+  corba::ObjectRef primary() const;
+
+  /// Forces a state sync to all backups now (passive only; no-op for
+  /// active groups).
+  void sync_now();
+
+  /// Attempts to re-create every failed member (normally automatic).
+  void repair();
+
+  // --- telemetry -------------------------------------------------------------
+  std::uint64_t failovers() const noexcept { return failovers_; }
+  std::uint64_t syncs() const noexcept { return syncs_; }
+  std::uint64_t repairs() const noexcept { return repairs_; }
+
+ private:
+  friend class GroupRequest;
+
+  struct Member {
+    corba::ObjectRef ref;
+    ServiceFactoryStub factory;
+    bool alive = false;
+  };
+
+  void note_passive_success();
+  void promote_next_backup();
+  Member* primary_member();
+  const Member* primary_member() const;
+
+  ReplicaGroupConfig config_;
+  std::vector<Member> members_;
+  std::size_t primary_index_ = 0;
+  int calls_since_sync_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t syncs_ = 0;
+  std::uint64_t repairs_ = 0;
+};
+
+/// Deferred-synchronous invocation on a replica group — the group
+/// counterpart of ft::RequestProxy, needed by workloads that keep several
+/// groups busy in parallel.  Semantics match ReplicaGroup::invoke:
+/// active groups fan the request out to every live member on send and
+/// gather on get_response; passive groups send to the primary and perform
+/// failover + re-send inside get_response.
+class GroupRequest {
+ public:
+  /// The group must outlive the request.
+  GroupRequest(ReplicaGroup& group, std::string operation);
+
+  GroupRequest(GroupRequest&&) = default;
+
+  GroupRequest& add_argument(corba::Value v);
+  void send_deferred();
+  void get_response();
+  void invoke();  ///< send + get
+  const corba::Value& return_value() const;
+  bool completed() const noexcept { return completed_; }
+
+ private:
+  void send_active();
+  void send_passive();
+
+  ReplicaGroup& group_;
+  std::string operation_;
+  corba::ValueSeq arguments_;
+  /// member index -> in-flight request (active: all live; passive: primary).
+  std::vector<std::pair<std::size_t, corba::Request>> in_flight_;
+  corba::Value result_;
+  bool sent_ = false;
+  bool completed_ = false;
+};
+
+}  // namespace ft

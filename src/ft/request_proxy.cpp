@@ -1,0 +1,77 @@
+#include "ft/request_proxy.hpp"
+
+namespace ft {
+
+RequestProxy::RequestProxy(ProxyEngine& engine, std::string operation)
+    : engine_(engine), operation_(std::move(operation)) {}
+
+RequestProxy& RequestProxy::add_argument(corba::Value v) {
+  if (request_)
+    throw corba::BAD_INV_ORDER("add_argument after send",
+                               corba::minor_code::unspecified,
+                               corba::CompletionStatus::completed_no);
+  arguments_.push_back(std::move(v));
+  return *this;
+}
+
+void RequestProxy::send_deferred() {
+  if (request_)
+    throw corba::BAD_INV_ORDER("request already sent",
+                               corba::minor_code::unspecified,
+                               corba::CompletionStatus::completed_no);
+  request_.emplace(engine_.current(), operation_);
+  for (const corba::Value& arg : arguments_) request_->add_argument(arg);
+  request_->send_deferred();
+}
+
+bool RequestProxy::poll_response() {
+  if (!request_)
+    throw corba::BAD_INV_ORDER("poll_response before send_deferred",
+                               corba::minor_code::unspecified,
+                               corba::CompletionStatus::completed_no);
+  return request_->completed() || request_->poll_response();
+}
+
+void RequestProxy::get_response() {
+  if (!request_)
+    throw corba::BAD_INV_ORDER("get_response before send_deferred",
+                               corba::minor_code::unspecified,
+                               corba::CompletionStatus::completed_no);
+  if (request_->completed()) return;
+  // Attempt 1 is the already-sent request; later attempts re-issue against
+  // the recovered target.
+  const int max_attempts = engine_.policy().max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      request_->get_response();
+      engine_.note_success();
+      return;
+    } catch (const corba::COMM_FAILURE&) {
+      if (attempt >= max_attempts) throw;
+    } catch (const corba::TRANSIENT&) {
+      if (attempt >= max_attempts) throw;
+    } catch (const corba::TIMEOUT&) {
+      if (attempt >= max_attempts) throw;
+    }
+    engine_.recover_now();
+    ++reissues_;
+    request_->reset();
+    request_->set_target(engine_.current());
+    request_->send_deferred();
+  }
+}
+
+void RequestProxy::invoke() {
+  send_deferred();
+  get_response();
+}
+
+const corba::Value& RequestProxy::return_value() const {
+  if (!request_)
+    throw corba::BAD_INV_ORDER("return_value before completion",
+                               corba::minor_code::unspecified,
+                               corba::CompletionStatus::completed_no);
+  return request_->return_value();
+}
+
+}  // namespace ft

@@ -1,0 +1,60 @@
+// Fault-tolerant request proxies for the Dynamic Invocation Interface.
+//
+// "To enable fault tolerance in this case, request proxies are used just
+// like the object proxies" (§3, Fig. 2).  A RequestProxy mirrors the
+// corba::Request API (send_deferred / poll_response / get_response /
+// return_value) but completes through a ProxyEngine: when get_response hits
+// COMM_FAILURE it recovers the service and re-issues the request against
+// the replacement, and after success it triggers the engine's checkpoint
+// policy — so deferred-synchronous calls get exactly the same guarantees as
+// synchronous proxy calls.
+#pragma once
+
+#include <optional>
+
+#include "ft/proxy.hpp"
+#include "orb/dii.hpp"
+
+namespace ft {
+
+class RequestProxy {
+ public:
+  /// The engine is shared with (and owned by) the service's object proxy or
+  /// runtime; it must outlive the request proxy.
+  RequestProxy(ProxyEngine& engine, std::string operation);
+
+  RequestProxy(RequestProxy&&) = default;
+
+  const std::string& operation() const noexcept { return operation_; }
+
+  RequestProxy& add_argument(corba::Value v);
+
+  /// Starts the invocation against the engine's current target.
+  void send_deferred();
+
+  /// True once get_response will not block on the *current* attempt.  A
+  /// failed attempt reads as ready; get_response then performs recovery.
+  bool poll_response();
+
+  /// Completes the invocation with recovery + retry per the engine's
+  /// policy.  After success the engine's checkpoint policy runs.
+  void get_response();
+
+  /// Synchronous convenience (send + get).
+  void invoke();
+
+  const corba::Value& return_value() const;
+  bool completed() const noexcept { return request_ && request_->completed(); }
+
+  /// Number of times this request was re-issued after a failure.
+  int reissues() const noexcept { return reissues_; }
+
+ private:
+  ProxyEngine& engine_;
+  std::string operation_;
+  corba::ValueSeq arguments_;
+  std::optional<corba::Request> request_;
+  int reissues_ = 0;
+};
+
+}  // namespace ft

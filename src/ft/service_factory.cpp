@@ -1,0 +1,93 @@
+#include "ft/service_factory.hpp"
+
+namespace ft {
+
+namespace {
+
+corba::RegisterUserException<UnknownServiceType> register_unknown_service_type;
+
+}  // namespace
+
+void ServantFactoryRegistry::register_type(const std::string& service_type,
+                                           Creator creator) {
+  if (!creator) throw corba::BAD_PARAM("null servant creator");
+  std::lock_guard lock(mu_);
+  creators_[service_type] = std::move(creator);
+}
+
+std::shared_ptr<corba::Servant> ServantFactoryRegistry::create(
+    const std::string& service_type) const {
+  Creator creator;
+  {
+    std::lock_guard lock(mu_);
+    auto it = creators_.find(service_type);
+    if (it == creators_.end())
+      throw UnknownServiceType("'" + service_type + "'");
+    creator = it->second;
+  }
+  std::shared_ptr<corba::Servant> servant = creator();
+  if (!servant)
+    throw corba::INTERNAL("creator for '" + service_type + "' returned null");
+  return servant;
+}
+
+std::vector<std::string> ServantFactoryRegistry::service_types() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> types;
+  types.reserve(creators_.size());
+  for (const auto& [type, creator] : creators_) types.push_back(type);
+  return types;
+}
+
+ServiceFactoryServant::ServiceFactoryServant(
+    std::weak_ptr<corba::ORB> orb, std::string host,
+    std::shared_ptr<ServantFactoryRegistry> registry)
+    : orb_(std::move(orb)), host_(std::move(host)), registry_(std::move(registry)) {
+  if (!registry_) throw corba::BAD_PARAM("null servant registry");
+}
+
+corba::Value ServiceFactoryServant::dispatch(std::string_view op,
+                                             const corba::ValueSeq& args) {
+  if (op == "create") {
+    check_arity(op, args, 1);
+    std::shared_ptr<corba::ORB> orb = orb_.lock();
+    if (!orb) throw corba::OBJECT_NOT_EXIST("factory ORB is gone");
+    const std::string service_type = args[0].as_string();
+    const corba::ObjectRef ref =
+        orb->activate(registry_->create(service_type), service_type);
+    ++created_;
+    return ref.to_value();
+  }
+  if (op == "service_types") {
+    check_arity(op, args, 0);
+    corba::ValueSeq out;
+    for (const std::string& type : registry_->service_types())
+      out.emplace_back(type);
+    return corba::Value(std::move(out));
+  }
+  if (op == "host") {
+    check_arity(op, args, 0);
+    return corba::Value(host_);
+  }
+  throw corba::BAD_OPERATION(std::string(op));
+}
+
+corba::ObjectRef ServiceFactoryStub::create(
+    const std::string& service_type) const {
+  return corba::ObjectRef::from_value(
+      ref_.orb(), call("create", {corba::Value(service_type)}));
+}
+
+std::vector<std::string> ServiceFactoryStub::service_types() const {
+  const corba::Value reply = call("service_types", {});
+  std::vector<std::string> types;
+  for (const corba::Value& type : reply.as_sequence())
+    types.push_back(type.as_string());
+  return types;
+}
+
+std::string ServiceFactoryStub::host() const {
+  return call("host", {}).as_string();
+}
+
+}  // namespace ft

@@ -1,0 +1,84 @@
+// Service factories: (re)starting service instances on a chosen host.
+//
+// Recovery needs someone who can "start a new server (using the checkpoint)"
+// (§3) on a machine that is still alive.  Each workstation runs one
+// ServiceFactory object; a factory holds a registry of service types it can
+// instantiate and activates fresh servants on its local ORB.  The
+// fault-tolerance proxy asks Winner for the best host, calls that host's
+// factory, restores the checkpoint into the new instance and re-targets
+// itself — the same mechanism also implements load-driven migration.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "orb/object_adapter.hpp"
+#include "orb/orb.hpp"
+#include "orb/stub.hpp"
+
+namespace ft {
+
+inline constexpr std::string_view kServiceFactoryRepoId =
+    "IDL:corbaft/ft/ServiceFactory:1.0";
+
+struct UnknownServiceType : corba::UserException {
+  explicit UnknownServiceType(std::string detail)
+      : corba::UserException(std::string(static_repo_id()), std::move(detail)) {}
+  static constexpr std::string_view static_repo_id() {
+    return "IDL:corbaft/ft/UnknownServiceType:1.0";
+  }
+};
+
+/// Maps service type names to servant constructors.  Shared by all
+/// factories of one deployment so every host can instantiate every type.
+class ServantFactoryRegistry {
+ public:
+  using Creator = std::function<std::shared_ptr<corba::Servant>()>;
+
+  void register_type(const std::string& service_type, Creator creator);
+  std::shared_ptr<corba::Servant> create(const std::string& service_type) const;
+  std::vector<std::string> service_types() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Creator> creators_;
+};
+
+/// Per-host factory servant.
+class ServiceFactoryServant final : public corba::Servant {
+ public:
+  ServiceFactoryServant(std::weak_ptr<corba::ORB> orb, std::string host,
+                        std::shared_ptr<ServantFactoryRegistry> registry);
+
+  std::string_view repo_id() const noexcept override {
+    return kServiceFactoryRepoId;
+  }
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override;
+
+  /// Number of instances created (telemetry for tests/benches).
+  std::uint64_t created() const noexcept { return created_; }
+
+ private:
+  std::weak_ptr<corba::ORB> orb_;
+  std::string host_;
+  std::shared_ptr<ServantFactoryRegistry> registry_;
+  std::uint64_t created_ = 0;
+};
+
+/// Client-side stub.
+class ServiceFactoryStub final : public corba::StubBase {
+ public:
+  ServiceFactoryStub() = default;
+  explicit ServiceFactoryStub(corba::ObjectRef ref)
+      : StubBase(std::move(ref)) {}
+
+  /// Creates a fresh instance of `service_type`; raises UnknownServiceType.
+  corba::ObjectRef create(const std::string& service_type) const;
+  std::vector<std::string> service_types() const;
+  std::string host() const;
+};
+
+}  // namespace ft

@@ -1,0 +1,81 @@
+#include "naming/name.hpp"
+
+namespace naming {
+
+namespace {
+
+bool needs_escape(char c) { return c == '/' || c == '.' || c == '\\'; }
+
+void append_escaped(std::string& out, const std::string& text) {
+  for (char c : text) {
+    if (needs_escape(c)) out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+Name Name::parse(std::string_view text) {
+  if (text.empty()) throw InvalidName("empty name");
+  std::vector<NameComponent> components;
+  NameComponent current;
+  std::string* field = &current.id;
+  bool saw_kind = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\\') {
+      if (i + 1 >= text.size())
+        throw InvalidName("dangling escape in '" + std::string(text) + "'");
+      field->push_back(text[++i]);
+    } else if (c == '.') {
+      if (saw_kind)
+        throw InvalidName("second '.' in component of '" + std::string(text) +
+                          "'");
+      saw_kind = true;
+      field = &current.kind;
+    } else if (c == '/') {
+      if (current.id.empty() && current.kind.empty())
+        throw InvalidName("empty component in '" + std::string(text) + "'");
+      components.push_back(std::move(current));
+      current = {};
+      field = &current.id;
+      saw_kind = false;
+    } else {
+      field->push_back(c);
+    }
+  }
+  if (current.id.empty() && current.kind.empty())
+    throw InvalidName("trailing '/' in '" + std::string(text) + "'");
+  components.push_back(std::move(current));
+  return Name(std::move(components));
+}
+
+std::string Name::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out.push_back('/');
+    append_escaped(out, components_[i].id);
+    if (!components_[i].kind.empty()) {
+      out.push_back('.');
+      append_escaped(out, components_[i].kind);
+    }
+  }
+  return out;
+}
+
+Name& Name::append(NameComponent component) {
+  components_.push_back(std::move(component));
+  return *this;
+}
+
+Name& Name::append(std::string id, std::string kind) {
+  return append(NameComponent{std::move(id), std::move(kind)});
+}
+
+Name Name::tail() const {
+  if (components_.empty()) throw InvalidName("tail of empty name");
+  return Name(std::vector<NameComponent>(components_.begin() + 1,
+                                         components_.end()));
+}
+
+}  // namespace naming

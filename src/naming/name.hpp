@@ -1,0 +1,69 @@
+// CosNaming-style compound names.
+//
+// A Name is a sequence of (id, kind) components; "dir/sub/obj.kind" is the
+// stringified form with '\' escaping for the three metacharacters, following
+// the OMG Interoperable Naming Service conventions.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "orb/exceptions.hpp"
+
+namespace naming {
+
+/// Raised for syntactically invalid names (empty, bad escapes, ...).
+struct InvalidName : corba::UserException {
+  explicit InvalidName(std::string detail)
+      : corba::UserException(std::string(static_repo_id()), std::move(detail)) {}
+  static constexpr std::string_view static_repo_id() {
+    return "IDL:corbaft/naming/InvalidName:1.0";
+  }
+};
+
+struct NameComponent {
+  std::string id;
+  std::string kind;
+
+  friend bool operator==(const NameComponent&, const NameComponent&) = default;
+};
+
+class Name {
+ public:
+  Name() = default;
+  Name(std::initializer_list<NameComponent> components)
+      : components_(components) {}
+  explicit Name(std::vector<NameComponent> components)
+      : components_(std::move(components)) {}
+
+  /// Parses "a/b.kind/c"; backslash escapes '/', '.' and '\'.
+  /// Throws InvalidName on syntax errors or empty input.
+  static Name parse(std::string_view text);
+
+  /// Inverse of parse().
+  std::string to_string() const;
+
+  bool empty() const noexcept { return components_.empty(); }
+  std::size_t size() const noexcept { return components_.size(); }
+  const NameComponent& operator[](std::size_t i) const { return components_[i]; }
+  const NameComponent& front() const { return components_.front(); }
+  const NameComponent& back() const { return components_.back(); }
+
+  auto begin() const noexcept { return components_.begin(); }
+  auto end() const noexcept { return components_.end(); }
+
+  Name& append(NameComponent component);
+  Name& append(std::string id, std::string kind = {});
+
+  /// Name without its first component (used for context recursion).
+  Name tail() const;
+
+  friend bool operator==(const Name&, const Name&) = default;
+
+ private:
+  std::vector<NameComponent> components_;
+};
+
+}  // namespace naming

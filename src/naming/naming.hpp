@@ -1,0 +1,110 @@
+// Naming service interface: CosNaming semantics plus the paper's load
+// distribution extension.
+//
+// Standard operations (bind/rebind/resolve/unbind/contexts/list) follow the
+// OMG naming service.  The extension is the *offer set*: a leaf name may
+// hold several object references — one service instance per workstation —
+// and resolve() picks among them with a pluggable strategy.  With the
+// `winner` strategy, resolution asks the Winner system manager for the host
+// currently offering the best performance, which is exactly how the paper
+// integrates load distribution "transparently ... into the naming service"
+// (§2): clients keep calling plain resolve().
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "naming/name.hpp"
+#include "orb/orb.hpp"
+
+namespace naming {
+
+inline constexpr std::string_view kNamingContextRepoId =
+    "IDL:corbaft/naming/NamingContext:1.0";
+
+struct NotFound : corba::UserException {
+  explicit NotFound(std::string detail)
+      : corba::UserException(std::string(static_repo_id()), std::move(detail)) {}
+  static constexpr std::string_view static_repo_id() {
+    return "IDL:corbaft/naming/NotFound:1.0";
+  }
+};
+
+struct AlreadyBound : corba::UserException {
+  explicit AlreadyBound(std::string detail)
+      : corba::UserException(std::string(static_repo_id()), std::move(detail)) {}
+  static constexpr std::string_view static_repo_id() {
+    return "IDL:corbaft/naming/AlreadyBound:1.0";
+  }
+};
+
+struct NotEmpty : corba::UserException {
+  explicit NotEmpty(std::string detail)
+      : corba::UserException(std::string(static_repo_id()), std::move(detail)) {}
+  static constexpr std::string_view static_repo_id() {
+    return "IDL:corbaft/naming/NotEmpty:1.0";
+  }
+};
+
+/// How resolve() picks among the offers bound to one name.
+enum class ResolveStrategy {
+  first,        ///< always the first surviving offer (a plain naming service)
+  round_robin,  ///< cycle through offers
+  random,       ///< uniform random offer (seeded, deterministic)
+  winner,       ///< offer on the best host per the Winner system manager
+};
+
+/// Parses "first"/"round_robin"/"random"/"winner"; throws corba::BAD_PARAM.
+ResolveStrategy parse_strategy(std::string_view text);
+std::string_view to_string(ResolveStrategy strategy) noexcept;
+
+struct Binding {
+  Name name;          ///< single-component name of the binding
+  bool is_context = false;
+  std::size_t offer_count = 0;  ///< 0 for plain object/context bindings
+};
+
+struct Offer {
+  corba::ObjectRef ref;
+  std::string host;  ///< workstation the service instance runs on
+};
+
+/// Client API of a naming context; implemented by the servant (server side)
+/// and by NamingContextStub (remote side).
+class NamingContext {
+ public:
+  virtual ~NamingContext() = default;
+
+  virtual void bind(const Name& name, const corba::ObjectRef& obj) = 0;
+  virtual void rebind(const Name& name, const corba::ObjectRef& obj) = 0;
+  virtual corba::ObjectRef resolve(const Name& name) = 0;
+  virtual void unbind(const Name& name) = 0;
+  /// Creates (and binds) a fresh sub-context.
+  virtual corba::ObjectRef bind_new_context(const Name& name) = 0;
+  virtual std::vector<Binding> list() = 0;
+
+  // --- load distribution extension ---------------------------------------
+  /// Adds a service offer for `name` on workstation `host`.  Offers under
+  /// one name accumulate; binding an offer over a plain object binding (or
+  /// vice versa) raises AlreadyBound.
+  virtual void bind_offer(const Name& name, const corba::ObjectRef& obj,
+                          const std::string& host) = 0;
+  /// Removes the offer(s) on `host`; removing the last offer unbinds the
+  /// name.  Raises NotFound when none matches.
+  virtual void unbind_offer(const Name& name, const std::string& host) = 0;
+  virtual std::vector<Offer> list_offers(const Name& name) = 0;
+  /// resolve() with an explicit strategy override.
+  virtual corba::ObjectRef resolve_with(const Name& name,
+                                        ResolveStrategy strategy) = 0;
+
+  // Convenience overloads on stringified names.
+  corba::ObjectRef resolve_str(std::string_view name) {
+    return resolve(Name::parse(name));
+  }
+  void bind_str(std::string_view name, const corba::ObjectRef& obj) {
+    bind(Name::parse(name), obj);
+  }
+};
+
+}  // namespace naming

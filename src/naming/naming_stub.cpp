@@ -1,0 +1,73 @@
+#include "naming/naming_stub.hpp"
+
+namespace naming {
+
+void NamingContextStub::bind(const Name& name, const corba::ObjectRef& obj) {
+  call("bind", {corba::Value(name.to_string()), obj.to_value()});
+}
+
+void NamingContextStub::rebind(const Name& name, const corba::ObjectRef& obj) {
+  call("rebind", {corba::Value(name.to_string()), obj.to_value()});
+}
+
+corba::ObjectRef NamingContextStub::resolve(const Name& name) {
+  return corba::ObjectRef::from_value(
+      ref_.orb(), call("resolve", {corba::Value(name.to_string())}));
+}
+
+corba::ObjectRef NamingContextStub::resolve_with(const Name& name,
+                                                 ResolveStrategy strategy) {
+  return corba::ObjectRef::from_value(
+      ref_.orb(),
+      call("resolve_with", {corba::Value(name.to_string()),
+                            corba::Value(std::string(to_string(strategy)))}));
+}
+
+void NamingContextStub::unbind(const Name& name) {
+  call("unbind", {corba::Value(name.to_string())});
+}
+
+corba::ObjectRef NamingContextStub::bind_new_context(const Name& name) {
+  return corba::ObjectRef::from_value(
+      ref_.orb(), call("bind_new_context", {corba::Value(name.to_string())}));
+}
+
+std::vector<Binding> NamingContextStub::list() {
+  std::vector<Binding> result;
+  const corba::Value reply = call("list", {});
+  for (const corba::Value& item : reply.as_sequence()) {
+    const corba::ValueSeq& fields = item.as_sequence();
+    Binding binding;
+    binding.name = Name::parse(fields.at(0).as_string());
+    binding.is_context = fields.at(1).as_bool();
+    binding.offer_count = fields.at(2).as_u64();
+    result.push_back(std::move(binding));
+  }
+  return result;
+}
+
+void NamingContextStub::bind_offer(const Name& name,
+                                   const corba::ObjectRef& obj,
+                                   const std::string& host) {
+  call("bind_offer",
+       {corba::Value(name.to_string()), obj.to_value(), corba::Value(host)});
+}
+
+void NamingContextStub::unbind_offer(const Name& name,
+                                     const std::string& host) {
+  call("unbind_offer", {corba::Value(name.to_string()), corba::Value(host)});
+}
+
+std::vector<Offer> NamingContextStub::list_offers(const Name& name) {
+  std::vector<Offer> result;
+  const corba::Value reply =
+      call("list_offers", {corba::Value(name.to_string())});
+  for (const corba::Value& item : reply.as_sequence()) {
+    const corba::ValueSeq& fields = item.as_sequence();
+    result.push_back(Offer{corba::ObjectRef::from_value(ref_.orb(), fields.at(0)),
+                           fields.at(1).as_string()});
+  }
+  return result;
+}
+
+}  // namespace naming

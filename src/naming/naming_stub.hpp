@@ -1,0 +1,37 @@
+// Client-side stub of the naming service.  Clients obtain it from
+// resolve_initial_references("NameService") and use plain resolve() —
+// whether load distribution happens behind it is invisible to them, which
+// is the transparency property the paper's design aims for.
+#pragma once
+
+#include "naming/naming.hpp"
+#include "orb/stub.hpp"
+
+namespace naming {
+
+class NamingContextStub final : public corba::StubBase, public NamingContext {
+ public:
+  NamingContextStub() = default;
+  explicit NamingContextStub(corba::ObjectRef ref)
+      : StubBase(std::move(ref)) {}
+
+  void bind(const Name& name, const corba::ObjectRef& obj) override;
+  void rebind(const Name& name, const corba::ObjectRef& obj) override;
+  corba::ObjectRef resolve(const Name& name) override;
+  void unbind(const Name& name) override;
+  corba::ObjectRef bind_new_context(const Name& name) override;
+  std::vector<Binding> list() override;
+  void bind_offer(const Name& name, const corba::ObjectRef& obj,
+                  const std::string& host) override;
+  void unbind_offer(const Name& name, const std::string& host) override;
+  std::vector<Offer> list_offers(const Name& name) override;
+  corba::ObjectRef resolve_with(const Name& name,
+                                ResolveStrategy strategy) override;
+
+  /// Stub for a sub-context returned by bind_new_context.
+  NamingContextStub context(const Name& name) {
+    return NamingContextStub(resolve(name));
+  }
+};
+
+}  // namespace naming

@@ -1,0 +1,210 @@
+#include "opt/complex_box.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "orb/cdr.hpp"
+
+namespace opt {
+
+namespace {
+
+std::size_t worst_index(const std::vector<double>& values) {
+  return static_cast<std::size_t>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+std::size_t best_index(const std::vector<double>& values) {
+  return static_cast<std::size_t>(
+      std::min_element(values.begin(), values.end()) - values.begin());
+}
+
+}  // namespace
+
+corba::Blob BoxState::serialize() const {
+  corba::CdrOutputStream out;
+  out.write_u32(1);  // format version
+  out.write_u32(static_cast<std::uint32_t>(points.size()));
+  for (const auto& point : points) out.write_f64_seq(point);
+  out.write_f64_seq(values);
+  out.write_i64(total_evaluations);
+  out.write_i32(total_iterations);
+  out.write_u64(rng_state);
+  return out.take_buffer();
+}
+
+BoxState BoxState::deserialize(const corba::Blob& blob) {
+  corba::CdrInputStream in(blob);
+  const std::uint32_t version = in.read_u32();
+  if (version != 1)
+    throw corba::MARSHAL("unsupported BoxState version " +
+                         std::to_string(version));
+  BoxState state;
+  const std::uint32_t count = in.read_u32();
+  state.points.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    state.points.push_back(in.read_f64_seq());
+  state.values = in.read_f64_seq();
+  state.total_evaluations = in.read_i64();
+  state.total_iterations = in.read_i32();
+  state.rng_state = in.read_u64();
+  if (state.values.size() != state.points.size())
+    throw corba::MARSHAL("corrupt BoxState: point/value count mismatch");
+  return state;
+}
+
+BoxResult complex_box(const Objective& objective,
+                      std::span<const double> lower,
+                      std::span<const double> upper, const BoxOptions& options,
+                      BoxState* state) {
+  const std::size_t n = lower.size();
+  if (n == 0) throw std::invalid_argument("empty search space");
+  if (upper.size() != n)
+    throw std::invalid_argument("bound dimension mismatch");
+  for (std::size_t i = 0; i < n; ++i)
+    if (!(lower[i] < upper[i]))
+      throw std::invalid_argument("lower bound must be below upper bound");
+  if (options.alpha <= 1.0)
+    throw std::invalid_argument("reflection factor must exceed 1");
+  if (options.max_iterations < 0)
+    throw std::invalid_argument("negative iteration budget");
+
+  const std::size_t complex_size =
+      options.complex_size > 0
+          ? static_cast<std::size_t>(options.complex_size)
+          : std::max(n + 1, 2 * n);
+  if (complex_size < n + 1)
+    throw std::invalid_argument("complex size must be at least n+1");
+
+  BoxResult result;
+  std::mt19937_64 rng((state && state->initialized() && state->rng_state != 0)
+                          ? state->rng_state
+                          : options.seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  std::vector<std::vector<double>> points;
+  std::vector<double> values;
+
+  auto clamp = [&](std::vector<double>& x) {
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] = std::clamp(x[i], lower[i], upper[i]);
+  };
+  auto evaluate = [&](std::span<const double> x) {
+    ++result.evaluations;
+    return objective(x);
+  };
+
+  if (state && state->initialized()) {
+    if (state->points.front().size() != n)
+      throw std::invalid_argument("resumed state has wrong dimension");
+    points = state->points;
+    values = state->values;
+  } else {
+    points.reserve(complex_size);
+    for (std::size_t p = 0; p < complex_size; ++p) {
+      std::vector<double> x(n);
+      for (std::size_t i = 0; i < n; ++i)
+        x[i] = lower[i] + uniform(rng) * (upper[i] - lower[i]);
+      values.push_back(evaluate(x));
+      points.push_back(std::move(x));
+    }
+  }
+
+  std::vector<double> centroid(n);
+  double restart_radius = options.restart_radius;
+  int restarts = 0;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    const std::size_t worst = worst_index(values);
+    const std::size_t best = best_index(values);
+    if (options.tolerance > 0 &&
+        values[worst] - values[best] <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    ++result.iterations;
+
+    // Collapse restart: when the complex has degenerated onto one point,
+    // re-seed everything but the best inside a small box around it so the
+    // search can keep crawling down a narrow valley.
+    if (options.collapse_threshold > 0 && restarts < options.max_restarts &&
+        values[worst] - values[best] <=
+            options.collapse_threshold * (1.0 + std::abs(values[best]))) {
+      ++restarts;
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        if (p == best) continue;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double radius = restart_radius * (upper[i] - lower[i]);
+          points[p][i] = points[best][i] + (2.0 * uniform(rng) - 1.0) * radius;
+        }
+        clamp(points[p]);
+        values[p] = evaluate(points[p]);
+      }
+      restart_radius = std::max(restart_radius * 0.5, 1e-9);
+      continue;
+    }
+
+    // Centroid of all points except the worst.
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      if (p == worst) continue;
+      for (std::size_t i = 0; i < n; ++i) centroid[i] += points[p][i];
+    }
+    const double scale = 1.0 / static_cast<double>(points.size() - 1);
+    for (double& c : centroid) c *= scale;
+
+    // Over-reflection of the worst point through the centroid.
+    std::vector<double> candidate(n);
+    for (std::size_t i = 0; i < n; ++i)
+      candidate[i] =
+          centroid[i] + options.alpha * (centroid[i] - points[worst][i]);
+    clamp(candidate);
+    double candidate_value = evaluate(candidate);
+
+    // While still the worst, contract toward the centroid.
+    int contractions = 0;
+    while (candidate_value > values[worst] &&
+           contractions < options.max_contractions) {
+      for (std::size_t i = 0; i < n; ++i)
+        candidate[i] = 0.5 * (candidate[i] + centroid[i]);
+      candidate_value = evaluate(candidate);
+      ++contractions;
+    }
+    if (candidate_value > values[worst]) {
+      // Guin's modification: the centroid of a curved valley can be worse
+      // than every complex point, so pull the candidate toward the best
+      // point instead — continuity guarantees an improvement eventually.
+      const std::size_t best_now = best_index(values);
+      int pulls = 0;
+      while (candidate_value > values[worst] &&
+             pulls < options.max_contractions) {
+        for (std::size_t i = 0; i < n; ++i)
+          candidate[i] = 0.5 * (candidate[i] + points[best_now][i]);
+        candidate_value = evaluate(candidate);
+        ++pulls;
+      }
+      if (candidate_value > values[worst]) {
+        // Numerical corner (flat region): land on the best point itself.
+        candidate = points[best_now];
+        candidate_value = values[best_now];
+      }
+    }
+    points[worst] = std::move(candidate);
+    values[worst] = candidate_value;
+  }
+
+  const std::size_t best = best_index(values);
+  result.best = points[best];
+  result.best_value = values[best];
+
+  if (state) {
+    state->points = std::move(points);
+    state->values = std::move(values);
+    state->total_evaluations += result.evaluations;
+    state->total_iterations += result.iterations;
+    state->rng_state = rng();
+  }
+  return result;
+}
+
+}  // namespace opt

@@ -1,0 +1,155 @@
+#include "opt/manager.hpp"
+
+#include "orb/dii.hpp"
+
+namespace opt {
+
+WorkerProblem SolverConfig::worker_problem() const {
+  WorkerProblem problem;
+  problem.dimension = dimension;
+  problem.blocks = workers;
+  problem.lower = lower;
+  problem.upper = upper;
+  problem.seed = seed;
+  problem.work_per_eval_per_dim = work_per_eval_per_dim;
+  problem.work_per_state_byte = work_per_state_byte;
+  return problem;
+}
+
+naming::Name DecomposedSolver::service_name() {
+  return naming::Name::parse("Workers/OptWorker");
+}
+
+DecomposedSolver::DecomposedSolver(rt::SimRuntime& runtime, SolverConfig config)
+    : runtime_(runtime),
+      config_(std::move(config)),
+      decomposition_(Decomposition::make(config_.dimension, config_.workers)) {
+  if (config_.workers < 2)
+    throw corba::BAD_PARAM("decomposed solver needs at least two workers");
+  if (config_.manager_host.empty())
+    config_.manager_host = runtime_.worker_hosts().front();
+}
+
+std::string DecomposedSolver::host_of(const corba::ObjectRef& ref) const {
+  for (const naming::Offer& offer : runtime_.naming().list_offers(service_name()))
+    if (offer.ref.ior() == ref.ior()) return offer.host;
+  return "?";
+}
+
+void DecomposedSolver::deploy() {
+  const WorkerProblem problem = config_.worker_problem();
+  runtime_.registry()->register_type(
+      std::string(kOptWorkerServiceType),
+      [problem] { return std::make_shared<OptWorkerServant>(problem); });
+
+  naming::NamingContextStub root = runtime_.naming();
+  try {
+    root.bind_new_context(naming::Name::parse("Workers"));
+  } catch (const naming::AlreadyBound&) {
+    // A previous solver on this runtime already created the context.
+  }
+  const naming::Name name = service_name();
+  if ([&] {
+        try {
+          root.list_offers(name);
+          return false;  // offers already deployed on this runtime
+        } catch (const naming::NotFound&) {
+          return true;
+        }
+      }()) {
+    runtime_.deploy_everywhere(name, std::string(kOptWorkerServiceType));
+  }
+
+  // Placement: one resolve per worker role.  With the Winner naming service
+  // this spreads over the least-loaded machines; with the plain strategies
+  // it is load-blind — the difference Fig. 3 measures.
+  for (int j = 0; j < config_.workers; ++j) {
+    corba::ObjectRef ref = runtime_.resolve(name);
+    placements_.push_back(host_of(ref));
+    if (config_.use_ft) {
+      ft::ProxyConfig proxy_config = runtime_.make_proxy_config(
+          name, std::string(kOptWorkerServiceType),
+          "worker" + std::to_string(j), config_.ft_policy, ref);
+      engines_.push_back(std::make_unique<ft::ProxyEngine>(std::move(proxy_config)));
+    }
+    worker_refs_.push_back(std::move(ref));
+  }
+  deployed_ = true;
+}
+
+double DecomposedSolver::evaluate_coupling(std::span<const double> coupling) {
+  ++stats_.rounds;
+  const corba::Value coupling_value = corba::Value::from_span(coupling);
+
+  double total = 0.0;
+  if (config_.use_ft) {
+    // Fault-tolerant deferred-synchronous round via request proxies.
+    std::vector<ft::RequestProxy> requests;
+    requests.reserve(engines_.size());
+    for (std::size_t j = 0; j < engines_.size(); ++j) {
+      requests.emplace_back(*engines_[j], "solve");
+      requests.back()
+          .add_argument(corba::Value(static_cast<std::int64_t>(j)))
+          .add_argument(coupling_value)
+          .add_argument(corba::Value(config_.worker_iterations));
+      requests.back().send_deferred();
+    }
+    for (ft::RequestProxy& request : requests) {
+      request.get_response();
+      total += decode_solve_outcome(request.return_value()).best_value;
+      ++stats_.worker_calls;
+    }
+  } else {
+    // Plain deferred-synchronous round: any failure aborts the computation,
+    // which is exactly the fragility the paper's §1 motivates against.
+    std::vector<corba::Request> requests;
+    requests.reserve(worker_refs_.size());
+    for (std::size_t j = 0; j < worker_refs_.size(); ++j) {
+      requests.emplace_back(worker_refs_[j], "solve");
+      requests.back()
+          .add_argument(corba::Value(static_cast<std::int64_t>(j)))
+          .add_argument(coupling_value)
+          .add_argument(corba::Value(config_.worker_iterations));
+      requests.back().send_deferred();
+    }
+    for (corba::Request& request : requests) {
+      request.get_response();
+      total += decode_solve_outcome(request.return_value()).best_value;
+      ++stats_.worker_calls;
+    }
+  }
+
+  // The manager's own coordination work, on its workstation.
+  runtime_.cluster().run_local_work(config_.manager_host,
+                                    config_.manager_work_per_round);
+  return total;
+}
+
+SolverResult DecomposedSolver::run() {
+  if (!deployed_)
+    throw corba::BAD_INV_ORDER("DecomposedSolver::deploy() must run first");
+  stats_ = SolverResult{};
+  const double t0 = runtime_.events().now();
+
+  const std::size_t coupling_dim =
+      static_cast<std::size_t>(decomposition_.coupling_dimension());
+  const std::vector<double> lower(coupling_dim, config_.lower);
+  const std::vector<double> upper(coupling_dim, config_.upper);
+  BoxOptions options;
+  options.max_iterations = config_.manager_iterations;
+  options.seed = config_.seed;
+  const BoxResult result = complex_box(
+      [this](std::span<const double> c) { return evaluate_coupling(c); },
+      lower, upper, options);
+
+  stats_.best_value = result.best_value;
+  stats_.best_coupling = result.best;
+  stats_.virtual_seconds = runtime_.events().now() - t0;
+  for (const auto& engine : engines_) {
+    stats_.recoveries += engine->recoveries();
+    stats_.checkpoints += engine->checkpoints_taken();
+  }
+  return stats_;
+}
+
+}  // namespace opt

@@ -1,0 +1,91 @@
+// The optimization manager: the bilevel decomposed-Rosenbrock solver that
+// drives the paper's experiments.
+//
+// The manager owns the k-1 coupling variables and minimizes over them with
+// its own Complex Box instance ("a 2 dimensional manager problem" for the
+// 30/3 scenario).  Every evaluation of the manager objective is one
+// *parallel round*: deferred-synchronous solve() requests to all k workers
+// (plain DII requests, or fault-tolerant request proxies when FT is on),
+// summed after the slowest worker replies.  Worker placement happens once,
+// up front, through k naming-service resolves — the step whose quality the
+// Fig. 3 experiment measures.
+#pragma once
+
+#include <memory>
+
+#include "core/sim_runtime.hpp"
+#include "ft/request_proxy.hpp"
+#include "opt/worker.hpp"
+
+namespace opt {
+
+struct SolverConfig {
+  int dimension = 30;
+  int workers = 3;
+  int worker_iterations = 1000;
+  /// Outer Complex Box iterations over the coupling variables.
+  int manager_iterations = 20;
+  std::uint64_t seed = 1;
+  double lower = -5.0;
+  double upper = 5.0;
+
+  /// Workstation the manager process itself runs on (its per-round
+  /// coordination work is charged there).  Empty = first worker host.
+  std::string manager_host;
+  double manager_work_per_round = 1000.0;
+
+  /// Simulation cost model forwarded to the workers.
+  double work_per_eval_per_dim = 10.0;
+  double work_per_state_byte = 0.0;
+
+  /// Fault tolerance: wrap every worker in a checkpointing proxy.
+  bool use_ft = false;
+  ft::RecoveryPolicy ft_policy{};
+
+  WorkerProblem worker_problem() const;
+};
+
+struct SolverResult {
+  double best_value = 0.0;
+  std::vector<double> best_coupling;
+  int rounds = 0;                 ///< parallel worker rounds executed
+  std::int64_t worker_calls = 0;  ///< total solve() invocations
+  double virtual_seconds = 0.0;   ///< virtual runtime of run()
+  std::uint64_t recoveries = 0;   ///< fault recoveries performed (FT mode)
+  std::uint64_t checkpoints = 0;  ///< checkpoints written (FT mode)
+};
+
+class DecomposedSolver {
+ public:
+  /// The naming-service name the worker offers are bound under.
+  static naming::Name service_name();
+
+  DecomposedSolver(rt::SimRuntime& runtime, SolverConfig config);
+
+  /// Registers the worker service type, deploys one instance per
+  /// workstation and resolves (places) the k workers for this run.
+  void deploy();
+
+  /// Runs the bilevel optimization; requires deploy() first.
+  SolverResult run();
+
+  /// Host names the k workers were placed on (after deploy()).
+  const std::vector<std::string>& placements() const noexcept {
+    return placements_;
+  }
+
+ private:
+  double evaluate_coupling(std::span<const double> coupling);
+  std::string host_of(const corba::ObjectRef& ref) const;
+
+  rt::SimRuntime& runtime_;
+  SolverConfig config_;
+  Decomposition decomposition_;
+  std::vector<corba::ObjectRef> worker_refs_;
+  std::vector<std::unique_ptr<ft::ProxyEngine>> engines_;
+  std::vector<std::string> placements_;
+  SolverResult stats_;
+  bool deployed_ = false;
+};
+
+}  // namespace opt

@@ -1,0 +1,103 @@
+#include "opt/rosenbrock.hpp"
+
+#include <stdexcept>
+
+namespace opt {
+
+namespace {
+
+/// One chained-Rosenbrock term over the pair (a, b).
+inline double term(double a, double b) {
+  const double q = b - a * a;
+  const double p = 1.0 - a;
+  return 100.0 * q * q + p * p;
+}
+
+}  // namespace
+
+double rosenbrock(std::span<const double> x) {
+  if (x.size() < 2)
+    throw std::invalid_argument("rosenbrock requires dimension >= 2");
+  double sum = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) sum += term(x[i], x[i + 1]);
+  return sum;
+}
+
+Decomposition Decomposition::make(int n, int k) {
+  if (k < 1) throw std::invalid_argument("need at least one block");
+  if (n < 3 * k - 1)
+    throw std::invalid_argument(
+        "dimension too small: every block needs >= 2 variables plus "
+        "boundaries (n >= 3k-1)");
+  Decomposition d;
+  d.n_ = n;
+  const int owned = n - (k - 1);
+  const int base = owned / k;
+  const int remainder = owned % k;
+  int next = 0;
+  for (int j = 0; j < k; ++j) {
+    Block block;
+    block.index = j;
+    block.first_variable = next;
+    block.dimension = base + (j < remainder ? 1 : 0);
+    block.left_coupling = (j > 0) ? next - 1 : -1;
+    next += block.dimension;
+    block.right_coupling = (j < k - 1) ? next : -1;
+    if (j < k - 1) {
+      d.coupling_indices_.push_back(next);
+      ++next;  // skip the manager-owned boundary variable
+    }
+    d.blocks_.push_back(block);
+  }
+  return d;
+}
+
+double Decomposition::block_objective(const Block& block,
+                                      std::span<const double> block_x,
+                                      std::span<const double> coupling) const {
+  if (static_cast<int>(block_x.size()) != block.dimension)
+    throw std::invalid_argument("block solution has wrong dimension");
+  if (static_cast<int>(coupling.size()) != coupling_dimension())
+    throw std::invalid_argument("coupling vector has wrong dimension");
+  // Extended local vector: [left boundary] block_x [right boundary]; the
+  // terms over its consecutive pairs are exactly this block's share.
+  double sum = 0.0;
+  double previous;
+  std::size_t start = 0;
+  if (block.left_coupling >= 0) {
+    previous = coupling[static_cast<std::size_t>(block.index - 1)];
+  } else {
+    previous = block_x[0];
+    start = 1;
+  }
+  for (std::size_t i = start; i < block_x.size(); ++i) {
+    sum += term(previous, block_x[i]);
+    previous = block_x[i];
+  }
+  if (block.right_coupling >= 0)
+    sum += term(previous, coupling[static_cast<std::size_t>(block.index)]);
+  return sum;
+}
+
+std::vector<double> Decomposition::assemble(
+    const std::vector<std::vector<double>>& block_solutions,
+    std::span<const double> coupling) const {
+  if (static_cast<int>(block_solutions.size()) != block_count())
+    throw std::invalid_argument("wrong number of block solutions");
+  if (static_cast<int>(coupling.size()) != coupling_dimension())
+    throw std::invalid_argument("coupling vector has wrong dimension");
+  std::vector<double> x(static_cast<std::size_t>(n_), 0.0);
+  for (const Block& block : blocks_) {
+    const auto& solution = block_solutions[static_cast<std::size_t>(block.index)];
+    if (static_cast<int>(solution.size()) != block.dimension)
+      throw std::invalid_argument("block solution has wrong dimension");
+    for (int i = 0; i < block.dimension; ++i)
+      x[static_cast<std::size_t>(block.first_variable + i)] =
+          solution[static_cast<std::size_t>(i)];
+  }
+  for (std::size_t j = 0; j < coupling_indices_.size(); ++j)
+    x[static_cast<std::size_t>(coupling_indices_[j])] = coupling[j];
+  return x;
+}
+
+}  // namespace opt

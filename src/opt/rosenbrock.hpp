@@ -1,0 +1,79 @@
+// The Rosenbrock benchmark function and its block decomposition.
+//
+// The paper evaluates on "a decomposed formulation of the Rosenbrock
+// function": the n-dimensional chained Rosenbrock
+//
+//   f(x) = sum_{i=0}^{n-2} [ 100 (x_{i+1} - x_i^2)^2 + (1 - x_i)^2 ]
+//
+// split into k contiguous variable blocks solved by workers, with the k-1
+// block-boundary variables owned by the manager ("several (sub-)problems
+// with a smaller dimension ... combined for the solution of the original
+// problem in a manager", §4).  For n=30, k=3 this yields worker dimensions
+// 10, 9, 9 and a 2-dimensional manager problem — the paper's exact setup.
+//
+// The decomposition is exact: every Rosenbrock term is assigned to exactly
+// one block (terms straddling a boundary go to the block that owns the
+// non-boundary end), so the sum of block objectives, at consistent coupling
+// values, equals f.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace opt {
+
+/// The chained Rosenbrock function; requires x.size() >= 2.
+double rosenbrock(std::span<const double> x);
+
+/// One worker's share of the decomposition.
+struct Block {
+  int index = 0;
+  /// Global index of the first owned variable and how many are owned
+  /// (ownership is contiguous).
+  int first_variable = 0;
+  int dimension = 0;
+  /// Global indices of the manager-owned boundary variables this block
+  /// couples to; -1 when the block sits at the edge.
+  int left_coupling = -1;
+  int right_coupling = -1;
+};
+
+class Decomposition {
+ public:
+  /// Splits an n-dimensional problem into k blocks (k >= 1, n >= 3k: every
+  /// block keeps at least two variables plus boundaries).  Block sizes
+  /// differ by at most one, largest first — (10, 9, 9) for n=30, k=3.
+  static Decomposition make(int n, int k);
+
+  int dimension() const noexcept { return n_; }
+  int block_count() const noexcept { return static_cast<int>(blocks_.size()); }
+  const Block& block(int index) const { return blocks_.at(static_cast<std::size_t>(index)); }
+  const std::vector<Block>& blocks() const noexcept { return blocks_; }
+
+  /// Global indices of the manager-owned coupling variables (size k-1).
+  const std::vector<int>& coupling_indices() const noexcept {
+    return coupling_indices_;
+  }
+  int coupling_dimension() const noexcept {
+    return static_cast<int>(coupling_indices_.size());
+  }
+
+  /// Objective of one block: the Rosenbrock terms assigned to it, with the
+  /// block's own variables `block_x` and the manager's `coupling` values
+  /// (full coupling vector, indexed by position) substituted.
+  double block_objective(const Block& block, std::span<const double> block_x,
+                         std::span<const double> coupling) const;
+
+  /// Assembles a full n-dimensional point from per-block solutions and
+  /// coupling values (for verification and reporting).
+  std::vector<double> assemble(
+      const std::vector<std::vector<double>>& block_solutions,
+      std::span<const double> coupling) const;
+
+ private:
+  int n_ = 0;
+  std::vector<Block> blocks_;
+  std::vector<int> coupling_indices_;
+};
+
+}  // namespace opt

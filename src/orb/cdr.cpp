@@ -1,0 +1,210 @@
+#include "orb/cdr.hpp"
+
+#include <bit>
+
+namespace corba {
+
+namespace {
+
+template <typename T>
+T byteswap_integral(T v) noexcept {
+  static_assert(std::is_integral_v<T>);
+  if constexpr (sizeof(T) == 1) {
+    return v;
+  } else if constexpr (sizeof(T) == 2) {
+    return static_cast<T>(__builtin_bswap16(static_cast<std::uint16_t>(v)));
+  } else if constexpr (sizeof(T) == 4) {
+    return static_cast<T>(__builtin_bswap32(static_cast<std::uint32_t>(v)));
+  } else {
+    return static_cast<T>(__builtin_bswap64(static_cast<std::uint64_t>(v)));
+  }
+}
+
+}  // namespace
+
+ByteOrder native_byte_order() noexcept {
+  return std::endian::native == std::endian::little ? ByteOrder::little_endian
+                                                    : ByteOrder::big_endian;
+}
+
+CdrOutputStream::CdrOutputStream(ByteOrder order) : order_(order) {
+  buffer_.reserve(128);
+}
+
+void CdrOutputStream::align(std::size_t alignment) {
+  const std::size_t misalign = buffer_.size() % alignment;
+  if (misalign != 0) buffer_.resize(buffer_.size() + (alignment - misalign));
+}
+
+template <typename T>
+void CdrOutputStream::write_scalar(T v) {
+  align(sizeof(T));
+  if constexpr (std::is_floating_point_v<T>) {
+    using Bits = std::conditional_t<sizeof(T) == 4, std::uint32_t, std::uint64_t>;
+    Bits bits;
+    std::memcpy(&bits, &v, sizeof(T));
+    if (order_ != native_byte_order()) bits = byteswap_integral(bits);
+    const std::size_t off = buffer_.size();
+    buffer_.resize(off + sizeof(T));
+    std::memcpy(buffer_.data() + off, &bits, sizeof(T));
+  } else {
+    if (order_ != native_byte_order()) v = byteswap_integral(v);
+    const std::size_t off = buffer_.size();
+    buffer_.resize(off + sizeof(T));
+    std::memcpy(buffer_.data() + off, &v, sizeof(T));
+  }
+}
+
+void CdrOutputStream::write_octet(std::uint8_t v) { write_scalar(v); }
+void CdrOutputStream::write_bool(bool v) {
+  write_octet(v ? std::uint8_t{1} : std::uint8_t{0});
+}
+void CdrOutputStream::write_u16(std::uint16_t v) { write_scalar(v); }
+void CdrOutputStream::write_u32(std::uint32_t v) { write_scalar(v); }
+void CdrOutputStream::write_u64(std::uint64_t v) { write_scalar(v); }
+void CdrOutputStream::write_i16(std::int16_t v) { write_scalar(v); }
+void CdrOutputStream::write_i32(std::int32_t v) { write_scalar(v); }
+void CdrOutputStream::write_i64(std::int64_t v) { write_scalar(v); }
+void CdrOutputStream::write_f32(float v) { write_scalar(v); }
+void CdrOutputStream::write_f64(double v) { write_scalar(v); }
+
+void CdrOutputStream::write_string(std::string_view v) {
+  if (v.size() >= UINT32_MAX)
+    throw MARSHAL("string too long", minor_code::unspecified,
+                  CompletionStatus::completed_no);
+  write_u32(static_cast<std::uint32_t>(v.size() + 1));
+  const std::size_t off = buffer_.size();
+  buffer_.resize(off + v.size() + 1);
+  std::memcpy(buffer_.data() + off, v.data(), v.size());
+  buffer_[off + v.size()] = std::byte{0};
+}
+
+void CdrOutputStream::write_blob(std::span<const std::byte> v) {
+  if (v.size() >= UINT32_MAX)
+    throw MARSHAL("blob too long", minor_code::unspecified,
+                  CompletionStatus::completed_no);
+  write_u32(static_cast<std::uint32_t>(v.size()));
+  write_raw(v);
+}
+
+void CdrOutputStream::write_blob(std::span<const std::uint8_t> v) {
+  write_blob(std::as_bytes(v));
+}
+
+void CdrOutputStream::write_f64_seq(std::span<const double> v) {
+  if (v.size() >= UINT32_MAX)
+    throw MARSHAL("sequence too long", minor_code::unspecified,
+                  CompletionStatus::completed_no);
+  write_u32(static_cast<std::uint32_t>(v.size()));
+  if (v.empty()) return;
+  align(8);
+  if (order_ == native_byte_order()) {
+    write_raw(std::as_bytes(v));
+  } else {
+    for (double d : v) write_f64(d);
+  }
+}
+
+void CdrOutputStream::write_raw(std::span<const std::byte> v) {
+  const std::size_t off = buffer_.size();
+  buffer_.resize(off + v.size());
+  std::memcpy(buffer_.data() + off, v.data(), v.size());
+}
+
+CdrInputStream::CdrInputStream(std::span<const std::byte> data, ByteOrder order)
+    : data_(data), order_(order) {}
+
+void CdrInputStream::require(std::size_t n) const {
+  if (remaining() < n)
+    throw MARSHAL("truncated CDR buffer", minor_code::unspecified,
+                  CompletionStatus::completed_maybe);
+}
+
+void CdrInputStream::align(std::size_t alignment) {
+  const std::size_t misalign = pos_ % alignment;
+  if (misalign != 0) {
+    require(alignment - misalign);
+    pos_ += alignment - misalign;
+  }
+}
+
+template <typename T>
+T CdrInputStream::read_scalar() {
+  align(sizeof(T));
+  require(sizeof(T));
+  if constexpr (std::is_floating_point_v<T>) {
+    using Bits = std::conditional_t<sizeof(T) == 4, std::uint32_t, std::uint64_t>;
+    Bits bits;
+    std::memcpy(&bits, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    if (order_ != native_byte_order()) bits = byteswap_integral(bits);
+    T v;
+    std::memcpy(&v, &bits, sizeof(T));
+    return v;
+  } else {
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    if (order_ != native_byte_order()) v = byteswap_integral(v);
+    return v;
+  }
+}
+
+std::uint8_t CdrInputStream::read_octet() { return read_scalar<std::uint8_t>(); }
+bool CdrInputStream::read_bool() { return read_octet() != 0; }
+std::uint16_t CdrInputStream::read_u16() { return read_scalar<std::uint16_t>(); }
+std::uint32_t CdrInputStream::read_u32() { return read_scalar<std::uint32_t>(); }
+std::uint64_t CdrInputStream::read_u64() { return read_scalar<std::uint64_t>(); }
+std::int16_t CdrInputStream::read_i16() { return read_scalar<std::int16_t>(); }
+std::int32_t CdrInputStream::read_i32() { return read_scalar<std::int32_t>(); }
+std::int64_t CdrInputStream::read_i64() { return read_scalar<std::int64_t>(); }
+float CdrInputStream::read_f32() { return read_scalar<float>(); }
+double CdrInputStream::read_f64() { return read_scalar<double>(); }
+
+std::string CdrInputStream::read_string() {
+  const std::uint32_t len = read_u32();
+  if (len == 0)
+    throw MARSHAL("CDR string with zero length", minor_code::unspecified,
+                  CompletionStatus::completed_maybe);
+  require(len);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len - 1);
+  if (data_[pos_ + len - 1] != std::byte{0})
+    throw MARSHAL("CDR string missing NUL terminator", minor_code::unspecified,
+                  CompletionStatus::completed_maybe);
+  pos_ += len;
+  return s;
+}
+
+std::vector<std::byte> CdrInputStream::read_blob() {
+  const std::uint32_t len = read_u32();
+  require(len);
+  std::vector<std::byte> v(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                           data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return v;
+}
+
+std::vector<double> CdrInputStream::read_f64_seq() {
+  const std::uint32_t count = read_u32();
+  std::vector<double> v;
+  if (count == 0) return v;
+  align(8);
+  require(static_cast<std::size_t>(count) * sizeof(double));
+  v.resize(count);
+  if (order_ == native_byte_order()) {
+    std::memcpy(v.data(), data_.data() + pos_, count * sizeof(double));
+    pos_ += count * sizeof(double);
+  } else {
+    for (auto& d : v) d = read_f64();
+  }
+  return v;
+}
+
+std::span<const std::byte> CdrInputStream::read_raw(std::size_t n) {
+  require(n);
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace corba

@@ -1,0 +1,111 @@
+// Common Data Representation (CDR) streams.
+//
+// CDR is CORBA's on-the-wire encoding: primitive types are aligned to their
+// natural size and written in the sender's byte order; a flag in the message
+// header tells the receiver whether to swap.  This implementation supports
+// both byte orders, CDR alignment rules, strings (length-prefixed,
+// NUL-terminated) and octet sequences, and is bounds-checked on input.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "orb/exceptions.hpp"
+
+namespace corba {
+
+enum class ByteOrder : std::uint8_t { big_endian = 0, little_endian = 1 };
+
+/// Byte order of the machine we are running on.
+ByteOrder native_byte_order() noexcept;
+
+/// Output stream producing a CDR-encoded byte buffer.
+class CdrOutputStream {
+ public:
+  explicit CdrOutputStream(ByteOrder order = native_byte_order());
+
+  ByteOrder byte_order() const noexcept { return order_; }
+  std::size_t size() const noexcept { return buffer_.size(); }
+
+  void write_octet(std::uint8_t v);
+  void write_bool(bool v);
+  void write_u16(std::uint16_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i16(std::int16_t v);
+  void write_i32(std::int32_t v);
+  void write_i64(std::int64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  /// CDR string: u32 length including NUL, characters, NUL.
+  void write_string(std::string_view v);
+  /// Octet sequence: u32 length, raw bytes.
+  void write_blob(std::span<const std::byte> v);
+  void write_blob(std::span<const std::uint8_t> v);
+  /// Sequence of doubles: u32 count, 8-byte-aligned payload.
+  void write_f64_seq(std::span<const double> v);
+
+  /// Raw bytes with no length prefix and no alignment (header assembly).
+  void write_raw(std::span<const std::byte> v);
+
+  /// Inserts padding so the next value starts at `alignment` (power of two).
+  void align(std::size_t alignment);
+
+  const std::vector<std::byte>& buffer() const noexcept { return buffer_; }
+  std::vector<std::byte> take_buffer() noexcept { return std::move(buffer_); }
+
+ private:
+  template <typename T>
+  void write_scalar(T v);
+
+  std::vector<std::byte> buffer_;
+  ByteOrder order_;
+};
+
+/// Bounds-checked input stream over a CDR-encoded buffer.  The stream does
+/// not own the buffer; callers keep it alive for the stream's lifetime.
+class CdrInputStream {
+ public:
+  CdrInputStream(std::span<const std::byte> data,
+                 ByteOrder order = native_byte_order());
+
+  ByteOrder byte_order() const noexcept { return order_; }
+  std::size_t position() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+
+  std::uint8_t read_octet();
+  bool read_bool();
+  std::uint16_t read_u16();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int16_t read_i16();
+  std::int32_t read_i32();
+  std::int64_t read_i64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  std::vector<std::byte> read_blob();
+  std::vector<double> read_f64_seq();
+
+  /// Reads `n` raw bytes with no alignment.
+  std::span<const std::byte> read_raw(std::size_t n);
+
+  void align(std::size_t alignment);
+
+ private:
+  template <typename T>
+  T read_scalar();
+  void require(std::size_t n) const;
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  ByteOrder order_;
+};
+
+}  // namespace corba

@@ -1,0 +1,77 @@
+#include "orb/dii.hpp"
+
+#include "orb/exceptions.hpp"
+
+namespace corba {
+
+Request::Request(ObjectRef target, std::string operation)
+    : target_(std::move(target)), operation_(std::move(operation)) {}
+
+Request& Request::add_argument(Value v) {
+  if (state_ != State::idle)
+    throw BAD_INV_ORDER("add_argument after send", minor_code::unspecified,
+                        CompletionStatus::completed_no);
+  arguments_.push_back(std::move(v));
+  return *this;
+}
+
+void Request::invoke() {
+  send_deferred();
+  get_response();
+}
+
+void Request::send_deferred() {
+  if (state_ != State::idle)
+    throw BAD_INV_ORDER("request already sent", minor_code::unspecified,
+                        CompletionStatus::completed_no);
+  pending_ = target_.send(operation_, arguments_);
+  state_ = State::sent;
+}
+
+bool Request::poll_response() {
+  if (state_ == State::completed) return true;
+  if (state_ != State::sent)
+    throw BAD_INV_ORDER("poll_response before send_deferred",
+                        minor_code::unspecified,
+                        CompletionStatus::completed_no);
+  return pending_->ready();
+}
+
+void Request::get_response() {
+  if (state_ == State::completed) return;
+  if (state_ != State::sent)
+    throw BAD_INV_ORDER("get_response before send_deferred",
+                        minor_code::unspecified,
+                        CompletionStatus::completed_no);
+  std::unique_ptr<PendingReply> pending = std::move(pending_);
+  // Transport errors and carried exceptions both propagate; the request
+  // drops back to idle so a fault-tolerant caller may reset and re-send.
+  state_ = State::idle;
+  ReplyMessage reply = pending->get();
+  result_ = reply.result_or_throw();
+  state_ = State::completed;
+}
+
+const Value& Request::return_value() const {
+  if (state_ != State::completed)
+    throw BAD_INV_ORDER("return_value before completion",
+                        minor_code::unspecified,
+                        CompletionStatus::completed_no);
+  return result_;
+}
+
+void Request::reset() {
+  pending_.reset();
+  result_ = Value();
+  state_ = State::idle;
+}
+
+void Request::set_target(ObjectRef target) {
+  if (state_ == State::sent)
+    throw BAD_INV_ORDER("set_target while request in flight",
+                        minor_code::unspecified,
+                        CompletionStatus::completed_no);
+  target_ = std::move(target);
+}
+
+}  // namespace corba

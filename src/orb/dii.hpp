@@ -1,0 +1,73 @@
+// Dynamic Invocation Interface: request objects.
+//
+// The paper's manager/worker parallelism relies on CORBA's
+// deferred-synchronous invocation model: "request objects offer methods to
+// asynchronously initiate methods of the server object and fetch the
+// corresponding results at a later time" (§3).  Request mirrors the
+// CORBA::Request API: build arguments, invoke() synchronously or
+// send_deferred(), then poll_response()/get_response().  The fault-tolerance
+// layer wraps these in request proxies (ft/request_proxy.hpp), which need
+// reset()/set_target() to re-issue a request against a recovered service.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "orb/orb.hpp"
+
+namespace corba {
+
+class Request {
+ public:
+  Request(ObjectRef target, std::string operation);
+
+  Request(Request&&) = default;
+  Request& operator=(Request&&) = default;
+
+  const ObjectRef& target() const noexcept { return target_; }
+  const std::string& operation() const noexcept { return operation_; }
+  const ValueSeq& arguments() const noexcept { return arguments_; }
+
+  /// Appends an argument.  Only valid before the request is sent.
+  Request& add_argument(Value v);
+
+  /// Synchronous execution; afterwards return_value() is available.
+  /// Throws carried exceptions directly.
+  void invoke();
+
+  /// Starts the invocation without waiting.  BAD_INV_ORDER if already sent.
+  void send_deferred();
+
+  /// True once get_response() will not block.  BAD_INV_ORDER before send.
+  bool poll_response();
+
+  /// Completes the invocation: waits, then either stores the result or
+  /// throws the carried exception.  Idempotent after completion.
+  void get_response();
+
+  /// Result of a completed invocation (BAD_INV_ORDER before completion).
+  const Value& return_value() const;
+
+  bool completed() const noexcept { return state_ == State::completed; }
+
+  /// Re-arms the request for re-sending (clears any pending/completed
+  /// state).  The argument list is preserved.
+  void reset();
+
+  /// Retargets the request (used after fault recovery re-resolves the
+  /// service).  Only valid while not in flight.
+  void set_target(ObjectRef target);
+
+ private:
+  enum class State { idle, sent, completed };
+
+  ObjectRef target_;
+  std::string operation_;
+  ValueSeq arguments_;
+  std::unique_ptr<PendingReply> pending_;
+  Value result_;
+  State state_ = State::idle;
+};
+
+}  // namespace corba

@@ -1,0 +1,75 @@
+#include "orb/exceptions.hpp"
+
+namespace corba {
+
+namespace {
+
+std::string format_message(const std::string& repo_id, const std::string& detail,
+                           std::uint32_t minor, CompletionStatus completed) {
+  std::string msg = repo_id;
+  if (!detail.empty()) {
+    msg += ": ";
+    msg += detail;
+  }
+  msg += " (minor=";
+  msg += std::to_string(minor);
+  msg += ", ";
+  msg += to_string(completed);
+  msg += ")";
+  return msg;
+}
+
+}  // namespace
+
+std::string_view to_string(CompletionStatus status) noexcept {
+  switch (status) {
+    case CompletionStatus::completed_yes:
+      return "COMPLETED_YES";
+    case CompletionStatus::completed_no:
+      return "COMPLETED_NO";
+    case CompletionStatus::completed_maybe:
+      return "COMPLETED_MAYBE";
+  }
+  return "COMPLETED_MAYBE";
+}
+
+SystemException::SystemException(std::string repo_id, std::string detail,
+                                 std::uint32_t minor, CompletionStatus completed)
+    : Exception(format_message(repo_id, detail, minor, completed)),
+      repo_id_(std::move(repo_id)),
+      detail_(std::move(detail)),
+      minor_(minor),
+      completed_(completed) {}
+
+UserException::UserException(std::string repo_id, std::string detail)
+    : Exception(detail.empty() ? repo_id : repo_id + ": " + detail),
+      repo_id_(std::move(repo_id)),
+      detail_(std::move(detail)) {}
+
+void raise_system_exception(const std::string& repo_id, const std::string& detail,
+                            std::uint32_t minor, CompletionStatus completed) {
+  if (repo_id == COMM_FAILURE::static_repo_id())
+    throw COMM_FAILURE(detail, minor, completed);
+  if (repo_id == TRANSIENT::static_repo_id())
+    throw TRANSIENT(detail, minor, completed);
+  if (repo_id == TIMEOUT::static_repo_id())
+    throw TIMEOUT(detail, minor, completed);
+  if (repo_id == OBJECT_NOT_EXIST::static_repo_id())
+    throw OBJECT_NOT_EXIST(detail, minor, completed);
+  if (repo_id == BAD_PARAM::static_repo_id())
+    throw BAD_PARAM(detail, minor, completed);
+  if (repo_id == BAD_OPERATION::static_repo_id())
+    throw BAD_OPERATION(detail, minor, completed);
+  if (repo_id == NO_IMPLEMENT::static_repo_id())
+    throw NO_IMPLEMENT(detail, minor, completed);
+  if (repo_id == MARSHAL::static_repo_id())
+    throw MARSHAL(detail, minor, completed);
+  if (repo_id == INV_OBJREF::static_repo_id())
+    throw INV_OBJREF(detail, minor, completed);
+  if (repo_id == BAD_INV_ORDER::static_repo_id())
+    throw BAD_INV_ORDER(detail, minor, completed);
+  throw INTERNAL(repo_id + (detail.empty() ? "" : ": " + detail), minor,
+                 completed);
+}
+
+}  // namespace corba

@@ -1,0 +1,136 @@
+// CORBA-style exception hierarchy.
+//
+// The CORBA specification distinguishes *system exceptions* (raised by the
+// ORB runtime: communication failures, marshaling errors, missing objects)
+// from *user exceptions* (declared in IDL and raised by servants).  Both are
+// modelled here; system exceptions carry a completion status and a minor
+// code exactly like their CORBA counterparts, because the fault-tolerance
+// layer dispatches on them (COMM_FAILURE / TRANSIENT trigger recovery).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace corba {
+
+/// Whether the remote operation had completed when the exception was raised.
+/// Recovery logic uses this to decide whether a retry may duplicate work.
+enum class CompletionStatus : std::uint8_t {
+  completed_yes,
+  completed_no,
+  completed_maybe,
+};
+
+/// Returns the CORBA spelling ("COMPLETED_NO", ...) of a completion status.
+std::string_view to_string(CompletionStatus status) noexcept;
+
+/// Base class of all exceptions thrown by this library.
+class Exception : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Base class of ORB-raised exceptions (CORBA "system exceptions").
+class SystemException : public Exception {
+ public:
+  SystemException(std::string repo_id, std::string detail, std::uint32_t minor,
+                  CompletionStatus completed);
+
+  /// Repository id, e.g. "IDL:omg.org/CORBA/COMM_FAILURE:1.0".
+  const std::string& repo_id() const noexcept { return repo_id_; }
+  /// Implementation-specific minor code.
+  std::uint32_t minor() const noexcept { return minor_; }
+  CompletionStatus completed() const noexcept { return completed_; }
+  /// Human readable detail (not part of the CORBA wire representation).
+  const std::string& detail() const noexcept { return detail_; }
+
+ private:
+  std::string repo_id_;
+  std::string detail_;
+  std::uint32_t minor_;
+  CompletionStatus completed_;
+};
+
+// Minor codes used by this implementation.
+namespace minor_code {
+inline constexpr std::uint32_t unspecified = 0;
+inline constexpr std::uint32_t connect_failed = 1;
+inline constexpr std::uint32_t connection_lost = 2;
+inline constexpr std::uint32_t host_down = 3;
+inline constexpr std::uint32_t endpoint_unknown = 4;
+inline constexpr std::uint32_t server_crashed = 5;
+}  // namespace minor_code
+
+#define CORBAFT_DEFINE_SYSTEM_EXCEPTION(NAME)                                \
+  class NAME : public SystemException {                                      \
+   public:                                                                   \
+    explicit NAME(std::string detail = {},                                   \
+                  std::uint32_t minor = minor_code::unspecified,             \
+                  CompletionStatus completed =                               \
+                      CompletionStatus::completed_maybe)                     \
+        : SystemException("IDL:omg.org/CORBA/" #NAME ":1.0",                 \
+                          std::move(detail), minor, completed) {}            \
+    static constexpr std::string_view static_repo_id() {                     \
+      return "IDL:omg.org/CORBA/" #NAME ":1.0";                              \
+    }                                                                        \
+  }
+
+/// Communication failure: broken connection, dead host, crashed server.
+CORBAFT_DEFINE_SYSTEM_EXCEPTION(COMM_FAILURE);
+/// Transient failure; the request may be retried.
+CORBAFT_DEFINE_SYSTEM_EXCEPTION(TRANSIENT);
+/// The request's time-to-live expired before a reply arrived (a hung or
+/// overloaded server; the call may or may not have executed).
+CORBAFT_DEFINE_SYSTEM_EXCEPTION(TIMEOUT);
+/// The object reference does not denote an existing object.
+CORBAFT_DEFINE_SYSTEM_EXCEPTION(OBJECT_NOT_EXIST);
+/// An argument was invalid (also raised on Value type mismatches).
+CORBAFT_DEFINE_SYSTEM_EXCEPTION(BAD_PARAM);
+/// The operation name is not known by the target object.
+CORBAFT_DEFINE_SYSTEM_EXCEPTION(BAD_OPERATION);
+/// The operation exists but is not implemented.
+CORBAFT_DEFINE_SYSTEM_EXCEPTION(NO_IMPLEMENT);
+/// Error while marshaling or unmarshaling.
+CORBAFT_DEFINE_SYSTEM_EXCEPTION(MARSHAL);
+/// Malformed object reference.
+CORBAFT_DEFINE_SYSTEM_EXCEPTION(INV_OBJREF);
+/// Internal error in the ORB.
+CORBAFT_DEFINE_SYSTEM_EXCEPTION(INTERNAL);
+/// Operation invoked on a nil reference or misused API.
+CORBAFT_DEFINE_SYSTEM_EXCEPTION(BAD_INV_ORDER);
+
+#undef CORBAFT_DEFINE_SYSTEM_EXCEPTION
+
+/// Base class for IDL-declared exceptions raised by servants.  Skeletons
+/// encode the repository id and detail into the reply; stubs rethrow a
+/// matching registered subclass (see UserExceptionRegistry) or a plain
+/// UnknownUserException.
+class UserException : public Exception {
+ public:
+  UserException(std::string repo_id, std::string detail);
+
+  const std::string& repo_id() const noexcept { return repo_id_; }
+  const std::string& detail() const noexcept { return detail_; }
+
+ private:
+  std::string repo_id_;
+  std::string detail_;
+};
+
+/// Raised on the client when a user exception arrives whose repository id
+/// has no registered factory.
+class UnknownUserException : public UserException {
+ public:
+  using UserException::UserException;
+};
+
+/// Rethrows the system exception named by `repo_id`; falls back to INTERNAL
+/// for unknown ids.  Used by stubs when decoding reply messages.
+[[noreturn]] void raise_system_exception(const std::string& repo_id,
+                                         const std::string& detail,
+                                         std::uint32_t minor,
+                                         CompletionStatus completed);
+
+}  // namespace corba

@@ -1,0 +1,114 @@
+#include "orb/ior.hpp"
+
+#include <functional>
+
+#include "orb/exceptions.hpp"
+
+namespace corba {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string ObjectKey::to_string() const {
+  std::string s;
+  s.reserve(bytes.size());
+  for (std::byte b : bytes) {
+    const char c = static_cast<char>(b);
+    if (c >= 0x20 && c < 0x7f) {
+      s.push_back(c);
+    } else {
+      s.push_back('\\');
+      s.push_back(kHexDigits[(static_cast<unsigned>(c) >> 4) & 0xf]);
+      s.push_back(kHexDigits[static_cast<unsigned>(c) & 0xf]);
+    }
+  }
+  return s;
+}
+
+ObjectKey ObjectKey::from_string(std::string_view s) {
+  ObjectKey key;
+  key.bytes.reserve(s.size());
+  for (char c : s) key.bytes.push_back(static_cast<std::byte>(c));
+  return key;
+}
+
+std::size_t ObjectKeyHash::operator()(const ObjectKey& k) const noexcept {
+  // FNV-1a over the key bytes.
+  std::size_t h = 14695981039346656037ull;
+  for (std::byte b : k.bytes) {
+    h ^= static_cast<std::size_t>(b);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void IOR::encode(CdrOutputStream& out) const {
+  out.write_string(type_id);
+  out.write_string(protocol);
+  out.write_string(host);
+  out.write_u16(port);
+  out.write_blob(std::span<const std::byte>(key.bytes));
+}
+
+IOR IOR::decode(CdrInputStream& in) {
+  IOR ior;
+  ior.type_id = in.read_string();
+  ior.protocol = in.read_string();
+  ior.host = in.read_string();
+  ior.port = in.read_u16();
+  ior.key.bytes = in.read_blob();
+  return ior;
+}
+
+std::string IOR::to_string() const {
+  CdrOutputStream out(ByteOrder::big_endian);
+  encode(out);
+  std::string s = "IOR:";
+  s.reserve(4 + 2 * out.size());
+  for (std::byte b : out.buffer()) {
+    s.push_back(kHexDigits[(static_cast<unsigned>(b) >> 4) & 0xf]);
+    s.push_back(kHexDigits[static_cast<unsigned>(b) & 0xf]);
+  }
+  return s;
+}
+
+IOR IOR::from_string(std::string_view s) {
+  if (s.substr(0, 4) != "IOR:" || (s.size() - 4) % 2 != 0)
+    throw INV_OBJREF("malformed stringified IOR");
+  std::vector<std::byte> raw;
+  raw.reserve((s.size() - 4) / 2);
+  for (std::size_t i = 4; i < s.size(); i += 2) {
+    const int hi = hex_value(s[i]);
+    const int lo = hex_value(s[i + 1]);
+    if (hi < 0 || lo < 0) throw INV_OBJREF("invalid hex digit in IOR");
+    raw.push_back(static_cast<std::byte>((hi << 4) | lo));
+  }
+  try {
+    CdrInputStream in(raw, ByteOrder::big_endian);
+    IOR ior = decode(in);
+    if (!in.at_end()) throw INV_OBJREF("trailing bytes in IOR");
+    return ior;
+  } catch (const MARSHAL& e) {
+    throw INV_OBJREF(std::string("truncated IOR: ") + e.detail());
+  }
+}
+
+std::string IOR::to_display_string() const {
+  if (is_nil()) return "<nil>";
+  std::string s = protocol + "://" + host;
+  if (port != 0) s += ":" + std::to_string(port);
+  s += "/" + key.to_string();
+  return s;
+}
+
+}  // namespace corba

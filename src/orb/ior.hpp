@@ -1,0 +1,68 @@
+// Interoperable Object References.
+//
+// An IOR names one CORBA object: the repository id of its most-derived
+// interface plus a transport profile (protocol, address, object key).  Like
+// real CORBA, references can be stringified into an opaque "IOR:<hex>" form
+// (hex-encoded CDR) that survives being passed through files, command lines
+// or other ORBs.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "orb/cdr.hpp"
+
+namespace corba {
+
+/// Opaque per-adapter identifier of an object.
+struct ObjectKey {
+  std::vector<std::byte> bytes;
+
+  friend auto operator<=>(const ObjectKey&, const ObjectKey&) = default;
+
+  /// Human-readable rendering (keys are generated as printable strings).
+  std::string to_string() const;
+  static ObjectKey from_string(std::string_view s);
+  bool empty() const noexcept { return bytes.empty(); }
+};
+
+struct ObjectKeyHash {
+  std::size_t operator()(const ObjectKey& k) const noexcept;
+};
+
+/// Transport protocols understood by this ORB.
+namespace protocol {
+/// In-process endpoint registry (used by the simulated cluster).
+inline constexpr std::string_view inproc = "inproc";
+/// TCP sockets (GIOP-lite framing).
+inline constexpr std::string_view tcp = "tcp";
+}  // namespace protocol
+
+/// Interoperable object reference.  `host` is the endpoint name for inproc
+/// profiles and an IP/hostname for tcp profiles.
+struct IOR {
+  std::string type_id;  ///< repository id, e.g. "IDL:corbaft/OptWorker:1.0"
+  std::string protocol;
+  std::string host;
+  std::uint16_t port = 0;
+  ObjectKey key;
+
+  friend bool operator==(const IOR&, const IOR&) = default;
+
+  bool is_nil() const noexcept { return protocol.empty() && key.empty(); }
+
+  void encode(CdrOutputStream& out) const;
+  static IOR decode(CdrInputStream& in);
+
+  /// "IOR:<hex of CDR encoding>"; throws INV_OBJREF on parse failure.
+  std::string to_string() const;
+  static IOR from_string(std::string_view s);
+
+  /// Short human-readable form for logs: "protocol://host:port/key".
+  std::string to_display_string() const;
+};
+
+}  // namespace corba

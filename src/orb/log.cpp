@@ -1,0 +1,42 @@
+#include "orb/log.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace corba::log {
+
+namespace {
+
+std::mutex g_mu;
+Sink g_sink;
+std::atomic<bool> g_enabled{false};
+
+}  // namespace
+
+std::string_view to_string(Level level) noexcept {
+  switch (level) {
+    case Level::debug: return "debug";
+    case Level::info: return "info";
+    case Level::warning: return "warning";
+    case Level::error: return "error";
+  }
+  return "info";
+}
+
+void set_sink(Sink sink) {
+  std::lock_guard lock(g_mu);
+  g_sink = std::move(sink);
+  g_enabled.store(g_sink != nullptr, std::memory_order_release);
+}
+
+void clear_sink() { set_sink(nullptr); }
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_acquire); }
+
+void emit(Level level, std::string_view component, std::string_view message) {
+  if (!enabled()) return;
+  std::lock_guard lock(g_mu);
+  if (g_sink) g_sink(level, component, message);
+}
+
+}  // namespace corba::log

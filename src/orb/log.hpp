@@ -1,0 +1,36 @@
+// Minimal structured logging hook.
+//
+// Library components (recovery, fault detection, migration, transports)
+// emit one-line events through this facade.  By default nothing is
+// installed and emit() is a cheap no-op; applications install a sink to
+// route events into their own logging.  A sink, not a stream: the library
+// never decides formatting, destinations or filtering policy.
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+namespace corba::log {
+
+enum class Level { debug, info, warning, error };
+
+std::string_view to_string(Level level) noexcept;
+
+/// Receives every emitted event.  Called under an internal mutex: sinks
+/// need no locking of their own but must not re-enter the logger.
+using Sink =
+    std::function<void(Level, std::string_view component, std::string_view message)>;
+
+/// Installs (replaces) the process-wide sink.  Thread-safe.
+void set_sink(Sink sink);
+
+/// Removes the sink; emit() becomes a no-op again.
+void clear_sink();
+
+/// True while a sink is installed (lets callers skip message formatting).
+bool enabled() noexcept;
+
+/// Routes one event to the sink, if any.
+void emit(Level level, std::string_view component, std::string_view message);
+
+}  // namespace corba::log

@@ -1,0 +1,218 @@
+#include "orb/message.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace corba {
+
+std::array<std::byte, MessageHeader::kEncodedSize> MessageHeader::encode()
+    const {
+  std::array<std::byte, kEncodedSize> out{};
+  out[0] = static_cast<std::byte>(kMagic[0]);
+  out[1] = static_cast<std::byte>(kMagic[1]);
+  out[2] = static_cast<std::byte>(kMagic[2]);
+  out[3] = static_cast<std::byte>(kMagic[3]);
+  out[4] = static_cast<std::byte>(kVersionMajor);
+  out[5] = static_cast<std::byte>(kVersionMinor);
+  out[6] = static_cast<std::byte>(byte_order);
+  out[7] = static_cast<std::byte>(type);
+  // Body length is always little-endian in the header, independent of the
+  // body's byte-order flag, so framing code never needs to branch.
+  out[8] = static_cast<std::byte>(body_length & 0xff);
+  out[9] = static_cast<std::byte>((body_length >> 8) & 0xff);
+  out[10] = static_cast<std::byte>((body_length >> 16) & 0xff);
+  out[11] = static_cast<std::byte>((body_length >> 24) & 0xff);
+  return out;
+}
+
+MessageHeader MessageHeader::decode(std::span<const std::byte> bytes) {
+  if (bytes.size() < kEncodedSize)
+    throw MARSHAL("short message header");
+  if (static_cast<char>(bytes[0]) != kMagic[0] ||
+      static_cast<char>(bytes[1]) != kMagic[1] ||
+      static_cast<char>(bytes[2]) != kMagic[2] ||
+      static_cast<char>(bytes[3]) != kMagic[3])
+    throw MARSHAL("bad message magic");
+  if (static_cast<std::uint8_t>(bytes[4]) != kVersionMajor)
+    throw MARSHAL("unsupported protocol version");
+  MessageHeader h;
+  const auto order = static_cast<std::uint8_t>(bytes[6]);
+  if (order > 1) throw MARSHAL("bad byte-order flag");
+  h.byte_order = static_cast<ByteOrder>(order);
+  const auto type = static_cast<std::uint8_t>(bytes[7]);
+  if (type > static_cast<std::uint8_t>(MessageType::message_error))
+    throw MARSHAL("bad message type");
+  h.type = static_cast<MessageType>(type);
+  h.body_length = static_cast<std::uint32_t>(bytes[8]) |
+                  (static_cast<std::uint32_t>(bytes[9]) << 8) |
+                  (static_cast<std::uint32_t>(bytes[10]) << 16) |
+                  (static_cast<std::uint32_t>(bytes[11]) << 24);
+  return h;
+}
+
+void RequestMessage::encode_body(CdrOutputStream& out) const {
+  out.write_u64(request_id);
+  out.write_blob(std::span<const std::byte>(object_key.bytes));
+  out.write_string(operation);
+  out.write_bool(response_expected);
+  if (arguments.size() >= UINT32_MAX)
+    throw MARSHAL("too many arguments");
+  out.write_u32(static_cast<std::uint32_t>(arguments.size()));
+  for (const Value& v : arguments) v.encode(out);
+}
+
+RequestMessage RequestMessage::decode_body(CdrInputStream& in) {
+  RequestMessage req;
+  req.request_id = in.read_u64();
+  req.object_key.bytes = in.read_blob();
+  req.operation = in.read_string();
+  req.response_expected = in.read_bool();
+  const std::uint32_t argc = in.read_u32();
+  if (argc > in.remaining())
+    throw MARSHAL("argument count exceeds buffer");
+  req.arguments.reserve(argc);
+  for (std::uint32_t i = 0; i < argc; ++i)
+    req.arguments.push_back(Value::decode(in));
+  return req;
+}
+
+std::size_t RequestMessage::encoded_size_estimate() const noexcept {
+  std::size_t n = MessageHeader::kEncodedSize + 8 + 5 +
+                  object_key.bytes.size() + 5 + operation.size() + 1 + 4;
+  for (const Value& v : arguments) n += v.encoded_size_estimate();
+  return n;
+}
+
+void ReplyMessage::encode_body(CdrOutputStream& out) const {
+  out.write_u64(request_id);
+  out.write_octet(static_cast<std::uint8_t>(status));
+  switch (status) {
+    case ReplyStatus::no_exception:
+      result.encode(out);
+      break;
+    case ReplyStatus::user_exception:
+      out.write_string(exception_id);
+      out.write_string(exception_detail);
+      break;
+    case ReplyStatus::system_exception:
+      out.write_string(exception_id);
+      out.write_string(exception_detail);
+      out.write_u32(exception_minor);
+      out.write_octet(static_cast<std::uint8_t>(completion));
+      break;
+  }
+}
+
+ReplyMessage ReplyMessage::decode_body(CdrInputStream& in) {
+  ReplyMessage rep;
+  rep.request_id = in.read_u64();
+  const auto status = in.read_octet();
+  if (status > static_cast<std::uint8_t>(ReplyStatus::system_exception))
+    throw MARSHAL("bad reply status");
+  rep.status = static_cast<ReplyStatus>(status);
+  switch (rep.status) {
+    case ReplyStatus::no_exception:
+      rep.result = Value::decode(in);
+      break;
+    case ReplyStatus::user_exception:
+      rep.exception_id = in.read_string();
+      rep.exception_detail = in.read_string();
+      break;
+    case ReplyStatus::system_exception: {
+      rep.exception_id = in.read_string();
+      rep.exception_detail = in.read_string();
+      rep.exception_minor = in.read_u32();
+      const auto completion = in.read_octet();
+      if (completion > static_cast<std::uint8_t>(CompletionStatus::completed_maybe))
+        throw MARSHAL("bad completion status");
+      rep.completion = static_cast<CompletionStatus>(completion);
+      break;
+    }
+  }
+  return rep;
+}
+
+std::size_t ReplyMessage::encoded_size_estimate() const noexcept {
+  return MessageHeader::kEncodedSize + 8 + 1 + result.encoded_size_estimate() +
+         exception_id.size() + exception_detail.size();
+}
+
+Value ReplyMessage::result_or_throw() const {
+  switch (status) {
+    case ReplyStatus::no_exception:
+      return result;
+    case ReplyStatus::user_exception:
+      UserExceptionRegistry::instance().raise(exception_id, exception_detail);
+    case ReplyStatus::system_exception:
+      raise_system_exception(exception_id, exception_detail, exception_minor,
+                             completion);
+  }
+  throw INTERNAL("corrupt reply status");
+}
+
+ReplyMessage ReplyMessage::make_result(std::uint64_t request_id, Value result) {
+  ReplyMessage rep;
+  rep.request_id = request_id;
+  rep.status = ReplyStatus::no_exception;
+  rep.result = std::move(result);
+  return rep;
+}
+
+ReplyMessage ReplyMessage::make_system_exception(std::uint64_t request_id,
+                                                 const SystemException& e) {
+  ReplyMessage rep;
+  rep.request_id = request_id;
+  rep.status = ReplyStatus::system_exception;
+  rep.exception_id = e.repo_id();
+  rep.exception_detail = e.detail();
+  rep.exception_minor = e.minor();
+  rep.completion = e.completed();
+  return rep;
+}
+
+ReplyMessage ReplyMessage::make_user_exception(std::uint64_t request_id,
+                                               const UserException& e) {
+  ReplyMessage rep;
+  rep.request_id = request_id;
+  rep.status = ReplyStatus::user_exception;
+  rep.exception_id = e.repo_id();
+  rep.exception_detail = e.detail();
+  return rep;
+}
+
+UserExceptionRegistry& UserExceptionRegistry::instance() {
+  static UserExceptionRegistry registry;
+  return registry;
+}
+
+void UserExceptionRegistry::register_exception(std::string repo_id,
+                                               Thrower thrower) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const auto& e) { return e.first == repo_id; });
+  if (it == entries_.end()) entries_.emplace_back(std::move(repo_id), thrower);
+}
+
+void UserExceptionRegistry::raise(const std::string& repo_id,
+                                  const std::string& detail) const {
+  for (const auto& [id, thrower] : entries_) {
+    if (id == repo_id) thrower(detail);
+  }
+  throw UnknownUserException(repo_id, detail);
+}
+
+std::vector<std::byte> encode_frame(MessageType type,
+                                    const CdrOutputStream& body) {
+  MessageHeader header;
+  header.type = type;
+  header.byte_order = body.byte_order();
+  if (body.size() > UINT32_MAX) throw MARSHAL("message body too large");
+  header.body_length = static_cast<std::uint32_t>(body.size());
+  const auto head = header.encode();
+  std::vector<std::byte> frame;
+  frame.reserve(head.size() + body.size());
+  frame.insert(frame.end(), head.begin(), head.end());
+  frame.insert(frame.end(), body.buffer().begin(), body.buffer().end());
+  return frame;
+}
+
+}  // namespace corba

@@ -1,0 +1,132 @@
+// GIOP-lite message layer.
+//
+// CORBA's General Inter-ORB Protocol frames requests and replies with a
+// fixed header (magic, version, byte-order flag, message type, body length)
+// followed by a CDR body.  This module implements the same structure with a
+// reduced message set: Request, Reply, CloseConnection and MessageError.
+// Replies carry one of three statuses exactly like GIOP: NO_EXCEPTION,
+// USER_EXCEPTION or SYSTEM_EXCEPTION.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "orb/cdr.hpp"
+#include "orb/exceptions.hpp"
+#include "orb/ior.hpp"
+#include "orb/value.hpp"
+
+namespace corba {
+
+enum class MessageType : std::uint8_t {
+  request = 0,
+  reply = 1,
+  close_connection = 2,
+  message_error = 3,
+};
+
+/// Fixed 12-byte message header (wire layout mirrors GIOP 1.0).
+struct MessageHeader {
+  static constexpr std::array<char, 4> kMagic = {'M', 'O', 'R', 'B'};
+  static constexpr std::uint8_t kVersionMajor = 1;
+  static constexpr std::uint8_t kVersionMinor = 0;
+  static constexpr std::size_t kEncodedSize = 12;
+
+  MessageType type = MessageType::request;
+  ByteOrder byte_order = native_byte_order();
+  std::uint32_t body_length = 0;
+
+  /// Encodes into exactly kEncodedSize bytes.
+  std::array<std::byte, kEncodedSize> encode() const;
+  /// Throws MARSHAL on bad magic/version.
+  static MessageHeader decode(std::span<const std::byte> bytes);
+};
+
+/// An invocation request: target object key + operation + tagged arguments.
+struct RequestMessage {
+  std::uint64_t request_id = 0;
+  ObjectKey object_key;
+  std::string operation;
+  ValueSeq arguments;
+  /// When false the client does not expect a reply (CORBA "oneway").
+  bool response_expected = true;
+
+  void encode_body(CdrOutputStream& out) const;
+  static RequestMessage decode_body(CdrInputStream& in);
+
+  /// Rough wire size, used by the simulator's network model.
+  std::size_t encoded_size_estimate() const noexcept;
+};
+
+enum class ReplyStatus : std::uint8_t {
+  no_exception = 0,
+  user_exception = 1,
+  system_exception = 2,
+};
+
+/// Reply to a request: a result value or an exception description.
+struct ReplyMessage {
+  std::uint64_t request_id = 0;
+  ReplyStatus status = ReplyStatus::no_exception;
+  Value result;               ///< valid when status == no_exception
+  std::string exception_id;   ///< repository id for exceptions
+  std::string exception_detail;
+  std::uint32_t exception_minor = 0;
+  CompletionStatus completion = CompletionStatus::completed_yes;
+
+  void encode_body(CdrOutputStream& out) const;
+  static ReplyMessage decode_body(CdrInputStream& in);
+
+  std::size_t encoded_size_estimate() const noexcept;
+
+  /// Returns the result, or throws the carried exception (system exceptions
+  /// are rethrown as their concrete type; user exceptions go through the
+  /// UserExceptionRegistry).
+  Value result_or_throw() const;
+
+  static ReplyMessage make_result(std::uint64_t request_id, Value result);
+  static ReplyMessage make_system_exception(std::uint64_t request_id,
+                                            const SystemException& e);
+  static ReplyMessage make_user_exception(std::uint64_t request_id,
+                                          const UserException& e);
+};
+
+/// Registry mapping user-exception repository ids to throw functions so that
+/// stubs can rethrow the concrete exception type declared by an interface.
+/// Interfaces register their exceptions at static-init time via
+/// RegisterUserException<E>.
+class UserExceptionRegistry {
+ public:
+  using Thrower = void (*)(const std::string& detail);
+
+  static UserExceptionRegistry& instance();
+
+  void register_exception(std::string repo_id, Thrower thrower);
+  /// Throws the registered exception, or UnknownUserException.
+  [[noreturn]] void raise(const std::string& repo_id,
+                          const std::string& detail) const;
+
+ private:
+  UserExceptionRegistry() = default;
+  std::vector<std::pair<std::string, Thrower>> entries_;
+};
+
+/// Registers exception type E (constructible from a detail string) for id
+/// E::static_repo_id().  Instantiate as a namespace-scope object.
+template <typename E>
+struct RegisterUserException {
+  RegisterUserException() {
+    UserExceptionRegistry::instance().register_exception(
+        std::string(E::static_repo_id()),
+        +[](const std::string& detail) -> void { throw E(detail); });
+  }
+};
+
+/// Serializes header + body into one buffer (TCP transport).
+std::vector<std::byte> encode_frame(MessageType type,
+                                    const CdrOutputStream& body);
+
+}  // namespace corba

@@ -1,0 +1,214 @@
+#include "orb/orb.hpp"
+
+#include "orb/exceptions.hpp"
+#include "orb/tcp_transport.hpp"
+
+namespace corba {
+
+ObjectRef::ObjectRef(std::shared_ptr<ORB> orb, IOR ior)
+    : orb_(std::move(orb)), ior_(std::move(ior)) {}
+
+Value ObjectRef::invoke(std::string_view op, ValueSeq args) const {
+  if (is_nil())
+    throw BAD_INV_ORDER("invoke on nil reference", minor_code::unspecified,
+                        CompletionStatus::completed_no);
+  return orb_->invoke(ior_, op, std::move(args));
+}
+
+std::unique_ptr<PendingReply> ObjectRef::send(std::string_view op,
+                                              ValueSeq args) const {
+  if (is_nil())
+    throw BAD_INV_ORDER("send on nil reference", minor_code::unspecified,
+                        CompletionStatus::completed_no);
+  return orb_->send(ior_, op, std::move(args));
+}
+
+void ObjectRef::invoke_oneway(std::string_view op, ValueSeq args) const {
+  if (is_nil())
+    throw BAD_INV_ORDER("invoke_oneway on nil reference",
+                        minor_code::unspecified,
+                        CompletionStatus::completed_no);
+  orb_->send_oneway(ior_, op, std::move(args));
+}
+
+bool ObjectRef::is_a(std::string_view repo_id) const {
+  return invoke("_is_a", {Value(std::string(repo_id))}).as_bool();
+}
+
+bool ObjectRef::ping() const noexcept {
+  try {
+    invoke("_ping", {});
+    return true;
+  } catch (const SystemException&) {
+    return false;
+  }
+}
+
+Value ObjectRef::to_value() const {
+  if (is_nil()) return Value();
+  return Value(ior_.to_string());
+}
+
+ObjectRef ObjectRef::from_value(const std::shared_ptr<ORB>& orb,
+                                const Value& v) {
+  if (v.is_nil()) return ObjectRef();
+  if (!orb) throw BAD_PARAM("from_value requires an ORB");
+  return orb->make_ref(IOR::from_string(v.as_string()));
+}
+
+ORB::ORB(OrbConfig config) : config_(std::move(config)) {}
+
+std::shared_ptr<ORB> ORB::init(OrbConfig config) {
+  if (config.endpoint_name.empty())
+    throw BAD_PARAM("OrbConfig.endpoint_name must not be empty");
+  if (!config.network && !config.client_transport_override && !config.enable_tcp)
+    throw BAD_PARAM("OrbConfig requires a network, transport override or TCP");
+  auto orb = std::shared_ptr<ORB>(new ORB(std::move(config)));
+  orb->start();
+  return orb;
+}
+
+void ORB::start() {
+  EndpointProfile profile;
+  if (config_.enable_tcp) {
+    tcp_server_ = std::make_unique<TcpServerEndpoint>(config_.tcp_host,
+                                                      config_.tcp_port);
+    profile.protocol = std::string(protocol::tcp);
+    profile.host = config_.tcp_host;
+    profile.port = tcp_server_->port();
+  } else {
+    profile.protocol = std::string(protocol::inproc);
+    profile.host = config_.endpoint_name;
+    profile.port = 0;
+  }
+  adapter_ = std::make_shared<ObjectAdapter>(std::move(profile));
+  if (tcp_server_) tcp_server_->start(adapter_);
+  if (config_.network) {
+    config_.network->bind(config_.endpoint_name, adapter_);
+    inproc_transport_ =
+        std::make_shared<InProcessTransport>(config_.network);
+  }
+  if (config_.enable_tcp) tcp_transport_ = std::make_shared<TcpClientTransport>();
+}
+
+ORB::~ORB() { shutdown(); }
+
+void ORB::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  if (tcp_server_) tcp_server_->stop();
+  if (config_.network) config_.network->unbind(config_.endpoint_name);
+}
+
+std::uint16_t ORB::tcp_port() const noexcept {
+  return tcp_server_ ? tcp_server_->port() : 0;
+}
+
+ObjectRef ORB::activate(std::shared_ptr<Servant> servant,
+                        std::string_view name_hint) {
+  IOR ior = adapter_->activate(std::move(servant), name_hint);
+  return ObjectRef(shared_from_this(), std::move(ior));
+}
+
+ObjectRef ORB::make_ref(IOR ior) {
+  return ObjectRef(shared_from_this(), std::move(ior));
+}
+
+ClientTransport& ORB::transport_for(const IOR& target) {
+  if (config_.client_transport_override)
+    return *config_.client_transport_override;
+  if (target.protocol == protocol::inproc) {
+    if (!inproc_transport_)
+      throw COMM_FAILURE("ORB has no in-process network",
+                         minor_code::endpoint_unknown,
+                         CompletionStatus::completed_no);
+    return *inproc_transport_;
+  }
+  if (target.protocol == protocol::tcp) {
+    if (!tcp_transport_) {
+      // Lazily create a TCP client transport: a pure-client ORB may talk to
+      // TCP servers without exposing a TCP endpoint itself.
+      std::lock_guard lock(initial_refs_mu_);
+      if (!tcp_transport_)
+        tcp_transport_ = std::make_shared<TcpClientTransport>();
+    }
+    return *tcp_transport_;
+  }
+  throw INV_OBJREF("unknown protocol '" + target.protocol + "'");
+}
+
+std::unique_ptr<PendingReply> ORB::send(const IOR& target, std::string_view op,
+                                        ValueSeq args) {
+  if (shut_down_.load())
+    throw BAD_INV_ORDER("ORB has been shut down", minor_code::unspecified,
+                        CompletionStatus::completed_no);
+  RequestMessage req;
+  req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  req.object_key = target.key;
+  req.operation = std::string(op);
+  req.arguments = std::move(args);
+  return transport_for(target).send(target, std::move(req));
+}
+
+Value ORB::invoke(const IOR& target, std::string_view op, ValueSeq args) {
+  if (shut_down_.load())
+    throw BAD_INV_ORDER("ORB has been shut down", minor_code::unspecified,
+                        CompletionStatus::completed_no);
+  RequestMessage req;
+  req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  req.object_key = target.key;
+  req.operation = std::string(op);
+  req.arguments = std::move(args);
+  ReplyMessage reply = transport_for(target).invoke(target, std::move(req));
+  return reply.result_or_throw();
+}
+
+void ORB::send_oneway(const IOR& target, std::string_view op, ValueSeq args) {
+  if (shut_down_.load())
+    throw BAD_INV_ORDER("ORB has been shut down", minor_code::unspecified,
+                        CompletionStatus::completed_no);
+  RequestMessage req;
+  req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  req.object_key = target.key;
+  req.operation = std::string(op);
+  req.arguments = std::move(args);
+  req.response_expected = false;
+  // Best-effort: the pending handle is discarded; transports deliver without
+  // producing a reply and delivery failures are intentionally silent.
+  try {
+    transport_for(target).send(target, std::move(req));
+  } catch (const SystemException&) {
+  }
+}
+
+std::string ORB::object_to_string(const ObjectRef& ref) const {
+  if (ref.is_nil()) return "IOR:";
+  return ref.ior().to_string();
+}
+
+ObjectRef ORB::string_to_object(std::string_view ior_string) {
+  if (ior_string == "IOR:") return ObjectRef();
+  return make_ref(IOR::from_string(ior_string));
+}
+
+void ORB::register_initial_reference(const std::string& name, ObjectRef ref) {
+  std::lock_guard lock(initial_refs_mu_);
+  initial_refs_[name] = std::move(ref);
+}
+
+ObjectRef ORB::resolve_initial_references(const std::string& name) {
+  std::lock_guard lock(initial_refs_mu_);
+  auto it = initial_refs_.find(name);
+  if (it == initial_refs_.end())
+    throw INV_OBJREF("no initial reference named '" + name + "'");
+  return it->second;
+}
+
+std::vector<std::string> ORB::list_initial_services() const {
+  std::lock_guard lock(initial_refs_mu_);
+  std::vector<std::string> names;
+  names.reserve(initial_refs_.size());
+  for (const auto& [name, ref] : initial_refs_) names.push_back(name);
+  return names;
+}
+
+}  // namespace corba

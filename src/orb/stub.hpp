@@ -1,0 +1,43 @@
+// Stub support: the client-side base class that hand-written interface
+// stubs derive from (standing in for IDL-compiler output).
+//
+// Stub methods marshal typed arguments into tagged Values and perform the
+// invocation through the ORB.  The protected rebind() hook is what makes the
+// paper's proxy pattern work: "this proxy class is derived from the stub
+// class and therefore provides all of the methods of the stub class" (§3) —
+// a fault-tolerance proxy retargets its inherited stub at a freshly
+// restarted service after recovery.
+#pragma once
+
+#include <string_view>
+#include <utility>
+
+#include "orb/orb.hpp"
+
+namespace corba {
+
+class StubBase {
+ public:
+  StubBase() = default;
+  explicit StubBase(ObjectRef ref) : ref_(std::move(ref)) {}
+  virtual ~StubBase() = default;
+
+  bool is_nil() const noexcept { return ref_.is_nil(); }
+  const ObjectRef& ref() const noexcept { return ref_; }
+
+  /// Remote type check.
+  bool is_a(std::string_view repo_id) const { return ref_.is_a(repo_id); }
+
+ protected:
+  /// Synchronous invocation helper used by generated-style stub methods.
+  Value call(std::string_view op, ValueSeq args) const {
+    return ref_.invoke(op, std::move(args));
+  }
+
+  /// Retargets the stub (fault-tolerance proxies use this on recovery).
+  void rebind(ObjectRef ref) { ref_ = std::move(ref); }
+
+  ObjectRef ref_;
+};
+
+}  // namespace corba

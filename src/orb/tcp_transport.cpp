@@ -1,0 +1,333 @@
+#include "orb/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "orb/exceptions.hpp"
+
+namespace corba {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, std::uint32_t minor,
+                              CompletionStatus completed) {
+  throw COMM_FAILURE(what + ": " + std::strerror(errno), minor, completed);
+}
+
+constexpr int kPollIntervalMs = 100;
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw_errno("socket", minor_code::connect_failed,
+                CompletionStatus::completed_no);
+  Socket socket(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw COMM_FAILURE("bad address '" + host + "'", minor_code::connect_failed,
+                       CompletionStatus::completed_no);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    throw_errno("connect to " + host + ":" + std::to_string(port),
+                minor_code::connect_failed, CompletionStatus::completed_no);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return socket;
+}
+
+void Socket::write_all(std::span<const std::byte> data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + written, data.size() - written,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send", minor_code::connection_lost,
+                  CompletionStatus::completed_maybe);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::read_all(std::span<std::byte> data, bool eof_ok,
+                      const std::atomic<bool>* stop, double timeout_s) {
+  const auto deadline =
+      timeout_s > 0
+          ? std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(timeout_s))
+          : std::chrono::steady_clock::time_point::max();
+  std::size_t read = 0;
+  while (read < data.size()) {
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw TIMEOUT("no reply within the request timeout",
+                    minor_code::unspecified, CompletionStatus::completed_maybe);
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, kPollIntervalMs);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll", minor_code::connection_lost,
+                  CompletionStatus::completed_maybe);
+    }
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) return false;
+    if (pr == 0) continue;
+    const ssize_t n = ::recv(fd_, data.data() + read, data.size() - read, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv", minor_code::connection_lost,
+                  CompletionStatus::completed_maybe);
+    }
+    if (n == 0) {
+      if (eof_ok && read == 0) return false;
+      throw COMM_FAILURE("connection closed mid-frame",
+                         minor_code::connection_lost,
+                         CompletionStatus::completed_maybe);
+    }
+    read += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::send_frame(MessageType type, const CdrOutputStream& body) {
+  write_all(encode_frame(type, body));
+}
+
+bool Socket::recv_frame(MessageHeader& header, std::vector<std::byte>& body,
+                        const std::atomic<bool>* stop, double timeout_s) {
+  std::array<std::byte, MessageHeader::kEncodedSize> head_bytes;
+  if (!read_all(head_bytes, /*eof_ok=*/true, stop, timeout_s)) return false;
+  header = MessageHeader::decode(head_bytes);
+  body.resize(header.body_length);
+  if (header.body_length > 0) {
+    if (!read_all(body, /*eof_ok=*/false, stop, timeout_s)) return false;
+  }
+  return true;
+}
+
+ReplyMessage TcpClientTransport::round_trip(const IOR& target,
+                                            const RequestMessage& request) {
+  Socket socket = checkout(target.host, target.port);
+  try {
+    CdrOutputStream body;
+    request.encode_body(body);
+    socket.send_frame(MessageType::request, body);
+    if (!request.response_expected) {
+      checkin(target.host, target.port, std::move(socket));
+      return ReplyMessage::make_result(request.request_id, {});
+    }
+    MessageHeader header;
+    std::vector<std::byte> reply_bytes;
+    if (!socket.recv_frame(header, reply_bytes, nullptr, request_timeout_s_))
+      throw COMM_FAILURE("server closed connection",
+                         minor_code::connection_lost,
+                         CompletionStatus::completed_maybe);
+    if (header.type != MessageType::reply)
+      throw MARSHAL("unexpected message type in reply");
+    CdrInputStream in(reply_bytes, header.byte_order);
+    ReplyMessage reply = ReplyMessage::decode_body(in);
+    checkin(target.host, target.port, std::move(socket));
+    return reply;
+  } catch (...) {
+    // Connection state is unknown; drop it rather than returning it to the
+    // pool.
+    throw;
+  }
+}
+
+namespace {
+
+/// Deferred TCP reply: the round trip runs on a helper thread.
+class TcpPendingReply final : public PendingReply {
+ public:
+  TcpPendingReply(std::function<ReplyMessage()> round_trip)
+      : future_(std::async(std::launch::async, std::move(round_trip))) {}
+
+  bool ready() override {
+    return future_.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  }
+
+  ReplyMessage get() override { return future_.get(); }
+
+ private:
+  std::future<ReplyMessage> future_;
+};
+
+}  // namespace
+
+std::unique_ptr<PendingReply> TcpClientTransport::send(const IOR& target,
+                                                       RequestMessage request) {
+  return std::make_unique<TcpPendingReply>(
+      [this, target, request = std::move(request)]() {
+        return round_trip(target, request);
+      });
+}
+
+ReplyMessage TcpClientTransport::invoke(const IOR& target,
+                                        RequestMessage request) {
+  return round_trip(target, request);
+}
+
+Socket TcpClientTransport::checkout(const std::string& host,
+                                    std::uint16_t port) {
+  {
+    std::lock_guard lock(pool_mu_);
+    auto it = pool_.find({host, port});
+    if (it != pool_.end() && !it->second.empty()) {
+      Socket socket = std::move(it->second.back());
+      it->second.pop_back();
+      return socket;
+    }
+  }
+  return Socket::connect(host, port);
+}
+
+void TcpClientTransport::checkin(const std::string& host, std::uint16_t port,
+                                 Socket socket) {
+  constexpr std::size_t kMaxPooledPerTarget = 8;
+  std::lock_guard lock(pool_mu_);
+  auto& sockets = pool_[{host, port}];
+  if (sockets.size() < kMaxPooledPerTarget) sockets.push_back(std::move(socket));
+}
+
+TcpServerEndpoint::TcpServerEndpoint(const std::string& host,
+                                     std::uint16_t port)
+    : host_(host) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw_errno("socket", minor_code::connect_failed,
+                CompletionStatus::completed_no);
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw COMM_FAILURE("bad listen address '" + host + "'",
+                       minor_code::connect_failed,
+                       CompletionStatus::completed_no);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("bind " + host + ":" + std::to_string(port),
+                minor_code::connect_failed, CompletionStatus::completed_no);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("listen", minor_code::connect_failed,
+                CompletionStatus::completed_no);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpServerEndpoint::~TcpServerEndpoint() { stop(); }
+
+void TcpServerEndpoint::start(std::shared_ptr<ObjectAdapter> adapter) {
+  adapter_ = std::move(adapter);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void TcpServerEndpoint::stop() {
+  if (stopping_.exchange(true)) return;
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(workers_mu_);
+    workers.swap(workers_);
+  }
+  for (auto& worker : workers)
+    if (worker.joinable()) worker.join();
+}
+
+void TcpServerEndpoint::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, kPollIntervalMs);
+    if (pr <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard lock(workers_mu_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    workers_.emplace_back(
+        [this, socket = Socket(fd)]() mutable {
+          connection_loop(std::move(socket));
+        });
+  }
+}
+
+void TcpServerEndpoint::connection_loop(Socket socket) {
+  MessageHeader header;
+  std::vector<std::byte> body;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    try {
+      if (!socket.recv_frame(header, body, &stopping_)) return;
+      if (header.type == MessageType::close_connection) return;
+      if (header.type != MessageType::request) {
+        CdrOutputStream empty;
+        socket.send_frame(MessageType::message_error, empty);
+        return;
+      }
+      CdrInputStream in(body, header.byte_order);
+      RequestMessage request = RequestMessage::decode_body(in);
+      ReplyMessage reply = adapter_->dispatch(request);
+      if (!request.response_expected) continue;
+      CdrOutputStream out;
+      reply.encode_body(out);
+      socket.send_frame(MessageType::reply, out);
+    } catch (const Exception&) {
+      // Framing/marshal error on this connection: drop it.  The client sees
+      // COMM_FAILURE, which is exactly what a real ORB produces.
+      return;
+    }
+  }
+}
+
+}  // namespace corba

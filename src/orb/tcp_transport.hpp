@@ -1,0 +1,119 @@
+// Real-socket transport (GIOP-lite over TCP).
+//
+// The server endpoint is a classic thread-per-connection CORBA server: an
+// acceptor thread plus one worker thread per client connection, each running
+// a read-dispatch-write loop against the object adapter.  The client side
+// keeps a small pool of connections per (host, port) and serializes one
+// request per connection at a time.  Deferred-synchronous sends run the
+// round trip on a helper thread so the caller can keep working, which is how
+// the DII layer gets real parallelism in socket mode.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "orb/transport.hpp"
+
+namespace corba {
+
+/// RAII socket with framed message I/O.  Throws COMM_FAILURE on errors.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  static Socket connect(const std::string& host, std::uint16_t port);
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+  /// Writes an entire frame (header + body).
+  void send_frame(MessageType type, const CdrOutputStream& body);
+
+  /// Reads one frame.  Returns false on orderly peer close before a header;
+  /// throws COMM_FAILURE on mid-frame errors and TIMEOUT when `timeout_s`
+  /// (> 0) elapses first.  `stop` (optional) aborts the wait and returns
+  /// false when set.
+  bool recv_frame(MessageHeader& header, std::vector<std::byte>& body,
+                  const std::atomic<bool>* stop = nullptr,
+                  double timeout_s = 0);
+
+ private:
+  void write_all(std::span<const std::byte> data);
+  bool read_all(std::span<std::byte> data, bool eof_ok,
+                const std::atomic<bool>* stop, double timeout_s);
+
+  int fd_ = -1;
+};
+
+/// Client transport over TCP with per-target connection pooling.
+class TcpClientTransport final : public ClientTransport {
+ public:
+  /// `request_timeout_s` bounds the wait for each reply (0 = unbounded);
+  /// expiry raises TIMEOUT/COMPLETED_MAYBE and drops the connection.
+  explicit TcpClientTransport(double request_timeout_s = 0)
+      : request_timeout_s_(request_timeout_s) {}
+
+  std::unique_ptr<PendingReply> send(const IOR& target,
+                                     RequestMessage request) override;
+  ReplyMessage invoke(const IOR& target, RequestMessage request) override;
+
+ private:
+  friend class TcpPendingReply;
+  ReplyMessage round_trip(const IOR& target, const RequestMessage& request);
+
+  Socket checkout(const std::string& host, std::uint16_t port);
+  void checkin(const std::string& host, std::uint16_t port, Socket socket);
+
+  double request_timeout_s_ = 0;
+  std::mutex pool_mu_;
+  std::map<std::pair<std::string, std::uint16_t>, std::vector<Socket>> pool_;
+};
+
+/// Server endpoint: accepts connections and dispatches into an adapter.
+class TcpServerEndpoint {
+ public:
+  /// Binds and listens immediately (port 0 selects an ephemeral port).
+  TcpServerEndpoint(const std::string& host, std::uint16_t port);
+  ~TcpServerEndpoint();
+
+  TcpServerEndpoint(const TcpServerEndpoint&) = delete;
+  TcpServerEndpoint& operator=(const TcpServerEndpoint&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Starts the acceptor loop dispatching into `adapter`.
+  void start(std::shared_ptr<ObjectAdapter> adapter);
+
+  /// Stops accepting, closes connections, joins all threads.  Idempotent.
+  void stop();
+
+ private:
+  void accept_loop();
+  void connection_loop(Socket socket);
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::shared_ptr<ObjectAdapter> adapter_;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace corba

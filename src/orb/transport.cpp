@@ -1,0 +1,66 @@
+#include "orb/transport.hpp"
+
+#include "orb/exceptions.hpp"
+
+namespace corba {
+
+ReplyMessage ClientTransport::invoke(const IOR& target, RequestMessage request) {
+  return send(target, std::move(request))->get();
+}
+
+void InProcessNetwork::bind(const std::string& endpoint,
+                            std::weak_ptr<ObjectAdapter> adapter) {
+  std::lock_guard lock(mu_);
+  endpoints_[endpoint] = std::move(adapter);
+}
+
+void InProcessNetwork::unbind(const std::string& endpoint) {
+  std::lock_guard lock(mu_);
+  endpoints_.erase(endpoint);
+}
+
+std::shared_ptr<ObjectAdapter> InProcessNetwork::find(
+    const std::string& endpoint) const {
+  std::lock_guard lock(mu_);
+  auto it = endpoints_.find(endpoint);
+  if (it == endpoints_.end()) return nullptr;
+  return it->second.lock();
+}
+
+InProcessTransport::InProcessTransport(std::shared_ptr<InProcessNetwork> network)
+    : network_(std::move(network)) {
+  if (!network_) throw BAD_PARAM("InProcessTransport requires a network");
+}
+
+RequestMessage roundtrip_through_cdr(const RequestMessage& request) {
+  CdrOutputStream out;
+  request.encode_body(out);
+  CdrInputStream in(out.buffer(), out.byte_order());
+  return RequestMessage::decode_body(in);
+}
+
+ReplyMessage roundtrip_through_cdr(const ReplyMessage& reply) {
+  CdrOutputStream out;
+  reply.encode_body(out);
+  CdrInputStream in(out.buffer(), out.byte_order());
+  return ReplyMessage::decode_body(in);
+}
+
+std::unique_ptr<PendingReply> InProcessTransport::send(const IOR& target,
+                                                       RequestMessage request) {
+  std::shared_ptr<ObjectAdapter> adapter = network_->find(target.host);
+  if (!adapter) {
+    return std::make_unique<FailedReply>(std::make_exception_ptr(COMM_FAILURE(
+        "unknown in-process endpoint '" + target.host + "'",
+        minor_code::endpoint_unknown, CompletionStatus::completed_no)));
+  }
+  try {
+    RequestMessage wire_request = roundtrip_through_cdr(request);
+    ReplyMessage reply = adapter->dispatch(wire_request);
+    return std::make_unique<ImmediateReply>(roundtrip_through_cdr(reply));
+  } catch (...) {
+    return std::make_unique<FailedReply>(std::current_exception());
+  }
+}
+
+}  // namespace corba

@@ -1,0 +1,109 @@
+// Client transport abstraction and the in-process transport.
+//
+// A ClientTransport delivers a RequestMessage to the adapter named by an IOR
+// and produces a PendingReply.  The split into send()/PendingReply is what
+// makes CORBA's deferred-synchronous DII possible: send() never blocks on
+// the reply, and get() completes it.  Three transports implement this
+// interface: the in-process transport below, the TCP transport
+// (tcp_transport.hpp) and the simulator transport (sim/sim_transport.hpp),
+// which adds virtual time, load and failures.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "orb/ior.hpp"
+#include "orb/message.hpp"
+#include "orb/object_adapter.hpp"
+
+namespace corba {
+
+/// Handle to an in-flight request.
+class PendingReply {
+ public:
+  virtual ~PendingReply() = default;
+
+  /// Non-blocking: true once get() will not block.
+  virtual bool ready() = 0;
+
+  /// Waits for and returns the reply.  Throws transport-level system
+  /// exceptions (COMM_FAILURE etc.); exceptions raised by the *server* are
+  /// carried inside the ReplyMessage instead.  Call at most once.
+  virtual ReplyMessage get() = 0;
+};
+
+/// Delivers requests addressed by IORs.
+class ClientTransport {
+ public:
+  virtual ~ClientTransport() = default;
+
+  /// Starts the invocation; never blocks on the reply.
+  virtual std::unique_ptr<PendingReply> send(const IOR& target,
+                                             RequestMessage request) = 0;
+
+  /// Synchronous round trip; default implementation completes send().
+  virtual ReplyMessage invoke(const IOR& target, RequestMessage request);
+};
+
+/// A PendingReply that is complete on construction.
+class ImmediateReply final : public PendingReply {
+ public:
+  explicit ImmediateReply(ReplyMessage reply) : reply_(std::move(reply)) {}
+  bool ready() override { return true; }
+  ReplyMessage get() override { return std::move(reply_); }
+
+ private:
+  ReplyMessage reply_;
+};
+
+/// A PendingReply that throws a stored system exception from get().
+class FailedReply final : public PendingReply {
+ public:
+  explicit FailedReply(std::exception_ptr error) : error_(std::move(error)) {}
+  bool ready() override { return true; }
+  [[noreturn]] ReplyMessage get() override { std::rethrow_exception(error_); }
+
+ private:
+  std::exception_ptr error_;
+};
+
+/// Registry of in-process endpoints.  Every ORB participating in the same
+/// "virtual network" shares one instance; the endpoint name in an inproc IOR
+/// selects the target adapter.  Adapters are held weakly so a shut-down ORB
+/// simply disappears from the network (clients then see COMM_FAILURE, the
+/// same observable behaviour as a crashed remote process).
+class InProcessNetwork {
+ public:
+  void bind(const std::string& endpoint, std::weak_ptr<ObjectAdapter> adapter);
+  void unbind(const std::string& endpoint);
+
+  /// Returns the adapter or nullptr when the endpoint is unknown or gone.
+  std::shared_ptr<ObjectAdapter> find(const std::string& endpoint) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::weak_ptr<ObjectAdapter>> endpoints_;
+};
+
+/// Transport delivering requests through an InProcessNetwork.  Requests and
+/// replies are round-tripped through their CDR encoding so the marshaling
+/// path is exercised identically to a socket transport.
+class InProcessTransport final : public ClientTransport {
+ public:
+  explicit InProcessTransport(std::shared_ptr<InProcessNetwork> network);
+
+  std::unique_ptr<PendingReply> send(const IOR& target,
+                                     RequestMessage request) override;
+
+ private:
+  std::shared_ptr<InProcessNetwork> network_;
+};
+
+/// Encodes and re-decodes a request as the wire would.  Shared by the
+/// in-process and simulator transports.
+RequestMessage roundtrip_through_cdr(const RequestMessage& request);
+ReplyMessage roundtrip_through_cdr(const ReplyMessage& reply);
+
+}  // namespace corba

@@ -1,0 +1,102 @@
+#include "sim/cluster.hpp"
+
+namespace sim {
+
+Host& Cluster::add_host(const std::string& name, double speed,
+                        int background_processes) {
+  auto [it, inserted] = hosts_.emplace(
+      name, std::make_unique<Host>(events_, name, speed, background_processes));
+  if (!inserted) throw std::invalid_argument("duplicate host name: " + name);
+  return *it->second;
+}
+
+bool Cluster::has_host(const std::string& name) const {
+  return hosts_.count(name) != 0;
+}
+
+Host& Cluster::host(const std::string& name) {
+  auto it = hosts_.find(name);
+  if (it == hosts_.end()) throw std::out_of_range("unknown host: " + name);
+  return *it->second;
+}
+
+const Host& Cluster::host(const std::string& name) const {
+  auto it = hosts_.find(name);
+  if (it == hosts_.end()) throw std::out_of_range("unknown host: " + name);
+  return *it->second;
+}
+
+std::vector<std::string> Cluster::host_names() const {
+  std::vector<std::string> names;
+  names.reserve(hosts_.size());
+  for (const auto& [name, host] : hosts_) names.push_back(name);
+  return names;
+}
+
+void Cluster::map_endpoint(const std::string& endpoint,
+                           const std::string& host_name) {
+  if (!has_host(host_name)) throw std::out_of_range("unknown host: " + host_name);
+  endpoint_to_host_[endpoint] = host_name;
+}
+
+Host* Cluster::host_for_endpoint(const std::string& endpoint) {
+  auto it = endpoint_to_host_.find(endpoint);
+  if (it == endpoint_to_host_.end()) return nullptr;
+  return &host(it->second);
+}
+
+void Cluster::set_background_load(const std::string& host_name, int processes) {
+  host(host_name).set_background_processes(processes);
+}
+
+void Cluster::crash_host(const std::string& host_name) {
+  host(host_name).crash();
+}
+
+void Cluster::crash_host_at(Time t, const std::string& host_name) {
+  events_.schedule_at(t, [this, host_name] { host(host_name).crash(); });
+}
+
+void Cluster::restart_host(const std::string& host_name) {
+  host(host_name).restart();
+}
+
+void Cluster::set_host_domain(const std::string& host_name,
+                              const std::string& domain) {
+  if (!has_host(host_name)) throw std::out_of_range("unknown host: " + host_name);
+  host_domain_[host_name] = domain;
+}
+
+std::string Cluster::domain_of(const std::string& host_name) const {
+  auto it = host_domain_.find(host_name);
+  return it == host_domain_.end() ? std::string() : it->second;
+}
+
+double Cluster::transfer_time(const std::string& from_endpoint,
+                              const std::string& to_endpoint,
+                              std::size_t bytes) const {
+  auto host_of = [&](const std::string& endpoint) -> std::string {
+    auto it = endpoint_to_host_.find(endpoint);
+    return it == endpoint_to_host_.end() ? std::string() : it->second;
+  };
+  const std::string from = host_of(from_endpoint);
+  const std::string to = host_of(to_endpoint);
+  if (!from.empty() && !to.empty() && domain_of(from) != domain_of(to))
+    return network_.wan_transfer_time(bytes);
+  return network_.transfer_time(bytes);
+}
+
+void Cluster::run_local_work(const std::string& host_name, double work) {
+  bool done = false;
+  bool failed = false;
+  host(host_name).submit(
+      work, [&done] { done = true; }, [&failed] { failed = true; });
+  events_.run_while([&] { return !done && !failed; });
+  if (failed)
+    throw std::runtime_error("host " + host_name + " crashed during local work");
+  if (!done)
+    throw std::runtime_error("simulation deadlock waiting for local work on " +
+                             host_name);
+}
+
+}  // namespace sim

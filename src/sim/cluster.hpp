@@ -1,0 +1,106 @@
+// Simulated network of workstations.
+//
+// Substitutes the paper's 10-workstation Unix NOW (DESIGN.md §2): a set of
+// processor-sharing Hosts sharing one virtual clock, a simple latency +
+// bandwidth network model, a mapping from ORB endpoint names to hosts, and
+// failure/background-load injection used by the experiments.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/host.hpp"
+
+namespace sim {
+
+/// Latency + bandwidth model of the network connecting the workstations.
+/// LAN defaults approximate a switched 100 Mbit/s Ethernet of the paper's
+/// era; the WAN figures model the inter-site links of the paper's §5
+/// "CORBA based distributed/parallel meta-computing over the WWW" outlook
+/// and apply between hosts assigned to different domains.
+struct NetworkModel {
+  double latency_s = 5e-4;               ///< intra-domain one-way latency
+  double bandwidth_bytes_per_s = 1.0e7;  ///< intra-domain payload bandwidth
+  double wan_latency_s = 3e-2;           ///< inter-domain one-way latency
+  double wan_bandwidth_bytes_per_s = 1.0e6;  ///< inter-domain bandwidth
+
+  /// One-way intra-domain transfer time of a message of `bytes` bytes.
+  double transfer_time(std::size_t bytes) const noexcept {
+    return latency_s + static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+  /// One-way inter-domain transfer time.
+  double wan_transfer_time(std::size_t bytes) const noexcept {
+    return wan_latency_s +
+           static_cast<double>(bytes) / wan_bandwidth_bytes_per_s;
+  }
+};
+
+class Cluster {
+ public:
+  Cluster() = default;
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  EventQueue& events() noexcept { return events_; }
+  const EventQueue& events() const noexcept { return events_; }
+  NetworkModel& network() noexcept { return network_; }
+  const NetworkModel& network() const noexcept { return network_; }
+
+  /// Adds a workstation.  Throws on duplicate names.
+  Host& add_host(const std::string& name, double speed,
+                 int background_processes = 0);
+
+  bool has_host(const std::string& name) const;
+  /// Throws std::out_of_range for unknown hosts.
+  Host& host(const std::string& name);
+  const Host& host(const std::string& name) const;
+  std::vector<std::string> host_names() const;
+  std::size_t size() const noexcept { return hosts_.size(); }
+
+  // --- endpoint mapping -----------------------------------------------------
+  /// Declares that ORB endpoint `endpoint` runs on host `host_name`; the
+  /// simulator transport charges that host for servant execution.
+  void map_endpoint(const std::string& endpoint, const std::string& host_name);
+  /// Returns the host for an endpoint, or nullptr when unmapped.
+  Host* host_for_endpoint(const std::string& endpoint);
+
+  // --- domains (WAN meta-computing) -----------------------------------------
+  /// Assigns a host to a network domain (site).  Hosts without a domain
+  /// assignment share one implicit domain.
+  void set_host_domain(const std::string& host_name, const std::string& domain);
+  /// Domain of a host ("" when unassigned).
+  std::string domain_of(const std::string& host_name) const;
+
+  /// One-way transfer time between two endpoints' hosts: the LAN model
+  /// within one domain, the WAN model across domains.  Unknown endpoints
+  /// (e.g. external drivers) count as local.
+  double transfer_time(const std::string& from_endpoint,
+                       const std::string& to_endpoint, std::size_t bytes) const;
+
+  // --- experiment knobs -------------------------------------------------------
+  /// Injects `processes` compute-bound background processes on a host.
+  void set_background_load(const std::string& host_name, int processes);
+
+  /// Crashes a host immediately / at an absolute virtual time.
+  void crash_host(const std::string& host_name);
+  void crash_host_at(Time t, const std::string& host_name);
+  void restart_host(const std::string& host_name);
+
+  /// Runs `work` units on `host_name` from driver code and pumps virtual
+  /// time until it completes (models the manager process's own computation).
+  /// Throws corba-agnostic std::runtime_error if the host dies first.
+  void run_local_work(const std::string& host_name, double work);
+
+ private:
+  EventQueue events_;
+  NetworkModel network_;
+  std::map<std::string, std::unique_ptr<Host>> hosts_;
+  std::map<std::string, std::string> endpoint_to_host_;
+  std::map<std::string, std::string> host_domain_;
+};
+
+}  // namespace sim

@@ -1,0 +1,47 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sim {
+
+void EventQueue::schedule_at(Time t, Callback cb) {
+  if (!cb) throw std::invalid_argument("EventQueue: null callback");
+  if (t < now_) t = now_;
+  events_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_after(Time dt, Callback cb) {
+  schedule_at(now_ + (dt > 0 ? dt : 0), std::move(cb));
+}
+
+bool EventQueue::step() {
+  if (events_.empty()) return false;
+  // Move the event out before running it: the callback may schedule new
+  // events or pump the queue recursively.
+  Event event = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = event.time;
+  ++executed_;
+  event.callback();
+  return true;
+}
+
+void EventQueue::run_until_idle() {
+  while (step()) {
+  }
+}
+
+void EventQueue::run_until(Time t) {
+  while (!events_.empty() && events_.top().time <= t) step();
+  if (t > now_) now_ = t;
+}
+
+bool EventQueue::run_while(const std::function<bool()>& more) {
+  while (more()) {
+    if (!step()) return false;
+  }
+  return true;
+}
+
+}  // namespace sim

@@ -1,0 +1,117 @@
+#include "sim/host.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sim {
+
+namespace {
+// Remaining work at or below this is considered finished.  Settling computes
+// progress = dt * rate with dt = min_remaining / rate, so the residue is a
+// few ulps of the task size; for task sizes up to ~1e9 work units that is
+// well below 1e-6.
+constexpr double kWorkEpsilon = 1e-6;
+}  // namespace
+
+Host::Host(EventQueue& events, std::string name, double speed,
+           int background_processes)
+    : events_(events),
+      name_(std::move(name)),
+      speed_(speed),
+      background_(background_processes) {
+  if (!(speed > 0)) throw std::invalid_argument("host speed must be positive");
+  if (background_processes < 0)
+    throw std::invalid_argument("background process count must be >= 0");
+}
+
+double Host::rate() const noexcept {
+  const std::size_t sharers = tasks_.size() + static_cast<std::size_t>(background_);
+  if (sharers == 0) return speed_;
+  return speed_ / static_cast<double>(sharers);
+}
+
+void Host::settle() {
+  const Time now = events_.now();
+  if (now > last_settle_ && !tasks_.empty()) {
+    const double progress = (now - last_settle_) * rate();
+    for (Task& task : tasks_) task.remaining -= progress;
+  }
+  last_settle_ = now;
+}
+
+void Host::reschedule() {
+  ++epoch_;
+  if (tasks_.empty() || !alive_) return;
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const Task& task : tasks_)
+    min_remaining = std::min(min_remaining, task.remaining);
+  const double dt = std::max(0.0, min_remaining) / rate();
+  const std::uint64_t epoch = epoch_;
+  events_.schedule_after(dt, [this, epoch] { on_completion_event(epoch); });
+}
+
+void Host::on_completion_event(std::uint64_t epoch) {
+  if (epoch != epoch_ || !alive_) return;  // superseded by a later change
+  settle();
+  std::vector<std::function<void()>> finished;
+  for (auto it = tasks_.begin(); it != tasks_.end();) {
+    if (it->remaining <= kWorkEpsilon) {
+      finished.push_back(std::move(it->on_done));
+      it = tasks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reschedule();
+  // Completion callbacks run after the host state is consistent: they may
+  // submit follow-up work or pump the event queue.
+  for (auto& cb : finished) {
+    if (cb) cb();
+  }
+}
+
+void Host::submit(double work, std::function<void()> on_done,
+                  std::function<void()> on_failed) {
+  if (work < 0) throw std::invalid_argument("negative work");
+  if (!alive_) {
+    if (on_failed) events_.schedule_after(0, std::move(on_failed));
+    return;
+  }
+  settle();
+  completed_work_ += work;  // counted on acceptance; crash telemetry is rare
+  tasks_.push_back(Task{next_task_id_++, work, std::move(on_done),
+                        std::move(on_failed)});
+  reschedule();
+}
+
+void Host::set_background_processes(int n) {
+  if (n < 0) throw std::invalid_argument("background process count must be >= 0");
+  settle();
+  background_ = n;
+  reschedule();
+}
+
+void Host::crash() {
+  if (!alive_) return;
+  settle();
+  alive_ = false;
+  ++epoch_;  // cancel any scheduled completion
+  std::vector<std::function<void()>> failures;
+  for (Task& task : tasks_) {
+    completed_work_ -= task.remaining;  // undo optimistic accounting
+    if (task.on_failed) failures.push_back(std::move(task.on_failed));
+  }
+  tasks_.clear();
+  for (auto& cb : failures) cb();
+}
+
+void Host::restart() {
+  if (alive_) return;
+  alive_ = true;
+  last_settle_ = events_.now();
+  ++epoch_;
+}
+
+}  // namespace sim

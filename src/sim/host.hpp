@@ -1,0 +1,91 @@
+// Simulated workstation: a processor-sharing queue over virtual time.
+//
+// A circa-2000 Unix workstation timeshares all runnable processes, so a
+// compute-bound task on a host with `k` other runnable processes progresses
+// at speed/(k+1).  Host models exactly that: each submitted task has a work
+// size (abstract work units); at any instant every resident task progresses
+// at speed / (active_tasks + background_processes).  Background processes
+// model the paper's artificially generated "background load" and never
+// finish.  Crashing a host fails all resident tasks — the hook the
+// fault-tolerance experiments use to trigger CORBA::COMM_FAILURE.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace sim {
+
+class Host {
+ public:
+  /// `speed` is the host's performance index in work units per virtual
+  /// second for a task running alone.
+  Host(EventQueue& events, std::string name, double speed,
+       int background_processes = 0);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  double speed() const noexcept { return speed_; }
+  bool alive() const noexcept { return alive_; }
+
+  int background_processes() const noexcept { return background_; }
+  /// Changing the background load re-times all resident tasks.
+  void set_background_processes(int n);
+
+  std::size_t active_tasks() const noexcept { return tasks_.size(); }
+
+  /// What a load sensor observes: runnable process count (resident tasks
+  /// plus background processes), i.e. a UNIX run-queue length.
+  double observed_load() const noexcept {
+    return static_cast<double>(tasks_.size() + static_cast<std::size_t>(background_));
+  }
+
+  /// Submits `work` units.  `on_done` fires at the virtual completion time;
+  /// `on_failed` fires if the host crashes first.  Zero work completes via
+  /// an immediate event (still asynchronously, preserving event ordering).
+  /// Submitting to a dead host invokes `on_failed` via an immediate event.
+  void submit(double work, std::function<void()> on_done,
+              std::function<void()> on_failed = {});
+
+  /// Kills the host: every resident task fails, new submissions fail.
+  void crash();
+
+  /// Brings a crashed host back (fresh, with no resident tasks).
+  void restart();
+
+  /// Total work units completed on this host (telemetry).
+  double completed_work() const noexcept { return completed_work_; }
+
+ private:
+  struct Task {
+    std::uint64_t id;
+    double remaining;
+    std::function<void()> on_done;
+    std::function<void()> on_failed;
+  };
+
+  double rate() const noexcept;
+  /// Applies progress accrued since the last settle at the current rate.
+  void settle();
+  /// (Re)schedules the completion event for the earliest-finishing task.
+  void reschedule();
+  void on_completion_event(std::uint64_t epoch);
+
+  EventQueue& events_;
+  std::string name_;
+  double speed_;
+  int background_;
+  bool alive_ = true;
+  std::vector<Task> tasks_;
+  Time last_settle_ = 0.0;
+  std::uint64_t epoch_ = 0;     ///< invalidates stale completion events
+  std::uint64_t next_task_id_ = 1;
+  double completed_work_ = 0.0;
+};
+
+}  // namespace sim

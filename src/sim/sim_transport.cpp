@@ -1,0 +1,179 @@
+#include "sim/sim_transport.hpp"
+
+#include <optional>
+
+#include "orb/exceptions.hpp"
+#include "sim/work_meter.hpp"
+
+namespace sim {
+
+namespace {
+
+/// Shared completion slot between the transport events and the client-side
+/// PendingReply handle.
+struct ReplySlot {
+  bool done = false;
+  std::optional<corba::ReplyMessage> reply;
+  std::exception_ptr error;
+
+  void complete(corba::ReplyMessage r) {
+    reply = std::move(r);
+    done = true;
+  }
+  void fail(std::exception_ptr e) {
+    error = std::move(e);
+    done = true;
+  }
+};
+
+class SimPendingReply final : public corba::PendingReply {
+ public:
+  /// `deadline` < 0 disables the request timeout.
+  SimPendingReply(EventQueue& events, std::shared_ptr<ReplySlot> slot,
+                  double deadline)
+      : events_(events), slot_(std::move(slot)), deadline_(deadline) {}
+
+  bool ready() override {
+    return slot_->done ||
+           (deadline_ >= 0 && events_.now() >= deadline_);
+  }
+
+  corba::ReplyMessage get() override {
+    // Pump virtual time until the reply (or its failure) is due, bounded by
+    // the request deadline when one is set.
+    if (deadline_ >= 0) {
+      // Pump only events at or before the deadline: the virtual clock must
+      // stop exactly at expiry, not at the next scheduled event beyond it.
+      while (!slot_->done) {
+        const std::optional<Time> next = events_.next_time();
+        if (!next || *next > deadline_) break;
+        events_.step();
+      }
+      if (!slot_->done) {
+        events_.run_until(deadline_);
+        throw corba::TIMEOUT("no reply within the request timeout",
+                             corba::minor_code::unspecified,
+                             corba::CompletionStatus::completed_maybe);
+      }
+    } else {
+      events_.run_while([this] { return !slot_->done; });
+    }
+    if (!slot_->done)
+      throw corba::INTERNAL(
+          "simulation deadlock: pending reply can never complete",
+          corba::minor_code::unspecified,
+          corba::CompletionStatus::completed_maybe);
+    if (slot_->error) std::rethrow_exception(slot_->error);
+    return std::move(*slot_->reply);
+  }
+
+ private:
+  EventQueue& events_;
+  std::shared_ptr<ReplySlot> slot_;
+  double deadline_;
+};
+
+std::exception_ptr comm_failure(const std::string& detail, std::uint32_t minor,
+                                corba::CompletionStatus completed) {
+  return std::make_exception_ptr(corba::COMM_FAILURE(detail, minor, completed));
+}
+
+}  // namespace
+
+SimTransport::SimTransport(Cluster& cluster,
+                           std::shared_ptr<corba::InProcessNetwork> network,
+                           std::string source_endpoint,
+                           double request_timeout_s)
+    : cluster_(cluster),
+      network_(std::move(network)),
+      source_endpoint_(std::move(source_endpoint)),
+      request_timeout_s_(request_timeout_s) {
+  if (!network_) throw corba::BAD_PARAM("SimTransport requires a network");
+  if (request_timeout_s < 0)
+    throw corba::BAD_PARAM("negative request timeout");
+}
+
+std::unique_ptr<corba::PendingReply> SimTransport::send(
+    const corba::IOR& target, corba::RequestMessage request) {
+  auto slot = std::make_shared<ReplySlot>();
+  EventQueue& events = cluster_.events();
+  const double deadline =
+      request_timeout_s_ > 0 ? events.now() + request_timeout_s_ : -1.0;
+
+  Host* host = cluster_.host_for_endpoint(target.host);
+  if (host == nullptr) {
+    // Endpoint never registered with the cluster: immediate addressing
+    // failure, nothing was sent.
+    slot->fail(comm_failure("endpoint '" + target.host + "' not in cluster",
+                            corba::minor_code::endpoint_unknown,
+                            corba::CompletionStatus::completed_no));
+    return std::make_unique<SimPendingReply>(events, slot, deadline);
+  }
+
+  const double request_transfer = cluster_.transfer_time(
+      source_endpoint_, target.host, request.encoded_size_estimate());
+  const std::string endpoint = target.host;
+  const std::string host_name = host->name();
+
+  // Request arrives at the server after the transfer delay.
+  events.schedule_after(
+      request_transfer,
+      [this, slot, endpoint, host_name, request = std::move(request)] {
+        Host& host = cluster_.host(host_name);
+        if (!host.alive()) {
+          slot->fail(comm_failure("host " + host_name + " is down",
+                                  corba::minor_code::host_down,
+                                  corba::CompletionStatus::completed_no));
+          return;
+        }
+        std::shared_ptr<corba::ObjectAdapter> adapter = network_->find(endpoint);
+        if (!adapter) {
+          // Host is up but no server process bound to the endpoint (e.g.
+          // the ORB shut down): connection refused.
+          slot->fail(comm_failure("no server at endpoint '" + endpoint + "'",
+                                  corba::minor_code::connect_failed,
+                                  corba::CompletionStatus::completed_no));
+          return;
+        }
+        // Execute the servant, collecting the work it reports; round-trip
+        // through CDR so marshaling is exercised exactly as on a wire.
+        corba::ReplyMessage reply;
+        double work = 0.0;
+        const bool response_expected = request.response_expected;
+        try {
+          corba::RequestMessage wire = corba::roundtrip_through_cdr(request);
+          WorkScope scope;
+          reply = adapter->dispatch(wire);
+          work = scope.consumed();
+        } catch (...) {
+          slot->fail(std::current_exception());
+          return;
+        }
+        const double reply_transfer = cluster_.transfer_time(
+            endpoint, source_endpoint_, reply.encoded_size_estimate());
+        // Busy the host for the reported work; the reply leaves afterwards.
+        host.submit(
+            work,
+            [this, slot, reply = std::move(reply), reply_transfer,
+             response_expected]() mutable {
+              if (!response_expected) {
+                slot->complete(corba::ReplyMessage::make_result(0, {}));
+                return;
+              }
+              cluster_.events().schedule_after(
+                  reply_transfer, [slot, reply = std::move(reply)]() mutable {
+                    slot->complete(corba::roundtrip_through_cdr(reply));
+                  });
+            },
+            [slot, host_name] {
+              slot->fail(comm_failure(
+                  "host " + host_name + " crashed during the call",
+                  corba::minor_code::server_crashed,
+                  corba::CompletionStatus::completed_maybe));
+            });
+      });
+
+  return std::make_unique<SimPendingReply>(events, slot, deadline);
+}
+
+}  // namespace sim

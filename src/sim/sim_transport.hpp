@@ -1,0 +1,56 @@
+// Simulator transport: the ORB client transport that interposes the
+// virtual cluster on every invocation.
+//
+// The invocation timeline of request -> reply becomes, in virtual time:
+//
+//   t0                 client sends (request transfer begins)
+//   t0 + net(request)  request arrives; servant executes and reports work
+//   ... host processor-shares the reported work with all resident tasks ...
+//   t1                 work complete; reply transfer begins
+//   t1 + net(reply)    reply available at the client
+//
+// Failure semantics mirror a real ORB: an unmapped or never-started
+// endpoint yields COMM_FAILURE/completed_no after a connect delay; a host
+// that crashes while the request is resident yields COMM_FAILURE/
+// completed_maybe (the client cannot know whether the method ran) — exactly
+// the exception the paper's proxy objects react to.
+//
+// SimPendingReply::get() pumps the event queue until its reply is due, so
+// driver code written against the ordinary CORBA API (stubs, DII requests)
+// runs unmodified under the simulator.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "orb/transport.hpp"
+#include "sim/cluster.hpp"
+
+namespace sim {
+
+class SimTransport final : public corba::ClientTransport {
+ public:
+  /// `network` resolves endpoint names to object adapters (the same
+  /// registry ordinary in-process ORBs use); `cluster` supplies hosts,
+  /// virtual time and the network model.  `source_endpoint` identifies the
+  /// sending node so cross-domain (WAN) messages are charged accordingly;
+  /// empty means an external/local driver.  `request_timeout_s` bounds the
+  /// virtual time a caller waits for a reply (0 = unbounded): expiry raises
+  /// corba::TIMEOUT with COMPLETED_MAYBE, which is how hung or overloaded
+  /// servers become recoverable failures.
+  SimTransport(Cluster& cluster,
+               std::shared_ptr<corba::InProcessNetwork> network,
+               std::string source_endpoint = {},
+               double request_timeout_s = 0);
+
+  std::unique_ptr<corba::PendingReply> send(
+      const corba::IOR& target, corba::RequestMessage request) override;
+
+ private:
+  Cluster& cluster_;
+  std::shared_ptr<corba::InProcessNetwork> network_;
+  std::string source_endpoint_;
+  double request_timeout_s_;
+};
+
+}  // namespace sim

@@ -1,0 +1,23 @@
+#include "sim/work_meter.hpp"
+
+namespace sim {
+
+namespace {
+thread_local WorkScope* g_current_scope = nullptr;
+}  // namespace
+
+void WorkMeter::charge(double units) noexcept {
+  if (g_current_scope != nullptr && units > 0) {
+    g_current_scope->consumed_ += units;
+  }
+}
+
+bool WorkMeter::active() noexcept { return g_current_scope != nullptr; }
+
+WorkScope::WorkScope() noexcept : previous_(g_current_scope) {
+  g_current_scope = this;
+}
+
+WorkScope::~WorkScope() { g_current_scope = previous_; }
+
+}  // namespace sim

@@ -1,0 +1,41 @@
+// Work metering: how servants report compute cost to the simulator.
+//
+// Application code calls WorkMeter::charge(units) while it computes (e.g.
+// the Complex Box worker charges per objective evaluation).  When the call
+// was dispatched by the simulator transport, an active WorkScope collects
+// the units and the target host is then busied for consumed/rate virtual
+// seconds.  Outside the simulator (real TCP deployments) there is no active
+// scope and charge() is a no-op — application code is identical in both
+// modes.
+#pragma once
+
+namespace sim {
+
+class WorkMeter {
+ public:
+  /// Adds `units` of abstract work to the innermost active scope, if any.
+  static void charge(double units) noexcept;
+
+  /// True while some scope is collecting (i.e. running under the simulator).
+  static bool active() noexcept;
+};
+
+/// RAII collector for the work charged during a servant dispatch.  Scopes
+/// nest: each scope collects only charges made while it is innermost, so a
+/// nested dispatch on another host is billed to that host alone.
+class WorkScope {
+ public:
+  WorkScope() noexcept;
+  ~WorkScope();
+  WorkScope(const WorkScope&) = delete;
+  WorkScope& operator=(const WorkScope&) = delete;
+
+  double consumed() const noexcept { return consumed_; }
+
+ private:
+  friend class WorkMeter;
+  double consumed_ = 0.0;
+  WorkScope* previous_;
+};
+
+}  // namespace sim

@@ -1,0 +1,78 @@
+// Winner resource-management interfaces.
+//
+// Winner (Arndt/Freisleben/Kielmann/Thilo, PDCS'98) provides load
+// distribution for a NOW: one *node manager* per workstation periodically
+// measures load and reports to a central *system manager* that knows, at any
+// time, which machine currently offers the best performance.  This header
+// defines the client-visible interface of the system manager; the naming
+// service consumes it to make load-aware resolve decisions (Fig. 1 of the
+// paper).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "orb/exceptions.hpp"
+#include "orb/message.hpp"
+
+namespace winner {
+
+inline constexpr std::string_view kSystemManagerRepoId =
+    "IDL:corbaft/winner/SystemManager:1.0";
+
+/// Raised by best_host when no candidate is registered and fresh.
+struct NoHostAvailable : corba::UserException {
+  explicit NoHostAvailable(std::string detail)
+      : corba::UserException(std::string(static_repo_id()), std::move(detail)) {}
+  static constexpr std::string_view static_repo_id() {
+    return "IDL:corbaft/winner/NoHostAvailable:1.0";
+  }
+};
+
+/// One load measurement, as produced by a node manager.
+struct LoadSample {
+  /// Run-queue length (Unix load average style): number of runnable
+  /// processes competing for the CPU.
+  double load_avg = 0.0;
+  /// When the sample was taken, on the reporting clock.
+  double timestamp = 0.0;
+};
+
+/// Client API of the Winner system manager.  Implemented by the in-process
+/// SystemManager and, transparently, by SystemManagerStub for remote use.
+class LoadInformationService {
+ public:
+  virtual ~LoadInformationService() = default;
+
+  /// Announces a workstation with its relative performance index
+  /// (work units per second at full speed).
+  virtual void register_host(const std::string& name, double speed_index) = 0;
+
+  /// Periodic report from a node manager (delivered oneway when remote).
+  virtual void report_load(const std::string& name, const LoadSample& sample) = 0;
+
+  /// The host expected to complete new work soonest.  When `candidates` is
+  /// empty all registered hosts compete.  Raises NoHostAvailable when no
+  /// candidate is registered and fresh.
+  virtual std::string best_host(std::span<const std::string> candidates) = 0;
+
+  /// All eligible candidates ordered best first.
+  virtual std::vector<std::string> rank_hosts(
+      std::span<const std::string> candidates) = 0;
+
+  /// Tells the manager a process has just been placed on `host` so that
+  /// subsequent decisions account for load not yet visible in reports.
+  virtual void notify_placement(const std::string& host) = 0;
+
+  /// Current selection index of a host (lower is better).
+  virtual double host_index(const std::string& name) = 0;
+
+  /// Registered performance index of a host (work units per second).
+  virtual double host_speed(const std::string& name) = 0;
+
+  /// Names of all registered hosts.
+  virtual std::vector<std::string> known_hosts() = 0;
+};
+
+}  // namespace winner

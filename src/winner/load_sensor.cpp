@@ -1,0 +1,18 @@
+#include "winner/load_sensor.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace winner {
+
+ProcLoadavgSensor::ProcLoadavgSensor(std::string path) : path_(std::move(path)) {}
+
+double ProcLoadavgSensor::sample() {
+  std::ifstream in(path_);
+  double one_minute = 0.0;
+  if (!(in >> one_minute))
+    throw std::runtime_error("cannot read load average from " + path_);
+  return one_minute;
+}
+
+}  // namespace winner

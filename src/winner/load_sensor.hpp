@@ -1,0 +1,61 @@
+// Load sensors: where node managers get their measurements.
+//
+// The paper's node managers read "data like CPU utilization which is
+// collected by the host operating system".  Three sensors are provided: a
+// simulator sensor reading a virtual host's run queue, a real /proc/loadavg
+// sensor for Linux deployments, and a scriptable sensor for tests.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "sim/host.hpp"
+
+namespace winner {
+
+/// Produces the current run-queue length (Unix load average style).
+class LoadSensor {
+ public:
+  virtual ~LoadSensor() = default;
+  virtual double sample() = 0;
+};
+
+/// Reads a simulated host: resident tasks + background processes.  A dead
+/// host has no working sensor — sampling throws, so its node manager stops
+/// reporting and the system manager's staleness handling marks it down.
+class SimHostSensor final : public LoadSensor {
+ public:
+  explicit SimHostSensor(const sim::Host& host) : host_(host) {}
+  double sample() override {
+    if (!host_.alive())
+      throw std::runtime_error("host " + host_.name() + " is down");
+    return host_.observed_load();
+  }
+
+ private:
+  const sim::Host& host_;
+};
+
+/// Reads the 1-minute load average from /proc/loadavg (Linux).  Throws
+/// std::runtime_error when the file is unavailable.
+class ProcLoadavgSensor final : public LoadSensor {
+ public:
+  explicit ProcLoadavgSensor(std::string path = "/proc/loadavg");
+  double sample() override;
+
+ private:
+  std::string path_;
+};
+
+/// Test/bench sensor returning whatever the supplied function produces.
+class CallbackSensor final : public LoadSensor {
+ public:
+  explicit CallbackSensor(std::function<double()> fn) : fn_(std::move(fn)) {}
+  double sample() override { return fn_(); }
+
+ private:
+  std::function<double()> fn_;
+};
+
+}  // namespace winner

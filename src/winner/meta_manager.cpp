@@ -1,0 +1,167 @@
+#include "winner/meta_manager.hpp"
+
+#include <algorithm>
+
+namespace winner {
+
+MetaSystemManager::MetaSystemManager(MetaManagerOptions options)
+    : options_(std::move(options)) {
+  if (options_.home_domain.empty())
+    throw corba::BAD_PARAM("meta manager requires a home domain");
+  if (options_.remote_penalty < 0)
+    throw corba::BAD_PARAM("remote penalty must be >= 0");
+}
+
+void MetaSystemManager::add_domain(
+    const std::string& domain, std::shared_ptr<LoadInformationService> manager) {
+  if (domain.empty()) throw corba::BAD_PARAM("empty domain name");
+  if (!manager) throw corba::BAD_PARAM("null domain manager");
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = domains_.emplace(domain, std::move(manager));
+  if (!inserted) throw corba::BAD_PARAM("duplicate domain: " + domain);
+}
+
+std::vector<std::string> MetaSystemManager::domains() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(domains_.size());
+  for (const auto& [domain, manager] : domains_) names.push_back(domain);
+  return names;
+}
+
+MetaSystemManager::Located MetaSystemManager::locate(const std::string& host) {
+  std::lock_guard lock(mu_);
+  auto cached = host_domain_cache_.find(host);
+  if (cached != host_domain_cache_.end()) {
+    auto it = domains_.find(cached->second);
+    if (it != domains_.end()) return {cached->second, it->second.get()};
+  }
+  for (const auto& [domain, manager] : domains_) {
+    const std::vector<std::string> hosts = manager->known_hosts();
+    if (std::find(hosts.begin(), hosts.end(), host) != hosts.end()) {
+      host_domain_cache_[host] = domain;
+      return {domain, manager.get()};
+    }
+  }
+  return {};
+}
+
+std::string MetaSystemManager::domain_of(const std::string& host) const {
+  std::lock_guard lock(mu_);
+  auto it = host_domain_cache_.find(host);
+  return it == host_domain_cache_.end() ? std::string() : it->second;
+}
+
+void MetaSystemManager::register_host(const std::string& name,
+                                      double speed_index) {
+  // Qualified form "domain/host" routes to that site's manager.
+  const std::size_t slash = name.find('/');
+  if (slash == std::string::npos)
+    throw corba::BAD_PARAM(
+        "meta manager registration requires a 'domain/host' qualified name");
+  const std::string domain = name.substr(0, slash);
+  const std::string host = name.substr(slash + 1);
+  std::shared_ptr<LoadInformationService> manager;
+  {
+    std::lock_guard lock(mu_);
+    auto it = domains_.find(domain);
+    if (it == domains_.end())
+      throw corba::BAD_PARAM("unknown domain: " + domain);
+    manager = it->second;
+    host_domain_cache_[host] = domain;
+  }
+  manager->register_host(host, speed_index);
+}
+
+void MetaSystemManager::report_load(const std::string& name,
+                                    const LoadSample& sample) {
+  const Located located = locate(name);
+  if (located.manager != nullptr) located.manager->report_load(name, sample);
+}
+
+std::vector<std::string> MetaSystemManager::rank_hosts(
+    std::span<const std::string> candidates) {
+  // Collect each site's fresh, ranked hosts and merge with the WAN penalty
+  // applied to non-home domains.
+  std::vector<std::pair<std::string, std::shared_ptr<LoadInformationService>>>
+      sites;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [domain, manager] : domains_)
+      sites.emplace_back(domain, manager);
+  }
+  std::vector<std::pair<double, std::string>> merged;
+  for (const auto& [domain, manager] : sites) {
+    std::vector<std::string> site_candidates;
+    if (!candidates.empty()) {
+      for (const std::string& host : candidates) {
+        const Located located = locate(host);
+        if (located.domain == domain) site_candidates.push_back(host);
+      }
+      if (site_candidates.empty()) continue;
+    }
+    const double penalty = penalty_for(domain);
+    for (const std::string& host : manager->rank_hosts(site_candidates)) {
+      // The penalty is expressed in runnable-process units; the index is
+      // load per unit speed, so scale by the host's speed.
+      merged.emplace_back(
+          manager->host_index(host) + penalty / manager->host_speed(host),
+          host);
+      std::lock_guard lock(mu_);
+      host_domain_cache_[host] = domain;
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::string> ranked;
+  ranked.reserve(merged.size());
+  for (auto& [index, host] : merged) ranked.push_back(std::move(host));
+  return ranked;
+}
+
+std::string MetaSystemManager::best_host(
+    std::span<const std::string> candidates) {
+  const std::vector<std::string> ranked = rank_hosts(candidates);
+  if (ranked.empty())
+    throw NoHostAvailable("no fresh host in any domain among " +
+                          std::to_string(candidates.size()) + " candidates");
+  return ranked.front();
+}
+
+void MetaSystemManager::notify_placement(const std::string& host) {
+  const Located located = locate(host);
+  if (located.manager != nullptr) located.manager->notify_placement(host);
+}
+
+double MetaSystemManager::host_index(const std::string& name) {
+  const Located located = locate(name);
+  if (located.manager == nullptr)
+    throw corba::BAD_PARAM("unknown host: " + name);
+  return located.manager->host_index(name) +
+         penalty_for(located.domain) / located.manager->host_speed(name);
+}
+
+double MetaSystemManager::host_speed(const std::string& name) {
+  const Located located = locate(name);
+  if (located.manager == nullptr)
+    throw corba::BAD_PARAM("unknown host: " + name);
+  return located.manager->host_speed(name);
+}
+
+std::vector<std::string> MetaSystemManager::known_hosts() {
+  std::vector<std::pair<std::string, std::shared_ptr<LoadInformationService>>>
+      sites;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [domain, manager] : domains_)
+      sites.emplace_back(domain, manager);
+  }
+  std::vector<std::string> all;
+  for (const auto& [domain, manager] : sites) {
+    for (std::string& host : manager->known_hosts())
+      all.push_back(std::move(host));
+  }
+  return all;
+}
+
+}  // namespace winner

@@ -1,0 +1,76 @@
+// Hierarchical (wide-area) Winner: the paper's §5 future work (c) —
+// "extending the Winner load measurement and process placement features
+// for wide-area networks to enable CORBA based distributed/parallel
+// meta-computing over the WWW".
+//
+// Each site (domain) keeps running its own system manager, fed by its
+// local node managers exactly as before.  The MetaSystemManager federates
+// them behind the same LoadInformationService interface, so the
+// load-distributing naming service works unchanged.  Placement accounts
+// for WAN cost: hosts outside the home domain carry a configurable index
+// penalty (the load-equivalent of shipping requests across the wide-area
+// link), so work spills to a remote site only when the local one is
+// overloaded enough to justify it.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "winner/load_info.hpp"
+
+namespace winner {
+
+struct MetaManagerOptions {
+  /// Domain whose hosts are reachable at LAN cost.
+  std::string home_domain;
+  /// Penalty added to hosts in other domains, in runnable-process units
+  /// (scaled by each host's speed like the load itself): the equivalent
+  /// load the WAN round-trips cost a caller.
+  double remote_penalty = 1.0;
+};
+
+class MetaSystemManager final : public LoadInformationService {
+ public:
+  explicit MetaSystemManager(MetaManagerOptions options);
+
+  /// Attaches a site's system manager.  Throws BAD_PARAM on duplicates.
+  void add_domain(const std::string& domain,
+                  std::shared_ptr<LoadInformationService> manager);
+  std::vector<std::string> domains() const;
+
+  /// Domain a host belongs to ("" when unknown).
+  std::string domain_of(const std::string& host) const;
+
+  // --- LoadInformationService -----------------------------------------------
+  /// Hosts register with their domain manager through the meta manager by
+  /// qualified name "domain/host", or directly at their site.
+  void register_host(const std::string& name, double speed_index) override;
+  void report_load(const std::string& name, const LoadSample& sample) override;
+  std::string best_host(std::span<const std::string> candidates) override;
+  std::vector<std::string> rank_hosts(
+      std::span<const std::string> candidates) override;
+  void notify_placement(const std::string& host) override;
+  double host_index(const std::string& name) override;
+  double host_speed(const std::string& name) override;
+  std::vector<std::string> known_hosts() override;
+
+ private:
+  struct Located {
+    std::string domain;
+    LoadInformationService* manager = nullptr;
+  };
+  /// Finds the domain manager responsible for `host` (by asking each site
+  /// for its known hosts; results are cached).
+  Located locate(const std::string& host);
+  double penalty_for(const std::string& domain) const {
+    return domain == options_.home_domain ? 0.0 : options_.remote_penalty;
+  }
+
+  MetaManagerOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<LoadInformationService>> domains_;
+  std::map<std::string, std::string> host_domain_cache_;
+};
+
+}  // namespace winner

@@ -1,0 +1,71 @@
+#include "winner/node_manager.hpp"
+
+#include <chrono>
+
+#include "orb/exceptions.hpp"
+
+namespace winner {
+
+NodeManager::NodeManager(std::string host_name,
+                         std::shared_ptr<LoadSensor> sensor,
+                         std::shared_ptr<LoadInformationService> manager,
+                         double period)
+    : host_name_(std::move(host_name)),
+      sensor_(std::move(sensor)),
+      manager_(std::move(manager)),
+      period_(period) {
+  if (!sensor_) throw corba::BAD_PARAM("node manager requires a sensor");
+  if (!manager_) throw corba::BAD_PARAM("node manager requires a system manager");
+  if (!(period_ > 0)) throw corba::BAD_PARAM("report period must be positive");
+}
+
+NodeManager::~NodeManager() { stop(); }
+
+void NodeManager::tick(double now) noexcept {
+  try {
+    const double load = sensor_->sample();
+    manager_->report_load(host_name_, LoadSample{load, now});
+    reports_sent_.fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+    // Missed report: the system manager's staleness handling compensates.
+  }
+}
+
+void NodeManager::simulated_tick(sim::EventQueue& events) {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  tick(events.now());
+  events.schedule_after(period_, [this, &events] { simulated_tick(events); });
+}
+
+void NodeManager::start_simulated(sim::EventQueue& events) {
+  if (running_.exchange(true)) return;
+  events.schedule_after(0, [this, &events] { simulated_tick(events); });
+}
+
+void NodeManager::start_threaded() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] {
+    const auto interval = std::chrono::duration<double>(period_);
+    while (running_.load(std::memory_order_relaxed)) {
+      tick(std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+               .count());
+      // Sleep in small slices so stop() is responsive.
+      auto remaining = interval;
+      while (running_.load(std::memory_order_relaxed) &&
+             remaining.count() > 0) {
+        const auto slice =
+            std::min(remaining, std::chrono::duration<double>(0.05));
+        std::this_thread::sleep_for(slice);
+        remaining -= slice;
+      }
+    }
+  });
+}
+
+void NodeManager::stop() {
+  running_.store(false);
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace winner

@@ -1,0 +1,67 @@
+// Winner node manager: one per workstation, periodically samples the local
+// load and reports it to the system manager.
+//
+// Two drive modes cover both deployments:
+//   * simulated — tick events self-reschedule on the cluster's event queue,
+//     so reports happen in virtual time;
+//   * threaded  — a background thread ticks on the wall clock (used by the
+//     real-TCP example).
+// Reports are delivered through the LoadInformationService interface, which
+// may be the in-process SystemManager or a SystemManagerStub (oneway ORB
+// messages), matching the paper's remote node managers.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "sim/event_queue.hpp"
+#include "winner/load_info.hpp"
+#include "winner/load_sensor.hpp"
+
+namespace winner {
+
+class NodeManager {
+ public:
+  /// `period` is the reporting interval in (virtual or real) seconds.
+  NodeManager(std::string host_name, std::shared_ptr<LoadSensor> sensor,
+              std::shared_ptr<LoadInformationService> manager, double period);
+  ~NodeManager();
+
+  NodeManager(const NodeManager&) = delete;
+  NodeManager& operator=(const NodeManager&) = delete;
+
+  const std::string& host_name() const noexcept { return host_name_; }
+  double period() const noexcept { return period_; }
+  std::uint64_t reports_sent() const noexcept { return reports_sent_.load(); }
+
+  /// Samples and reports once, timestamped `now`.  Exposed for tests and
+  /// used internally by both drive modes.  Sensor/report failures are
+  /// swallowed (a wedged sensor must not kill the manager); the report
+  /// simply does not happen, and staleness handling takes over.
+  void tick(double now) noexcept;
+
+  /// Starts self-rescheduling ticks on a virtual clock.  The first report
+  /// fires immediately (time zero), so placement decisions made at startup
+  /// already see every node.
+  void start_simulated(sim::EventQueue& events);
+
+  /// Starts a wall-clock reporting thread.
+  void start_threaded();
+
+  /// Stops either drive mode.  Idempotent; also called by the destructor.
+  void stop();
+
+ private:
+  void simulated_tick(sim::EventQueue& events);
+
+  std::string host_name_;
+  std::shared_ptr<LoadSensor> sensor_;
+  std::shared_ptr<LoadInformationService> manager_;
+  double period_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> reports_sent_{0};
+  std::thread thread_;
+};
+
+}  // namespace winner

@@ -1,0 +1,130 @@
+#include "winner/system_manager.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace winner {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SystemManager::SystemManager(SystemManagerOptions options)
+    : options_(std::move(options)) {
+  if (!options_.clock) options_.clock = steady_seconds;
+}
+
+void SystemManager::register_host(const std::string& name, double speed_index) {
+  if (name.empty()) throw corba::BAD_PARAM("empty host name");
+  if (!(speed_index > 0)) throw corba::BAD_PARAM("speed index must be positive");
+  std::lock_guard lock(mu_);
+  HostEntry& entry = hosts_[name];  // re-registration updates the speed
+  entry.speed_index = speed_index;
+}
+
+void SystemManager::report_load(const std::string& name,
+                                const LoadSample& sample) {
+  std::lock_guard lock(mu_);
+  auto it = hosts_.find(name);
+  if (it == hosts_.end()) return;  // reports from unknown hosts are dropped
+  HostEntry& entry = it->second;
+  entry.last = sample;
+  entry.reported = true;
+  // Placements made before the sample was taken are now visible in the
+  // measured load; only newer ones still need compensation.
+  std::erase_if(entry.pending_placements,
+                [&](double placed_at) { return placed_at <= sample.timestamp; });
+}
+
+double SystemManager::index_locked(const HostEntry& entry) const {
+  const double effective_load =
+      entry.last.load_avg + static_cast<double>(entry.pending_placements.size());
+  return effective_load / entry.speed_index;
+}
+
+bool SystemManager::fresh_locked(const HostEntry& entry) const {
+  if (!entry.reported) return false;
+  if (options_.stale_after <= 0) return true;
+  return options_.clock() - entry.last.timestamp <= options_.stale_after;
+}
+
+std::vector<std::pair<double, std::string>> SystemManager::ranked_locked(
+    std::span<const std::string> candidates) const {
+  std::vector<std::pair<double, std::string>> ranked;
+  auto consider = [&](const std::string& name, const HostEntry& entry) {
+    if (fresh_locked(entry)) ranked.emplace_back(index_locked(entry), name);
+  };
+  if (candidates.empty()) {
+    for (const auto& [name, entry] : hosts_) consider(name, entry);
+  } else {
+    for (const std::string& name : candidates) {
+      auto it = hosts_.find(name);
+      if (it != hosts_.end()) consider(name, it->second);
+    }
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  return ranked;
+}
+
+std::string SystemManager::best_host(std::span<const std::string> candidates) {
+  std::lock_guard lock(mu_);
+  auto ranked = ranked_locked(candidates);
+  if (ranked.empty())
+    throw NoHostAvailable("no registered, fresh host among " +
+                          std::to_string(candidates.size()) + " candidates");
+  return ranked.front().second;
+}
+
+std::vector<std::string> SystemManager::rank_hosts(
+    std::span<const std::string> candidates) {
+  std::lock_guard lock(mu_);
+  auto ranked = ranked_locked(candidates);
+  std::vector<std::string> names;
+  names.reserve(ranked.size());
+  for (auto& [index, name] : ranked) names.push_back(std::move(name));
+  return names;
+}
+
+void SystemManager::notify_placement(const std::string& host) {
+  std::lock_guard lock(mu_);
+  auto it = hosts_.find(host);
+  if (it == hosts_.end()) return;
+  it->second.pending_placements.push_back(options_.clock());
+}
+
+double SystemManager::host_index(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto it = hosts_.find(name);
+  if (it == hosts_.end()) throw corba::BAD_PARAM("unknown host: " + name);
+  return index_locked(it->second);
+}
+
+double SystemManager::host_speed(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto it = hosts_.find(name);
+  if (it == hosts_.end()) throw corba::BAD_PARAM("unknown host: " + name);
+  return it->second.speed_index;
+}
+
+std::vector<std::string> SystemManager::known_hosts() {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(hosts_.size());
+  for (const auto& [name, entry] : hosts_) names.push_back(name);
+  return names;
+}
+
+LoadSample SystemManager::last_sample(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return hosts_.at(name).last;
+}
+
+}  // namespace winner

@@ -1,0 +1,69 @@
+// The Winner system manager: central host table and ranking logic.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "winner/load_info.hpp"
+
+namespace winner {
+
+/// Tuning knobs for the ranking policy.
+struct SystemManagerOptions {
+  /// Reports older than this (on the injected clock) disqualify a host from
+  /// selection; 0 disables staleness checking.  Staleness doubles as cheap
+  /// failure detection: a dead workstation stops reporting and drops out of
+  /// the candidate set.
+  double stale_after = 0.0;
+
+  /// Clock used to timestamp placements and judge staleness.  Defaults to a
+  /// monotonic real-time clock; the simulated runtime injects virtual time.
+  std::function<double()> clock;
+};
+
+/// Central Winner component.  Thread-safe.
+///
+/// Selection index of a host = (reported load_avg + placements made since
+/// that report) / speed_index — i.e. the expected run-queue competition per
+/// unit of machine speed.  Placements are tracked because a freshly placed
+/// process is not yet visible in periodic load reports; a report with a
+/// newer timestamp clears the placements it already observed.
+class SystemManager final : public LoadInformationService {
+ public:
+  explicit SystemManager(SystemManagerOptions options = {});
+
+  void register_host(const std::string& name, double speed_index) override;
+  void report_load(const std::string& name, const LoadSample& sample) override;
+  std::string best_host(std::span<const std::string> candidates) override;
+  std::vector<std::string> rank_hosts(
+      std::span<const std::string> candidates) override;
+  void notify_placement(const std::string& host) override;
+  double host_index(const std::string& name) override;
+  double host_speed(const std::string& name) override;
+  std::vector<std::string> known_hosts() override;
+
+  /// Last reported sample (diagnostics; throws std::out_of_range).
+  LoadSample last_sample(const std::string& name) const;
+
+ private:
+  struct HostEntry {
+    double speed_index = 1.0;
+    LoadSample last;
+    bool reported = false;
+    /// Timestamps of placements not yet reflected in a report.
+    std::vector<double> pending_placements;
+  };
+
+  double index_locked(const HostEntry& entry) const;
+  bool fresh_locked(const HostEntry& entry) const;
+  std::vector<std::pair<double, std::string>> ranked_locked(
+      std::span<const std::string> candidates) const;
+
+  SystemManagerOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, HostEntry> hosts_;
+};
+
+}  // namespace winner

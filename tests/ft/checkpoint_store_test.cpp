@@ -1,0 +1,135 @@
+// Unit tests for the checkpoint storage service: both backends directly,
+// version monotonicity, persistence, and the servant/stub over the wire.
+#include "ft/checkpoint_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "orb/orb.hpp"
+#include "sim/work_meter.hpp"
+
+namespace ft {
+namespace {
+
+/// Fresh (pre-cleaned) directory for file-store tests: TempDir contents
+/// survive across test-suite invocations.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+corba::Blob make_blob(std::initializer_list<int> bytes) {
+  corba::Blob blob;
+  for (int b : bytes) blob.push_back(static_cast<std::byte>(b));
+  return blob;
+}
+
+template <typename Store>
+void exercise_basic_contract(Store& store) {
+  EXPECT_EQ(store.load("k"), std::nullopt);
+  store.store("k", 1, make_blob({1, 2, 3}));
+  const auto checkpoint = store.load("k");
+  ASSERT_TRUE(checkpoint);
+  EXPECT_EQ(checkpoint->version, 1u);
+  EXPECT_EQ(checkpoint->state, make_blob({1, 2, 3}));
+
+  store.store("k", 2, make_blob({9}));
+  EXPECT_EQ(store.load("k")->version, 2u);
+  EXPECT_EQ(store.load("k")->state, make_blob({9}));
+
+  // Stale writers must not clobber newer checkpoints.
+  EXPECT_THROW(store.store("k", 2, make_blob({0})), corba::BAD_PARAM);
+  EXPECT_THROW(store.store("k", 1, make_blob({0})), corba::BAD_PARAM);
+
+  store.store("other", 1, {});
+  EXPECT_EQ(store.keys(), (std::vector<std::string>{"k", "other"}));
+
+  store.remove("k");
+  EXPECT_EQ(store.load("k"), std::nullopt);
+  store.remove("k");  // idempotent
+}
+
+TEST(MemoryCheckpointStore, BasicContract) {
+  MemoryCheckpointStore store;
+  exercise_basic_contract(store);
+}
+
+TEST(MemoryCheckpointStore, CountsOperations) {
+  MemoryCheckpointStore store;
+  store.store("a", 1, make_blob({1}));
+  store.store("b", 1, make_blob({2}));
+  store.load("a");
+  EXPECT_EQ(store.stores(), 2u);
+  EXPECT_EQ(store.loads(), 1u);
+}
+
+TEST(MemoryCheckpointStore, ChargesSimulatedWork) {
+  MemoryCheckpointStore store({.work_per_store = 100.0, .work_per_byte = 2.0});
+  sim::WorkScope scope;
+  store.store("k", 1, make_blob({1, 2, 3, 4, 5}));
+  EXPECT_DOUBLE_EQ(scope.consumed(), 100.0 + 2.0 * 5);
+  store.load("k");
+  EXPECT_DOUBLE_EQ(scope.consumed(), 2 * (100.0 + 2.0 * 5));
+}
+
+TEST(FileCheckpointStore, BasicContract) {
+  FileCheckpointStore store(fresh_dir("ckpt_basic"));
+  exercise_basic_contract(store);
+}
+
+TEST(FileCheckpointStore, SurvivesReopen) {
+  const std::string dir = fresh_dir("ckpt_reopen");
+  {
+    FileCheckpointStore store(dir);
+    store.store("worker0", 7, make_blob({1, 2, 3}));
+  }
+  FileCheckpointStore reopened(dir);
+  const auto checkpoint = reopened.load("worker0");
+  ASSERT_TRUE(checkpoint);
+  EXPECT_EQ(checkpoint->version, 7u);
+  EXPECT_EQ(checkpoint->state, make_blob({1, 2, 3}));
+  EXPECT_EQ(reopened.keys(), (std::vector<std::string>{"worker0"}));
+}
+
+TEST(FileCheckpointStore, HandlesHostileKeys) {
+  FileCheckpointStore store(fresh_dir("ckpt_keys"));
+  const std::string key = "../../etc/passwd and spaces/..";
+  store.store(key, 1, make_blob({1}));
+  ASSERT_TRUE(store.load(key));
+  EXPECT_EQ(store.keys(), (std::vector<std::string>{key}));
+  store.remove(key);
+}
+
+class StoreWireTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_shared<corba::InProcessNetwork>();
+    orb_ = corba::ORB::init({.endpoint_name = "store", .network = network_});
+    backend_ = std::make_shared<MemoryCheckpointStore>();
+    stub_ = CheckpointStoreStub(
+        orb_->activate(std::make_shared<CheckpointStoreServant>(backend_)));
+  }
+
+  std::shared_ptr<corba::InProcessNetwork> network_;
+  std::shared_ptr<corba::ORB> orb_;
+  std::shared_ptr<MemoryCheckpointStore> backend_;
+  CheckpointStoreStub stub_;
+};
+
+TEST_F(StoreWireTest, FullContractOverTheWire) {
+  exercise_basic_contract(stub_);
+}
+
+TEST_F(StoreWireTest, MissingCheckpointIsNulloptNotException) {
+  EXPECT_EQ(stub_.load("nothing"), std::nullopt);
+}
+
+TEST_F(StoreWireTest, StubAndBackendSeeTheSameData) {
+  stub_.store("k", 3, make_blob({4, 2}));
+  const auto direct = backend_->load("k");
+  ASSERT_TRUE(direct);
+  EXPECT_EQ(direct->version, 3u);
+}
+
+}  // namespace
+}  // namespace ft

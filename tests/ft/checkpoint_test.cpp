@@ -1,0 +1,77 @@
+// Unit tests for the Checkpointable mixin and its client accessors.
+#include "ft/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ft_test_common.hpp"
+#include "orb/orb.hpp"
+
+namespace ft {
+namespace {
+
+using corbaft_test::CounterServant;
+using corbaft_test::CounterStub;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_shared<corba::InProcessNetwork>();
+    orb_ = corba::ORB::init({.endpoint_name = "node", .network = network_});
+  }
+
+  std::shared_ptr<corba::InProcessNetwork> network_;
+  std::shared_ptr<corba::ORB> orb_;
+};
+
+TEST_F(CheckpointTest, StateRoundTripsThroughTheWire) {
+  const corba::ObjectRef ref = orb_->activate(std::make_shared<CounterServant>());
+  CounterStub counter(ref);
+  counter.add(30);
+  counter.add(12);
+
+  const corba::Blob state = get_state(ref);
+  EXPECT_FALSE(state.empty());
+
+  // Restore into a brand-new instance: it continues from 42.
+  const corba::ObjectRef fresh = orb_->activate(std::make_shared<CounterServant>());
+  set_state(fresh, state);
+  EXPECT_EQ(CounterStub(fresh).total(), 42);
+}
+
+TEST_F(CheckpointTest, SetStateOverwritesExistingState) {
+  const corba::ObjectRef a = orb_->activate(std::make_shared<CounterServant>());
+  const corba::ObjectRef b = orb_->activate(std::make_shared<CounterServant>());
+  CounterStub(a).add(7);
+  CounterStub(b).add(1000);
+  set_state(b, get_state(a));
+  EXPECT_EQ(CounterStub(b).total(), 7);
+}
+
+TEST_F(CheckpointTest, StateOpsValidateArity) {
+  const corba::ObjectRef ref = orb_->activate(std::make_shared<CounterServant>());
+  EXPECT_THROW(ref.invoke(kGetStateOp, {corba::Value(1)}), corba::BAD_PARAM);
+  EXPECT_THROW(ref.invoke(kSetStateOp, {}), corba::BAD_PARAM);
+}
+
+TEST_F(CheckpointTest, NonCheckpointableServantRejectsStateOps) {
+  class Plain : public corba::Servant {
+   public:
+    std::string_view repo_id() const noexcept override {
+      return "IDL:corbaft/tests/Plain:1.0";
+    }
+    corba::Value dispatch(std::string_view op, const corba::ValueSeq&) override {
+      throw corba::BAD_OPERATION(std::string(op));
+    }
+  };
+  const corba::ObjectRef ref = orb_->activate(std::make_shared<Plain>());
+  EXPECT_THROW(get_state(ref), corba::BAD_OPERATION);
+}
+
+TEST_F(CheckpointTest, CorruptStateBlobRejected) {
+  const corba::ObjectRef ref = orb_->activate(std::make_shared<CounterServant>());
+  corba::Blob garbage{std::byte{1}};  // too short for an i64
+  EXPECT_THROW(set_state(ref, garbage), corba::MARSHAL);
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,99 @@
+// Shared fixture for the fault-tolerance tests: a checkpointable Counter
+// service and a small simulated deployment built on rt::SimRuntime.
+//
+//   interface Counter {              // checkpointable
+//     long long add(in long long n); // returns the new total
+//     long long total();
+//   };
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/sim_runtime.hpp"
+#include "ft/checkpoint.hpp"
+#include "orb/cdr.hpp"
+#include "orb/stub.hpp"
+
+namespace corbaft_test {
+
+inline constexpr std::string_view kCounterRepoId =
+    "IDL:corbaft/tests/Counter:1.0";
+inline constexpr std::string_view kCounterServiceType = "Counter";
+
+class CounterServant final : public corba::Servant,
+                             public ft::CheckpointableServant {
+ public:
+  std::string_view repo_id() const noexcept override { return kCounterRepoId; }
+
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override {
+    if (auto handled = try_dispatch_state(op, args)) return *handled;
+    if (op == "add") {
+      check_arity(op, args, 1);
+      total_ += args[0].as_i64();
+      return corba::Value(total_);
+    }
+    if (op == "total") {
+      check_arity(op, args, 0);
+      return corba::Value(total_);
+    }
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+
+  corba::Blob get_state() override {
+    corba::CdrOutputStream out;
+    out.write_i64(total_);
+    return out.take_buffer();
+  }
+  void set_state(const corba::Blob& state) override {
+    corba::CdrInputStream in(state);
+    total_ = in.read_i64();
+  }
+
+ private:
+  std::int64_t total_ = 0;
+};
+
+class CounterStub : public corba::StubBase {
+ public:
+  CounterStub() = default;
+  explicit CounterStub(corba::ObjectRef ref) : StubBase(std::move(ref)) {}
+
+  std::int64_t add(std::int64_t n) const {
+    return call("add", {corba::Value(n)}).as_i64();
+  }
+  std::int64_t total() const { return call("total", {}).as_i64(); }
+};
+
+/// Four-workstation deployment with the Counter type registered.
+class FtDeploymentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i)
+      cluster_.add_host(host_name(i), 100.0);
+    rt::RuntimeOptions options;
+    options.naming_strategy = naming::ResolveStrategy::winner;
+    options.winner_stale_after = 2.5;  // dead hosts drop out of placement
+    runtime_ = std::make_unique<rt::SimRuntime>(cluster_, options);
+    runtime_->registry()->register_type(
+        std::string(kCounterServiceType),
+        [] { return std::make_shared<CounterServant>(); });
+    runtime_->deploy_everywhere(service_name(), std::string(kCounterServiceType));
+    // Let the first round of load reports arrive.
+    runtime_->events().run_until(0.001);
+  }
+
+  static std::string host_name(int i) { return "node" + std::to_string(i); }
+  static naming::Name service_name() { return naming::Name::parse("Counter"); }
+
+  ft::ProxyConfig proxy_config(ft::RecoveryPolicy policy = {}) {
+    return runtime_->make_proxy_config(service_name(),
+                                       std::string(kCounterServiceType),
+                                       "counter-1", policy);
+  }
+
+  sim::Cluster cluster_;
+  std::unique_ptr<rt::SimRuntime> runtime_;
+};
+
+}  // namespace corbaft_test

@@ -1,0 +1,145 @@
+// Tests of the automatic migration manager: threshold behaviour, no
+// self-chasing, state preservation, and the simulated drive mode.
+#include "ft/migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ft_test_common.hpp"
+
+namespace ft {
+namespace {
+
+using corbaft_test::FtDeploymentTest;
+
+class MigrationTest : public FtDeploymentTest {
+ protected:
+  void let_reports_arrive() {
+    runtime_->events().run_until(runtime_->events().now() + 2.0);
+  }
+};
+
+TEST_F(MigrationTest, ConfigValidation) {
+  EXPECT_THROW(MigrationManager(nullptr, {}), corba::BAD_PARAM);
+  EXPECT_THROW(MigrationManager(runtime_->winner_impl(), {.period = 0}),
+               corba::BAD_PARAM);
+  EXPECT_THROW(
+      MigrationManager(runtime_->winner_impl(), {.min_improvement = 0}),
+      corba::BAD_PARAM);
+  EXPECT_THROW(
+      MigrationManager(runtime_->winner_impl(), {.max_migrations_per_sweep = 0}),
+      corba::BAD_PARAM);
+}
+
+TEST_F(MigrationTest, BalancedClusterCausesNoMigration) {
+  ProxyEngine engine(proxy_config());
+  MigrationManager manager(runtime_->winner_impl(), {});
+  manager.manage(engine);
+  for (int i = 0; i < 5; ++i) {
+    manager.sweep();
+    let_reports_arrive();
+  }
+  EXPECT_EQ(manager.migrations(), 0u);
+}
+
+TEST_F(MigrationTest, MigratesAwayFromLoadedHostWithState) {
+  ProxyEngine engine(proxy_config());
+  engine.call("add", {corba::Value(std::int64_t{42})});
+  const std::string original = engine.current_host();
+
+  cluster_.set_background_load(original, 3);
+  let_reports_arrive();
+
+  MigrationManager manager(runtime_->winner_impl(), {});
+  manager.manage(engine);
+  manager.sweep();
+  EXPECT_EQ(manager.migrations(), 1u);
+  EXPECT_NE(engine.current_host(), original);
+  // State moved with the service.
+  EXPECT_EQ(engine.call("total", {}).as_i64(), 42);
+}
+
+TEST_F(MigrationTest, SmallImbalanceBelowThresholdIgnored) {
+  ProxyEngine engine(proxy_config());
+  engine.call("add", {corba::Value(std::int64_t{1})});
+  cluster_.set_background_load(engine.current_host(), 1);  // gap 1.0 < 1.5
+  let_reports_arrive();
+  MigrationManager manager(runtime_->winner_impl(), {});
+  manager.manage(engine);
+  manager.sweep();
+  EXPECT_EQ(manager.migrations(), 0u);
+}
+
+TEST_F(MigrationTest, DoesNotChaseItsOwnTail) {
+  // After migrating once, the manager must settle: the service's own
+  // presence on the new host is not a reason to move again.
+  ProxyEngine engine(proxy_config());
+  engine.call("add", {corba::Value(std::int64_t{1})});
+  cluster_.set_background_load(engine.current_host(), 3);
+  let_reports_arrive();
+  MigrationManager manager(runtime_->winner_impl(), {});
+  manager.manage(engine);
+  manager.sweep();
+  ASSERT_EQ(manager.migrations(), 1u);
+  const std::string home = engine.current_host();
+  for (int i = 0; i < 5; ++i) {
+    let_reports_arrive();
+    manager.sweep();
+  }
+  EXPECT_EQ(manager.migrations(), 1u);
+  EXPECT_EQ(engine.current_host(), home);
+}
+
+TEST_F(MigrationTest, MigrationsPerSweepAreCapped) {
+  ProxyEngine a(proxy_config());
+  ft::ProxyConfig config_b = runtime_->make_proxy_config(
+      service_name(), std::string(corbaft_test::kCounterServiceType),
+      "counter-2");
+  ProxyEngine b(std::move(config_b));
+  a.call("add", {corba::Value(std::int64_t{1})});
+  b.call("add", {corba::Value(std::int64_t{1})});
+  cluster_.set_background_load(a.current_host(), 4);
+  cluster_.set_background_load(b.current_host(), 4);
+  let_reports_arrive();
+
+  MigrationManager manager(runtime_->winner_impl(),
+                           {.max_migrations_per_sweep = 1});
+  manager.manage(a);
+  manager.manage(b);
+  manager.sweep();
+  EXPECT_EQ(manager.migrations(), 1u);
+  let_reports_arrive();
+  manager.sweep();
+  EXPECT_EQ(manager.migrations(), 2u);
+}
+
+TEST_F(MigrationTest, UnmanagedEngineIsLeftAlone) {
+  ProxyEngine engine(proxy_config());
+  engine.call("add", {corba::Value(std::int64_t{1})});
+  cluster_.set_background_load(engine.current_host(), 4);
+  let_reports_arrive();
+  MigrationManager manager(runtime_->winner_impl(), {});
+  manager.manage(engine);
+  manager.unmanage(engine);
+  manager.sweep();
+  EXPECT_EQ(manager.migrations(), 0u);
+}
+
+TEST_F(MigrationTest, SimulatedModeMigratesOnItsOwn) {
+  ProxyEngine engine(proxy_config());
+  engine.call("add", {corba::Value(std::int64_t{7})});
+  const std::string original = engine.current_host();
+  MigrationManager manager(runtime_->winner_impl(), {.period = 2.0});
+  manager.manage(engine);
+  manager.start_simulated(runtime_->events());
+
+  cluster_.set_background_load(original, 3);
+  runtime_->events().run_until(runtime_->events().now() + 6.0);
+  manager.stop();
+  EXPECT_GE(manager.sweeps(), 2u);
+  EXPECT_EQ(manager.migrations(), 1u);
+  EXPECT_NE(engine.current_host(), original);
+  EXPECT_EQ(engine.call("total", {}).as_i64(), 7);
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,148 @@
+// Tests of replication-based fault tolerance (active and passive object
+// groups) — the §3 alternative implemented for comparison.
+#include "ft/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ft_test_common.hpp"
+
+namespace ft {
+namespace {
+
+using corbaft_test::FtDeploymentTest;
+
+class ReplicationTest : public FtDeploymentTest {
+ protected:
+  ReplicaGroupConfig group_config(ReplicationStyle style, int replicas) {
+    ReplicaGroupConfig config;
+    config.style = style;
+    config.service_type = std::string(corbaft_test::kCounterServiceType);
+    for (int i = 0; i < replicas; ++i)
+      config.factories.push_back(runtime_->factory_on(host_name(i)));
+    return config;
+  }
+};
+
+TEST_F(ReplicationTest, ConfigValidation) {
+  ReplicaGroupConfig config;
+  EXPECT_THROW(ReplicaGroup{config}, corba::BAD_PARAM);
+  config = group_config(ReplicationStyle::passive, 2);
+  config.service_type.clear();
+  EXPECT_THROW(ReplicaGroup{config}, corba::BAD_PARAM);
+  config = group_config(ReplicationStyle::passive, 2);
+  config.sync_every = 0;
+  EXPECT_THROW(ReplicaGroup{config}, corba::BAD_PARAM);
+}
+
+TEST_F(ReplicationTest, MembersLiveOnDistinctHosts) {
+  ReplicaGroup group(group_config(ReplicationStyle::passive, 3));
+  EXPECT_EQ(group.size(), 3u);
+  EXPECT_EQ(group.alive_members(), 3u);
+  EXPECT_EQ(group.primary().ior().host, host_name(0));
+}
+
+TEST_F(ReplicationTest, PassiveInvokesPrimaryOnly) {
+  ReplicaGroup group(group_config(ReplicationStyle::passive, 2));
+  EXPECT_EQ(group.invoke("add", {corba::Value(std::int64_t{5})}).as_i64(), 5);
+  // The backup received the state via sync, not via execution: its own
+  // counter was *set*, not incremented, so calling it directly shows 5.
+  EXPECT_EQ(group.syncs(), 1u);
+}
+
+TEST_F(ReplicationTest, PassiveFailoverKeepsSyncedState) {
+  ReplicaGroup group(group_config(ReplicationStyle::passive, 2));
+  group.invoke("add", {corba::Value(std::int64_t{40})});
+  cluster_.crash_host(group.primary().ior().host);
+  // Failover to the backup, which was synced to 40.
+  EXPECT_EQ(group.invoke("add", {corba::Value(std::int64_t{2})}).as_i64(), 42);
+  EXPECT_EQ(group.failovers(), 1u);
+}
+
+TEST_F(ReplicationTest, PassiveSparseSyncLosesRecentDelta) {
+  ReplicaGroupConfig config = group_config(ReplicationStyle::passive, 2);
+  config.sync_every = 10;  // backups lag
+  config.auto_repair = false;
+  ReplicaGroup group(std::move(config));
+  for (int i = 0; i < 3; ++i)
+    group.invoke("add", {corba::Value(std::int64_t{10})});
+  cluster_.crash_host(group.primary().ior().host);
+  // No sync happened yet: the promoted backup starts from 0.
+  EXPECT_EQ(group.invoke("add", {corba::Value(std::int64_t{2})}).as_i64(), 2);
+}
+
+TEST_F(ReplicationTest, ActiveExecutesOnAllMembers) {
+  ReplicaGroup group(group_config(ReplicationStyle::active, 3));
+  EXPECT_EQ(group.invoke("add", {corba::Value(std::int64_t{7})}).as_i64(), 7);
+  // Active groups never state-sync: every member advanced by *executing*
+  // the call, so even after killing all members but the last, the
+  // survivor's own state is correct.
+  EXPECT_EQ(group.syncs(), 0u);
+  cluster_.crash_host(host_name(0));
+  cluster_.crash_host(host_name(1));
+  EXPECT_EQ(group.invoke("total", {}).as_i64(), 7);
+}
+
+TEST_F(ReplicationTest, ActiveMasksFailuresWithZeroDisruption) {
+  ReplicaGroupConfig config = group_config(ReplicationStyle::active, 3);
+  config.auto_repair = false;
+  ReplicaGroup group(std::move(config));
+  group.invoke("add", {corba::Value(std::int64_t{40})});
+  cluster_.crash_host(host_name(0));
+  cluster_.crash_host(host_name(1));
+  // Two of three replicas die; the call still succeeds with correct state.
+  EXPECT_EQ(group.invoke("add", {corba::Value(std::int64_t{2})}).as_i64(), 42);
+  EXPECT_EQ(group.alive_members(), 1u);
+}
+
+TEST_F(ReplicationTest, ActiveAgreementCheckPasses) {
+  ReplicaGroupConfig config = group_config(ReplicationStyle::active, 3);
+  config.verify_agreement = true;
+  ReplicaGroup group(std::move(config));
+  EXPECT_EQ(group.invoke("add", {corba::Value(std::int64_t{1})}).as_i64(), 1);
+}
+
+TEST_F(ReplicationTest, RepairRestoresGroupStrengthAfterReboot) {
+  ReplicaGroup group(group_config(ReplicationStyle::passive, 2));
+  group.invoke("add", {corba::Value(std::int64_t{10})});
+  const std::string victim = group.primary().ior().host;
+  cluster_.crash_host(victim);
+  // Failover; the automatic repair attempt finds the host still down.
+  group.invoke("add", {corba::Value(std::int64_t{5})});
+  EXPECT_EQ(group.alive_members(), 1u);
+  EXPECT_EQ(group.repairs(), 0u);
+
+  // The machine reboots; repair() re-creates the member through its
+  // factory and brings it up to the group's current state.
+  cluster_.restart_host(victim);
+  group.repair();
+  EXPECT_EQ(group.alive_members(), 2u);
+  EXPECT_EQ(group.repairs(), 1u);
+
+  // Another immediate failover is therefore lossless: the repaired member
+  // carries the state (15).
+  cluster_.crash_host(group.primary().ior().host);
+  EXPECT_EQ(group.invoke("total", {}).as_i64(), 15);
+}
+
+TEST_F(ReplicationTest, AllMembersDeadRaisesCommFailure) {
+  ReplicaGroupConfig config = group_config(ReplicationStyle::passive, 2);
+  config.auto_repair = false;
+  ReplicaGroup group(std::move(config));
+  cluster_.crash_host(host_name(0));
+  cluster_.crash_host(host_name(1));
+  EXPECT_THROW(group.invoke("add", {corba::Value(std::int64_t{1})}),
+               corba::COMM_FAILURE);
+}
+
+TEST_F(ReplicationTest, ActiveGroupAllDeadRaises) {
+  ReplicaGroupConfig config = group_config(ReplicationStyle::active, 2);
+  config.auto_repair = false;
+  ReplicaGroup group(std::move(config));
+  cluster_.crash_host(host_name(0));
+  cluster_.crash_host(host_name(1));
+  EXPECT_THROW(group.invoke("add", {corba::Value(std::int64_t{1})}),
+               corba::COMM_FAILURE);
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,109 @@
+// Tests of fault-tolerant DII request proxies (Fig. 2's "request proxy"):
+// deferred-synchronous calls with recovery on get_response.
+#include "ft/request_proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ft_test_common.hpp"
+
+namespace ft {
+namespace {
+
+using corbaft_test::FtDeploymentTest;
+
+class RequestProxyTest : public FtDeploymentTest {};
+
+TEST_F(RequestProxyTest, DeferredCallCompletes) {
+  ProxyEngine engine(proxy_config());
+  RequestProxy request(engine, "add");
+  request.add_argument(corba::Value(std::int64_t{42}));
+  request.send_deferred();
+  request.get_response();
+  EXPECT_EQ(request.return_value().as_i64(), 42);
+  EXPECT_TRUE(request.completed());
+  EXPECT_EQ(request.reissues(), 0);
+  // Success through a request proxy also triggers the checkpoint policy.
+  EXPECT_EQ(engine.checkpoints_taken(), 1u);
+}
+
+TEST_F(RequestProxyTest, CallOrderEnforced) {
+  ProxyEngine engine(proxy_config());
+  RequestProxy request(engine, "add");
+  EXPECT_THROW(request.get_response(), corba::BAD_INV_ORDER);
+  EXPECT_THROW(request.poll_response(), corba::BAD_INV_ORDER);
+  EXPECT_THROW(request.return_value(), corba::BAD_INV_ORDER);
+  request.add_argument(corba::Value(std::int64_t{1}));
+  request.send_deferred();
+  EXPECT_THROW(request.send_deferred(), corba::BAD_INV_ORDER);
+  EXPECT_THROW(request.add_argument(corba::Value(std::int64_t{2})),
+               corba::BAD_INV_ORDER);
+  request.get_response();
+  request.get_response();  // idempotent after completion
+  EXPECT_EQ(request.return_value().as_i64(), 1);
+}
+
+TEST_F(RequestProxyTest, RecoversWhenHostDiesMidFlight) {
+  ProxyEngine engine(proxy_config());
+  // Build some state so the recovery has something to restore.
+  engine.call("add", {corba::Value(std::int64_t{40})});
+
+  const std::string victim = engine.current().ior().host;
+  RequestProxy request(engine, "add");
+  request.add_argument(corba::Value(std::int64_t{2}));
+  request.send_deferred();
+  cluster_.crash_host(victim);
+
+  request.get_response();
+  EXPECT_EQ(request.return_value().as_i64(), 42);  // 40 restored + 2
+  EXPECT_EQ(request.reissues(), 1);
+  EXPECT_EQ(engine.recoveries(), 1u);
+}
+
+TEST_F(RequestProxyTest, ParallelRequestsAcrossEnginesWithOneFailure) {
+  // Two services, two engines; one host dies while both requests are in
+  // flight — the affected request recovers, the other is untouched.
+  ProxyEngine engine_a(proxy_config());
+  ft::ProxyConfig config_b = runtime_->make_proxy_config(
+      service_name(), std::string(corbaft_test::kCounterServiceType),
+      "counter-2");
+  ProxyEngine engine_b(std::move(config_b));
+  ASSERT_NE(engine_a.current().ior().host, engine_b.current().ior().host);
+
+  RequestProxy ra(engine_a, "add");
+  RequestProxy rb(engine_b, "add");
+  ra.add_argument(corba::Value(std::int64_t{10}));
+  rb.add_argument(corba::Value(std::int64_t{20}));
+  ra.send_deferred();
+  rb.send_deferred();
+  cluster_.crash_host(engine_a.current().ior().host);
+  ra.get_response();
+  rb.get_response();
+  EXPECT_EQ(ra.return_value().as_i64(), 10);
+  EXPECT_EQ(rb.return_value().as_i64(), 20);
+  EXPECT_EQ(engine_a.recoveries(), 1u);
+  EXPECT_EQ(engine_b.recoveries(), 0u);
+}
+
+TEST_F(RequestProxyTest, ExhaustedAttemptsSurfaceFailure) {
+  ft::RecoveryPolicy policy;
+  policy.max_attempts = 2;
+  ProxyEngine engine(proxy_config(policy));
+  RequestProxy request(engine, "add");
+  request.add_argument(corba::Value(std::int64_t{1}));
+  request.send_deferred();
+  // Kill every workstation: recovery has nowhere to go.  The second attempt
+  // fails during recovery (TRANSIENT) or delivery (COMM_FAILURE).
+  for (const std::string& host : runtime_->worker_hosts())
+    cluster_.crash_host(host);
+  EXPECT_THROW(request.get_response(), corba::SystemException);
+}
+
+TEST_F(RequestProxyTest, InvokeIsSendPlusGet) {
+  ProxyEngine engine(proxy_config());
+  RequestProxy request(engine, "total");
+  request.invoke();
+  EXPECT_EQ(request.return_value().as_i64(), 0);
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,79 @@
+// Unit tests for service factories and the servant registry.
+#include "ft/service_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ft_test_common.hpp"
+#include "orb/orb.hpp"
+
+namespace ft {
+namespace {
+
+using corbaft_test::CounterServant;
+using corbaft_test::CounterStub;
+
+TEST(ServantFactoryRegistry, CreateAndList) {
+  ServantFactoryRegistry registry;
+  registry.register_type("Counter",
+                         [] { return std::make_shared<CounterServant>(); });
+  registry.register_type("Other",
+                         [] { return std::make_shared<CounterServant>(); });
+  EXPECT_EQ(registry.service_types(),
+            (std::vector<std::string>{"Counter", "Other"}));
+  EXPECT_NE(registry.create("Counter"), nullptr);
+  EXPECT_THROW(registry.create("Missing"), UnknownServiceType);
+  EXPECT_THROW(registry.register_type("X", nullptr), corba::BAD_PARAM);
+}
+
+class FactoryWireTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_shared<corba::InProcessNetwork>();
+    orb_ = corba::ORB::init({.endpoint_name = "node7", .network = network_});
+    registry_ = std::make_shared<ServantFactoryRegistry>();
+    registry_->register_type("Counter",
+                             [] { return std::make_shared<CounterServant>(); });
+    servant_ = std::make_shared<ServiceFactoryServant>(orb_, "node7", registry_);
+    stub_ = ServiceFactoryStub(orb_->activate(servant_, "Factory"));
+  }
+
+  std::shared_ptr<corba::InProcessNetwork> network_;
+  std::shared_ptr<corba::ORB> orb_;
+  std::shared_ptr<ServantFactoryRegistry> registry_;
+  std::shared_ptr<ServiceFactoryServant> servant_;
+  ServiceFactoryStub stub_;
+};
+
+TEST_F(FactoryWireTest, CreateActivatesFreshInstances) {
+  const corba::ObjectRef a = stub_.create("Counter");
+  const corba::ObjectRef b = stub_.create("Counter");
+  EXPECT_FALSE(a.ior() == b.ior());
+  EXPECT_EQ(servant_->created(), 2u);
+
+  // The created objects are live, independent services on the factory host.
+  CounterStub ca(a), cb(b);
+  ca.add(5);
+  EXPECT_EQ(ca.total(), 5);
+  EXPECT_EQ(cb.total(), 0);
+  EXPECT_EQ(a.ior().host, "node7");
+}
+
+TEST_F(FactoryWireTest, UnknownTypeCrossesWire) {
+  EXPECT_THROW(stub_.create("Nope"), UnknownServiceType);
+}
+
+TEST_F(FactoryWireTest, MetadataQueries) {
+  EXPECT_EQ(stub_.host(), "node7");
+  EXPECT_EQ(stub_.service_types(), (std::vector<std::string>{"Counter"}));
+  EXPECT_TRUE(stub_.is_a(kServiceFactoryRepoId));
+}
+
+TEST_F(FactoryWireTest, RegistryIsSharedLive) {
+  // Types registered after factory construction are immediately available.
+  registry_->register_type("Late",
+                           [] { return std::make_shared<CounterServant>(); });
+  EXPECT_NO_THROW(stub_.create("Late"));
+}
+
+}  // namespace
+}  // namespace ft

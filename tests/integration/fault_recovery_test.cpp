@@ -1,0 +1,104 @@
+// End-to-end fault injection: the full optimization with workstation
+// crashes mid-run.  Validates the paper's motivation — "prevent the whole
+// computation from failing due to a single error on the server side" —
+// including that the FT run returns exactly the same optimization result as
+// a failure-free run.
+#include <gtest/gtest.h>
+
+#include "opt/manager.hpp"
+
+namespace opt {
+namespace {
+
+constexpr double kHostSpeed = 1e5;
+
+SolverConfig test_config(bool use_ft) {
+  SolverConfig config;
+  config.dimension = 30;
+  config.workers = 3;
+  config.worker_iterations = 400;
+  config.manager_iterations = 12;
+  config.manager_work_per_round = 100.0;
+  config.use_ft = use_ft;
+  config.ft_policy.max_attempts = 5;
+  // Pin the manager process to its own workstation: the experiments crash
+  // *worker* hosts; manager-process death is outside the paper's FT scope.
+  config.manager_host = "node5";
+  return config;
+}
+
+class FaultRecoveryTest : public ::testing::Test {
+ protected:
+  rt::SimRuntime& make_runtime(int hosts) {
+    cluster_ = std::make_unique<sim::Cluster>();
+    for (int i = 0; i < hosts; ++i)
+      cluster_->add_host("node" + std::to_string(i), kHostSpeed);
+    rt::RuntimeOptions options;
+    options.winner_stale_after = 2.5;
+    runtime_ = std::make_unique<rt::SimRuntime>(*cluster_, options);
+    runtime_->events().run_until(0.01);
+    return *runtime_;
+  }
+
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<rt::SimRuntime> runtime_;
+};
+
+TEST_F(FaultRecoveryTest, PlainRunAbortsOnCrash) {
+  rt::SimRuntime& runtime = make_runtime(6);
+  DecomposedSolver solver(runtime, test_config(/*use_ft=*/false));
+  solver.deploy();
+  // Kill one of the placed workers' hosts mid-run.
+  cluster_->crash_host_at(1.0, solver.placements().front());
+  EXPECT_THROW(solver.run(), corba::COMM_FAILURE);
+}
+
+TEST_F(FaultRecoveryTest, FtRunSurvivesASingleCrash) {
+  rt::SimRuntime& runtime = make_runtime(6);
+  DecomposedSolver solver(runtime, test_config(/*use_ft=*/true));
+  solver.deploy();
+  cluster_->crash_host_at(1.0, solver.placements().front());
+  const SolverResult result = solver.run();
+  EXPECT_GE(result.recoveries, 1u);
+  EXPECT_GT(result.rounds, 0);
+}
+
+TEST_F(FaultRecoveryTest, FtResultMatchesFailureFreeRun) {
+  // Determinism end to end: a run with a crash + recovery must converge to
+  // the same optimum as the undisturbed run — checkpoint/restore preserves
+  // exactly the state the algorithm needs.
+  SolverResult undisturbed;
+  {
+    rt::SimRuntime& runtime = make_runtime(6);
+    DecomposedSolver solver(runtime, test_config(/*use_ft=*/true));
+    solver.deploy();
+    undisturbed = solver.run();
+  }
+  rt::SimRuntime& runtime = make_runtime(6);
+  DecomposedSolver solver(runtime, test_config(/*use_ft=*/true));
+  solver.deploy();
+  cluster_->crash_host_at(2.0, solver.placements().back());
+  const SolverResult with_crash = solver.run();
+
+  EXPECT_GE(with_crash.recoveries, 1u);
+  EXPECT_EQ(with_crash.best_value, undisturbed.best_value);
+  EXPECT_EQ(with_crash.worker_calls, undisturbed.worker_calls);
+  // The crashed run pays for recovery and re-execution.
+  EXPECT_GT(with_crash.virtual_seconds, undisturbed.virtual_seconds);
+}
+
+TEST_F(FaultRecoveryTest, SurvivesMultipleSequentialCrashes) {
+  rt::SimRuntime& runtime = make_runtime(8);
+  DecomposedSolver solver(runtime, test_config(/*use_ft=*/true));
+  solver.deploy();
+  // Crash three different workstations at spaced times, all comfortably
+  // inside the run's ~14 virtual-second window.
+  cluster_->crash_host_at(1.0, solver.placements()[0]);
+  cluster_->crash_host_at(5.0, solver.placements()[1]);
+  cluster_->crash_host_at(9.0, solver.placements()[2]);
+  const SolverResult result = solver.run();
+  EXPECT_GE(result.recoveries, 3u);
+}
+
+}  // namespace
+}  // namespace opt

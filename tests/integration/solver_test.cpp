@@ -1,0 +1,174 @@
+// End-to-end tests of the decomposed Rosenbrock solver on the simulated
+// NOW — the full paper workload: parallel DII rounds, Winner placement,
+// and the load-distribution effect of Fig. 3 in miniature.
+#include "opt/manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace opt {
+namespace {
+
+constexpr double kHostSpeed = 1e5;  // work units per virtual second
+
+SolverConfig small_config() {
+  SolverConfig config;
+  config.dimension = 30;
+  config.workers = 3;
+  config.worker_iterations = 300;
+  config.manager_iterations = 10;
+  config.manager_work_per_round = 100.0;
+  return config;
+}
+
+class SolverTest : public ::testing::Test {
+ protected:
+  rt::SimRuntime& make_runtime(
+      int hosts,
+      naming::ResolveStrategy strategy = naming::ResolveStrategy::winner) {
+    cluster_ = std::make_unique<sim::Cluster>();
+    for (int i = 0; i < hosts; ++i)
+      cluster_->add_host("node" + std::to_string(i), kHostSpeed);
+    rt::RuntimeOptions options;
+    options.naming_strategy = strategy;
+    runtime_ = std::make_unique<rt::SimRuntime>(*cluster_, options);
+    runtime_->events().run_until(0.01);  // initial load reports
+    return *runtime_;
+  }
+
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<rt::SimRuntime> runtime_;
+};
+
+TEST_F(SolverTest, SolvesTheDecomposed30DProblem) {
+  rt::SimRuntime& runtime = make_runtime(6);
+  DecomposedSolver solver(runtime, small_config());
+  solver.deploy();
+  const SolverResult result = solver.run();
+
+  EXPECT_GT(result.rounds, 0);
+  EXPECT_EQ(result.worker_calls, static_cast<std::int64_t>(result.rounds) * 3);
+  EXPECT_GT(result.virtual_seconds, 0.0);
+  // The bilevel optimization makes real progress: far below a random
+  // 30-d Rosenbrock value (which is O(10^4..10^5) in [-5,5]).
+  EXPECT_LT(result.best_value, 500.0);
+  EXPECT_EQ(result.best_coupling.size(), 2u);
+  EXPECT_EQ(result.recoveries, 0u);
+}
+
+TEST_F(SolverTest, WinnerPlacementUsesDistinctHosts) {
+  rt::SimRuntime& runtime = make_runtime(6);
+  DecomposedSolver solver(runtime, small_config());
+  solver.deploy();
+  const std::set<std::string> hosts(solver.placements().begin(),
+                                    solver.placements().end());
+  EXPECT_EQ(hosts.size(), 3u);
+}
+
+TEST_F(SolverTest, DeterministicAcrossRuns) {
+  SolverResult first;
+  {
+    rt::SimRuntime& runtime = make_runtime(6);
+    DecomposedSolver solver(runtime, small_config());
+    solver.deploy();
+    first = solver.run();
+  }
+  rt::SimRuntime& runtime = make_runtime(6);
+  DecomposedSolver solver(runtime, small_config());
+  solver.deploy();
+  const SolverResult second = solver.run();
+  EXPECT_EQ(first.best_value, second.best_value);
+  // Virtual runtimes agree to rounding: object keys embed a process-global
+  // adapter counter, so message sizes (and hence transfer times) can differ
+  // by a digit between runs within one process.
+  EXPECT_NEAR(first.virtual_seconds, second.virtual_seconds,
+              1e-6 * first.virtual_seconds);
+  EXPECT_EQ(first.worker_calls, second.worker_calls);
+}
+
+TEST_F(SolverTest, BackgroundLoadSlowsThePlainNamingServiceMore) {
+  // Miniature Fig. 3: 2 of 6 hosts carry background load.  The Winner
+  // naming service avoids them; round robin blindly places workers there.
+  const auto measure = [&](naming::ResolveStrategy strategy) {
+    rt::SimRuntime& runtime = make_runtime(6, strategy);
+    cluster_->set_background_load("node0", 1);
+    cluster_->set_background_load("node1", 1);
+    runtime.events().run_until(2.0);  // reports reflect the load
+    DecomposedSolver solver(runtime, small_config());
+    solver.deploy();
+    return solver.run().virtual_seconds;
+  };
+  const double winner_runtime = measure(naming::ResolveStrategy::winner);
+  const double plain_runtime = measure(naming::ResolveStrategy::round_robin);
+  // Round robin puts workers on node0/node1 (halved rate); Winner picks
+  // three free machines: roughly a 2x runtime gap.
+  EXPECT_LT(winner_runtime * 1.5, plain_runtime);
+}
+
+TEST_F(SolverTest, WithoutLoadBothStrategiesPerformAlike) {
+  const auto measure = [&](naming::ResolveStrategy strategy) {
+    rt::SimRuntime& runtime = make_runtime(6, strategy);
+    DecomposedSolver solver(runtime, small_config());
+    solver.deploy();
+    return solver.run().virtual_seconds;
+  };
+  const double winner_runtime = measure(naming::ResolveStrategy::winner);
+  const double plain_runtime = measure(naming::ResolveStrategy::round_robin);
+  EXPECT_NEAR(winner_runtime, plain_runtime, 0.05 * plain_runtime);
+}
+
+TEST_F(SolverTest, FtProxiesProduceCheckpointsAndOverhead) {
+  rt::SimRuntime& plain_runtime = make_runtime(6);
+  DecomposedSolver plain(plain_runtime, small_config());
+  plain.deploy();
+  const SolverResult base = plain.run();
+
+  SolverConfig ft_config = small_config();
+  ft_config.use_ft = true;
+  ft_config.work_per_state_byte = 5.0;
+  rt::SimRuntime& ft_runtime = make_runtime(6);
+  ft_runtime.options();
+  DecomposedSolver with_ft(ft_runtime, ft_config);
+  with_ft.deploy();
+  const SolverResult ft_result = with_ft.run();
+
+  // Same optimization result (checkpointing must not change semantics)...
+  EXPECT_EQ(ft_result.best_value, base.best_value);
+  EXPECT_EQ(ft_result.worker_calls, base.worker_calls);
+  // ...at a measurable runtime cost (Table 1's subject).
+  EXPECT_EQ(ft_result.checkpoints,
+            static_cast<std::uint64_t>(ft_result.worker_calls));
+  EXPECT_GT(ft_result.virtual_seconds, base.virtual_seconds);
+}
+
+TEST_F(SolverTest, HundredDimensionalSevenWorkerScenario) {
+  SolverConfig config;
+  config.dimension = 100;
+  config.workers = 7;
+  config.worker_iterations = 150;
+  config.manager_iterations = 5;
+  rt::SimRuntime& runtime = make_runtime(10);
+  DecomposedSolver solver(runtime, config);
+  solver.deploy();
+  const SolverResult result = solver.run();
+  EXPECT_EQ(result.best_coupling.size(), 6u);
+  EXPECT_EQ(result.worker_calls, static_cast<std::int64_t>(result.rounds) * 7);
+  const std::set<std::string> hosts(solver.placements().begin(),
+                                    solver.placements().end());
+  EXPECT_EQ(hosts.size(), 7u);
+}
+
+TEST_F(SolverTest, RunBeforeDeployRejected) {
+  rt::SimRuntime& runtime = make_runtime(6);
+  DecomposedSolver solver(runtime, small_config());
+  EXPECT_THROW(solver.run(), corba::BAD_INV_ORDER);
+}
+
+TEST_F(SolverTest, NeedsAtLeastTwoWorkers) {
+  rt::SimRuntime& runtime = make_runtime(6);
+  SolverConfig config = small_config();
+  config.workers = 1;
+  EXPECT_THROW(DecomposedSolver(runtime, config), corba::BAD_PARAM);
+}
+
+}  // namespace
+}  // namespace opt

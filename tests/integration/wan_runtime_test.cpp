@@ -1,0 +1,121 @@
+// Integration tests of the hierarchical (two-site) SimRuntime: per-site
+// system managers, WAN-aware placement through the naming service, and
+// WAN-priced invocations.
+#include <gtest/gtest.h>
+
+#include "core/sim_runtime.hpp"
+
+namespace rt {
+namespace {
+
+class EchoServant : public corba::Servant {
+ public:
+  std::string_view repo_id() const noexcept override {
+    return "IDL:corbaft/tests/Echo:1.0";
+  }
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override {
+    if (op == "echo") {
+      check_arity(op, args, 1);
+      return args[0];
+    }
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+};
+
+class WanRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 2; ++i) {
+      cluster_.add_host("h" + std::to_string(i), 100.0);
+      cluster_.add_host("r" + std::to_string(i), 100.0);
+      domains_["h" + std::to_string(i)] = "home";
+      domains_["r" + std::to_string(i)] = "far";
+    }
+    cluster_.network().latency_s = 0.001;
+    cluster_.network().wan_latency_s = 0.25;
+    cluster_.network().bandwidth_bytes_per_s = 1e18;
+    cluster_.network().wan_bandwidth_bytes_per_s = 1e18;
+  }
+
+  SimRuntime& make_runtime(double penalty) {
+    RuntimeOptions options;
+    options.host_domains = domains_;
+    options.home_domain = "home";
+    options.wan_remote_penalty = penalty;
+    runtime_ = std::make_unique<SimRuntime>(cluster_, options);
+    runtime_->registry()->register_type(
+        "Echo", [] { return std::make_shared<EchoServant>(); });
+    runtime_->deploy_everywhere(naming::Name::parse("Echo"), "Echo");
+    runtime_->events().run_until(runtime_->events().now() + 1.1);
+    return *runtime_;
+  }
+
+  sim::Cluster cluster_;
+  std::map<std::string, std::string> domains_;
+  std::unique_ptr<SimRuntime> runtime_;
+};
+
+TEST_F(WanRuntimeTest, RequiresHomeDomain) {
+  RuntimeOptions options;
+  options.host_domains = domains_;
+  EXPECT_THROW(SimRuntime(cluster_, options), corba::BAD_PARAM);
+}
+
+TEST_F(WanRuntimeTest, SiteManagersSeeOnlyTheirHosts) {
+  SimRuntime& runtime = make_runtime(1.0);
+  EXPECT_EQ(runtime.winner_impl(), nullptr);
+  EXPECT_EQ(runtime.site_manager("home")->known_hosts(),
+            (std::vector<std::string>{"h0", "h1"}));
+  EXPECT_EQ(runtime.site_manager("far")->known_hosts(),
+            (std::vector<std::string>{"r0", "r1"}));
+  EXPECT_THROW(runtime.site_manager("nope"), corba::BAD_PARAM);
+  EXPECT_EQ(runtime.load_info()->known_hosts().size(), 4u);
+}
+
+TEST_F(WanRuntimeTest, PlacementPrefersHomeUntilLoaded) {
+  SimRuntime& runtime = make_runtime(1.5);
+  // Two placements: both home machines (the WAN penalty shields them).
+  EXPECT_EQ(runtime.resolve(naming::Name::parse("Echo")).ior().host[0], 'h');
+  EXPECT_EQ(runtime.resolve(naming::Name::parse("Echo")).ior().host[0], 'h');
+  // Heavy load at home: the next resolve spills to the remote site.
+  cluster_.set_background_load("h0", 3);
+  cluster_.set_background_load("h1", 3);
+  runtime.events().run_until(runtime.events().now() + 2.0);
+  EXPECT_EQ(runtime.resolve(naming::Name::parse("Echo")).ior().host[0], 'r');
+}
+
+TEST_F(WanRuntimeTest, CrossSiteCallsPayWanLatency) {
+  SimRuntime& runtime = make_runtime(1.0);
+  const corba::ObjectRef local = runtime.naming().list_offers(
+      naming::Name::parse("Echo"))[0].ref;  // h0
+  const corba::ObjectRef remote = runtime.naming().list_offers(
+      naming::Name::parse("Echo"))[2].ref;  // r0
+  // Client lives on the infra host (home domain).
+  const corba::ObjectRef local_ref = runtime.client_orb()->make_ref(local.ior());
+  const corba::ObjectRef remote_ref =
+      runtime.client_orb()->make_ref(remote.ior());
+
+  double t0 = runtime.events().now();
+  local_ref.invoke("echo", {corba::Value(std::int64_t{1})});
+  const double local_cost = runtime.events().now() - t0;
+
+  t0 = runtime.events().now();
+  remote_ref.invoke("echo", {corba::Value(std::int64_t{1})});
+  const double remote_cost = runtime.events().now() - t0;
+
+  EXPECT_NEAR(local_cost, 0.002, 1e-6);
+  EXPECT_NEAR(remote_cost, 0.5, 1e-6);
+}
+
+TEST_F(WanRuntimeTest, NodeManagersReportToTheirOwnSite) {
+  SimRuntime& runtime = make_runtime(1.0);
+  cluster_.set_background_load("r1", 2);
+  runtime.events().run_until(runtime.events().now() + 2.0);
+  EXPECT_DOUBLE_EQ(runtime.site_manager("far")->host_index("r1"), 2.0 / 100.0);
+  EXPECT_THROW(runtime.site_manager("home")->host_index("r1"),
+               corba::BAD_PARAM);
+}
+
+}  // namespace
+}  // namespace rt

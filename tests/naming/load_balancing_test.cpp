@@ -1,0 +1,201 @@
+// Tests of the load distribution extension: resolve strategies, Winner
+// integration (best-host selection, placement spreading, dead-host
+// avoidance) and the degraded-mode fallback.
+#include <gtest/gtest.h>
+
+#include "naming/naming_context.hpp"
+#include "naming/naming_stub.hpp"
+#include "orb/orb.hpp"
+#include "winner/system_manager.hpp"
+#include "winner/system_manager_corba.hpp"
+
+namespace naming {
+namespace {
+
+class TagServant : public corba::Servant {
+ public:
+  std::string_view repo_id() const noexcept override {
+    return "IDL:corbaft/tests/Tag:1.0";
+  }
+  corba::Value dispatch(std::string_view op, const corba::ValueSeq&) override {
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+};
+
+class LoadBalancingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_shared<corba::InProcessNetwork>();
+    server_ = corba::ORB::init({.endpoint_name = "names", .network = network_});
+    winner_ = std::make_shared<winner::SystemManager>();
+    for (int i = 0; i < 4; ++i) {
+      const std::string host = host_name(i);
+      winner_->register_host(host, 1.0);
+      winner_->report_load(host, {0.0, 0.0});
+    }
+  }
+
+  static std::string host_name(int i) { return "node" + std::to_string(i); }
+
+  /// Creates a root with the given strategy and binds one offer per host.
+  NamingContextStub make_root(ResolveStrategy strategy,
+                              int offer_count = 4) {
+    NamingContextOptions options;
+    options.default_strategy = strategy;
+    options.winner = winner_;
+    options.random_seed = 7;
+    auto [servant, ref] = NamingContextServant::create_root(server_, options);
+    servant_ = servant;
+    NamingContextStub root(server_->make_ref(ref.ior()));
+    for (int i = 0; i < offer_count; ++i) {
+      offers_.push_back(server_->activate(std::make_shared<TagServant>(),
+                                          "w" + std::to_string(i)));
+      root.bind_offer(Name::parse("pool"), offers_.back(), host_name(i));
+    }
+    return root;
+  }
+
+  int offer_index(const corba::ObjectRef& ref) const {
+    for (std::size_t i = 0; i < offers_.size(); ++i)
+      if (offers_[i].ior() == ref.ior()) return static_cast<int>(i);
+    return -1;
+  }
+
+  std::shared_ptr<corba::InProcessNetwork> network_;
+  std::shared_ptr<corba::ORB> server_;
+  std::shared_ptr<winner::SystemManager> winner_;
+  std::shared_ptr<NamingContextServant> servant_;
+  std::vector<corba::ObjectRef> offers_;
+};
+
+TEST_F(LoadBalancingTest, RoundRobinCyclesThroughOffers) {
+  NamingContextStub root = make_root(ResolveStrategy::round_robin);
+  std::vector<int> picks;
+  for (int i = 0; i < 8; ++i)
+    picks.push_back(offer_index(root.resolve(Name::parse("pool"))));
+  EXPECT_EQ(picks, (std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST_F(LoadBalancingTest, RandomIsDeterministicPerSeedAndCoversOffers) {
+  NamingContextStub root = make_root(ResolveStrategy::random);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 200; ++i) {
+    const int index = offer_index(root.resolve(Name::parse("pool")));
+    ASSERT_GE(index, 0);
+    ++counts[static_cast<std::size_t>(index)];
+  }
+  for (int count : counts) EXPECT_GT(count, 20);  // roughly uniform
+}
+
+TEST_F(LoadBalancingTest, WinnerPicksLeastLoadedHost) {
+  winner_->report_load(host_name(0), {5.0, 0.0});
+  winner_->report_load(host_name(1), {3.0, 0.0});
+  winner_->report_load(host_name(2), {0.5, 0.0});
+  winner_->report_load(host_name(3), {4.0, 0.0});
+  NamingContextStub root = make_root(ResolveStrategy::winner);
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 2);
+}
+
+TEST_F(LoadBalancingTest, ConsecutiveWinnerResolvesSpreadAcrossHosts) {
+  // The crucial property for placing k workers: k resolves yield k distinct
+  // machines because each selection is reported as a placement.
+  NamingContextStub root = make_root(ResolveStrategy::winner);
+  std::set<int> picked;
+  for (int i = 0; i < 4; ++i)
+    picked.insert(offer_index(root.resolve(Name::parse("pool"))));
+  EXPECT_EQ(picked.size(), 4u);
+}
+
+TEST_F(LoadBalancingTest, WinnerAvoidsLoadedHosts) {
+  // Background load on nodes 0 and 2: four resolves must prefer 1 and 3
+  // first, then reuse the least loaded.
+  winner_->report_load(host_name(0), {1.0, 0.0});
+  winner_->report_load(host_name(2), {1.0, 0.0});
+  NamingContextStub root = make_root(ResolveStrategy::winner);
+  const int first = offer_index(root.resolve(Name::parse("pool")));
+  const int second = offer_index(root.resolve(Name::parse("pool")));
+  EXPECT_TRUE((first == 1 && second == 3) || (first == 3 && second == 1));
+}
+
+TEST_F(LoadBalancingTest, ExplicitStrategyOverridesDefault) {
+  NamingContextStub root = make_root(ResolveStrategy::first);
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 0);
+  EXPECT_EQ(offer_index(root.resolve_with(Name::parse("pool"),
+                                          ResolveStrategy::round_robin)),
+            0);
+  EXPECT_EQ(offer_index(root.resolve_with(Name::parse("pool"),
+                                          ResolveStrategy::round_robin)),
+            1);
+}
+
+TEST_F(LoadBalancingTest, ResolveOnPlainObjectIgnoresStrategy) {
+  NamingContextStub root = make_root(ResolveStrategy::winner, 0);
+  const corba::ObjectRef obj =
+      server_->activate(std::make_shared<TagServant>());
+  root.bind(Name::parse("single"), obj);
+  EXPECT_EQ(root.resolve(Name::parse("single")).ior(), obj.ior());
+}
+
+TEST_F(LoadBalancingTest, WinnerFallsBackWhenNoFreshHost) {
+  // A system manager that knows nothing: with fallback enabled, resolve
+  // degrades to round robin instead of failing.
+  winner_ = std::make_shared<winner::SystemManager>();
+  NamingContextStub root = make_root(ResolveStrategy::winner);
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 0);
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 1);
+}
+
+TEST_F(LoadBalancingTest, WinnerStrictModeRaises) {
+  winner_ = std::make_shared<winner::SystemManager>();
+  NamingContextOptions options;
+  options.default_strategy = ResolveStrategy::winner;
+  options.winner = winner_;
+  options.winner_fallback = false;
+  auto [servant, ref] = NamingContextServant::create_root(server_, options);
+  NamingContextStub root(server_->make_ref(ref.ior()));
+  root.bind_offer(Name::parse("pool"),
+                  server_->activate(std::make_shared<TagServant>()), "nodeX");
+  EXPECT_THROW(root.resolve(Name::parse("pool")), winner::NoHostAvailable);
+}
+
+TEST_F(LoadBalancingTest, RemoteWinnerThroughStubWorksToo) {
+  // Wire the naming service to the system manager via CORBA (as deployed in
+  // the paper's Fig. 1): the naming servant holds a SystemManagerStub.
+  auto winner_orb =
+      corba::ORB::init({.endpoint_name = "winner", .network = network_});
+  const corba::ObjectRef manager_ref = winner_orb->activate(
+      std::make_shared<winner::SystemManagerServant>(winner_), "SystemManager");
+  auto remote_winner = std::make_shared<winner::SystemManagerStub>(
+      server_->make_ref(manager_ref.ior()));
+
+  winner_->report_load(host_name(1), {9.0, 0.0});
+  winner_->report_load(host_name(2), {9.0, 0.0});
+  winner_->report_load(host_name(3), {9.0, 0.0});
+
+  NamingContextOptions options;
+  options.default_strategy = ResolveStrategy::winner;
+  options.winner = remote_winner;
+  auto [servant, ref] = NamingContextServant::create_root(server_, options);
+  NamingContextStub root(server_->make_ref(ref.ior()));
+  for (int i = 0; i < 4; ++i) {
+    offers_.push_back(server_->activate(std::make_shared<TagServant>()));
+    root.bind_offer(Name::parse("pool"), offers_.back(), host_name(i));
+  }
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 0);
+
+  // If the Winner service dies, resolution degrades gracefully.
+  winner_orb->shutdown();
+  EXPECT_NO_THROW(root.resolve(Name::parse("pool")));
+}
+
+TEST_F(LoadBalancingTest, StrategyNamesParse) {
+  EXPECT_EQ(parse_strategy("first"), ResolveStrategy::first);
+  EXPECT_EQ(parse_strategy("round_robin"), ResolveStrategy::round_robin);
+  EXPECT_EQ(parse_strategy("random"), ResolveStrategy::random);
+  EXPECT_EQ(parse_strategy("winner"), ResolveStrategy::winner);
+  EXPECT_THROW(parse_strategy("best"), corba::BAD_PARAM);
+  EXPECT_EQ(to_string(ResolveStrategy::winner), "winner");
+}
+
+}  // namespace
+}  // namespace naming

@@ -1,0 +1,193 @@
+// Model-based property test for the naming context: random operation
+// sequences are applied both to the real servant (through the remote stub)
+// and to a trivial in-memory reference model; observable behaviour must
+// match exactly — results, exception types, and final listings.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <random>
+#include <variant>
+
+#include "naming/naming_context.hpp"
+#include "naming/naming_stub.hpp"
+#include "orb/orb.hpp"
+
+namespace naming {
+namespace {
+
+class NoopServant : public corba::Servant {
+ public:
+  std::string_view repo_id() const noexcept override {
+    return "IDL:corbaft/tests/Noop:1.0";
+  }
+  corba::Value dispatch(std::string_view op, const corba::ValueSeq&) override {
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+};
+
+/// The reference model: one flat context with object/offer entries.
+struct Model {
+  struct Offers {
+    std::vector<std::pair<std::string /*ior*/, std::string /*host*/>> offers;
+  };
+  using Entry = std::variant<std::string /*object ior*/, Offers>;
+  std::map<std::string, Entry> entries;
+};
+
+enum class OpKind { bind, rebind, unbind, resolve_first, bind_offer,
+                    unbind_offer, list_offers, list };
+
+class ModelBasedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelBasedTest, RandomOperationSequencesMatchTheModel) {
+  auto network = std::make_shared<corba::InProcessNetwork>();
+  auto orb = corba::ORB::init({.endpoint_name = "names", .network = network});
+  auto [servant, root_ref] = NamingContextServant::create_root(orb);
+  NamingContextStub context(orb->make_ref(root_ref.ior()));
+
+  // A pool of distinct live objects to bind.
+  std::vector<corba::ObjectRef> objects;
+  for (int i = 0; i < 4; ++i)
+    objects.push_back(orb->activate(std::make_shared<NoopServant>()));
+  const std::vector<std::string> names = {"a", "b", "c"};
+  const std::vector<std::string> hosts = {"h1", "h2"};
+
+  Model model;
+  std::mt19937_64 rng(GetParam());
+  auto pick = [&](const auto& pool) -> const auto& {
+    return pool[rng() % pool.size()];
+  };
+
+  for (int step = 0; step < 300; ++step) {
+    const auto kind = static_cast<OpKind>(rng() % 8);
+    const std::string& name = pick(names);
+    const corba::ObjectRef& object = pick(objects);
+    const std::string& host = pick(hosts);
+    const std::string ior = object.ior().to_string();
+
+    switch (kind) {
+      case OpKind::bind: {
+        const bool model_ok = !model.entries.count(name);
+        try {
+          context.bind(Name::parse(name), object);
+          ASSERT_TRUE(model_ok) << "bind succeeded but model says bound";
+          model.entries[name] = ior;
+        } catch (const AlreadyBound&) {
+          ASSERT_FALSE(model_ok) << "bind failed but model says free";
+        }
+        break;
+      }
+      case OpKind::rebind: {
+        context.rebind(Name::parse(name), object);
+        model.entries[name] = ior;  // rebind overwrites anything
+        break;
+      }
+      case OpKind::unbind: {
+        const bool model_ok = model.entries.count(name) != 0;
+        try {
+          context.unbind(Name::parse(name));
+          ASSERT_TRUE(model_ok);
+          model.entries.erase(name);
+        } catch (const NotFound&) {
+          ASSERT_FALSE(model_ok);
+        }
+        break;
+      }
+      case OpKind::resolve_first: {
+        const auto it = model.entries.find(name);
+        try {
+          const corba::ObjectRef resolved =
+              context.resolve_with(Name::parse(name), ResolveStrategy::first);
+          ASSERT_NE(it, model.entries.end());
+          const std::string expected =
+              std::holds_alternative<std::string>(it->second)
+                  ? std::get<std::string>(it->second)
+                  : std::get<Model::Offers>(it->second).offers.front().first;
+          ASSERT_EQ(resolved.ior().to_string(), expected);
+        } catch (const NotFound&) {
+          ASSERT_EQ(it, model.entries.end());
+        }
+        break;
+      }
+      case OpKind::bind_offer: {
+        const auto it = model.entries.find(name);
+        const bool model_ok =
+            it == model.entries.end() ||
+            std::holds_alternative<Model::Offers>(it->second);
+        try {
+          context.bind_offer(Name::parse(name), object, host);
+          ASSERT_TRUE(model_ok);
+          if (it == model.entries.end())
+            model.entries[name] = Model::Offers{};
+          std::get<Model::Offers>(model.entries[name])
+              .offers.emplace_back(ior, host);
+        } catch (const AlreadyBound&) {
+          ASSERT_FALSE(model_ok);
+        }
+        break;
+      }
+      case OpKind::unbind_offer: {
+        auto it = model.entries.find(name);
+        const bool is_offers =
+            it != model.entries.end() &&
+            std::holds_alternative<Model::Offers>(it->second);
+        bool model_ok = false;
+        if (is_offers) {
+          for (const auto& [offer_ior, offer_host] :
+               std::get<Model::Offers>(it->second).offers)
+            model_ok = model_ok || offer_host == host;
+        }
+        try {
+          context.unbind_offer(Name::parse(name), host);
+          ASSERT_TRUE(model_ok);
+          auto& offers = std::get<Model::Offers>(it->second).offers;
+          std::erase_if(offers,
+                        [&](const auto& offer) { return offer.second == host; });
+          if (offers.empty()) model.entries.erase(it);
+        } catch (const NotFound&) {
+          ASSERT_FALSE(model_ok);
+        }
+        break;
+      }
+      case OpKind::list_offers: {
+        const auto it = model.entries.find(name);
+        const bool is_offers =
+            it != model.entries.end() &&
+            std::holds_alternative<Model::Offers>(it->second);
+        try {
+          const std::vector<Offer> offers =
+              context.list_offers(Name::parse(name));
+          ASSERT_TRUE(is_offers);
+          const auto& expected = std::get<Model::Offers>(it->second).offers;
+          ASSERT_EQ(offers.size(), expected.size());
+          for (std::size_t i = 0; i < offers.size(); ++i) {
+            ASSERT_EQ(offers[i].ref.ior().to_string(), expected[i].first);
+            ASSERT_EQ(offers[i].host, expected[i].second);
+          }
+        } catch (const NotFound&) {
+          ASSERT_FALSE(is_offers);
+        }
+        break;
+      }
+      case OpKind::list: {
+        const std::vector<Binding> bindings = context.list();
+        ASSERT_EQ(bindings.size(), model.entries.size());
+        for (const Binding& binding : bindings) {
+          const auto it = model.entries.find(binding.name.to_string());
+          ASSERT_NE(it, model.entries.end());
+          const bool is_offers =
+              std::holds_alternative<Model::Offers>(it->second);
+          ASSERT_EQ(binding.offer_count > 0, is_offers);
+        }
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelBasedTest,
+                         ::testing::Values(1, 7, 42, 1999, 20260704));
+
+}  // namespace
+}  // namespace naming

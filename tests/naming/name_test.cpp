@@ -1,0 +1,79 @@
+// Unit tests for compound names: parsing, stringification, escaping.
+#include "naming/name.hpp"
+
+#include <gtest/gtest.h>
+
+namespace naming {
+namespace {
+
+TEST(Name, ParseSingleComponent) {
+  const Name name = Name::parse("workers");
+  ASSERT_EQ(name.size(), 1u);
+  EXPECT_EQ(name[0].id, "workers");
+  EXPECT_EQ(name[0].kind, "");
+}
+
+TEST(Name, ParseComponentWithKind) {
+  const Name name = Name::parse("worker.service");
+  ASSERT_EQ(name.size(), 1u);
+  EXPECT_EQ(name[0].id, "worker");
+  EXPECT_EQ(name[0].kind, "service");
+}
+
+TEST(Name, ParseCompound) {
+  const Name name = Name::parse("apps/optimization/worker.obj");
+  ASSERT_EQ(name.size(), 3u);
+  EXPECT_EQ(name[0].id, "apps");
+  EXPECT_EQ(name[1].id, "optimization");
+  EXPECT_EQ(name[2].id, "worker");
+  EXPECT_EQ(name[2].kind, "obj");
+}
+
+TEST(Name, RoundTripWithEscapes) {
+  const Name original{NameComponent{"a/b", "c.d"}, NameComponent{"e\\f", ""}};
+  const std::string text = original.to_string();
+  EXPECT_EQ(Name::parse(text), original);
+}
+
+TEST(Name, EscapedMetacharactersParse) {
+  const Name name = Name::parse("weird\\/id\\.still\\\\one");
+  ASSERT_EQ(name.size(), 1u);
+  EXPECT_EQ(name[0].id, "weird/id.still\\one");
+}
+
+TEST(Name, InvalidNamesRejected) {
+  EXPECT_THROW(Name::parse(""), InvalidName);
+  EXPECT_THROW(Name::parse("a//b"), InvalidName);
+  EXPECT_THROW(Name::parse("a/"), InvalidName);
+  EXPECT_THROW(Name::parse("a.b.c"), InvalidName);
+  EXPECT_THROW(Name::parse("trailing\\"), InvalidName);
+}
+
+TEST(Name, KindOnlyComponentAllowed) {
+  // CosNaming permits empty ids with a kind (".kind").
+  const Name name = Name::parse(".config");
+  ASSERT_EQ(name.size(), 1u);
+  EXPECT_EQ(name[0].id, "");
+  EXPECT_EQ(name[0].kind, "config");
+  EXPECT_EQ(name.to_string(), ".config");
+}
+
+TEST(Name, TailDropsFirstComponent) {
+  const Name name = Name::parse("a/b/c");
+  EXPECT_EQ(name.tail(), Name::parse("b/c"));
+  EXPECT_THROW(Name().tail(), InvalidName);
+}
+
+TEST(Name, AppendBuildsNames) {
+  Name name;
+  name.append("apps").append("worker", "obj");
+  EXPECT_EQ(name.to_string(), "apps/worker.obj");
+}
+
+TEST(Name, EqualityIsStructural) {
+  EXPECT_EQ(Name::parse("a/b"), Name::parse("a/b"));
+  EXPECT_FALSE(Name::parse("a/b") == Name::parse("a/b.c"));
+}
+
+}  // namespace
+}  // namespace naming

@@ -1,0 +1,185 @@
+// Unit tests for standard CosNaming semantics of the naming context,
+// exercised remotely through the stub (the way applications use it).
+#include <gtest/gtest.h>
+
+#include "naming/naming_context.hpp"
+#include "naming/naming_stub.hpp"
+#include "orb/orb.hpp"
+
+namespace naming {
+namespace {
+
+class NoopServant : public corba::Servant {
+ public:
+  explicit NoopServant(std::string id = "IDL:corbaft/tests/Noop:1.0")
+      : id_(std::move(id)) {}
+  std::string_view repo_id() const noexcept override { return id_; }
+  corba::Value dispatch(std::string_view op, const corba::ValueSeq&) override {
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+
+ private:
+  std::string id_;
+};
+
+class NamingContextTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_shared<corba::InProcessNetwork>();
+    server_ = corba::ORB::init({.endpoint_name = "names", .network = network_});
+    client_ = corba::ORB::init({.endpoint_name = "app", .network = network_});
+    auto [servant, ref] = NamingContextServant::create_root(server_);
+    root_servant_ = servant;
+    root_ = NamingContextStub(client_->make_ref(ref.ior()));
+  }
+
+  corba::ObjectRef make_object(std::string_view hint = "obj") {
+    return server_->activate(std::make_shared<NoopServant>(), hint);
+  }
+
+  std::shared_ptr<corba::InProcessNetwork> network_;
+  std::shared_ptr<corba::ORB> server_, client_;
+  std::shared_ptr<NamingContextServant> root_servant_;
+  NamingContextStub root_;
+};
+
+TEST_F(NamingContextTest, BindAndResolve) {
+  const corba::ObjectRef obj = make_object();
+  root_.bind(Name::parse("service"), obj);
+  EXPECT_EQ(root_.resolve(Name::parse("service")).ior(), obj.ior());
+}
+
+TEST_F(NamingContextTest, ResolveUnboundRaisesNotFound) {
+  EXPECT_THROW(root_.resolve(Name::parse("ghost")), NotFound);
+}
+
+TEST_F(NamingContextTest, DoubleBindRaisesAlreadyBound) {
+  root_.bind(Name::parse("service"), make_object());
+  EXPECT_THROW(root_.bind(Name::parse("service"), make_object()), AlreadyBound);
+}
+
+TEST_F(NamingContextTest, RebindReplaces) {
+  const corba::ObjectRef first = make_object("first");
+  const corba::ObjectRef second = make_object("second");
+  root_.bind(Name::parse("service"), first);
+  root_.rebind(Name::parse("service"), second);
+  EXPECT_EQ(root_.resolve(Name::parse("service")).ior(), second.ior());
+}
+
+TEST_F(NamingContextTest, UnbindRemoves) {
+  root_.bind(Name::parse("service"), make_object());
+  root_.unbind(Name::parse("service"));
+  EXPECT_THROW(root_.resolve(Name::parse("service")), NotFound);
+  EXPECT_THROW(root_.unbind(Name::parse("service")), NotFound);
+}
+
+TEST_F(NamingContextTest, KindDistinguishesBindings) {
+  const corba::ObjectRef a = make_object("a");
+  const corba::ObjectRef b = make_object("b");
+  root_.bind(Name::parse("svc.alpha"), a);
+  root_.bind(Name::parse("svc.beta"), b);
+  EXPECT_EQ(root_.resolve(Name::parse("svc.alpha")).ior(), a.ior());
+  EXPECT_EQ(root_.resolve(Name::parse("svc.beta")).ior(), b.ior());
+}
+
+TEST_F(NamingContextTest, SubContextsAndCompoundNames) {
+  root_.bind_new_context(Name::parse("apps"));
+  root_.bind_new_context(Name::parse("apps/opt"));
+  const corba::ObjectRef obj = make_object();
+  root_.bind(Name::parse("apps/opt/worker"), obj);
+  EXPECT_EQ(root_.resolve(Name::parse("apps/opt/worker")).ior(), obj.ior());
+
+  // Resolving the intermediate name yields the context reference, which can
+  // be used as a root of its own.
+  NamingContextStub apps = root_.context(Name::parse("apps"));
+  EXPECT_EQ(apps.resolve(Name::parse("opt/worker")).ior(), obj.ior());
+}
+
+TEST_F(NamingContextTest, BindThroughMissingContextRaisesNotFound) {
+  EXPECT_THROW(root_.bind(Name::parse("nowhere/worker"), make_object()),
+               NotFound);
+}
+
+TEST_F(NamingContextTest, BindThroughNonContextRaisesNotFound) {
+  root_.bind(Name::parse("leaf"), make_object());
+  EXPECT_THROW(root_.resolve(Name::parse("leaf/below")), NotFound);
+}
+
+TEST_F(NamingContextTest, BindNewContextTwiceRaisesAlreadyBound) {
+  root_.bind_new_context(Name::parse("apps"));
+  EXPECT_THROW(root_.bind_new_context(Name::parse("apps")), AlreadyBound);
+}
+
+TEST_F(NamingContextTest, ListShowsBindingTypes) {
+  root_.bind(Name::parse("object"), make_object());
+  root_.bind_new_context(Name::parse("ctx"));
+  root_.bind_offer(Name::parse("offers"), make_object(), "host1");
+  root_.bind_offer(Name::parse("offers"), make_object(), "host2");
+
+  const std::vector<Binding> bindings = root_.list();
+  ASSERT_EQ(bindings.size(), 3u);
+  for (const Binding& binding : bindings) {
+    if (binding.name == Name::parse("object")) {
+      EXPECT_FALSE(binding.is_context);
+      EXPECT_EQ(binding.offer_count, 0u);
+    } else if (binding.name == Name::parse("ctx")) {
+      EXPECT_TRUE(binding.is_context);
+    } else {
+      EXPECT_EQ(binding.name, Name::parse("offers"));
+      EXPECT_EQ(binding.offer_count, 2u);
+    }
+  }
+}
+
+TEST_F(NamingContextTest, InvalidNameStringCrossesWire) {
+  EXPECT_THROW(root_.resolve_str("a//b"), InvalidName);
+}
+
+TEST_F(NamingContextTest, OffersOverPlainBindingRejectedAndViceVersa) {
+  root_.bind(Name::parse("plain"), make_object());
+  EXPECT_THROW(root_.bind_offer(Name::parse("plain"), make_object(), "h"),
+               AlreadyBound);
+  root_.bind_offer(Name::parse("pool"), make_object(), "h");
+  EXPECT_THROW(root_.bind(Name::parse("pool"), make_object()), AlreadyBound);
+}
+
+TEST_F(NamingContextTest, OfferLifecycle) {
+  const corba::ObjectRef a = make_object("a");
+  const corba::ObjectRef b = make_object("b");
+  root_.bind_offer(Name::parse("pool"), a, "host1");
+  root_.bind_offer(Name::parse("pool"), b, "host2");
+  auto offers = root_.list_offers(Name::parse("pool"));
+  ASSERT_EQ(offers.size(), 2u);
+  EXPECT_EQ(offers[0].host, "host1");
+  EXPECT_EQ(offers[1].host, "host2");
+
+  root_.unbind_offer(Name::parse("pool"), "host1");
+  offers = root_.list_offers(Name::parse("pool"));
+  ASSERT_EQ(offers.size(), 1u);
+  EXPECT_EQ(offers[0].ref.ior(), b.ior());
+
+  EXPECT_THROW(root_.unbind_offer(Name::parse("pool"), "host1"), NotFound);
+  // Removing the last offer unbinds the name entirely.
+  root_.unbind_offer(Name::parse("pool"), "host2");
+  EXPECT_THROW(root_.resolve(Name::parse("pool")), NotFound);
+}
+
+TEST_F(NamingContextTest, ListOffersOnPlainBindingRaises) {
+  root_.bind(Name::parse("plain"), make_object());
+  EXPECT_THROW(root_.list_offers(Name::parse("plain")), NotFound);
+  EXPECT_THROW(root_.list_offers(Name::parse("missing")), NotFound);
+}
+
+TEST_F(NamingContextTest, DefaultResolveOnOffersReturnsFirst) {
+  const corba::ObjectRef a = make_object("a");
+  const corba::ObjectRef b = make_object("b");
+  root_.bind_offer(Name::parse("pool"), a, "host1");
+  root_.bind_offer(Name::parse("pool"), b, "host2");
+  // Default strategy of a plain context is `first`: behaves like a naming
+  // service that knows nothing about load.
+  EXPECT_EQ(root_.resolve(Name::parse("pool")).ior(), a.ior());
+  EXPECT_EQ(root_.resolve(Name::parse("pool")).ior(), a.ior());
+}
+
+}  // namespace
+}  // namespace naming

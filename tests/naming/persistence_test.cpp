@@ -1,0 +1,130 @@
+// Tests of naming-service persistence: snapshot/restore of the full
+// context tree (objects, offers, sub-contexts), the file-backed wrappers,
+// and the checkpointable-object protocol — making the naming service
+// restartable with the paper's own fault-tolerance machinery (§5 (a)).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "naming/naming_context.hpp"
+#include "naming/naming_stub.hpp"
+#include "orb/orb.hpp"
+
+namespace naming {
+namespace {
+
+class NoopServant : public corba::Servant {
+ public:
+  std::string_view repo_id() const noexcept override {
+    return "IDL:corbaft/tests/Noop:1.0";
+  }
+  corba::Value dispatch(std::string_view op, const corba::ValueSeq&) override {
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+};
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_shared<corba::InProcessNetwork>();
+    orb_ = corba::ORB::init({.endpoint_name = "names", .network = network_});
+    auto [servant, ref] = NamingContextServant::create_root(orb_);
+    root_ = servant;
+    object_a_ = orb_->activate(std::make_shared<NoopServant>(), "a");
+    object_b_ = orb_->activate(std::make_shared<NoopServant>(), "b");
+    // A representative tree: plain object, offer set, nested contexts.
+    root_->bind(Name::parse("service.kind"), object_a_);
+    root_->bind_offer(Name::parse("pool"), object_a_, "host1");
+    root_->bind_offer(Name::parse("pool"), object_b_, "host2");
+    root_->bind_new_context(Name::parse("apps"));
+    root_->bind_new_context(Name::parse("apps/opt"));
+    root_->bind(Name::parse("apps/opt/worker"), object_b_);
+  }
+
+  void verify_tree(NamingContext& context) {
+    EXPECT_EQ(context.resolve(Name::parse("service.kind")).ior(),
+              object_a_.ior());
+    const auto offers = context.list_offers(Name::parse("pool"));
+    ASSERT_EQ(offers.size(), 2u);
+    EXPECT_EQ(offers[0].host, "host1");
+    EXPECT_EQ(offers[1].ref.ior(), object_b_.ior());
+    EXPECT_EQ(context.resolve(Name::parse("apps/opt/worker")).ior(),
+              object_b_.ior());
+  }
+
+  std::shared_ptr<corba::InProcessNetwork> network_;
+  std::shared_ptr<corba::ORB> orb_;
+  std::shared_ptr<NamingContextServant> root_;
+  corba::ObjectRef object_a_, object_b_;
+};
+
+TEST_F(PersistenceTest, SnapshotRestoresIntoFreshRoot) {
+  const corba::Blob snapshot = root_->get_state();
+  auto [fresh, ref] = NamingContextServant::create_root(orb_);
+  fresh->set_state(snapshot);
+  verify_tree(*fresh);
+}
+
+TEST_F(PersistenceTest, RestoreReplacesExistingBindings) {
+  auto [other, ref] = NamingContextServant::create_root(orb_);
+  other->bind(Name::parse("stale"), object_a_);
+  other->set_state(root_->get_state());
+  EXPECT_THROW(other->resolve(Name::parse("stale")), NotFound);
+  verify_tree(*other);
+}
+
+TEST_F(PersistenceTest, FileSnapshotsSurviveServiceRestart) {
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "naming.snapshot";
+  std::filesystem::remove(path);
+  root_->save_snapshot(path);
+
+  // "Restart": a brand-new naming service process loads the snapshot.
+  auto new_orb = corba::ORB::init({.endpoint_name = "names2",
+                                   .network = network_});
+  auto [restarted, ref] = NamingContextServant::create_root(new_orb);
+  restarted->load_snapshot(path);
+  verify_tree(*restarted);
+  // The restored references still point at the live objects.
+  EXPECT_TRUE(restarted->resolve(Name::parse("service.kind")).ping());
+  std::filesystem::remove(path);
+}
+
+TEST_F(PersistenceTest, StateProtocolWorksOverTheWire) {
+  // The naming service is itself a checkpointable object: a client (or an
+  // ft::ProxyEngine) can checkpoint and restore it remotely.
+  auto client = corba::ORB::init({.endpoint_name = "client",
+                                  .network = network_});
+  const corba::ObjectRef remote_root = client->make_ref(root_->self_ref().ior());
+  const corba::Blob state = remote_root.invoke("_get_state", {}).as_blob();
+  EXPECT_FALSE(state.empty());
+
+  auto [fresh, ref] = NamingContextServant::create_root(orb_);
+  const corba::ObjectRef remote_fresh = client->make_ref(ref.ior());
+  remote_fresh.invoke("_set_state", {corba::Value(state)});
+  NamingContextStub stub(remote_fresh);
+  verify_tree(stub);
+}
+
+TEST_F(PersistenceTest, CorruptSnapshotsRejected) {
+  auto [fresh, ref] = NamingContextServant::create_root(orb_);
+  corba::Blob garbage{std::byte{9}, std::byte{9}};
+  EXPECT_THROW(fresh->set_state(garbage), corba::MARSHAL);
+  // A failed restore must not destroy existing bindings.
+  fresh->bind(Name::parse("keep"), object_a_);
+  EXPECT_THROW(fresh->set_state(garbage), corba::MARSHAL);
+  EXPECT_EQ(fresh->resolve(Name::parse("keep")).ior(), object_a_.ior());
+}
+
+TEST_F(PersistenceTest, RoundRobinPositionIsNotPartOfTheState) {
+  // Snapshot state is the *bindings*; transient cursor positions reset.
+  root_->resolve_with(Name::parse("pool"), ResolveStrategy::round_robin);
+  auto [fresh, ref] = NamingContextServant::create_root(orb_);
+  fresh->set_state(root_->get_state());
+  EXPECT_EQ(fresh->resolve_with(Name::parse("pool"),
+                                ResolveStrategy::round_robin).ior(),
+            object_a_.ior());  // starts from the first offer again
+}
+
+}  // namespace
+}  // namespace naming

@@ -1,0 +1,192 @@
+// Unit tests for the Complex Box optimizer: convergence on standard
+// problems, constraint handling, determinism, resumable state, and
+// serialization.
+#include "opt/complex_box.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opt/rosenbrock.hpp"
+
+namespace opt {
+namespace {
+
+double sphere(std::span<const double> x) {
+  double sum = 0.0;
+  for (double xi : x) sum += xi * xi;
+  return sum;
+}
+
+TEST(ComplexBox, MinimizesSphere) {
+  const std::vector<double> lower(4, -10.0);
+  const std::vector<double> upper(4, 10.0);
+  BoxOptions options;
+  options.max_iterations = 2000;
+  const BoxResult result = complex_box(sphere, lower, upper, options);
+  EXPECT_LT(result.best_value, 1e-4);
+  for (double xi : result.best) EXPECT_NEAR(xi, 0.0, 0.05);
+}
+
+TEST(ComplexBox, Minimizes2DRosenbrockIntoTheValley) {
+  const std::vector<double> lower(2, -2.048);
+  const std::vector<double> upper(2, 2.048);
+  BoxOptions options;
+  options.max_iterations = 5000;
+  options.seed = 3;
+  const BoxResult result =
+      complex_box([](std::span<const double> x) { return rosenbrock(x); },
+                  lower, upper, options);
+  EXPECT_LT(result.best_value, 1e-3);
+  EXPECT_NEAR(result.best[0], 1.0, 0.1);
+  EXPECT_NEAR(result.best[1], 1.0, 0.1);
+}
+
+TEST(ComplexBox, RespectsBoxConstraints) {
+  // Unconstrained optimum (0) lies outside the box [1, 2]^3: the result
+  // must sit on the boundary, inside bounds.
+  const std::vector<double> lower(3, 1.0);
+  const std::vector<double> upper(3, 2.0);
+  BoxOptions options;
+  options.max_iterations = 1500;
+  const BoxResult result = complex_box(sphere, lower, upper, options);
+  for (double xi : result.best) {
+    EXPECT_GE(xi, 1.0 - 1e-12);
+    EXPECT_LE(xi, 2.0 + 1e-12);
+  }
+  EXPECT_NEAR(result.best_value, 3.0, 0.05);  // at (1,1,1)
+}
+
+TEST(ComplexBox, DeterministicPerSeed) {
+  const std::vector<double> lower(3, -5.0);
+  const std::vector<double> upper(3, 5.0);
+  BoxOptions options;
+  options.max_iterations = 500;
+  options.seed = 42;
+  const BoxResult a = complex_box(sphere, lower, upper, options);
+  const BoxResult b = complex_box(sphere, lower, upper, options);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+
+  options.seed = 43;
+  const BoxResult c = complex_box(sphere, lower, upper, options);
+  EXPECT_NE(a.best, c.best);
+}
+
+TEST(ComplexBox, IterationCountIsTheStoppingCriterion) {
+  const std::vector<double> lower(2, -5.0);
+  const std::vector<double> upper(2, 5.0);
+  BoxOptions options;
+  options.max_iterations = 123;
+  const BoxResult result = complex_box(sphere, lower, upper, options);
+  EXPECT_EQ(result.iterations, 123);
+  EXPECT_FALSE(result.converged);
+  EXPECT_GE(result.evaluations, 123);
+}
+
+TEST(ComplexBox, ToleranceStopsEarly) {
+  const std::vector<double> lower(2, -5.0);
+  const std::vector<double> upper(2, 5.0);
+  BoxOptions options;
+  options.max_iterations = 100000;
+  options.tolerance = 1e-6;
+  const BoxResult result = complex_box(sphere, lower, upper, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations, 100000);
+}
+
+TEST(ComplexBox, MoreIterationsMeansMoreEvaluations) {
+  // The Table 1 experiment varies worker iterations as the knob for call
+  // length; evaluations (and hence simulated work) must scale with it.
+  const std::vector<double> lower(5, -5.0);
+  const std::vector<double> upper(5, 5.0);
+  std::int64_t previous = 0;
+  for (int iterations : {100, 1000, 10000}) {
+    BoxOptions options;
+    options.max_iterations = iterations;
+    const BoxResult result = complex_box(sphere, lower, upper, options);
+    EXPECT_GT(result.evaluations, previous);
+    previous = result.evaluations;
+  }
+}
+
+TEST(ComplexBox, ResumeContinuesExactlyWhereItStopped) {
+  const std::vector<double> lower(3, -5.0);
+  const std::vector<double> upper(3, 5.0);
+
+  BoxOptions full;
+  full.max_iterations = 400;
+  full.seed = 7;
+  BoxState full_state;
+  const BoxResult one_shot = complex_box(sphere, lower, upper, full, &full_state);
+
+  BoxOptions half = full;
+  half.max_iterations = 200;
+  BoxState state;
+  complex_box(sphere, lower, upper, half, &state);
+  const BoxResult resumed = complex_box(sphere, lower, upper, half, &state);
+
+  // 200 + 200 resumed iterations reach the same complex as 400 straight
+  // (the RNG stream is carried through the state).
+  EXPECT_EQ(resumed.best, one_shot.best);
+  EXPECT_EQ(state.total_iterations, 400);
+  EXPECT_EQ(state.total_evaluations, full_state.total_evaluations);
+}
+
+TEST(ComplexBox, StateSerializationRoundTrips) {
+  const std::vector<double> lower(3, -5.0);
+  const std::vector<double> upper(3, 5.0);
+  BoxOptions options;
+  options.max_iterations = 50;
+  BoxState state;
+  complex_box(sphere, lower, upper, options, &state);
+
+  const corba::Blob blob = state.serialize();
+  const BoxState restored = BoxState::deserialize(blob);
+  EXPECT_EQ(restored, state);
+
+  // Resuming from the deserialized state gives identical results.
+  BoxState a = state;
+  BoxState b = restored;
+  const BoxResult ra = complex_box(sphere, lower, upper, options, &a);
+  const BoxResult rb = complex_box(sphere, lower, upper, options, &b);
+  EXPECT_EQ(ra.best, rb.best);
+}
+
+TEST(ComplexBox, CorruptStateRejected) {
+  corba::Blob garbage{std::byte{9}, std::byte{9}};
+  EXPECT_THROW(BoxState::deserialize(garbage), corba::MARSHAL);
+}
+
+TEST(ComplexBox, InvalidArgumentsRejected) {
+  const std::vector<double> lower(2, -1.0);
+  const std::vector<double> upper(2, 1.0);
+  const std::vector<double> bad_upper(2, -2.0);
+  const std::vector<double> short_upper(1, 1.0);
+  BoxOptions options;
+  EXPECT_THROW(complex_box(sphere, {}, {}, options), std::invalid_argument);
+  EXPECT_THROW(complex_box(sphere, lower, bad_upper, options),
+               std::invalid_argument);
+  EXPECT_THROW(complex_box(sphere, lower, short_upper, options),
+               std::invalid_argument);
+  options.alpha = 0.9;
+  EXPECT_THROW(complex_box(sphere, lower, upper, options),
+               std::invalid_argument);
+  options = {};
+  options.complex_size = 2;  // < n+1
+  EXPECT_THROW(complex_box(sphere, lower, upper, options),
+               std::invalid_argument);
+}
+
+TEST(ComplexBox, ZeroIterationBudgetJustInitializes) {
+  const std::vector<double> lower(2, -1.0);
+  const std::vector<double> upper(2, 1.0);
+  BoxOptions options;
+  options.max_iterations = 0;
+  BoxState state;
+  const BoxResult result = complex_box(sphere, lower, upper, options, &state);
+  EXPECT_EQ(result.iterations, 0);
+  EXPECT_EQ(result.evaluations, 4);  // complex size 2n
+  EXPECT_TRUE(state.initialized());
+}
+
+}  // namespace
+}  // namespace opt

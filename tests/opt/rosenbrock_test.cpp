@@ -1,0 +1,127 @@
+// Unit tests for the Rosenbrock function and its block decomposition.  The
+// central property: the decomposition is *exact* — block objectives sum to
+// the full function for any point.
+#include "opt/rosenbrock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace opt {
+namespace {
+
+TEST(Rosenbrock, KnownValues) {
+  const std::vector<double> minimum(5, 1.0);
+  EXPECT_DOUBLE_EQ(rosenbrock(minimum), 0.0);
+
+  const std::vector<double> origin(2, 0.0);
+  EXPECT_DOUBLE_EQ(rosenbrock(origin), 1.0);  // 100*0 + (1-0)^2
+
+  const std::vector<double> x = {-1.0, 1.0};
+  EXPECT_DOUBLE_EQ(rosenbrock(x), 4.0);  // 100*(1-1)^2 + (1-(-1))^2
+}
+
+TEST(Rosenbrock, RequiresAtLeastTwoDimensions) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(rosenbrock(one), std::invalid_argument);
+}
+
+TEST(Decomposition, PaperScenario30x3) {
+  const Decomposition d = Decomposition::make(30, 3);
+  ASSERT_EQ(d.block_count(), 3);
+  // The paper: "3 worker problems (problem dimension 10, 9 and 9) and a
+  // 2 dimensional manager problem".
+  EXPECT_EQ(d.block(0).dimension, 10);
+  EXPECT_EQ(d.block(1).dimension, 9);
+  EXPECT_EQ(d.block(2).dimension, 9);
+  EXPECT_EQ(d.coupling_dimension(), 2);
+  EXPECT_EQ(d.coupling_indices(), (std::vector<int>{10, 20}));
+  EXPECT_EQ(d.block(0).left_coupling, -1);
+  EXPECT_EQ(d.block(0).right_coupling, 10);
+  EXPECT_EQ(d.block(1).left_coupling, 10);
+  EXPECT_EQ(d.block(1).right_coupling, 20);
+  EXPECT_EQ(d.block(2).left_coupling, 20);
+  EXPECT_EQ(d.block(2).right_coupling, -1);
+}
+
+TEST(Decomposition, PaperScenario100x7) {
+  const Decomposition d = Decomposition::make(100, 7);
+  ASSERT_EQ(d.block_count(), 7);
+  EXPECT_EQ(d.coupling_dimension(), 6);
+  int total = d.coupling_dimension();
+  for (const Block& block : d.blocks()) {
+    EXPECT_GE(block.dimension, 13);
+    EXPECT_LE(block.dimension, 14);
+    total += block.dimension;
+  }
+  EXPECT_EQ(total, 100);
+}
+
+TEST(Decomposition, RejectsTooSmallProblems) {
+  EXPECT_THROW(Decomposition::make(5, 3), std::invalid_argument);
+  EXPECT_THROW(Decomposition::make(10, 0), std::invalid_argument);
+}
+
+class DecompositionExactness
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(DecompositionExactness, BlockObjectivesSumToFullFunction) {
+  const auto [n, k] = GetParam();
+  const Decomposition d = Decomposition::make(n, k);
+  std::mt19937_64 rng(static_cast<std::uint64_t>(n * 1000 + k));
+  std::uniform_real_distribution<double> dist(-3.0, 3.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (double& xi : x) xi = dist(rng);
+
+    // Slice the full point into block solutions + coupling values.
+    std::vector<double> coupling;
+    for (int index : d.coupling_indices())
+      coupling.push_back(x[static_cast<std::size_t>(index)]);
+    double sum = 0.0;
+    std::vector<std::vector<double>> blocks;
+    for (const Block& block : d.blocks()) {
+      std::vector<double> block_x(
+          x.begin() + block.first_variable,
+          x.begin() + block.first_variable + block.dimension);
+      sum += d.block_objective(block, block_x, coupling);
+      blocks.push_back(std::move(block_x));
+    }
+    EXPECT_NEAR(sum, rosenbrock(x), 1e-9 * (1.0 + rosenbrock(x)));
+
+    // assemble() reconstructs the original point.
+    EXPECT_EQ(d.assemble(blocks, coupling), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DecompositionExactness,
+    ::testing::Values(std::pair{30, 3}, std::pair{100, 7}, std::pair{8, 2},
+                      std::pair{50, 5}, std::pair{12, 4}, std::pair{30, 1}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.first) + "k" +
+             std::to_string(info.param.second);
+    });
+
+TEST(Decomposition, BlockObjectiveValidatesDimensions) {
+  const Decomposition d = Decomposition::make(30, 3);
+  const std::vector<double> wrong(5, 0.0);
+  const std::vector<double> coupling(2, 0.0);
+  EXPECT_THROW(d.block_objective(d.block(0), wrong, coupling),
+               std::invalid_argument);
+  const std::vector<double> block(10, 0.0);
+  const std::vector<double> bad_coupling(3, 0.0);
+  EXPECT_THROW(d.block_objective(d.block(0), block, bad_coupling),
+               std::invalid_argument);
+}
+
+TEST(Decomposition, SingleBlockHasNoCoupling) {
+  const Decomposition d = Decomposition::make(30, 1);
+  EXPECT_EQ(d.coupling_dimension(), 0);
+  EXPECT_EQ(d.block(0).dimension, 30);
+  std::vector<double> x(30, 1.0);
+  EXPECT_DOUBLE_EQ(d.block_objective(d.block(0), x, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace opt

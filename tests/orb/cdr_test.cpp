@@ -1,0 +1,239 @@
+// Unit tests for the CDR streams: primitive round trips in both byte
+// orders, alignment rules, strings/blobs, and bounds checking on input.
+#include "orb/cdr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+namespace corba {
+namespace {
+
+class CdrByteOrderTest : public ::testing::TestWithParam<ByteOrder> {};
+
+TEST_P(CdrByteOrderTest, PrimitiveRoundTrip) {
+  CdrOutputStream out(GetParam());
+  out.write_octet(0xab);
+  out.write_bool(true);
+  out.write_bool(false);
+  out.write_u16(0x1234);
+  out.write_u32(0xdeadbeef);
+  out.write_u64(0x0123456789abcdefull);
+  out.write_i16(-2);
+  out.write_i32(-123456789);
+  out.write_i64(std::numeric_limits<std::int64_t>::min());
+  out.write_f32(1.5f);
+  out.write_f64(-2.718281828459045);
+
+  CdrInputStream in(out.buffer(), GetParam());
+  EXPECT_EQ(in.read_octet(), 0xab);
+  EXPECT_TRUE(in.read_bool());
+  EXPECT_FALSE(in.read_bool());
+  EXPECT_EQ(in.read_u16(), 0x1234);
+  EXPECT_EQ(in.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(in.read_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(in.read_i16(), -2);
+  EXPECT_EQ(in.read_i32(), -123456789);
+  EXPECT_EQ(in.read_i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(in.read_f32(), 1.5f);
+  EXPECT_EQ(in.read_f64(), -2.718281828459045);
+  EXPECT_TRUE(in.at_end());
+}
+
+TEST_P(CdrByteOrderTest, StringRoundTrip) {
+  CdrOutputStream out(GetParam());
+  out.write_string("");
+  out.write_string("hello");
+  out.write_string(std::string(1000, 'x'));
+  CdrInputStream in(out.buffer(), GetParam());
+  EXPECT_EQ(in.read_string(), "");
+  EXPECT_EQ(in.read_string(), "hello");
+  EXPECT_EQ(in.read_string(), std::string(1000, 'x'));
+  EXPECT_TRUE(in.at_end());
+}
+
+TEST_P(CdrByteOrderTest, BlobRoundTrip) {
+  std::vector<std::byte> blob;
+  for (int i = 0; i < 257; ++i) blob.push_back(static_cast<std::byte>(i));
+  CdrOutputStream out(GetParam());
+  out.write_blob(std::span<const std::byte>(blob));
+  CdrInputStream in(out.buffer(), GetParam());
+  EXPECT_EQ(in.read_blob(), blob);
+}
+
+TEST_P(CdrByteOrderTest, F64SeqRoundTrip) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> dist(-1e12, 1e12);
+  std::vector<double> values(101);
+  for (auto& v : values) v = dist(rng);
+  CdrOutputStream out(GetParam());
+  out.write_f64_seq(values);
+  out.write_f64_seq({});
+  CdrInputStream in(out.buffer(), GetParam());
+  EXPECT_EQ(in.read_f64_seq(), values);
+  EXPECT_TRUE(in.read_f64_seq().empty());
+  EXPECT_TRUE(in.at_end());
+}
+
+TEST_P(CdrByteOrderTest, InterleavedMixedValues) {
+  // Property: any interleaving of writes reads back identically; exercises
+  // alignment after odd-size strings.
+  CdrOutputStream out(GetParam());
+  out.write_octet(1);
+  out.write_string("abc");  // 4-byte length + 4 chars => odd tail
+  out.write_u64(7);
+  out.write_octet(2);
+  out.write_f64(3.25);
+  CdrInputStream in(out.buffer(), GetParam());
+  EXPECT_EQ(in.read_octet(), 1);
+  EXPECT_EQ(in.read_string(), "abc");
+  EXPECT_EQ(in.read_u64(), 7u);
+  EXPECT_EQ(in.read_octet(), 2);
+  EXPECT_EQ(in.read_f64(), 3.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOrders, CdrByteOrderTest,
+                         ::testing::Values(ByteOrder::big_endian,
+                                           ByteOrder::little_endian),
+                         [](const auto& info) {
+                           return info.param == ByteOrder::big_endian ? "big"
+                                                                      : "little";
+                         });
+
+TEST(CdrAlignment, ScalarsAreNaturallyAligned) {
+  CdrOutputStream out;
+  out.write_octet(0);          // offset 0
+  out.write_u32(1);            // must pad to offset 4
+  EXPECT_EQ(out.size(), 8u);
+  out.write_octet(0);          // offset 8
+  out.write_u64(2);            // must pad to offset 16
+  EXPECT_EQ(out.size(), 24u);
+  out.write_octet(0);
+  out.write_u16(3);            // pad to 26
+  EXPECT_EQ(out.size(), 28u);
+}
+
+TEST(CdrAlignment, InputSkipsSamePadding) {
+  CdrOutputStream out;
+  out.write_octet(9);
+  out.write_u64(0x1122334455667788ull);
+  CdrInputStream in(out.buffer());
+  EXPECT_EQ(in.read_octet(), 9);
+  EXPECT_EQ(in.read_u64(), 0x1122334455667788ull);
+}
+
+TEST(CdrBounds, TruncatedScalarThrowsMarshal) {
+  CdrOutputStream out;
+  out.write_u32(1);
+  auto buffer = out.buffer();
+  buffer.pop_back();
+  CdrInputStream in(buffer);
+  EXPECT_THROW(in.read_u32(), MARSHAL);
+}
+
+TEST(CdrBounds, TruncatedStringThrowsMarshal) {
+  CdrOutputStream out;
+  out.write_string("hello world");
+  auto buffer = out.buffer();
+  buffer.resize(buffer.size() - 4);
+  CdrInputStream in(buffer);
+  EXPECT_THROW(in.read_string(), MARSHAL);
+}
+
+TEST(CdrBounds, StringWithoutTerminatorThrowsMarshal) {
+  CdrOutputStream out;
+  out.write_u32(3);  // claims 3 bytes incl. NUL
+  const char bad[] = {'a', 'b', 'c'};
+  out.write_raw(std::as_bytes(std::span(bad)));
+  CdrInputStream in(out.buffer());
+  EXPECT_THROW(in.read_string(), MARSHAL);
+}
+
+TEST(CdrBounds, EmptyBufferReportsAtEnd) {
+  CdrInputStream in({});
+  EXPECT_TRUE(in.at_end());
+  EXPECT_EQ(in.remaining(), 0u);
+  EXPECT_THROW(in.read_octet(), MARSHAL);
+}
+
+TEST(CdrBounds, BlobLengthBeyondBufferThrows) {
+  CdrOutputStream out;
+  out.write_u32(1000);  // blob claims 1000 bytes, none follow
+  CdrInputStream in(out.buffer());
+  EXPECT_THROW(in.read_blob(), MARSHAL);
+}
+
+TEST(CdrFloat, SpecialValuesSurviveSwap) {
+  for (ByteOrder order : {ByteOrder::big_endian, ByteOrder::little_endian}) {
+    CdrOutputStream out(order);
+    out.write_f64(std::numeric_limits<double>::infinity());
+    out.write_f64(-0.0);
+    out.write_f64(std::numeric_limits<double>::denorm_min());
+    out.write_f64(std::numeric_limits<double>::quiet_NaN());
+    CdrInputStream in(out.buffer(), order);
+    EXPECT_TRUE(std::isinf(in.read_f64()));
+    const double neg_zero = in.read_f64();
+    EXPECT_EQ(neg_zero, 0.0);
+    EXPECT_TRUE(std::signbit(neg_zero));
+    EXPECT_EQ(in.read_f64(), std::numeric_limits<double>::denorm_min());
+    EXPECT_TRUE(std::isnan(in.read_f64()));
+  }
+}
+
+TEST(CdrRandomized, RandomSequenceRoundTrips) {
+  // Property-style fuzz: random mixed write sequences round-trip in both
+  // byte orders.
+  std::mt19937_64 rng(20260704);
+  for (int trial = 0; trial < 50; ++trial) {
+    const ByteOrder order =
+        (trial % 2 == 0) ? ByteOrder::big_endian : ByteOrder::little_endian;
+    CdrOutputStream out(order);
+    std::vector<int> script;
+    std::vector<std::uint64_t> ints;
+    std::vector<double> doubles;
+    std::vector<std::string> strings;
+    const int ops = 1 + static_cast<int>(rng() % 40);
+    for (int i = 0; i < ops; ++i) {
+      const int op = static_cast<int>(rng() % 3);
+      script.push_back(op);
+      switch (op) {
+        case 0: {
+          ints.push_back(rng());
+          out.write_u64(ints.back());
+          break;
+        }
+        case 1: {
+          doubles.push_back(static_cast<double>(rng()) / 3.0);
+          out.write_f64(doubles.back());
+          break;
+        }
+        case 2: {
+          strings.push_back(std::string(rng() % 17, 'a' + (trial % 26)));
+          out.write_string(strings.back());
+          break;
+        }
+      }
+    }
+    CdrInputStream in(out.buffer(), order);
+    std::size_t ii = 0, di = 0, si = 0;
+    for (int op : script) {
+      switch (op) {
+        case 0:
+          ASSERT_EQ(in.read_u64(), ints[ii++]);
+          break;
+        case 1:
+          ASSERT_EQ(in.read_f64(), doubles[di++]);
+          break;
+        case 2:
+          ASSERT_EQ(in.read_string(), strings[si++]);
+          break;
+      }
+    }
+    EXPECT_TRUE(in.at_end());
+  }
+}
+
+}  // namespace
+}  // namespace corba

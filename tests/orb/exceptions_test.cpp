@@ -1,0 +1,88 @@
+// Unit tests for the exception hierarchy: message formatting, completion
+// statuses, the system-exception rethrow table, and hierarchy relations
+// the fault-tolerance layer relies on.
+#include "orb/exceptions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corba {
+namespace {
+
+TEST(Exceptions, CompletionStatusSpellings) {
+  EXPECT_EQ(to_string(CompletionStatus::completed_yes), "COMPLETED_YES");
+  EXPECT_EQ(to_string(CompletionStatus::completed_no), "COMPLETED_NO");
+  EXPECT_EQ(to_string(CompletionStatus::completed_maybe), "COMPLETED_MAYBE");
+}
+
+TEST(Exceptions, WhatMessageCarriesAllFields) {
+  const COMM_FAILURE e("link down", minor_code::connection_lost,
+                       CompletionStatus::completed_maybe);
+  const std::string what = e.what();
+  EXPECT_NE(what.find("COMM_FAILURE"), std::string::npos);
+  EXPECT_NE(what.find("link down"), std::string::npos);
+  EXPECT_NE(what.find("minor=2"), std::string::npos);
+  EXPECT_NE(what.find("COMPLETED_MAYBE"), std::string::npos);
+}
+
+TEST(Exceptions, DefaultsAreMaybeCompleted) {
+  const TRANSIENT e;
+  EXPECT_EQ(e.minor(), minor_code::unspecified);
+  EXPECT_EQ(e.completed(), CompletionStatus::completed_maybe);
+  EXPECT_TRUE(e.detail().empty());
+}
+
+TEST(Exceptions, HierarchyRelations) {
+  // The recovery code catches SystemException subtypes; user exceptions
+  // must never be caught by those handlers.
+  EXPECT_TRUE((std::is_base_of_v<SystemException, COMM_FAILURE>));
+  EXPECT_TRUE((std::is_base_of_v<SystemException, TIMEOUT>));
+  EXPECT_TRUE((std::is_base_of_v<Exception, SystemException>));
+  EXPECT_TRUE((std::is_base_of_v<Exception, UserException>));
+  EXPECT_FALSE((std::is_base_of_v<SystemException, UserException>));
+}
+
+TEST(Exceptions, RaiseTableCoversEveryDefinedException) {
+  const std::vector<std::string> ids = {
+      std::string(COMM_FAILURE::static_repo_id()),
+      std::string(TRANSIENT::static_repo_id()),
+      std::string(TIMEOUT::static_repo_id()),
+      std::string(OBJECT_NOT_EXIST::static_repo_id()),
+      std::string(BAD_PARAM::static_repo_id()),
+      std::string(BAD_OPERATION::static_repo_id()),
+      std::string(NO_IMPLEMENT::static_repo_id()),
+      std::string(MARSHAL::static_repo_id()),
+      std::string(INV_OBJREF::static_repo_id()),
+      std::string(BAD_INV_ORDER::static_repo_id()),
+  };
+  for (const std::string& id : ids) {
+    try {
+      raise_system_exception(id, "detail", 7, CompletionStatus::completed_no);
+      FAIL() << id;
+    } catch (const SystemException& e) {
+      EXPECT_EQ(e.repo_id(), id);
+      EXPECT_EQ(e.minor(), 7u);
+      EXPECT_EQ(e.completed(), CompletionStatus::completed_no);
+    }
+  }
+}
+
+TEST(Exceptions, UnknownSystemExceptionIdFallsBackToInternal) {
+  EXPECT_THROW(raise_system_exception("IDL:omg.org/CORBA/MYSTERY:1.0", "x", 0,
+                                      CompletionStatus::completed_no),
+               INTERNAL);
+}
+
+TEST(Exceptions, RethrownTypeIsConcrete) {
+  try {
+    raise_system_exception(std::string(TIMEOUT::static_repo_id()), "late", 0,
+                           CompletionStatus::completed_maybe);
+    FAIL();
+  } catch (const TIMEOUT&) {
+    // concrete type preserved across the wire
+  } catch (const SystemException&) {
+    FAIL() << "TIMEOUT decayed to a generic SystemException";
+  }
+}
+
+}  // namespace
+}  // namespace corba

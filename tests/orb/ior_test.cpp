@@ -1,0 +1,92 @@
+// Unit tests for object keys and IORs: stringification, parsing and
+// malformed-input handling.
+#include "orb/ior.hpp"
+
+#include <gtest/gtest.h>
+
+#include "orb/exceptions.hpp"
+
+namespace corba {
+namespace {
+
+IOR sample_ior() {
+  IOR ior;
+  ior.type_id = "IDL:corbaft/OptWorker:1.0";
+  ior.protocol = std::string(protocol::tcp);
+  ior.host = "192.168.1.17";
+  ior.port = 2809;
+  ior.key = ObjectKey::from_string("worker#a1.42");
+  return ior;
+}
+
+TEST(ObjectKey, RoundTripsThroughString) {
+  const ObjectKey key = ObjectKey::from_string("svc#a3.7");
+  EXPECT_EQ(key.to_string(), "svc#a3.7");
+  EXPECT_EQ(ObjectKey::from_string(key.to_string()), key);
+}
+
+TEST(ObjectKey, EscapesNonPrintableBytes) {
+  ObjectKey key;
+  key.bytes = {std::byte{0x01}, std::byte{'a'}, std::byte{0xff}};
+  EXPECT_EQ(key.to_string(), "\\01a\\ff");
+}
+
+TEST(ObjectKey, HashDistinguishesKeys) {
+  ObjectKeyHash hash;
+  EXPECT_NE(hash(ObjectKey::from_string("a")), hash(ObjectKey::from_string("b")));
+  EXPECT_EQ(hash(ObjectKey::from_string("a")), hash(ObjectKey::from_string("a")));
+}
+
+TEST(Ior, DefaultIsNil) {
+  IOR ior;
+  EXPECT_TRUE(ior.is_nil());
+  EXPECT_EQ(ior.to_display_string(), "<nil>");
+}
+
+TEST(Ior, StringRoundTrip) {
+  const IOR ior = sample_ior();
+  const std::string s = ior.to_string();
+  EXPECT_EQ(s.substr(0, 4), "IOR:");
+  EXPECT_EQ(IOR::from_string(s), ior);
+}
+
+TEST(Ior, InprocProfileRoundTrip) {
+  IOR ior;
+  ior.type_id = "IDL:corbaft/NamingContext:1.0";
+  ior.protocol = std::string(protocol::inproc);
+  ior.host = "node03";
+  ior.key = ObjectKey::from_string("naming#a1.1");
+  EXPECT_EQ(IOR::from_string(ior.to_string()), ior);
+}
+
+TEST(Ior, CdrRoundTripBothOrders) {
+  for (ByteOrder order : {ByteOrder::big_endian, ByteOrder::little_endian}) {
+    CdrOutputStream out(order);
+    sample_ior().encode(out);
+    CdrInputStream in(out.buffer(), order);
+    EXPECT_EQ(IOR::decode(in), sample_ior());
+  }
+}
+
+TEST(Ior, MalformedStringsRejected) {
+  EXPECT_THROW(IOR::from_string(""), INV_OBJREF);
+  EXPECT_THROW(IOR::from_string("ior:00"), INV_OBJREF);
+  EXPECT_THROW(IOR::from_string("IOR:0"), INV_OBJREF);     // odd hex length
+  EXPECT_THROW(IOR::from_string("IOR:zz"), INV_OBJREF);    // bad hex digit
+  EXPECT_THROW(IOR::from_string("IOR:00"), INV_OBJREF);    // truncated body
+}
+
+TEST(Ior, TrailingBytesRejected) {
+  std::string s = sample_ior().to_string();
+  s += "00";
+  EXPECT_THROW(IOR::from_string(s), INV_OBJREF);
+}
+
+TEST(Ior, DisplayStringContainsAddress) {
+  const std::string display = sample_ior().to_display_string();
+  EXPECT_NE(display.find("tcp://192.168.1.17:2809"), std::string::npos);
+  EXPECT_NE(display.find("worker#a1.42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace corba

@@ -1,0 +1,65 @@
+// Unit tests for the logging facade and the fault-tolerance layer's events.
+#include "orb/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace corba {
+namespace {
+
+struct Event {
+  log::Level level;
+  std::string component;
+  std::string message;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { log::clear_sink(); }
+
+  std::vector<Event> install_collector() {
+    events_.clear();
+    log::set_sink([this](log::Level level, std::string_view component,
+                         std::string_view message) {
+      events_.push_back(Event{level, std::string(component),
+                              std::string(message)});
+    });
+    return {};
+  }
+
+  std::vector<Event> events_;
+};
+
+TEST_F(LogTest, DisabledByDefault) {
+  EXPECT_FALSE(log::enabled());
+  log::emit(log::Level::error, "x", "dropped");  // no sink, no crash
+}
+
+TEST_F(LogTest, SinkReceivesEvents) {
+  install_collector();
+  EXPECT_TRUE(log::enabled());
+  log::emit(log::Level::warning, "ft.proxy", "something happened");
+  ASSERT_EQ(events_.size(), 1u);
+  EXPECT_EQ(events_[0].level, log::Level::warning);
+  EXPECT_EQ(events_[0].component, "ft.proxy");
+  EXPECT_EQ(events_[0].message, "something happened");
+}
+
+TEST_F(LogTest, ClearSinkStopsDelivery) {
+  install_collector();
+  log::clear_sink();
+  EXPECT_FALSE(log::enabled());
+  log::emit(log::Level::info, "x", "dropped");
+  EXPECT_TRUE(events_.empty());
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_EQ(log::to_string(log::Level::debug), "debug");
+  EXPECT_EQ(log::to_string(log::Level::info), "info");
+  EXPECT_EQ(log::to_string(log::Level::warning), "warning");
+  EXPECT_EQ(log::to_string(log::Level::error), "error");
+}
+
+}  // namespace
+}  // namespace corba

@@ -1,0 +1,170 @@
+// Unit tests for the GIOP-lite message layer: header framing, request and
+// reply body round trips, exception carriage, and the user-exception
+// registry.
+#include "orb/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corba {
+namespace {
+
+TEST(MessageHeader, EncodeDecodeRoundTrip) {
+  MessageHeader h;
+  h.type = MessageType::reply;
+  h.byte_order = ByteOrder::big_endian;
+  h.body_length = 0x01020304;
+  const auto bytes = h.encode();
+  const MessageHeader decoded = MessageHeader::decode(bytes);
+  EXPECT_EQ(decoded.type, MessageType::reply);
+  EXPECT_EQ(decoded.byte_order, ByteOrder::big_endian);
+  EXPECT_EQ(decoded.body_length, 0x01020304u);
+}
+
+TEST(MessageHeader, RejectsBadMagicVersionTypeOrder) {
+  MessageHeader h;
+  auto good = h.encode();
+
+  auto bad = good;
+  bad[0] = std::byte{'X'};
+  EXPECT_THROW(MessageHeader::decode(bad), MARSHAL);
+
+  bad = good;
+  bad[4] = std::byte{9};
+  EXPECT_THROW(MessageHeader::decode(bad), MARSHAL);
+
+  bad = good;
+  bad[6] = std::byte{7};
+  EXPECT_THROW(MessageHeader::decode(bad), MARSHAL);
+
+  bad = good;
+  bad[7] = std::byte{200};
+  EXPECT_THROW(MessageHeader::decode(bad), MARSHAL);
+
+  EXPECT_THROW(MessageHeader::decode(std::span(good).subspan(0, 5)), MARSHAL);
+}
+
+RequestMessage sample_request() {
+  RequestMessage req;
+  req.request_id = 77;
+  req.object_key = ObjectKey::from_string("svc#a1.9");
+  req.operation = "solve";
+  req.arguments = {Value(std::int64_t{3}), Value("payload"),
+                   Value(std::vector<double>{1.0, 2.0})};
+  return req;
+}
+
+class MessageOrderTest : public ::testing::TestWithParam<ByteOrder> {};
+
+TEST_P(MessageOrderTest, RequestBodyRoundTrip) {
+  CdrOutputStream out(GetParam());
+  sample_request().encode_body(out);
+  CdrInputStream in(out.buffer(), GetParam());
+  const RequestMessage decoded = RequestMessage::decode_body(in);
+  EXPECT_EQ(decoded.request_id, 77u);
+  EXPECT_EQ(decoded.object_key, sample_request().object_key);
+  EXPECT_EQ(decoded.operation, "solve");
+  ASSERT_EQ(decoded.arguments.size(), 3u);
+  EXPECT_EQ(decoded.arguments[1].as_string(), "payload");
+  EXPECT_TRUE(decoded.response_expected);
+}
+
+TEST_P(MessageOrderTest, ResultReplyRoundTrip) {
+  ReplyMessage rep = ReplyMessage::make_result(5, Value("ok"));
+  CdrOutputStream out(GetParam());
+  rep.encode_body(out);
+  CdrInputStream in(out.buffer(), GetParam());
+  const ReplyMessage decoded = ReplyMessage::decode_body(in);
+  EXPECT_EQ(decoded.request_id, 5u);
+  EXPECT_EQ(decoded.status, ReplyStatus::no_exception);
+  EXPECT_EQ(decoded.result_or_throw().as_string(), "ok");
+}
+
+TEST_P(MessageOrderTest, SystemExceptionReplyRoundTrip) {
+  const COMM_FAILURE error("link dropped", minor_code::connection_lost,
+                           CompletionStatus::completed_maybe);
+  ReplyMessage rep = ReplyMessage::make_system_exception(9, error);
+  CdrOutputStream out(GetParam());
+  rep.encode_body(out);
+  CdrInputStream in(out.buffer(), GetParam());
+  const ReplyMessage decoded = ReplyMessage::decode_body(in);
+  EXPECT_EQ(decoded.status, ReplyStatus::system_exception);
+  try {
+    decoded.result_or_throw();
+    FAIL() << "expected COMM_FAILURE";
+  } catch (const COMM_FAILURE& e) {
+    EXPECT_EQ(e.detail(), "link dropped");
+    EXPECT_EQ(e.minor(), minor_code::connection_lost);
+    EXPECT_EQ(e.completed(), CompletionStatus::completed_maybe);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOrders, MessageOrderTest,
+                         ::testing::Values(ByteOrder::big_endian,
+                                           ByteOrder::little_endian),
+                         [](const auto& info) {
+                           return info.param == ByteOrder::big_endian ? "big"
+                                                                      : "little";
+                         });
+
+struct TestError : UserException {
+  explicit TestError(std::string detail)
+      : UserException(std::string(static_repo_id()), std::move(detail)) {}
+  static constexpr std::string_view static_repo_id() {
+    return "IDL:corbaft/tests/TestError:1.0";
+  }
+};
+RegisterUserException<TestError> register_test_error;
+
+TEST(Reply, RegisteredUserExceptionRethrownConcretely) {
+  ReplyMessage rep = ReplyMessage::make_user_exception(1, TestError("boom"));
+  EXPECT_THROW(rep.result_or_throw(), TestError);
+}
+
+TEST(Reply, UnregisteredUserExceptionFallsBack) {
+  ReplyMessage rep;
+  rep.status = ReplyStatus::user_exception;
+  rep.exception_id = "IDL:nobody/registered/This:1.0";
+  rep.exception_detail = "detail";
+  EXPECT_THROW(rep.result_or_throw(), UnknownUserException);
+}
+
+TEST(Reply, UnknownSystemExceptionIdBecomesInternal) {
+  ReplyMessage rep;
+  rep.status = ReplyStatus::system_exception;
+  rep.exception_id = "IDL:omg.org/CORBA/WEIRD:1.0";
+  EXPECT_THROW(rep.result_or_throw(), INTERNAL);
+}
+
+TEST(Frame, EncodeFrameMatchesHeaderPlusBody) {
+  CdrOutputStream body;
+  sample_request().encode_body(body);
+  const auto frame = encode_frame(MessageType::request, body);
+  ASSERT_GE(frame.size(), MessageHeader::kEncodedSize);
+  const MessageHeader header = MessageHeader::decode(frame);
+  EXPECT_EQ(header.type, MessageType::request);
+  EXPECT_EQ(header.body_length, body.size());
+  EXPECT_EQ(frame.size(), MessageHeader::kEncodedSize + body.size());
+}
+
+TEST(Request, SizeEstimateIsReasonable) {
+  const RequestMessage req = sample_request();
+  CdrOutputStream body;
+  req.encode_body(body);
+  const std::size_t actual = MessageHeader::kEncodedSize + body.size();
+  EXPECT_GE(req.encoded_size_estimate() + 32, actual);
+  EXPECT_LE(req.encoded_size_estimate(), actual + 32);
+}
+
+TEST(Request, HostileArgumentCountRejected) {
+  CdrOutputStream out;
+  out.write_u64(1);
+  out.write_blob(std::span<const std::byte>{});
+  out.write_string("op");
+  out.write_bool(true);
+  out.write_u32(0x7fffffff);  // claims ~2B arguments
+  CdrInputStream in(out.buffer());
+  EXPECT_THROW(RequestMessage::decode_body(in), MARSHAL);
+}
+
+}  // namespace
+}  // namespace corba

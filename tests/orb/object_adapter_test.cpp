@@ -1,0 +1,169 @@
+// Unit tests for the object adapter: activation, deactivation, key
+// uniqueness, built-in operations, and the exception-to-reply mapping.
+#include "orb/object_adapter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "orb/exceptions.hpp"
+#include "test_interfaces.hpp"
+
+namespace corba {
+namespace {
+
+using corbaft_test::CalcServant;
+using corbaft_test::kCalcRepoId;
+
+EndpointProfile test_profile() {
+  return EndpointProfile{std::string(protocol::inproc), "node-a", 0};
+}
+
+RequestMessage make_request(const IOR& target, std::string op,
+                            ValueSeq args = {}) {
+  RequestMessage req;
+  req.request_id = 1;
+  req.object_key = target.key;
+  req.operation = std::move(op);
+  req.arguments = std::move(args);
+  return req;
+}
+
+TEST(ObjectAdapter, ActivateMintsIorWithProfileAndTypeId) {
+  ObjectAdapter adapter(test_profile());
+  const IOR ior = adapter.activate(std::make_shared<CalcServant>(), "calc");
+  EXPECT_EQ(ior.protocol, protocol::inproc);
+  EXPECT_EQ(ior.host, "node-a");
+  EXPECT_EQ(ior.type_id, kCalcRepoId);
+  EXPECT_NE(ior.key.to_string().find("calc"), std::string::npos);
+}
+
+TEST(ObjectAdapter, GeneratedKeysAreUnique) {
+  ObjectAdapter adapter(test_profile());
+  std::set<std::string> keys;
+  for (int i = 0; i < 100; ++i) {
+    const IOR ior = adapter.activate(std::make_shared<CalcServant>());
+    keys.insert(ior.key.to_string());
+  }
+  EXPECT_EQ(keys.size(), 100u);
+  EXPECT_EQ(adapter.active_count(), 100u);
+}
+
+TEST(ObjectAdapter, KeysAreUniqueAcrossAdapters) {
+  // Two adapters (e.g. a restarted server) must not mint colliding keys.
+  ObjectAdapter a(test_profile());
+  ObjectAdapter b(test_profile());
+  const IOR ia = a.activate(std::make_shared<CalcServant>(), "svc");
+  const IOR ib = b.activate(std::make_shared<CalcServant>(), "svc");
+  EXPECT_NE(ia.key, ib.key);
+}
+
+TEST(ObjectAdapter, DispatchInvokesServant) {
+  ObjectAdapter adapter(test_profile());
+  const IOR ior = adapter.activate(std::make_shared<CalcServant>());
+  const ReplyMessage reply =
+      adapter.dispatch(make_request(ior, "add", {Value(2), Value(40)}));
+  EXPECT_EQ(reply.status, ReplyStatus::no_exception);
+  EXPECT_EQ(reply.result_or_throw().as_i32(), 42);
+}
+
+TEST(ObjectAdapter, UnknownKeyYieldsObjectNotExist) {
+  ObjectAdapter adapter(test_profile());
+  IOR bogus;
+  bogus.key = ObjectKey::from_string("nothing-here");
+  const ReplyMessage reply = adapter.dispatch(make_request(bogus, "add"));
+  EXPECT_EQ(reply.status, ReplyStatus::system_exception);
+  EXPECT_THROW(reply.result_or_throw(), OBJECT_NOT_EXIST);
+}
+
+TEST(ObjectAdapter, DeactivatedObjectDisappears) {
+  ObjectAdapter adapter(test_profile());
+  const IOR ior = adapter.activate(std::make_shared<CalcServant>());
+  adapter.deactivate(ior.key);
+  EXPECT_EQ(adapter.active_count(), 0u);
+  const ReplyMessage reply = adapter.dispatch(make_request(ior, "add"));
+  EXPECT_THROW(reply.result_or_throw(), OBJECT_NOT_EXIST);
+}
+
+TEST(ObjectAdapter, ActivateWithExplicitKey) {
+  ObjectAdapter adapter(test_profile());
+  const ObjectKey key = ObjectKey::from_string("NameService");
+  const IOR ior = adapter.activate_with_key(key, std::make_shared<CalcServant>());
+  EXPECT_EQ(ior.key, key);
+  EXPECT_THROW(
+      adapter.activate_with_key(key, std::make_shared<CalcServant>()),
+      BAD_PARAM);
+}
+
+TEST(ObjectAdapter, NullServantAndEmptyKeyRejected) {
+  ObjectAdapter adapter(test_profile());
+  EXPECT_THROW(adapter.activate(nullptr), BAD_PARAM);
+  EXPECT_THROW(adapter.activate_with_key(ObjectKey{}, std::make_shared<CalcServant>()),
+               BAD_PARAM);
+}
+
+TEST(ObjectAdapter, BuiltinIsA) {
+  ObjectAdapter adapter(test_profile());
+  const IOR ior = adapter.activate(std::make_shared<CalcServant>());
+  ReplyMessage reply = adapter.dispatch(
+      make_request(ior, "_is_a", {Value(std::string(kCalcRepoId))}));
+  EXPECT_TRUE(reply.result_or_throw().as_bool());
+  reply = adapter.dispatch(
+      make_request(ior, "_is_a", {Value("IDL:other/Thing:1.0")}));
+  EXPECT_FALSE(reply.result_or_throw().as_bool());
+}
+
+TEST(ObjectAdapter, BuiltinInterfaceAndPing) {
+  ObjectAdapter adapter(test_profile());
+  const IOR ior = adapter.activate(std::make_shared<CalcServant>());
+  EXPECT_EQ(adapter.dispatch(make_request(ior, "_interface"))
+                .result_or_throw()
+                .as_string(),
+            kCalcRepoId);
+  EXPECT_TRUE(
+      adapter.dispatch(make_request(ior, "_ping")).result_or_throw().is_nil());
+}
+
+TEST(ObjectAdapter, UserExceptionMappedToUserReply) {
+  ObjectAdapter adapter(test_profile());
+  const IOR ior = adapter.activate(std::make_shared<CalcServant>());
+  const ReplyMessage reply = adapter.dispatch(make_request(ior, "fail"));
+  EXPECT_EQ(reply.status, ReplyStatus::user_exception);
+  EXPECT_THROW(reply.result_or_throw(), corbaft_test::CalcError);
+}
+
+TEST(ObjectAdapter, UnknownOperationMappedToBadOperation) {
+  ObjectAdapter adapter(test_profile());
+  const IOR ior = adapter.activate(std::make_shared<CalcServant>());
+  const ReplyMessage reply = adapter.dispatch(make_request(ior, "frobnicate"));
+  EXPECT_EQ(reply.status, ReplyStatus::system_exception);
+  EXPECT_THROW(reply.result_or_throw(), BAD_OPERATION);
+}
+
+TEST(ObjectAdapter, WrongArityMappedToBadParam) {
+  ObjectAdapter adapter(test_profile());
+  const IOR ior = adapter.activate(std::make_shared<CalcServant>());
+  const ReplyMessage reply =
+      adapter.dispatch(make_request(ior, "add", {Value(1)}));
+  EXPECT_THROW(reply.result_or_throw(), BAD_PARAM);
+}
+
+class ThrowingServant : public corbaft_test::CalcSkeleton {
+ public:
+  std::int32_t add(std::int32_t, std::int32_t) override {
+    throw std::runtime_error("plain std::exception");
+  }
+  std::string echo(const std::string&) override { return ""; }
+  void fail() override {}
+  std::int64_t calls() const override { return 0; }
+};
+
+TEST(ObjectAdapter, NonCorbaExceptionMappedToInternal) {
+  ObjectAdapter adapter(test_profile());
+  const IOR ior = adapter.activate(std::make_shared<ThrowingServant>());
+  const ReplyMessage reply =
+      adapter.dispatch(make_request(ior, "add", {Value(1), Value(2)}));
+  EXPECT_EQ(reply.status, ReplyStatus::system_exception);
+  EXPECT_THROW(reply.result_or_throw(), INTERNAL);
+}
+
+}  // namespace
+}  // namespace corba

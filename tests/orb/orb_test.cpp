@@ -1,0 +1,163 @@
+// Integration-style unit tests of the ORB core over the in-process
+// transport: end-to-end typed calls through stubs, reference passing,
+// stringification, initial references, and failure semantics when a peer
+// ORB disappears.
+#include "orb/orb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "orb/exceptions.hpp"
+#include "test_interfaces.hpp"
+
+namespace corba {
+namespace {
+
+using corbaft_test::CalcServant;
+using corbaft_test::CalcStub;
+
+class OrbInprocTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_shared<InProcessNetwork>();
+    server_ = ORB::init({.endpoint_name = "server", .network = network_});
+    client_ = ORB::init({.endpoint_name = "client", .network = network_});
+  }
+
+  std::shared_ptr<InProcessNetwork> network_;
+  std::shared_ptr<ORB> server_;
+  std::shared_ptr<ORB> client_;
+};
+
+TEST_F(OrbInprocTest, TypedCallThroughStub) {
+  const ObjectRef server_ref = server_->activate(std::make_shared<CalcServant>());
+  // Hand the reference to the client ORB the way an application would:
+  // through its stringified form.
+  CalcStub calc(client_->string_to_object(server_ref.ior().to_string()));
+  EXPECT_EQ(calc.add(20, 22), 42);
+  EXPECT_EQ(calc.echo("hello"), "hello");
+  EXPECT_EQ(calc.calls(), 2);
+}
+
+TEST_F(OrbInprocTest, UserExceptionCrossesTheWire) {
+  CalcStub calc(server_->activate(std::make_shared<CalcServant>()));
+  EXPECT_THROW(calc.fail(), corbaft_test::CalcError);
+}
+
+TEST_F(OrbInprocTest, IsAWorksRemotely) {
+  const ObjectRef ref = server_->activate(std::make_shared<CalcServant>());
+  CalcStub calc(client_->make_ref(ref.ior()));
+  EXPECT_TRUE(calc.is_a(corbaft_test::kCalcRepoId));
+  EXPECT_FALSE(calc.is_a("IDL:something/Else:1.0"));
+}
+
+TEST_F(OrbInprocTest, UnknownEndpointRaisesCommFailure) {
+  IOR bogus;
+  bogus.protocol = std::string(protocol::inproc);
+  bogus.host = "no-such-endpoint";
+  bogus.key = ObjectKey::from_string("k");
+  const ObjectRef ref = client_->make_ref(bogus);
+  try {
+    ref.invoke("op", {});
+    FAIL() << "expected COMM_FAILURE";
+  } catch (const COMM_FAILURE& e) {
+    EXPECT_EQ(e.minor(), minor_code::endpoint_unknown);
+    EXPECT_EQ(e.completed(), CompletionStatus::completed_no);
+  }
+}
+
+TEST_F(OrbInprocTest, ShutDownServerLooksLikeCrashedProcess) {
+  const ObjectRef ref = server_->activate(std::make_shared<CalcServant>());
+  CalcStub calc(client_->make_ref(ref.ior()));
+  EXPECT_EQ(calc.add(1, 1), 2);
+  server_->shutdown();
+  EXPECT_THROW(calc.add(1, 1), COMM_FAILURE);
+}
+
+TEST_F(OrbInprocTest, PingReflectsLiveness) {
+  const ObjectRef ref = server_->activate(std::make_shared<CalcServant>());
+  const ObjectRef client_ref = client_->make_ref(ref.ior());
+  EXPECT_TRUE(client_ref.ping());
+  server_->shutdown();
+  EXPECT_FALSE(client_ref.ping());
+}
+
+TEST_F(OrbInprocTest, NilReferenceRejectsInvocation) {
+  ObjectRef nil;
+  EXPECT_TRUE(nil.is_nil());
+  EXPECT_THROW(nil.invoke("op", {}), BAD_INV_ORDER);
+}
+
+TEST_F(OrbInprocTest, ReferencePassingThroughValues) {
+  const ObjectRef ref = server_->activate(std::make_shared<CalcServant>());
+  const Value as_value = ref.to_value();
+  const ObjectRef back = ObjectRef::from_value(client_, as_value);
+  EXPECT_EQ(back.ior(), ref.ior());
+  CalcStub calc(back);
+  EXPECT_EQ(calc.add(3, 4), 7);
+
+  EXPECT_TRUE(ObjectRef().to_value().is_nil());
+  EXPECT_TRUE(ObjectRef::from_value(client_, Value()).is_nil());
+}
+
+TEST_F(OrbInprocTest, ObjectToStringRoundTrip) {
+  const ObjectRef ref = server_->activate(std::make_shared<CalcServant>());
+  const std::string s = client_->object_to_string(client_->make_ref(ref.ior()));
+  EXPECT_EQ(client_->string_to_object(s).ior(), ref.ior());
+  // Nil round trip.
+  EXPECT_TRUE(client_->string_to_object(client_->object_to_string(ObjectRef()))
+                  .is_nil());
+}
+
+TEST_F(OrbInprocTest, InitialReferences) {
+  const ObjectRef ref = server_->activate(std::make_shared<CalcServant>());
+  client_->register_initial_reference("CalcService",
+                                      client_->make_ref(ref.ior()));
+  const ObjectRef resolved = client_->resolve_initial_references("CalcService");
+  EXPECT_EQ(resolved.ior(), ref.ior());
+  EXPECT_THROW(client_->resolve_initial_references("Nothing"), INV_OBJREF);
+  EXPECT_EQ(client_->list_initial_services(),
+            std::vector<std::string>{"CalcService"});
+}
+
+TEST_F(OrbInprocTest, InvokeAfterShutdownRejected) {
+  const ObjectRef ref = server_->activate(std::make_shared<CalcServant>());
+  client_->shutdown();
+  EXPECT_THROW(client_->invoke(ref.ior(), "add", {Value(1), Value(1)}),
+               BAD_INV_ORDER);
+}
+
+TEST(OrbConfigValidation, RequiresEndpointNameAndNetwork) {
+  EXPECT_THROW(ORB::init({}), BAD_PARAM);
+  EXPECT_THROW(ORB::init({.endpoint_name = "x"}), BAD_PARAM);
+}
+
+TEST(OrbMultiNode, ThreeOrbsTalkOverOneNetwork) {
+  auto network = std::make_shared<InProcessNetwork>();
+  auto a = ORB::init({.endpoint_name = "a", .network = network});
+  auto b = ORB::init({.endpoint_name = "b", .network = network});
+  auto c = ORB::init({.endpoint_name = "c", .network = network});
+
+  const ObjectRef on_b = b->activate(std::make_shared<CalcServant>());
+  const ObjectRef on_c = c->activate(std::make_shared<CalcServant>());
+
+  CalcStub from_a_to_b(a->make_ref(on_b.ior()));
+  CalcStub from_a_to_c(a->make_ref(on_c.ior()));
+  EXPECT_EQ(from_a_to_b.add(1, 2), 3);
+  EXPECT_EQ(from_a_to_c.add(3, 4), 7);
+  // Servant state is per-node.
+  EXPECT_EQ(from_a_to_b.calls(), 1);
+  EXPECT_EQ(from_a_to_c.calls(), 1);
+}
+
+TEST(OrbNetworkIsolation, SeparateNetworksDoNotSeeEachOther) {
+  auto net1 = std::make_shared<InProcessNetwork>();
+  auto net2 = std::make_shared<InProcessNetwork>();
+  auto server = ORB::init({.endpoint_name = "server", .network = net1});
+  auto client = ORB::init({.endpoint_name = "client", .network = net2});
+  const ObjectRef ref = server->activate(std::make_shared<CalcServant>());
+  CalcStub calc(client->make_ref(ref.ior()));
+  EXPECT_THROW(calc.add(1, 1), COMM_FAILURE);
+}
+
+}  // namespace
+}  // namespace corba

@@ -1,0 +1,100 @@
+// Shared hand-written test interface (stub + skeleton + servant), standing
+// in for IDL-compiler output the way all interfaces in this project do.
+//
+//   interface Calc {
+//     long add(in long a, in long b);
+//     string echo(in string s);
+//     void fail();                    // raises CalcError
+//     long calls();                   // number of add/echo calls so far
+//   };
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "orb/exceptions.hpp"
+#include "orb/object_adapter.hpp"
+#include "orb/stub.hpp"
+
+namespace corbaft_test {
+
+inline constexpr std::string_view kCalcRepoId = "IDL:corbaft/tests/Calc:1.0";
+
+struct CalcError : corba::UserException {
+  explicit CalcError(std::string detail)
+      : corba::UserException(std::string(static_repo_id()), std::move(detail)) {}
+  static constexpr std::string_view static_repo_id() {
+    return "IDL:corbaft/tests/CalcError:1.0";
+  }
+};
+
+inline corba::RegisterUserException<CalcError> register_calc_error;
+
+/// Skeleton: decodes tagged arguments and dispatches to typed virtuals.
+class CalcSkeleton : public corba::Servant {
+ public:
+  std::string_view repo_id() const noexcept override { return kCalcRepoId; }
+
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override {
+    if (op == "add") {
+      check_arity(op, args, 2);
+      return corba::Value(add(args[0].as_i32(), args[1].as_i32()));
+    }
+    if (op == "echo") {
+      check_arity(op, args, 1);
+      return corba::Value(echo(args[0].as_string()));
+    }
+    if (op == "fail") {
+      check_arity(op, args, 0);
+      fail();
+      return corba::Value();
+    }
+    if (op == "calls") {
+      check_arity(op, args, 0);
+      return corba::Value(static_cast<std::int64_t>(calls()));
+    }
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+
+  virtual std::int32_t add(std::int32_t a, std::int32_t b) = 0;
+  virtual std::string echo(const std::string& s) = 0;
+  virtual void fail() = 0;
+  virtual std::int64_t calls() const = 0;
+};
+
+/// Default servant implementation.
+class CalcServant : public CalcSkeleton {
+ public:
+  std::int32_t add(std::int32_t a, std::int32_t b) override {
+    ++calls_;
+    return a + b;
+  }
+  std::string echo(const std::string& s) override {
+    ++calls_;
+    return s;
+  }
+  void fail() override { throw CalcError("requested failure"); }
+  std::int64_t calls() const override { return calls_.load(); }
+
+ private:
+  std::atomic<std::int64_t> calls_{0};
+};
+
+/// Stub: typed client-side wrapper.
+class CalcStub : public corba::StubBase {
+ public:
+  CalcStub() = default;
+  explicit CalcStub(corba::ObjectRef ref) : StubBase(std::move(ref)) {}
+
+  std::int32_t add(std::int32_t a, std::int32_t b) const {
+    return call("add", {corba::Value(a), corba::Value(b)}).as_i32();
+  }
+  std::string echo(const std::string& s) const {
+    return call("echo", {corba::Value(s)}).as_string();
+  }
+  void fail() const { call("fail", {}); }
+  std::int64_t calls() const { return call("calls", {}).as_i64(); }
+};
+
+}  // namespace corbaft_test

@@ -1,0 +1,158 @@
+// Unit tests for the tagged Value type: accessors, conversions, equality,
+// CDR round trips and hostile-input defenses.
+#include "orb/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corba {
+namespace {
+
+Value roundtrip(const Value& v, ByteOrder order = native_byte_order()) {
+  CdrOutputStream out(order);
+  v.encode(out);
+  CdrInputStream in(out.buffer(), order);
+  Value decoded = Value::decode(in);
+  EXPECT_TRUE(in.at_end());
+  return decoded;
+}
+
+TEST(Value, DefaultIsNil) {
+  Value v;
+  EXPECT_TRUE(v.is_nil());
+  EXPECT_EQ(v.kind(), Value::Kind::nil);
+}
+
+TEST(Value, KindsMatchConstructors) {
+  EXPECT_EQ(Value(true).kind(), Value::Kind::boolean);
+  EXPECT_EQ(Value(std::int64_t{1}).kind(), Value::Kind::int64);
+  EXPECT_EQ(Value(std::uint64_t{1}).kind(), Value::Kind::uint64);
+  EXPECT_EQ(Value(1.0).kind(), Value::Kind::float64);
+  EXPECT_EQ(Value("s").kind(), Value::Kind::string);
+  EXPECT_EQ(Value(Blob{}).kind(), Value::Kind::blob);
+  EXPECT_EQ(Value(std::vector<double>{1.0}).kind(), Value::Kind::f64_seq);
+  EXPECT_EQ(Value(ValueSeq{}).kind(), Value::Kind::sequence);
+}
+
+TEST(Value, SignedUnsignedConversionWhenRepresentable) {
+  EXPECT_EQ(Value(std::int64_t{42}).as_u64(), 42u);
+  EXPECT_EQ(Value(std::uint64_t{42}).as_i64(), 42);
+  EXPECT_THROW(Value(std::int64_t{-1}).as_u64(), BAD_PARAM);
+  EXPECT_THROW(Value(std::uint64_t{1} << 63).as_i64(), BAD_PARAM);
+}
+
+TEST(Value, NarrowingTo32BitChecksRange) {
+  EXPECT_EQ(Value(std::int64_t{-5}).as_i32(), -5);
+  EXPECT_THROW(Value(std::int64_t{1} << 40).as_i32(), BAD_PARAM);
+  EXPECT_EQ(Value(std::uint64_t{7}).as_u32(), 7u);
+  EXPECT_THROW(Value(std::uint64_t{1} << 40).as_u32(), BAD_PARAM);
+}
+
+TEST(Value, IntegersWidenToDouble) {
+  EXPECT_EQ(Value(std::int64_t{3}).as_f64(), 3.0);
+  EXPECT_EQ(Value(std::uint64_t{4}).as_f64(), 4.0);
+}
+
+TEST(Value, KindMismatchThrowsBadParam) {
+  EXPECT_THROW(Value("x").as_bool(), BAD_PARAM);
+  EXPECT_THROW(Value(1.5).as_string(), BAD_PARAM);
+  EXPECT_THROW(Value(true).as_blob(), BAD_PARAM);
+  EXPECT_THROW(Value().as_sequence(), BAD_PARAM);
+  EXPECT_THROW(Value("x").as_f64_seq(), BAD_PARAM);
+}
+
+TEST(Value, DeepEquality) {
+  ValueSeq seq;
+  seq.emplace_back(std::int64_t{1});
+  seq.emplace_back("two");
+  seq.emplace_back(ValueSeq{Value(3.0)});
+  Value a{seq};
+  Value b{seq};
+  EXPECT_EQ(a, b);
+  seq[1] = Value("three");
+  EXPECT_FALSE(a == Value{seq});
+}
+
+class ValueRoundTripTest : public ::testing::TestWithParam<ByteOrder> {};
+
+TEST_P(ValueRoundTripTest, AllKinds) {
+  const std::vector<Value> cases = {
+      Value(),
+      Value(true),
+      Value(false),
+      Value(std::int64_t{-7}),
+      Value(std::uint64_t{1} << 63),
+      Value(3.14159),
+      Value(""),
+      Value("hello world"),
+      Value(Blob{std::byte{1}, std::byte{2}, std::byte{3}}),
+      Value(std::vector<double>{1.0, -2.5, 1e300}),
+      Value(ValueSeq{Value(std::int64_t{1}), Value("nested"),
+                     Value(ValueSeq{Value(2.0), Value()})}),
+  };
+  for (const Value& v : cases) {
+    EXPECT_EQ(roundtrip(v, GetParam()), v) << v.to_debug_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOrders, ValueRoundTripTest,
+                         ::testing::Values(ByteOrder::big_endian,
+                                           ByteOrder::little_endian),
+                         [](const auto& info) {
+                           return info.param == ByteOrder::big_endian ? "big"
+                                                                      : "little";
+                         });
+
+TEST(ValueDecode, UnknownTagThrowsMarshal) {
+  CdrOutputStream out;
+  out.write_octet(99);
+  CdrInputStream in(out.buffer());
+  EXPECT_THROW(Value::decode(in), MARSHAL);
+}
+
+TEST(ValueDecode, HostileSequenceCountRejected) {
+  CdrOutputStream out;
+  out.write_octet(static_cast<std::uint8_t>(Value::Kind::sequence));
+  out.write_u32(0xffffffff);  // absurd element count
+  CdrInputStream in(out.buffer());
+  EXPECT_THROW(Value::decode(in), MARSHAL);
+}
+
+TEST(ValueDecode, DeeplyNestedSequenceRejected) {
+  // 100 nested sequence headers (each claiming 1 element) exceeds the depth
+  // limit and must be rejected rather than recursing unboundedly.
+  CdrOutputStream out;
+  for (int i = 0; i < 100; ++i) {
+    out.write_octet(static_cast<std::uint8_t>(Value::Kind::sequence));
+    out.write_u32(1);
+  }
+  out.write_octet(static_cast<std::uint8_t>(Value::Kind::nil));
+  CdrInputStream in(out.buffer());
+  EXPECT_THROW(Value::decode(in), MARSHAL);
+}
+
+TEST(Value, DebugStringIsInformative) {
+  EXPECT_EQ(Value().to_debug_string(), "nil");
+  EXPECT_EQ(Value(true).to_debug_string(), "true");
+  EXPECT_EQ(Value("hi").to_debug_string(), "\"hi\"");
+  EXPECT_EQ(Value(ValueSeq{Value(std::int64_t{1}), Value(std::int64_t{2})})
+                .to_debug_string(),
+            "(1, 2)");
+}
+
+TEST(Value, EncodedSizeEstimateTracksActualSize) {
+  const std::vector<Value> cases = {
+      Value(), Value(std::int64_t{1}), Value("hello"),
+      Value(std::vector<double>(100, 1.0)),
+      Value(ValueSeq{Value("a"), Value(2.0)})};
+  for (const Value& v : cases) {
+    CdrOutputStream out;
+    v.encode(out);
+    // The estimate ignores alignment padding; it must be within a small
+    // constant of the actual encoding and never wildly off.
+    EXPECT_GE(v.encoded_size_estimate() + 16, out.size());
+    EXPECT_LE(v.encoded_size_estimate(), out.size() + 16);
+  }
+}
+
+}  // namespace
+}  // namespace corba

@@ -1,0 +1,82 @@
+// Unit tests for the cluster: host registry, endpoint mapping, network
+// model, failure injection, and local-work pumping.
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sim {
+namespace {
+
+TEST(Cluster, AddAndLookupHosts) {
+  Cluster cluster;
+  cluster.add_host("node01", 100.0);
+  cluster.add_host("node02", 200.0, 1);
+  EXPECT_TRUE(cluster.has_host("node01"));
+  EXPECT_FALSE(cluster.has_host("node99"));
+  EXPECT_EQ(cluster.size(), 2u);
+  EXPECT_EQ(cluster.host("node02").speed(), 200.0);
+  EXPECT_EQ(cluster.host("node02").background_processes(), 1);
+  EXPECT_EQ(cluster.host_names(), (std::vector<std::string>{"node01", "node02"}));
+}
+
+TEST(Cluster, DuplicateAndUnknownHostsRejected) {
+  Cluster cluster;
+  cluster.add_host("node01", 100.0);
+  EXPECT_THROW(cluster.add_host("node01", 100.0), std::invalid_argument);
+  EXPECT_THROW(cluster.host("nope"), std::out_of_range);
+}
+
+TEST(Cluster, EndpointMapping) {
+  Cluster cluster;
+  cluster.add_host("node01", 100.0);
+  cluster.map_endpoint("sim://node01", "node01");
+  ASSERT_NE(cluster.host_for_endpoint("sim://node01"), nullptr);
+  EXPECT_EQ(cluster.host_for_endpoint("sim://node01")->name(), "node01");
+  EXPECT_EQ(cluster.host_for_endpoint("unmapped"), nullptr);
+  EXPECT_THROW(cluster.map_endpoint("x", "missing-host"), std::out_of_range);
+}
+
+TEST(NetworkModel, TransferTimeIsLatencyPlusBytesOverBandwidth) {
+  NetworkModel net;
+  net.latency_s = 1e-3;
+  net.bandwidth_bytes_per_s = 1e6;
+  EXPECT_DOUBLE_EQ(net.transfer_time(0), 1e-3);
+  EXPECT_DOUBLE_EQ(net.transfer_time(1000), 1e-3 + 1e-3);
+}
+
+TEST(Cluster, BackgroundLoadInjection) {
+  Cluster cluster;
+  cluster.add_host("node01", 100.0);
+  cluster.set_background_load("node01", 3);
+  EXPECT_EQ(cluster.host("node01").background_processes(), 3);
+}
+
+TEST(Cluster, ScheduledCrashFiresAtTime) {
+  Cluster cluster;
+  cluster.add_host("node01", 100.0);
+  cluster.crash_host_at(5.0, "node01");
+  EXPECT_TRUE(cluster.host("node01").alive());
+  cluster.events().run_until(4.9);
+  EXPECT_TRUE(cluster.host("node01").alive());
+  cluster.events().run_until(5.0);
+  EXPECT_FALSE(cluster.host("node01").alive());
+  cluster.restart_host("node01");
+  EXPECT_TRUE(cluster.host("node01").alive());
+}
+
+TEST(Cluster, RunLocalWorkAdvancesVirtualTime) {
+  Cluster cluster;
+  cluster.add_host("node01", 100.0, 1);  // 1 background => half rate
+  cluster.run_local_work("node01", 100.0);
+  EXPECT_NEAR(cluster.events().now(), 2.0, 1e-9);
+}
+
+TEST(Cluster, RunLocalWorkThrowsOnCrash) {
+  Cluster cluster;
+  cluster.add_host("node01", 100.0);
+  cluster.crash_host_at(0.5, "node01");
+  EXPECT_THROW(cluster.run_local_work("node01", 1000.0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,128 @@
+// Unit tests for the virtual-time event queue: ordering, clock monotonicity,
+// reentrancy, and the run_while/run_until pumping primitives.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sim {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZeroEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0.0);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, EventsFireInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesFireInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.schedule_at(5.0, [&, i] { order.push_back(i); });
+  q.run_until_idle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PastTimesClampToNow) {
+  EventQueue q;
+  q.schedule_at(10.0, [] {});
+  q.step();
+  EXPECT_EQ(q.now(), 10.0);
+  double fired_at = -1;
+  q.schedule_at(2.0, [&] { fired_at = q.now(); });
+  q.step();
+  EXPECT_EQ(fired_at, 10.0);  // clock never goes backwards
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double fired_at = -1;
+  q.schedule_at(4.0, [&] {
+    q.schedule_after(1.5, [&] { fired_at = q.now(); });
+  });
+  q.run_until_idle();
+  EXPECT_DOUBLE_EQ(fired_at, 5.5);
+}
+
+TEST(EventQueue, NegativeDelayClampsToZero) {
+  EventQueue q;
+  double fired_at = -1;
+  q.schedule_at(3.0, [&] {
+    q.schedule_after(-5.0, [&] { fired_at = q.now(); });
+  });
+  q.run_until_idle();
+  EXPECT_EQ(fired_at, 3.0);
+}
+
+TEST(EventQueue, NullCallbackRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_at(1.0, {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutLaterEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(9.0, [&] { ++fired; });
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 5.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunWhileStopsWhenConditionClears) {
+  EventQueue q;
+  bool done = false;
+  q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [&] { done = true; });
+  q.schedule_at(3.0, [] {});
+  EXPECT_TRUE(q.run_while([&] { return !done; }));
+  EXPECT_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunWhileReportsDrainedQueue) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  EXPECT_FALSE(q.run_while([] { return true; }));
+}
+
+TEST(EventQueue, ReentrantPumpingInsideEvent) {
+  // An event may pump the queue recursively (nested synchronous call in the
+  // simulator); time remains monotonic.
+  EventQueue q;
+  std::vector<double> times;
+  bool inner_done = false;
+  q.schedule_at(1.0, [&] {
+    times.push_back(q.now());
+    q.schedule_at(2.0, [&] {
+      times.push_back(q.now());
+      inner_done = true;
+    });
+    q.run_while([&] { return !inner_done; });
+    times.push_back(q.now());
+  });
+  q.schedule_at(5.0, [&] { times.push_back(q.now()); });
+  q.run_until_idle();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 2.0, 5.0}));
+}
+
+TEST(EventQueue, CountsExecutedEvents) {
+  EventQueue q;
+  for (int i = 0; i < 42; ++i) q.schedule_after(1.0, [] {});
+  q.run_until_idle();
+  EXPECT_EQ(q.executed(), 42u);
+}
+
+}  // namespace
+}  // namespace sim

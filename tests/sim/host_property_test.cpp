@@ -1,0 +1,125 @@
+// Property tests for the processor-sharing host model under randomized
+// workloads: work conservation, busy-period length, completion-order
+// monotonicity for equal-size tasks, and background-load scaling.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sim/cluster.hpp"
+
+namespace sim {
+namespace {
+
+struct Arrival {
+  Time at;
+  double work;
+};
+
+class HostPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HostPropertyTest, WorkConservationUnderRandomArrivals) {
+  // Property: for any arrival pattern, the host finishes all work no
+  // earlier than total_work/speed after the last idle instant, and exactly
+  // then when the host is never idle.
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> work_dist(1.0, 200.0);
+  std::uniform_real_distribution<double> gap_dist(0.0, 0.5);
+
+  EventQueue q;
+  Host host(q, "h", 100.0);
+  double total_work = 0.0;
+  Time at = 0.0;
+  Time last_done = 0.0;
+  int completed = 0;
+  const int n = 40;
+  for (int i = 0; i < n; ++i) {
+    at += gap_dist(rng);
+    const double work = work_dist(rng);
+    total_work += work;
+    q.schedule_at(at, [&host, &q, &last_done, &completed, work] {
+      host.submit(work, [&q, &last_done, &completed] {
+        last_done = q.now();
+        ++completed;
+      });
+    });
+  }
+  q.run_until_idle();
+  ASSERT_EQ(completed, n);
+  // All arrivals land within ~20 virtual seconds; total work of ~4000 units
+  // at speed 100 keeps the host continuously busy from the first arrival,
+  // so the makespan is exactly first_arrival + total_work/speed.
+  EXPECT_NEAR(host.completed_work(), total_work, 1e-6);
+  EXPECT_GE(last_done + 1e-9, total_work / 100.0);
+}
+
+TEST_P(HostPropertyTest, EqualTasksFinishInArrivalOrder) {
+  // Property: under processor sharing, tasks with equal remaining work
+  // finish in arrival order (earlier arrivals have strictly less remaining
+  // work at any shared instant).
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> gap_dist(0.01, 0.3);
+
+  EventQueue q;
+  Host host(q, "h", 100.0);
+  std::vector<int> completion_order;
+  Time at = 0.0;
+  const int n = 12;
+  for (int i = 0; i < n; ++i) {
+    at += gap_dist(rng);
+    q.schedule_at(at, [&host, &completion_order, i] {
+      host.submit(50.0, [&completion_order, i] {
+        completion_order.push_back(i);
+      });
+    });
+  }
+  q.run_until_idle();
+  ASSERT_EQ(completion_order.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_EQ(completion_order[static_cast<std::size_t>(i)], i);
+}
+
+TEST_P(HostPropertyTest, BackgroundScalingIsExact) {
+  // Property: a single task under constant background load B takes exactly
+  // (B+1)x its solo time, for any work size.
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> work_dist(1.0, 500.0);
+  for (int bg = 0; bg < 4; ++bg) {
+    EventQueue q;
+    Host host(q, "h", 100.0, bg);
+    const double work = work_dist(rng);
+    Time done = -1;
+    host.submit(work, [&] { done = q.now(); });
+    q.run_until_idle();
+    EXPECT_NEAR(done, (bg + 1) * work / 100.0, 1e-9);
+  }
+}
+
+TEST_P(HostPropertyTest, SpeedInvariance) {
+  // Property: scaling host speed and all work sizes by the same factor
+  // leaves every completion time unchanged (the model is unit-free).
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> work_dist(1.0, 100.0);
+  std::vector<double> works;
+  for (int i = 0; i < 10; ++i) works.push_back(work_dist(rng));
+
+  auto run = [&](double scale) {
+    EventQueue q;
+    Host host(q, "h", 100.0 * scale);
+    std::vector<Time> completions;
+    for (double work : works)
+      host.submit(work * scale,
+                  [&completions, &q] { completions.push_back(q.now()); });
+    q.run_until_idle();
+    return completions;
+  };
+  const auto base = run(1.0);
+  const auto scaled = run(1000.0);
+  ASSERT_EQ(base.size(), scaled.size());
+  for (std::size_t i = 0; i < base.size(); ++i)
+    EXPECT_NEAR(base[i], scaled[i], 1e-9 * (1.0 + base[i]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HostPropertyTest,
+                         ::testing::Values(3, 17, 99, 2026));
+
+}  // namespace
+}  // namespace sim

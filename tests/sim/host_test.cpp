@@ -1,0 +1,258 @@
+// Unit tests for the processor-sharing host model.  These pin down the
+// timing semantics the Fig. 3 reproduction rests on: background load slows
+// tasks proportionally, colocated tasks share the CPU, and crashes fail
+// resident work.
+#include "sim/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+
+namespace sim {
+namespace {
+
+struct Completion {
+  bool done = false;
+  bool failed = false;
+  Time at = -1;
+};
+
+void submit_tracked(Host& host, EventQueue& q, double work, Completion& c) {
+  host.submit(
+      work,
+      [&c, &q] {
+        c.done = true;
+        c.at = q.now();
+      },
+      [&c, &q] {
+        c.failed = true;
+        c.at = q.now();
+      });
+}
+
+TEST(Host, SingleTaskRunsAtFullSpeed) {
+  EventQueue q;
+  Host host(q, "h", 100.0);  // 100 units/s
+  Completion c;
+  submit_tracked(host, q, 500.0, c);
+  q.run_until_idle();
+  EXPECT_TRUE(c.done);
+  EXPECT_NEAR(c.at, 5.0, 1e-9);
+}
+
+TEST(Host, SpeedScalesCompletionTime) {
+  EventQueue q;
+  Host fast(q, "fast", 200.0);
+  Host slow(q, "slow", 50.0);
+  Completion cf, cs;
+  submit_tracked(fast, q, 100.0, cf);
+  submit_tracked(slow, q, 100.0, cs);
+  q.run_until_idle();
+  EXPECT_NEAR(cf.at, 0.5, 1e-9);
+  EXPECT_NEAR(cs.at, 2.0, 1e-9);
+}
+
+TEST(Host, BackgroundLoadHalvesThroughput) {
+  // One background process + one task => each gets half the CPU, exactly
+  // the paper's "background load" effect on a timeshared workstation.
+  EventQueue q;
+  Host host(q, "h", 100.0, /*background=*/1);
+  Completion c;
+  submit_tracked(host, q, 100.0, c);
+  q.run_until_idle();
+  EXPECT_NEAR(c.at, 2.0, 1e-9);
+}
+
+class HostBackgroundSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HostBackgroundSweep, SlowdownIsOnePlusBackground) {
+  const int bg = GetParam();
+  EventQueue q;
+  Host host(q, "h", 100.0, bg);
+  Completion c;
+  submit_tracked(host, q, 100.0, c);
+  q.run_until_idle();
+  EXPECT_NEAR(c.at, 1.0 * (1 + bg), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HostBackgroundSweep,
+                         ::testing::Values(0, 1, 2, 3, 5, 9));
+
+TEST(Host, TwoEqualTasksShareAndFinishTogether) {
+  EventQueue q;
+  Host host(q, "h", 100.0);
+  Completion a, b;
+  submit_tracked(host, q, 100.0, a);
+  submit_tracked(host, q, 100.0, b);
+  q.run_until_idle();
+  EXPECT_NEAR(a.at, 2.0, 1e-9);
+  EXPECT_NEAR(b.at, 2.0, 1e-9);
+}
+
+TEST(Host, UnequalTasksProcessorShareCorrectly) {
+  // Tasks of 100 and 300 units at speed 100: both run at 50/s until the
+  // short one finishes at t=2; the long one then has 200 left at 100/s,
+  // finishing at t=4.
+  EventQueue q;
+  Host host(q, "h", 100.0);
+  Completion small, large;
+  submit_tracked(host, q, 100.0, small);
+  submit_tracked(host, q, 300.0, large);
+  q.run_until_idle();
+  EXPECT_NEAR(small.at, 2.0, 1e-9);
+  EXPECT_NEAR(large.at, 4.0, 1e-9);
+}
+
+TEST(Host, LateArrivalSharesRemainingWork) {
+  // Task A (200 units) starts alone at t=0; task B (100 units) arrives at
+  // t=1 when A has 100 left.  They share: both at 50/s, finishing at t=3.
+  EventQueue q;
+  Host host(q, "h", 100.0);
+  Completion a, b;
+  submit_tracked(host, q, 200.0, a);
+  q.schedule_at(1.0, [&] { submit_tracked(host, q, 100.0, b); });
+  q.run_until_idle();
+  EXPECT_NEAR(a.at, 3.0, 1e-9);
+  EXPECT_NEAR(b.at, 3.0, 1e-9);
+}
+
+TEST(Host, BackgroundChangeMidFlightRetimesTasks) {
+  // 100 units at speed 100; at t=0.5 (50 done) one background process
+  // appears, halving the rate: the remaining 50 units take 1s more.
+  EventQueue q;
+  Host host(q, "h", 100.0);
+  Completion c;
+  submit_tracked(host, q, 100.0, c);
+  q.schedule_at(0.5, [&] { host.set_background_processes(1); });
+  q.run_until_idle();
+  EXPECT_NEAR(c.at, 1.5, 1e-9);
+}
+
+TEST(Host, ZeroWorkCompletesImmediatelyButAsynchronously) {
+  EventQueue q;
+  Host host(q, "h", 100.0);
+  Completion c;
+  submit_tracked(host, q, 0.0, c);
+  EXPECT_FALSE(c.done);  // not synchronous
+  q.run_until_idle();
+  EXPECT_TRUE(c.done);
+  EXPECT_EQ(c.at, 0.0);
+}
+
+TEST(Host, CrashFailsResidentTasks) {
+  EventQueue q;
+  Host host(q, "h", 100.0);
+  Completion c;
+  submit_tracked(host, q, 100.0, c);
+  q.schedule_at(0.25, [&] { host.crash(); });
+  q.run_until_idle();
+  EXPECT_TRUE(c.failed);
+  EXPECT_FALSE(c.done);
+  EXPECT_NEAR(c.at, 0.25, 1e-9);
+  EXPECT_FALSE(host.alive());
+}
+
+TEST(Host, SubmitToDeadHostFailsAsynchronously) {
+  EventQueue q;
+  Host host(q, "h", 100.0);
+  host.crash();
+  Completion c;
+  submit_tracked(host, q, 100.0, c);
+  EXPECT_FALSE(c.failed);
+  q.run_until_idle();
+  EXPECT_TRUE(c.failed);
+}
+
+TEST(Host, RestartAcceptsNewWork) {
+  EventQueue q;
+  Host host(q, "h", 100.0);
+  host.crash();
+  host.restart();
+  EXPECT_TRUE(host.alive());
+  Completion c;
+  submit_tracked(host, q, 100.0, c);
+  q.run_until_idle();
+  EXPECT_TRUE(c.done);
+}
+
+TEST(Host, CrashCancelsScheduledCompletionForGood) {
+  // After a crash the stale completion event must not resurrect anything.
+  EventQueue q;
+  Host host(q, "h", 100.0);
+  Completion c;
+  submit_tracked(host, q, 100.0, c);
+  q.schedule_at(0.5, [&] { host.crash(); });
+  q.run_until_idle();
+  EXPECT_TRUE(c.failed);
+  EXPECT_EQ(host.active_tasks(), 0u);
+}
+
+TEST(Host, ObservedLoadCountsTasksAndBackground) {
+  EventQueue q;
+  Host host(q, "h", 100.0, 2);
+  EXPECT_EQ(host.observed_load(), 2.0);
+  Completion a, b;
+  submit_tracked(host, q, 1000.0, a);
+  submit_tracked(host, q, 1000.0, b);
+  EXPECT_EQ(host.observed_load(), 4.0);
+  q.run_until_idle();
+  EXPECT_EQ(host.observed_load(), 2.0);
+}
+
+TEST(Host, CompletedWorkAccounting) {
+  EventQueue q;
+  Host host(q, "h", 100.0);
+  Completion a;
+  submit_tracked(host, q, 123.0, a);
+  q.run_until_idle();
+  EXPECT_NEAR(host.completed_work(), 123.0, 1e-9);
+  // A crashed task's unfinished work is not counted.
+  Completion b;
+  submit_tracked(host, q, 100.0, b);
+  q.schedule_after(0.5, [&] { host.crash(); });
+  q.run_until_idle();
+  EXPECT_NEAR(host.completed_work(), 123.0 + 50.0, 1e-9);
+}
+
+TEST(Host, InvalidConstructionRejected) {
+  EventQueue q;
+  EXPECT_THROW(Host(q, "h", 0.0), std::invalid_argument);
+  EXPECT_THROW(Host(q, "h", -1.0), std::invalid_argument);
+  EXPECT_THROW(Host(q, "h", 1.0, -1), std::invalid_argument);
+  Host host(q, "h", 1.0);
+  EXPECT_THROW(host.submit(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(host.set_background_processes(-2), std::invalid_argument);
+}
+
+TEST(Host, ManyTasksFairness) {
+  // Property: N equal tasks on one host all finish at N * t_alone.
+  for (int n : {2, 4, 8}) {
+    EventQueue q;
+    Host host(q, "h", 100.0);
+    std::vector<Completion> completions(static_cast<std::size_t>(n));
+    for (auto& c : completions) submit_tracked(host, q, 100.0, c);
+    q.run_until_idle();
+    for (const auto& c : completions) {
+      EXPECT_TRUE(c.done);
+      EXPECT_NEAR(c.at, 1.0 * n, 1e-9);
+    }
+  }
+}
+
+TEST(Host, WorkConservation) {
+  // Property: regardless of arrival pattern, total completion time of the
+  // last task equals total work / speed when the host is never idle.
+  EventQueue q;
+  Host host(q, "h", 50.0);
+  std::vector<Completion> completions(5);
+  const double works[] = {10, 70, 30, 55, 35};  // total 200
+  for (std::size_t i = 0; i < 5; ++i)
+    submit_tracked(host, q, works[i], completions[i]);
+  q.run_until_idle();
+  Time last = 0;
+  for (const auto& c : completions) last = std::max(last, c.at);
+  EXPECT_NEAR(last, 200.0 / 50.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sim

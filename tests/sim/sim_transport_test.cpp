@@ -1,0 +1,228 @@
+// Tests of the simulator transport: virtual-time call timing, processor
+// sharing across concurrent calls, background-load slowdown, and the full
+// CORBA failure vocabulary (unknown endpoint, dead host, mid-call crash,
+// stopped server process).
+#include "sim/sim_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "orb/dii.hpp"
+#include "orb/exceptions.hpp"
+#include "orb/orb.hpp"
+#include "orb/stub.hpp"
+#include "sim/work_meter.hpp"
+
+namespace sim {
+namespace {
+
+// A servant whose only operation burns a caller-chosen amount of work.
+class BurnerServant : public corba::Servant {
+ public:
+  std::string_view repo_id() const noexcept override {
+    return "IDL:corbaft/tests/Burner:1.0";
+  }
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override {
+    if (op == "burn") {
+      check_arity(op, args, 1);
+      const double work = args[0].as_f64();
+      WorkMeter::charge(work);
+      ++calls_;
+      return corba::Value(work);
+    }
+    if (op == "calls") {
+      return corba::Value(static_cast<std::int64_t>(calls_));
+    }
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+  int calls_ = 0;
+};
+
+class SimTransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_shared<corba::InProcessNetwork>();
+    transport_ = std::make_shared<SimTransport>(cluster_, network_);
+    // Ten-node NOW with unit speeds; network costs zeroed for exact timing
+    // assertions (separate tests cover the network model).
+    cluster_.network().latency_s = 0;
+    cluster_.network().bandwidth_bytes_per_s = 1e18;
+    for (int i = 0; i < 3; ++i) {
+      const std::string host = "node" + std::to_string(i);
+      cluster_.add_host(host, 100.0);
+      orbs_.push_back(corba::ORB::init({.endpoint_name = host,
+                                        .network = network_,
+                                        .client_transport_override = transport_}));
+      cluster_.map_endpoint(host, host);
+    }
+    client_ = corba::ORB::init({.endpoint_name = "client",
+                                .network = network_,
+                                .client_transport_override = transport_});
+  }
+
+  corba::ObjectRef burner_on(int node) {
+    auto servant = std::make_shared<BurnerServant>();
+    const corba::ObjectRef ref =
+        orbs_[static_cast<std::size_t>(node)]->activate(servant, "burner");
+    return client_->make_ref(ref.ior());
+  }
+
+  Cluster cluster_;
+  std::shared_ptr<corba::InProcessNetwork> network_;
+  std::shared_ptr<SimTransport> transport_;
+  std::vector<std::shared_ptr<corba::ORB>> orbs_;
+  std::shared_ptr<corba::ORB> client_;
+};
+
+TEST_F(SimTransportTest, SyncCallAdvancesVirtualTimeByWorkOverSpeed) {
+  const corba::ObjectRef ref = burner_on(0);
+  const double t0 = cluster_.events().now();
+  const corba::Value result = ref.invoke("burn", {corba::Value(500.0)});
+  EXPECT_EQ(result.as_f64(), 500.0);
+  EXPECT_NEAR(cluster_.events().now() - t0, 5.0, 1e-9);
+}
+
+TEST_F(SimTransportTest, NetworkCostsAddToCallTime) {
+  cluster_.network().latency_s = 0.1;
+  const corba::ObjectRef ref = burner_on(0);
+  ref.invoke("burn", {corba::Value(100.0)});
+  // 0.1 request latency + 1.0 compute + 0.1 reply latency (+ size/bw ~ 0).
+  EXPECT_NEAR(cluster_.events().now(), 1.2, 1e-6);
+}
+
+TEST_F(SimTransportTest, ParallelCallsToDistinctHostsOverlap) {
+  // The deferred-synchronous pattern of the paper's manager: two equal
+  // calls on two hosts take max(), not sum().
+  corba::Request a(burner_on(0), "burn");
+  corba::Request b(burner_on(1), "burn");
+  a.add_argument(corba::Value(500.0));
+  b.add_argument(corba::Value(500.0));
+  a.send_deferred();
+  b.send_deferred();
+  a.get_response();
+  b.get_response();
+  EXPECT_NEAR(cluster_.events().now(), 5.0, 1e-9);
+}
+
+TEST_F(SimTransportTest, ParallelCallsToSameHostProcessorShare) {
+  corba::Request a(burner_on(0), "burn");
+  corba::Request b(burner_on(0), "burn");
+  a.add_argument(corba::Value(500.0));
+  b.add_argument(corba::Value(500.0));
+  a.send_deferred();
+  b.send_deferred();
+  a.get_response();
+  b.get_response();
+  EXPECT_NEAR(cluster_.events().now(), 10.0, 1e-9);
+}
+
+TEST_F(SimTransportTest, BackgroundLoadSlowsCallsProportionally) {
+  cluster_.set_background_load("node0", 1);
+  const corba::ObjectRef ref = burner_on(0);
+  ref.invoke("burn", {corba::Value(500.0)});
+  EXPECT_NEAR(cluster_.events().now(), 10.0, 1e-9);
+}
+
+TEST_F(SimTransportTest, UnmappedEndpointIsCommFailureCompletedNo) {
+  corba::IOR bogus;
+  bogus.protocol = std::string(corba::protocol::inproc);
+  bogus.host = "ghost-node";
+  bogus.key = corba::ObjectKey::from_string("k");
+  try {
+    client_->make_ref(bogus).invoke("burn", {corba::Value(1.0)});
+    FAIL() << "expected COMM_FAILURE";
+  } catch (const corba::COMM_FAILURE& e) {
+    EXPECT_EQ(e.minor(), corba::minor_code::endpoint_unknown);
+    EXPECT_EQ(e.completed(), corba::CompletionStatus::completed_no);
+  }
+}
+
+TEST_F(SimTransportTest, DeadHostIsCommFailureHostDown) {
+  const corba::ObjectRef ref = burner_on(0);
+  cluster_.crash_host("node0");
+  try {
+    ref.invoke("burn", {corba::Value(1.0)});
+    FAIL() << "expected COMM_FAILURE";
+  } catch (const corba::COMM_FAILURE& e) {
+    EXPECT_EQ(e.minor(), corba::minor_code::host_down);
+    EXPECT_EQ(e.completed(), corba::CompletionStatus::completed_no);
+  }
+}
+
+TEST_F(SimTransportTest, CrashDuringCallIsCompletedMaybe) {
+  const corba::ObjectRef ref = burner_on(0);
+  cluster_.events().schedule_at(2.0, [this] { cluster_.crash_host("node0"); });
+  try {
+    ref.invoke("burn", {corba::Value(500.0)});  // would finish at t=5
+    FAIL() << "expected COMM_FAILURE";
+  } catch (const corba::COMM_FAILURE& e) {
+    EXPECT_EQ(e.minor(), corba::minor_code::server_crashed);
+    EXPECT_EQ(e.completed(), corba::CompletionStatus::completed_maybe);
+  }
+  EXPECT_NEAR(cluster_.events().now(), 2.0, 1e-9);
+}
+
+TEST_F(SimTransportTest, StoppedServerProcessIsConnectFailed) {
+  const corba::ObjectRef ref = burner_on(1);
+  orbs_[1]->shutdown();  // process gone, host still up
+  try {
+    ref.invoke("burn", {corba::Value(1.0)});
+    FAIL() << "expected COMM_FAILURE";
+  } catch (const corba::COMM_FAILURE& e) {
+    EXPECT_EQ(e.minor(), corba::minor_code::connect_failed);
+  }
+}
+
+TEST_F(SimTransportTest, ServerSideExceptionsStillCarriedInReply) {
+  const corba::ObjectRef ref = burner_on(0);
+  EXPECT_THROW(ref.invoke("no_such_op", {}), corba::BAD_OPERATION);
+}
+
+TEST_F(SimTransportTest, OnewayDeliversWithoutBlocking) {
+  auto servant = std::make_shared<BurnerServant>();
+  const corba::ObjectRef server_ref = orbs_[0]->activate(servant, "burner");
+  const corba::ObjectRef ref = client_->make_ref(server_ref.ior());
+  ref.invoke_oneway("burn", {corba::Value(100.0)});
+  EXPECT_EQ(servant->calls_, 0);  // nothing delivered yet in virtual time
+  cluster_.events().run_until_idle();
+  EXPECT_EQ(servant->calls_, 1);
+}
+
+TEST_F(SimTransportTest, SequentialCallsAccumulateTime) {
+  const corba::ObjectRef ref = burner_on(2);
+  for (int i = 0; i < 4; ++i) ref.invoke("burn", {corba::Value(100.0)});
+  EXPECT_NEAR(cluster_.events().now(), 4.0, 1e-9);
+}
+
+TEST_F(SimTransportTest, SlowAndFastHostHeterogeneity) {
+  Cluster cluster;
+  cluster.network().latency_s = 0;
+  cluster.network().bandwidth_bytes_per_s = 1e18;
+  auto network = std::make_shared<corba::InProcessNetwork>();
+  auto transport = std::make_shared<SimTransport>(cluster, network);
+  cluster.add_host("fast", 200.0);
+  cluster.add_host("slow", 50.0);
+  auto fast_orb = corba::ORB::init({.endpoint_name = "fast",
+                                    .network = network,
+                                    .client_transport_override = transport});
+  auto slow_orb = corba::ORB::init({.endpoint_name = "slow",
+                                    .network = network,
+                                    .client_transport_override = transport});
+  cluster.map_endpoint("fast", "fast");
+  cluster.map_endpoint("slow", "slow");
+  const corba::ObjectRef on_fast =
+      fast_orb->activate(std::make_shared<BurnerServant>());
+  const corba::ObjectRef on_slow =
+      slow_orb->activate(std::make_shared<BurnerServant>());
+
+  const double t0 = cluster.events().now();
+  on_fast.invoke("burn", {corba::Value(100.0)});
+  const double fast_elapsed = cluster.events().now() - t0;
+  on_slow.invoke("burn", {corba::Value(100.0)});
+  const double slow_elapsed = cluster.events().now() - t0 - fast_elapsed;
+  EXPECT_NEAR(fast_elapsed, 0.5, 1e-9);
+  EXPECT_NEAR(slow_elapsed, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sim

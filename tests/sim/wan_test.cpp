@@ -1,0 +1,118 @@
+// Tests of the domain-aware (WAN) network model: intra- vs inter-domain
+// transfer costs and their effect on simulated invocations.
+#include <gtest/gtest.h>
+
+#include "orb/orb.hpp"
+#include "sim/cluster.hpp"
+#include "sim/sim_transport.hpp"
+#include "sim/work_meter.hpp"
+
+namespace sim {
+namespace {
+
+TEST(WanNetwork, DomainAssignmentAndLookup) {
+  Cluster cluster;
+  cluster.add_host("a", 100.0);
+  cluster.add_host("b", 100.0);
+  EXPECT_EQ(cluster.domain_of("a"), "");
+  cluster.set_host_domain("a", "site1");
+  EXPECT_EQ(cluster.domain_of("a"), "site1");
+  EXPECT_THROW(cluster.set_host_domain("missing", "x"), std::out_of_range);
+}
+
+TEST(WanNetwork, TransferTimePicksModelByDomain) {
+  Cluster cluster;
+  cluster.add_host("a", 100.0);
+  cluster.add_host("b", 100.0);
+  cluster.add_host("c", 100.0);
+  cluster.map_endpoint("a", "a");
+  cluster.map_endpoint("b", "b");
+  cluster.map_endpoint("c", "c");
+  cluster.set_host_domain("a", "site1");
+  cluster.set_host_domain("b", "site1");
+  cluster.set_host_domain("c", "site2");
+  cluster.network().latency_s = 1e-3;
+  cluster.network().wan_latency_s = 0.1;
+  cluster.network().bandwidth_bytes_per_s = 1e18;
+  cluster.network().wan_bandwidth_bytes_per_s = 1e18;
+
+  EXPECT_DOUBLE_EQ(cluster.transfer_time("a", "b", 0), 1e-3);  // same site
+  EXPECT_DOUBLE_EQ(cluster.transfer_time("a", "c", 0), 0.1);   // cross site
+  EXPECT_DOUBLE_EQ(cluster.transfer_time("c", "a", 0), 0.1);
+  // Unknown endpoints (external drivers) count as local.
+  EXPECT_DOUBLE_EQ(cluster.transfer_time("", "a", 0), 1e-3);
+  // Hosts in the implicit "" domain are local to each other.
+  Cluster flat;
+  flat.add_host("x", 100.0);
+  flat.add_host("y", 100.0);
+  flat.map_endpoint("x", "x");
+  flat.map_endpoint("y", "y");
+  EXPECT_DOUBLE_EQ(flat.transfer_time("x", "y", 0),
+                   flat.network().transfer_time(0));
+}
+
+TEST(WanNetwork, BandwidthDiffersAcrossTheWan) {
+  Cluster cluster;
+  cluster.add_host("a", 100.0);
+  cluster.add_host("b", 100.0);
+  cluster.map_endpoint("a", "a");
+  cluster.map_endpoint("b", "b");
+  cluster.set_host_domain("a", "s1");
+  cluster.set_host_domain("b", "s2");
+  cluster.network().wan_latency_s = 0;
+  cluster.network().wan_bandwidth_bytes_per_s = 1e6;
+  EXPECT_DOUBLE_EQ(cluster.transfer_time("a", "b", 1000000), 1.0);
+}
+
+class PingServant : public corba::Servant {
+ public:
+  std::string_view repo_id() const noexcept override {
+    return "IDL:corbaft/tests/Ping:1.0";
+  }
+  corba::Value dispatch(std::string_view op, const corba::ValueSeq&) override {
+    if (op == "noop") return {};
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+};
+
+TEST(WanNetwork, CrossDomainInvocationPaysWanLatency) {
+  Cluster cluster;
+  cluster.add_host("local", 100.0);
+  cluster.add_host("far", 100.0);
+  cluster.set_host_domain("local", "here");
+  cluster.set_host_domain("far", "there");
+  cluster.network().latency_s = 0.001;
+  cluster.network().wan_latency_s = 0.2;
+  cluster.network().bandwidth_bytes_per_s = 1e18;
+  cluster.network().wan_bandwidth_bytes_per_s = 1e18;
+
+  auto network = std::make_shared<corba::InProcessNetwork>();
+  auto make_orb = [&](const std::string& endpoint) {
+    cluster.map_endpoint(endpoint, endpoint);
+    return corba::ORB::init(
+        {.endpoint_name = endpoint,
+         .network = network,
+         .client_transport_override =
+             std::make_shared<SimTransport>(cluster, network, endpoint)});
+  };
+  auto local_orb = make_orb("local");
+  auto far_orb = make_orb("far");
+
+  const corba::ObjectRef on_local =
+      local_orb->activate(std::make_shared<PingServant>());
+  const corba::ObjectRef on_far =
+      far_orb->activate(std::make_shared<PingServant>());
+
+  // local -> local: 2 x 1 ms.
+  double t0 = cluster.events().now();
+  local_orb->make_ref(on_local.ior()).invoke("noop", {});
+  EXPECT_NEAR(cluster.events().now() - t0, 0.002, 1e-9);
+
+  // local -> far: 2 x 200 ms.
+  t0 = cluster.events().now();
+  local_orb->make_ref(on_far.ior()).invoke("noop", {});
+  EXPECT_NEAR(cluster.events().now() - t0, 0.4, 1e-9);
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,59 @@
+// Unit tests for work metering: scope nesting (a nested dispatch bills its
+// own host, not the outer one), inactive-mode no-ops, and thread locality.
+#include "sim/work_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sim {
+namespace {
+
+TEST(WorkMeter, InactiveByDefault) {
+  EXPECT_FALSE(WorkMeter::active());
+  WorkMeter::charge(100.0);  // silently dropped
+}
+
+TEST(WorkMeter, ScopeCollectsCharges) {
+  WorkScope scope;
+  EXPECT_TRUE(WorkMeter::active());
+  WorkMeter::charge(10.0);
+  WorkMeter::charge(5.5);
+  EXPECT_DOUBLE_EQ(scope.consumed(), 15.5);
+}
+
+TEST(WorkMeter, NegativeAndZeroChargesIgnored) {
+  WorkScope scope;
+  WorkMeter::charge(0.0);
+  WorkMeter::charge(-7.0);
+  EXPECT_DOUBLE_EQ(scope.consumed(), 0.0);
+}
+
+TEST(WorkMeter, NestedScopesIsolateCharges) {
+  // A servant dispatched from within another dispatch must bill its own
+  // host only: the inner scope shadows the outer one.
+  WorkScope outer;
+  WorkMeter::charge(1.0);
+  {
+    WorkScope inner;
+    WorkMeter::charge(100.0);
+    EXPECT_DOUBLE_EQ(inner.consumed(), 100.0);
+  }
+  WorkMeter::charge(2.0);
+  EXPECT_DOUBLE_EQ(outer.consumed(), 3.0);
+}
+
+TEST(WorkMeter, ScopesAreThreadLocal) {
+  WorkScope main_scope;
+  std::thread worker([] {
+    EXPECT_FALSE(WorkMeter::active());  // the main thread's scope is invisible
+    WorkScope scope;
+    WorkMeter::charge(42.0);
+    EXPECT_DOUBLE_EQ(scope.consumed(), 42.0);
+  });
+  worker.join();
+  EXPECT_DOUBLE_EQ(main_scope.consumed(), 0.0);
+}
+
+}  // namespace
+}  // namespace sim

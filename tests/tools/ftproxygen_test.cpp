@@ -1,0 +1,140 @@
+// End-to-end test of ftproxygen-generated bindings: the Calculator
+// interface (tests/tools/calculator.idl) compiled from generated code and
+// driven through stub, skeleton, user exceptions, checkpointing and the
+// generated fault-tolerance proxy with real recovery.
+#include <gtest/gtest.h>
+
+#include "calculator_gen.hpp"
+#include "core/sim_runtime.hpp"
+#include "orb/cdr.hpp"
+
+namespace {
+
+using corbaft_gen::Calculator_DivByZero;
+using corbaft_gen::CalculatorProxy;
+using corbaft_gen::CalculatorSkeleton;
+using corbaft_gen::CalculatorStub;
+
+class CalculatorServant final : public CalculatorSkeleton {
+ public:
+  double divide(double a, double b) override {
+    if (b == 0.0) throw Calculator_DivByZero("division by zero");
+    return a / b;
+  }
+  std::int64_t accumulate(std::int64_t n) override { return total_ += n; }
+  void reset() override { total_ = 0; }
+  std::string describe(const std::string& prefix) override {
+    return prefix + std::to_string(total_);
+  }
+  bool is_positive(std::int32_t value) override { return value > 0; }
+  std::vector<double> scale(const std::vector<double>& values,
+                            double factor) override {
+    std::vector<double> out;
+    for (double v : values) out.push_back(v * factor);
+    return out;
+  }
+  std::uint64_t version() override { return 7; }
+  corba::Value echo(const corba::Value& value) override { return value; }
+  corba::Blob digest(const corba::Blob& data) override {
+    corba::Blob out;
+    std::uint8_t x = 0;
+    for (std::byte b : data) x ^= static_cast<std::uint8_t>(b);
+    out.push_back(static_cast<std::byte>(x));
+    return out;
+  }
+
+  corba::Blob get_state() override {
+    corba::CdrOutputStream out;
+    out.write_i64(total_);
+    return out.take_buffer();
+  }
+  void set_state(const corba::Blob& state) override {
+    corba::CdrInputStream in(state);
+    total_ = in.read_i64();
+  }
+
+ private:
+  std::int64_t total_ = 0;
+};
+
+class FtProxygenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 3; ++i)
+      cluster_.add_host("node" + std::to_string(i), 100.0);
+    rt::RuntimeOptions options;
+    options.winner_stale_after = 2.5;
+    runtime_ = std::make_unique<rt::SimRuntime>(cluster_, options);
+    runtime_->registry()->register_type(
+        "Calculator", [] { return std::make_shared<CalculatorServant>(); });
+    runtime_->deploy_everywhere(naming::Name::parse("Calculator"),
+                                "Calculator");
+    runtime_->events().run_until(0.01);
+  }
+
+  sim::Cluster cluster_;
+  std::unique_ptr<rt::SimRuntime> runtime_;
+};
+
+TEST_F(FtProxygenTest, GeneratedStubCoversAllTypes) {
+  CalculatorStub calc(runtime_->resolve(naming::Name::parse("Calculator")));
+  EXPECT_DOUBLE_EQ(calc.divide(10.0, 4.0), 2.5);
+  EXPECT_EQ(calc.accumulate(40), 40);
+  EXPECT_EQ(calc.accumulate(2), 42);
+  EXPECT_EQ(calc.describe("total="), "total=42");
+  EXPECT_TRUE(calc.is_positive(3));
+  EXPECT_FALSE(calc.is_positive(-3));
+  EXPECT_EQ(calc.scale({1.0, 2.0}, 3.0), (std::vector<double>{3.0, 6.0}));
+  EXPECT_EQ(calc.version(), 7u);
+  EXPECT_EQ(calc.echo(corba::Value("anything")).as_string(), "anything");
+  corba::Blob data{std::byte{0x0f}, std::byte{0xf0}};
+  EXPECT_EQ(calc.digest(data), corba::Blob{std::byte{0xff}});
+  calc.reset();
+  EXPECT_EQ(calc.describe(""), "0");
+}
+
+TEST_F(FtProxygenTest, GeneratedUserExceptionCrossesTheWire) {
+  CalculatorStub calc(runtime_->resolve(naming::Name::parse("Calculator")));
+  try {
+    calc.divide(1.0, 0.0);
+    FAIL() << "expected Calculator_DivByZero";
+  } catch (const Calculator_DivByZero& e) {
+    EXPECT_EQ(e.detail(), "division by zero");
+  }
+}
+
+TEST_F(FtProxygenTest, GeneratedSkeletonValidatesArity) {
+  const corba::ObjectRef ref =
+      runtime_->resolve(naming::Name::parse("Calculator"));
+  EXPECT_THROW(ref.invoke("divide", {corba::Value(1.0)}), corba::BAD_PARAM);
+  EXPECT_THROW(ref.invoke("unknown_op", {}), corba::BAD_OPERATION);
+}
+
+TEST_F(FtProxygenTest, GeneratedProxyRecoversWithState) {
+  CalculatorProxy calc(runtime_->make_proxy_config(
+      naming::Name::parse("Calculator"), "Calculator", "calc-1"));
+  EXPECT_EQ(calc.accumulate(40), 40);
+  EXPECT_EQ(calc.accumulate(2), 42);
+
+  const std::string victim = calc.engine().current().ior().host;
+  cluster_.crash_host(victim);
+
+  // The generated proxy recovers transparently; the checkpointed total
+  // survives onto the replacement instance.
+  EXPECT_EQ(calc.describe("total="), "total=42");
+  EXPECT_EQ(calc.engine().recoveries(), 1u);
+  EXPECT_NE(calc.engine().current().ior().host, victim);
+
+  // And the generated proxy is substitutable for the stub (§3's point of
+  // deriving proxies from stubs).
+  CalculatorStub& as_stub = calc;
+  EXPECT_EQ(as_stub.version(), 7u);
+}
+
+TEST_F(FtProxygenTest, GeneratedProxyStillRaisesUserExceptions) {
+  CalculatorProxy calc(runtime_->make_proxy_config(
+      naming::Name::parse("Calculator"), "Calculator", "calc-2"));
+  EXPECT_THROW(calc.divide(1.0, 0.0), Calculator_DivByZero);
+}
+
+}  // namespace

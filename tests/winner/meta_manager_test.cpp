@@ -1,0 +1,125 @@
+// Tests of the hierarchical (wide-area) Winner manager: domain routing,
+// WAN penalty in placement, spill-over behaviour, and freshness filtering
+// across sites.
+#include "winner/meta_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "winner/system_manager.hpp"
+
+namespace winner {
+namespace {
+
+class MetaManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    home_ = std::make_shared<SystemManager>();
+    remote_ = std::make_shared<SystemManager>();
+    meta_ = std::make_unique<MetaSystemManager>(
+        MetaManagerOptions{.home_domain = "siegen", .remote_penalty = 1.0});
+    meta_->add_domain("siegen", home_);
+    meta_->add_domain("remote", remote_);
+    for (int i = 0; i < 2; ++i) {
+      meta_->register_host("siegen/s" + std::to_string(i), 1.0);
+      meta_->register_host("remote/r" + std::to_string(i), 1.0);
+    }
+    for (const char* host : {"s0", "s1"}) home_->report_load(host, {0.0, 0.0});
+    for (const char* host : {"r0", "r1"}) remote_->report_load(host, {0.0, 0.0});
+  }
+
+  std::shared_ptr<SystemManager> home_, remote_;
+  std::unique_ptr<MetaSystemManager> meta_;
+};
+
+TEST_F(MetaManagerTest, ConfigValidation) {
+  EXPECT_THROW(MetaSystemManager({}), corba::BAD_PARAM);
+  EXPECT_THROW(MetaSystemManager({.home_domain = "x", .remote_penalty = -1}),
+               corba::BAD_PARAM);
+  EXPECT_THROW(meta_->add_domain("siegen", home_), corba::BAD_PARAM);
+  EXPECT_THROW(meta_->add_domain("", home_), corba::BAD_PARAM);
+  EXPECT_THROW(meta_->add_domain("x", nullptr), corba::BAD_PARAM);
+  EXPECT_THROW(meta_->register_host("unqualified", 1.0), corba::BAD_PARAM);
+  EXPECT_THROW(meta_->register_host("nowhere/h", 1.0), corba::BAD_PARAM);
+}
+
+TEST_F(MetaManagerTest, RegistrationRoutesToTheSite) {
+  EXPECT_EQ(home_->known_hosts(), (std::vector<std::string>{"s0", "s1"}));
+  EXPECT_EQ(remote_->known_hosts(), (std::vector<std::string>{"r0", "r1"}));
+  EXPECT_EQ(meta_->known_hosts().size(), 4u);
+  EXPECT_EQ(meta_->domain_of("r1"), "remote");
+}
+
+TEST_F(MetaManagerTest, IdleClusterPrefersHomeDomain) {
+  // All hosts idle: the WAN penalty makes home hosts strictly better.
+  const std::string best = meta_->best_host({});
+  EXPECT_TRUE(best == "s0" || best == "s1");
+  const auto ranked = meta_->rank_hosts({});
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked[0].front(), 's');
+  EXPECT_EQ(ranked[1].front(), 's');
+  EXPECT_EQ(ranked[2].front(), 'r');
+  EXPECT_EQ(ranked[3].front(), 'r');
+}
+
+TEST_F(MetaManagerTest, SpillsToRemoteOnlyWhenHomeOverloaded) {
+  // Home load below the penalty: stay local.
+  home_->report_load("s0", {0.5, 0.0});
+  home_->report_load("s1", {0.5, 0.0});
+  EXPECT_EQ(meta_->best_host({}).front(), 's');
+  // Home load above the penalty: the remote site wins despite the WAN.
+  home_->report_load("s0", {2.0, 0.0});
+  home_->report_load("s1", {2.0, 0.0});
+  EXPECT_EQ(meta_->best_host({}).front(), 'r');
+}
+
+TEST_F(MetaManagerTest, HostIndexCarriesThePenalty) {
+  EXPECT_DOUBLE_EQ(meta_->host_index("s0"), 0.0);
+  EXPECT_DOUBLE_EQ(meta_->host_index("r0"), 1.0);
+  remote_->report_load("r0", {2.0, 0.0});
+  EXPECT_DOUBLE_EQ(meta_->host_index("r0"), 3.0);
+  EXPECT_THROW(meta_->host_index("unknown"), corba::BAD_PARAM);
+}
+
+TEST_F(MetaManagerTest, PlacementsAndReportsRouteToTheRightSite) {
+  meta_->notify_placement("r0");
+  EXPECT_DOUBLE_EQ(remote_->host_index("r0"), 1.0);  // no penalty at the site
+  EXPECT_DOUBLE_EQ(home_->host_index("s0"), 0.0);
+
+  meta_->report_load("s1", {3.0, 1.0});
+  EXPECT_DOUBLE_EQ(home_->host_index("s1"), 3.0);
+}
+
+TEST_F(MetaManagerTest, CandidateFilterWorksAcrossDomains) {
+  home_->report_load("s0", {5.0, 0.0});
+  const std::vector<std::string> candidates = {"s0", "r1"};
+  EXPECT_EQ(meta_->best_host(candidates), "r1");  // 5.0 vs 0+1 penalty
+}
+
+TEST_F(MetaManagerTest, StaleSitesDropOut) {
+  double now = 0.0;
+  auto fresh_home = std::make_shared<SystemManager>(SystemManagerOptions{
+      .stale_after = 2.0, .clock = [&now] { return now; }});
+  MetaSystemManager meta({.home_domain = "a", .remote_penalty = 1.0});
+  meta.add_domain("a", fresh_home);
+  meta.add_domain("b", remote_);
+  fresh_home->register_host("a0", 1.0);
+  fresh_home->report_load("a0", {0.0, 0.0});
+  EXPECT_EQ(meta.best_host({}), "a0");
+  now = 10.0;  // a0's report is stale; only the remote site remains
+  EXPECT_EQ(meta.best_host({}).front(), 'r');
+}
+
+TEST_F(MetaManagerTest, NoFreshHostAnywhereRaises) {
+  MetaSystemManager meta({.home_domain = "a"});
+  meta.add_domain("a", std::make_shared<SystemManager>());
+  EXPECT_THROW(meta.best_host({}), NoHostAvailable);
+}
+
+TEST_F(MetaManagerTest, SpeedQueriesForwarded) {
+  meta_->register_host("remote/big", 8.0);
+  remote_->report_load("big", {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(meta_->host_speed("big"), 8.0);
+}
+
+}  // namespace
+}  // namespace winner

@@ -1,0 +1,132 @@
+// Unit tests for node managers and load sensors, in both simulated and
+// threaded drive modes.
+#include "winner/node_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "sim/cluster.hpp"
+#include "winner/system_manager.hpp"
+
+namespace winner {
+namespace {
+
+TEST(LoadSensor, CallbackSensorReturnsFunctionValue) {
+  double load = 1.5;
+  CallbackSensor sensor([&load] { return load; });
+  EXPECT_EQ(sensor.sample(), 1.5);
+  load = 3.0;
+  EXPECT_EQ(sensor.sample(), 3.0);
+}
+
+TEST(LoadSensor, SimHostSensorTracksHostState) {
+  sim::EventQueue events;
+  sim::Host host(events, "h", 100.0, 2);
+  SimHostSensor sensor(host);
+  EXPECT_EQ(sensor.sample(), 2.0);
+  host.submit(1000.0, [] {});
+  EXPECT_EQ(sensor.sample(), 3.0);
+}
+
+TEST(LoadSensor, ProcLoadavgParsesFirstField) {
+  const std::string path = ::testing::TempDir() + "/loadavg";
+  std::ofstream(path) << "0.42 0.36 0.30 1/234 5678\n";
+  ProcLoadavgSensor sensor(path);
+  EXPECT_DOUBLE_EQ(sensor.sample(), 0.42);
+}
+
+TEST(LoadSensor, ProcLoadavgMissingFileThrows) {
+  ProcLoadavgSensor sensor("/definitely/not/here");
+  EXPECT_THROW(sensor.sample(), std::runtime_error);
+}
+
+TEST(NodeManager, ConstructionValidatesArguments) {
+  auto sensor = std::make_shared<CallbackSensor>([] { return 0.0; });
+  auto manager = std::make_shared<SystemManager>();
+  EXPECT_THROW(NodeManager("h", nullptr, manager, 1.0), corba::BAD_PARAM);
+  EXPECT_THROW(NodeManager("h", sensor, nullptr, 1.0), corba::BAD_PARAM);
+  EXPECT_THROW(NodeManager("h", sensor, manager, 0.0), corba::BAD_PARAM);
+}
+
+TEST(NodeManager, TickSamplesAndReports) {
+  auto manager = std::make_shared<SystemManager>();
+  manager->register_host("h", 1.0);
+  auto sensor = std::make_shared<CallbackSensor>([] { return 2.5; });
+  NodeManager node("h", sensor, manager, 1.0);
+  node.tick(7.0);
+  EXPECT_EQ(node.reports_sent(), 1u);
+  EXPECT_EQ(manager->last_sample("h").load_avg, 2.5);
+  EXPECT_EQ(manager->last_sample("h").timestamp, 7.0);
+}
+
+TEST(NodeManager, SensorFailureDoesNotPropagate) {
+  auto manager = std::make_shared<SystemManager>();
+  manager->register_host("h", 1.0);
+  auto sensor = std::make_shared<CallbackSensor>(
+      []() -> double { throw std::runtime_error("sensor wedged"); });
+  NodeManager node("h", sensor, manager, 1.0);
+  EXPECT_NO_THROW(node.tick(0.0));
+  EXPECT_EQ(node.reports_sent(), 0u);
+}
+
+TEST(NodeManager, SimulatedModeReportsPeriodically) {
+  sim::Cluster cluster;
+  sim::Host& host = cluster.add_host("h", 100.0, 1);
+  auto manager = std::make_shared<SystemManager>();
+  manager->register_host("h", 1.0);
+  NodeManager node("h", std::make_shared<SimHostSensor>(host), manager, 2.0);
+  node.start_simulated(cluster.events());
+  cluster.events().run_until(9.0);
+  // Reports at t = 0, 2, 4, 6, 8.
+  EXPECT_EQ(node.reports_sent(), 5u);
+  EXPECT_EQ(manager->last_sample("h").timestamp, 8.0);
+  EXPECT_EQ(manager->last_sample("h").load_avg, 1.0);
+  node.stop();
+  const auto before = node.reports_sent();
+  cluster.events().run_until(20.0);
+  EXPECT_EQ(node.reports_sent(), before);  // stopped managers stay silent
+}
+
+TEST(NodeManager, SimulatedReportsTrackChangingLoad) {
+  sim::Cluster cluster;
+  sim::Host& host = cluster.add_host("h", 100.0);
+  auto manager = std::make_shared<SystemManager>();
+  manager->register_host("h", 1.0);
+  NodeManager node("h", std::make_shared<SimHostSensor>(host), manager, 1.0);
+  node.start_simulated(cluster.events());
+  cluster.events().schedule_at(2.5, [&] { host.set_background_processes(4); });
+  cluster.events().run_until(2.0);
+  EXPECT_EQ(manager->last_sample("h").load_avg, 0.0);
+  cluster.events().run_until(3.0);
+  EXPECT_EQ(manager->last_sample("h").load_avg, 4.0);
+  node.stop();
+}
+
+TEST(NodeManager, ThreadedModeReportsOnWallClock) {
+  auto manager = std::make_shared<SystemManager>();
+  manager->register_host("h", 1.0);
+  auto sensor = std::make_shared<CallbackSensor>([] { return 1.0; });
+  NodeManager node("h", sensor, manager, 0.02);
+  node.start_threaded();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (node.reports_sent() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  node.stop();
+  EXPECT_GE(node.reports_sent(), 3u);
+}
+
+TEST(NodeManager, StopIsIdempotent) {
+  auto manager = std::make_shared<SystemManager>();
+  auto sensor = std::make_shared<CallbackSensor>([] { return 0.0; });
+  NodeManager node("h", sensor, manager, 1.0);
+  node.start_threaded();
+  node.stop();
+  node.stop();
+}
+
+}  // namespace
+}  // namespace winner

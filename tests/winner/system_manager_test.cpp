@@ -1,0 +1,196 @@
+// Unit tests for the Winner system manager: ranking policy, placement
+// compensation, staleness-based failure detection, and the CORBA
+// servant/stub pair.
+#include "winner/system_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "orb/orb.hpp"
+#include "winner/system_manager_corba.hpp"
+
+namespace winner {
+namespace {
+
+TEST(SystemManager, BestHostPrefersLowestLoadPerSpeed) {
+  SystemManager manager;
+  manager.register_host("a", 1.0);
+  manager.register_host("b", 1.0);
+  manager.report_load("a", {2.0, 0.0});
+  manager.report_load("b", {0.5, 0.0});
+  EXPECT_EQ(manager.best_host({}), "b");
+}
+
+TEST(SystemManager, SpeedIndexNormalizesLoad) {
+  // Host "big" is 4x faster; even with load 2 it beats an idle-ish slow box
+  // with load 1: 2/4 < 1/1.
+  SystemManager manager;
+  manager.register_host("big", 4.0);
+  manager.register_host("small", 1.0);
+  manager.report_load("big", {2.0, 0.0});
+  manager.report_load("small", {1.0, 0.0});
+  EXPECT_EQ(manager.best_host({}), "big");
+  EXPECT_DOUBLE_EQ(manager.host_index("big"), 0.5);
+  EXPECT_DOUBLE_EQ(manager.host_index("small"), 1.0);
+}
+
+TEST(SystemManager, CandidateFilterRestrictsSelection) {
+  SystemManager manager;
+  for (const char* name : {"a", "b", "c"}) {
+    manager.register_host(name, 1.0);
+    manager.report_load(name, {0.0, 0.0});
+  }
+  manager.report_load("a", {0.0, 0.0});
+  manager.report_load("b", {1.0, 0.0});
+  manager.report_load("c", {2.0, 0.0});
+  const std::vector<std::string> candidates = {"b", "c"};
+  EXPECT_EQ(manager.best_host(candidates), "b");
+}
+
+TEST(SystemManager, RankOrdersAllCandidates) {
+  SystemManager manager;
+  manager.register_host("a", 1.0);
+  manager.register_host("b", 1.0);
+  manager.register_host("c", 1.0);
+  manager.report_load("a", {3.0, 0.0});
+  manager.report_load("b", {1.0, 0.0});
+  manager.report_load("c", {2.0, 0.0});
+  EXPECT_EQ(manager.rank_hosts({}), (std::vector<std::string>{"b", "c", "a"}));
+}
+
+TEST(SystemManager, UnreportedHostsAreNotEligible) {
+  SystemManager manager;
+  manager.register_host("silent", 1.0);
+  EXPECT_THROW(manager.best_host({}), NoHostAvailable);
+  manager.report_load("silent", {0.0, 0.0});
+  EXPECT_EQ(manager.best_host({}), "silent");
+}
+
+TEST(SystemManager, ReportsFromUnknownHostsIgnored) {
+  SystemManager manager;
+  manager.report_load("stranger", {0.0, 0.0});
+  EXPECT_THROW(manager.best_host({}), NoHostAvailable);
+  EXPECT_TRUE(manager.known_hosts().empty());
+}
+
+TEST(SystemManager, PlacementsCountUntilObservedByAReport) {
+  double now = 0.0;
+  SystemManager manager({.clock = [&now] { return now; }});
+  manager.register_host("a", 1.0);
+  manager.register_host("b", 1.0);
+  manager.report_load("a", {0.0, 0.0});
+  manager.report_load("b", {0.0, 0.0});
+
+  // Two consecutive placements spread across hosts instead of piling onto
+  // the first one — this is what makes k resolve() calls pick k machines.
+  const std::string first = manager.best_host({});
+  manager.notify_placement(first);
+  const std::string second = manager.best_host({});
+  EXPECT_NE(first, second);
+
+  // A report sampled *after* the placement clears the compensation.
+  now = 5.0;
+  manager.report_load(first, {1.0, 5.0});  // the placed process is visible
+  EXPECT_DOUBLE_EQ(manager.host_index(first), 1.0);
+}
+
+TEST(SystemManager, StaleReportBeforePlacementKeepsCompensation) {
+  double now = 10.0;
+  SystemManager manager({.clock = [&now] { return now; }});
+  manager.register_host("a", 1.0);
+  manager.notify_placement("a");  // placed at t=10
+  // A late-arriving report sampled at t=8 must not clear the placement.
+  manager.report_load("a", {0.0, 8.0});
+  EXPECT_DOUBLE_EQ(manager.host_index("a"), 1.0);
+  // A report sampled at t=12 does.
+  manager.report_load("a", {1.0, 12.0});
+  EXPECT_DOUBLE_EQ(manager.host_index("a"), 1.0);  // measured load only
+}
+
+TEST(SystemManager, StaleHostsDropOutOfSelection) {
+  double now = 0.0;
+  SystemManager manager({.stale_after = 3.0, .clock = [&now] { return now; }});
+  manager.register_host("a", 1.0);
+  manager.register_host("b", 1.0);
+  manager.report_load("a", {0.0, 0.0});
+  manager.report_load("b", {5.0, 0.0});
+  EXPECT_EQ(manager.best_host({}), "a");
+
+  now = 10.0;                      // "a" has not reported since t=0
+  manager.report_load("b", {5.0, 10.0});
+  EXPECT_EQ(manager.best_host({}), "b");  // dead host avoided despite load
+
+  now = 20.0;                      // both stale now
+  EXPECT_THROW(manager.best_host({}), NoHostAvailable);
+}
+
+TEST(SystemManager, InvalidRegistrationsRejected) {
+  SystemManager manager;
+  EXPECT_THROW(manager.register_host("", 1.0), corba::BAD_PARAM);
+  EXPECT_THROW(manager.register_host("a", 0.0), corba::BAD_PARAM);
+  EXPECT_THROW(manager.host_index("missing"), corba::BAD_PARAM);
+}
+
+TEST(SystemManager, TieBreaksAreDeterministic) {
+  SystemManager manager;
+  for (const char* name : {"n1", "n2", "n3"}) {
+    manager.register_host(name, 1.0);
+    manager.report_load(name, {1.0, 0.0});
+  }
+  // Equal indices: stable sort keeps registration (map) order.
+  EXPECT_EQ(manager.rank_hosts({}),
+            (std::vector<std::string>{"n1", "n2", "n3"}));
+}
+
+// --- CORBA servant/stub round trip -----------------------------------------
+
+class SystemManagerCorbaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_shared<corba::InProcessNetwork>();
+    server_ = corba::ORB::init({.endpoint_name = "winner", .network = network_});
+    client_ = corba::ORB::init({.endpoint_name = "app", .network = network_});
+    impl_ = std::make_shared<SystemManager>();
+    const corba::ObjectRef ref =
+        server_->activate(std::make_shared<SystemManagerServant>(impl_),
+                          "SystemManager");
+    stub_ = SystemManagerStub(client_->make_ref(ref.ior()));
+  }
+
+  std::shared_ptr<corba::InProcessNetwork> network_;
+  std::shared_ptr<corba::ORB> server_, client_;
+  std::shared_ptr<SystemManager> impl_;
+  SystemManagerStub stub_;
+};
+
+TEST_F(SystemManagerCorbaTest, FullProtocolOverTheWire) {
+  stub_.register_host("a", 2.0);
+  stub_.register_host("b", 1.0);
+  stub_.report_load("a", {1.0, 0.0});
+  stub_.report_load("b", {1.0, 0.0});
+  EXPECT_EQ(stub_.best_host({}), "a");
+  EXPECT_EQ(stub_.rank_hosts({}), (std::vector<std::string>{"a", "b"}));
+  EXPECT_DOUBLE_EQ(stub_.host_index("a"), 0.5);
+  EXPECT_EQ(stub_.known_hosts(), (std::vector<std::string>{"a", "b"}));
+  stub_.notify_placement("a");
+  EXPECT_DOUBLE_EQ(stub_.host_index("a"), 1.0);
+}
+
+TEST_F(SystemManagerCorbaTest, NoHostAvailableCrossesTheWire) {
+  EXPECT_THROW(stub_.best_host({}), NoHostAvailable);
+}
+
+TEST_F(SystemManagerCorbaTest, IsATypeCheck) {
+  EXPECT_TRUE(stub_.is_a(kSystemManagerRepoId));
+}
+
+TEST_F(SystemManagerCorbaTest, CandidateListMarshalsCorrectly) {
+  stub_.register_host("x", 1.0);
+  stub_.register_host("y", 1.0);
+  stub_.report_load("x", {9.0, 0.0});
+  stub_.report_load("y", {0.0, 0.0});
+  const std::vector<std::string> only_x = {"x"};
+  EXPECT_EQ(stub_.best_host(only_x), "x");
+}
+
+}  // namespace
+}  // namespace winner

@@ -1,0 +1,486 @@
+// ftproxygen — generates stub, skeleton and fault-tolerance proxy classes
+// from an interface description.
+//
+// The paper hand-writes its proxies and remarks: "With the current
+// implementation, the proxy class for each service class has to be
+// implemented manually.  This could be easily automated by parsing the
+// class definition.  For each method, code to call the parent class (the
+// stub) method along with exception handling code and a call to the server
+// object's checkpoint and restore functions would have to be generated."
+// (§3).  This tool is that automation: it plays the role of an IDL compiler
+// for this project's CORBA subset and emits, per interface,
+//
+//   * <Name>Skeleton  — servant base class with typed pure virtuals and a
+//                       generated dispatch() (argument decoding, arity
+//                       checks, user-exception declarations);
+//   * <Name>Stub      — typed client-side class marshaling into tagged
+//                       values;
+//   * <Name>Proxy     — the paper's fault-tolerance proxy, derived from the
+//                       stub, each method wrapped through ft::ProxyEngine
+//                       (checkpoint after success, recover + retry on
+//                       COMM_FAILURE/TRANSIENT/TIMEOUT).
+//
+// Input grammar (IDL-lite):
+//
+//   interface Calculator {
+//     checkpointable;                       // opt-in to _get_state/_set_state
+//     exception DivByZero;
+//     double divide(in double a, in double b) raises (DivByZero);
+//     long long accumulate(in long long n);
+//     void reset();
+//     sequence<double> history();
+//   };
+//
+// Types: void, boolean, long, long long, unsigned long long, double,
+// string, blob, sequence<double>, any.
+//
+// Usage: ftproxygen <input.idl> <output.hpp>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- model -------------------------------------------------------------------
+
+enum class Type {
+  void_,
+  boolean,
+  long_,           // 32-bit signed
+  long_long,       // 64-bit signed
+  unsigned_long_long,
+  double_,
+  string,
+  blob,
+  double_seq,
+  any,
+};
+
+struct Parameter {
+  Type type = Type::any;
+  std::string name;
+};
+
+struct Operation {
+  Type result = Type::void_;
+  std::string name;
+  std::vector<Parameter> parameters;
+  std::vector<std::string> raises;
+};
+
+struct Interface {
+  std::string name;
+  bool checkpointable = false;
+  std::vector<std::string> exceptions;
+  std::vector<Operation> operations;
+};
+
+// --- lexer -------------------------------------------------------------------
+
+struct Lexer {
+  explicit Lexer(std::string text) : text_(std::move(text)) {}
+
+  /// Next token: identifier, punctuation character, or empty at EOF.
+  std::string next() {
+    skip_ws_and_comments();
+    if (pos_ >= text_.size()) return {};
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_'))
+        ++pos_;
+      return text_.substr(start, pos_ - start);
+    }
+    ++pos_;
+    return std::string(1, c);
+  }
+
+  std::string peek() {
+    const std::size_t saved = pos_;
+    std::string token = next();
+    pos_ = saved;
+    return token;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i)
+      if (text_[i] == '\n') ++line;
+    throw std::runtime_error("line " + std::to_string(line) + ": " + message);
+  }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      if (std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      } else if (text_.compare(pos_, 2, "//") == 0) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (text_.compare(pos_, 2, "/*") == 0) {
+        const std::size_t end = text_.find("*/", pos_ + 2);
+        if (end == std::string::npos) fail("unterminated comment");
+        pos_ = end + 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// --- parser ------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string text) : lexer_(std::move(text)) {}
+
+  std::vector<Interface> parse() {
+    std::vector<Interface> interfaces;
+    while (!lexer_.peek().empty()) {
+      expect("interface");
+      interfaces.push_back(parse_interface());
+    }
+    if (interfaces.empty()) lexer_.fail("no interface found");
+    return interfaces;
+  }
+
+ private:
+  void expect(const std::string& token) {
+    const std::string got = lexer_.next();
+    if (got != token)
+      lexer_.fail("expected '" + token + "', got '" + got + "'");
+  }
+
+  std::string identifier(const char* what) {
+    const std::string token = lexer_.next();
+    if (token.empty() ||
+        !(std::isalpha(static_cast<unsigned char>(token[0])) || token[0] == '_'))
+      lexer_.fail(std::string("expected ") + what + ", got '" + token + "'");
+    return token;
+  }
+
+  Type parse_type() {
+    std::string token = lexer_.next();
+    if (token == "void") return Type::void_;
+    if (token == "boolean") return Type::boolean;
+    if (token == "double") return Type::double_;
+    if (token == "string") return Type::string;
+    if (token == "blob") return Type::blob;
+    if (token == "any") return Type::any;
+    if (token == "sequence") {
+      expect("<");
+      expect("double");
+      expect(">");
+      return Type::double_seq;
+    }
+    if (token == "unsigned") {
+      expect("long");
+      expect("long");
+      return Type::unsigned_long_long;
+    }
+    if (token == "long") {
+      if (lexer_.peek() == "long") {
+        lexer_.next();
+        return Type::long_long;
+      }
+      return Type::long_;
+    }
+    lexer_.fail("unknown type '" + token + "'");
+  }
+
+  Interface parse_interface() {
+    Interface interface;
+    interface.name = identifier("interface name");
+    expect("{");
+    while (lexer_.peek() != "}") {
+      const std::string token = lexer_.peek();
+      if (token.empty()) lexer_.fail("unterminated interface");
+      if (token == "checkpointable") {
+        lexer_.next();
+        expect(";");
+        interface.checkpointable = true;
+      } else if (token == "exception") {
+        lexer_.next();
+        interface.exceptions.push_back(identifier("exception name"));
+        expect(";");
+      } else {
+        interface.operations.push_back(parse_operation(interface));
+      }
+    }
+    expect("}");
+    expect(";");
+    return interface;
+  }
+
+  Operation parse_operation(const Interface& interface) {
+    Operation operation;
+    operation.result = parse_type();
+    operation.name = identifier("operation name");
+    expect("(");
+    while (lexer_.peek() != ")") {
+      if (!operation.parameters.empty()) expect(",");
+      expect("in");
+      Parameter parameter;
+      parameter.type = parse_type();
+      if (parameter.type == Type::void_)
+        lexer_.fail("void parameter in '" + operation.name + "'");
+      parameter.name = identifier("parameter name");
+      operation.parameters.push_back(std::move(parameter));
+    }
+    expect(")");
+    if (lexer_.peek() == "raises") {
+      lexer_.next();
+      expect("(");
+      while (lexer_.peek() != ")") {
+        if (!operation.raises.empty()) expect(",");
+        const std::string name = identifier("exception name");
+        bool known = false;
+        for (const std::string& declared : interface.exceptions)
+          known = known || declared == name;
+        if (!known)
+          lexer_.fail("operation '" + operation.name +
+                      "' raises undeclared exception '" + name + "'");
+        operation.raises.push_back(name);
+      }
+      expect(")");
+    }
+    expect(";");
+    return operation;
+  }
+
+  Lexer lexer_;
+};
+
+// --- emitter -----------------------------------------------------------------
+
+std::string cpp_type(Type type) {
+  switch (type) {
+    case Type::void_: return "void";
+    case Type::boolean: return "bool";
+    case Type::long_: return "std::int32_t";
+    case Type::long_long: return "std::int64_t";
+    case Type::unsigned_long_long: return "std::uint64_t";
+    case Type::double_: return "double";
+    case Type::string: return "std::string";
+    case Type::blob: return "corba::Blob";
+    case Type::double_seq: return "std::vector<double>";
+    case Type::any: return "corba::Value";
+  }
+  return "void";
+}
+
+std::string param_type(Type type) {
+  switch (type) {
+    case Type::boolean:
+    case Type::long_:
+    case Type::long_long:
+    case Type::unsigned_long_long:
+    case Type::double_:
+      return cpp_type(type);
+    default:
+      return "const " + cpp_type(type) + "&";
+  }
+}
+
+/// Expression converting `expr` (a corba::Value) to the typed argument.
+std::string decode_expr(Type type, const std::string& expr) {
+  switch (type) {
+    case Type::boolean: return expr + ".as_bool()";
+    case Type::long_: return expr + ".as_i32()";
+    case Type::long_long: return expr + ".as_i64()";
+    case Type::unsigned_long_long: return expr + ".as_u64()";
+    case Type::double_: return expr + ".as_f64()";
+    case Type::string: return expr + ".as_string()";
+    case Type::blob: return expr + ".as_blob()";
+    case Type::double_seq: return expr + ".as_f64_seq()";
+    case Type::any: return expr;
+    case Type::void_: break;
+  }
+  return expr;
+}
+
+/// Expression wrapping a typed value into a corba::Value.
+std::string encode_expr(Type type, const std::string& expr) {
+  if (type == Type::any) return expr;
+  return "corba::Value(" + expr + ")";
+}
+
+void emit_interface(std::ostream& out, const Interface& interface) {
+  const std::string& name = interface.name;
+  const std::string repo_id = "IDL:corbaft/gen/" + name + ":1.0";
+
+  out << "// ---- interface " << name << " ----\n\n";
+  out << "inline constexpr std::string_view k" << name
+      << "RepoId = \"" << repo_id << "\";\n\n";
+
+  // Exceptions.
+  for (const std::string& exception : interface.exceptions) {
+    out << "struct " << name << "_" << exception
+        << " : corba::UserException {\n"
+        << "  explicit " << name << "_" << exception
+        << "(std::string detail = {})\n"
+        << "      : corba::UserException(std::string(static_repo_id()), "
+           "std::move(detail)) {}\n"
+        << "  static constexpr std::string_view static_repo_id() {\n"
+        << "    return \"IDL:corbaft/gen/" << name << "/" << exception
+        << ":1.0\";\n"
+        << "  }\n};\n"
+        << "inline const corba::RegisterUserException<" << name << "_"
+        << exception << "> register_" << name << "_" << exception << "{};\n\n";
+  }
+
+  // Skeleton.
+  out << "class " << name << "Skeleton : public corba::Servant";
+  if (interface.checkpointable) out << ",\n    public ft::CheckpointableServant";
+  out << " {\n public:\n";
+  out << "  std::string_view repo_id() const noexcept override { return k"
+      << name << "RepoId; }\n\n";
+  for (const Operation& operation : interface.operations) {
+    out << "  virtual " << cpp_type(operation.result) << " " << operation.name
+        << "(";
+    for (std::size_t i = 0; i < operation.parameters.size(); ++i) {
+      if (i) out << ", ";
+      out << param_type(operation.parameters[i].type) << " "
+          << operation.parameters[i].name;
+    }
+    out << ") = 0;\n";
+  }
+  out << "\n  corba::Value dispatch(std::string_view op,\n"
+      << "                        const corba::ValueSeq& args) override {\n";
+  if (interface.checkpointable)
+    out << "    if (auto handled = try_dispatch_state(op, args)) return "
+           "*handled;\n";
+  for (const Operation& operation : interface.operations) {
+    out << "    if (op == \"" << operation.name << "\") {\n"
+        << "      check_arity(op, args, " << operation.parameters.size()
+        << ");\n";
+    std::string call = operation.name + "(";
+    for (std::size_t i = 0; i < operation.parameters.size(); ++i) {
+      if (i) call += ", ";
+      call += decode_expr(operation.parameters[i].type,
+                          "args[" + std::to_string(i) + "]");
+    }
+    call += ")";
+    if (operation.result == Type::void_) {
+      out << "      " << call << ";\n      return corba::Value();\n";
+    } else {
+      out << "      return " << encode_expr(operation.result, call) << ";\n";
+    }
+    out << "    }\n";
+  }
+  out << "    throw corba::BAD_OPERATION(std::string(op));\n  }\n};\n\n";
+
+  // Stub.
+  out << "class " << name << "Stub : public corba::StubBase {\n public:\n"
+      << "  " << name << "Stub() = default;\n"
+      << "  explicit " << name
+      << "Stub(corba::ObjectRef ref) : StubBase(std::move(ref)) {}\n\n";
+  for (const Operation& operation : interface.operations) {
+    out << "  " << cpp_type(operation.result) << " " << operation.name << "(";
+    for (std::size_t i = 0; i < operation.parameters.size(); ++i) {
+      if (i) out << ", ";
+      out << param_type(operation.parameters[i].type) << " "
+          << operation.parameters[i].name;
+    }
+    out << ") const {\n    ";
+    std::string invoke = "call(\"" + operation.name + "\", {";
+    for (std::size_t i = 0; i < operation.parameters.size(); ++i) {
+      if (i) invoke += ", ";
+      invoke += encode_expr(operation.parameters[i].type,
+                            operation.parameters[i].name);
+    }
+    invoke += "})";
+    if (operation.result == Type::void_) {
+      out << invoke << ";\n";
+    } else {
+      out << "return " << decode_expr(operation.result, invoke) << ";\n";
+    }
+    out << "  }\n";
+  }
+  out << "};\n\n";
+
+  // Fault-tolerance proxy: "derived from the stub class and therefore
+  // provides all of the methods of the stub class" (paper §3).
+  out << "class " << name << "Proxy : public " << name << "Stub {\n public:\n"
+      << "  explicit " << name << "Proxy(ft::ProxyConfig config)\n"
+      << "      : " << name << "Stub(config.initial), "
+         "engine_(std::move(config)) {\n"
+      << "    engine_.on_rebind = [this](const corba::ObjectRef& ref) { "
+         "rebind(ref); };\n"
+      << "  }\n\n";
+  for (const Operation& operation : interface.operations) {
+    out << "  " << cpp_type(operation.result) << " " << operation.name << "(";
+    for (std::size_t i = 0; i < operation.parameters.size(); ++i) {
+      if (i) out << ", ";
+      out << param_type(operation.parameters[i].type) << " "
+          << operation.parameters[i].name;
+    }
+    out << ") {\n    ";
+    std::string invoke = "engine_.call(\"" + operation.name + "\", {";
+    for (std::size_t i = 0; i < operation.parameters.size(); ++i) {
+      if (i) invoke += ", ";
+      invoke += encode_expr(operation.parameters[i].type,
+                            operation.parameters[i].name);
+    }
+    invoke += "})";
+    if (operation.result == Type::void_) {
+      out << invoke << ";\n";
+    } else {
+      out << "return " << decode_expr(operation.result, invoke) << ";\n";
+    }
+    out << "  }\n";
+  }
+  out << "\n  ft::ProxyEngine& engine() noexcept { return engine_; }\n\n"
+      << " private:\n  ft::ProxyEngine engine_;\n};\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: ftproxygen <input.idl> <output.hpp>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "ftproxygen: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  std::vector<Interface> interfaces;
+  try {
+    interfaces = Parser(buffer.str()).parse();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ftproxygen: %s: %s\n", argv[1], e.what());
+    return 1;
+  }
+
+  std::ofstream out(argv[2]);
+  if (!out) {
+    std::fprintf(stderr, "ftproxygen: cannot write %s\n", argv[2]);
+    return 2;
+  }
+  out << "// Generated by ftproxygen from " << argv[1] << " — do not edit.\n"
+      << "#pragma once\n\n"
+      << "#include <cstdint>\n#include <string>\n#include <vector>\n\n"
+      << "#include \"ft/checkpoint.hpp\"\n"
+      << "#include \"ft/proxy.hpp\"\n"
+      << "#include \"orb/object_adapter.hpp\"\n"
+      << "#include \"orb/stub.hpp\"\n\n"
+      << "namespace corbaft_gen {\n\n";
+  for (const Interface& interface : interfaces) emit_interface(out, interface);
+  out << "}  // namespace corbaft_gen\n";
+  return 0;
+}
