@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_checkpoint_frequency.dir/bench/ablation_checkpoint_frequency.cpp.o"
+  "CMakeFiles/ablation_checkpoint_frequency.dir/bench/ablation_checkpoint_frequency.cpp.o.d"
+  "bench/ablation_checkpoint_frequency"
+  "bench/ablation_checkpoint_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checkpoint_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

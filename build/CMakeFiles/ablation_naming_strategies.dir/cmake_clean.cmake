@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_naming_strategies.dir/bench/ablation_naming_strategies.cpp.o"
+  "CMakeFiles/ablation_naming_strategies.dir/bench/ablation_naming_strategies.cpp.o.d"
+  "bench/ablation_naming_strategies"
+  "bench/ablation_naming_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_naming_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

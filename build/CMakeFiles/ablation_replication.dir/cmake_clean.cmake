@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_replication.dir/bench/ablation_replication.cpp.o"
+  "CMakeFiles/ablation_replication.dir/bench/ablation_replication.cpp.o.d"
+  "bench/ablation_replication"
+  "bench/ablation_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wan_metacomputing.dir/bench/ablation_wan_metacomputing.cpp.o"
+  "CMakeFiles/ablation_wan_metacomputing.dir/bench/ablation_wan_metacomputing.cpp.o.d"
+  "bench/ablation_wan_metacomputing"
+  "bench/ablation_wan_metacomputing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wan_metacomputing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_load_distribution.dir/bench/fig3_load_distribution.cpp.o"
+  "CMakeFiles/fig3_load_distribution.dir/bench/fig3_load_distribution.cpp.o.d"
+  "bench/fig3_load_distribution"
+  "bench/fig3_load_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_load_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_checkpoint.dir/bench/micro_checkpoint.cpp.o"
+  "CMakeFiles/micro_checkpoint.dir/bench/micro_checkpoint.cpp.o.d"
+  "bench/micro_checkpoint"
+  "bench/micro_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

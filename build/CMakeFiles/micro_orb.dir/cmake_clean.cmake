@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_orb.dir/bench/micro_orb.cpp.o"
+  "CMakeFiles/micro_orb.dir/bench/micro_orb.cpp.o.d"
+  "bench/micro_orb"
+  "bench/micro_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

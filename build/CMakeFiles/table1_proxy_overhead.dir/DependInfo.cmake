@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_proxy_overhead.cpp" "CMakeFiles/table1_proxy_overhead.dir/bench/table1_proxy_overhead.cpp.o" "gcc" "CMakeFiles/table1_proxy_overhead.dir/bench/table1_proxy_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/corbaft_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/corbaft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ft/CMakeFiles/corbaft_ft.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/corbaft_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/winner/CMakeFiles/corbaft_winner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/corbaft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/corbaft_orb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_proxy_overhead.dir/bench/table1_proxy_overhead.cpp.o"
+  "CMakeFiles/table1_proxy_overhead.dir/bench/table1_proxy_overhead.cpp.o.d"
+  "bench/table1_proxy_overhead"
+  "bench/table1_proxy_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_proxy_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_service.dir/fault_tolerant_service.cpp.o"
+  "CMakeFiles/fault_tolerant_service.dir/fault_tolerant_service.cpp.o.d"
+  "fault_tolerant_service"
+  "fault_tolerant_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

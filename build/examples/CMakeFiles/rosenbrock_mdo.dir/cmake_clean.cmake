@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosenbrock_mdo.dir/rosenbrock_mdo.cpp.o"
+  "CMakeFiles/rosenbrock_mdo.dir/rosenbrock_mdo.cpp.o.d"
+  "rosenbrock_mdo"
+  "rosenbrock_mdo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosenbrock_mdo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

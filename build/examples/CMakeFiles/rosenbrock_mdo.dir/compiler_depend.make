@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rosenbrock_mdo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for rosenbrock_mdo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_metacomputing.dir/wan_metacomputing.cpp.o"
+  "CMakeFiles/wan_metacomputing.dir/wan_metacomputing.cpp.o.d"
+  "wan_metacomputing"
+  "wan_metacomputing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_metacomputing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corbaft_core.dir/sim_runtime.cpp.o"
+  "CMakeFiles/corbaft_core.dir/sim_runtime.cpp.o.d"
+  "libcorbaft_core.a"
+  "libcorbaft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corbaft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ft/checkpoint.cpp" "src/ft/CMakeFiles/corbaft_ft.dir/checkpoint.cpp.o" "gcc" "src/ft/CMakeFiles/corbaft_ft.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/ft/checkpoint_store.cpp" "src/ft/CMakeFiles/corbaft_ft.dir/checkpoint_store.cpp.o" "gcc" "src/ft/CMakeFiles/corbaft_ft.dir/checkpoint_store.cpp.o.d"
+  "/root/repo/src/ft/fault_detector.cpp" "src/ft/CMakeFiles/corbaft_ft.dir/fault_detector.cpp.o" "gcc" "src/ft/CMakeFiles/corbaft_ft.dir/fault_detector.cpp.o.d"
+  "/root/repo/src/ft/migration.cpp" "src/ft/CMakeFiles/corbaft_ft.dir/migration.cpp.o" "gcc" "src/ft/CMakeFiles/corbaft_ft.dir/migration.cpp.o.d"
+  "/root/repo/src/ft/proxy.cpp" "src/ft/CMakeFiles/corbaft_ft.dir/proxy.cpp.o" "gcc" "src/ft/CMakeFiles/corbaft_ft.dir/proxy.cpp.o.d"
+  "/root/repo/src/ft/replication.cpp" "src/ft/CMakeFiles/corbaft_ft.dir/replication.cpp.o" "gcc" "src/ft/CMakeFiles/corbaft_ft.dir/replication.cpp.o.d"
+  "/root/repo/src/ft/request_proxy.cpp" "src/ft/CMakeFiles/corbaft_ft.dir/request_proxy.cpp.o" "gcc" "src/ft/CMakeFiles/corbaft_ft.dir/request_proxy.cpp.o.d"
+  "/root/repo/src/ft/service_factory.cpp" "src/ft/CMakeFiles/corbaft_ft.dir/service_factory.cpp.o" "gcc" "src/ft/CMakeFiles/corbaft_ft.dir/service_factory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orb/CMakeFiles/corbaft_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/corbaft_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/corbaft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/winner/CMakeFiles/corbaft_winner.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corbaft_ft.dir/checkpoint.cpp.o"
+  "CMakeFiles/corbaft_ft.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/corbaft_ft.dir/checkpoint_store.cpp.o"
+  "CMakeFiles/corbaft_ft.dir/checkpoint_store.cpp.o.d"
+  "CMakeFiles/corbaft_ft.dir/fault_detector.cpp.o"
+  "CMakeFiles/corbaft_ft.dir/fault_detector.cpp.o.d"
+  "CMakeFiles/corbaft_ft.dir/migration.cpp.o"
+  "CMakeFiles/corbaft_ft.dir/migration.cpp.o.d"
+  "CMakeFiles/corbaft_ft.dir/proxy.cpp.o"
+  "CMakeFiles/corbaft_ft.dir/proxy.cpp.o.d"
+  "CMakeFiles/corbaft_ft.dir/replication.cpp.o"
+  "CMakeFiles/corbaft_ft.dir/replication.cpp.o.d"
+  "CMakeFiles/corbaft_ft.dir/request_proxy.cpp.o"
+  "CMakeFiles/corbaft_ft.dir/request_proxy.cpp.o.d"
+  "CMakeFiles/corbaft_ft.dir/service_factory.cpp.o"
+  "CMakeFiles/corbaft_ft.dir/service_factory.cpp.o.d"
+  "libcorbaft_ft.a"
+  "libcorbaft_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corbaft_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

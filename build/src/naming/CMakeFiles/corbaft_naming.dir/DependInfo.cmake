@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/naming/name.cpp" "src/naming/CMakeFiles/corbaft_naming.dir/name.cpp.o" "gcc" "src/naming/CMakeFiles/corbaft_naming.dir/name.cpp.o.d"
+  "/root/repo/src/naming/naming_context.cpp" "src/naming/CMakeFiles/corbaft_naming.dir/naming_context.cpp.o" "gcc" "src/naming/CMakeFiles/corbaft_naming.dir/naming_context.cpp.o.d"
+  "/root/repo/src/naming/naming_stub.cpp" "src/naming/CMakeFiles/corbaft_naming.dir/naming_stub.cpp.o" "gcc" "src/naming/CMakeFiles/corbaft_naming.dir/naming_stub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orb/CMakeFiles/corbaft_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/winner/CMakeFiles/corbaft_winner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/corbaft_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corbaft_naming.dir/name.cpp.o"
+  "CMakeFiles/corbaft_naming.dir/name.cpp.o.d"
+  "CMakeFiles/corbaft_naming.dir/naming_context.cpp.o"
+  "CMakeFiles/corbaft_naming.dir/naming_context.cpp.o.d"
+  "CMakeFiles/corbaft_naming.dir/naming_stub.cpp.o"
+  "CMakeFiles/corbaft_naming.dir/naming_stub.cpp.o.d"
+  "libcorbaft_naming.a"
+  "libcorbaft_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corbaft_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

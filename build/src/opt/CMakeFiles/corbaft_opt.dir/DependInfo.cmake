@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/complex_box.cpp" "src/opt/CMakeFiles/corbaft_opt.dir/complex_box.cpp.o" "gcc" "src/opt/CMakeFiles/corbaft_opt.dir/complex_box.cpp.o.d"
+  "/root/repo/src/opt/manager.cpp" "src/opt/CMakeFiles/corbaft_opt.dir/manager.cpp.o" "gcc" "src/opt/CMakeFiles/corbaft_opt.dir/manager.cpp.o.d"
+  "/root/repo/src/opt/rosenbrock.cpp" "src/opt/CMakeFiles/corbaft_opt.dir/rosenbrock.cpp.o" "gcc" "src/opt/CMakeFiles/corbaft_opt.dir/rosenbrock.cpp.o.d"
+  "/root/repo/src/opt/worker.cpp" "src/opt/CMakeFiles/corbaft_opt.dir/worker.cpp.o" "gcc" "src/opt/CMakeFiles/corbaft_opt.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/corbaft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ft/CMakeFiles/corbaft_ft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/corbaft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/corbaft_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/winner/CMakeFiles/corbaft_winner.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/corbaft_orb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corbaft_opt.dir/complex_box.cpp.o"
+  "CMakeFiles/corbaft_opt.dir/complex_box.cpp.o.d"
+  "CMakeFiles/corbaft_opt.dir/manager.cpp.o"
+  "CMakeFiles/corbaft_opt.dir/manager.cpp.o.d"
+  "CMakeFiles/corbaft_opt.dir/rosenbrock.cpp.o"
+  "CMakeFiles/corbaft_opt.dir/rosenbrock.cpp.o.d"
+  "CMakeFiles/corbaft_opt.dir/worker.cpp.o"
+  "CMakeFiles/corbaft_opt.dir/worker.cpp.o.d"
+  "libcorbaft_opt.a"
+  "libcorbaft_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corbaft_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

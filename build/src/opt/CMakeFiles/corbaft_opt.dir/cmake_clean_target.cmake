@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcorbaft_opt.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orb/cdr.cpp" "src/orb/CMakeFiles/corbaft_orb.dir/cdr.cpp.o" "gcc" "src/orb/CMakeFiles/corbaft_orb.dir/cdr.cpp.o.d"
+  "/root/repo/src/orb/dii.cpp" "src/orb/CMakeFiles/corbaft_orb.dir/dii.cpp.o" "gcc" "src/orb/CMakeFiles/corbaft_orb.dir/dii.cpp.o.d"
+  "/root/repo/src/orb/exceptions.cpp" "src/orb/CMakeFiles/corbaft_orb.dir/exceptions.cpp.o" "gcc" "src/orb/CMakeFiles/corbaft_orb.dir/exceptions.cpp.o.d"
+  "/root/repo/src/orb/ior.cpp" "src/orb/CMakeFiles/corbaft_orb.dir/ior.cpp.o" "gcc" "src/orb/CMakeFiles/corbaft_orb.dir/ior.cpp.o.d"
+  "/root/repo/src/orb/log.cpp" "src/orb/CMakeFiles/corbaft_orb.dir/log.cpp.o" "gcc" "src/orb/CMakeFiles/corbaft_orb.dir/log.cpp.o.d"
+  "/root/repo/src/orb/message.cpp" "src/orb/CMakeFiles/corbaft_orb.dir/message.cpp.o" "gcc" "src/orb/CMakeFiles/corbaft_orb.dir/message.cpp.o.d"
+  "/root/repo/src/orb/object_adapter.cpp" "src/orb/CMakeFiles/corbaft_orb.dir/object_adapter.cpp.o" "gcc" "src/orb/CMakeFiles/corbaft_orb.dir/object_adapter.cpp.o.d"
+  "/root/repo/src/orb/orb.cpp" "src/orb/CMakeFiles/corbaft_orb.dir/orb.cpp.o" "gcc" "src/orb/CMakeFiles/corbaft_orb.dir/orb.cpp.o.d"
+  "/root/repo/src/orb/tcp_transport.cpp" "src/orb/CMakeFiles/corbaft_orb.dir/tcp_transport.cpp.o" "gcc" "src/orb/CMakeFiles/corbaft_orb.dir/tcp_transport.cpp.o.d"
+  "/root/repo/src/orb/transport.cpp" "src/orb/CMakeFiles/corbaft_orb.dir/transport.cpp.o" "gcc" "src/orb/CMakeFiles/corbaft_orb.dir/transport.cpp.o.d"
+  "/root/repo/src/orb/value.cpp" "src/orb/CMakeFiles/corbaft_orb.dir/value.cpp.o" "gcc" "src/orb/CMakeFiles/corbaft_orb.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

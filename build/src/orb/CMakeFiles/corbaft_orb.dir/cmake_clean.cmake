@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corbaft_orb.dir/cdr.cpp.o"
+  "CMakeFiles/corbaft_orb.dir/cdr.cpp.o.d"
+  "CMakeFiles/corbaft_orb.dir/dii.cpp.o"
+  "CMakeFiles/corbaft_orb.dir/dii.cpp.o.d"
+  "CMakeFiles/corbaft_orb.dir/exceptions.cpp.o"
+  "CMakeFiles/corbaft_orb.dir/exceptions.cpp.o.d"
+  "CMakeFiles/corbaft_orb.dir/ior.cpp.o"
+  "CMakeFiles/corbaft_orb.dir/ior.cpp.o.d"
+  "CMakeFiles/corbaft_orb.dir/log.cpp.o"
+  "CMakeFiles/corbaft_orb.dir/log.cpp.o.d"
+  "CMakeFiles/corbaft_orb.dir/message.cpp.o"
+  "CMakeFiles/corbaft_orb.dir/message.cpp.o.d"
+  "CMakeFiles/corbaft_orb.dir/object_adapter.cpp.o"
+  "CMakeFiles/corbaft_orb.dir/object_adapter.cpp.o.d"
+  "CMakeFiles/corbaft_orb.dir/orb.cpp.o"
+  "CMakeFiles/corbaft_orb.dir/orb.cpp.o.d"
+  "CMakeFiles/corbaft_orb.dir/tcp_transport.cpp.o"
+  "CMakeFiles/corbaft_orb.dir/tcp_transport.cpp.o.d"
+  "CMakeFiles/corbaft_orb.dir/transport.cpp.o"
+  "CMakeFiles/corbaft_orb.dir/transport.cpp.o.d"
+  "CMakeFiles/corbaft_orb.dir/value.cpp.o"
+  "CMakeFiles/corbaft_orb.dir/value.cpp.o.d"
+  "libcorbaft_orb.a"
+  "libcorbaft_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corbaft_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

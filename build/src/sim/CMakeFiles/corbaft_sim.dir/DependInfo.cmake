@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/corbaft_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/corbaft_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/corbaft_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/corbaft_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/host.cpp" "src/sim/CMakeFiles/corbaft_sim.dir/host.cpp.o" "gcc" "src/sim/CMakeFiles/corbaft_sim.dir/host.cpp.o.d"
+  "/root/repo/src/sim/sim_transport.cpp" "src/sim/CMakeFiles/corbaft_sim.dir/sim_transport.cpp.o" "gcc" "src/sim/CMakeFiles/corbaft_sim.dir/sim_transport.cpp.o.d"
+  "/root/repo/src/sim/work_meter.cpp" "src/sim/CMakeFiles/corbaft_sim.dir/work_meter.cpp.o" "gcc" "src/sim/CMakeFiles/corbaft_sim.dir/work_meter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orb/CMakeFiles/corbaft_orb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

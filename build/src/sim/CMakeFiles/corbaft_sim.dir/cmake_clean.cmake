@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corbaft_sim.dir/cluster.cpp.o"
+  "CMakeFiles/corbaft_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/corbaft_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/corbaft_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/corbaft_sim.dir/host.cpp.o"
+  "CMakeFiles/corbaft_sim.dir/host.cpp.o.d"
+  "CMakeFiles/corbaft_sim.dir/sim_transport.cpp.o"
+  "CMakeFiles/corbaft_sim.dir/sim_transport.cpp.o.d"
+  "CMakeFiles/corbaft_sim.dir/work_meter.cpp.o"
+  "CMakeFiles/corbaft_sim.dir/work_meter.cpp.o.d"
+  "libcorbaft_sim.a"
+  "libcorbaft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corbaft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/sim/CMakeFiles/corbaft_sim.dir/work_meter.cpp.o: \
+ /root/repo/src/sim/work_meter.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/sim/work_meter.hpp

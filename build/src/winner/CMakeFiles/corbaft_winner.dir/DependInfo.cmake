@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/winner/load_sensor.cpp" "src/winner/CMakeFiles/corbaft_winner.dir/load_sensor.cpp.o" "gcc" "src/winner/CMakeFiles/corbaft_winner.dir/load_sensor.cpp.o.d"
+  "/root/repo/src/winner/meta_manager.cpp" "src/winner/CMakeFiles/corbaft_winner.dir/meta_manager.cpp.o" "gcc" "src/winner/CMakeFiles/corbaft_winner.dir/meta_manager.cpp.o.d"
+  "/root/repo/src/winner/node_manager.cpp" "src/winner/CMakeFiles/corbaft_winner.dir/node_manager.cpp.o" "gcc" "src/winner/CMakeFiles/corbaft_winner.dir/node_manager.cpp.o.d"
+  "/root/repo/src/winner/system_manager.cpp" "src/winner/CMakeFiles/corbaft_winner.dir/system_manager.cpp.o" "gcc" "src/winner/CMakeFiles/corbaft_winner.dir/system_manager.cpp.o.d"
+  "/root/repo/src/winner/system_manager_corba.cpp" "src/winner/CMakeFiles/corbaft_winner.dir/system_manager_corba.cpp.o" "gcc" "src/winner/CMakeFiles/corbaft_winner.dir/system_manager_corba.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orb/CMakeFiles/corbaft_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/corbaft_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corbaft_winner.dir/load_sensor.cpp.o"
+  "CMakeFiles/corbaft_winner.dir/load_sensor.cpp.o.d"
+  "CMakeFiles/corbaft_winner.dir/meta_manager.cpp.o"
+  "CMakeFiles/corbaft_winner.dir/meta_manager.cpp.o.d"
+  "CMakeFiles/corbaft_winner.dir/node_manager.cpp.o"
+  "CMakeFiles/corbaft_winner.dir/node_manager.cpp.o.d"
+  "CMakeFiles/corbaft_winner.dir/system_manager.cpp.o"
+  "CMakeFiles/corbaft_winner.dir/system_manager.cpp.o.d"
+  "CMakeFiles/corbaft_winner.dir/system_manager_corba.cpp.o"
+  "CMakeFiles/corbaft_winner.dir/system_manager_corba.cpp.o.d"
+  "libcorbaft_winner.a"
+  "libcorbaft_winner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corbaft_winner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for corbaft_winner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ft/checkpoint_store_test.cpp" "tests/ft/CMakeFiles/ft_tests.dir/checkpoint_store_test.cpp.o" "gcc" "tests/ft/CMakeFiles/ft_tests.dir/checkpoint_store_test.cpp.o.d"
+  "/root/repo/tests/ft/checkpoint_test.cpp" "tests/ft/CMakeFiles/ft_tests.dir/checkpoint_test.cpp.o" "gcc" "tests/ft/CMakeFiles/ft_tests.dir/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/ft/fault_detector_test.cpp" "tests/ft/CMakeFiles/ft_tests.dir/fault_detector_test.cpp.o" "gcc" "tests/ft/CMakeFiles/ft_tests.dir/fault_detector_test.cpp.o.d"
+  "/root/repo/tests/ft/group_request_test.cpp" "tests/ft/CMakeFiles/ft_tests.dir/group_request_test.cpp.o" "gcc" "tests/ft/CMakeFiles/ft_tests.dir/group_request_test.cpp.o.d"
+  "/root/repo/tests/ft/migration_test.cpp" "tests/ft/CMakeFiles/ft_tests.dir/migration_test.cpp.o" "gcc" "tests/ft/CMakeFiles/ft_tests.dir/migration_test.cpp.o.d"
+  "/root/repo/tests/ft/proxy_test.cpp" "tests/ft/CMakeFiles/ft_tests.dir/proxy_test.cpp.o" "gcc" "tests/ft/CMakeFiles/ft_tests.dir/proxy_test.cpp.o.d"
+  "/root/repo/tests/ft/replication_test.cpp" "tests/ft/CMakeFiles/ft_tests.dir/replication_test.cpp.o" "gcc" "tests/ft/CMakeFiles/ft_tests.dir/replication_test.cpp.o.d"
+  "/root/repo/tests/ft/request_proxy_test.cpp" "tests/ft/CMakeFiles/ft_tests.dir/request_proxy_test.cpp.o" "gcc" "tests/ft/CMakeFiles/ft_tests.dir/request_proxy_test.cpp.o.d"
+  "/root/repo/tests/ft/service_factory_test.cpp" "tests/ft/CMakeFiles/ft_tests.dir/service_factory_test.cpp.o" "gcc" "tests/ft/CMakeFiles/ft_tests.dir/service_factory_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ft/CMakeFiles/corbaft_ft.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/corbaft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/corbaft_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/winner/CMakeFiles/corbaft_winner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/corbaft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/corbaft_orb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_tests.dir/checkpoint_store_test.cpp.o"
+  "CMakeFiles/ft_tests.dir/checkpoint_store_test.cpp.o.d"
+  "CMakeFiles/ft_tests.dir/checkpoint_test.cpp.o"
+  "CMakeFiles/ft_tests.dir/checkpoint_test.cpp.o.d"
+  "CMakeFiles/ft_tests.dir/fault_detector_test.cpp.o"
+  "CMakeFiles/ft_tests.dir/fault_detector_test.cpp.o.d"
+  "CMakeFiles/ft_tests.dir/group_request_test.cpp.o"
+  "CMakeFiles/ft_tests.dir/group_request_test.cpp.o.d"
+  "CMakeFiles/ft_tests.dir/migration_test.cpp.o"
+  "CMakeFiles/ft_tests.dir/migration_test.cpp.o.d"
+  "CMakeFiles/ft_tests.dir/proxy_test.cpp.o"
+  "CMakeFiles/ft_tests.dir/proxy_test.cpp.o.d"
+  "CMakeFiles/ft_tests.dir/replication_test.cpp.o"
+  "CMakeFiles/ft_tests.dir/replication_test.cpp.o.d"
+  "CMakeFiles/ft_tests.dir/request_proxy_test.cpp.o"
+  "CMakeFiles/ft_tests.dir/request_proxy_test.cpp.o.d"
+  "CMakeFiles/ft_tests.dir/service_factory_test.cpp.o"
+  "CMakeFiles/ft_tests.dir/service_factory_test.cpp.o.d"
+  "ft_tests"
+  "ft_tests.pdb"
+  "ft_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

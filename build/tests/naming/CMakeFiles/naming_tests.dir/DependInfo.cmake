@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/naming/load_balancing_test.cpp" "tests/naming/CMakeFiles/naming_tests.dir/load_balancing_test.cpp.o" "gcc" "tests/naming/CMakeFiles/naming_tests.dir/load_balancing_test.cpp.o.d"
+  "/root/repo/tests/naming/model_based_test.cpp" "tests/naming/CMakeFiles/naming_tests.dir/model_based_test.cpp.o" "gcc" "tests/naming/CMakeFiles/naming_tests.dir/model_based_test.cpp.o.d"
+  "/root/repo/tests/naming/name_test.cpp" "tests/naming/CMakeFiles/naming_tests.dir/name_test.cpp.o" "gcc" "tests/naming/CMakeFiles/naming_tests.dir/name_test.cpp.o.d"
+  "/root/repo/tests/naming/naming_context_test.cpp" "tests/naming/CMakeFiles/naming_tests.dir/naming_context_test.cpp.o" "gcc" "tests/naming/CMakeFiles/naming_tests.dir/naming_context_test.cpp.o.d"
+  "/root/repo/tests/naming/persistence_test.cpp" "tests/naming/CMakeFiles/naming_tests.dir/persistence_test.cpp.o" "gcc" "tests/naming/CMakeFiles/naming_tests.dir/persistence_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/naming/CMakeFiles/corbaft_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/winner/CMakeFiles/corbaft_winner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/corbaft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/corbaft_orb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naming_tests.dir/load_balancing_test.cpp.o"
+  "CMakeFiles/naming_tests.dir/load_balancing_test.cpp.o.d"
+  "CMakeFiles/naming_tests.dir/model_based_test.cpp.o"
+  "CMakeFiles/naming_tests.dir/model_based_test.cpp.o.d"
+  "CMakeFiles/naming_tests.dir/name_test.cpp.o"
+  "CMakeFiles/naming_tests.dir/name_test.cpp.o.d"
+  "CMakeFiles/naming_tests.dir/naming_context_test.cpp.o"
+  "CMakeFiles/naming_tests.dir/naming_context_test.cpp.o.d"
+  "CMakeFiles/naming_tests.dir/persistence_test.cpp.o"
+  "CMakeFiles/naming_tests.dir/persistence_test.cpp.o.d"
+  "naming_tests"
+  "naming_tests.pdb"
+  "naming_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naming_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_tests.dir/complex_box_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/complex_box_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/rosenbrock_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/rosenbrock_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/worker_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/worker_test.cpp.o.d"
+  "opt_tests"
+  "opt_tests.pdb"
+  "opt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

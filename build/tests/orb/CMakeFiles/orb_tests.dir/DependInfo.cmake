@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/orb/cdr_test.cpp" "tests/orb/CMakeFiles/orb_tests.dir/cdr_test.cpp.o" "gcc" "tests/orb/CMakeFiles/orb_tests.dir/cdr_test.cpp.o.d"
+  "/root/repo/tests/orb/dii_test.cpp" "tests/orb/CMakeFiles/orb_tests.dir/dii_test.cpp.o" "gcc" "tests/orb/CMakeFiles/orb_tests.dir/dii_test.cpp.o.d"
+  "/root/repo/tests/orb/exceptions_test.cpp" "tests/orb/CMakeFiles/orb_tests.dir/exceptions_test.cpp.o" "gcc" "tests/orb/CMakeFiles/orb_tests.dir/exceptions_test.cpp.o.d"
+  "/root/repo/tests/orb/ior_test.cpp" "tests/orb/CMakeFiles/orb_tests.dir/ior_test.cpp.o" "gcc" "tests/orb/CMakeFiles/orb_tests.dir/ior_test.cpp.o.d"
+  "/root/repo/tests/orb/log_test.cpp" "tests/orb/CMakeFiles/orb_tests.dir/log_test.cpp.o" "gcc" "tests/orb/CMakeFiles/orb_tests.dir/log_test.cpp.o.d"
+  "/root/repo/tests/orb/message_test.cpp" "tests/orb/CMakeFiles/orb_tests.dir/message_test.cpp.o" "gcc" "tests/orb/CMakeFiles/orb_tests.dir/message_test.cpp.o.d"
+  "/root/repo/tests/orb/object_adapter_test.cpp" "tests/orb/CMakeFiles/orb_tests.dir/object_adapter_test.cpp.o" "gcc" "tests/orb/CMakeFiles/orb_tests.dir/object_adapter_test.cpp.o.d"
+  "/root/repo/tests/orb/orb_test.cpp" "tests/orb/CMakeFiles/orb_tests.dir/orb_test.cpp.o" "gcc" "tests/orb/CMakeFiles/orb_tests.dir/orb_test.cpp.o.d"
+  "/root/repo/tests/orb/tcp_transport_test.cpp" "tests/orb/CMakeFiles/orb_tests.dir/tcp_transport_test.cpp.o" "gcc" "tests/orb/CMakeFiles/orb_tests.dir/tcp_transport_test.cpp.o.d"
+  "/root/repo/tests/orb/value_test.cpp" "tests/orb/CMakeFiles/orb_tests.dir/value_test.cpp.o" "gcc" "tests/orb/CMakeFiles/orb_tests.dir/value_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orb/CMakeFiles/corbaft_orb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

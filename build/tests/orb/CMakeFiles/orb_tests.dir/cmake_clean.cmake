@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orb_tests.dir/cdr_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/cdr_test.cpp.o.d"
+  "CMakeFiles/orb_tests.dir/dii_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/dii_test.cpp.o.d"
+  "CMakeFiles/orb_tests.dir/exceptions_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/exceptions_test.cpp.o.d"
+  "CMakeFiles/orb_tests.dir/ior_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/ior_test.cpp.o.d"
+  "CMakeFiles/orb_tests.dir/log_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/log_test.cpp.o.d"
+  "CMakeFiles/orb_tests.dir/message_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/message_test.cpp.o.d"
+  "CMakeFiles/orb_tests.dir/object_adapter_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/object_adapter_test.cpp.o.d"
+  "CMakeFiles/orb_tests.dir/orb_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/orb_test.cpp.o.d"
+  "CMakeFiles/orb_tests.dir/tcp_transport_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/tcp_transport_test.cpp.o.d"
+  "CMakeFiles/orb_tests.dir/value_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/value_test.cpp.o.d"
+  "orb_tests"
+  "orb_tests.pdb"
+  "orb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

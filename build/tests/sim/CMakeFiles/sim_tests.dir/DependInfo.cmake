@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/cluster_test.cpp" "tests/sim/CMakeFiles/sim_tests.dir/cluster_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_tests.dir/cluster_test.cpp.o.d"
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/sim/CMakeFiles/sim_tests.dir/event_queue_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_tests.dir/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/host_property_test.cpp" "tests/sim/CMakeFiles/sim_tests.dir/host_property_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_tests.dir/host_property_test.cpp.o.d"
+  "/root/repo/tests/sim/host_test.cpp" "tests/sim/CMakeFiles/sim_tests.dir/host_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_tests.dir/host_test.cpp.o.d"
+  "/root/repo/tests/sim/sim_transport_test.cpp" "tests/sim/CMakeFiles/sim_tests.dir/sim_transport_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_tests.dir/sim_transport_test.cpp.o.d"
+  "/root/repo/tests/sim/wan_test.cpp" "tests/sim/CMakeFiles/sim_tests.dir/wan_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_tests.dir/wan_test.cpp.o.d"
+  "/root/repo/tests/sim/work_meter_test.cpp" "tests/sim/CMakeFiles/sim_tests.dir/work_meter_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_tests.dir/work_meter_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/corbaft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/corbaft_orb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

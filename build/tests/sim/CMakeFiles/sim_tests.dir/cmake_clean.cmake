@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/cluster_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/cluster_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/event_queue_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/event_queue_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/host_property_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/host_property_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/host_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/host_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim_transport_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim_transport_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/wan_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/wan_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/work_meter_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/work_meter_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

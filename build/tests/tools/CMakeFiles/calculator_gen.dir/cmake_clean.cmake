@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calculator_gen"
+  "calculator_gen.hpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/calculator_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

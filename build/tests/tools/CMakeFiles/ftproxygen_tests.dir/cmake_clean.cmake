@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftproxygen_tests.dir/ftproxygen_test.cpp.o"
+  "CMakeFiles/ftproxygen_tests.dir/ftproxygen_test.cpp.o.d"
+  "ftproxygen_tests"
+  "ftproxygen_tests.pdb"
+  "ftproxygen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftproxygen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/winner/meta_manager_test.cpp" "tests/winner/CMakeFiles/winner_tests.dir/meta_manager_test.cpp.o" "gcc" "tests/winner/CMakeFiles/winner_tests.dir/meta_manager_test.cpp.o.d"
+  "/root/repo/tests/winner/node_manager_test.cpp" "tests/winner/CMakeFiles/winner_tests.dir/node_manager_test.cpp.o" "gcc" "tests/winner/CMakeFiles/winner_tests.dir/node_manager_test.cpp.o.d"
+  "/root/repo/tests/winner/system_manager_test.cpp" "tests/winner/CMakeFiles/winner_tests.dir/system_manager_test.cpp.o" "gcc" "tests/winner/CMakeFiles/winner_tests.dir/system_manager_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/winner/CMakeFiles/corbaft_winner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/corbaft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/corbaft_orb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

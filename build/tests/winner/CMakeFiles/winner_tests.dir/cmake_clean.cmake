@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winner_tests.dir/meta_manager_test.cpp.o"
+  "CMakeFiles/winner_tests.dir/meta_manager_test.cpp.o.d"
+  "CMakeFiles/winner_tests.dir/node_manager_test.cpp.o"
+  "CMakeFiles/winner_tests.dir/node_manager_test.cpp.o.d"
+  "CMakeFiles/winner_tests.dir/system_manager_test.cpp.o"
+  "CMakeFiles/winner_tests.dir/system_manager_test.cpp.o.d"
+  "winner_tests"
+  "winner_tests.pdb"
+  "winner_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winner_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

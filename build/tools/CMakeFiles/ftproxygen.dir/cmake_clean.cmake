@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftproxygen.dir/ftproxygen/ftproxygen.cpp.o"
+  "CMakeFiles/ftproxygen.dir/ftproxygen/ftproxygen.cpp.o.d"
+  "ftproxygen"
+  "ftproxygen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftproxygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
