@@ -8,11 +8,13 @@
 #include <cstdio>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "opt/manager.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace bench {
 
@@ -53,6 +55,12 @@ struct RunSettings {
   int worker_iterations_override = 0;
   /// Injected workstation crashes (virtual time, host).
   std::vector<std::pair<double, std::string>> crashes;
+  /// Deterministic message-level fault schedule, armed after deployment
+  /// (scheduled times count from the run's start).
+  std::optional<sim::FaultPlan> faults;
+  /// Per-request timeout; needed for partition faults to surface (a reply
+  /// held by a healing partition otherwise just stalls the caller).
+  double request_timeout = 0.0;
 };
 
 struct RunOutcome {
@@ -61,7 +69,15 @@ struct RunOutcome {
   int rounds = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t checkpoints = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t checkpoint_failures = 0;
+  std::uint64_t deadline_exhaustions = 0;
+  double backoff_waited_s = 0.0;
   std::vector<std::string> placements;
+  // Fault-injection telemetry (zero without a fault plan).
+  std::uint64_t injected_drops = 0;
+  std::uint64_t injected_blocks = 0;
+  std::uint64_t injected_spikes = 0;
 };
 
 inline std::string host_name(int i) { return "node" + std::to_string(i); }
@@ -84,6 +100,7 @@ inline RunOutcome run_scenario(const Scenario& scenario,
   options.winner_stale_after = 2.5;
   options.checkpoint_cost = settings.store_cost;
   options.infra_speed = kHostSpeed;  // infra workstation is ordinary hardware
+  options.request_timeout = settings.request_timeout;
   rt::SimRuntime runtime(cluster, options);
 
   // Let at least one full reporting round reach the system manager before
@@ -109,6 +126,12 @@ inline RunOutcome run_scenario(const Scenario& scenario,
 
   opt::DecomposedSolver solver(runtime, config);
   solver.deploy();
+  std::shared_ptr<sim::FaultInjector> injector;
+  if (settings.faults) {
+    injector = std::make_shared<sim::FaultInjector>(*settings.faults);
+    injector->set_origin(runtime.events().now());
+    cluster.set_fault_injector(injector);
+  }
   const opt::SolverResult result = solver.run();
 
   RunOutcome outcome;
@@ -117,7 +140,16 @@ inline RunOutcome run_scenario(const Scenario& scenario,
   outcome.rounds = result.rounds;
   outcome.recoveries = result.recoveries;
   outcome.checkpoints = result.checkpoints;
+  outcome.retries = result.retries;
+  outcome.checkpoint_failures = result.checkpoint_failures;
+  outcome.deadline_exhaustions = result.deadline_exhaustions;
+  outcome.backoff_waited_s = result.backoff_waited_s;
   outcome.placements = solver.placements();
+  if (injector) {
+    outcome.injected_drops = injector->drops();
+    outcome.injected_blocks = injector->partition_blocks();
+    outcome.injected_spikes = injector->latency_spikes();
+  }
   return outcome;
 }
 

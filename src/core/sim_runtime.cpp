@@ -23,7 +23,8 @@ SimRuntime::SimRuntime(sim::Cluster& cluster, RuntimeOptions options)
         {.endpoint_name = endpoint,
          .network = network_,
          .client_transport_override = std::make_shared<sim::SimTransport>(
-             cluster_, network_, endpoint, options_.request_timeout)});
+             cluster_, network_, endpoint, options_.request_timeout),
+         .adapter_id = ++next_adapter_id_});
     return orb;
   };
   const bool hierarchical = !options_.host_domains.empty();
@@ -42,7 +43,8 @@ SimRuntime::SimRuntime(sim::Cluster& cluster, RuntimeOptions options)
   // federated by a MetaSystemManager with the WAN placement penalty.
   const winner::SystemManagerOptions manager_options{
       .stale_after = options_.winner_stale_after,
-      .clock = [this] { return cluster_.events().now(); }};
+      .clock = [this] { return cluster_.events().now(); },
+      .demote_stale_hosts = options_.demote_stale_hosts};
   if (hierarchical) {
     auto meta = std::make_shared<winner::MetaSystemManager>(
         winner::MetaManagerOptions{.home_domain = options_.home_domain,
@@ -67,11 +69,22 @@ SimRuntime::SimRuntime(sim::Cluster& cluster, RuntimeOptions options)
         "SystemManager");
   }
 
+  if (options_.enable_quarantine)
+    quarantine_ =
+        std::make_shared<ft::OfferQuarantine>(options_.quarantine_options);
+
   // Load-distributing naming service wired to Winner (Fig. 1).
   naming::NamingContextOptions naming_options;
   naming_options.default_strategy = options_.naming_strategy;
   naming_options.winner = load_info_;
   naming_options.random_seed = options_.seed;
+  if (quarantine_)
+    naming_options.offer_filter = [q = quarantine_, cluster = &cluster_](
+                                      const naming::Name& name,
+                                      const naming::Offer& offer) {
+      return !q->quarantined(name.to_string(), offer.host,
+                             cluster->events().now());
+    };
   auto [naming_servant, naming_ref] =
       naming::NamingContextServant::create_root(infra_orb_, naming_options);
   naming_servant_ = naming_servant;
@@ -209,6 +222,13 @@ ft::ProxyConfig SimRuntime::make_proxy_config(const naming::Name& name,
   config.service_type = service_type;
   config.policy = policy;
   config.locate_factory = [this] { return best_factory(); };
+  // Virtual-time clock and sleep: a backoff wait advances the simulation
+  // instead of blocking the (single) driver thread.
+  config.clock = [this]() -> double { return cluster_.events().now(); };
+  config.sleep = [this](double dt) {
+    cluster_.events().run_until(cluster_.events().now() + dt);
+  };
+  config.quarantine = quarantine_;
   return config;
 }
 

@@ -25,6 +25,7 @@
 
 #include "ft/checkpoint_store.hpp"
 #include "ft/proxy.hpp"
+#include "ft/quarantine.hpp"
 #include "ft/service_factory.hpp"
 #include "naming/naming_context.hpp"
 #include "naming/naming_stub.hpp"
@@ -67,6 +68,19 @@ struct RuntimeOptions {
   /// failure — the only way a *hung* (not crashed) server becomes
   /// recoverable.
   double request_timeout = 0;
+
+  // --- recovery hardening -----------------------------------------------------
+  /// Stand up a shared OfferQuarantine and wire it into naming resolution
+  /// and every make_proxy_config(); repeatedly failing instances are then
+  /// skipped by resolves until they prove healthy again.
+  bool enable_quarantine = true;
+  ft::QuarantineOptions quarantine_options{};
+
+  /// Degrade gracefully when every host's load report goes stale (e.g. the
+  /// system manager is partitioned from the reporters): demote stale hosts
+  /// behind fresh ones instead of refusing placement.  Only observable with
+  /// winner_stale_after > 0.
+  bool demote_stale_hosts = true;
 
   // --- wide-area (meta-computing) deployments -------------------------------
   /// Assigns workstations to network domains (sites).  Empty = one site.
@@ -140,6 +154,10 @@ class SimRuntime {
   const std::shared_ptr<ft::ServantFactoryRegistry>& registry() const noexcept {
     return registry_;
   }
+  /// Shared circuit breaker (null when enable_quarantine is off).
+  const std::shared_ptr<ft::OfferQuarantine>& quarantine() const noexcept {
+    return quarantine_;
+  }
 
   // --- deployment -----------------------------------------------------------
   /// Activates a servant on `host`'s ORB and registers it as an offer under
@@ -195,12 +213,16 @@ class SimRuntime {
   std::map<std::string, corba::ObjectRef> site_manager_refs_;
   std::shared_ptr<ft::MemoryCheckpointStore> checkpoint_backend_;
   std::shared_ptr<ft::ServantFactoryRegistry> registry_;
+  std::shared_ptr<ft::OfferQuarantine> quarantine_;
   std::shared_ptr<naming::NamingContextServant> naming_servant_;
   corba::ObjectRef naming_ref_;
   corba::ObjectRef winner_ref_;
   corba::ObjectRef store_ref_;
   std::vector<std::string> worker_hosts_;
   std::vector<Node> nodes_;
+  /// Deterministic per-runtime adapter ids: repeated runs in one process
+  /// mint identical object keys (byte-identical messages and timings).
+  std::uint64_t next_adapter_id_ = 0;
 };
 
 }  // namespace rt

@@ -61,6 +61,18 @@ void FaultDetector::sweep(double now) noexcept {
     }
     for (const naming::Offer& offer : offers) {
       const bool responded = offer.ref.ping();
+      if (options_.quarantine) {
+        try {
+          if (responded)
+            options_.quarantine->report_success(name.to_string(), offer.host,
+                                                now);
+          else
+            options_.quarantine->report_failure(name.to_string(), offer.host,
+                                                now);
+        } catch (...) {
+          // Bookkeeping must not kill the (noexcept) sweep.
+        }
+      }
       bool confirmed = false;
       {
         std::lock_guard lock(mu_);

@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "ft/quarantine.hpp"
 #include "naming/naming.hpp"
 #include "sim/event_queue.hpp"
 
@@ -37,6 +38,10 @@ struct FaultDetectorOptions {
   int suspicion_threshold = 2;
   /// Remove the faulty instance's offer from the naming service.
   bool unbind_faulty_offers = true;
+  /// Shared circuit breaker (may be null).  Every ping result is reported
+  /// to it, which is how quarantined-but-still-bound instances earn the
+  /// consecutive healthy probes that release them.
+  std::shared_ptr<OfferQuarantine> quarantine;
 };
 
 /// A detected fault, passed to listeners.

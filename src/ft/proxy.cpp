@@ -1,16 +1,39 @@
 #include "ft/proxy.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "orb/log.hpp"
 
 namespace ft {
 
 ProxyEngine::ProxyEngine(ProxyConfig config)
-    : config_(std::move(config)), current_(config_.initial) {
+    : config_(std::move(config)),
+      current_(config_.initial),
+      service_key_(config_.service_name.to_string()),
+      backoff_rng_(config_.policy.backoff_seed) {
   if (current_.is_nil()) throw corba::BAD_PARAM("proxy requires a target");
   if (config_.policy.max_attempts < 1)
     throw corba::BAD_PARAM("max_attempts must be >= 1");
   if (config_.store && config_.checkpoint_key.empty())
     throw corba::BAD_PARAM("checkpoint store requires a checkpoint key");
+  if (config_.policy.checkpoint_attempts < 1)
+    throw corba::BAD_PARAM("checkpoint_attempts must be >= 1");
+  const RecoveryPolicy& p = config_.policy;
+  if (p.backoff_initial_s < 0 || p.backoff_max_s < 0 || p.call_deadline_s < 0)
+    throw corba::BAD_PARAM("backoff/deadline times must be >= 0");
+  if (p.backoff_factor < 1)
+    throw corba::BAD_PARAM("backoff_factor must be >= 1");
+  if (p.backoff_jitter < 0 || p.backoff_jitter >= 1)
+    throw corba::BAD_PARAM("backoff_jitter must be in [0, 1)");
+}
+
+double ProxyEngine::now() const {
+  if (config_.clock) return config_.clock();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 bool ProxyEngine::should_retry(const corba::SystemException& error) const {
@@ -21,42 +44,121 @@ bool ProxyEngine::should_retry(const corba::SystemException& error) const {
 }
 
 corba::Value ProxyEngine::call(std::string_view op, corba::ValueSeq args) {
+  const double call_start = now();
   for (int attempt = 1;; ++attempt) {
     try {
       corba::Value result = current_.invoke(op, args);
       note_success();
       return result;
     } catch (const corba::COMM_FAILURE& error) {
-      if (attempt >= config_.policy.max_attempts || !should_retry(error)) throw;
+      on_failure(error, attempt, call_start);
     } catch (const corba::TRANSIENT& error) {
-      if (attempt >= config_.policy.max_attempts || !should_retry(error)) throw;
+      on_failure(error, attempt, call_start);
     } catch (const corba::TIMEOUT& error) {
       // A hung/overloaded server is as good as a dead one to the caller.
-      if (attempt >= config_.policy.max_attempts || !should_retry(error)) throw;
+      on_failure(error, attempt, call_start);
     }
-    ++retries_;
+  }
+}
+
+void ProxyEngine::on_failure(const corba::SystemException& error, int attempt,
+                             double call_start) {
+  const double at = now();
+  if (config_.quarantine) {
+    if (current_host_.empty()) current_host_ = host_of_current();
+    config_.quarantine->report_failure(service_key_, current_host_, at);
+  }
+  if (attempt >= config_.policy.max_attempts || !should_retry(error)) throw;
+
+  const RecoveryPolicy& p = config_.policy;
+  double delay = 0.0;
+  if (p.backoff_initial_s > 0) {
+    delay = p.backoff_initial_s;
+    for (int i = 1; i < attempt; ++i) delay *= p.backoff_factor;
+    if (p.backoff_max_s > 0) delay = std::min(delay, p.backoff_max_s);
+    if (p.backoff_jitter > 0)
+      delay *= std::uniform_real_distribution<double>(
+          1.0 - p.backoff_jitter, 1.0 + p.backoff_jitter)(backoff_rng_);
+  }
+  if (p.call_deadline_s > 0 &&
+      (at - call_start) + delay > p.call_deadline_s) {
+    ++deadline_exhaustions_;
+    corba::log::emit(corba::log::Level::warning, "ft.proxy",
+                     "call deadline exhausted for '" + service_key_ +
+                         "'; surfacing the failure instead of retrying");
+    throw;
+  }
+  if (delay > 0) {
+    if (config_.sleep)
+      config_.sleep(delay);
+    else
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    backoff_waited_s_ += delay;
+  }
+  ++retries_;
+  try {
     recover_now();
+  } catch (const corba::SystemException&) {
+    // Recovery itself hit a (possibly transient) failure — a lost resolve
+    // or factory message must not turn into a failed logical call while
+    // attempts remain.  Keep the current target; the next attempt's failure
+    // re-enters this path and either recovers or exhausts the budget.
+    //
+    // One caveat: after a COMPLETED_MAYBE failure the call may have executed
+    // and advanced the target's state, so reissuing against the *same*
+    // instance without rolling it back would execute it twice.  Best-effort
+    // restore the last checkpoint first; against a dead target the restore
+    // fails, but so will the reissue (fast, consuming one attempt) — the
+    // double-execution hazard only exists while the target is alive.
+    if (error.completed() == corba::CompletionStatus::completed_maybe &&
+        config_.policy.restore_on_recover && config_.store) {
+      for (int i = 0; i < config_.policy.checkpoint_attempts; ++i) {
+        try {
+          if (const auto checkpoint =
+                  config_.store->load(config_.checkpoint_key))
+            set_state(current_, checkpoint->state);
+          break;
+        } catch (const corba::SystemException&) {
+        }
+      }
+    }
+    corba::log::emit(corba::log::Level::warning, "ft.proxy",
+                     "recovery of '" + service_key_ +
+                         "' failed; retrying with the current target");
   }
 }
 
 void ProxyEngine::note_success() {
+  if (config_.quarantine && !config_.quarantine->empty()) {
+    if (current_host_.empty()) current_host_ = host_of_current();
+    config_.quarantine->report_success(service_key_, current_host_, now());
+  }
   if (!config_.store || config_.policy.checkpoint_every <= 0) return;
   if (++calls_since_checkpoint_ < config_.policy.checkpoint_every) return;
-  try {
-    checkpoint_now();
-  } catch (const corba::SystemException&) {
-    // The call itself succeeded; a failure while *checkpointing* must not
-    // fail it — and retrying it would execute it twice.  Count the miss and
-    // move to a live instance so the next call does not fail too.
-    ++checkpoint_failures_;
-    corba::log::emit(corba::log::Level::warning, "ft.proxy",
-                     "checkpoint of '" + config_.checkpoint_key +
-                         "' failed; attempting relocation");
+  // The call itself succeeded; a failure while *checkpointing* must not
+  // fail it — and retrying the call would execute it twice.  The checkpoint
+  // transaction itself is idempotent, though, so it gets its own bounded
+  // retries: under lossy transports this keeps one dropped message from
+  // discarding the last call's state delta.
+  for (int attempt = 1;; ++attempt) {
     try {
-      recover_now();
+      checkpoint_now();
+      return;
     } catch (const corba::SystemException&) {
-      // No replacement available right now; the next call's retry loop
-      // will surface the failure if the situation persists.
+      if (attempt < config_.policy.checkpoint_attempts) continue;
+      // Give up: count the miss and move to a live instance so the next
+      // call does not fail too.
+      ++checkpoint_failures_;
+      corba::log::emit(corba::log::Level::warning, "ft.proxy",
+                       "checkpoint of '" + config_.checkpoint_key +
+                           "' failed; attempting relocation");
+      try {
+        recover_now();
+      } catch (const corba::SystemException&) {
+        // No replacement available right now; the next call's retry loop
+        // will surface the failure if the situation persists.
+      }
+      return;
     }
   }
 }
@@ -82,8 +184,9 @@ std::string ProxyEngine::host_of_current() const {
   return {};
 }
 
-void ProxyEngine::rebind(corba::ObjectRef next) {
+void ProxyEngine::rebind(corba::ObjectRef next, std::string host) {
   current_ = std::move(next);
+  current_host_ = host.empty() ? host_of_current() : std::move(host);
   ++recoveries_;
   if (corba::log::enabled())
     corba::log::emit(corba::log::Level::info, "ft.proxy",
@@ -169,7 +272,7 @@ void ProxyEngine::recover_now() {
     }
   }
 
-  rebind(std::move(next));
+  rebind(std::move(next), std::move(next_host));
 }
 
 }  // namespace ft

@@ -21,10 +21,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <random>
 #include <string>
 
 #include "ft/checkpoint.hpp"
 #include "ft/checkpoint_store.hpp"
+#include "ft/quarantine.hpp"
 #include "ft/service_factory.hpp"
 #include "naming/naming.hpp"
 
@@ -49,6 +51,12 @@ struct RecoveryPolicy {
   /// each method call on the server side"); 0 disables checkpointing.
   int checkpoint_every = 1;
 
+  /// Tries per checkpoint transaction (state fetch + versioned store
+  /// write) before the miss is accepted.  Both halves are idempotent, so
+  /// immediate retries are safe; they keep a single dropped message from
+  /// silently widening the checkpoint/restart state-loss window.
+  int checkpoint_attempts = 3;
+
   RecoveryMode mode = RecoveryMode::reresolve_then_factory;
 
   /// Strategy for the re-resolve (winner = pick a well-loaded live host).
@@ -69,6 +77,25 @@ struct RecoveryPolicy {
   /// workloads are idempotent per call; non-idempotent services should turn
   /// this off and surface the failure instead.
   bool retry_on_completed_maybe = true;
+
+  // --- retry backoff ---------------------------------------------------------
+  /// Delay before the k-th retry: min(backoff_max_s, backoff_initial_s *
+  /// backoff_factor^(k-1)), scaled by a jitter factor drawn uniformly from
+  /// [1 - backoff_jitter, 1 + backoff_jitter] out of a seeded stream (so
+  /// two proxies with different seeds desynchronise their retry storms,
+  /// yet every run with one seed is identical).  backoff_initial_s = 0
+  /// disables backoff: retries fire immediately, as the seed did.
+  double backoff_initial_s = 0.05;
+  double backoff_factor = 2.0;
+  double backoff_max_s = 2.0;
+  double backoff_jitter = 0.1;
+  std::uint64_t backoff_seed = 1;
+
+  /// Budget for one logical call including every retry and backoff wait
+  /// (virtual seconds under the simulator, wall seconds otherwise).  When
+  /// the next backoff wait cannot fit, the original failure surfaces
+  /// instead of retrying past the deadline.  0 = unbounded.
+  double call_deadline_s = 0.0;
 };
 
 struct ProxyConfig {
@@ -94,6 +121,19 @@ struct ProxyConfig {
 
   /// Service type passed to the factory.
   std::string service_type;
+
+  /// Time source for backoff, deadline and quarantine bookkeeping.  Null
+  /// means a monotonic wall clock; the simulator supplies virtual time.
+  std::function<double()> clock;
+
+  /// Sleep used for backoff waits.  Null means std::this_thread::sleep_for;
+  /// the simulator supplies a virtual-time sleep that pumps the event queue.
+  std::function<void(double)> sleep;
+
+  /// Shared circuit breaker (may be null).  The engine reports call
+  /// failures/successes against the current instance; the runtime wires the
+  /// same object into naming resolution and the FaultDetector's probes.
+  std::shared_ptr<OfferQuarantine> quarantine;
 
   RecoveryPolicy policy;
 };
@@ -123,13 +163,27 @@ class ProxyEngine {
   void recover_now();
 
   /// Called by call()/request proxies after each successful invocation.
-  /// Runs the checkpoint policy.  A transport failure *during the
-  /// checkpoint* must not fail (or worse, retry) the already-successful
-  /// call: it is swallowed, counted in checkpoint_failures(), and a
-  /// best-effort recovery moves the proxy to a live instance.  The state
-  /// delta of the last call may then be lost — the inherent window of
-  /// checkpoint/restart fault tolerance.
+  /// Clears the instance's quarantine strikes and runs the checkpoint
+  /// policy.  A transport failure *during the checkpoint* must not fail
+  /// (or worse, retry) the already-successful call: it is swallowed,
+  /// counted in checkpoint_failures(), and a best-effort recovery moves
+  /// the proxy to a live instance.  The state delta of the last call may
+  /// then be lost — the inherent window of checkpoint/restart fault
+  /// tolerance.
   void note_success();
+
+  /// The shared failure handler behind call() and RequestProxy: MUST be
+  /// invoked from inside a catch block for `error`.  Reports the failure
+  /// to the quarantine; rethrows when retries are exhausted, forbidden by
+  /// the policy, or the call's deadline budget cannot fit the next backoff
+  /// wait; otherwise backs off (deterministic jitter) and recovers.
+  /// `attempt` is 1-based; `call_start` is now() at the logical call's
+  /// first attempt.
+  void on_failure(const corba::SystemException& error, int attempt,
+                  double call_start);
+
+  /// Current time per the configured clock (monotonic wall clock default).
+  double now() const;
 
   /// Hook invoked with the new reference after every rebind; hand-written
   /// proxies use it to re-target their inherited stub.
@@ -142,20 +196,33 @@ class ProxyEngine {
   std::uint64_t checkpoint_failures() const noexcept {
     return checkpoint_failures_;
   }
+  /// Total time spent in backoff waits.
+  double backoff_waited_s() const noexcept { return backoff_waited_s_; }
+  /// Retries abandoned because the call deadline could not fit them.
+  std::uint64_t deadline_exhaustions() const noexcept {
+    return deadline_exhaustions_;
+  }
 
  private:
   bool should_retry(const corba::SystemException& error) const;
   std::string host_of_current() const;
-  void rebind(corba::ObjectRef next);
+  void rebind(corba::ObjectRef next, std::string host);
 
   ProxyConfig config_;
   corba::ObjectRef current_;
+  /// Host of the current instance, cached at rebind (refreshed lazily when
+  /// the quarantine needs it), so per-call bookkeeping stays O(1).
+  std::string current_host_;
+  std::string service_key_;
+  std::mt19937_64 backoff_rng_;
   std::uint64_t version_ = 0;
   int calls_since_checkpoint_ = 0;
   std::uint64_t recoveries_ = 0;
   std::uint64_t checkpoints_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t checkpoint_failures_ = 0;
+  double backoff_waited_s_ = 0.0;
+  std::uint64_t deadline_exhaustions_ = 0;
 };
 
 }  // namespace ft

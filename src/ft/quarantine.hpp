@@ -1,0 +1,92 @@
+// Offer quarantine: a shared circuit breaker for repeatedly failing
+// service instances.
+//
+// The recovery path (ProxyEngine) and the proactive path (FaultDetector)
+// both observe instance failures, but in the seed each observation was
+// local: a proxy could re-resolve straight back to the instance that just
+// failed it, and a flapping host — one that answers every other ping —
+// oscillated in and out of the offer pool.  OfferQuarantine pools that
+// suspicion: strikes reported against an instance within a sliding window
+// trip the breaker, and while quarantined the instance is filtered out of
+// naming resolution (NamingContextOptions::offer_filter) without being
+// unbound — its offer stays visible to the FaultDetector, whose pings
+// double as health probes.  Release is deliberately asymmetric: a
+// quarantine expires on its own after quarantine_duration_s (so a
+// recovered host is never filtered forever), but N *consecutive*
+// successful probes release it early, and any failure while quarantined
+// re-arms the full duration and resets the probe streak — the flapping
+// instance stays out until it holds still.
+//
+// Time is supplied by the caller on every report (virtual seconds under
+// the simulator, wall-clock seconds in threaded mode), so the breaker is
+// drive-mode agnostic and fully deterministic under the simulator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace ft {
+
+struct QuarantineOptions {
+  /// Failures within strike_window_s that trip the breaker.
+  int strikes_to_quarantine = 3;
+  /// Sliding window: a failure older than this no longer counts.
+  double strike_window_s = 30.0;
+  /// How long a tripped instance stays filtered without probe evidence.
+  double quarantine_duration_s = 10.0;
+  /// Consecutive successful probes that release a quarantine early.
+  int probe_successes_required = 2;
+};
+
+/// Shared between proxies (failure reports on calls, success on
+/// completions) and the FaultDetector (ping probes).  Thread-safe.
+class OfferQuarantine {
+ public:
+  explicit OfferQuarantine(QuarantineOptions options = {});
+
+  /// Records a failed call/ping against (service, host) at time `now`.
+  void report_failure(const std::string& service, const std::string& host,
+                      double now);
+
+  /// Records a successful call/ping.  Outside quarantine it clears the
+  /// strike count; inside it advances the probe streak toward release.
+  void report_success(const std::string& service, const std::string& host,
+                      double now);
+
+  /// True while (service, host) is quarantined at time `now`.
+  bool quarantined(const std::string& service, const std::string& host,
+                   double now) const;
+
+  const QuarantineOptions& options() const noexcept { return options_; }
+
+  /// True when no instance has any recorded strike or quarantine — the
+  /// cheap fast-path check callers use to skip per-call bookkeeping.
+  bool empty() const;
+
+  // --- telemetry ------------------------------------------------------------
+  /// Times the breaker tripped (re-arming a flapping instance counts).
+  std::uint64_t quarantines_imposed() const;
+  /// Quarantines lifted early by a full probe streak.
+  std::uint64_t probe_releases() const;
+
+ private:
+  struct Entry {
+    int strikes = 0;
+    double window_start = 0.0;   ///< time of the first strike in the window
+    double quarantined_until = 0.0;
+    int probe_streak = 0;
+  };
+
+  using Key = std::pair<std::string, std::string>;
+
+  QuarantineOptions options_;
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  std::uint64_t imposed_ = 0;
+  std::uint64_t probe_releases_ = 0;
+};
+
+}  // namespace ft

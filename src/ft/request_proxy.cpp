@@ -39,21 +39,22 @@ void RequestProxy::get_response() {
                                corba::CompletionStatus::completed_no);
   if (request_->completed()) return;
   // Attempt 1 is the already-sent request; later attempts re-issue against
-  // the recovered target.
-  const int max_attempts = engine_.policy().max_attempts;
+  // the recovered target.  The engine's failure handler owns the retry
+  // decision (attempt limit, completion semantics, backoff, deadline,
+  // quarantine reporting) so deferred calls behave exactly like call().
+  const double call_start = engine_.now();
   for (int attempt = 1;; ++attempt) {
     try {
       request_->get_response();
       engine_.note_success();
       return;
-    } catch (const corba::COMM_FAILURE&) {
-      if (attempt >= max_attempts) throw;
-    } catch (const corba::TRANSIENT&) {
-      if (attempt >= max_attempts) throw;
-    } catch (const corba::TIMEOUT&) {
-      if (attempt >= max_attempts) throw;
+    } catch (const corba::COMM_FAILURE& error) {
+      engine_.on_failure(error, attempt, call_start);
+    } catch (const corba::TRANSIENT& error) {
+      engine_.on_failure(error, attempt, call_start);
+    } catch (const corba::TIMEOUT& error) {
+      engine_.on_failure(error, attempt, call_start);
     }
-    engine_.recover_now();
     ++reissues_;
     request_->reset();
     request_->set_target(engine_.current());

@@ -111,16 +111,26 @@ corba::ObjectRef NamingContextServant::pick_offer(const Name& name,
                                                   ResolveStrategy strategy) {
   if (entry.offers.empty())
     throw NotFound("'" + name.back().id + "' has no offers");
+  // Narrow to the usable candidates.  The filter never mutates the bound
+  // offers — a filtered (e.g. quarantined) instance stays visible through
+  // list_offers so health probes can rehabilitate it.
+  std::vector<const Offer*> usable;
+  usable.reserve(entry.offers.size());
+  for (const Offer& offer : entry.offers)
+    if (!options_.offer_filter || options_.offer_filter(name, offer))
+      usable.push_back(&offer);
+  if (usable.empty())
+    throw NotFound("every offer of '" + name.back().id +
+                   "' is filtered (quarantined)");
   switch (strategy) {
     case ResolveStrategy::first:
-      return entry.offers.front().ref;
+      return usable.front()->ref;
     case ResolveStrategy::round_robin:
-      return entry.offers[entry.round_robin_next++ % entry.offers.size()].ref;
+      return usable[entry.round_robin_next++ % usable.size()]->ref;
     case ResolveStrategy::random:
-      return entry
-          .offers[std::uniform_int_distribution<std::size_t>(
-              0, entry.offers.size() - 1)(rng_)]
-          .ref;
+      return usable[std::uniform_int_distribution<std::size_t>(
+          0, usable.size() - 1)(rng_)]
+          ->ref;
     case ResolveStrategy::winner:
       break;
   }
@@ -128,14 +138,14 @@ corba::ObjectRef NamingContextServant::pick_offer(const Name& name,
   if (options_.winner) {
     try {
       std::vector<std::string> hosts;
-      hosts.reserve(entry.offers.size());
-      for (const Offer& offer : entry.offers) hosts.push_back(offer.host);
+      hosts.reserve(usable.size());
+      for (const Offer* offer : usable) hosts.push_back(offer->host);
       const std::string best = options_.winner->best_host(hosts);
-      auto it = std::find_if(entry.offers.begin(), entry.offers.end(),
-                             [&](const Offer& o) { return o.host == best; });
-      if (it != entry.offers.end()) {
+      auto it = std::find_if(usable.begin(), usable.end(),
+                             [&](const Offer* o) { return o->host == best; });
+      if (it != usable.end()) {
         if (options_.notify_placements) options_.winner->notify_placement(best);
-        return it->ref;
+        return (*it)->ref;
       }
     } catch (const winner::NoHostAvailable&) {
       if (!options_.winner_fallback) throw;
@@ -146,7 +156,7 @@ corba::ObjectRef NamingContextServant::pick_offer(const Name& name,
     throw corba::NO_IMPLEMENT("winner strategy without a system manager");
   }
   // Degraded mode: behave like the unmodified naming service.
-  return entry.offers[entry.round_robin_next++ % entry.offers.size()].ref;
+  return usable[entry.round_robin_next++ % usable.size()]->ref;
 }
 
 void NamingContextServant::unbind(const Name& name) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -42,6 +43,15 @@ struct NamingContextOptions {
   /// Report each winner-strategy selection back via notify_placement so
   /// consecutive resolves spread across machines.
   bool notify_placements = true;
+
+  /// Consulted on every offer selection: return false to exclude an offer
+  /// from resolution (the ft layer wires its quarantine breaker in here —
+  /// a std::function keeps naming free of an ft dependency).  Excluded
+  /// offers stay bound and visible through list_offers, so health probes
+  /// can still reach them.  When every offer of a name is excluded the
+  /// resolve throws NotFound, which sends recovering proxies to their
+  /// factory fallback instead of a known-bad instance.
+  std::function<bool(const Name&, const Offer&)> offer_filter;
 };
 
 class NamingContextServant final

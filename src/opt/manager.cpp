@@ -148,6 +148,10 @@ SolverResult DecomposedSolver::run() {
   for (const auto& engine : engines_) {
     stats_.recoveries += engine->recoveries();
     stats_.checkpoints += engine->checkpoints_taken();
+    stats_.retries += engine->retries();
+    stats_.checkpoint_failures += engine->checkpoint_failures();
+    stats_.deadline_exhaustions += engine->deadline_exhaustions();
+    stats_.backoff_waited_s += engine->backoff_waited_s();
   }
   return stats_;
 }

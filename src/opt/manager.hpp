@@ -53,6 +53,13 @@ struct SolverResult {
   double virtual_seconds = 0.0;   ///< virtual runtime of run()
   std::uint64_t recoveries = 0;   ///< fault recoveries performed (FT mode)
   std::uint64_t checkpoints = 0;  ///< checkpoints written (FT mode)
+  std::uint64_t retries = 0;      ///< call retries after backoff (FT mode)
+  /// Checkpoint transactions abandoned after their retries (each one is a
+  /// potentially widened state-loss window).
+  std::uint64_t checkpoint_failures = 0;
+  /// Retries refused because the per-call deadline budget could not fit.
+  std::uint64_t deadline_exhaustions = 0;
+  double backoff_waited_s = 0.0;  ///< total virtual time spent backing off
 };
 
 class DecomposedSolver {

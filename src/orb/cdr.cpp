@@ -75,7 +75,7 @@ void CdrOutputStream::write_string(std::string_view v) {
   write_u32(static_cast<std::uint32_t>(v.size() + 1));
   const std::size_t off = buffer_.size();
   buffer_.resize(off + v.size() + 1);
-  std::memcpy(buffer_.data() + off, v.data(), v.size());
+  if (!v.empty()) std::memcpy(buffer_.data() + off, v.data(), v.size());
   buffer_[off + v.size()] = std::byte{0};
 }
 
@@ -106,6 +106,7 @@ void CdrOutputStream::write_f64_seq(std::span<const double> v) {
 }
 
 void CdrOutputStream::write_raw(std::span<const std::byte> v) {
+  if (v.empty()) return;  // an empty span's data() may be null (UB in memcpy)
   const std::size_t off = buffer_.size();
   buffer_.resize(off + v.size());
   std::memcpy(buffer_.data() + off, v.data(), v.size());

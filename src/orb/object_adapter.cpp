@@ -24,7 +24,9 @@ void Servant::check_arity(std::string_view op, const ValueSeq& args,
 }
 
 ObjectAdapter::ObjectAdapter(EndpointProfile profile)
-    : profile_(std::move(profile)), adapter_id_(next_adapter_id()) {}
+    : profile_(std::move(profile)),
+      adapter_id_(profile_.adapter_id ? profile_.adapter_id
+                                      : next_adapter_id()) {}
 
 IOR ObjectAdapter::make_ior(const std::shared_ptr<Servant>& servant,
                             ObjectKey key) const {

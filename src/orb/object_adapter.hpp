@@ -26,6 +26,8 @@ struct EndpointProfile {
   std::string protocol;  ///< protocol::inproc or protocol::tcp
   std::string host;
   std::uint16_t port = 0;
+  /// Id baked into generated object keys; 0 = allocate process-globally.
+  std::uint64_t adapter_id = 0;
 };
 
 /// Base class of all servants.  Interface skeletons derive from this and

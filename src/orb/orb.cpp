@@ -9,26 +9,29 @@ ObjectRef::ObjectRef(std::shared_ptr<ORB> orb, IOR ior)
     : orb_(std::move(orb)), ior_(std::move(ior)) {}
 
 Value ObjectRef::invoke(std::string_view op, ValueSeq args) const {
-  if (is_nil())
+  auto orb = orb_.lock();
+  if (!orb || ior_.is_nil())
     throw BAD_INV_ORDER("invoke on nil reference", minor_code::unspecified,
                         CompletionStatus::completed_no);
-  return orb_->invoke(ior_, op, std::move(args));
+  return orb->invoke(ior_, op, std::move(args));
 }
 
 std::unique_ptr<PendingReply> ObjectRef::send(std::string_view op,
                                               ValueSeq args) const {
-  if (is_nil())
+  auto orb = orb_.lock();
+  if (!orb || ior_.is_nil())
     throw BAD_INV_ORDER("send on nil reference", minor_code::unspecified,
                         CompletionStatus::completed_no);
-  return orb_->send(ior_, op, std::move(args));
+  return orb->send(ior_, op, std::move(args));
 }
 
 void ObjectRef::invoke_oneway(std::string_view op, ValueSeq args) const {
-  if (is_nil())
+  auto orb = orb_.lock();
+  if (!orb || ior_.is_nil())
     throw BAD_INV_ORDER("invoke_oneway on nil reference",
                         minor_code::unspecified,
                         CompletionStatus::completed_no);
-  orb_->send_oneway(ior_, op, std::move(args));
+  orb->send_oneway(ior_, op, std::move(args));
 }
 
 bool ObjectRef::is_a(std::string_view repo_id) const {
@@ -70,6 +73,7 @@ std::shared_ptr<ORB> ORB::init(OrbConfig config) {
 
 void ORB::start() {
   EndpointProfile profile;
+  profile.adapter_id = config_.adapter_id;
   if (config_.enable_tcp) {
     tcp_server_ = std::make_unique<TcpServerEndpoint>(config_.tcp_host,
                                                       config_.tcp_port);

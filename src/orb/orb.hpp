@@ -31,9 +31,9 @@ class ObjectRef {
   ObjectRef() = default;
   ObjectRef(std::shared_ptr<ORB> orb, IOR ior);
 
-  bool is_nil() const noexcept { return orb_ == nullptr || ior_.is_nil(); }
+  bool is_nil() const noexcept { return orb_.expired() || ior_.is_nil(); }
   const IOR& ior() const noexcept { return ior_; }
-  const std::shared_ptr<ORB>& orb() const noexcept { return orb_; }
+  std::shared_ptr<ORB> orb() const noexcept { return orb_.lock(); }
 
   /// Synchronous invocation; unwraps the reply (throwing carried exceptions).
   Value invoke(std::string_view op, ValueSeq args) const;
@@ -61,7 +61,12 @@ class ObjectRef {
   }
 
  private:
-  std::shared_ptr<ORB> orb_;
+  // Weak on purpose: references travel into servants, offer sets and the
+  // ORB's own initial-references table — objects the ORB transitively owns.
+  // A shared_ptr here would close an ownership cycle and leak every ORB
+  // graph.  Whoever called ORB::init owns the ORB's lifetime; a reference
+  // that outlives it degrades to nil.
+  std::weak_ptr<ORB> orb_;
   IOR ior_;
 };
 
@@ -79,6 +84,13 @@ struct OrbConfig {
   /// target protocol.  Used by the simulator to interpose virtual time and
   /// failures.
   std::shared_ptr<ClientTransport> client_transport_override;
+
+  /// Adapter id embedded in minted object keys.  0 draws from a
+  /// process-global counter (always unique); the simulator assigns
+  /// per-runtime ids instead, so repeated runs inside one process mint
+  /// byte-identical keys — and therefore byte-identical messages and
+  /// virtual timings (the chaos tests' trace-determinism contract).
+  std::uint64_t adapter_id = 0;
 
   /// Enable a real TCP endpoint (thread-per-connection server).
   bool enable_tcp = false;

@@ -45,6 +45,11 @@ Host* Cluster::host_for_endpoint(const std::string& endpoint) {
   return &host(it->second);
 }
 
+std::string Cluster::host_name_for_endpoint(const std::string& endpoint) const {
+  auto it = endpoint_to_host_.find(endpoint);
+  return it == endpoint_to_host_.end() ? std::string() : it->second;
+}
+
 void Cluster::set_background_load(const std::string& host_name, int processes) {
   host(host_name).set_background_processes(processes);
 }

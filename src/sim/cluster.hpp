@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/host.hpp"
 
 namespace sim {
@@ -67,6 +68,19 @@ class Cluster {
   void map_endpoint(const std::string& endpoint, const std::string& host_name);
   /// Returns the host for an endpoint, or nullptr when unmapped.
   Host* host_for_endpoint(const std::string& endpoint);
+  /// Host name of an endpoint ("" when unmapped — e.g. external drivers).
+  std::string host_name_for_endpoint(const std::string& endpoint) const;
+
+  // --- fault injection --------------------------------------------------------
+  /// Installs (or, with null, removes) the message-level fault injector the
+  /// simulator transport consults.  Arming it mid-run is the usual pattern:
+  /// deploy cleanly, then inject faults against the steady state.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+    fault_injector_ = std::move(injector);
+  }
+  const std::shared_ptr<FaultInjector>& fault_injector() const noexcept {
+    return fault_injector_;
+  }
 
   // --- domains (WAN meta-computing) -----------------------------------------
   /// Assigns a host to a network domain (site).  Hosts without a domain
@@ -101,6 +115,7 @@ class Cluster {
   std::map<std::string, std::unique_ptr<Host>> hosts_;
   std::map<std::string, std::string> endpoint_to_host_;
   std::map<std::string, std::string> host_domain_;
+  std::shared_ptr<FaultInjector> fault_injector_;
 };
 
 }  // namespace sim

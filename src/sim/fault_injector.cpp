@@ -1,0 +1,149 @@
+#include "sim/fault_injector.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sim {
+
+namespace {
+
+bool contains(const std::vector<std::string>& group, const std::string& host) {
+  return std::find(group.begin(), group.end(), host) != group.end();
+}
+
+std::string format_time(double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", t);
+  return buf;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {
+  auto check_probability = [](double p, const char* what) {
+    if (p < 0.0 || p > 1.0)
+      throw std::invalid_argument(std::string(what) + " must be in [0, 1]");
+  };
+  check_probability(plan_.drop_probability, "drop_probability");
+  check_probability(plan_.duplicate_probability, "duplicate_probability");
+  check_probability(plan_.latency_spike_probability,
+                    "latency_spike_probability");
+  if (plan_.latency_spike_s < 0)
+    throw std::invalid_argument("latency_spike_s must be >= 0");
+  for (const Partition& p : plan_.partitions)
+    if (p.group.empty())
+      throw std::invalid_argument("partition requires a host group");
+  for (const HostStall& s : plan_.stalls)
+    if (s.duration < 0)
+      throw std::invalid_argument("stall duration must be >= 0");
+}
+
+void FaultInjector::record(double now, const std::string& what) {
+  trace_.push_back("[" + format_time(now) + "] " + what);
+}
+
+bool FaultInjector::blocked(const std::string& a, const std::string& b,
+                            double now) const {
+  for (const Partition& p : plan_.partitions) {
+    const double start = origin_ + p.start;
+    const double heal = origin_ + p.heal;
+    const bool active = now >= start && (p.heal <= p.start || now < heal);
+    if (active && contains(p.group, a) != contains(p.group, b)) return true;
+  }
+  for (const LinkFault& l : plan_.link_faults) {
+    const double start = origin_ + l.start;
+    const double heal = origin_ + l.heal;
+    const bool active = now >= start && (l.heal <= l.start || now < heal);
+    const bool matches = (l.host_a == a && l.host_b == b) ||
+                         (l.host_a == b && l.host_b == a);
+    if (active && matches) return true;
+  }
+  return false;
+}
+
+std::optional<double> FaultInjector::heal_time(const std::string& a,
+                                               const std::string& b,
+                                               double now) const {
+  // The obstruction between a and b ends when the *last* active blocking
+  // fault heals; one never-healing fault means never.
+  std::optional<double> latest;
+  bool never = false;
+  auto consider = [&](double start_rel, double heal_rel) {
+    const double start = origin_ + start_rel;
+    const double heal = origin_ + heal_rel;
+    const bool active = now >= start && (heal_rel <= start_rel || now < heal);
+    if (!active) return;
+    if (heal_rel <= start_rel) {
+      never = true;
+      return;
+    }
+    if (!latest || heal > *latest) latest = heal;
+  };
+  for (const Partition& p : plan_.partitions)
+    if (contains(p.group, a) != contains(p.group, b))
+      consider(p.start, p.heal);
+  for (const LinkFault& l : plan_.link_faults) {
+    const bool matches = (l.host_a == a && l.host_b == b) ||
+                         (l.host_a == b && l.host_b == a);
+    if (matches) consider(l.start, l.heal);
+  }
+  if (never) return std::nullopt;
+  return latest;
+}
+
+std::optional<double> FaultInjector::stall_end(const std::string& host,
+                                               double now) const {
+  std::optional<double> latest;
+  for (const HostStall& s : plan_.stalls) {
+    if (s.host != host) continue;
+    const double start = origin_ + s.start;
+    const double end = start + s.duration;
+    if (now >= start && now < end && (!latest || end > *latest)) latest = end;
+  }
+  return latest;
+}
+
+MessageFate FaultInjector::fate(const std::string& from_host,
+                                const std::string& to_host, double now,
+                                bool is_reply) {
+  MessageFate fate;
+  const char* kind = is_reply ? "reply" : "request";
+  const std::string hop = from_host + "->" + to_host;
+
+  if (blocked(from_host, to_host, now)) {
+    fate.action = MessageFate::Action::blocked;
+    fate.heal_at = heal_time(from_host, to_host, now);
+    ++blocks_;
+    record(now, std::string("partition blocks ") + kind + " " + hop);
+    return fate;
+  }
+
+  // Random decisions draw from the seeded stream in a fixed order (drop,
+  // duplicate, spike) so a plan toggling one probability leaves the other
+  // draws aligned.
+  auto draw = [&](double probability) {
+    if (probability <= 0.0) return false;
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < probability;
+  };
+  if (draw(plan_.drop_probability)) {
+    fate.action = MessageFate::Action::drop;
+    ++drops_;
+    record(now, std::string("drop ") + kind + " " + hop);
+    return fate;
+  }
+  if (!is_reply && draw(plan_.duplicate_probability)) {
+    fate.duplicate = true;
+    ++duplicates_;
+    record(now, std::string("duplicate ") + kind + " " + hop);
+  }
+  if (draw(plan_.latency_spike_probability)) {
+    fate.extra_latency = plan_.latency_spike_s;
+    ++spikes_;
+    record(now, std::string("latency spike ") + kind + " " + hop);
+  }
+  return fate;
+}
+
+}  // namespace sim

@@ -1,0 +1,155 @@
+// Deterministic fault injection for the simulated NOW.
+//
+// The recovery machinery of the paper (§3) is only exercised by the seed
+// experiments through one failure mode: a clean host crash.  Real networks
+// of workstations fail messier — messages are lost or duplicated, latency
+// spikes, links and whole host groups partition and later heal, machines
+// stall without dying.  FaultInjector adds exactly those modes to the
+// simulator, fully deterministically: every decision is a function of a
+// fixed seed and the (deterministic) order of messages in the simulation,
+// so one seed always yields one event trace.
+//
+// SimTransport consults the injector once per message hop (request and
+// reply directions separately) and translates each fate into the CORBA
+// exception a real ORB would raise:
+//
+//   random drop, request hop  -> COMM_FAILURE / COMPLETED_NO
+//   random drop, reply hop    -> COMM_FAILURE / COMPLETED_MAYBE
+//   partition or link fault,
+//     request hop             -> TRANSIENT / COMPLETED_NO (unreachable,
+//                                may heal — worth retrying elsewhere)
+//   partition or link fault,
+//     reply hop               -> reply delivered after the heal time (TCP
+//                                retransmit); the caller's request timeout
+//                                turns the wait into TIMEOUT; a partition
+//                                that never heals is COMM_FAILURE
+//   latency spike             -> extra one-way delay (surfaces as TIMEOUT
+//                                when it exceeds the request deadline)
+//   host stall                -> servant dispatch deferred to the stall's
+//                                end (a hung-but-alive machine)
+//   duplication, request hop  -> the servant executes the request twice
+//                                (at-least-once delivery; the second reply
+//                                is discarded at the client)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace sim {
+
+/// One scheduled partition: hosts inside `group` cannot exchange messages
+/// with hosts outside it while the partition is active.  Traffic within the
+/// group (and within the rest of the cluster) is unaffected.
+struct Partition {
+  double start = 0.0;
+  /// Absolute heal time; a value <= start means the partition never heals.
+  double heal = 0.0;
+  std::vector<std::string> group;
+};
+
+/// One faulty link between a specific pair of hosts (order-insensitive).
+struct LinkFault {
+  std::string host_a;
+  std::string host_b;
+  double start = 0.0;
+  double heal = 0.0;  ///< <= start means the link never recovers
+};
+
+/// One transient host stall: the machine is alive (pings that arrived
+/// earlier still answer) but makes no progress; requests arriving during
+/// the stall are served when it ends.
+struct HostStall {
+  std::string host;
+  double start = 0.0;
+  double duration = 0.0;
+};
+
+/// A complete fault schedule.  Probabilities are per message hop; scheduled
+/// items (partitions, link faults, stalls) use virtual times relative to
+/// the injector's origin (see FaultInjector::set_origin).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double latency_spike_probability = 0.0;
+  double latency_spike_s = 0.0;
+  std::vector<Partition> partitions{};
+  std::vector<LinkFault> link_faults{};
+  std::vector<HostStall> stalls{};
+};
+
+/// The injector's verdict for one message hop.
+struct MessageFate {
+  enum class Action {
+    deliver,  ///< pass through (extra_latency/duplicate may still apply)
+    drop,     ///< lost; the connection is reported broken
+    blocked,  ///< partition/link fault; heal_at says when (if ever) it ends
+  };
+  Action action = Action::deliver;
+  double extra_latency = 0.0;
+  bool duplicate = false;
+  /// For blocked: absolute virtual time the obstruction heals (no value:
+  /// never).
+  std::optional<double> heal_at;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Shifts all scheduled items (partitions, link faults, stalls) so their
+  /// relative times count from `t0`.  Call once, after deployment settles,
+  /// with the current virtual time.
+  void set_origin(double t0) noexcept { origin_ = t0; }
+  double origin() const noexcept { return origin_; }
+
+  /// Decides the fate of one message hop at virtual time `now`.  `is_reply`
+  /// selects the completion semantics documented above.  Deterministic:
+  /// depends only on the seed and the call sequence.
+  MessageFate fate(const std::string& from_host, const std::string& to_host,
+                   double now, bool is_reply);
+
+  /// True while `a` and `b` are separated by an active partition or link
+  /// fault.  Hosts not named in any partition group count as "the rest".
+  bool blocked(const std::string& a, const std::string& b, double now) const;
+
+  /// Absolute time the obstruction between `a` and `b` heals; no value when
+  /// unblocked or when it never heals.
+  std::optional<double> heal_time(const std::string& a, const std::string& b,
+                                  double now) const;
+
+  /// End of the stall `host` is in at `now` (no value when not stalled).
+  std::optional<double> stall_end(const std::string& host, double now) const;
+
+  // --- telemetry ------------------------------------------------------------
+  std::uint64_t drops() const noexcept { return drops_; }
+  std::uint64_t duplicates() const noexcept { return duplicates_; }
+  std::uint64_t latency_spikes() const noexcept { return spikes_; }
+  std::uint64_t partition_blocks() const noexcept { return blocks_; }
+  std::uint64_t stall_deferrals() const noexcept { return stall_deferrals_; }
+  /// Called by SimTransport when it defers a dispatch into a stall's end.
+  void note_stall_deferral() noexcept { ++stall_deferrals_; }
+
+  /// Ordered log of every injected fault ("[t] drop request a->b", ...).
+  /// Two runs with the same plan and message sequence produce identical
+  /// traces — the determinism contract the chaos tests assert.
+  const std::vector<std::string>& trace() const noexcept { return trace_; }
+
+ private:
+  void record(double now, const std::string& what);
+
+  FaultPlan plan_;
+  double origin_ = 0.0;
+  std::mt19937_64 rng_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t spikes_ = 0;
+  std::uint64_t blocks_ = 0;
+  std::uint64_t stall_deferrals_ = 0;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace sim

@@ -10,17 +10,21 @@ namespace sim {
 namespace {
 
 /// Shared completion slot between the transport events and the client-side
-/// PendingReply handle.
+/// PendingReply handle.  First completion wins: a duplicated request's
+/// second reply (or a late reply racing a failure) is discarded, exactly
+/// like a client that already tore down the connection state.
 struct ReplySlot {
   bool done = false;
   std::optional<corba::ReplyMessage> reply;
   std::exception_ptr error;
 
   void complete(corba::ReplyMessage r) {
+    if (done) return;
     reply = std::move(r);
     done = true;
   }
   void fail(std::exception_ptr e) {
+    if (done) return;
     error = std::move(e);
     done = true;
   }
@@ -34,8 +38,7 @@ class SimPendingReply final : public corba::PendingReply {
       : events_(events), slot_(std::move(slot)), deadline_(deadline) {}
 
   bool ready() override {
-    return slot_->done ||
-           (deadline_ >= 0 && events_.now() >= deadline_);
+    return slot_->done || (deadline_ >= 0 && events_.now() >= deadline_);
   }
 
   corba::ReplyMessage get() override {
@@ -78,6 +81,131 @@ std::exception_ptr comm_failure(const std::string& detail, std::uint32_t minor,
   return std::make_exception_ptr(corba::COMM_FAILURE(detail, minor, completed));
 }
 
+/// Everything the in-flight message events need, copyable so deferred
+/// callbacks (stall retries, duplicate deliveries) never dangle on the
+/// transport object.  The Cluster outlives its event queue, so the pointer
+/// stays valid for every scheduled callback.
+struct HopContext {
+  Cluster* cluster;
+  std::shared_ptr<corba::InProcessNetwork> network;
+  std::string source_endpoint;
+};
+
+void send_reply(const HopContext& ctx, std::shared_ptr<ReplySlot> slot,
+                const std::string& server_host,
+                const std::string& server_endpoint, corba::ReplyMessage reply) {
+  EventQueue& events = ctx.cluster->events();
+  double transfer = ctx.cluster->transfer_time(
+      server_endpoint, ctx.source_endpoint, reply.encoded_size_estimate());
+  if (FaultInjector* faults = ctx.cluster->fault_injector().get()) {
+    const std::string client_host =
+        ctx.cluster->host_name_for_endpoint(ctx.source_endpoint);
+    const MessageFate fate =
+        faults->fate(server_host, client_host, events.now(), /*is_reply=*/true);
+    switch (fate.action) {
+      case MessageFate::Action::drop:
+        // The method ran; its reply is gone — the canonical COMPLETED_MAYBE.
+        events.schedule_after(transfer, [slot, server_host] {
+          slot->fail(comm_failure(
+              "reply from " + server_host + " lost (connection reset)",
+              corba::minor_code::connection_lost,
+              corba::CompletionStatus::completed_maybe));
+        });
+        return;
+      case MessageFate::Action::blocked:
+        if (!fate.heal_at) {
+          events.schedule_after(transfer, [slot, server_host] {
+            slot->fail(comm_failure(
+                "reply from " + server_host + " cut off by a partition",
+                corba::minor_code::connection_lost,
+                corba::CompletionStatus::completed_maybe));
+          });
+          return;
+        }
+        // TCP holds the reply and retransmits once the partition heals.
+        transfer += *fate.heal_at - events.now();
+        break;
+      case MessageFate::Action::deliver:
+        break;
+    }
+    transfer += fate.extra_latency;
+  }
+  events.schedule_after(transfer, [slot, reply = std::move(reply)]() mutable {
+    slot->complete(corba::roundtrip_through_cdr(reply));
+  });
+}
+
+void dispatch_request(HopContext ctx, std::shared_ptr<ReplySlot> slot,
+                      std::string endpoint, std::string host_name,
+                      corba::RequestMessage request) {
+  Host& host = ctx.cluster->host(host_name);
+  if (!host.alive()) {
+    slot->fail(comm_failure("host " + host_name + " is down",
+                            corba::minor_code::host_down,
+                            corba::CompletionStatus::completed_no));
+    return;
+  }
+  // A stalled host is alive but makes no progress: the request sits in its
+  // socket buffer until the stall ends (the caller's request timeout, if
+  // any, turns the wait into corba::TIMEOUT).
+  if (FaultInjector* faults = ctx.cluster->fault_injector().get()) {
+    if (const std::optional<double> until =
+            faults->stall_end(host_name, ctx.cluster->events().now())) {
+      faults->note_stall_deferral();
+      ctx.cluster->events().schedule_at(
+          *until, [ctx, slot = std::move(slot), endpoint = std::move(endpoint),
+                   host_name = std::move(host_name),
+                   request = std::move(request)]() mutable {
+            dispatch_request(std::move(ctx), std::move(slot),
+                             std::move(endpoint), std::move(host_name),
+                             std::move(request));
+          });
+      return;
+    }
+  }
+  std::shared_ptr<corba::ObjectAdapter> adapter = ctx.network->find(endpoint);
+  if (!adapter) {
+    // Host is up but no server process bound to the endpoint (e.g. the ORB
+    // shut down): connection refused.
+    slot->fail(comm_failure("no server at endpoint '" + endpoint + "'",
+                            corba::minor_code::connect_failed,
+                            corba::CompletionStatus::completed_no));
+    return;
+  }
+  // Execute the servant, collecting the work it reports; round-trip
+  // through CDR so marshaling is exercised exactly as on a wire.
+  corba::ReplyMessage reply;
+  double work = 0.0;
+  const bool response_expected = request.response_expected;
+  try {
+    corba::RequestMessage wire = corba::roundtrip_through_cdr(request);
+    WorkScope scope;
+    reply = adapter->dispatch(wire);
+    work = scope.consumed();
+  } catch (...) {
+    slot->fail(std::current_exception());
+    return;
+  }
+  // Busy the host for the reported work; the reply leaves afterwards.
+  host.submit(
+      work,
+      [ctx = std::move(ctx), slot, endpoint, host_name,
+       reply = std::move(reply), response_expected]() mutable {
+        if (!response_expected) {
+          slot->complete(corba::ReplyMessage::make_result(0, {}));
+          return;
+        }
+        send_reply(ctx, std::move(slot), host_name, endpoint,
+                   std::move(reply));
+      },
+      [slot, host_name] {
+        slot->fail(
+            comm_failure("host " + host_name + " crashed during the call",
+                         corba::minor_code::server_crashed,
+                         corba::CompletionStatus::completed_maybe));
+      });
+}
+
 }  // namespace
 
 SimTransport::SimTransport(Cluster& cluster,
@@ -89,8 +217,7 @@ SimTransport::SimTransport(Cluster& cluster,
       source_endpoint_(std::move(source_endpoint)),
       request_timeout_s_(request_timeout_s) {
   if (!network_) throw corba::BAD_PARAM("SimTransport requires a network");
-  if (request_timeout_s < 0)
-    throw corba::BAD_PARAM("negative request timeout");
+  if (request_timeout_s < 0) throw corba::BAD_PARAM("negative request timeout");
 }
 
 std::unique_ptr<corba::PendingReply> SimTransport::send(
@@ -99,6 +226,9 @@ std::unique_ptr<corba::PendingReply> SimTransport::send(
   EventQueue& events = cluster_.events();
   const double deadline =
       request_timeout_s_ > 0 ? events.now() + request_timeout_s_ : -1.0;
+  auto pending = [&] {
+    return std::make_unique<SimPendingReply>(events, slot, deadline);
+  };
 
   Host* host = cluster_.host_for_endpoint(target.host);
   if (host == nullptr) {
@@ -107,73 +237,66 @@ std::unique_ptr<corba::PendingReply> SimTransport::send(
     slot->fail(comm_failure("endpoint '" + target.host + "' not in cluster",
                             corba::minor_code::endpoint_unknown,
                             corba::CompletionStatus::completed_no));
-    return std::make_unique<SimPendingReply>(events, slot, deadline);
+    return pending();
   }
 
-  const double request_transfer = cluster_.transfer_time(
+  double request_transfer = cluster_.transfer_time(
       source_endpoint_, target.host, request.encoded_size_estimate());
   const std::string endpoint = target.host;
   const std::string host_name = host->name();
+  HopContext ctx{&cluster_, network_, source_endpoint_};
 
-  // Request arrives at the server after the transfer delay.
+  bool duplicate = false;
+  if (FaultInjector* faults = cluster_.fault_injector().get()) {
+    const std::string source_host =
+        cluster_.host_name_for_endpoint(source_endpoint_);
+    const MessageFate fate =
+        faults->fate(source_host, host_name, events.now(), /*is_reply=*/false);
+    switch (fate.action) {
+      case MessageFate::Action::blocked:
+        // Unreachable peer: the connect attempt fails at the sender after
+        // the one-way latency.  TRANSIENT (not COMM_FAILURE): the path may
+        // heal, and nothing of the request ever left this side.
+        events.schedule_after(cluster_.network().latency_s, [slot, host_name] {
+          slot->fail(std::make_exception_ptr(corba::TRANSIENT(
+              "host " + host_name + " unreachable (network partition)",
+              corba::minor_code::connect_failed,
+              corba::CompletionStatus::completed_no)));
+        });
+        return pending();
+      case MessageFate::Action::drop:
+        events.schedule_after(request_transfer, [slot, host_name] {
+          slot->fail(comm_failure(
+              "request to " + host_name + " lost (connection reset)",
+              corba::minor_code::connection_lost,
+              corba::CompletionStatus::completed_no));
+        });
+        return pending();
+      case MessageFate::Action::deliver:
+        break;
+    }
+    request_transfer += fate.extra_latency;
+    duplicate = fate.duplicate;
+  }
+
+  // Request arrives at the server after the transfer delay.  A duplicated
+  // request arrives (and executes) twice; the slot keeps the first reply.
+  if (duplicate) {
+    events.schedule_after(request_transfer,
+                          [ctx, slot, endpoint, host_name, request] {
+                            dispatch_request(ctx, slot, endpoint, host_name,
+                                             request);
+                          });
+  }
   events.schedule_after(
       request_transfer,
-      [this, slot, endpoint, host_name, request = std::move(request)] {
-        Host& host = cluster_.host(host_name);
-        if (!host.alive()) {
-          slot->fail(comm_failure("host " + host_name + " is down",
-                                  corba::minor_code::host_down,
-                                  corba::CompletionStatus::completed_no));
-          return;
-        }
-        std::shared_ptr<corba::ObjectAdapter> adapter = network_->find(endpoint);
-        if (!adapter) {
-          // Host is up but no server process bound to the endpoint (e.g.
-          // the ORB shut down): connection refused.
-          slot->fail(comm_failure("no server at endpoint '" + endpoint + "'",
-                                  corba::minor_code::connect_failed,
-                                  corba::CompletionStatus::completed_no));
-          return;
-        }
-        // Execute the servant, collecting the work it reports; round-trip
-        // through CDR so marshaling is exercised exactly as on a wire.
-        corba::ReplyMessage reply;
-        double work = 0.0;
-        const bool response_expected = request.response_expected;
-        try {
-          corba::RequestMessage wire = corba::roundtrip_through_cdr(request);
-          WorkScope scope;
-          reply = adapter->dispatch(wire);
-          work = scope.consumed();
-        } catch (...) {
-          slot->fail(std::current_exception());
-          return;
-        }
-        const double reply_transfer = cluster_.transfer_time(
-            endpoint, source_endpoint_, reply.encoded_size_estimate());
-        // Busy the host for the reported work; the reply leaves afterwards.
-        host.submit(
-            work,
-            [this, slot, reply = std::move(reply), reply_transfer,
-             response_expected]() mutable {
-              if (!response_expected) {
-                slot->complete(corba::ReplyMessage::make_result(0, {}));
-                return;
-              }
-              cluster_.events().schedule_after(
-                  reply_transfer, [slot, reply = std::move(reply)]() mutable {
-                    slot->complete(corba::roundtrip_through_cdr(reply));
-                  });
-            },
-            [slot, host_name] {
-              slot->fail(comm_failure(
-                  "host " + host_name + " crashed during the call",
-                  corba::minor_code::server_crashed,
-                  corba::CompletionStatus::completed_maybe));
-            });
+      [ctx = std::move(ctx), slot, endpoint, host_name,
+       request = std::move(request)]() mutable {
+        dispatch_request(std::move(ctx), std::move(slot), std::move(endpoint),
+                         std::move(host_name), std::move(request));
       });
 
-  return std::make_unique<SimPendingReply>(events, slot, deadline);
+  return pending();
 }
 
 }  // namespace sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <stdexcept>
 
 namespace winner {
@@ -56,10 +57,14 @@ bool SystemManager::fresh_locked(const HostEntry& entry) const {
 }
 
 std::vector<std::pair<double, std::string>> SystemManager::ranked_locked(
-    std::span<const std::string> candidates) const {
+    std::span<const std::string> candidates, bool* used_stale) const {
   std::vector<std::pair<double, std::string>> ranked;
+  std::vector<std::pair<double, std::string>> demoted;
   auto consider = [&](const std::string& name, const HostEntry& entry) {
-    if (fresh_locked(entry)) ranked.emplace_back(index_locked(entry), name);
+    if (fresh_locked(entry))
+      ranked.emplace_back(index_locked(entry), name);
+    else if (options_.demote_stale_hosts && entry.reported)
+      demoted.emplace_back(index_locked(entry), name);
   };
   if (candidates.empty()) {
     for (const auto& [name, entry] : hosts_) consider(name, entry);
@@ -69,24 +74,30 @@ std::vector<std::pair<double, std::string>> SystemManager::ranked_locked(
       if (it != hosts_.end()) consider(name, it->second);
     }
   }
-  std::stable_sort(ranked.begin(), ranked.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  auto by_index = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::stable_sort(ranked.begin(), ranked.end(), by_index);
+  std::stable_sort(demoted.begin(), demoted.end(), by_index);
+  if (used_stale) *used_stale = ranked.empty() && !demoted.empty();
+  ranked.insert(ranked.end(), std::make_move_iterator(demoted.begin()),
+                std::make_move_iterator(demoted.end()));
   return ranked;
 }
 
 std::string SystemManager::best_host(std::span<const std::string> candidates) {
   std::lock_guard lock(mu_);
-  auto ranked = ranked_locked(candidates);
+  bool used_stale = false;
+  auto ranked = ranked_locked(candidates, &used_stale);
   if (ranked.empty())
     throw NoHostAvailable("no registered, fresh host among " +
                           std::to_string(candidates.size()) + " candidates");
+  if (used_stale) ++stale_selections_;
   return ranked.front().second;
 }
 
 std::vector<std::string> SystemManager::rank_hosts(
     std::span<const std::string> candidates) {
   std::lock_guard lock(mu_);
-  auto ranked = ranked_locked(candidates);
+  auto ranked = ranked_locked(candidates, nullptr);
   std::vector<std::string> names;
   names.reserve(ranked.size());
   for (auto& [index, name] : ranked) names.push_back(std::move(name));
@@ -125,6 +136,11 @@ std::vector<std::string> SystemManager::known_hosts() {
 LoadSample SystemManager::last_sample(const std::string& name) const {
   std::lock_guard lock(mu_);
   return hosts_.at(name).last;
+}
+
+std::uint64_t SystemManager::stale_selections() const {
+  std::lock_guard lock(mu_);
+  return stale_selections_;
 }
 
 }  // namespace winner

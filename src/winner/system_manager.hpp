@@ -1,6 +1,7 @@
 // The Winner system manager: central host table and ranking logic.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -21,6 +22,16 @@ struct SystemManagerOptions {
   /// Clock used to timestamp placements and judge staleness.  Defaults to a
   /// monotonic real-time clock; the simulated runtime injects virtual time.
   std::function<double()> clock;
+
+  /// Graceful degradation when every candidate's report is stale (e.g. the
+  /// manager is partitioned from the load reporters): instead of throwing
+  /// NoHostAvailable, stale hosts that once reported are *demoted* — ranked
+  /// after all fresh hosts, ordered by their last known index — and
+  /// selection proceeds on the best guess available.  Fresh reports after
+  /// the partition heals reinstate normal ranking automatically.  Off by
+  /// default: a lone stale host usually IS dead, and failing fast is
+  /// right; the runtime turns this on where partitions are survivable.
+  bool demote_stale_hosts = false;
 };
 
 /// Central Winner component.  Thread-safe.
@@ -47,6 +58,10 @@ class SystemManager final : public LoadInformationService {
   /// Last reported sample (diagnostics; throws std::out_of_range).
   LoadSample last_sample(const std::string& name) const;
 
+  /// Times a demoted (stale) host had to be selected because no fresh one
+  /// was available — a measure of how long selections ran on stale data.
+  std::uint64_t stale_selections() const;
+
  private:
   struct HostEntry {
     double speed_index = 1.0;
@@ -58,12 +73,16 @@ class SystemManager final : public LoadInformationService {
 
   double index_locked(const HostEntry& entry) const;
   bool fresh_locked(const HostEntry& entry) const;
+  /// Fresh hosts ranked by index; with demote_stale_hosts, stale-but-known
+  /// hosts follow after every fresh one.  `used_stale` (optional) reports
+  /// whether the front of the ranking is a demoted host.
   std::vector<std::pair<double, std::string>> ranked_locked(
-      std::span<const std::string> candidates) const;
+      std::span<const std::string> candidates, bool* used_stale) const;
 
   SystemManagerOptions options_;
   mutable std::mutex mu_;
   std::map<std::string, HostEntry> hosts_;
+  mutable std::uint64_t stale_selections_ = 0;
 };
 
 }  // namespace winner

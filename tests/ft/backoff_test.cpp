@@ -1,0 +1,228 @@
+// Tests of the hardened recovery path: exponential backoff with
+// deterministic jitter, per-call deadline budgets, and the offer
+// quarantine's integration with naming resolution and recovery.
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ft/proxy.hpp"
+#include "ft_test_common.hpp"
+
+namespace ft {
+namespace {
+
+using corbaft_test::FtDeploymentTest;
+
+class BackoffTest : public FtDeploymentTest {
+ protected:
+  /// Fake time source: the clock only advances when the engine sleeps, so
+  /// tests see the exact backoff schedule.
+  struct FakeTime {
+    double now = 0.0;
+    std::vector<double> waits;
+  };
+
+  ft::ProxyConfig faked_config(ft::RecoveryPolicy policy, FakeTime& time) {
+    ft::ProxyConfig config = proxy_config(policy);
+    config.clock = [&time] { return time.now; };
+    config.sleep = [&time](double delay) {
+      time.waits.push_back(delay);
+      time.now += delay;
+    };
+    config.quarantine = nullptr;  // backoff behaviour in isolation
+    return config;
+  }
+
+  void crash_all_workers() {
+    for (const std::string& host : runtime_->worker_hosts())
+      cluster_.crash_host(host);
+  }
+};
+
+TEST_F(BackoffTest, WaitsGrowExponentiallyWithDeterministicJitter) {
+  ft::RecoveryPolicy policy;
+  policy.max_attempts = 4;
+  policy.backoff_initial_s = 0.1;
+  policy.backoff_factor = 2.0;
+  policy.backoff_max_s = 10.0;
+  policy.backoff_jitter = 0.25;
+  policy.backoff_seed = 99;
+  FakeTime time;
+  ProxyEngine engine(faked_config(policy, time));
+  crash_all_workers();
+  EXPECT_THROW(engine.call("add", {corba::Value(std::int64_t{1})}),
+               corba::COMM_FAILURE);
+
+  // One wait per retried attempt, each the exponential base scaled by the
+  // jitter stream of the policy's seed — reproducible run to run.
+  ASSERT_EQ(time.waits.size(), 3u);
+  std::mt19937_64 rng(policy.backoff_seed);
+  std::uniform_real_distribution<double> jitter(0.75, 1.25);
+  double base = policy.backoff_initial_s;
+  for (const double wait : time.waits) {
+    EXPECT_NEAR(wait, base * jitter(rng), 1e-12);
+    base *= policy.backoff_factor;
+  }
+  EXPECT_EQ(engine.retries(), 3u);
+  EXPECT_NEAR(engine.backoff_waited_s(), time.now, 1e-12);
+  EXPECT_EQ(engine.deadline_exhaustions(), 0u);
+}
+
+TEST_F(BackoffTest, WaitsAreCappedAtBackoffMax) {
+  ft::RecoveryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_initial_s = 1.0;
+  policy.backoff_factor = 10.0;
+  policy.backoff_max_s = 2.0;
+  policy.backoff_jitter = 0.0;
+  FakeTime time;
+  ProxyEngine engine(faked_config(policy, time));
+  crash_all_workers();
+  EXPECT_THROW(engine.call("add", {corba::Value(std::int64_t{1})}),
+               corba::COMM_FAILURE);
+  ASSERT_EQ(time.waits.size(), 2u);
+  EXPECT_DOUBLE_EQ(time.waits[0], 1.0);
+  EXPECT_DOUBLE_EQ(time.waits[1], 2.0);  // 10.0 uncapped
+}
+
+TEST_F(BackoffTest, ZeroInitialDisablesBackoff) {
+  ft::RecoveryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_initial_s = 0.0;
+  FakeTime time;
+  ProxyEngine engine(faked_config(policy, time));
+  crash_all_workers();
+  EXPECT_THROW(engine.call("add", {corba::Value(std::int64_t{1})}),
+               corba::COMM_FAILURE);
+  EXPECT_TRUE(time.waits.empty());
+  EXPECT_EQ(engine.retries(), 2u);  // retries still happen, just immediately
+  EXPECT_DOUBLE_EQ(engine.backoff_waited_s(), 0.0);
+}
+
+TEST_F(BackoffTest, DeadlineRefusesRetryThatCannotFit) {
+  ft::RecoveryPolicy policy;
+  policy.max_attempts = 5;
+  policy.backoff_initial_s = 1.0;
+  policy.backoff_jitter = 0.0;
+  policy.call_deadline_s = 0.5;
+  FakeTime time;
+  ProxyEngine engine(faked_config(policy, time));
+  crash_all_workers();
+  // The very first backoff wait (1s) cannot fit the 0.5s budget: the
+  // original failure surfaces instead of a doomed retry sequence.
+  EXPECT_THROW(engine.call("add", {corba::Value(std::int64_t{1})}),
+               corba::COMM_FAILURE);
+  EXPECT_TRUE(time.waits.empty());
+  EXPECT_EQ(engine.retries(), 0u);
+  EXPECT_EQ(engine.recoveries(), 0u);
+  EXPECT_EQ(engine.deadline_exhaustions(), 1u);
+}
+
+TEST_F(BackoffTest, DeadlineAllowsRetriesThatFit) {
+  ft::RecoveryPolicy policy;
+  policy.max_attempts = 5;
+  policy.backoff_initial_s = 0.2;
+  policy.backoff_factor = 2.0;
+  policy.backoff_jitter = 0.0;
+  policy.call_deadline_s = 0.5;
+  FakeTime time;
+  ProxyEngine engine(faked_config(policy, time));
+  crash_all_workers();
+  // Attempt 1 retries (0.2s fits), attempt 2's 0.4s wait would overrun the
+  // budget (0.2 + 0.4 > 0.5) and is refused.
+  EXPECT_THROW(engine.call("add", {corba::Value(std::int64_t{1})}),
+               corba::COMM_FAILURE);
+  ASSERT_EQ(time.waits.size(), 1u);
+  EXPECT_DOUBLE_EQ(time.waits[0], 0.2);
+  EXPECT_EQ(engine.retries(), 1u);
+  EXPECT_EQ(engine.deadline_exhaustions(), 1u);
+}
+
+TEST_F(BackoffTest, VirtualTimeBackoffAdvancesSimClock) {
+  ft::RecoveryPolicy policy;
+  policy.backoff_initial_s = 0.5;
+  policy.backoff_jitter = 0.0;
+  // The runtime-made config sleeps in *virtual* time: a backoff wait moves
+  // the simulation clock, not the wall clock.
+  ProxyEngine engine(proxy_config(policy));
+  cluster_.crash_host(engine.current().ior().host);
+  const double t0 = runtime_->events().now();
+  EXPECT_EQ(engine.call("add", {corba::Value(std::int64_t{3})}).as_i64(), 3);
+  EXPECT_EQ(engine.recoveries(), 1u);
+  EXPECT_EQ(engine.retries(), 1u);
+  EXPECT_NEAR(engine.backoff_waited_s(), 0.5, 1e-9);
+  EXPECT_GE(runtime_->events().now() - t0, 0.5);
+}
+
+TEST_F(BackoffTest, PolicyValidation) {
+  auto engine_with = [&](ft::RecoveryPolicy policy) {
+    ProxyEngine engine(proxy_config(policy));
+  };
+  ft::RecoveryPolicy policy;
+  policy.backoff_factor = 0.5;
+  EXPECT_THROW(engine_with(policy), corba::BAD_PARAM);
+  policy = {};
+  policy.backoff_jitter = 1.0;
+  EXPECT_THROW(engine_with(policy), corba::BAD_PARAM);
+  policy = {};
+  policy.backoff_initial_s = -0.1;
+  EXPECT_THROW(engine_with(policy), corba::BAD_PARAM);
+  policy = {};
+  policy.call_deadline_s = -1.0;
+  EXPECT_THROW(engine_with(policy), corba::BAD_PARAM);
+}
+
+// --- quarantine wiring ------------------------------------------------------
+
+class QuarantineWiringTest : public FtDeploymentTest {
+ protected:
+  void quarantine_host(const std::string& host) {
+    const double now = runtime_->events().now();
+    const std::string service = service_name().to_string();
+    const int strikes = runtime_->quarantine()->options().strikes_to_quarantine;
+    for (int i = 0; i < strikes; ++i)
+      runtime_->quarantine()->report_failure(service, host, now);
+    ASSERT_TRUE(runtime_->quarantine()->quarantined(service, host, now));
+  }
+};
+
+TEST_F(QuarantineWiringTest, QuarantinedOfferSkippedByResolvesButStillListed) {
+  quarantine_host(host_name(2));
+  for (int i = 0; i < 8; ++i) {
+    const corba::ObjectRef ref = runtime_->naming().resolve_with(
+        service_name(), naming::ResolveStrategy::winner);
+    EXPECT_NE(ref.ior().host, host_name(2));
+  }
+  // The offer was filtered, not unbound: probes can still reach it.
+  EXPECT_EQ(runtime_->naming().list_offers(service_name()).size(), 4u);
+}
+
+TEST_F(QuarantineWiringTest, AllOffersQuarantinedFallsBackToFactory) {
+  ProxyEngine engine(proxy_config());
+  for (int i = 0; i < 4; ++i) quarantine_host(host_name(i));
+  // Every offer filtered: resolution reports the pool as empty...
+  EXPECT_THROW(runtime_->naming().resolve_with(
+                   service_name(), naming::ResolveStrategy::winner),
+               naming::NotFound);
+  // ...so recovery falls through to a factory-created instance.
+  engine.recover_now();
+  EXPECT_EQ(engine.recoveries(), 1u);
+  EXPECT_EQ(engine.call("total", {}).as_i64(), 0);
+}
+
+TEST_F(QuarantineWiringTest, EngineReportsFailuresToSharedQuarantine) {
+  ft::RecoveryPolicy policy;
+  policy.backoff_initial_s = 0.0;
+  ProxyEngine engine(proxy_config(policy));
+  const std::string victim = engine.current().ior().host;
+  cluster_.crash_host(victim);
+  EXPECT_TRUE(runtime_->quarantine()->empty());
+  EXPECT_EQ(engine.call("add", {corba::Value(std::int64_t{1})}).as_i64(), 1);
+  // The failed attempt left a strike against the dead instance.
+  EXPECT_FALSE(runtime_->quarantine()->empty());
+}
+
+}  // namespace
+}  // namespace ft

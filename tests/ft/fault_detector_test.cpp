@@ -148,5 +148,63 @@ TEST_F(FaultDetectorTest, ThreadedModeRunsOnWallClock) {
   EXPECT_GE(detector->sweeps(), 3u);
 }
 
+TEST_F(FaultDetectorTest, ThreadedModeDetectsFaultsAndReportsQuarantine) {
+  // Threaded detection end to end: a wall-clock sweep thread pings the
+  // (virtual-time-frozen) deployment, confirms the dead instance after the
+  // threshold, unbinds its offer, and its failed probes strike the shared
+  // quarantine along the way.
+  const auto& quarantine = runtime_->quarantine();
+  ASSERT_TRUE(quarantine);
+  auto detector = std::make_shared<FaultDetector>(
+      naming_stub(),
+      FaultDetectorOptions{.period = 0.01,
+                           .suspicion_threshold = 3,
+                           .quarantine = quarantine});
+  detector->monitor(service_name());
+  cluster_.crash_host(host_name(1));
+  detector->start_threaded();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (detector->faults_detected() < 1 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  detector->stop();
+
+  EXPECT_GE(detector->faults_detected(), 1u);
+  const auto offers = runtime_->naming().list_offers(service_name());
+  EXPECT_EQ(offers.size(), 3u);
+  for (const naming::Offer& offer : offers)
+    EXPECT_NE(offer.host, host_name(1));
+  // Default quarantine options trip after 3 strikes — exactly the threshold
+  // sweeps it took to confirm the fault.
+  EXPECT_GE(quarantine->quarantines_imposed(), 1u);
+}
+
+TEST_F(FaultDetectorTest, ProbesReleaseQuarantinedInstance) {
+  // A quarantined-but-still-bound instance earns its way back through
+  // consecutive healthy pings (the probe path the filter deliberately
+  // leaves open by keeping quarantined offers in list_offers).
+  const auto& quarantine = runtime_->quarantine();
+  ASSERT_TRUE(quarantine);
+  const std::string service = service_name().to_string();
+  const double now = runtime_->events().now();
+  for (int i = 0; i < quarantine->options().strikes_to_quarantine; ++i)
+    quarantine->report_failure(service, host_name(0), now);
+  ASSERT_TRUE(quarantine->quarantined(service, host_name(0), now));
+
+  FaultDetector detector(naming_stub(), {.quarantine = quarantine});
+  detector.monitor(service_name());
+  // The host is healthy; probe_successes_required sweeps release it.  The
+  // release takes effect at the final probing sweep's timestamp.
+  double last_sweep = now;
+  for (int i = 0; i < quarantine->options().probe_successes_required; ++i) {
+    last_sweep = now + 0.1 * (i + 1);
+    detector.sweep(last_sweep);
+  }
+  EXPECT_FALSE(quarantine->quarantined(service, host_name(0), last_sweep));
+  EXPECT_EQ(quarantine->probe_releases(), 1u);
+  EXPECT_EQ(detector.faults_detected(), 0u);
+}
+
 }  // namespace
 }  // namespace ft

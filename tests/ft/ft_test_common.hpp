@@ -20,8 +20,8 @@ inline constexpr std::string_view kCounterRepoId =
     "IDL:corbaft/tests/Counter:1.0";
 inline constexpr std::string_view kCounterServiceType = "Counter";
 
-class CounterServant final : public corba::Servant,
-                             public ft::CheckpointableServant {
+class CounterServant : public corba::Servant,
+                       public ft::CheckpointableServant {
  public:
   std::string_view repo_id() const noexcept override { return kCounterRepoId; }
 

@@ -157,6 +157,9 @@ TEST_F(ProxyTest, StatelessServiceRecoversWithoutStore) {
 
 TEST_F(ProxyTest, ReresolveOnlyModeFailsWhenNoOffersLeft) {
   // Single-offer deployment: unbind the other three, crash the last.
+  // Recovery failures are swallowed while attempts remain (a transient
+  // recovery hiccup must not fail the call), so what surfaces once the
+  // budget is exhausted is the *call's* failure against the dead host.
   ft::RecoveryPolicy policy;
   policy.mode = RecoveryMode::reresolve;
   ProxyEngine engine(proxy_config(policy));
@@ -168,7 +171,7 @@ TEST_F(ProxyTest, ReresolveOnlyModeFailsWhenNoOffersLeft) {
   }
   cluster_.crash_host(current);
   EXPECT_THROW(engine.call("add", {corba::Value(std::int64_t{1})}),
-               corba::TRANSIENT);
+               corba::COMM_FAILURE);
 }
 
 TEST_F(ProxyTest, MigrationViaRecoverNow) {

@@ -1,0 +1,110 @@
+// Unit tests of the offer quarantine (shared circuit breaker): strike
+// accumulation, sliding window, expiry, probe-streak release, and the
+// flapping-instance re-arm rule.
+#include "ft/quarantine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ft {
+namespace {
+
+constexpr const char* kService = "pool/solver";
+constexpr const char* kHost = "node0";
+
+QuarantineOptions small_options() {
+  return {.strikes_to_quarantine = 3,
+          .strike_window_s = 10.0,
+          .quarantine_duration_s = 5.0,
+          .probe_successes_required = 2};
+}
+
+TEST(OfferQuarantineTest, OptionsAreValidated) {
+  EXPECT_THROW(OfferQuarantine({.strikes_to_quarantine = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(OfferQuarantine({.strike_window_s = -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(OfferQuarantine({.quarantine_duration_s = -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(OfferQuarantine({.probe_successes_required = 0}),
+               std::invalid_argument);
+}
+
+TEST(OfferQuarantineTest, TripsAfterConfiguredStrikes) {
+  OfferQuarantine q(small_options());
+  q.report_failure(kService, kHost, 0.0);
+  q.report_failure(kService, kHost, 1.0);
+  EXPECT_FALSE(q.quarantined(kService, kHost, 1.0));
+  q.report_failure(kService, kHost, 2.0);
+  EXPECT_TRUE(q.quarantined(kService, kHost, 2.0));
+  EXPECT_EQ(q.quarantines_imposed(), 1u);
+  // Other instances of the same service are unaffected.
+  EXPECT_FALSE(q.quarantined(kService, "node1", 2.0));
+  EXPECT_FALSE(q.quarantined("pool/other", kHost, 2.0));
+}
+
+TEST(OfferQuarantineTest, StrikesOutsideTheWindowDoNotCount) {
+  OfferQuarantine q(small_options());
+  q.report_failure(kService, kHost, 0.0);
+  q.report_failure(kService, kHost, 1.0);
+  // 12s later the old strikes have aged out; this starts a fresh window.
+  q.report_failure(kService, kHost, 12.0);
+  EXPECT_FALSE(q.quarantined(kService, kHost, 12.0));
+  q.report_failure(kService, kHost, 13.0);
+  EXPECT_FALSE(q.quarantined(kService, kHost, 13.0));
+  q.report_failure(kService, kHost, 14.0);
+  EXPECT_TRUE(q.quarantined(kService, kHost, 14.0));
+}
+
+TEST(OfferQuarantineTest, SuccessOutsideQuarantineClearsStrikes) {
+  OfferQuarantine q(small_options());
+  q.report_failure(kService, kHost, 0.0);
+  q.report_failure(kService, kHost, 1.0);
+  q.report_success(kService, kHost, 2.0);
+  q.report_failure(kService, kHost, 3.0);
+  q.report_failure(kService, kHost, 4.0);
+  EXPECT_FALSE(q.quarantined(kService, kHost, 4.0));  // count restarted
+}
+
+TEST(OfferQuarantineTest, QuarantineExpiresOnItsOwn) {
+  OfferQuarantine q(small_options());
+  for (double t : {0.0, 1.0, 2.0}) q.report_failure(kService, kHost, t);
+  EXPECT_TRUE(q.quarantined(kService, kHost, 6.9));
+  EXPECT_FALSE(q.quarantined(kService, kHost, 7.0));  // 2.0 + 5s duration
+}
+
+TEST(OfferQuarantineTest, ProbeStreakReleasesEarly) {
+  OfferQuarantine q(small_options());
+  for (double t : {0.0, 1.0, 2.0}) q.report_failure(kService, kHost, t);
+  EXPECT_TRUE(q.quarantined(kService, kHost, 3.0));
+  q.report_success(kService, kHost, 3.0);
+  EXPECT_TRUE(q.quarantined(kService, kHost, 3.1));  // one probe is not enough
+  q.report_success(kService, kHost, 3.5);
+  EXPECT_FALSE(q.quarantined(kService, kHost, 3.6));
+  EXPECT_EQ(q.probe_releases(), 1u);
+}
+
+TEST(OfferQuarantineTest, FailureWhileQuarantinedReArmsAndResetsStreak) {
+  OfferQuarantine q(small_options());
+  for (double t : {0.0, 1.0, 2.0}) q.report_failure(kService, kHost, t);
+  q.report_success(kService, kHost, 3.0);  // streak 1 of 2
+  q.report_failure(kService, kHost, 4.0);  // flap: re-arm, streak resets
+  EXPECT_EQ(q.quarantines_imposed(), 2u);
+  // Would have expired at 2.0+5=7.0; the re-arm pushed it to 4.0+5=9.0.
+  EXPECT_TRUE(q.quarantined(kService, kHost, 8.0));
+  q.report_success(kService, kHost, 8.1);  // streak must restart from zero
+  EXPECT_TRUE(q.quarantined(kService, kHost, 8.2));
+  q.report_success(kService, kHost, 8.3);
+  EXPECT_FALSE(q.quarantined(kService, kHost, 8.4));
+}
+
+TEST(OfferQuarantineTest, EmptyFastPathTracksRecordedState) {
+  OfferQuarantine q(small_options());
+  EXPECT_TRUE(q.empty());
+  q.report_success(kService, kHost, 0.0);  // success alone records nothing
+  EXPECT_TRUE(q.empty());
+  q.report_failure(kService, kHost, 1.0);
+  EXPECT_FALSE(q.empty());
+}
+
+}  // namespace
+}  // namespace ft

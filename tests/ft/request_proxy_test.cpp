@@ -5,13 +5,37 @@
 #include <gtest/gtest.h>
 
 #include "ft_test_common.hpp"
+#include "sim/work_meter.hpp"
 
 namespace ft {
 namespace {
 
 using corbaft_test::FtDeploymentTest;
 
-class RequestProxyTest : public FtDeploymentTest {};
+/// A Counter whose operations take real (virtual) time — long enough that a
+/// scheduled mid-call crash deterministically lands while the request is
+/// resident on the server (=> COMM_FAILURE / COMPLETED_MAYBE).
+class SlowCounterServant final : public corbaft_test::CounterServant {
+ public:
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override {
+    if (op == "add" || op == "total") sim::WorkMeter::charge(50.0);  // 0.5s
+    return CounterServant::dispatch(op, args);
+  }
+};
+
+class RequestProxyTest : public FtDeploymentTest {
+ protected:
+  /// Deploys the slow Counter pool and returns a proxy config for it.
+  ft::ProxyConfig slow_config(ft::RecoveryPolicy policy = {}) {
+    runtime_->registry()->register_type(
+        "SlowCounter", [] { return std::make_shared<SlowCounterServant>(); });
+    runtime_->deploy_everywhere(slow_name(), "SlowCounter");
+    return runtime_->make_proxy_config(slow_name(), "SlowCounter", "slow-1",
+                                       policy);
+  }
+  static naming::Name slow_name() { return naming::Name::parse("SlowCounter"); }
+};
 
 TEST_F(RequestProxyTest, DeferredCallCompletes) {
   ProxyEngine engine(proxy_config());
@@ -96,6 +120,51 @@ TEST_F(RequestProxyTest, ExhaustedAttemptsSurfaceFailure) {
   for (const std::string& host : runtime_->worker_hosts())
     cluster_.crash_host(host);
   EXPECT_THROW(request.get_response(), corba::SystemException);
+}
+
+TEST_F(RequestProxyTest, MidCallCrashSurfacesCompletedMaybeWhenForbidden) {
+  // Non-idempotent services set retry_on_completed_maybe = false; a crash
+  // while the method may have run must then surface, not silently re-run.
+  ft::RecoveryPolicy policy;
+  policy.retry_on_completed_maybe = false;
+  ProxyEngine engine(slow_config(policy));
+  const std::string victim = engine.current().ior().host;
+
+  RequestProxy request(engine, "add");
+  request.add_argument(corba::Value(std::int64_t{1}));
+  request.send_deferred();
+  // The call needs ~0.5s of virtual time; kill the host in the middle.
+  cluster_.events().schedule_after(0.1,
+                                   [this, victim] { cluster_.crash_host(victim); });
+  try {
+    request.get_response();
+    FAIL() << "expected COMM_FAILURE";
+  } catch (const corba::COMM_FAILURE& e) {
+    EXPECT_EQ(e.minor(), corba::minor_code::server_crashed);
+    EXPECT_EQ(e.completed(), corba::CompletionStatus::completed_maybe);
+  }
+  EXPECT_EQ(request.reissues(), 0);
+  EXPECT_EQ(engine.recoveries(), 0u);
+  EXPECT_EQ(engine.retries(), 0u);
+}
+
+TEST_F(RequestProxyTest, MidCallCrashReissuesAfterBackoffByDefault) {
+  // Same mid-call crash under the default (idempotent) policy: the request
+  // proxy backs off, recovers and re-issues transparently.
+  ProxyEngine engine(slow_config());
+  const std::string victim = engine.current().ior().host;
+
+  RequestProxy request(engine, "add");
+  request.add_argument(corba::Value(std::int64_t{1}));
+  request.send_deferred();
+  cluster_.events().schedule_after(0.1,
+                                   [this, victim] { cluster_.crash_host(victim); });
+  request.get_response();
+  EXPECT_EQ(request.return_value().as_i64(), 1);
+  EXPECT_EQ(request.reissues(), 1);
+  EXPECT_EQ(engine.recoveries(), 1u);
+  EXPECT_GT(engine.backoff_waited_s(), 0.0);
+  EXPECT_NE(engine.current().ior().host, victim);
 }
 
 TEST_F(RequestProxyTest, InvokeIsSendPlusGet) {

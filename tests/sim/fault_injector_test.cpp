@@ -1,0 +1,257 @@
+// Tests of the deterministic fault injector: plan validation, partition /
+// link-fault / stall semantics at the injector level, and the CORBA
+// exception mapping SimTransport applies per message hop.
+#include "sim/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "orb/exceptions.hpp"
+#include "orb/orb.hpp"
+#include "orb/stub.hpp"
+#include "sim/sim_transport.hpp"
+#include "sim/work_meter.hpp"
+
+namespace sim {
+namespace {
+
+TEST(FaultPlanTest, ValidationRejectsBadPlans) {
+  EXPECT_THROW(FaultInjector({.drop_probability = -0.1}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector({.drop_probability = 1.5}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector({.duplicate_probability = 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector({.latency_spike_s = -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector({.partitions = {{0.0, 1.0, {}}}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      FaultInjector({.stalls = {{.host = "a", .start = 0, .duration = -1}}}),
+      std::invalid_argument);
+  EXPECT_NO_THROW(FaultInjector({.drop_probability = 0.5}));
+}
+
+TEST(FaultInjectorTest, PartitionBlocksAcrossTheCutOnly) {
+  FaultInjector faults({.partitions = {{1.0, 5.0, {"a", "b"}}}});
+  EXPECT_FALSE(faults.blocked("a", "c", 0.5));  // not started yet
+  EXPECT_TRUE(faults.blocked("a", "c", 2.0));   // across the cut
+  EXPECT_TRUE(faults.blocked("c", "b", 2.0));   // symmetric
+  EXPECT_FALSE(faults.blocked("a", "b", 2.0));  // within the group
+  EXPECT_FALSE(faults.blocked("c", "d", 2.0));  // within the rest
+  EXPECT_FALSE(faults.blocked("a", "c", 5.0));  // healed
+  ASSERT_TRUE(faults.heal_time("a", "c", 2.0).has_value());
+  EXPECT_DOUBLE_EQ(*faults.heal_time("a", "c", 2.0), 5.0);
+  EXPECT_FALSE(faults.heal_time("a", "c", 6.0).has_value());  // unblocked
+}
+
+TEST(FaultInjectorTest, NeverHealingPartitionHasNoHealTime) {
+  FaultInjector faults({.partitions = {{.start = 1.0, .heal = 0.0,
+                                        .group = {"a"}}}});
+  EXPECT_TRUE(faults.blocked("a", "b", 100.0));
+  EXPECT_FALSE(faults.heal_time("a", "b", 100.0).has_value());
+}
+
+TEST(FaultInjectorTest, LinkFaultIsPairwiseAndOrderInsensitive) {
+  FaultInjector faults(
+      {.link_faults = {{.host_a = "a", .host_b = "b", .start = 0, .heal = 2}}});
+  EXPECT_TRUE(faults.blocked("a", "b", 1.0));
+  EXPECT_TRUE(faults.blocked("b", "a", 1.0));
+  EXPECT_FALSE(faults.blocked("a", "c", 1.0));
+  EXPECT_FALSE(faults.blocked("a", "b", 3.0));
+}
+
+TEST(FaultInjectorTest, OriginShiftsScheduledItems) {
+  FaultInjector faults({.partitions = {{2.0, 4.0, {"a"}}}});
+  faults.set_origin(100.0);
+  EXPECT_FALSE(faults.blocked("a", "b", 3.0));
+  EXPECT_TRUE(faults.blocked("a", "b", 103.0));
+  EXPECT_DOUBLE_EQ(*faults.heal_time("a", "b", 103.0), 104.0);
+  EXPECT_FALSE(faults.blocked("a", "b", 105.0));
+}
+
+TEST(FaultInjectorTest, StallEndCoversActiveStallsOnly) {
+  FaultInjector faults(
+      {.stalls = {{.host = "a", .start = 1.0, .duration = 2.0}}});
+  EXPECT_FALSE(faults.stall_end("a", 0.5).has_value());
+  ASSERT_TRUE(faults.stall_end("a", 1.5).has_value());
+  EXPECT_DOUBLE_EQ(*faults.stall_end("a", 1.5), 3.0);
+  EXPECT_FALSE(faults.stall_end("b", 1.5).has_value());
+  EXPECT_FALSE(faults.stall_end("a", 3.0).has_value());
+}
+
+TEST(FaultInjectorTest, SameSeedSameTrace) {
+  const FaultPlan plan{.seed = 7,
+                       .drop_probability = 0.3,
+                       .duplicate_probability = 0.2,
+                       .latency_spike_probability = 0.2,
+                       .latency_spike_s = 1.0};
+  FaultInjector a(plan), b(plan);
+  for (int i = 0; i < 200; ++i) {
+    a.fate("x", "y", i * 0.1, i % 2 == 0);
+    b.fate("x", "y", i * 0.1, i % 2 == 0);
+  }
+  EXPECT_EQ(a.trace(), b.trace());
+  EXPECT_GT(a.trace().size(), 0u);
+  EXPECT_EQ(a.drops(), b.drops());
+
+  FaultPlan other = plan;
+  other.seed = 8;
+  FaultInjector c(other);
+  for (int i = 0; i < 200; ++i) c.fate("x", "y", i * 0.1, i % 2 == 0);
+  EXPECT_NE(a.trace(), c.trace());
+}
+
+// --- transport-level exception mapping --------------------------------------
+
+class EchoServant : public corba::Servant {
+ public:
+  std::string_view repo_id() const noexcept override {
+    return "IDL:corbaft/tests/Echo:1.0";
+  }
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override {
+    if (op == "burn") {
+      check_arity(op, args, 1);
+      WorkMeter::charge(args[0].as_f64());
+      ++calls_;
+      return corba::Value(static_cast<std::int64_t>(calls_));
+    }
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+  int calls_ = 0;
+};
+
+class FaultTransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_shared<corba::InProcessNetwork>();
+    transport_ = std::make_shared<SimTransport>(cluster_, network_, "client");
+    cluster_.network().latency_s = 0;
+    cluster_.network().bandwidth_bytes_per_s = 1e18;
+    cluster_.add_host("server", 100.0);
+    cluster_.add_host("spare", 100.0);
+    server_orb_ = corba::ORB::init({.endpoint_name = "server",
+                                    .network = network_,
+                                    .client_transport_override = transport_});
+    cluster_.map_endpoint("server", "server");
+    // The driving client runs on its own workstation so partitions between
+    // it and the server have well-defined endpoints.
+    cluster_.add_host("clienthost", 100.0);
+    cluster_.map_endpoint("client", "clienthost");
+    client_ = corba::ORB::init({.endpoint_name = "client",
+                                .network = network_,
+                                .client_transport_override = transport_});
+    servant_ = std::make_shared<EchoServant>();
+    ref_ = client_->make_ref(server_orb_->activate(servant_, "echo").ior());
+  }
+
+  void arm(FaultPlan plan) {
+    cluster_.set_fault_injector(std::make_shared<FaultInjector>(plan));
+  }
+  /// Installs the injector at virtual time `t` — after the request hop but
+  /// (with enough servant work) before the reply hop.
+  void arm_at(double t, FaultPlan plan) {
+    cluster_.events().schedule_at(t, [this, plan = std::move(plan)] {
+      auto injector = std::make_shared<FaultInjector>(plan);
+      injector->set_origin(0.0);
+      cluster_.set_fault_injector(injector);
+    });
+  }
+
+  corba::Value burn(double work) {
+    return ref_.invoke("burn", {corba::Value(work)});
+  }
+
+  Cluster cluster_;
+  std::shared_ptr<corba::InProcessNetwork> network_;
+  std::shared_ptr<SimTransport> transport_;
+  std::shared_ptr<corba::ORB> server_orb_;
+  std::shared_ptr<corba::ORB> client_;
+  std::shared_ptr<EchoServant> servant_;
+  corba::ObjectRef ref_;
+};
+
+TEST_F(FaultTransportTest, DroppedRequestIsCommFailureCompletedNo) {
+  arm({.drop_probability = 1.0});
+  try {
+    burn(100.0);
+    FAIL() << "expected COMM_FAILURE";
+  } catch (const corba::COMM_FAILURE& e) {
+    EXPECT_EQ(e.completed(), corba::CompletionStatus::completed_no);
+  }
+  EXPECT_EQ(servant_->calls_, 0);
+  EXPECT_EQ(cluster_.fault_injector()->drops(), 1u);
+}
+
+TEST_F(FaultTransportTest, DroppedReplyIsCommFailureCompletedMaybe) {
+  // Injector armed at t=1, after the request (t=0) but before the reply
+  // (t=5): only the reply hop sees the 100% drop.
+  arm_at(1.0, {.drop_probability = 1.0});
+  try {
+    burn(500.0);
+    FAIL() << "expected COMM_FAILURE";
+  } catch (const corba::COMM_FAILURE& e) {
+    EXPECT_EQ(e.completed(), corba::CompletionStatus::completed_maybe);
+  }
+  EXPECT_EQ(servant_->calls_, 1);  // the method DID run
+}
+
+TEST_F(FaultTransportTest, PartitionedRequestIsTransientUntilHeal) {
+  arm({.partitions = {{0.0, 4.0, {"server"}}}});
+  try {
+    burn(100.0);
+    FAIL() << "expected TRANSIENT";
+  } catch (const corba::TRANSIENT& e) {
+    EXPECT_EQ(e.completed(), corba::CompletionStatus::completed_no);
+  }
+  EXPECT_EQ(servant_->calls_, 0);
+  cluster_.events().run_until(4.5);
+  EXPECT_EQ(burn(100.0).as_i64(), 1);  // healed
+}
+
+TEST_F(FaultTransportTest, ReplyHeldUntilPartitionHeals) {
+  // Partition active over the reply hop (t=5) healing at t=20: the reply
+  // arrives when TCP gets through, at the heal time.
+  arm_at(1.0, {.partitions = {{0.0, 20.0, {"server"}}}});
+  EXPECT_EQ(burn(500.0).as_i64(), 1);
+  EXPECT_NEAR(cluster_.events().now(), 20.0, 1e-6);
+}
+
+TEST_F(FaultTransportTest, NeverHealingPartitionReplyIsCompletedMaybe) {
+  arm_at(1.0, {.partitions = {{.start = 0.0, .heal = 0.0,
+                               .group = {"server"}}}});
+  try {
+    burn(500.0);
+    FAIL() << "expected COMM_FAILURE";
+  } catch (const corba::COMM_FAILURE& e) {
+    EXPECT_EQ(e.completed(), corba::CompletionStatus::completed_maybe);
+  }
+  EXPECT_EQ(servant_->calls_, 1);
+}
+
+TEST_F(FaultTransportTest, StalledHostServesAfterTheStall) {
+  arm({.stalls = {{.host = "server", .start = 0.0, .duration = 3.0}}});
+  EXPECT_EQ(burn(500.0).as_i64(), 1);
+  // Dispatch deferred to t=3, then 5s of work.
+  EXPECT_NEAR(cluster_.events().now(), 8.0, 1e-6);
+  EXPECT_EQ(cluster_.fault_injector()->stall_deferrals(), 1u);
+}
+
+TEST_F(FaultTransportTest, DuplicatedRequestExecutesTwiceClientSeesOneReply) {
+  arm({.duplicate_probability = 1.0});
+  const corba::Value result = burn(100.0);
+  EXPECT_EQ(result.as_i64(), 1);  // first completion wins
+  EXPECT_EQ(servant_->calls_, 2);  // at-least-once delivery executed twice
+  EXPECT_EQ(cluster_.fault_injector()->duplicates(), 1u);
+}
+
+TEST_F(FaultTransportTest, LatencySpikesDelayBothHops) {
+  arm({.latency_spike_probability = 1.0, .latency_spike_s = 2.0});
+  EXPECT_EQ(burn(500.0).as_i64(), 1);
+  // 2s spike on the request, 5s work, 2s spike on the reply.
+  EXPECT_NEAR(cluster_.events().now(), 9.0, 1e-6);
+  EXPECT_EQ(cluster_.fault_injector()->latency_spikes(), 2u);
+}
+
+}  // namespace
+}  // namespace sim

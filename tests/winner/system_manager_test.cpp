@@ -123,6 +123,55 @@ TEST(SystemManager, StaleHostsDropOutOfSelection) {
   EXPECT_THROW(manager.best_host({}), NoHostAvailable);
 }
 
+TEST(SystemManager, DemotedStaleHostsKeepSelectionAliveUnderPartition) {
+  double now = 0.0;
+  SystemManager manager({.stale_after = 3.0,
+                         .clock = [&now] { return now; },
+                         .demote_stale_hosts = true});
+  manager.register_host("a", 1.0);
+  manager.register_host("b", 1.0);
+  manager.report_load("a", {0.0, 0.0});
+  manager.report_load("b", {5.0, 0.0});
+  EXPECT_EQ(manager.best_host({}), "a");
+  EXPECT_EQ(manager.stale_selections(), 0u);
+
+  // Every report goes stale (e.g. the manager is partitioned from the
+  // reporters): selection degrades to the last known ranking instead of
+  // refusing placement outright.
+  now = 20.0;
+  EXPECT_EQ(manager.best_host({}), "a");
+  EXPECT_EQ(manager.stale_selections(), 1u);
+  EXPECT_EQ(manager.rank_hosts({}), (std::vector<std::string>{"a", "b"}));
+
+  // A fresh host always outranks demoted ones, even at worse load.
+  manager.report_load("b", {9.0, 20.0});
+  EXPECT_EQ(manager.best_host({}), "b");
+  EXPECT_EQ(manager.stale_selections(), 1u);  // the front was fresh again
+
+  // Partition heals: a fresh report from "a" reinstates normal ranking.
+  manager.report_load("a", {0.0, 20.0});
+  EXPECT_EQ(manager.best_host({}), "a");
+}
+
+TEST(SystemManager, DemotionOffStillFailsFastWhenAllStale) {
+  double now = 0.0;
+  SystemManager manager({.stale_after = 3.0, .clock = [&now] { return now; }});
+  manager.register_host("a", 1.0);
+  manager.report_load("a", {0.0, 0.0});
+  now = 10.0;
+  EXPECT_THROW(manager.best_host({}), NoHostAvailable);
+  EXPECT_EQ(manager.stale_selections(), 0u);
+}
+
+TEST(SystemManager, NeverReportedHostsAreNotDemotionCandidates) {
+  double now = 0.0;
+  SystemManager manager({.stale_after = 3.0,
+                         .clock = [&now] { return now; },
+                         .demote_stale_hosts = true});
+  manager.register_host("silent", 1.0);
+  EXPECT_THROW(manager.best_host({}), NoHostAvailable);
+}
+
 TEST(SystemManager, InvalidRegistrationsRejected) {
   SystemManager manager;
   EXPECT_THROW(manager.register_host("", 1.0), corba::BAD_PARAM);
