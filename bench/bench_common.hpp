@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <numeric>
 #include <optional>
@@ -17,6 +19,73 @@
 #include "sim/fault_injector.hpp"
 
 namespace bench {
+
+/// True when the bench should run a reduced workload (CI smoke runs, the
+/// `bench-smoke` target).  An env var rather than a flag so google-benchmark
+/// binaries don't need their own argument parsing.
+inline bool smoke_mode() {
+  return std::getenv("CORBAFT_BENCH_SMOKE") != nullptr;
+}
+
+// --- perf-trajectory JSON ----------------------------------------------------
+// BENCH_*.json files record each bench's headline numbers as
+//   {"bench": <name>, "schema_version": 1, "rows": [{...}, ...]}
+// with flat string/number fields per row, so the trajectory can be diffed
+// across commits by simple tooling.
+
+struct JsonField {
+  std::string key;
+  std::string literal;  ///< pre-rendered JSON value (quoted or numeric)
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline JsonField jstr(std::string key, const std::string& value) {
+  return {std::move(key), "\"" + json_escape(value) + "\""};
+}
+
+inline JsonField jnum(std::string key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return {std::move(key), buf};
+}
+
+inline JsonField jint(std::string key, std::uint64_t value) {
+  return {std::move(key), std::to_string(value)};
+}
+
+using JsonRow = std::vector<JsonField>;
+
+/// Writes the trajectory file; returns false (after a warning) on IO errors
+/// so benches keep printing their tables even on a read-only work dir.
+inline bool write_bench_json(const std::string& path, const std::string& name,
+                             const std::vector<JsonRow>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\"bench\": \"" << json_escape(name) << "\", \"schema_version\": 1, "
+      << "\"rows\": [";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out << (r == 0 ? "\n" : ",\n") << "  {";
+    for (std::size_t f = 0; f < rows[r].size(); ++f) {
+      if (f > 0) out << ", ";
+      out << "\"" << json_escape(rows[r][f].key) << "\": " << rows[r][f].literal;
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+  return out.good();
+}
 
 /// Simulated workstation speed in work units per virtual second.  The
 /// absolute value only fixes the time unit; all comparisons are ratios.

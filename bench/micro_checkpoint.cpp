@@ -1,11 +1,20 @@
 // M2 — checkpoint store micro benchmarks: store/load cost as a function of
 // state size, in-memory vs file-backed backend, and the full remote
 // checkpoint cycle (get_state + store over the ORB).
+//
+// On top of the google-benchmark timings, a state-size x dirty-fraction
+// sweep drives the checkpoint pipeline (full / delta-sync / delta-async)
+// and records wall time and bytes shipped per submit into
+// BENCH_checkpoint.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
 #include <filesystem>
 
+#include "bench_common.hpp"
 #include "ft/checkpoint.hpp"
+#include "ft/checkpoint_pipeline.hpp"
 #include "ft/checkpoint_store.hpp"
 #include "orb/cdr.hpp"
 #include "orb/orb.hpp"
@@ -97,6 +106,112 @@ void BM_RemoteCheckpointCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_RemoteCheckpointCycle)->Arg(256)->Arg(4096)->Arg(65536);
 
+// --- state-size x dirty-fraction pipeline sweep -----------------------------
+
+struct SweepPoint {
+  double ns_per_submit = 0.0;
+  std::uint64_t bytes_per_submit = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t coalesced = 0;
+};
+
+/// Pushes `reps` checkpoints of a `bytes`-sized state through a pipeline in
+/// `mode`, dirtying a rotating `dirty` fraction of the delta chunks between
+/// submits (wall time; the store backend is in-memory with no cost model, so
+/// the measurement is pure diff + copy + storage cost).
+SweepPoint run_sweep(ft::CheckpointMode mode, std::size_t bytes, double dirty,
+                     int reps) {
+  ft::CheckpointPipeline::Config config;
+  config.store = std::make_shared<ft::MemoryCheckpointStore>();
+  config.key = "sweep";
+  config.mode = mode;
+  ft::CheckpointPipeline pipeline(std::move(config));
+
+  corba::Blob state = blob_of(bytes);
+  const std::size_t chunks =
+      (bytes + ft::kDefaultChunkSize - 1) / ft::kDefaultChunkSize;
+  const std::size_t dirty_per_rep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(dirty * static_cast<double>(chunks))));
+
+  std::uint64_t version = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    for (std::size_t j = 0; j < dirty_per_rep; ++j) {
+      const std::size_t chunk =
+          (static_cast<std::size_t>(rep) * dirty_per_rep + j) % chunks;
+      auto& byte = state[chunk * ft::kDefaultChunkSize];
+      byte = std::byte{static_cast<unsigned char>(std::to_integer<int>(byte) + 1)};
+    }
+    pipeline.submit(++version, corba::Blob(state));
+  }
+  pipeline.flush();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  SweepPoint point;
+  point.ns_per_submit =
+      std::chrono::duration<double, std::nano>(elapsed).count() / reps;
+  point.bytes_per_submit =
+      pipeline.bytes_shipped() / static_cast<std::uint64_t>(reps);
+  point.checkpoints = pipeline.stored();
+  point.coalesced = pipeline.coalesced();
+  return point;
+}
+
+void run_pipeline_sweep() {
+  using namespace bench;
+  const bool smoke = smoke_mode();
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{64 * 1024}
+            : std::vector<std::size_t>{16 * 1024, 64 * 1024, 256 * 1024};
+  const std::vector<double> dirty_fractions =
+      smoke ? std::vector<double>{0.10} : std::vector<double>{0.01, 0.10, 0.50};
+  const int reps = smoke ? 32 : 256;
+
+  const ft::CheckpointMode modes[] = {ft::CheckpointMode::full_sync,
+                                      ft::CheckpointMode::delta_sync,
+                                      ft::CheckpointMode::delta_async};
+
+  std::printf(
+      "\nCheckpoint pipeline sweep (wall time per submit, in-memory store):\n\n");
+  std::printf("%10s  %8s  %12s  %14s  %14s\n", "State", "Dirty", "Mode",
+              "ns/submit", "Bytes shipped");
+  print_rule(66);
+
+  std::vector<JsonRow> rows;
+  for (std::size_t bytes : sizes) {
+    for (double dirty : dirty_fractions) {
+      for (ft::CheckpointMode mode : modes) {
+        const SweepPoint point = run_sweep(mode, bytes, dirty, reps);
+        const std::string mode_name(ft::to_string(mode));
+        std::printf("%10zu  %8.2f  %12s  %14.0f  %14llu\n", bytes, dirty,
+                    mode_name.c_str(), point.ns_per_submit,
+                    static_cast<unsigned long long>(point.bytes_per_submit));
+        rows.push_back({jstr("section", "pipeline_sweep"),
+                        jint("state_bytes", bytes),
+                        jnum("dirty_fraction", dirty),
+                        jstr("mode", mode_name),
+                        jnum("ns_per_submit", point.ns_per_submit),
+                        jint("bytes_shipped_per_submit", point.bytes_per_submit),
+                        jint("checkpoints", point.checkpoints),
+                        jint("coalesced", point.coalesced)});
+      }
+    }
+  }
+  write_bench_json("BENCH_checkpoint.json", "micro_checkpoint", rows);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Smoke runs skip the google-benchmark timings (they auto-calibrate and
+  // take seconds); the pipeline sweep and its JSON run either way.
+  if (!bench::smoke_mode()) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  run_pipeline_sweep();
+  return 0;
+}

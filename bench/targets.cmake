@@ -20,7 +20,29 @@ corbaft_add_bench(ablation_checkpoint_frequency LIBS corbaft::opt)
 corbaft_add_bench(ablation_recovery LIBS corbaft::opt)
 corbaft_add_bench(ablation_migration LIBS corbaft::opt)
 corbaft_add_bench(micro_orb GBENCH LIBS corbaft::orb)
-corbaft_add_bench(micro_checkpoint GBENCH LIBS corbaft::ft)
+# micro_checkpoint links opt (not just ft) because the pipeline sweep uses
+# the shared bench scaffolding in bench_common.hpp.
+corbaft_add_bench(micro_checkpoint GBENCH LIBS corbaft::opt)
 corbaft_add_bench(micro_sim GBENCH LIBS corbaft::sim)
 corbaft_add_bench(ablation_replication LIBS corbaft::opt)
 corbaft_add_bench(ablation_wan_metacomputing LIBS corbaft::opt)
+
+# Smoke run of the JSON-emitting benches: reduced workloads, then a schema
+# check of the emitted BENCH_*.json (tools/run_benches.sh).  Available both
+# as a build target (`cmake --build build --target bench-smoke`) and as a
+# ctest under the `bench` label; the smoke workload keeps it fast enough for
+# the default test run.
+set(_corbaft_bench_smoke_cmd
+  ${CMAKE_CURRENT_LIST_DIR}/../tools/run_benches.sh
+  $<TARGET_FILE:table1_proxy_overhead> $<TARGET_FILE:micro_checkpoint>)
+add_custom_target(bench-smoke
+  COMMAND ${CMAKE_COMMAND} -E env CORBAFT_BENCH_SMOKE=1
+          ${_corbaft_bench_smoke_cmd}
+  WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench
+  DEPENDS table1_proxy_overhead micro_checkpoint
+  VERBATIM)
+add_test(NAME bench_smoke COMMAND ${_corbaft_bench_smoke_cmd})
+set_tests_properties(bench_smoke PROPERTIES
+  LABELS "bench"
+  ENVIRONMENT "CORBAFT_BENCH_SMOKE=1"
+  WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -228,6 +228,11 @@ ft::ProxyConfig SimRuntime::make_proxy_config(const naming::Name& name,
   config.sleep = [this](double dt) {
     cluster_.events().run_until(cluster_.events().now() + dt);
   };
+  // Async checkpoint shipping becomes a deferred event on the virtual
+  // clock, so delta_async runs keep deterministic traces.
+  config.defer = [this](std::function<void()> fn) {
+    cluster_.events().schedule_after(0.0, std::move(fn));
+  };
   config.quarantine = quarantine_;
   return config;
 }

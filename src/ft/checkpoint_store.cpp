@@ -1,8 +1,10 @@
 #include "ft/checkpoint_store.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 
+#include "ft/delta.hpp"
 #include "sim/work_meter.hpp"
 
 namespace ft {
@@ -11,34 +13,109 @@ namespace {
 
 corba::RegisterUserException<NoCheckpoint> register_no_checkpoint;
 
+void throw_stale(std::uint64_t version, std::uint64_t stored) {
+  throw corba::BAD_PARAM("stale checkpoint version " + std::to_string(version) +
+                         " <= " + std::to_string(stored));
+}
+
+void throw_base_mismatch(std::uint64_t base_version, std::uint64_t stored) {
+  throw corba::BAD_PARAM("delta base version " + std::to_string(base_version) +
+                         " does not match stored version " +
+                         std::to_string(stored));
+}
+
 }  // namespace
 
-MemoryCheckpointStore::MemoryCheckpointStore(CostModel cost) : cost_(cost) {}
+void CheckpointStoreClient::store_delta(const std::string& key,
+                                        std::uint64_t base_version,
+                                        std::uint64_t version,
+                                        const corba::Blob& delta) {
+  // Fallback for backends without native delta support: materialize locally
+  // and forward as a full store.  Correctness is identical; only the wire /
+  // storage savings are lost.
+  const auto current = load(key);
+  if (!current)
+    throw corba::BAD_PARAM("delta without base checkpoint for key '" + key +
+                           "'");
+  if (current->version != base_version)
+    throw_base_mismatch(base_version, current->version);
+  store(key, version, StateDelta::decode(delta).apply(current->state));
+}
+
+MemoryCheckpointStore::MemoryCheckpointStore(CostModel cost, DeltaPolicy delta)
+    : cost_(cost), delta_policy_(delta) {}
+
+corba::Blob MemoryCheckpointStore::materialize(const Entry& entry) {
+  corba::Blob state = entry.base;
+  for (const Segment& segment : entry.chain)
+    state = StateDelta::decode(segment.delta).apply(state);
+  return state;
+}
 
 void MemoryCheckpointStore::store(const std::string& key, std::uint64_t version,
                                   const corba::Blob& state) {
   sim::WorkMeter::charge(cost_.work_per_store +
                          cost_.work_per_byte * static_cast<double>(state.size()));
+  // Copy outside the lock so the critical section is a move-assign, not a
+  // potentially large allocation + memcpy.
+  corba::Blob copy = state;
   std::lock_guard lock(mu_);
-  Checkpoint& checkpoint = checkpoints_[key];
-  if (checkpoint.version != 0 && version <= checkpoint.version)
-    throw corba::BAD_PARAM("stale checkpoint version " +
-                           std::to_string(version) + " <= " +
-                           std::to_string(checkpoint.version));
-  checkpoint.version = version;
-  checkpoint.state = state;
+  Entry& entry = checkpoints_[key];
+  if (entry.version() != 0 && version <= entry.version())
+    throw_stale(version, entry.version());
+  entry.base_version = version;
+  entry.base = std::move(copy);
+  entry.chain.clear();
+  entry.chain_payload = 0;
   ++store_count_;
 }
 
-std::optional<Checkpoint> MemoryCheckpointStore::load(const std::string& key) {
+void MemoryCheckpointStore::store_delta(const std::string& key,
+                                        std::uint64_t base_version,
+                                        std::uint64_t version,
+                                        const corba::Blob& delta) {
+  // Only the shipped delta bytes are charged — this is the whole point of
+  // incremental checkpointing and what the Table 1 experiment measures.
+  sim::WorkMeter::charge(cost_.work_per_store +
+                         cost_.work_per_byte * static_cast<double>(delta.size()));
+  corba::Blob copy = delta;
   std::lock_guard lock(mu_);
   auto it = checkpoints_.find(key);
-  if (it == checkpoints_.end()) return std::nullopt;
+  if (it == checkpoints_.end())
+    throw corba::BAD_PARAM("delta without base checkpoint for key '" + key +
+                           "'");
+  Entry& entry = it->second;
+  if (version <= entry.version()) throw_stale(version, entry.version());
+  if (base_version != entry.version())
+    throw_base_mismatch(base_version, entry.version());
+  entry.chain_payload += copy.size();
+  entry.chain.push_back({version, std::move(copy)});
+  ++delta_store_count_;
+  if (entry.chain.size() >= delta_policy_.max_chain ||
+      entry.chain_payload > entry.base.size()) {
+    entry.base = materialize(entry);
+    entry.base_version = version;
+    entry.chain.clear();
+    entry.chain_payload = 0;
+    ++compaction_count_;
+  }
+}
+
+std::optional<Checkpoint> MemoryCheckpointStore::load(const std::string& key) {
+  std::optional<Checkpoint> result;
+  {
+    std::lock_guard lock(mu_);
+    auto it = checkpoints_.find(key);
+    if (it == checkpoints_.end()) return std::nullopt;
+    result = Checkpoint{it->second.version(), materialize(it->second)};
+    ++load_count_;
+  }
+  // Charge the simulated cost after dropping mu_: WorkMeter::charge may pump
+  // the virtual clock, and nothing after this point touches shared state.
   sim::WorkMeter::charge(cost_.work_per_store +
                          cost_.work_per_byte *
-                             static_cast<double>(it->second.state.size()));
-  ++load_count_;
-  return it->second;
+                             static_cast<double>(result->state.size()));
+  return result;
 }
 
 void MemoryCheckpointStore::remove(const std::string& key) {
@@ -64,12 +141,23 @@ std::uint64_t MemoryCheckpointStore::loads() const {
   return load_count_;
 }
 
-FileCheckpointStore::FileCheckpointStore(std::filesystem::path directory)
-    : directory_(std::move(directory)) {
+std::uint64_t MemoryCheckpointStore::delta_stores() const {
+  std::lock_guard lock(mu_);
+  return delta_store_count_;
+}
+
+std::uint64_t MemoryCheckpointStore::compactions() const {
+  std::lock_guard lock(mu_);
+  return compaction_count_;
+}
+
+FileCheckpointStore::FileCheckpointStore(std::filesystem::path directory,
+                                         DeltaPolicy delta)
+    : directory_(std::move(directory)), delta_policy_(delta) {
   std::filesystem::create_directories(directory_);
 }
 
-std::filesystem::path FileCheckpointStore::path_for(const std::string& key) const {
+std::string FileCheckpointStore::encoded_key(const std::string& key) const {
   // Keys may contain characters unsuitable for file names; hex-encode them.
   static constexpr char kHex[] = "0123456789abcdef";
   std::string encoded;
@@ -78,53 +166,193 @@ std::filesystem::path FileCheckpointStore::path_for(const std::string& key) cons
     encoded.push_back(kHex[c >> 4]);
     encoded.push_back(kHex[c & 0xf]);
   }
-  return directory_ / (encoded + ".ckpt");
+  return encoded;
 }
 
-void FileCheckpointStore::store(const std::string& key, std::uint64_t version,
-                                const corba::Blob& state) {
-  std::lock_guard lock(mu_);
-  if (auto existing = [&]() -> std::optional<std::uint64_t> {
-        std::ifstream in(path_for(key), std::ios::binary);
-        std::uint64_t v = 0;
-        if (in.read(reinterpret_cast<char*>(&v), sizeof(v))) return v;
-        return std::nullopt;
-      }();
-      existing && version <= *existing) {
-    throw corba::BAD_PARAM("stale checkpoint version " +
-                           std::to_string(version) + " <= " +
-                           std::to_string(*existing));
-  }
-  const std::filesystem::path target = path_for(key);
+std::filesystem::path FileCheckpointStore::path_for(const std::string& key) const {
+  return directory_ / (encoded_key(key) + ".ckpt");
+}
+
+std::filesystem::path FileCheckpointStore::delta_path_for(
+    const std::string& key, std::uint64_t version) const {
+  return directory_ /
+         (encoded_key(key) + "." + std::to_string(version) + ".dckpt");
+}
+
+void FileCheckpointStore::write_atomically(
+    const std::filesystem::path& target,
+    std::span<const std::byte> payload) const {
   const std::filesystem::path tmp = target.string() + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw corba::INTERNAL("cannot write " + tmp.string());
-    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-    out.write(reinterpret_cast<const char*>(state.data()),
-              static_cast<std::streamsize>(state.size()));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
     if (!out) throw corba::INTERNAL("short write to " + tmp.string());
   }
   std::filesystem::rename(tmp, target);
 }
 
+std::vector<FileCheckpointStore::Segment> FileCheckpointStore::read_segments(
+    const std::string& key) const {
+  const std::string prefix = encoded_key(key) + ".";
+  std::vector<Segment> segments;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    if (entry.path().extension() != ".dckpt") continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    std::ifstream in(entry.path(), std::ios::binary | std::ios::ate);
+    if (!in) continue;
+    const auto size = static_cast<std::size_t>(in.tellg());
+    if (size < 2 * sizeof(std::uint64_t)) continue;  // truncated: orphan
+    in.seekg(0);
+    Segment segment;
+    segment.path = entry.path();
+    in.read(reinterpret_cast<char*>(&segment.version), sizeof(segment.version));
+    in.read(reinterpret_cast<char*>(&segment.base_version),
+            sizeof(segment.base_version));
+    segment.delta.resize(size - 2 * sizeof(std::uint64_t));
+    if (!segment.delta.empty())
+      in.read(reinterpret_cast<char*>(segment.delta.data()),
+              static_cast<std::streamsize>(segment.delta.size()));
+    if (!in) continue;
+    segments.push_back(std::move(segment));
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const Segment& a, const Segment& b) {
+              return a.version < b.version;
+            });
+  return segments;
+}
+
+std::optional<FileCheckpointStore::Materialized>
+FileCheckpointStore::load_locked(const std::string& key) {
+  std::ifstream in(path_for(key), std::ios::binary | std::ios::ate);
+  if (!in) {
+    // No base: any delta segments lying around (crash between base removal
+    // and segment cleanup) can never apply again — discard them.
+    remove_segments(key);
+    return std::nullopt;
+  }
+  const auto size = static_cast<std::size_t>(in.tellg());
+  if (size < sizeof(std::uint64_t))
+    throw corba::INTERNAL("corrupt checkpoint file for key '" + key + "'");
+  in.seekg(0);
+  Materialized m;
+  if (!in.read(reinterpret_cast<char*>(&m.checkpoint.version),
+               sizeof(m.checkpoint.version)))
+    throw corba::INTERNAL("corrupt checkpoint file for key '" + key + "'");
+  m.checkpoint.state.resize(size - sizeof(std::uint64_t));
+  if (!m.checkpoint.state.empty() &&
+      !in.read(reinterpret_cast<char*>(m.checkpoint.state.data()),
+               static_cast<std::streamsize>(m.checkpoint.state.size())))
+    throw corba::INTERNAL("corrupt checkpoint file for key '" + key + "'");
+  m.base_version = m.checkpoint.version;
+  m.base_size = m.checkpoint.state.size();
+
+  // Replay the delta chain, discarding orphans: segments at or below the
+  // base (stale leftovers from before a compaction) and segments whose
+  // declared base breaks the chain (crash-restart gap).  Once the chain
+  // breaks, everything after it is unreachable too.
+  bool broken = false;
+  for (Segment& segment : read_segments(key)) {
+    const bool stale = segment.version <= m.checkpoint.version;
+    const bool gap = !stale && segment.base_version != m.checkpoint.version;
+    if (stale || gap || broken) {
+      broken = broken || gap;
+      std::error_code ignored;
+      std::filesystem::remove(segment.path, ignored);
+      continue;
+    }
+    m.checkpoint.state =
+        StateDelta::decode(segment.delta).apply(m.checkpoint.state);
+    m.checkpoint.version = segment.version;
+    ++m.chain_length;
+    m.chain_payload += segment.delta.size();
+  }
+  return m;
+}
+
+void FileCheckpointStore::remove_segments(const std::string& key) {
+  const std::string prefix = encoded_key(key) + ".";
+  std::vector<std::filesystem::path> doomed;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    if (entry.path().extension() != ".dckpt") continue;
+    if (entry.path().filename().string().rfind(prefix, 0) != 0) continue;
+    doomed.push_back(entry.path());
+  }
+  for (const auto& path : doomed) {
+    std::error_code ignored;
+    std::filesystem::remove(path, ignored);
+  }
+}
+
+void FileCheckpointStore::store(const std::string& key, std::uint64_t version,
+                                const corba::Blob& state) {
+  std::lock_guard lock(mu_);
+  if (const auto existing = load_locked(key);
+      existing && version <= existing->checkpoint.version)
+    throw_stale(version, existing->checkpoint.version);
+  corba::Blob payload(sizeof(version) + state.size());
+  std::memcpy(payload.data(), &version, sizeof(version));
+  if (!state.empty())
+    std::memcpy(payload.data() + sizeof(version), state.data(), state.size());
+  write_atomically(path_for(key), payload);
+  // The new base supersedes the whole chain.
+  remove_segments(key);
+}
+
+void FileCheckpointStore::store_delta(const std::string& key,
+                                      std::uint64_t base_version,
+                                      std::uint64_t version,
+                                      const corba::Blob& delta) {
+  std::lock_guard lock(mu_);
+  const auto existing = load_locked(key);
+  if (!existing)
+    throw corba::BAD_PARAM("delta without base checkpoint for key '" + key +
+                           "'");
+  if (version <= existing->checkpoint.version)
+    throw_stale(version, existing->checkpoint.version);
+  if (base_version != existing->checkpoint.version)
+    throw_base_mismatch(base_version, existing->checkpoint.version);
+
+  corba::Blob payload(2 * sizeof(std::uint64_t) + delta.size());
+  std::memcpy(payload.data(), &version, sizeof(version));
+  std::memcpy(payload.data() + sizeof(version), &base_version,
+              sizeof(base_version));
+  if (!delta.empty())
+    std::memcpy(payload.data() + 2 * sizeof(std::uint64_t), delta.data(),
+                delta.size());
+  write_atomically(delta_path_for(key, version), payload);
+
+  if (existing->chain_length + 1 >= delta_policy_.max_chain ||
+      existing->chain_payload + delta.size() > existing->base_size) {
+    // Compact: materialize the new tip and rewrite it as the base.  The
+    // base rename commits the compaction; segment removal afterwards is
+    // cleanup (leftovers are discarded as stale on the next load).
+    corba::Blob state =
+        StateDelta::decode(delta).apply(existing->checkpoint.state);
+    corba::Blob base(sizeof(version) + state.size());
+    std::memcpy(base.data(), &version, sizeof(version));
+    if (!state.empty())
+      std::memcpy(base.data() + sizeof(version), state.data(), state.size());
+    write_atomically(path_for(key), base);
+    remove_segments(key);
+  }
+}
+
 std::optional<Checkpoint> FileCheckpointStore::load(const std::string& key) {
   std::lock_guard lock(mu_);
-  std::ifstream in(path_for(key), std::ios::binary);
-  if (!in) return std::nullopt;
-  Checkpoint checkpoint;
-  if (!in.read(reinterpret_cast<char*>(&checkpoint.version),
-               sizeof(checkpoint.version)))
-    throw corba::INTERNAL("corrupt checkpoint file for key '" + key + "'");
-  char byte;
-  while (in.get(byte)) checkpoint.state.push_back(static_cast<std::byte>(byte));
-  return checkpoint;
+  auto m = load_locked(key);
+  if (!m) return std::nullopt;
+  return std::move(m->checkpoint);
 }
 
 void FileCheckpointStore::remove(const std::string& key) {
   std::lock_guard lock(mu_);
   std::error_code ignored;
   std::filesystem::remove(path_for(key), ignored);
+  remove_segments(key);
 }
 
 std::vector<std::string> FileCheckpointStore::keys() {
@@ -164,6 +392,12 @@ corba::Value CheckpointStoreServant::dispatch(std::string_view op,
     impl_->store(args[0].as_string(), args[1].as_u64(), args[2].as_blob());
     return {};
   }
+  if (op == "store_delta") {
+    check_arity(op, args, 4);
+    impl_->store_delta(args[0].as_string(), args[1].as_u64(), args[2].as_u64(),
+                       args[3].as_blob());
+    return {};
+  }
   if (op == "load") {
     check_arity(op, args, 1);
     const auto checkpoint = impl_->load(args[0].as_string());
@@ -189,6 +423,14 @@ corba::Value CheckpointStoreServant::dispatch(std::string_view op,
 void CheckpointStoreStub::store(const std::string& key, std::uint64_t version,
                                 const corba::Blob& state) {
   call("store", {corba::Value(key), corba::Value(version), corba::Value(state)});
+}
+
+void CheckpointStoreStub::store_delta(const std::string& key,
+                                      std::uint64_t base_version,
+                                      std::uint64_t version,
+                                      const corba::Blob& delta) {
+  call("store_delta", {corba::Value(key), corba::Value(base_version),
+                       corba::Value(version), corba::Value(delta)});
 }
 
 std::optional<Checkpoint> CheckpointStoreStub::load(const std::string& key) {

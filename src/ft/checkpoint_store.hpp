@@ -14,6 +14,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 
 #include "orb/object_adapter.hpp"
 #include "orb/stub.hpp"
@@ -36,6 +37,14 @@ struct Checkpoint {
   corba::Blob state;
 };
 
+/// Compaction policy for delta chains: a key's chain collapses into a new
+/// full base snapshot once it holds `max_chain` deltas or once the chain's
+/// payload bytes exceed the base size (whichever comes first), bounding
+/// both replay work on load and storage growth.
+struct DeltaPolicy {
+  std::uint32_t max_chain = 8;
+};
+
 /// Client API of the checkpoint store; implemented by the backends (for
 /// colocated use) and by CheckpointStoreStub (remote use).
 class CheckpointStoreClient {
@@ -48,7 +57,20 @@ class CheckpointStoreClient {
   virtual void store(const std::string& key, std::uint64_t version,
                      const corba::Blob& state) = 0;
 
-  /// Latest checkpoint for `key`, or std::nullopt when none exists.
+  /// Stores an incremental checkpoint: `delta` is a CDR-encoded
+  /// ft::StateDelta diffed against the stored version `base_version`.
+  /// Rejected with BAD_PARAM when no checkpoint exists for the key, when
+  /// `base_version` is not the store's current version (the delta was
+  /// diffed against state the store no longer has), or when `version` is
+  /// stale — callers fall back to a full store() in all three cases.  The
+  /// default implementation materializes locally and forwards to store();
+  /// backends override it to keep a bounded delta chain instead.
+  virtual void store_delta(const std::string& key, std::uint64_t base_version,
+                           std::uint64_t version, const corba::Blob& delta);
+
+  /// Latest checkpoint for `key`, or std::nullopt when none exists.  A
+  /// backend holding a delta chain materializes transparently (base +
+  /// replay), so callers always see a full state blob.
   virtual std::optional<Checkpoint> load(const std::string& key) = 0;
 
   /// Removes the checkpoint (no-op when absent).
@@ -69,33 +91,66 @@ class MemoryCheckpointStore final : public CheckpointStoreClient {
   };
 
   MemoryCheckpointStore() : MemoryCheckpointStore(CostModel{}) {}
-  explicit MemoryCheckpointStore(CostModel cost);
+  explicit MemoryCheckpointStore(CostModel cost, DeltaPolicy delta = {});
 
   void store(const std::string& key, std::uint64_t version,
              const corba::Blob& state) override;
+  void store_delta(const std::string& key, std::uint64_t base_version,
+                   std::uint64_t version, const corba::Blob& delta) override;
   std::optional<Checkpoint> load(const std::string& key) override;
   void remove(const std::string& key) override;
   std::vector<std::string> keys() override;
 
   std::uint64_t stores() const;
   std::uint64_t loads() const;
+  std::uint64_t delta_stores() const;
+  std::uint64_t compactions() const;
 
  private:
+  // Per-key storage: a full base snapshot plus an ordered chain of encoded
+  // deltas.  The entry's logical version is the chain tip (or the base when
+  // the chain is empty).
+  struct Segment {
+    std::uint64_t version = 0;
+    corba::Blob delta;
+  };
+  struct Entry {
+    std::uint64_t base_version = 0;
+    corba::Blob base;
+    std::vector<Segment> chain;
+    std::size_t chain_payload = 0;
+
+    std::uint64_t version() const noexcept {
+      return chain.empty() ? base_version : chain.back().version;
+    }
+  };
+
+  static corba::Blob materialize(const Entry& entry);
+
   CostModel cost_;
+  DeltaPolicy delta_policy_;
   mutable std::mutex mu_;
-  std::map<std::string, Checkpoint> checkpoints_;
+  std::map<std::string, Entry> checkpoints_;
   std::uint64_t store_count_ = 0;
   std::uint64_t load_count_ = 0;
+  std::uint64_t delta_store_count_ = 0;
+  std::uint64_t compaction_count_ = 0;
 };
 
-/// File-backed backend: one file per key under `directory`, written
-/// atomically (tmp + rename), surviving process restarts.
+/// File-backed backend: one base file per key under `directory` plus
+/// numbered delta segments, each written atomically (tmp + rename),
+/// surviving process restarts.  Orphan delta segments left behind by a
+/// crash (stale, or with a gap in the chain) are detected and discarded
+/// the next time the key is loaded.
 class FileCheckpointStore final : public CheckpointStoreClient {
  public:
-  explicit FileCheckpointStore(std::filesystem::path directory);
+  explicit FileCheckpointStore(std::filesystem::path directory,
+                               DeltaPolicy delta = {});
 
   void store(const std::string& key, std::uint64_t version,
              const corba::Blob& state) override;
+  void store_delta(const std::string& key, std::uint64_t base_version,
+                   std::uint64_t version, const corba::Blob& delta) override;
   std::optional<Checkpoint> load(const std::string& key) override;
   void remove(const std::string& key) override;
   std::vector<std::string> keys() override;
@@ -103,9 +158,35 @@ class FileCheckpointStore final : public CheckpointStoreClient {
   const std::filesystem::path& directory() const noexcept { return directory_; }
 
  private:
+  struct Segment {
+    std::uint64_t version = 0;
+    std::uint64_t base_version = 0;
+    corba::Blob delta;
+    std::filesystem::path path;
+  };
+  struct Materialized {
+    Checkpoint checkpoint;
+    std::uint64_t base_version = 0;
+    std::size_t base_size = 0;
+    std::size_t chain_length = 0;
+    std::size_t chain_payload = 0;
+  };
+
+  std::string encoded_key(const std::string& key) const;
   std::filesystem::path path_for(const std::string& key) const;
+  std::filesystem::path delta_path_for(const std::string& key,
+                                       std::uint64_t version) const;
+  /// All delta segments for `key`, sorted by version (unvalidated).
+  std::vector<Segment> read_segments(const std::string& key) const;
+  /// Base + validated chain with orphans discarded (deleted from disk).
+  /// Returns nullopt when no base exists.
+  std::optional<Materialized> load_locked(const std::string& key);
+  void write_atomically(const std::filesystem::path& target,
+                        std::span<const std::byte> payload) const;
+  void remove_segments(const std::string& key);
 
   std::filesystem::path directory_;
+  DeltaPolicy delta_policy_;
   mutable std::mutex mu_;
 };
 
@@ -134,6 +215,8 @@ class CheckpointStoreStub final : public corba::StubBase,
 
   void store(const std::string& key, std::uint64_t version,
              const corba::Blob& state) override;
+  void store_delta(const std::string& key, std::uint64_t base_version,
+                   std::uint64_t version, const corba::Blob& delta) override;
   std::optional<Checkpoint> load(const std::string& key) override;
   void remove(const std::string& key) override;
   std::vector<std::string> keys() override;

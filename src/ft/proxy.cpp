@@ -27,6 +27,17 @@ ProxyEngine::ProxyEngine(ProxyConfig config)
     throw corba::BAD_PARAM("backoff_factor must be >= 1");
   if (p.backoff_jitter < 0 || p.backoff_jitter >= 1)
     throw corba::BAD_PARAM("backoff_jitter must be in [0, 1)");
+  if (config_.store && p.checkpoint_every > 0) {
+    CheckpointPipeline::Config pipeline;
+    pipeline.store = config_.store;
+    pipeline.key = config_.checkpoint_key;
+    pipeline.mode = p.checkpoint_mode;
+    pipeline.chunk_size = p.delta_chunk_size;
+    pipeline.depth = p.pipeline_depth;
+    pipeline.attempts = p.checkpoint_attempts;
+    pipeline.defer = config_.defer;
+    pipeline_ = std::make_unique<CheckpointPipeline>(std::move(pipeline));
+  }
 }
 
 double ProxyEngine::now() const {
@@ -112,6 +123,7 @@ void ProxyEngine::on_failure(const corba::SystemException& error, int attempt,
     // double-execution hazard only exists while the target is alive.
     if (error.completed() == corba::CompletionStatus::completed_maybe &&
         config_.policy.restore_on_recover && config_.store) {
+      if (pipeline_) pipeline_->flush();
       for (int i = 0; i < config_.policy.checkpoint_attempts; ++i) {
         try {
           if (const auto checkpoint =
@@ -164,10 +176,11 @@ void ProxyEngine::note_success() {
 }
 
 void ProxyEngine::checkpoint_now() {
-  if (!config_.store) return;
-  const corba::Blob state = get_state(current_);
-  config_.store->store(config_.checkpoint_key, ++version_, state);
-  ++checkpoints_;
+  if (!pipeline_) return;
+  // The capture is synchronous in every mode — state fidelity never depends
+  // on the shipping mode; only the store round-trip is pipelined.
+  corba::Blob state = get_state(current_);
+  pipeline_->submit(++version_, std::move(state));
   calls_since_checkpoint_ = 0;
 }
 
@@ -197,12 +210,18 @@ void ProxyEngine::rebind(corba::ObjectRef next, std::string host) {
 }
 
 void ProxyEngine::recover_now() {
+  // Drain the async pipeline before anything else so the restore below sees
+  // the newest checkpoint the captures can produce.
+  if (pipeline_) pipeline_->flush();
   // Acquire-then-swap: the old instance's bookkeeping is only touched after
   // a replacement has been secured and restored, so a recovery that fails
   // midway (store unreachable, no factory, ...) leaves the proxy and the
   // naming service exactly as they were.
   const corba::IOR failed = current_.ior();
-  const std::string failed_host = host_of_current();
+  // Reuse the host cached at the last rebind instead of re-walking the
+  // naming service's offers with a fresh list_offers round-trip per failure.
+  const std::string failed_host =
+      current_host_.empty() ? host_of_current() : current_host_;
   const RecoveryMode mode = config_.policy.mode;
 
   corba::ObjectRef next;

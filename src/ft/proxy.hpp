@@ -25,6 +25,7 @@
 #include <string>
 
 #include "ft/checkpoint.hpp"
+#include "ft/checkpoint_pipeline.hpp"
 #include "ft/checkpoint_store.hpp"
 #include "ft/quarantine.hpp"
 #include "ft/service_factory.hpp"
@@ -58,6 +59,18 @@ struct RecoveryPolicy {
   int checkpoint_attempts = 3;
 
   RecoveryMode mode = RecoveryMode::reresolve_then_factory;
+
+  /// How checkpoints travel to the store (see ft/checkpoint_pipeline.hpp).
+  /// full_sync is the paper's behaviour and the default; delta modes ship
+  /// chunked diffs; delta_async additionally decouples note_success() from
+  /// the store round-trip.
+  CheckpointMode checkpoint_mode = CheckpointMode::full_sync;
+
+  /// Diff granularity for the delta modes.
+  std::uint32_t delta_chunk_size = kDefaultChunkSize;
+
+  /// Async pipeline queue depth (oldest capture coalesced away when full).
+  std::size_t pipeline_depth = 4;
 
   /// Strategy for the re-resolve (winner = pick a well-loaded live host).
   naming::ResolveStrategy resolve_strategy = naming::ResolveStrategy::winner;
@@ -130,6 +143,11 @@ struct ProxyConfig {
   /// the simulator supplies a virtual-time sleep that pumps the event queue.
   std::function<void(double)> sleep;
 
+  /// Deferred executor for the async checkpoint pipeline.  The simulator
+  /// supplies an event-queue hook so async shipping stays deterministic in
+  /// virtual time; when null, delta_async uses a real worker thread.
+  std::function<void(std::function<void()>)> defer;
+
   /// Shared circuit breaker (may be null).  The engine reports call
   /// failures/successes against the current instance; the runtime wires the
   /// same object into naming resolution and the FaultDetector's probes.
@@ -150,9 +168,12 @@ class ProxyEngine {
 
   const RecoveryPolicy& policy() const noexcept { return config_.policy; }
 
-  /// Workstation the current instance runs on, from the naming service's
-  /// offer bookkeeping (empty when unknown).
-  std::string current_host() const { return host_of_current(); }
+  /// Workstation the current instance runs on, cached at rebind and
+  /// refreshed from the naming service's offer bookkeeping only when the
+  /// cache is cold (empty when unknown).
+  std::string current_host() const {
+    return current_host_.empty() ? host_of_current() : current_host_;
+  }
 
   /// Forces an immediate checkpoint regardless of checkpoint_every.
   /// Throws on failure (the periodic path in note_success does not).
@@ -189,12 +210,22 @@ class ProxyEngine {
   /// proxies use it to re-target their inherited stub.
   std::function<void(const corba::ObjectRef&)> on_rebind;
 
+  /// Shipping pipeline (null when checkpointing is disabled).  Exposed so
+  /// callers (migration, benchmarks, shutdown paths) can flush() or read
+  /// delta/coalescing telemetry.
+  CheckpointPipeline* checkpoint_pipeline() const noexcept {
+    return pipeline_.get();
+  }
+
   // --- telemetry ------------------------------------------------------------
   std::uint64_t recoveries() const noexcept { return recoveries_; }
-  std::uint64_t checkpoints_taken() const noexcept { return checkpoints_; }
+  /// Checkpoints acknowledged by the store.
+  std::uint64_t checkpoints_taken() const noexcept {
+    return pipeline_ ? pipeline_->stored() : 0;
+  }
   std::uint64_t retries() const noexcept { return retries_; }
   std::uint64_t checkpoint_failures() const noexcept {
-    return checkpoint_failures_;
+    return checkpoint_failures_ + (pipeline_ ? pipeline_->failures() : 0);
   }
   /// Total time spent in backoff waits.
   double backoff_waited_s() const noexcept { return backoff_waited_s_; }
@@ -214,11 +245,11 @@ class ProxyEngine {
   /// the quarantine needs it), so per-call bookkeeping stays O(1).
   std::string current_host_;
   std::string service_key_;
+  std::unique_ptr<CheckpointPipeline> pipeline_;
   std::mt19937_64 backoff_rng_;
   std::uint64_t version_ = 0;
   int calls_since_checkpoint_ = 0;
   std::uint64_t recoveries_ = 0;
-  std::uint64_t checkpoints_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t checkpoint_failures_ = 0;
   double backoff_waited_s_ = 0.0;

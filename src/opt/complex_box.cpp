@@ -34,7 +34,7 @@ corba::Blob BoxState::serialize() const {
   return out.take_buffer();
 }
 
-BoxState BoxState::deserialize(const corba::Blob& blob) {
+BoxState BoxState::deserialize(std::span<const std::byte> blob) {
   corba::CdrInputStream in(blob);
   const std::uint32_t version = in.read_u32();
   if (version != 1)

@@ -70,9 +70,11 @@ class BoxState {
  public:
   bool initialized() const noexcept { return !points.empty(); }
 
-  /// Serialization for checkpointing (versioned, CDR-based).
+  /// Serialization for checkpointing (versioned, CDR-based).  deserialize
+  /// takes a view so restore paths can parse directly out of a larger
+  /// message buffer without cutting out a Blob first.
   corba::Blob serialize() const;
-  static BoxState deserialize(const corba::Blob& blob);
+  static BoxState deserialize(std::span<const std::byte> blob);
 
   friend bool operator==(const BoxState&, const BoxState&) = default;
 

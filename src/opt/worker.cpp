@@ -35,11 +35,11 @@ SolveOutcome OptWorkerServant::solve(int block_index,
   const double eval_work =
       problem_.work_per_eval_per_dim * static_cast<double>(block.dimension);
 
-  std::vector<double> coupling_copy(coupling.begin(), coupling.end());
+  coupling_scratch_.assign(coupling.begin(), coupling.end());
   std::int64_t extra_evaluations = 0;
   const Objective objective = [&](std::span<const double> x) {
     sim::WorkMeter::charge(eval_work);
-    return decomposition_.block_objective(block, x, coupling_copy);
+    return decomposition_.block_objective(block, x, coupling_scratch_);
   };
 
   BoxState& state = block_states_[block_index];
@@ -105,7 +105,9 @@ void OptWorkerServant::set_state(const corba::Blob& blob) {
   std::map<int, BoxState> states;
   for (std::uint32_t i = 0; i < count; ++i) {
     const int block = in.read_i32();
-    states[block] = BoxState::deserialize(in.read_blob());
+    // View read: each BoxState parses straight out of the message buffer
+    // instead of being copied into an intermediate Blob first.
+    states[block] = BoxState::deserialize(in.read_blob_view());
   }
   std::lock_guard lock(mu_);
   calls_ = calls;

@@ -79,6 +79,9 @@ class OptWorkerServant final : public corba::Servant,
   Decomposition decomposition_;
   mutable std::mutex mu_;
   std::map<int, BoxState> block_states_;
+  /// Per-call coupling snapshot, reused across solve() calls (guarded by
+  /// mu_) so the hot path stops allocating per invocation.
+  std::vector<double> coupling_scratch_;
   std::int64_t calls_ = 0;
 };
 

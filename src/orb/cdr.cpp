@@ -31,8 +31,14 @@ CdrOutputStream::CdrOutputStream(ByteOrder order) : order_(order) {
   buffer_.reserve(128);
 }
 
+CdrOutputStream::CdrOutputStream(std::vector<std::byte>&& recycled,
+                                 ByteOrder order)
+    : buffer_(std::move(recycled)), order_(order) {
+  buffer_.clear();
+}
+
 void CdrOutputStream::align(std::size_t alignment) {
-  const std::size_t misalign = buffer_.size() % alignment;
+  const std::size_t misalign = (buffer_.size() - origin_) % alignment;
   if (misalign != 0) buffer_.resize(buffer_.size() + (alignment - misalign));
 }
 
@@ -199,6 +205,33 @@ std::vector<double> CdrInputStream::read_f64_seq() {
     for (auto& d : v) d = read_f64();
   }
   return v;
+}
+
+std::span<const std::byte> CdrInputStream::read_blob_view() {
+  const std::uint32_t len = read_u32();
+  return read_raw(len);
+}
+
+std::span<const double> CdrInputStream::read_f64_view(
+    std::vector<double>& scratch) {
+  const std::uint32_t count = read_u32();
+  if (count == 0) return {};
+  align(8);
+  require(static_cast<std::size_t>(count) * sizeof(double));
+  const std::byte* payload = data_.data() + pos_;
+  if (order_ == native_byte_order() &&
+      reinterpret_cast<std::uintptr_t>(payload) % alignof(double) == 0) {
+    pos_ += count * sizeof(double);
+    return {reinterpret_cast<const double*>(payload), count};
+  }
+  scratch.resize(count);
+  if (order_ == native_byte_order()) {
+    std::memcpy(scratch.data(), payload, count * sizeof(double));
+    pos_ += count * sizeof(double);
+  } else {
+    for (auto& d : scratch) d = read_f64();
+  }
+  return {scratch.data(), scratch.size()};
 }
 
 std::span<const std::byte> CdrInputStream::read_raw(std::size_t n) {

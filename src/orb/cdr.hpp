@@ -29,8 +29,23 @@ class CdrOutputStream {
  public:
   explicit CdrOutputStream(ByteOrder order = native_byte_order());
 
+  /// Reuses `recycled`'s capacity (its content is discarded) — the hot
+  /// invoke path hands the same scratch buffer through encode/send cycles
+  /// so steady-state message assembly performs no allocation.
+  explicit CdrOutputStream(std::vector<std::byte>&& recycled,
+                           ByteOrder order = native_byte_order());
+
   ByteOrder byte_order() const noexcept { return order_; }
-  std::size_t size() const noexcept { return buffer_.size(); }
+  /// Bytes written since the alignment origin (== the CDR body size).
+  std::size_t size() const noexcept { return buffer_.size() - origin_; }
+
+  /// Pre-sizes the underlying buffer (size-hint reserve before encode).
+  void reserve(std::size_t n) { buffer_.reserve(origin_ + n); }
+
+  /// Makes the current position offset 0 for alignment purposes.  Frame
+  /// assembly writes the fixed header first and rebases, so the body's CDR
+  /// alignment matches a receiver that decodes the body on its own.
+  void rebase_alignment() noexcept { origin_ = buffer_.size(); }
 
   void write_octet(std::uint8_t v);
   void write_bool(bool v);
@@ -64,6 +79,7 @@ class CdrOutputStream {
   void write_scalar(T v);
 
   std::vector<std::byte> buffer_;
+  std::size_t origin_ = 0;
   ByteOrder order_;
 };
 
@@ -92,6 +108,17 @@ class CdrInputStream {
   std::string read_string();
   std::vector<std::byte> read_blob();
   std::vector<double> read_f64_seq();
+
+  /// Zero-copy blob read: a view into the underlying buffer, valid only
+  /// while that buffer lives.  Restore paths that parse-and-discard use
+  /// this instead of read_blob() to skip the per-message copy.
+  std::span<const std::byte> read_blob_view();
+
+  /// Zero-copy f64-sequence read.  When the payload is native-order and
+  /// 8-byte aligned in memory the returned span aliases the buffer and
+  /// `scratch` is untouched; otherwise the values are decoded into
+  /// `scratch` (reused across calls) and the span points there.
+  std::span<const double> read_f64_view(std::vector<double>& scratch);
 
   /// Reads `n` raw bytes with no alignment.
   std::span<const std::byte> read_raw(std::size_t n);

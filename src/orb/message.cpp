@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 
 namespace corba {
 
@@ -198,6 +199,27 @@ void UserExceptionRegistry::raise(const std::string& repo_id,
     if (id == repo_id) thrower(detail);
   }
   throw UnknownUserException(repo_id, detail);
+}
+
+FrameBuilder::FrameBuilder(MessageType type, std::vector<std::byte>&& recycled,
+                           ByteOrder order)
+    : type_(type), stream_(std::move(recycled), order) {
+  static constexpr std::array<std::byte, MessageHeader::kEncodedSize>
+      kPlaceholder{};
+  stream_.write_raw(kPlaceholder);
+  stream_.rebase_alignment();
+}
+
+std::vector<std::byte> FrameBuilder::finish() {
+  MessageHeader header;
+  header.type = type_;
+  header.byte_order = stream_.byte_order();
+  if (stream_.size() > UINT32_MAX) throw MARSHAL("message body too large");
+  header.body_length = static_cast<std::uint32_t>(stream_.size());
+  const auto head = header.encode();
+  std::vector<std::byte> frame = stream_.take_buffer();
+  std::memcpy(frame.data(), head.data(), head.size());
+  return frame;
 }
 
 std::vector<std::byte> encode_frame(MessageType type,

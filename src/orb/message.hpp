@@ -129,4 +129,26 @@ struct RegisterUserException {
 std::vector<std::byte> encode_frame(MessageType type,
                                     const CdrOutputStream& body);
 
+/// Zero-copy frame assembly: the header placeholder is written first into a
+/// (possibly recycled) buffer, CDR alignment is rebased so the body encodes
+/// exactly as a standalone stream would, and finish() patches the header in
+/// place — the body is never copied, unlike encode_frame().  Call
+/// `body().reserve(estimate)` before encoding to avoid regrowth.
+class FrameBuilder {
+ public:
+  explicit FrameBuilder(MessageType type,
+                        std::vector<std::byte>&& recycled = {},
+                        ByteOrder order = native_byte_order());
+
+  CdrOutputStream& body() noexcept { return stream_; }
+
+  /// Patches the header and surrenders the finished frame; the builder is
+  /// spent afterwards.
+  std::vector<std::byte> finish();
+
+ private:
+  MessageType type_;
+  CdrOutputStream stream_;
+};
+
 }  // namespace corba

@@ -28,12 +28,16 @@ constexpr int kPollIntervalMs = 100;
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_), scratch_(std::move(other.scratch_)) {
+  other.fd_ = -1;
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    scratch_ = std::move(other.scratch_);
     other.fd_ = -1;
   }
   return *this;
@@ -123,6 +127,18 @@ void Socket::send_frame(MessageType type, const CdrOutputStream& body) {
   write_all(encode_frame(type, body));
 }
 
+FrameBuilder Socket::start_frame(MessageType type, std::size_t size_hint) {
+  FrameBuilder frame(type, std::move(scratch_));
+  if (size_hint > 0) frame.body().reserve(size_hint);
+  return frame;
+}
+
+void Socket::finish_frame(FrameBuilder& frame) {
+  std::vector<std::byte> bytes = frame.finish();
+  write_all(bytes);
+  scratch_ = std::move(bytes);  // reclaim the capacity for the next frame
+}
+
 bool Socket::recv_frame(MessageHeader& header, std::vector<std::byte>& body,
                         const std::atomic<bool>* stop, double timeout_s) {
   std::array<std::byte, MessageHeader::kEncodedSize> head_bytes;
@@ -139,9 +155,10 @@ ReplyMessage TcpClientTransport::round_trip(const IOR& target,
                                             const RequestMessage& request) {
   Socket socket = checkout(target.host, target.port);
   try {
-    CdrOutputStream body;
-    request.encode_body(body);
-    socket.send_frame(MessageType::request, body);
+    FrameBuilder frame = socket.start_frame(MessageType::request,
+                                            request.encoded_size_estimate());
+    request.encode_body(frame.body());
+    socket.finish_frame(frame);
     if (!request.response_expected) {
       checkin(target.host, target.port, std::move(socket));
       return ReplyMessage::make_result(request.request_id, {});
@@ -319,9 +336,10 @@ void TcpServerEndpoint::connection_loop(Socket socket) {
       RequestMessage request = RequestMessage::decode_body(in);
       ReplyMessage reply = adapter_->dispatch(request);
       if (!request.response_expected) continue;
-      CdrOutputStream out;
-      reply.encode_body(out);
-      socket.send_frame(MessageType::reply, out);
+      FrameBuilder frame = socket.start_frame(MessageType::reply,
+                                              reply.encoded_size_estimate());
+      reply.encode_body(frame.body());
+      socket.finish_frame(frame);
     } catch (const Exception&) {
       // Framing/marshal error on this connection: drop it.  The client sees
       // COMM_FAILURE, which is exactly what a real ORB produces.

@@ -44,6 +44,13 @@ class Socket {
   /// Writes an entire frame (header + body).
   void send_frame(MessageType type, const CdrOutputStream& body);
 
+  /// Zero-copy frame path: start_frame hands out a FrameBuilder backed by
+  /// this socket's scratch buffer (pre-sized to `size_hint`); finish_frame
+  /// writes it and reclaims the buffer, so steady-state sends on one
+  /// connection allocate nothing.
+  FrameBuilder start_frame(MessageType type, std::size_t size_hint = 0);
+  void finish_frame(FrameBuilder& frame);
+
   /// Reads one frame.  Returns false on orderly peer close before a header;
   /// throws COMM_FAILURE on mid-frame errors and TIMEOUT when `timeout_s`
   /// (> 0) elapses first.  `stop` (optional) aborts the wait and returns
@@ -58,6 +65,9 @@ class Socket {
                 const std::atomic<bool>* stop, double timeout_s);
 
   int fd_ = -1;
+  /// Recycled through start_frame/finish_frame; capacity follows the
+  /// largest frame this connection has sent.
+  std::vector<std::byte> scratch_;
 };
 
 /// Client transport over TCP with per-target connection pooling.

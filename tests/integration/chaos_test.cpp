@@ -35,8 +35,11 @@ class ChaosTest : public ::testing::Test {
     return *runtime_;
   }
 
-  static SolverConfig chaos_config(bool use_ft) {
+  static SolverConfig chaos_config(
+      bool use_ft,
+      ft::CheckpointMode checkpoint_mode = ft::CheckpointMode::full_sync) {
     SolverConfig config;
+    config.ft_policy.checkpoint_mode = checkpoint_mode;
     config.dimension = 30;
     config.workers = 3;
     config.worker_iterations = 400;
@@ -92,9 +95,12 @@ class ChaosTest : public ::testing::Test {
 
   /// One full FT run under chaos seed `seed`: drops + spikes throughout, a
   /// partition around the first-placed worker, a crash of the second.
-  ChaosOutcome chaos_run(std::uint64_t seed) {
+  ChaosOutcome chaos_run(std::uint64_t seed,
+                         ft::CheckpointMode checkpoint_mode =
+                             ft::CheckpointMode::full_sync) {
     rt::SimRuntime& runtime = make_runtime();
-    DecomposedSolver solver(runtime, chaos_config(/*use_ft=*/true));
+    DecomposedSolver solver(runtime,
+                            chaos_config(/*use_ft=*/true, checkpoint_mode));
     solver.deploy();
     const auto injector = arm(chaos_plan(seed, solver.placements().front()));
     cluster_->crash_host_at(runtime.events().now() + 5.0,
@@ -124,6 +130,36 @@ TEST_F(ChaosTest, ConvergesToFailureFreeMinimizerAcrossSeeds) {
 TEST_F(ChaosTest, SameSeedReproducesTraceAndResult) {
   const ChaosOutcome first = chaos_run(11);
   const ChaosOutcome second = chaos_run(11);
+  ASSERT_FALSE(first.trace.empty());
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.result.best_value, second.result.best_value);
+  EXPECT_EQ(first.result.virtual_seconds, second.result.virtual_seconds);
+  EXPECT_EQ(first.result.recoveries, second.result.recoveries);
+  EXPECT_EQ(first.result.worker_calls, second.result.worker_calls);
+}
+
+TEST_F(ChaosTest, DeltaAsyncConvergesToFailureFreeMinimizerAcrossSeeds) {
+  // The checkpoint pipeline must not weaken the exact-recovery contract:
+  // delta encoding changes only how state travels, and the async path is
+  // flushed before every restore, so the chaos runs still converge to the
+  // failure-free minimizer bit-for-bit.
+  const SolverResult undisturbed = undisturbed_result();
+  for (const std::uint64_t seed : {11u, 23u, 47u}) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    const ChaosOutcome outcome =
+        chaos_run(seed, ft::CheckpointMode::delta_async);
+    EXPECT_GE(outcome.result.recoveries, 1u);
+    EXPECT_FALSE(outcome.trace.empty());
+    EXPECT_EQ(outcome.result.best_value, undisturbed.best_value);
+    EXPECT_EQ(outcome.result.best_coupling, undisturbed.best_coupling);
+  }
+}
+
+TEST_F(ChaosTest, DeltaAsyncSameSeedReproducesTraceAndResult) {
+  // Async shipping runs as virtual-clock deferred events under the
+  // simulator, so even the pipelined runs stay fully deterministic.
+  const ChaosOutcome first = chaos_run(23, ft::CheckpointMode::delta_async);
+  const ChaosOutcome second = chaos_run(23, ft::CheckpointMode::delta_async);
   ASSERT_FALSE(first.trace.empty());
   EXPECT_EQ(first.trace, second.trace);
   EXPECT_EQ(first.result.best_value, second.result.best_value);

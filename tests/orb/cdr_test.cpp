@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <random>
@@ -233,6 +235,110 @@ TEST(CdrRandomized, RandomSequenceRoundTrips) {
     }
     EXPECT_TRUE(in.at_end());
   }
+}
+
+TEST(CdrZeroCopy, RebaseAlignmentMakesBodySelfContained) {
+  // Frame assembly: write a 12-byte header (not 8-aligned), rebase, then
+  // encode a body.  The body bytes must be identical to encoding the body
+  // into a fresh stream — i.e. alignment is relative to the rebase point.
+  CdrOutputStream framed;
+  const std::array<std::byte, 12> header{};
+  framed.write_raw(header);
+  framed.rebase_alignment();
+  EXPECT_EQ(framed.size(), 0u);
+  framed.write_u32(7);
+  framed.write_f64(3.25);  // forces 8-alignment relative to the body start
+  framed.write_string("x");
+
+  CdrOutputStream plain;
+  plain.write_u32(7);
+  plain.write_f64(3.25);
+  plain.write_string("x");
+
+  ASSERT_EQ(framed.size(), plain.size());
+  const auto& buffer = framed.buffer();
+  const std::vector<std::byte> body(buffer.begin() + 12, buffer.end());
+  EXPECT_EQ(body, plain.buffer());
+
+  // The receiver decodes the body standalone.
+  CdrInputStream in(body);
+  EXPECT_EQ(in.read_u32(), 7u);
+  EXPECT_EQ(in.read_f64(), 3.25);
+  EXPECT_EQ(in.read_string(), "x");
+}
+
+TEST(CdrZeroCopy, RecycledBufferKeepsCapacityAndClearsContent) {
+  CdrOutputStream first;
+  first.write_string("payload that forces an allocation beyond SSO sizes");
+  std::vector<std::byte> recycled = first.take_buffer();
+  const std::size_t capacity = recycled.capacity();
+
+  CdrOutputStream second(std::move(recycled));
+  EXPECT_EQ(second.size(), 0u);
+  second.write_u32(5);
+  EXPECT_GE(second.buffer().capacity(), capacity);  // no fresh allocation
+  CdrInputStream in(second.buffer());
+  EXPECT_EQ(in.read_u32(), 5u);
+}
+
+TEST(CdrZeroCopy, ReserveSizesTheBuffer) {
+  CdrOutputStream out;
+  out.reserve(4096);
+  EXPECT_GE(out.buffer().capacity(), 4096u);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(CdrZeroCopy, ReadBlobViewAliasesTheBuffer) {
+  CdrOutputStream out;
+  const std::vector<std::byte> payload(100, std::byte{0x7e});
+  out.write_u32(1);
+  out.write_blob(payload);
+  CdrInputStream in(out.buffer());
+  EXPECT_EQ(in.read_u32(), 1u);
+  const std::span<const std::byte> view = in.read_blob_view();
+  ASSERT_EQ(view.size(), payload.size());
+  // Zero copy: the span points into the stream's underlying buffer.
+  EXPECT_GE(view.data(), out.buffer().data());
+  EXPECT_LT(view.data(), out.buffer().data() + out.buffer().size());
+  EXPECT_TRUE(std::equal(view.begin(), view.end(), payload.begin()));
+  EXPECT_TRUE(in.at_end());
+}
+
+TEST(CdrZeroCopy, ReadF64ViewNativeOrderAliasesWhenAligned) {
+  const std::vector<double> values{1.0, -2.5, 3.25, 1e300};
+  CdrOutputStream out;
+  out.write_f64_seq(values);
+  CdrInputStream in(out.buffer());
+  std::vector<double> scratch;
+  const std::span<const double> view = in.read_f64_view(scratch);
+  ASSERT_EQ(view.size(), values.size());
+  EXPECT_TRUE(std::equal(view.begin(), view.end(), values.begin()));
+  EXPECT_TRUE(in.at_end());
+}
+
+TEST(CdrZeroCopy, ReadF64ViewSwappedOrderDecodesIntoScratch) {
+  const ByteOrder foreign = native_byte_order() == ByteOrder::little_endian
+                                ? ByteOrder::big_endian
+                                : ByteOrder::little_endian;
+  const std::vector<double> values{0.5, 42.0, -1e-9};
+  CdrOutputStream out(foreign);
+  out.write_f64_seq(values);
+  CdrInputStream in(out.buffer(), foreign);
+  std::vector<double> scratch;
+  const std::span<const double> view = in.read_f64_view(scratch);
+  ASSERT_EQ(view.size(), values.size());
+  EXPECT_TRUE(std::equal(view.begin(), view.end(), values.begin()));
+  // The swapped path materializes into the caller's scratch vector.
+  EXPECT_EQ(view.data(), scratch.data());
+}
+
+TEST(CdrZeroCopy, ReadF64ViewEmptySequence) {
+  CdrOutputStream out;
+  out.write_f64_seq({});
+  CdrInputStream in(out.buffer());
+  std::vector<double> scratch;
+  EXPECT_TRUE(in.read_f64_view(scratch).empty());
+  EXPECT_TRUE(in.at_end());
 }
 
 }  // namespace

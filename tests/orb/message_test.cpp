@@ -155,6 +155,50 @@ TEST(Request, SizeEstimateIsReasonable) {
   EXPECT_LE(req.encoded_size_estimate(), actual + 32);
 }
 
+TEST(Frame, FrameBuilderMatchesEncodeFrameByteForByte) {
+  const RequestMessage request = sample_request();
+  CdrOutputStream body;
+  request.encode_body(body);
+  const auto copied = encode_frame(MessageType::request, body);
+
+  FrameBuilder builder(MessageType::request);
+  builder.body().reserve(request.encoded_size_estimate());
+  request.encode_body(builder.body());
+  const auto assembled = builder.finish();
+
+  EXPECT_EQ(assembled, copied);
+  // And the receiver-side decode sees the same request.
+  const MessageHeader header = MessageHeader::decode(assembled);
+  EXPECT_EQ(header.body_length, assembled.size() - MessageHeader::kEncodedSize);
+  CdrInputStream in(std::span<const std::byte>(assembled)
+                        .subspan(MessageHeader::kEncodedSize),
+                    header.byte_order);
+  const RequestMessage decoded = RequestMessage::decode_body(in);
+  EXPECT_EQ(decoded.operation, request.operation);
+  EXPECT_EQ(decoded.request_id, request.request_id);
+}
+
+TEST(Frame, FrameBuilderRecyclesBuffers) {
+  FrameBuilder first(MessageType::reply);
+  ReplyMessage::make_result(1, Value(std::int64_t{42}))
+      .encode_body(first.body());
+  std::vector<std::byte> recycled = first.finish();
+  const std::size_t capacity = recycled.capacity();
+
+  // A second frame assembled into the recycled buffer reuses its storage.
+  FrameBuilder second(MessageType::reply, std::move(recycled));
+  ReplyMessage::make_result(2, Value(std::int64_t{43}))
+      .encode_body(second.body());
+  const auto frame = second.finish();
+  EXPECT_GE(frame.capacity(), capacity);
+  const MessageHeader header = MessageHeader::decode(frame);
+  EXPECT_EQ(header.type, MessageType::reply);
+  CdrInputStream in(std::span<const std::byte>(frame).subspan(
+                        MessageHeader::kEncodedSize),
+                    header.byte_order);
+  EXPECT_EQ(ReplyMessage::decode_body(in).request_id, 2u);
+}
+
 TEST(Request, HostileArgumentCountRejected) {
   CdrOutputStream out;
   out.write_u64(1);

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Runs the JSON-emitting benches and validates the BENCH_*.json trajectory
+# files they produce (schema in bench/bench_common.hpp).
+#
+# Usage:
+#   tools/run_benches.sh [bench-binary ...]
+#
+# With no arguments the default build tree's binaries are used.  Set
+# CORBAFT_BENCH_SMOKE=1 for the reduced smoke workload (the `bench-smoke`
+# CMake target and the `bench_smoke` ctest do this).  JSON files are written
+# into the current working directory.
+set -eu
+
+if [ "$#" -eq 0 ]; then
+  root=$(cd "$(dirname "$0")/.." && pwd)
+  set -- "$root/build/bench/table1_proxy_overhead" \
+         "$root/build/bench/micro_checkpoint"
+fi
+
+for bin in "$@"; do
+  if [ ! -x "$bin" ]; then
+    echo "run_benches.sh: missing bench binary $bin (build it first)" >&2
+    exit 1
+  fi
+  echo "== $bin"
+  "$bin"
+done
+
+# Schema check on the trajectory files these benches emit (other benches
+# write their own BENCH_*.json with older formats; those are not validated
+# here).  Each file must name its bench, carry schema_version 1, and contain
+# at least one row.
+status=0
+for json in BENCH_table1.json BENCH_checkpoint.json; do
+  if [ ! -e "$json" ]; then
+    echo "run_benches.sh: expected $json was not produced" >&2
+    status=1
+    continue
+  fi
+  for needle in '"bench": ' '"schema_version": 1' '"rows": ['; do
+    if ! grep -qF "$needle" "$json"; then
+      echo "run_benches.sh: $json lacks $needle" >&2
+      status=1
+    fi
+  done
+  if ! grep -qE '^  \{' "$json"; then
+    echo "run_benches.sh: $json has no rows" >&2
+    status=1
+  fi
+done
+
+[ "$status" -eq 0 ] && echo "bench JSON schema: ok"
+exit "$status"
