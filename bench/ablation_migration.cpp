@@ -73,26 +73,26 @@ int main() {
 
   std::printf("Ablation A4 — proxy-driven migration on load change.\n\n");
   const std::string original = engine.current().ior().host;
-  double before = 0.0;
-  for (int i = 0; i < 5; ++i) before += timed_call(1.0);
+  LatencyRecorder before("bench.migration.before_s");
+  for (int i = 0; i < 5; ++i) before.record(timed_call(1.0));
   std::printf("service on %-8s (idle):      mean call latency %6.3f s\n",
-              original.c_str(), before / 5);
+              original.c_str(), before.mean());
 
   // Load ramps up on the service's workstation.
   cluster.set_background_load(original, 4);
   runtime.events().run_until(runtime.events().now() + 2.0);
-  double loaded = 0.0;
-  for (int i = 0; i < 5; ++i) loaded += timed_call(1.0);
+  LatencyRecorder loaded("bench.migration.loaded_s");
+  for (int i = 0; i < 5; ++i) loaded.record(timed_call(1.0));
   std::printf("service on %-8s (+4 procs):  mean call latency %6.3f s\n",
-              original.c_str(), loaded / 5);
+              original.c_str(), loaded.mean());
 
   // Migrate: same machinery as failure recovery, no failure required.
   engine.recover_now();
   const std::string migrated = engine.current().ior().host;
-  double after = 0.0;
-  for (int i = 0; i < 5; ++i) after += timed_call(1.0);
+  LatencyRecorder after("bench.migration.after_s");
+  for (int i = 0; i < 5; ++i) after.record(timed_call(1.0));
   std::printf("migrated to %-8s:            mean call latency %6.3f s\n",
-              migrated.c_str(), after / 5);
+              migrated.c_str(), after.mean());
 
   const double total = engine.call("accumulate", {corba::Value(0.0)}).as_f64();
   std::printf(
@@ -100,6 +100,6 @@ int main() {
       "(%s)\n",
       total, total == 15.0 ? "correct" : "WRONG");
   std::printf("latency recovered to within %.0f%% of the idle baseline.\n",
-              100.0 * (after - before) / before);
+              100.0 * (after.mean() - before.mean()) / before.mean());
   return 0;
 }

@@ -220,7 +220,11 @@ int main() {
     json_outcome(f, cell.outcome);
     std::fprintf(f, "}%s\n", i + 1 < cells.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  // Same embedded-metrics convention as write_bench_json.
+  const std::string metrics =
+      obs::to_json(obs::MetricsRegistry::global().snapshot());
+  std::fprintf(f, "  \"metrics\": %s\n}\n", metrics.c_str());
   std::fclose(f);
   std::printf("wrote %s\n", json_path);
   return 0;

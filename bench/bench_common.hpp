@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "opt/manager.hpp"
 #include "sim/fault_injector.hpp"
 
@@ -66,6 +67,9 @@ using JsonRow = std::vector<JsonField>;
 
 /// Writes the trajectory file; returns false (after a warning) on IO errors
 /// so benches keep printing their tables even on a read-only work dir.
+/// Every file also embeds the run's global metrics snapshot under
+/// "metrics" (schema in src/obs/metrics.hpp), so a trajectory diff can see
+/// not just the headline numbers but the runtime counters behind them.
 inline bool write_bench_json(const std::string& path, const std::string& name,
                              const std::vector<JsonRow>& rows) {
   std::ofstream out(path, std::ios::trunc);
@@ -83,9 +87,32 @@ inline bool write_bench_json(const std::string& path, const std::string& name,
     }
     out << "}";
   }
-  out << "\n]}\n";
+  out << "\n],\n\"metrics\": "
+      << obs::to_json(obs::MetricsRegistry::global().snapshot()) << "}\n";
   return out.good();
 }
+
+/// Per-bench latency aggregation on top of the obs histogram: benches used
+/// to hand-roll mean/percentile sums; this gives them the same fixed-bucket
+/// machinery the runtime instrumentation uses (and the same quantile
+/// semantics, documented on Histogram::Snapshot).
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::string name,
+                           std::vector<double> bounds = obs::default_latency_bounds())
+      : histogram_(std::move(name), std::move(bounds)) {}
+
+  void record(double seconds) { histogram_.record(seconds); }
+  std::uint64_t count() const { return histogram_.count(); }
+  double sum() const { return histogram_.sum(); }
+  double mean() const { return histogram_.snapshot().mean(); }
+  /// Bucket-resolution quantile (upper bound of the bucket holding q).
+  double quantile(double q) const { return histogram_.snapshot().quantile(q); }
+  const obs::Histogram& histogram() const { return histogram_; }
+
+ private:
+  obs::Histogram histogram_;
+};
 
 /// Simulated workstation speed in work units per virtual second.  The
 /// absolute value only fixes the time unit; all comparisons are ratios.

@@ -78,6 +78,8 @@ class DirtyBlobServant final : public corba::Servant,
 
 struct SyntheticPoint {
   double per_call_s = 0.0;          ///< virtual seconds per touch() call
+  double per_call_p50_s = 0.0;      ///< bucket-resolution median call latency
+  double per_call_p99_s = 0.0;      ///< bucket-resolution tail call latency
   std::uint64_t checkpoints = 0;
   std::uint64_t bytes_shipped = 0;
   std::uint64_t coalesced = 0;
@@ -126,14 +128,23 @@ SyntheticPoint run_synthetic(std::optional<ft::CheckpointMode> mode,
   if (ft::CheckpointPipeline* pipeline = engine.checkpoint_pipeline())
     pipeline->flush();
 
+  // Per-call distribution rides along via the obs histogram; the headline
+  // per_call_s stays elapsed/calls (includes the final flush), unchanged.
+  LatencyRecorder latency("bench.synthetic.call_s");
   const double start = runtime.events().now();
-  for (int i = 0; i < calls; ++i) engine.call("touch", {});
+  for (int i = 0; i < calls; ++i) {
+    const double t0 = runtime.events().now();
+    engine.call("touch", {});
+    latency.record(runtime.events().now() - t0);
+  }
   if (ft::CheckpointPipeline* pipeline = engine.checkpoint_pipeline())
     pipeline->flush();
   const double elapsed = runtime.events().now() - start;
 
   SyntheticPoint point;
   point.per_call_s = elapsed / calls;
+  point.per_call_p50_s = latency.quantile(0.5);
+  point.per_call_p99_s = latency.quantile(0.99);
   if (ft::CheckpointPipeline* pipeline = engine.checkpoint_pipeline()) {
     point.checkpoints = pipeline->stored();
     point.bytes_shipped = pipeline->bytes_shipped();
@@ -286,6 +297,8 @@ int main() {
                     jnum("dirty_fraction", dirty_fraction),
                     jstr("mode", mode_name),
                     jnum("per_call_s", point.per_call_s),
+                    jnum("per_call_p50_s", point.per_call_p50_s),
+                    jnum("per_call_p99_s", point.per_call_p99_s),
                     jnum("per_call_overhead_s", overhead),
                     jint("checkpoints", point.checkpoints),
                     jint("bytes_shipped", point.bytes_shipped),

@@ -42,7 +42,10 @@ add_custom_target(bench-smoke
   DEPENDS table1_proxy_overhead micro_checkpoint
   VERBATIM)
 add_test(NAME bench_smoke COMMAND ${_corbaft_bench_smoke_cmd})
+# The `obs` label groups everything that exercises the observability layer:
+# the obs unit tests plus this smoke run (which validates the embedded
+# metrics snapshots).  `ctest -L obs` runs the whole group.
 set_tests_properties(bench_smoke PROPERTIES
-  LABELS "bench"
+  LABELS "bench;obs"
   ENVIRONMENT "CORBAFT_BENCH_SMOKE=1"
   WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

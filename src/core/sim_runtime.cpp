@@ -1,5 +1,7 @@
 #include "core/sim_runtime.hpp"
 
+#include "obs/trace.hpp"
+
 namespace rt {
 
 SimRuntime::SimRuntime(sim::Cluster& cluster, RuntimeOptions options)
@@ -7,6 +9,14 @@ SimRuntime::SimRuntime(sim::Cluster& cluster, RuntimeOptions options)
   worker_hosts_ = cluster_.host_names();
   if (worker_hosts_.empty())
     throw corba::BAD_PARAM("SimRuntime requires a non-empty cluster");
+
+  // Observability runs on virtual time while this runtime lives: spans and
+  // timeline events are stamped from the cluster's event queue, and span ids
+  // restart from the run's seed — two same-seed runs therefore produce
+  // byte-identical trace and timeline dumps.
+  obs_clock_token_ =
+      obs::set_clock([&events = cluster_.events()] { return events.now(); });
+  obs::set_trace_seed(options_.seed);
 
   network_ = std::make_shared<corba::InProcessNetwork>();
 
@@ -144,7 +154,10 @@ SimRuntime::SimRuntime(sim::Cluster& cluster, RuntimeOptions options)
   }
 }
 
-SimRuntime::~SimRuntime() { stop_node_managers(); }
+SimRuntime::~SimRuntime() {
+  stop_node_managers();
+  obs::clear_clock(obs_clock_token_);
+}
 
 void SimRuntime::stop_node_managers() {
   for (Node& node : nodes_)

@@ -223,6 +223,9 @@ class SimRuntime {
   /// Deterministic per-runtime adapter ids: repeated runs in one process
   /// mint identical object keys (byte-identical messages and timings).
   std::uint64_t next_adapter_id_ = 0;
+  /// Token of the virtual observability clock this runtime installed; the
+  /// destructor only clears its own installation.
+  std::uint64_t obs_clock_token_ = 0;
 };
 
 }  // namespace rt

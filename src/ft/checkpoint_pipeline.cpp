@@ -1,8 +1,35 @@
 #include "ft/checkpoint_pipeline.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 #include "orb/log.hpp"
 
 namespace ft {
+
+namespace {
+
+struct PipelineMetrics {
+  obs::Counter& stores =
+      obs::MetricsRegistry::global().counter("ft.pipeline.stores_total");
+  obs::Counter& delta_stores =
+      obs::MetricsRegistry::global().counter("ft.pipeline.delta_stores_total");
+  obs::Counter& failures =
+      obs::MetricsRegistry::global().counter("ft.pipeline.failures_total");
+  obs::Counter& coalesced =
+      obs::MetricsRegistry::global().counter("ft.pipeline.coalesced_total");
+  obs::Counter& bytes_shipped =
+      obs::MetricsRegistry::global().counter("ft.pipeline.bytes_shipped_total");
+  obs::Histogram& store_latency =
+      obs::MetricsRegistry::global().histogram("ft.pipeline.store_latency_s");
+};
+
+PipelineMetrics& pipeline_metrics() {
+  static PipelineMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 std::string_view to_string(CheckpointMode mode) noexcept {
   switch (mode) {
@@ -49,6 +76,10 @@ void CheckpointPipeline::note_acked(std::uint64_t version,
 
 void CheckpointPipeline::ship_now(std::uint64_t version,
                                   const corba::Blob& state) {
+  PipelineMetrics& metrics = pipeline_metrics();
+  obs::Span span("checkpoint.store", config_.key);
+  const bool timed = span.active();
+  const double start = timed ? obs::now() : 0.0;
   if (config_.mode != CheckpointMode::full_sync && have_acked_) {
     const StateDelta delta = StateDelta::diff(
         acked_fingerprints_, acked_size_, state, config_.chunk_size);
@@ -63,6 +94,10 @@ void CheckpointPipeline::ship_now(std::uint64_t version,
         bytes_shipped_ += encoded.size();
         note_acked(version, state);
         ++delta_stores_;
+        metrics.stores.inc();
+        metrics.delta_stores.inc();
+        metrics.bytes_shipped.inc(encoded.size());
+        if (timed) metrics.store_latency.record(obs::now() - start);
         return;
       } catch (const corba::BAD_PARAM&) {
         // The store's view of the base moved (wiped, replaced, or another
@@ -75,6 +110,9 @@ void CheckpointPipeline::ship_now(std::uint64_t version,
   bytes_shipped_ += state.size();
   note_acked(version, state);
   ++full_stores_;
+  metrics.stores.inc();
+  metrics.bytes_shipped.inc(state.size());
+  if (timed) metrics.store_latency.record(obs::now() - start);
 }
 
 bool CheckpointPipeline::try_ship(std::uint64_t version,
@@ -93,6 +131,11 @@ bool CheckpointPipeline::try_ship(std::uint64_t version,
       if (attempt >= config_.attempts) {
         have_acked_ = false;  // unknown store state: next ship re-anchors
         ++failures_;
+        pipeline_metrics().failures.inc();
+        obs::timeline_event("pipeline", config_.key,
+                            "dropped checkpoint v" + std::to_string(version) +
+                                " after " + std::to_string(attempt) +
+                                " attempts");
         corba::log::emit(corba::log::Level::warning, "ft.pipeline",
                          "async checkpoint " + std::to_string(version) +
                              " of '" + config_.key + "' dropped after " +
@@ -120,6 +163,7 @@ void CheckpointPipeline::enqueue(Item item) {
       // state recovery can see.
       queue_.pop_front();
       ++coalesced_;
+      pipeline_metrics().coalesced.inc();
     }
     queue_.push_back(std::move(item));
   }

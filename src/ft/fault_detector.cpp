@@ -2,9 +2,21 @@
 
 #include <chrono>
 
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "orb/log.hpp"
 
 namespace ft {
+
+namespace {
+
+obs::Counter& faults_detected_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("ft.detector.faults_total");
+  return counter;
+}
+
+}  // namespace
 
 FaultDetector::FaultDetector(std::shared_ptr<naming::NamingContext> naming,
                              FaultDetectorOptions options)
@@ -88,6 +100,9 @@ void FaultDetector::sweep(double now) noexcept {
       }
       if (!confirmed) continue;
       faults_.fetch_add(1, std::memory_order_relaxed);
+      faults_detected_counter().inc();
+      obs::timeline_event_at(now, "detector", name.to_string(),
+                             "fault confirmed on " + offer.host);
       corba::log::emit(corba::log::Level::warning, "ft.detector",
                        "instance of '" + name.to_string() + "' on " +
                            offer.host + " stopped responding");

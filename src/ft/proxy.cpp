@@ -2,11 +2,47 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 #include "orb/log.hpp"
 
 namespace ft {
+
+namespace {
+
+struct ProxyMetrics {
+  obs::Counter& failures =
+      obs::MetricsRegistry::global().counter("ft.proxy.failures_total");
+  obs::Counter& retries =
+      obs::MetricsRegistry::global().counter("ft.proxy.retries_total");
+  obs::Counter& recoveries =
+      obs::MetricsRegistry::global().counter("ft.proxy.recoveries_total");
+  obs::Counter& deadline_exhaustions = obs::MetricsRegistry::global().counter(
+      "ft.proxy.deadline_exhaustions_total");
+  obs::Counter& checkpoint_failures = obs::MetricsRegistry::global().counter(
+      "ft.proxy.checkpoint_failures_total");
+  obs::Histogram& backoff =
+      obs::MetricsRegistry::global().histogram("ft.proxy.backoff_wait_s");
+  obs::Histogram& recovery_latency =
+      obs::MetricsRegistry::global().histogram("ft.proxy.recovery_latency_s");
+};
+
+ProxyMetrics& proxy_metrics() {
+  static ProxyMetrics metrics;
+  return metrics;
+}
+
+std::string format_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9f", s);
+  return buf;
+}
+
+}  // namespace
 
 ProxyEngine::ProxyEngine(ProxyConfig config)
     : config_(std::move(config)),
@@ -75,11 +111,19 @@ corba::Value ProxyEngine::call(std::string_view op, corba::ValueSeq args) {
 void ProxyEngine::on_failure(const corba::SystemException& error, int attempt,
                              double call_start) {
   const double at = now();
+  proxy_metrics().failures.inc();
+  obs::timeline_event_at(at, "proxy", service_key_,
+                         "call failed (attempt " + std::to_string(attempt) +
+                             "): " + error.repo_id());
   if (config_.quarantine) {
     if (current_host_.empty()) current_host_ = host_of_current();
     config_.quarantine->report_failure(service_key_, current_host_, at);
   }
-  if (attempt >= config_.policy.max_attempts || !should_retry(error)) throw;
+  if (attempt >= config_.policy.max_attempts || !should_retry(error)) {
+    obs::timeline_event_at(at, "proxy", service_key_,
+                           "surfacing failure: retry budget exhausted");
+    throw;
+  }
 
   const RecoveryPolicy& p = config_.policy;
   double delay = 0.0;
@@ -94,12 +138,18 @@ void ProxyEngine::on_failure(const corba::SystemException& error, int attempt,
   if (p.call_deadline_s > 0 &&
       (at - call_start) + delay > p.call_deadline_s) {
     ++deadline_exhaustions_;
+    proxy_metrics().deadline_exhaustions.inc();
+    obs::timeline_event_at(at, "proxy", service_key_,
+                           "surfacing failure: call deadline exhausted");
     corba::log::emit(corba::log::Level::warning, "ft.proxy",
                      "call deadline exhausted for '" + service_key_ +
                          "'; surfacing the failure instead of retrying");
     throw;
   }
   if (delay > 0) {
+    obs::timeline_event_at(at, "proxy", service_key_,
+                           "backing off " + format_seconds(delay) + "s");
+    proxy_metrics().backoff.record(delay);
     if (config_.sleep)
       config_.sleep(delay);
     else
@@ -107,6 +157,7 @@ void ProxyEngine::on_failure(const corba::SystemException& error, int attempt,
     backoff_waited_s_ += delay;
   }
   ++retries_;
+  proxy_metrics().retries.inc();
   try {
     recover_now();
   } catch (const corba::SystemException&) {
@@ -134,6 +185,8 @@ void ProxyEngine::on_failure(const corba::SystemException& error, int attempt,
         }
       }
     }
+    obs::timeline_event_at(now(), "proxy", service_key_,
+                           "recovery failed; retrying with current target");
     corba::log::emit(corba::log::Level::warning, "ft.proxy",
                      "recovery of '" + service_key_ +
                          "' failed; retrying with the current target");
@@ -161,6 +214,9 @@ void ProxyEngine::note_success() {
       // Give up: count the miss and move to a live instance so the next
       // call does not fail too.
       ++checkpoint_failures_;
+      proxy_metrics().checkpoint_failures.inc();
+      obs::timeline_event_at(now(), "proxy", service_key_,
+                             "checkpoint failed; attempting relocation");
       corba::log::emit(corba::log::Level::warning, "ft.proxy",
                        "checkpoint of '" + config_.checkpoint_key +
                            "' failed; attempting relocation");
@@ -201,6 +257,11 @@ void ProxyEngine::rebind(corba::ObjectRef next, std::string host) {
   current_ = std::move(next);
   current_host_ = host.empty() ? host_of_current() : std::move(host);
   ++recoveries_;
+  proxy_metrics().recoveries.inc();
+  obs::timeline_event_at(
+      now(), "proxy", service_key_,
+      "rebound to " + (current_host_.empty() ? std::string("<unknown host>")
+                                             : current_host_));
   if (corba::log::enabled())
     corba::log::emit(corba::log::Level::info, "ft.proxy",
                      "service '" + config_.service_name.to_string() +
@@ -210,6 +271,10 @@ void ProxyEngine::rebind(corba::ObjectRef next, std::string host) {
 }
 
 void ProxyEngine::recover_now() {
+  const double recovery_start = now();
+  obs::Span recover_span("proxy.recover", service_key_);
+  obs::timeline_event_at(recovery_start, "proxy", service_key_,
+                         "recovery started");
   // Drain the async pipeline before anything else so the restore below sees
   // the newest checkpoint the captures can produce.
   if (pipeline_) pipeline_->flush();
@@ -234,11 +299,15 @@ void ProxyEngine::recover_now() {
       mode == RecoveryMode::reresolve_then_factory) {
     if (config_.naming && !config_.service_name.empty()) {
       try {
+        obs::Span resolve_span("naming.reresolve", service_key_);
         for (int attempt = 0; attempt < 4 && next.is_nil(); ++attempt) {
           corba::ObjectRef candidate = config_.naming->resolve_with(
               config_.service_name, config_.policy.resolve_strategy);
           if (!(candidate.ior() == failed)) next = std::move(candidate);
         }
+        if (!next.is_nil())
+          obs::timeline_event_at(now(), "proxy", service_key_,
+                                 "re-resolved to an existing offer");
       } catch (const naming::NotFound&) {
         // No offers left; fall through to the factory if allowed.
       } catch (const corba::SystemException&) {
@@ -266,12 +335,19 @@ void ProxyEngine::recover_now() {
     next = factory.create(config_.service_type);
     next_host = factory.host();
     from_factory = true;
+    obs::timeline_event_at(now(), "proxy", service_key_,
+                           "created replacement via factory on " + next_host);
   }
 
   // 2. Restore the last checkpoint into the replacement.
   if (config_.policy.restore_on_recover && config_.store) {
-    if (const auto checkpoint = config_.store->load(config_.checkpoint_key))
+    obs::Span load_span("checkpoint.load", config_.checkpoint_key);
+    if (const auto checkpoint = config_.store->load(config_.checkpoint_key)) {
       set_state(next, checkpoint->state);
+      obs::timeline_event_at(
+          now(), "proxy", service_key_,
+          "restored checkpoint v" + std::to_string(checkpoint->version));
+    }
   }
 
   // 3. Repair the offer pool (best effort): drop the failed instance's
@@ -292,6 +368,7 @@ void ProxyEngine::recover_now() {
   }
 
   rebind(std::move(next), std::move(next_host));
+  proxy_metrics().recovery_latency.record(now() - recovery_start);
 }
 
 }  // namespace ft

@@ -2,9 +2,27 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "orb/log.hpp"
 
 namespace ft {
+
+namespace {
+
+struct QuarantineMetrics {
+  obs::Counter& imposed =
+      obs::MetricsRegistry::global().counter("ft.quarantine.imposed_total");
+  obs::Counter& released = obs::MetricsRegistry::global().counter(
+      "ft.quarantine.probe_releases_total");
+};
+
+QuarantineMetrics& quarantine_metrics() {
+  static QuarantineMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 OfferQuarantine::OfferQuarantine(QuarantineOptions options)
     : options_(options) {
@@ -28,6 +46,9 @@ void OfferQuarantine::report_failure(const std::string& service,
     entry.quarantined_until = now + options_.quarantine_duration_s;
     entry.probe_streak = 0;
     ++imposed_;
+    quarantine_metrics().imposed.inc();
+    obs::timeline_event_at(now, "quarantine", service,
+                           "re-armed quarantine of " + host);
     return;
   }
   if (entry.strikes == 0 || now - entry.window_start > options_.strike_window_s) {
@@ -39,6 +60,9 @@ void OfferQuarantine::report_failure(const std::string& service,
     entry.probe_streak = 0;
     entry.quarantined_until = now + options_.quarantine_duration_s;
     ++imposed_;
+    quarantine_metrics().imposed.inc();
+    obs::timeline_event_at(now, "quarantine", service,
+                           "quarantined " + host + " after repeated failures");
     corba::log::emit(corba::log::Level::warning, "ft.quarantine",
                      "instance of '" + service + "' on " + host +
                          " quarantined after repeated failures");
@@ -57,6 +81,10 @@ void OfferQuarantine::report_success(const std::string& service,
       entry.quarantined_until = now;
       entry.probe_streak = 0;
       ++probe_releases_;
+      quarantine_metrics().released.inc();
+      obs::timeline_event_at(now, "quarantine", service,
+                             "released " + host +
+                                 " after consecutive healthy probes");
       corba::log::emit(corba::log::Level::info, "ft.quarantine",
                        "instance of '" + service + "' on " + host +
                            " released after consecutive healthy probes");

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <fstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace naming {
 
 namespace {
@@ -96,6 +99,10 @@ corba::ObjectRef NamingContextServant::resolve_with(const Name& name,
   auto owner = descend(name);
   if (owner.get() != this)
     return owner->resolve_with(Name{name.back()}, strategy);
+  static obs::Counter& resolves =
+      obs::MetricsRegistry::global().counter("naming.resolves_total");
+  resolves.inc();
+  obs::Span span("naming.resolve", name.to_string());
   std::lock_guard lock(mu_);
   auto it = bindings_.find(key_of(name.back()));
   if (it == bindings_.end())

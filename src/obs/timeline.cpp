@@ -1,0 +1,80 @@
+#include "obs/timeline.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "obs/trace.hpp"
+
+namespace obs {
+
+namespace {
+std::atomic<RecoveryTimeline*> g_timeline{nullptr};
+}  // namespace
+
+void RecoveryTimeline::record(std::string_view category,
+                              std::string_view subject,
+                              std::string_view detail) {
+  record_at(now(), category, subject, detail);
+}
+
+void RecoveryTimeline::record_at(double t, std::string_view category,
+                                 std::string_view subject,
+                                 std::string_view detail) {
+  std::lock_guard lock(mu_);
+  events_.push_back(TimelineEvent{t, std::string(category),
+                                  std::string(subject), std::string(detail)});
+}
+
+std::vector<TimelineEvent> RecoveryTimeline::events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+std::size_t RecoveryTimeline::size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+void RecoveryTimeline::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+}
+
+std::string RecoveryTimeline::to_string() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  char buf[48];
+  for (const TimelineEvent& e : events_) {
+    std::snprintf(buf, sizeof(buf), "[%.9f] ", e.t);
+    out += buf;
+    out += e.category;
+    out += ' ';
+    out += e.subject;
+    out += ": ";
+    out += e.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+void install_timeline(RecoveryTimeline* timeline) {
+  g_timeline.store(timeline, std::memory_order_release);
+}
+
+RecoveryTimeline* installed_timeline() noexcept {
+  return g_timeline.load(std::memory_order_acquire);
+}
+
+void timeline_event(std::string_view category, std::string_view subject,
+                    std::string_view detail) {
+  if (RecoveryTimeline* t = installed_timeline())
+    t->record(category, subject, detail);
+}
+
+void timeline_event_at(double t, std::string_view category,
+                       std::string_view subject, std::string_view detail) {
+  if (RecoveryTimeline* tl = installed_timeline())
+    tl->record_at(t, category, subject, detail);
+}
+
+}  // namespace obs

@@ -1,0 +1,68 @@
+// Recovery timeline: an ordered, virtual-clock-aware event log.
+//
+// Chaos runs need to answer "what failed, when was it detected, how long did
+// restore take" without grepping logs.  The fault-tolerance layer reports
+// discrete lifecycle events (failure observed, quarantine tripped, fault
+// detected, checkpoint restored, proxy rebound, ...) to an installed
+// RecoveryTimeline; timestamps come from obs::now(), so under the simulator
+// they are virtual and the rendered timeline is byte-identical across
+// same-seed runs.
+//
+// Like tracing, this is compiled in but free when off: the reporting helpers
+// check one relaxed atomic pointer and return when no timeline is installed.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obs {
+
+struct TimelineEvent {
+  double t = 0.0;        ///< obs::now() at the event (virtual under sim)
+  std::string category;  ///< e.g. "proxy", "detector", "quarantine", "pipeline"
+  std::string subject;   ///< the object/node the event is about
+  std::string detail;    ///< free-form description
+};
+
+/// Thread-safe append-only event log with a deterministic rendering.
+class RecoveryTimeline {
+ public:
+  /// Appends an event stamped with obs::now().
+  void record(std::string_view category, std::string_view subject,
+              std::string_view detail);
+  /// Appends an event with an explicit timestamp (for reporters that already
+  /// hold the relevant virtual time, e.g. FaultDetector::sweep(now)).
+  void record_at(double t, std::string_view category, std::string_view subject,
+                 std::string_view detail);
+
+  std::vector<TimelineEvent> events() const;
+  std::size_t size() const;
+  void clear();
+
+  /// One line per event in recording order:
+  ///   [<t>] <category> <subject>: <detail>
+  /// Byte-identical across same-seed simulated runs.
+  std::string to_string() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TimelineEvent> events_;
+};
+
+/// Installs `timeline` as the process-wide event destination (null
+/// uninstalls).  The caller keeps ownership and must uninstall before the
+/// timeline is destroyed.
+void install_timeline(RecoveryTimeline* timeline);
+
+/// The currently installed timeline, or null.
+RecoveryTimeline* installed_timeline() noexcept;
+
+/// Reporting helpers used by the runtime: no-ops when nothing is installed.
+void timeline_event(std::string_view category, std::string_view subject,
+                    std::string_view detail);
+void timeline_event_at(double t, std::string_view category,
+                       std::string_view subject, std::string_view detail);
+
+}  // namespace obs

@@ -1,5 +1,6 @@
 #include "orb/dii.hpp"
 
+#include "obs/trace.hpp"
 #include "orb/exceptions.hpp"
 
 namespace corba {
@@ -16,6 +17,9 @@ Request& Request::add_argument(Value v) {
 }
 
 void Request::invoke() {
+  // The DII span wraps send + response so the underlying rpc.send /
+  // transport spans parent under one dynamic invocation.
+  obs::Span span("rpc.dii", operation_);
   send_deferred();
   get_response();
 }

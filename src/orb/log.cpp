@@ -1,6 +1,7 @@
 #include "orb/log.hpp"
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 
 namespace corba::log {
@@ -8,7 +9,11 @@ namespace corba::log {
 namespace {
 
 std::mutex g_mu;
-Sink g_sink;
+// The sink lives behind a shared_ptr so emit() can copy the handle under
+// the mutex and invoke the sink *outside* it: a sink whose work emits again
+// (a traced allocator, an ORB call inside a logging backend) recurses into
+// emit() instead of deadlocking on g_mu.
+std::shared_ptr<const Sink> g_sink;
 std::atomic<bool> g_enabled{false};
 
 }  // namespace
@@ -25,7 +30,7 @@ std::string_view to_string(Level level) noexcept {
 
 void set_sink(Sink sink) {
   std::lock_guard lock(g_mu);
-  g_sink = std::move(sink);
+  g_sink = sink ? std::make_shared<const Sink>(std::move(sink)) : nullptr;
   g_enabled.store(g_sink != nullptr, std::memory_order_release);
 }
 
@@ -35,8 +40,12 @@ bool enabled() noexcept { return g_enabled.load(std::memory_order_acquire); }
 
 void emit(Level level, std::string_view component, std::string_view message) {
   if (!enabled()) return;
-  std::lock_guard lock(g_mu);
-  if (g_sink) g_sink(level, component, message);
+  std::shared_ptr<const Sink> sink;
+  {
+    std::lock_guard lock(g_mu);
+    sink = g_sink;
+  }
+  if (sink && *sink) (*sink)(level, component, message);
 }
 
 }  // namespace corba::log

@@ -16,8 +16,10 @@ enum class Level { debug, info, warning, error };
 
 std::string_view to_string(Level level) noexcept;
 
-/// Receives every emitted event.  Called under an internal mutex: sinks
-/// need no locking of their own but must not re-enter the logger.
+/// Receives every emitted event.  Invoked with NO internal lock held, so a
+/// sink may safely emit() again (directly or through code it calls) — but
+/// it must be thread-safe itself, and may still run concurrently with (or
+/// briefly after) a set_sink()/clear_sink() that replaces it.
 using Sink =
     std::function<void(Level, std::string_view component, std::string_view message)>;
 

@@ -60,6 +60,17 @@ void RequestMessage::encode_body(CdrOutputStream& out) const {
     throw MARSHAL("too many arguments");
   out.write_u32(static_cast<std::uint32_t>(arguments.size()));
   for (const Value& v : arguments) v.encode(out);
+  // Service contexts are a tail-optional extension: an empty list writes
+  // nothing, so untraced messages are byte-identical to the pre-slot format
+  // (and old decoders keep working on them).
+  if (service_contexts.empty()) return;
+  if (service_contexts.size() >= UINT32_MAX)
+    throw MARSHAL("too many service contexts");
+  out.write_u32(static_cast<std::uint32_t>(service_contexts.size()));
+  for (const ServiceContext& ctx : service_contexts) {
+    out.write_u32(ctx.id);
+    out.write_blob(std::span<const std::byte>(ctx.data));
+  }
 }
 
 RequestMessage RequestMessage::decode_body(CdrInputStream& in) {
@@ -74,6 +85,18 @@ RequestMessage RequestMessage::decode_body(CdrInputStream& in) {
   req.arguments.reserve(argc);
   for (std::uint32_t i = 0; i < argc; ++i)
     req.arguments.push_back(Value::decode(in));
+  if (!in.at_end()) {
+    const std::uint32_t ctxc = in.read_u32();
+    if (ctxc > in.remaining())
+      throw MARSHAL("service-context count exceeds buffer");
+    req.service_contexts.reserve(ctxc);
+    for (std::uint32_t i = 0; i < ctxc; ++i) {
+      ServiceContext ctx;
+      ctx.id = in.read_u32();
+      ctx.data = in.read_blob();
+      req.service_contexts.push_back(std::move(ctx));
+    }
+  }
   return req;
 }
 
@@ -81,7 +104,43 @@ std::size_t RequestMessage::encoded_size_estimate() const noexcept {
   std::size_t n = MessageHeader::kEncodedSize + 8 + 5 +
                   object_key.bytes.size() + 5 + operation.size() + 1 + 4;
   for (const Value& v : arguments) n += v.encoded_size_estimate();
+  if (!service_contexts.empty()) {
+    n += 4;  // the tail-optional slot count
+    for (const ServiceContext& ctx : service_contexts)
+      n += 4 + 5 + ctx.data.size();
+  }
   return n;
+}
+
+void attach_trace_context(RequestMessage& request,
+                          const obs::TraceContext& context) {
+  CdrOutputStream payload(ByteOrder::little_endian);
+  payload.write_u64(context.trace_id);
+  payload.write_u64(context.span_id);
+  payload.write_u64(context.parent_span_id);
+  for (ServiceContext& ctx : request.service_contexts) {
+    if (ctx.id == kTraceContextSlot) {
+      ctx.data = payload.take_buffer();
+      return;
+    }
+  }
+  request.service_contexts.push_back(
+      ServiceContext{kTraceContextSlot, payload.take_buffer()});
+}
+
+std::optional<obs::TraceContext> extract_trace_context(
+    const RequestMessage& request) {
+  for (const ServiceContext& ctx : request.service_contexts) {
+    if (ctx.id != kTraceContextSlot) continue;
+    if (ctx.data.size() < 24) return std::nullopt;  // malformed: ignore
+    CdrInputStream in(ctx.data, ByteOrder::little_endian);
+    obs::TraceContext out;
+    out.trace_id = in.read_u64();
+    out.span_id = in.read_u64();
+    out.parent_span_id = in.read_u64();
+    return out;
+  }
+  return std::nullopt;
 }
 
 void ReplyMessage::encode_body(CdrOutputStream& out) const {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "orb/cdr.hpp"
 #include "orb/exceptions.hpp"
 #include "orb/ior.hpp"
@@ -45,6 +46,19 @@ struct MessageHeader {
   static MessageHeader decode(std::span<const std::byte> bytes);
 };
 
+/// Out-of-band per-request metadata, mirroring GIOP's service contexts: a
+/// numeric slot id plus an opaque CDR-encoded payload.  Receivers skip slots
+/// they do not understand, so new slots are forward compatible.
+struct ServiceContext {
+  std::uint32_t id = 0;
+  std::vector<std::byte> data;
+};
+
+/// Service-context slot carrying an obs::TraceContext (three u64: trace id,
+/// span id, parent span id, always little-endian regardless of the carrying
+/// message's byte order).
+inline constexpr std::uint32_t kTraceContextSlot = 1;
+
 /// An invocation request: target object key + operation + tagged arguments.
 struct RequestMessage {
   std::uint64_t request_id = 0;
@@ -53,6 +67,10 @@ struct RequestMessage {
   ValueSeq arguments;
   /// When false the client does not expect a reply (CORBA "oneway").
   bool response_expected = true;
+  /// Optional out-of-band slots.  Encoded tail-optionally: an empty list
+  /// contributes zero wire bytes (the pre-slot encoding), so enabling
+  /// tracing is the only thing that changes a message's size.
+  std::vector<ServiceContext> service_contexts;
 
   void encode_body(CdrOutputStream& out) const;
   static RequestMessage decode_body(CdrInputStream& in);
@@ -60,6 +78,15 @@ struct RequestMessage {
   /// Rough wire size, used by the simulator's network model.
   std::size_t encoded_size_estimate() const noexcept;
 };
+
+/// Appends `context` to the request's service contexts under
+/// kTraceContextSlot (replacing any slot already there).
+void attach_trace_context(RequestMessage& request,
+                          const obs::TraceContext& context);
+
+/// Decodes the kTraceContextSlot payload, if present and well-formed.
+std::optional<obs::TraceContext> extract_trace_context(
+    const RequestMessage& request);
 
 enum class ReplyStatus : std::uint8_t {
   no_exception = 0,

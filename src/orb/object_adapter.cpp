@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "orb/exceptions.hpp"
 
 namespace corba {
@@ -12,6 +14,33 @@ std::uint64_t next_adapter_id() {
   static std::atomic<std::uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
+
+obs::Counter& dispatch_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("orb.dispatches_total");
+  return counter;
+}
+
+// Adopts the request's wire trace context as the thread's ambient context so
+// the servant-dispatch span (and any nested client calls the servant makes)
+// parent under the remote caller's span; restores on scope exit.
+class WireTraceScope {
+ public:
+  explicit WireTraceScope(const RequestMessage& request) {
+    if (!obs::tracing_enabled()) return;
+    if (auto wire = extract_trace_context(request)) {
+      adopted_ = true;
+      saved_ = obs::exchange_current_trace(*wire);
+    }
+  }
+  ~WireTraceScope() {
+    if (adopted_) obs::exchange_current_trace(saved_);
+  }
+
+ private:
+  bool adopted_ = false;
+  obs::TraceContext saved_;
+};
 
 }  // namespace
 
@@ -81,6 +110,9 @@ std::size_t ObjectAdapter::active_count() const {
 
 ReplyMessage ObjectAdapter::dispatch(const RequestMessage& request) noexcept {
   try {
+    dispatch_counter().inc();
+    WireTraceScope wire_scope(request);
+    obs::Span span("servant.dispatch", request.operation);
     std::shared_ptr<Servant> servant = find(request.object_key);
     if (!servant)
       throw OBJECT_NOT_EXIST("no servant for key " +

@@ -1,9 +1,33 @@
 #include "orb/orb.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "orb/exceptions.hpp"
 #include "orb/tcp_transport.hpp"
 
 namespace corba {
+
+namespace {
+
+// Pre-registered handles (see obs/metrics.hpp): the per-call cost with no
+// exporter installed is one relaxed atomic increment.
+struct OrbMetrics {
+  obs::Counter& requests =
+      obs::MetricsRegistry::global().counter("orb.requests_total");
+  obs::Counter& async_requests =
+      obs::MetricsRegistry::global().counter("orb.async_requests_total");
+  obs::Counter& oneways =
+      obs::MetricsRegistry::global().counter("orb.oneways_total");
+  obs::Histogram& latency =
+      obs::MetricsRegistry::global().histogram("orb.request_latency_s");
+};
+
+OrbMetrics& orb_metrics() {
+  static OrbMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 ObjectRef::ObjectRef(std::shared_ptr<ORB> orb, IOR ior)
     : orb_(std::move(orb)), ior_(std::move(ior)) {}
@@ -150,6 +174,11 @@ std::unique_ptr<PendingReply> ORB::send(const IOR& target, std::string_view op,
   req.object_key = target.key;
   req.operation = std::string(op);
   req.arguments = std::move(args);
+  orb_metrics().async_requests.inc();
+  // The send span covers only request hand-off; the transport records the
+  // round trip when the pending reply completes.
+  obs::Span span("rpc.send", req.operation);
+  if (span.active()) attach_trace_context(req, span.context());
   return transport_for(target).send(target, std::move(req));
 }
 
@@ -162,7 +191,14 @@ Value ORB::invoke(const IOR& target, std::string_view op, ValueSeq args) {
   req.object_key = target.key;
   req.operation = std::string(op);
   req.arguments = std::move(args);
+  OrbMetrics& metrics = orb_metrics();
+  metrics.requests.inc();
+  obs::Span span("rpc.client", req.operation);
+  if (span.active()) attach_trace_context(req, span.context());
+  const bool timed = span.active();  // latency is sampled while tracing is on
+  const double start = timed ? obs::now() : 0.0;
   ReplyMessage reply = transport_for(target).invoke(target, std::move(req));
+  if (timed) metrics.latency.record(obs::now() - start);
   return reply.result_or_throw();
 }
 
@@ -176,6 +212,9 @@ void ORB::send_oneway(const IOR& target, std::string_view op, ValueSeq args) {
   req.operation = std::string(op);
   req.arguments = std::move(args);
   req.response_expected = false;
+  orb_metrics().oneways.inc();
+  obs::Span span("rpc.oneway", req.operation);
+  if (span.active()) attach_trace_context(req, span.context());
   // Best-effort: the pending handle is discarded; transports deliver without
   // producing a reply and delivery failures are intentionally silent.
   try {

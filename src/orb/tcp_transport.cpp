@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "orb/exceptions.hpp"
 
 namespace corba {
@@ -153,6 +154,11 @@ bool Socket::recv_frame(MessageHeader& header, std::vector<std::byte>& body,
 
 ReplyMessage TcpClientTransport::round_trip(const IOR& target,
                                             const RequestMessage& request) {
+  std::string trace_detail;
+  if (obs::tracing_enabled())
+    trace_detail = request.operation + " -> " + target.host + ":" +
+                   std::to_string(target.port);
+  obs::Span span("transport.roundtrip", trace_detail);
   Socket socket = checkout(target.host, target.port);
   try {
     FrameBuilder frame = socket.start_frame(MessageType::request,

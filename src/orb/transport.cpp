@@ -1,5 +1,6 @@
 #include "orb/transport.hpp"
 
+#include "obs/trace.hpp"
 #include "orb/exceptions.hpp"
 
 namespace corba {
@@ -33,6 +34,7 @@ InProcessTransport::InProcessTransport(std::shared_ptr<InProcessNetwork> network
 }
 
 RequestMessage roundtrip_through_cdr(const RequestMessage& request) {
+  obs::Span span("marshal.cdr", request.operation);
   CdrOutputStream out;
   request.encode_body(out);
   CdrInputStream in(out.buffer(), out.byte_order());
@@ -40,6 +42,7 @@ RequestMessage roundtrip_through_cdr(const RequestMessage& request) {
 }
 
 ReplyMessage roundtrip_through_cdr(const ReplyMessage& reply) {
+  obs::Span span("marshal.cdr", "reply");
   CdrOutputStream out;
   reply.encode_body(out);
   CdrInputStream in(out.buffer(), out.byte_order());

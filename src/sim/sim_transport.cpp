@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "obs/trace.hpp"
 #include "orb/exceptions.hpp"
 #include "sim/work_meter.hpp"
 
@@ -41,6 +42,17 @@ class SimPendingReply final : public corba::PendingReply {
     return slot_->done || (deadline_ >= 0 && events_.now() >= deadline_);
   }
 
+  /// Arms a "transport.roundtrip" span: the parent context is captured at
+  /// send time (the pending handle may be collected under a different
+  /// ambient span) and the span closes when get() observes completion.
+  void arm_trace(std::string detail, double send_time,
+                 obs::TraceContext parent) {
+    traced_ = true;
+    trace_detail_ = std::move(detail);
+    send_time_ = send_time;
+    trace_parent_ = parent;
+  }
+
   corba::ReplyMessage get() override {
     // Pump virtual time until the reply (or its failure) is due, bounded by
     // the request deadline when one is set.
@@ -54,6 +66,7 @@ class SimPendingReply final : public corba::PendingReply {
       }
       if (!slot_->done) {
         events_.run_until(deadline_);
+        finish_trace("timeout");
         throw corba::TIMEOUT("no reply within the request timeout",
                              corba::minor_code::unspecified,
                              corba::CompletionStatus::completed_maybe);
@@ -66,14 +79,29 @@ class SimPendingReply final : public corba::PendingReply {
           "simulation deadlock: pending reply can never complete",
           corba::minor_code::unspecified,
           corba::CompletionStatus::completed_maybe);
+    // The pump stops on the event that completed the slot, so now() is the
+    // (virtual) completion time of the round trip.
+    finish_trace(slot_->error ? "error" : "ok");
     if (slot_->error) std::rethrow_exception(slot_->error);
     return std::move(*slot_->reply);
   }
 
  private:
+  void finish_trace(std::string_view outcome) {
+    if (!traced_) return;
+    traced_ = false;
+    obs::record_span("transport.roundtrip",
+                     trace_detail_ + " " + std::string(outcome), send_time_,
+                     events_.now(), trace_parent_);
+  }
+
   EventQueue& events_;
   std::shared_ptr<ReplySlot> slot_;
   double deadline_;
+  bool traced_ = false;
+  std::string trace_detail_;
+  double send_time_ = 0.0;
+  obs::TraceContext trace_parent_;
 };
 
 std::exception_ptr comm_failure(const std::string& detail, std::uint32_t minor,
@@ -226,8 +254,16 @@ std::unique_ptr<corba::PendingReply> SimTransport::send(
   EventQueue& events = cluster_.events();
   const double deadline =
       request_timeout_s_ > 0 ? events.now() + request_timeout_s_ : -1.0;
+  // Captured up front: the final schedule_after() moves `request` away
+  // before the pending handle is constructed.
+  const std::string trace_detail =
+      obs::tracing_enabled() ? request.operation + " -> " + target.host
+                             : std::string();
   auto pending = [&] {
-    return std::make_unique<SimPendingReply>(events, slot, deadline);
+    auto reply = std::make_unique<SimPendingReply>(events, slot, deadline);
+    if (obs::tracing_enabled())
+      reply->arm_trace(trace_detail, events.now(), obs::current_trace());
+    return reply;
   };
 
   Host* host = cluster_.host_for_endpoint(target.host);

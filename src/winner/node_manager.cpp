@@ -2,9 +2,20 @@
 
 #include <chrono>
 
+#include "obs/metrics.hpp"
 #include "orb/exceptions.hpp"
 
 namespace winner {
+
+namespace {
+
+obs::Counter& node_reports_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("winner.node_reports_total");
+  return counter;
+}
+
+}  // namespace
 
 NodeManager::NodeManager(std::string host_name,
                          std::shared_ptr<LoadSensor> sensor,
@@ -26,6 +37,7 @@ void NodeManager::tick(double now) noexcept {
     const double load = sensor_->sample();
     manager_->report_load(host_name_, LoadSample{load, now});
     reports_sent_.fetch_add(1, std::memory_order_relaxed);
+    node_reports_counter().inc();
   } catch (...) {
     // Missed report: the system manager's staleness handling compensates.
   }

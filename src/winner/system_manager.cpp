@@ -5,6 +5,8 @@
 #include <iterator>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace winner {
 
 namespace {
@@ -13,6 +15,22 @@ double steady_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+struct WinnerMetrics {
+  obs::Counter& load_reports =
+      obs::MetricsRegistry::global().counter("winner.load_reports_total");
+  obs::Counter& demoted_selections = obs::MetricsRegistry::global().counter(
+      "winner.demoted_selections_total");
+  /// Age of the most outdated load report among reporting hosts, refreshed
+  /// at each selection — the load-report freshness signal.
+  obs::Gauge& report_age_max =
+      obs::MetricsRegistry::global().gauge("winner.report_age_max_s");
+};
+
+WinnerMetrics& winner_metrics() {
+  static WinnerMetrics metrics;
+  return metrics;
 }
 
 }  // namespace
@@ -38,6 +56,7 @@ void SystemManager::report_load(const std::string& name,
   HostEntry& entry = it->second;
   entry.last = sample;
   entry.reported = true;
+  winner_metrics().load_reports.inc();
   // Placements made before the sample was taken are now visible in the
   // measured load; only newer ones still need compensation.
   std::erase_if(entry.pending_placements,
@@ -87,10 +106,19 @@ std::string SystemManager::best_host(std::span<const std::string> candidates) {
   std::lock_guard lock(mu_);
   bool used_stale = false;
   auto ranked = ranked_locked(candidates, &used_stale);
+  double max_age = 0.0;
+  const double at = options_.clock();
+  for (const auto& [name, entry] : hosts_)
+    if (entry.reported)
+      max_age = std::max(max_age, at - entry.last.timestamp);
+  winner_metrics().report_age_max.set(max_age);
   if (ranked.empty())
     throw NoHostAvailable("no registered, fresh host among " +
                           std::to_string(candidates.size()) + " candidates");
-  if (used_stale) ++stale_selections_;
+  if (used_stale) {
+    ++stale_selections_;
+    winner_metrics().demoted_selections.inc();
+  }
   return ranked.front().second;
 }
 

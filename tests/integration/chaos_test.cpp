@@ -13,6 +13,8 @@
 // for (covered in tests/ft/).
 #include <gtest/gtest.h>
 
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 #include "opt/manager.hpp"
 #include "sim/fault_injector.hpp"
 
@@ -166,6 +168,41 @@ TEST_F(ChaosTest, DeltaAsyncSameSeedReproducesTraceAndResult) {
   EXPECT_EQ(first.result.virtual_seconds, second.result.virtual_seconds);
   EXPECT_EQ(first.result.recoveries, second.result.recoveries);
   EXPECT_EQ(first.result.worker_calls, second.result.worker_calls);
+}
+
+TEST_F(ChaosTest, SameSeedRunsProduceByteIdenticalObservabilityDumps) {
+  // The observability layer must obey the same reproducibility contract as
+  // the computation itself: spans are stamped from the virtual clock with
+  // ids drawn from the runtime's seed, and timeline events are ordered by
+  // the event queue — so two same-seed chaos runs render byte-identical
+  // trace and recovery-timeline dumps.
+  struct ObsDump {
+    std::string timeline;
+    std::string spans;
+  };
+  auto observed_run = [&](std::uint64_t fault_seed) {
+    obs::RecoveryTimeline timeline;
+    obs::SpanCollector spans;
+    obs::install_timeline(&timeline);
+    spans.install();
+    const ChaosOutcome outcome = chaos_run(fault_seed);
+    obs::install_timeline(nullptr);
+    obs::set_trace_sink(nullptr);
+    EXPECT_GE(outcome.result.recoveries, 1u);
+    return ObsDump{timeline.to_string(), spans.dump()};
+  };
+
+  const ObsDump first = observed_run(11);
+  const ObsDump second = observed_run(11);
+  ASSERT_FALSE(first.timeline.empty());
+  ASSERT_FALSE(first.spans.empty());
+  EXPECT_EQ(first.timeline, second.timeline);
+  EXPECT_EQ(first.spans, second.spans);
+  // The timeline saw the whole recovery story, not just the rebind.
+  EXPECT_NE(first.timeline.find("proxy"), std::string::npos);
+  EXPECT_NE(first.timeline.find("recovery started"), std::string::npos);
+  EXPECT_NE(first.spans.find("proxy.recover"), std::string::npos);
+  EXPECT_NE(first.spans.find("servant.dispatch"), std::string::npos);
 }
 
 TEST_F(ChaosTest, PlainModeAbortsUnderChaos) {

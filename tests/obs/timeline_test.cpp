@@ -1,0 +1,79 @@
+// Unit tests for the recovery timeline: recording, rendering, and the
+// install/uninstall contract of the process-wide reporting helpers.
+#include "obs/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+
+namespace obs {
+namespace {
+
+class TimelineTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    install_timeline(nullptr);
+    if (clock_token_) clear_clock(clock_token_);
+  }
+
+  std::uint64_t clock_token_ = 0;
+};
+
+TEST_F(TimelineTest, RecordsInOrderWithExplicitTimestamps) {
+  RecoveryTimeline timeline;
+  timeline.record_at(1.5, "detector", "Service", "fault confirmed on node1");
+  timeline.record_at(2.0, "proxy", "Service", "recovery started");
+  ASSERT_EQ(timeline.size(), 2u);
+  const auto events = timeline.events();
+  EXPECT_DOUBLE_EQ(events[0].t, 1.5);
+  EXPECT_EQ(events[0].category, "detector");
+  EXPECT_EQ(events[1].subject, "Service");
+  EXPECT_EQ(events[1].detail, "recovery started");
+}
+
+TEST_F(TimelineTest, RecordStampsFromTheInstalledClock) {
+  clock_token_ = set_clock([] { return 42.125; });
+  RecoveryTimeline timeline;
+  timeline.record("proxy", "Service", "rebound to node2");
+  ASSERT_EQ(timeline.size(), 1u);
+  EXPECT_DOUBLE_EQ(timeline.events()[0].t, 42.125);
+}
+
+TEST_F(TimelineTest, ToStringRendersOneLinePerEvent) {
+  RecoveryTimeline timeline;
+  timeline.record_at(1.5, "detector", "Service", "fault confirmed on node1");
+  timeline.record_at(2.0, "proxy", "Service", "recovery started");
+  EXPECT_EQ(timeline.to_string(),
+            "[1.500000000] detector Service: fault confirmed on node1\n"
+            "[2.000000000] proxy Service: recovery started\n");
+  timeline.clear();
+  EXPECT_EQ(timeline.size(), 0u);
+  EXPECT_EQ(timeline.to_string(), "");
+}
+
+TEST_F(TimelineTest, HelpersAreNoOpsWithoutAnInstalledTimeline) {
+  EXPECT_EQ(installed_timeline(), nullptr);
+  timeline_event("proxy", "Service", "dropped");
+  timeline_event_at(1.0, "proxy", "Service", "dropped");  // must not crash
+}
+
+TEST_F(TimelineTest, HelpersRouteToTheInstalledTimeline) {
+  RecoveryTimeline timeline;
+  install_timeline(&timeline);
+  EXPECT_EQ(installed_timeline(), &timeline);
+
+  timeline_event_at(3.0, "quarantine", "Service", "quarantined node0");
+  clock_token_ = set_clock([] { return 4.0; });
+  timeline_event("pipeline", "key", "dropped checkpoint v7 after 3 attempts");
+
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline.events()[0].category, "quarantine");
+  EXPECT_DOUBLE_EQ(timeline.events()[1].t, 4.0);
+
+  install_timeline(nullptr);
+  timeline_event_at(5.0, "proxy", "Service", "not recorded");
+  EXPECT_EQ(timeline.size(), 2u);
+}
+
+}  // namespace
+}  // namespace obs

@@ -54,6 +54,40 @@ TEST_F(LogTest, ClearSinkStopsDelivery) {
   EXPECT_TRUE(events_.empty());
 }
 
+// Regression: emit() used to hold the sink mutex across the user callback,
+// so a sink that logged again (tracing allocator, ORB call inside a logging
+// backend) self-deadlocked.  The sink must be invoked with no lock held.
+TEST_F(LogTest, ReentrantSinkDoesNotDeadlock) {
+  install_collector();
+  log::set_sink([this](log::Level level, std::string_view component,
+                       std::string_view message) {
+    events_.push_back(
+        Event{level, std::string(component), std::string(message)});
+    if (component != "inner")
+      log::emit(log::Level::debug, "inner", "emitted from within the sink");
+  });
+  log::emit(log::Level::info, "outer", "first");
+  ASSERT_EQ(events_.size(), 2u);
+  EXPECT_EQ(events_[0].component, "outer");
+  EXPECT_EQ(events_[1].component, "inner");
+  EXPECT_EQ(events_[1].message, "emitted from within the sink");
+}
+
+// A sink may even replace itself while running; the in-flight invocation
+// completes on the old sink (documented in log.hpp).
+TEST_F(LogTest, SinkMayReplaceItselfWhileRunning) {
+  int old_calls = 0;
+  log::set_sink([&](log::Level, std::string_view, std::string_view) {
+    ++old_calls;
+    log::clear_sink();
+  });
+  log::emit(log::Level::info, "x", "only delivery");
+  EXPECT_EQ(old_calls, 1);
+  EXPECT_FALSE(log::enabled());
+  log::emit(log::Level::info, "x", "dropped");
+  EXPECT_EQ(old_calls, 1);
+}
+
 TEST_F(LogTest, LevelNames) {
   EXPECT_EQ(log::to_string(log::Level::debug), "debug");
   EXPECT_EQ(log::to_string(log::Level::info), "info");

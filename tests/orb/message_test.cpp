@@ -199,6 +199,98 @@ TEST(Frame, FrameBuilderRecyclesBuffers) {
   EXPECT_EQ(ReplyMessage::decode_body(in).request_id, 2u);
 }
 
+// --- service contexts / trace propagation ----------------------------------
+
+TEST_P(MessageOrderTest, TraceContextWireRoundTrip) {
+  RequestMessage req = sample_request();
+  const obs::TraceContext context{0x1111222233334444ull, 0x5555666677778888ull,
+                                  0x99aa99aa99aa99aaull};
+  attach_trace_context(req, context);
+
+  CdrOutputStream out(GetParam());
+  req.encode_body(out);
+  CdrInputStream in(out.buffer(), GetParam());
+  const RequestMessage decoded = RequestMessage::decode_body(in);
+
+  const auto extracted = extract_trace_context(decoded);
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_EQ(*extracted, context);
+  // The message payload itself is untouched.
+  EXPECT_EQ(decoded.operation, "solve");
+  ASSERT_EQ(decoded.arguments.size(), 3u);
+}
+
+TEST(ServiceContexts, EmptyListAddsNoWireBytes) {
+  // Old-format compatibility both ways: a context-free request encodes to
+  // exactly the pre-slot byte stream, and that byte stream decodes cleanly.
+  const RequestMessage req = sample_request();
+  CdrOutputStream with_field;
+  req.encode_body(with_field);
+
+  CdrOutputStream pre_slot;  // the historical encoding, written by hand
+  pre_slot.write_u64(req.request_id);
+  pre_slot.write_blob(std::span<const std::byte>(req.object_key.bytes));
+  pre_slot.write_string(req.operation);
+  pre_slot.write_bool(req.response_expected);
+  pre_slot.write_u32(static_cast<std::uint32_t>(req.arguments.size()));
+  for (const Value& v : req.arguments) v.encode(pre_slot);
+
+  EXPECT_EQ(with_field.buffer(), pre_slot.buffer());
+  CdrInputStream in(pre_slot.buffer());
+  const RequestMessage decoded = RequestMessage::decode_body(in);
+  EXPECT_TRUE(decoded.service_contexts.empty());
+  EXPECT_FALSE(extract_trace_context(decoded).has_value());
+}
+
+TEST(ServiceContexts, UnknownSlotsAreCarriedAndSkipped) {
+  RequestMessage req = sample_request();
+  req.service_contexts.push_back(
+      {.id = 4242, .data = {std::byte{0xde}, std::byte{0xad}}});
+  attach_trace_context(req, obs::TraceContext{7, 8, 0});
+
+  CdrOutputStream out;
+  req.encode_body(out);
+  CdrInputStream in(out.buffer());
+  const RequestMessage decoded = RequestMessage::decode_body(in);
+
+  // A receiver that doesn't understand slot 4242 still sees the trace slot
+  // (forward compatibility), and the unknown payload survives verbatim.
+  ASSERT_EQ(decoded.service_contexts.size(), 2u);
+  const auto context = extract_trace_context(decoded);
+  ASSERT_TRUE(context.has_value());
+  EXPECT_EQ(context->trace_id, 7u);
+  EXPECT_EQ(context->span_id, 8u);
+  EXPECT_EQ(decoded.service_contexts[0].id, 4242u);
+  EXPECT_EQ(decoded.service_contexts[0].data,
+            (std::vector<std::byte>{std::byte{0xde}, std::byte{0xad}}));
+}
+
+TEST(ServiceContexts, AttachReplacesExistingTraceSlot) {
+  RequestMessage req = sample_request();
+  attach_trace_context(req, obs::TraceContext{1, 2, 3});
+  attach_trace_context(req, obs::TraceContext{4, 5, 6});
+  ASSERT_EQ(req.service_contexts.size(), 1u);
+  const auto context = extract_trace_context(req);
+  ASSERT_TRUE(context.has_value());
+  EXPECT_EQ(*context, (obs::TraceContext{4, 5, 6}));
+}
+
+TEST(ServiceContexts, TruncatedTracePayloadIgnored) {
+  RequestMessage req = sample_request();
+  req.service_contexts.push_back(
+      {.id = kTraceContextSlot, .data = {std::byte{1}, std::byte{2}}});
+  EXPECT_FALSE(extract_trace_context(req).has_value());
+}
+
+TEST(ServiceContexts, HostileContextCountRejected) {
+  const RequestMessage req = sample_request();
+  CdrOutputStream out;
+  req.encode_body(out);
+  out.write_u32(0x7fffffff);  // claims ~2B service contexts
+  CdrInputStream in(out.buffer());
+  EXPECT_THROW(RequestMessage::decode_body(in), MARSHAL);
+}
+
 TEST(Request, HostileArgumentCountRejected) {
   CdrOutputStream out;
   out.write_u64(1);

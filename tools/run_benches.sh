@@ -28,8 +28,10 @@ done
 
 # Schema check on the trajectory files these benches emit (other benches
 # write their own BENCH_*.json with older formats; those are not validated
-# here).  Each file must name its bench, carry schema_version 1, and contain
-# at least one row.
+# here).  Each file must name its bench, carry schema_version 1, contain at
+# least one row, and embed the run's metrics snapshot (schema documented in
+# src/obs/metrics.hpp: a "metrics" object whose own "metrics" array carries
+# counter/gauge/histogram entries).
 status=0
 for json in BENCH_table1.json BENCH_checkpoint.json; do
   if [ ! -e "$json" ]; then
@@ -37,7 +39,10 @@ for json in BENCH_table1.json BENCH_checkpoint.json; do
     status=1
     continue
   fi
-  for needle in '"bench": ' '"schema_version": 1' '"rows": ['; do
+  for needle in '"bench": ' '"schema_version": 1' '"rows": [' \
+                '"metrics": {"schema_version": 1, "metrics": [' \
+                '"kind": "counter"' '"kind": "histogram"' \
+                '"bounds": [' '"buckets": ['; do
     if ! grep -qF "$needle" "$json"; then
       echo "run_benches.sh: $json lacks $needle" >&2
       status=1
