@@ -2,8 +2,17 @@
 // encoding, IOR stringification, and end-to-end invocation latency over the
 // in-process and TCP transports.  These are real wall-clock measurements
 // (google-benchmark), unlike the virtual-time experiment harnesses.
+//
+// Beyond the google-benchmark timings, main() always runs the multiplexing
+// sweep: concurrent clients × pipeline depth over the TCP transport in both
+// multiplexed and serialized (per-call socket checkout) modes, emitting
+// BENCH_multiplex.json for the perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <thread>
+
+#include "bench_common.hpp"
 #include "orb/dii.hpp"
 #include "orb/orb.hpp"
 #include "orb/tcp_transport.hpp"
@@ -139,6 +148,168 @@ void BM_TcpDeferredBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_TcpDeferredBatch);
 
+// --- multiplexing sweep ------------------------------------------------------
+
+struct SweepPoint {
+  std::string mode;
+  int clients = 0;
+  int depth = 0;
+  std::uint64_t calls = 0;
+  double wall_s = 0.0;
+  double throughput_rps = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double mean_s = 0.0;
+};
+
+/// One (mode, clients, depth) cell: every client thread drives its OWN echo
+/// servant (distinct object keys, so the server's FIFO-per-key guarantee
+/// does not serialize the comparison) with `depth` requests in flight.
+SweepPoint run_sweep_point(bool multiplex, int clients, int depth,
+                           int calls_per_client) {
+  using clock = std::chrono::steady_clock;
+  auto server = corba::ORB::init({.endpoint_name = "s", .enable_tcp = true});
+  corba::OrbConfig client_config{.endpoint_name = "c", .enable_tcp = true};
+  client_config.tcp_client.multiplex = multiplex;
+  auto client = corba::ORB::init(client_config);
+
+  std::vector<corba::ObjectRef> refs;
+  for (int i = 0; i < clients; ++i)
+    refs.push_back(client->make_ref(
+        server->activate(std::make_shared<EchoServant>()).ior()));
+  const corba::Value payload(std::vector<double>(16, 1.0));
+
+  bench::LatencyRecorder latency("bench.multiplex_rpc");
+  const auto t0 = clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const corba::ObjectRef& ref = refs[static_cast<std::size_t>(c)];
+      if (depth <= 1) {
+        // Synchronous path (what a stub call does).
+        for (int i = 0; i < calls_per_client; ++i) {
+          const auto sent = clock::now();
+          ref.invoke("echo", {payload});
+          latency.record(
+              std::chrono::duration<double>(clock::now() - sent).count());
+        }
+        return;
+      }
+      // Pipelined path: windows of `depth` deferred requests.
+      int remaining = calls_per_client;
+      while (remaining > 0) {
+        const int batch = std::min(depth, remaining);
+        std::vector<corba::Request> requests;
+        std::vector<clock::time_point> sent;
+        requests.reserve(static_cast<std::size_t>(batch));
+        for (int i = 0; i < batch; ++i) {
+          requests.emplace_back(ref, "echo");
+          requests.back().add_argument(payload);
+          sent.push_back(clock::now());
+          requests.back().send_deferred();
+        }
+        for (int i = 0; i < batch; ++i) {
+          requests[static_cast<std::size_t>(i)].get_response();
+          latency.record(std::chrono::duration<double>(
+                             clock::now() - sent[static_cast<std::size_t>(i)])
+                             .count());
+        }
+        remaining -= batch;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double wall =
+      std::chrono::duration<double>(clock::now() - t0).count();
+
+  SweepPoint point;
+  point.mode = multiplex ? "multiplexed" : "serialized";
+  point.clients = clients;
+  point.depth = depth;
+  point.calls = static_cast<std::uint64_t>(clients) *
+                static_cast<std::uint64_t>(calls_per_client);
+  point.wall_s = wall;
+  point.throughput_rps = static_cast<double>(point.calls) / wall;
+  point.p50_s = latency.quantile(0.5);
+  point.p99_s = latency.quantile(0.99);
+  point.mean_s = latency.mean();
+  return point;
+}
+
+void run_multiplex_sweep() {
+  const bool smoke = bench::smoke_mode();
+  const int calls_per_client = smoke ? 150 : 2000;
+  const std::vector<int> client_counts = smoke ? std::vector<int>{1, 2}
+                                               : std::vector<int>{1, 2, 4, 8};
+  const std::vector<int> depths = {1, 8};
+
+  std::printf("\nM-mux — TCP transport: concurrent clients x pipeline depth\n");
+  std::printf("%-12s %8s %6s %10s %12s %10s %10s\n", "mode", "clients",
+              "depth", "calls", "rps", "p50_us", "p99_us");
+  bench::print_rule(74);
+
+  std::vector<SweepPoint> points;
+  std::vector<bench::JsonRow> rows;
+  for (const bool multiplex : {true, false}) {
+    for (const int clients : client_counts) {
+      for (const int depth : depths) {
+        const SweepPoint p =
+            run_sweep_point(multiplex, clients, depth, calls_per_client);
+        std::printf("%-12s %8d %6d %10llu %12.0f %10.1f %10.1f\n",
+                    p.mode.c_str(), p.clients, p.depth,
+                    static_cast<unsigned long long>(p.calls),
+                    p.throughput_rps, p.p50_s * 1e6, p.p99_s * 1e6);
+        rows.push_back({bench::jstr("mode", p.mode),
+                        bench::jint("clients", std::uint64_t(p.clients)),
+                        bench::jint("depth", std::uint64_t(p.depth)),
+                        bench::jint("calls", p.calls),
+                        bench::jnum("wall_s", p.wall_s),
+                        bench::jnum("throughput_rps", p.throughput_rps),
+                        bench::jnum("p50_s", p.p50_s),
+                        bench::jnum("p99_s", p.p99_s),
+                        bench::jnum("mean_s", p.mean_s)});
+        points.push_back(p);
+      }
+    }
+  }
+
+  // Headline comparison: pipelined throughput at max concurrency, and the
+  // single-client latency cost of the demux machinery.
+  auto find = [&](const std::string& mode, int clients,
+                  int depth) -> const SweepPoint* {
+    for (const SweepPoint& p : points)
+      if (p.mode == mode && p.clients == clients && p.depth == depth)
+        return &p;
+    return nullptr;
+  };
+  const int top = client_counts.back();
+  const SweepPoint* mux = find("multiplexed", top, 8);
+  const SweepPoint* ser = find("serialized", top, 8);
+  const SweepPoint* mux1 = find("multiplexed", 1, 1);
+  const SweepPoint* ser1 = find("serialized", 1, 1);
+  if (mux && ser && mux1 && ser1) {
+    std::printf("\nthroughput at %d clients, depth 8: %.0f vs %.0f rps "
+                "(%.2fx)\n",
+                top, mux->throughput_rps, ser->throughput_rps,
+                mux->throughput_rps / ser->throughput_rps);
+    std::printf("single-client p50: %.1f us (multiplexed) vs %.1f us "
+                "(serialized)\n",
+                mux1->p50_s * 1e6, ser1->p50_s * 1e6);
+  }
+  bench::write_bench_json("BENCH_multiplex.json", "micro_orb_multiplex", rows);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Smoke runs skip the google-benchmark timings (they auto-calibrate and
+  // take seconds); the multiplex sweep and its JSON run either way.
+  if (!bench::smoke_mode()) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  run_multiplex_sweep();
+  return 0;
+}

@@ -19,7 +19,9 @@ corbaft_add_bench(ablation_naming_strategies LIBS corbaft::opt)
 corbaft_add_bench(ablation_checkpoint_frequency LIBS corbaft::opt)
 corbaft_add_bench(ablation_recovery LIBS corbaft::opt)
 corbaft_add_bench(ablation_migration LIBS corbaft::opt)
-corbaft_add_bench(micro_orb GBENCH LIBS corbaft::orb)
+# micro_orb links opt (not just orb) because the multiplex sweep uses the
+# shared bench scaffolding in bench_common.hpp.
+corbaft_add_bench(micro_orb GBENCH LIBS corbaft::opt)
 # micro_checkpoint links opt (not just ft) because the pipeline sweep uses
 # the shared bench scaffolding in bench_common.hpp.
 corbaft_add_bench(micro_checkpoint GBENCH LIBS corbaft::opt)
@@ -34,12 +36,13 @@ corbaft_add_bench(ablation_wan_metacomputing LIBS corbaft::opt)
 # the default test run.
 set(_corbaft_bench_smoke_cmd
   ${CMAKE_CURRENT_LIST_DIR}/../tools/run_benches.sh
-  $<TARGET_FILE:table1_proxy_overhead> $<TARGET_FILE:micro_checkpoint>)
+  $<TARGET_FILE:table1_proxy_overhead> $<TARGET_FILE:micro_checkpoint>
+  $<TARGET_FILE:micro_orb>)
 add_custom_target(bench-smoke
   COMMAND ${CMAKE_COMMAND} -E env CORBAFT_BENCH_SMOKE=1
           ${_corbaft_bench_smoke_cmd}
   WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench
-  DEPENDS table1_proxy_overhead micro_checkpoint
+  DEPENDS table1_proxy_overhead micro_checkpoint micro_orb
   VERBATIM)
 add_test(NAME bench_smoke COMMAND ${_corbaft_bench_smoke_cmd})
 # The `obs` label groups everything that exercises the observability layer:

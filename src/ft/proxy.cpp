@@ -19,6 +19,8 @@ struct ProxyMetrics {
       obs::MetricsRegistry::global().counter("ft.proxy.failures_total");
   obs::Counter& retries =
       obs::MetricsRegistry::global().counter("ft.proxy.retries_total");
+  obs::Counter& batched_failures = obs::MetricsRegistry::global().counter(
+      "ft.proxy.batched_failures_total");
   obs::Counter& recoveries =
       obs::MetricsRegistry::global().counter("ft.proxy.recoveries_total");
   obs::Counter& deadline_exhaustions = obs::MetricsRegistry::global().counter(
@@ -110,8 +112,36 @@ corba::Value ProxyEngine::call(std::string_view op, corba::ValueSeq args) {
 
 void ProxyEngine::on_failure(const corba::SystemException& error, int attempt,
                              double call_start) {
+  on_failure(error, attempt, call_start, current_.ior());
+}
+
+void ProxyEngine::on_failure(const corba::SystemException& error, int attempt,
+                             double call_start,
+                             const corba::IOR& failed_target) {
   const double at = now();
   proxy_metrics().failures.inc();
+  // Batched-failure fast path: a multiplexed connection failing takes every
+  // in-flight call down with one COMM_FAILURE.  If a sibling call already
+  // recovered (the proxy no longer targets the instance this request was
+  // sent to), recovering again would abandon a healthy replacement — skip
+  // backoff and recovery and let the caller re-issue against current().
+  // The quarantine is not re-struck either: the strike belongs to the dead
+  // host and the sibling's failure already reported it.
+  if (!(current_.ior() == failed_target)) {
+    if (attempt >= config_.policy.max_attempts || !should_retry(error)) {
+      obs::timeline_event_at(at, "proxy", service_key_,
+                             "surfacing batched failure: retry budget "
+                             "exhausted");
+      throw;
+    }
+    ++batched_failures_;
+    proxy_metrics().batched_failures.inc();
+    obs::timeline_event_at(at, "proxy", service_key_,
+                           "batched connection failure (attempt " +
+                               std::to_string(attempt) +
+                               "): sibling already recovered; re-issuing");
+    return;
+  }
   obs::timeline_event_at(at, "proxy", service_key_,
                          "call failed (attempt " + std::to_string(attempt) +
                              "): " + error.repo_id());

@@ -203,6 +203,17 @@ class ProxyEngine {
   void on_failure(const corba::SystemException& error, int attempt,
                   double call_start);
 
+  /// Variant for callers that know which target the failed request was sent
+  /// to (deferred requests).  A multiplexed transport fails *every* call in
+  /// flight on a broken connection with the same COMM_FAILURE; the first
+  /// one through here recovers and rebinds, so its siblings arrive with
+  /// `failed_target` != current().  Those skip backoff and recovery — the
+  /// work is already done — and simply return so the caller re-issues
+  /// against the recovered target.  Retry budget and completion-status
+  /// policy still apply.
+  void on_failure(const corba::SystemException& error, int attempt,
+                  double call_start, const corba::IOR& failed_target);
+
   /// Current time per the configured clock (monotonic wall clock default).
   double now() const;
 
@@ -224,6 +235,9 @@ class ProxyEngine {
     return pipeline_ ? pipeline_->stored() : 0;
   }
   std::uint64_t retries() const noexcept { return retries_; }
+  /// Failures absorbed because a sibling call on the same connection had
+  /// already recovered the proxy (batched connection failures).
+  std::uint64_t batched_failures() const noexcept { return batched_failures_; }
   std::uint64_t checkpoint_failures() const noexcept {
     return checkpoint_failures_ + (pipeline_ ? pipeline_->failures() : 0);
   }
@@ -251,6 +265,7 @@ class ProxyEngine {
   int calls_since_checkpoint_ = 0;
   std::uint64_t recoveries_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t batched_failures_ = 0;
   std::uint64_t checkpoint_failures_ = 0;
   double backoff_waited_s_ = 0.0;
   std::uint64_t deadline_exhaustions_ = 0;

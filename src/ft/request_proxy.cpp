@@ -44,16 +44,21 @@ void RequestProxy::get_response() {
   // quarantine reporting) so deferred calls behave exactly like call().
   const double call_start = engine_.now();
   for (int attempt = 1;; ++attempt) {
+    // Captured before get_response(): on a multiplexed transport a sibling
+    // call's failure may rebind the engine while we wait, and the engine's
+    // batched-failure handling needs to know which target *this* request
+    // actually went to.
+    const corba::IOR sent_to = request_->target().ior();
     try {
       request_->get_response();
       engine_.note_success();
       return;
     } catch (const corba::COMM_FAILURE& error) {
-      engine_.on_failure(error, attempt, call_start);
+      engine_.on_failure(error, attempt, call_start, sent_to);
     } catch (const corba::TRANSIENT& error) {
-      engine_.on_failure(error, attempt, call_start);
+      engine_.on_failure(error, attempt, call_start, sent_to);
     } catch (const corba::TIMEOUT& error) {
-      engine_.on_failure(error, attempt, call_start);
+      engine_.on_failure(error, attempt, call_start, sent_to);
     }
     ++reissues_;
     request_->reset();

@@ -141,19 +141,44 @@ corba::ObjectRef NamingContextServant::pick_offer(const Name& name,
     case ResolveStrategy::winner:
       break;
   }
-  // winner strategy: pick the offer on the currently best host.
+  // winner strategy: pick the offer on the currently best host.  The ranked
+  // host order is cached per name and reused while the manager's ranking
+  // inputs are unchanged (same non-zero load_epoch); the cache ranks ALL
+  // bound hosts and the quarantine filter is applied at pick time, so the
+  // ordering stays valid while individual offers flip in and out of the
+  // usable set (a stable sort restricted to a subsequence preserves order).
   if (options_.winner) {
+    static obs::Counter& cache_hits =
+        obs::MetricsRegistry::global().counter("naming.rank_cache_hits_total");
+    static obs::Counter& cache_misses =
+        obs::MetricsRegistry::global().counter("naming.rank_cache_misses_total");
     try {
-      std::vector<std::string> hosts;
-      hosts.reserve(usable.size());
-      for (const Offer* offer : usable) hosts.push_back(offer->host);
-      const std::string best = options_.winner->best_host(hosts);
-      auto it = std::find_if(usable.begin(), usable.end(),
-                             [&](const Offer* o) { return o->host == best; });
-      if (it != usable.end()) {
+      const std::uint64_t epoch = options_.winner->load_epoch();
+      const bool cacheable = epoch != 0;  // 0 = epochs not tracked
+      if (cacheable && entry.rank_valid && entry.rank_epoch == epoch) {
+        cache_hits.inc();
+      } else {
+        std::vector<std::string> hosts;
+        hosts.reserve(entry.offers.size());
+        for (const Offer& offer : entry.offers) hosts.push_back(offer.host);
+        entry.ranked_hosts = options_.winner->rank_hosts(hosts);
+        entry.rank_epoch = epoch;
+        entry.rank_valid = cacheable;
+        cache_misses.inc();
+      }
+      for (const std::string& best : entry.ranked_hosts) {
+        auto it = std::find_if(usable.begin(), usable.end(),
+                               [&](const Offer* o) { return o->host == best; });
+        if (it == usable.end()) continue;
         if (options_.notify_placements) options_.winner->notify_placement(best);
         return (*it)->ref;
       }
+      // No eligible host intersects the usable offers — same outcome
+      // best_host() used to signal by throwing.
+      if (!options_.winner_fallback)
+        throw winner::NoHostAvailable("no registered, fresh host among " +
+                                      std::to_string(usable.size()) +
+                                      " usable offers");
     } catch (const winner::NoHostAvailable&) {
       if (!options_.winner_fallback) throw;
     } catch (const corba::SystemException&) {
@@ -226,6 +251,7 @@ void NamingContextServant::bind_offer(const Name& name,
   if (offers == nullptr)
     throw AlreadyBound("'" + name.back().id + "' is bound as a plain object");
   offers->offers.push_back(Offer{obj, host});
+  offers->rank_valid = false;  // membership changed; cached ranking is stale
 }
 
 void NamingContextServant::unbind_offer(const Name& name,
@@ -244,6 +270,7 @@ void NamingContextServant::unbind_offer(const Name& name,
                 [&](const Offer& o) { return o.host == host; });
   if (offers->offers.size() == before)
     throw NotFound("no offer on host '" + host + "'");
+  offers->rank_valid = false;  // membership changed; cached ranking is stale
   if (offers->offers.empty()) bindings_.erase(it);
 }
 

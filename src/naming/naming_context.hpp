@@ -10,6 +10,7 @@
 // NamingContextOptions.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <functional>
 #include <map>
@@ -114,6 +115,12 @@ class NamingContextServant final
   struct OfferEntry {
     std::vector<Offer> offers;
     std::size_t round_robin_next = 0;
+    /// Winner-ranked host order cached between load-report epochs.  Valid
+    /// only while the manager's load_epoch() still equals rank_epoch; any
+    /// bind_offer/unbind_offer on this name also invalidates it.
+    std::vector<std::string> ranked_hosts;
+    std::uint64_t rank_epoch = 0;
+    bool rank_valid = false;
   };
   using Entry = std::variant<ObjectEntry, ContextEntry, OfferEntry>;
   using Key = std::pair<std::string, std::string>;  // (id, kind)

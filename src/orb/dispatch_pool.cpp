@@ -1,0 +1,126 @@
+#include "orb/dispatch_pool.hpp"
+
+#include "obs/metrics.hpp"
+#include "orb/exceptions.hpp"
+
+namespace corba {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Counter& dispatched = obs::MetricsRegistry::global().counter(
+      "orb.dispatch_pool.dispatched_total");
+  obs::Gauge& inflight =
+      obs::MetricsRegistry::global().gauge("orb.dispatch_pool.inflight");
+  obs::Histogram& queue_depth = obs::MetricsRegistry::global().histogram(
+      "orb.dispatch_pool.queue_depth",
+      {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+DispatchPool::DispatchPool(Options options, Dispatch dispatch)
+    : options_(options), dispatch_(std::move(dispatch)) {
+  if (options_.threads < 1) throw BAD_PARAM("dispatch pool requires >= 1 thread");
+  if (options_.queue_limit < 1)
+    throw BAD_PARAM("dispatch pool requires a positive queue limit");
+  if (!dispatch_) throw BAD_PARAM("dispatch pool requires a dispatch function");
+  workers_.reserve(options_.threads);
+  for (std::size_t i = 0; i < options_.threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+DispatchPool::~DispatchPool() { stop(); }
+
+void DispatchPool::submit(RequestMessage request, Completion done) {
+  std::unique_lock lock(mu_);
+  space_cv_.wait(lock,
+                 [this] { return in_pool_ < options_.queue_limit || stopping_; });
+  if (stopping_)
+    throw BAD_INV_ORDER("dispatch pool is stopped", minor_code::unspecified,
+                        CompletionStatus::completed_no);
+  ++in_pool_;
+  pool_metrics().queue_depth.record(static_cast<double>(in_pool_));
+  auto [it, inserted] = keys_.try_emplace(request.object_key);
+  it->second.waiting.push_back(Job{std::move(request), std::move(done)});
+  // A key becomes runnable when its first job arrives; while a worker is
+  // executing the key stays out of ready_ (the worker re-queues it).
+  if (inserted) {
+    ready_.push_back(it->first);
+    work_cv_.notify_one();
+  }
+}
+
+void DispatchPool::stop() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+  // Serialized so concurrent stop() calls never race a join.
+  std::lock_guard join_lock(join_mu_);
+  for (auto& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+std::size_t DispatchPool::depth() const {
+  std::lock_guard lock(mu_);
+  return in_pool_;
+}
+
+std::uint64_t DispatchPool::dispatched() const {
+  std::lock_guard lock(mu_);
+  return dispatched_;
+}
+
+void DispatchPool::worker_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return !ready_.empty() || (stopping_ && in_pool_ == 0);
+    });
+    if (ready_.empty()) return;  // stopping and fully drained
+    ObjectKey key = std::move(ready_.front());
+    ready_.pop_front();
+    auto it = keys_.find(key);
+    Job job = std::move(it->second.waiting.front());
+    it->second.waiting.pop_front();
+
+    pool_metrics().inflight.add(1);
+    lock.unlock();
+    ReplyMessage reply = dispatch_(job.request);
+    if (job.request.response_expected && job.done) {
+      try {
+        job.done(std::move(reply));
+      } catch (...) {
+        // Completion failures (connection torn down mid-dispatch) are the
+        // client's COMM_FAILURE to observe, not the pool's problem.
+      }
+    }
+    lock.lock();
+    pool_metrics().inflight.add(-1);
+    pool_metrics().dispatched.inc();
+    ++dispatched_;
+    --in_pool_;
+
+    it = keys_.find(key);
+    if (it->second.waiting.empty()) {
+      keys_.erase(it);
+    } else {
+      // FIFO per key: the next job for this key becomes runnable only now
+      // that its predecessor finished.
+      ready_.push_back(key);
+      work_cv_.notify_one();
+    }
+    space_cv_.notify_one();
+    if (stopping_ && in_pool_ == 0) work_cv_.notify_all();
+  }
+}
+
+}  // namespace corba

@@ -1,0 +1,104 @@
+// Server-side dispatch thread pool.
+//
+// Decouples socket reads from servant execution: a receive loop per
+// connection enqueues decoded requests and N workers dispatch them, so one
+// slow method no longer blocks every other request behind it (head-of-line
+// blocking) — only requests for the *same* object wait on each other.
+//
+// Ordering contract: requests are executed FIFO **per object key**, one at a
+// time per key, preserving the single-threaded servant semantics the rest of
+// the runtime was written against while letting distinct objects (and
+// distinct connections) proceed in parallel.  Across keys the pool is FIFO
+// too — keys become runnable in arrival order — but completion order is
+// unconstrained, which is why replies carry request ids (the client transport
+// demuxes them; see tcp_transport.hpp).
+//
+// The queue is bounded: submit() blocks when `queue_limit` requests are
+// in the pool (queued + executing).  Blocking the connection's receive loop
+// is deliberate — it stops reading the socket, TCP flow control pushes back
+// to the sender, and an overloaded server degrades into backpressure instead
+// of unbounded memory growth.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "orb/message.hpp"
+
+namespace corba {
+
+class DispatchPool {
+ public:
+  struct Options {
+    /// Worker thread count (>= 1).
+    std::size_t threads = 4;
+    /// Maximum requests in the pool (queued + executing) before submit()
+    /// blocks.
+    std::size_t queue_limit = 1024;
+  };
+
+  /// Executes one request; must be callable from any worker thread and must
+  /// not throw (ObjectAdapter::dispatch is noexcept).
+  using Dispatch = std::function<ReplyMessage(const RequestMessage&)>;
+
+  /// Invoked with the reply on a worker thread; exceptions are swallowed
+  /// (a completion writing to a dead connection is normal during teardown).
+  using Completion = std::function<void(ReplyMessage)>;
+
+  DispatchPool(Options options, Dispatch dispatch);
+  ~DispatchPool();
+
+  DispatchPool(const DispatchPool&) = delete;
+  DispatchPool& operator=(const DispatchPool&) = delete;
+
+  /// Enqueues a request.  `done` may be empty (oneway).  Blocks while the
+  /// pool is at queue_limit; throws BAD_INV_ORDER after stop().
+  void submit(RequestMessage request, Completion done);
+
+  /// Drains every queued request, then joins the workers.  Idempotent.
+  void stop();
+
+  std::size_t threads() const noexcept { return options_.threads; }
+
+  // --- telemetry -----------------------------------------------------------
+  /// Requests currently in the pool (queued + executing).
+  std::size_t depth() const;
+  /// Requests executed so far.
+  std::uint64_t dispatched() const;
+
+ private:
+  struct Job {
+    RequestMessage request;
+    Completion done;
+  };
+  /// Per-object-key FIFO.  Present in keys_ iff it has waiting jobs or a
+  /// worker is executing its head job.
+  struct KeyQueue {
+    std::deque<Job> waiting;
+  };
+
+  void worker_loop();
+
+  Options options_;
+  Dispatch dispatch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait for runnable keys
+  std::condition_variable space_cv_;  ///< submitters wait for capacity
+  std::unordered_map<ObjectKey, KeyQueue, ObjectKeyHash> keys_;
+  /// Keys with a runnable (not currently executing) head job, FIFO.
+  std::deque<ObjectKey> ready_;
+  std::size_t in_pool_ = 0;  ///< queued + executing
+  std::uint64_t dispatched_ = 0;
+  bool stopping_ = false;
+  std::mutex join_mu_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace corba

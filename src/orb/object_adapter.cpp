@@ -108,6 +108,39 @@ std::size_t ObjectAdapter::active_count() const {
   return servants_.size();
 }
 
+void ObjectAdapter::enable_dispatch_pool(DispatchPool::Options options) {
+  std::lock_guard lock(pool_mu_);
+  if (pool_) {
+    if (pool_->threads() != options.threads)
+      throw BAD_INV_ORDER("dispatch pool already started",
+                          minor_code::unspecified,
+                          CompletionStatus::completed_no);
+    return;
+  }
+  pool_ = std::make_unique<DispatchPool>(
+      options, [this](const RequestMessage& request) { return dispatch(request); });
+}
+
+void ObjectAdapter::dispatch_async(RequestMessage request,
+                                   DispatchPool::Completion done) {
+  // pool_ is written once under pool_mu_ before any endpoint thread runs and
+  // never reset, so the lock-free read here is race-free in practice; the
+  // pool outlives every connection loop (stop_dispatch_pool only drains).
+  if (DispatchPool* pool = pool_.get()) {
+    pool->submit(std::move(request), std::move(done));
+    return;
+  }
+  ReplyMessage reply = dispatch(request);
+  if (request.response_expected && done) done(std::move(reply));
+}
+
+void ObjectAdapter::stop_dispatch_pool() {
+  std::unique_lock lock(pool_mu_);
+  DispatchPool* pool = pool_.get();
+  lock.unlock();
+  if (pool) pool->stop();
+}
+
 ReplyMessage ObjectAdapter::dispatch(const RequestMessage& request) noexcept {
   try {
     dispatch_counter().inc();

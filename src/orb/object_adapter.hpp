@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "orb/dispatch_pool.hpp"
 #include "orb/ior.hpp"
 #include "orb/message.hpp"
 #include "orb/value.hpp"
@@ -81,6 +82,22 @@ class ObjectAdapter {
   /// ORB isolates clients from server-side failures.
   ReplyMessage dispatch(const RequestMessage& request) noexcept;
 
+  /// Starts the bounded dispatch thread pool used by dispatch_async().
+  /// Idempotent; BAD_INV_ORDER if already started with different options.
+  void enable_dispatch_pool(DispatchPool::Options options);
+
+  /// Asynchronous dispatch: with a pool enabled the request is queued and a
+  /// worker later invokes `done` (on its own thread, FIFO per object key);
+  /// without one it runs inline on the caller.  `done` may be empty
+  /// (oneway).  Blocks under backpressure when the pool is full.
+  void dispatch_async(RequestMessage request, DispatchPool::Completion done);
+
+  /// Drains and joins the pool.  Idempotent, safe without a pool.
+  void stop_dispatch_pool();
+
+  /// The pool, or nullptr when dispatch is inline.
+  DispatchPool* dispatch_pool() const noexcept { return pool_.get(); }
+
  private:
   IOR make_ior(const std::shared_ptr<Servant>& servant, ObjectKey key) const;
 
@@ -90,6 +107,11 @@ class ObjectAdapter {
       servants_;
   std::uint64_t next_key_ = 1;
   std::uint64_t adapter_id_;
+  /// Created once by enable_dispatch_pool; guarded by pool_mu_ for creation,
+  /// read lock-free afterwards (shared_ptr-like stability: never reset until
+  /// destruction).
+  mutable std::mutex pool_mu_;
+  std::unique_ptr<DispatchPool> pool_;
 };
 
 }  // namespace corba

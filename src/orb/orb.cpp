@@ -110,20 +110,27 @@ void ORB::start() {
     profile.port = 0;
   }
   adapter_ = std::make_shared<ObjectAdapter>(std::move(profile));
+  if (config_.enable_tcp && config_.dispatch_threads > 0)
+    adapter_->enable_dispatch_pool(
+        {config_.dispatch_threads, config_.dispatch_queue_limit});
   if (tcp_server_) tcp_server_->start(adapter_);
   if (config_.network) {
     config_.network->bind(config_.endpoint_name, adapter_);
     inproc_transport_ =
         std::make_shared<InProcessTransport>(config_.network);
   }
-  if (config_.enable_tcp) tcp_transport_ = std::make_shared<TcpClientTransport>();
+  if (config_.enable_tcp)
+    tcp_transport_ = std::make_shared<TcpClientTransport>(config_.tcp_client);
 }
 
 ORB::~ORB() { shutdown(); }
 
 void ORB::shutdown() {
   if (shut_down_.exchange(true)) return;
+  // Receive loops first (they may be blocked on pool backpressure, which the
+  // still-running pool resolves), then drain the pool itself.
   if (tcp_server_) tcp_server_->stop();
+  if (adapter_) adapter_->stop_dispatch_pool();
   if (config_.network) config_.network->unbind(config_.endpoint_name);
 }
 
@@ -157,7 +164,7 @@ ClientTransport& ORB::transport_for(const IOR& target) {
       // TCP servers without exposing a TCP endpoint itself.
       std::lock_guard lock(initial_refs_mu_);
       if (!tcp_transport_)
-        tcp_transport_ = std::make_shared<TcpClientTransport>();
+        tcp_transport_ = std::make_shared<TcpClientTransport>(config_.tcp_client);
     }
     return *tcp_transport_;
   }

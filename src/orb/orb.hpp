@@ -17,12 +17,12 @@
 #include <string_view>
 
 #include "orb/object_adapter.hpp"
+#include "orb/tcp_transport.hpp"
 #include "orb/transport.hpp"
 
 namespace corba {
 
 class ORB;
-class TcpServerEndpoint;
 
 /// A typed handle to a (possibly remote) object: an IOR plus the ORB used to
 /// reach it.  Copies are cheap; a default-constructed ref is nil.
@@ -92,10 +92,22 @@ struct OrbConfig {
   /// virtual timings (the chaos tests' trace-determinism contract).
   std::uint64_t adapter_id = 0;
 
-  /// Enable a real TCP endpoint (thread-per-connection server).
+  /// Enable a real TCP endpoint (receive loop per connection; servant
+  /// execution on the adapter's dispatch pool).
   bool enable_tcp = false;
   std::string tcp_host = "127.0.0.1";
   std::uint16_t tcp_port = 0;  ///< 0 selects an ephemeral port
+
+  /// TCP client transport tuning: multiplexing on/off, request timeout,
+  /// idle-connection TTL and the soft socket cap (see TcpClientOptions).
+  TcpClientOptions tcp_client{};
+
+  /// Worker threads executing TCP requests (FIFO per object key).
+  /// 0 dispatches inline on each connection's receive thread — the old
+  /// thread-per-connection behaviour.
+  std::size_t dispatch_threads = 4;
+  /// Requests queued + executing before receive loops block (backpressure).
+  std::size_t dispatch_queue_limit = 1024;
 };
 
 /// The Object Request Broker.

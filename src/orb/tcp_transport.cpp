@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "orb/exceptions.hpp"
 
@@ -24,6 +25,32 @@ namespace {
 }
 
 constexpr int kPollIntervalMs = 100;
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct MuxMetrics {
+  obs::Counter& pipelined = obs::MetricsRegistry::global().counter(
+      "transport.tcp.pipelined_total");
+  obs::Counter& discarded = obs::MetricsRegistry::global().counter(
+      "transport.tcp.discarded_replies_total");
+  obs::Counter& batch_failed = obs::MetricsRegistry::global().counter(
+      "transport.tcp.batched_failures_total");
+  obs::Counter& idle_closed = obs::MetricsRegistry::global().counter(
+      "transport.tcp.idle_closed_total");
+  obs::Gauge& inflight =
+      obs::MetricsRegistry::global().gauge("transport.tcp.inflight");
+  obs::Gauge& connections =
+      obs::MetricsRegistry::global().gauge("transport.tcp.connections");
+};
+
+MuxMetrics& mux_metrics() {
+  static MuxMetrics metrics;
+  return metrics;
+}
 
 }  // namespace
 
@@ -152,48 +179,498 @@ bool Socket::recv_frame(MessageHeader& header, std::vector<std::byte>& body,
   return true;
 }
 
-ReplyMessage TcpClientTransport::round_trip(const IOR& target,
-                                            const RequestMessage& request) {
+bool Socket::wait_readable(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int pr = ::poll(&pfd, 1, timeout_ms);
+  if (pr < 0) {
+    if (errno == EINTR) return false;
+    throw_errno("poll", minor_code::connection_lost,
+                CompletionStatus::completed_maybe);
+  }
+  return pr > 0;  // POLLHUP/POLLERR count: the next read reports the close
+}
+
+// --- multiplexed client connection ------------------------------------------
+
+/// Reply handle for a pipelined request, completed leader/followers-style:
+/// get() reads the socket itself when no other caller is, and otherwise
+/// waits for a sibling leader to demux its reply (or to hand leadership
+/// over).
+class TcpMuxPendingReply final : public PendingReply {
+ public:
+  TcpMuxPendingReply(std::shared_ptr<TcpConnection> connection,
+                     std::shared_ptr<TcpConnection::Waiter> waiter,
+                     std::uint64_t request_id, double timeout_s)
+      : connection_(std::move(connection)),
+        waiter_(std::move(waiter)),
+        request_id_(request_id),
+        deadline_(timeout_s > 0
+                      ? std::chrono::steady_clock::now() +
+                            std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(timeout_s))
+                      : std::chrono::steady_clock::time_point::max()) {}
+
+  ~TcpMuxPendingReply() override {
+    // Never consumed: abandon the waiter so a late reply is discarded
+    // instead of accumulating forever in the connection's demux table.
+    if (!consumed_) abandon();
+  }
+
+  bool ready() override {
+    if (waiter_->done.load(std::memory_order_acquire)) return true;
+    // No dedicated reader thread exists, so a poll-only caller must drain
+    // the socket itself for its reply to ever complete: briefly take
+    // leadership (if free) and demux whatever frames are already buffered.
+    std::unique_lock lock(connection_->mu_);
+    if (connection_->leader_active_ ||
+        connection_->broken_.load(std::memory_order_acquire))
+      return waiter_->done.load(std::memory_order_acquire);
+    connection_->leader_active_ = true;
+    connection_->drain_available_locked(lock);
+    connection_->leader_active_ = false;
+    connection_->promote_follower_locked();
+    return waiter_->done.load(std::memory_order_acquire);
+  }
+
+  ReplyMessage get() override {
+    consumed_ = true;
+    std::unique_lock lock(connection_->mu_);
+    for (;;) {
+      if (waiter_->done.load(std::memory_order_acquire)) {
+        lock.unlock();
+        return consume();
+      }
+      if (!connection_->leader_active_) {
+        // Leader: read the socket directly — a lone caller gets its reply
+        // with no extra thread hop; with siblings in flight, demux theirs
+        // along the way.
+        connection_->leader_active_ = true;
+        const bool completed = connection_->lead(lock, waiter_, deadline_);
+        connection_->leader_active_ = false;
+        connection_->promote_follower_locked();
+        if (waiter_->done.load(std::memory_order_acquire)) {
+          lock.unlock();
+          return consume();
+        }
+        if (!completed) return timeout(lock);
+        continue;
+      }
+      // Follower: wait for the leader to demux our reply or to hand the
+      // socket over.
+      waiter_->blocked = true;
+      const bool woken = waiter_->cv.wait_until(lock, deadline_, [this] {
+        return waiter_->done.load(std::memory_order_acquire) ||
+               !connection_->leader_active_;
+      });
+      waiter_->blocked = false;
+      if (!woken) return timeout(lock);
+    }
+  }
+
+ private:
+  ReplyMessage consume() {
+    mux_metrics().inflight.add(-1);
+    if (waiter_->error) std::rethrow_exception(waiter_->error);
+    return std::move(waiter_->reply);
+  }
+
+  /// Abandon this call only (deadline expired, reply still pending).  The
+  /// connection and every other in-flight call on it stay healthy; the next
+  /// leader discards our late reply when (if) it arrives.
+  [[noreturn]] ReplyMessage timeout(std::unique_lock<std::mutex>& lock) {
+    connection_->waiters_.erase(request_id_);
+    lock.unlock();
+    mux_metrics().inflight.add(-1);
+    throw TIMEOUT("no reply within the request timeout",
+                  minor_code::unspecified, CompletionStatus::completed_maybe);
+  }
+
+  void abandon() noexcept {
+    std::lock_guard lock(connection_->mu_);
+    if (!waiter_->done.load(std::memory_order_acquire))
+      connection_->waiters_.erase(request_id_);
+    mux_metrics().inflight.add(-1);
+  }
+
+  std::shared_ptr<TcpConnection> connection_;
+  std::shared_ptr<TcpConnection::Waiter> waiter_;
+  std::uint64_t request_id_;
+  std::chrono::steady_clock::time_point deadline_;
+  bool consumed_ = false;
+};
+
+std::shared_ptr<TcpConnection> TcpConnection::open(const std::string& host,
+                                                   std::uint16_t port) {
+  return std::shared_ptr<TcpConnection>(
+      new TcpConnection(Socket::connect(host, port)));
+}
+
+TcpConnection::TcpConnection(Socket socket) : socket_(std::move(socket)) {
+  touch();
+}
+
+TcpConnection::~TcpConnection() { close(); }
+
+void TcpConnection::touch() noexcept {
+  last_used_.store(monotonic_seconds(), std::memory_order_relaxed);
+}
+
+std::size_t TcpConnection::in_flight() const {
+  std::lock_guard lock(mu_);
+  return waiters_.size();
+}
+
+double TcpConnection::last_used() const {
+  return last_used_.load(std::memory_order_relaxed);
+}
+
+void TcpConnection::write_frame(const RequestMessage& request) {
+  std::lock_guard lock(write_mu_);
+  FrameBuilder frame = socket_.start_frame(MessageType::request,
+                                           request.encoded_size_estimate());
+  request.encode_body(frame.body());
+  socket_.finish_frame(frame);
+}
+
+std::unique_ptr<PendingReply> TcpConnection::send(const RequestMessage& request,
+                                                  double timeout_s) {
+  auto waiter = std::make_shared<Waiter>();
+  {
+    std::lock_guard lock(mu_);
+    if (broken_.load(std::memory_order_acquire))
+      throw COMM_FAILURE("connection already failed",
+                         minor_code::connection_lost,
+                         CompletionStatus::completed_no);
+    if (!waiters_.empty()) mux_metrics().pipelined.inc();
+    waiters_.emplace(request.request_id, waiter);
+  }
+  mux_metrics().inflight.add(1);
+  touch();
+  try {
+    write_frame(request);
+  } catch (...) {
+    // Nothing of this request reached the peer coherently; unregister
+    // ourselves with COMPLETED_NO and fail the *other* in-flight calls with
+    // COMPLETED_MAYBE (their requests were already on the wire).
+    {
+      std::lock_guard lock(mu_);
+      waiters_.erase(request.request_id);
+      fail_all_locked(std::make_exception_ptr(
+          COMM_FAILURE("connection failed while another request was writing",
+                       minor_code::connection_lost,
+                       CompletionStatus::completed_maybe)));
+    }
+    mux_metrics().inflight.add(-1);
+    throw COMM_FAILURE("connection lost while sending request",
+                       minor_code::connection_lost,
+                       CompletionStatus::completed_no);
+  }
+  return std::make_unique<TcpMuxPendingReply>(
+      shared_from_this(), std::move(waiter), request.request_id, timeout_s);
+}
+
+void TcpConnection::send_oneway(const RequestMessage& request) {
+  if (broken_.load(std::memory_order_acquire))
+    throw COMM_FAILURE("connection already failed", minor_code::connection_lost,
+                       CompletionStatus::completed_no);
+  touch();
+  try {
+    write_frame(request);
+  } catch (...) {
+    std::lock_guard lock(mu_);
+    fail_all_locked(std::make_exception_ptr(
+        COMM_FAILURE("connection failed while another request was writing",
+                     minor_code::connection_lost,
+                     CompletionStatus::completed_maybe)));
+    throw;
+  }
+}
+
+void TcpConnection::fail_all_locked(const std::exception_ptr& error) {
+  // A connection-level failure is a *batched* failure: every in-flight call
+  // on this connection sees the same COMM_FAILURE (the FT layer recovers
+  // once and re-issues the batch against the new target).
+  broken_.store(true, std::memory_order_release);
+  if (!waiters_.empty()) mux_metrics().batch_failed.inc(waiters_.size());
+  for (auto& [id, waiter] : waiters_) {
+    waiter->error = error;
+    waiter->done.store(true, std::memory_order_release);
+    waiter->cv.notify_one();
+  }
+  waiters_.clear();
+}
+
+bool TcpConnection::read_one_locked(std::unique_lock<std::mutex>& lock) {
+  lock.unlock();
+  std::exception_ptr failure;
+  ReplyMessage reply;
+  bool have_reply = false;
+  try {
+    MessageHeader header;
+    std::vector<std::byte> body;
+    if (!socket_.recv_frame(header, body)) {
+      failure = std::make_exception_ptr(COMM_FAILURE(
+          "server closed connection", minor_code::connection_lost,
+          CompletionStatus::completed_maybe));
+    } else if (header.type != MessageType::reply) {
+      failure = std::make_exception_ptr(
+          MARSHAL("unexpected message type in reply stream"));
+    } else {
+      CdrInputStream in(body, header.byte_order);
+      reply = ReplyMessage::decode_body(in);
+      have_reply = true;
+      touch();
+    }
+  } catch (const Exception&) {
+    failure = std::current_exception();
+  }
+  lock.lock();
+  if (!have_reply) {
+    fail_all_locked(failure);
+    return false;
+  }
+  auto it = waiters_.find(reply.request_id);
+  if (it == waiters_.end()) {
+    // Duplicate, late (timed-out) or stray reply: ignore it.  Every waiter
+    // is completed exactly once.
+    mux_metrics().discarded.inc();
+    return true;
+  }
+  const std::shared_ptr<Waiter> owner = std::move(it->second);
+  waiters_.erase(it);
+  owner->reply = std::move(reply);
+  owner->done.store(true, std::memory_order_release);
+  owner->cv.notify_one();  // wake exactly the caller this reply is for
+  return true;
+}
+
+bool TcpConnection::lead(std::unique_lock<std::mutex>& lock,
+                         const std::shared_ptr<Waiter>& waiter,
+                         std::chrono::steady_clock::time_point deadline) {
+  while (!waiter->done.load(std::memory_order_acquire)) {
+    if (closing_.load(std::memory_order_acquire)) {
+      fail_all_locked(std::make_exception_ptr(
+          COMM_FAILURE("connection closed", minor_code::connection_lost,
+                       CompletionStatus::completed_maybe)));
+      return true;
+    }
+    // Poll in bounded slices so close() and this caller's deadline are
+    // honored *between* frames; once data is available, commit to reading
+    // the whole frame — abandoning one mid-read would lose stream sync for
+    // every other call on the connection.
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    int slice_ms = kPollIntervalMs;
+    if (deadline != std::chrono::steady_clock::time_point::max()) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+              .count();
+      slice_ms = static_cast<int>(std::min<long long>(slice_ms,
+                                                      std::max<long long>(
+                                                          1, remaining)));
+    }
+    lock.unlock();
+    bool readable = false;
+    std::exception_ptr failure;
+    try {
+      readable = socket_.wait_readable(slice_ms);
+    } catch (const Exception&) {
+      failure = std::current_exception();
+    }
+    lock.lock();
+    if (failure) {
+      fail_all_locked(failure);
+      return true;
+    }
+    if (readable && !read_one_locked(lock)) return true;
+  }
+  return true;
+}
+
+void TcpConnection::drain_available_locked(std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    lock.unlock();
+    bool readable = false;
+    std::exception_ptr failure;
+    try {
+      readable = socket_.wait_readable(0);
+    } catch (const Exception&) {
+      failure = std::current_exception();
+    }
+    lock.lock();
+    if (failure) {
+      fail_all_locked(failure);
+      return;
+    }
+    if (!readable || !read_one_locked(lock)) return;
+  }
+}
+
+void TcpConnection::promote_follower_locked() {
+  for (auto& [id, waiter] : waiters_) {
+    if (waiter->blocked) {
+      waiter->cv.notify_one();
+      return;
+    }
+  }
+}
+
+void TcpConnection::close() {
+  closing_.store(true, std::memory_order_release);
+  // shutdown() (not close()) aborts an in-progress leader read or sender
+  // write without releasing the fd, so neither can race a reused fd; the
+  // Socket destructor closes it once the last shared_ptr drops.
+  if (socket_.valid()) ::shutdown(socket_.fd(), SHUT_RDWR);
+  std::lock_guard lock(mu_);
+  fail_all_locked(std::make_exception_ptr(
+      COMM_FAILURE("connection closed", minor_code::connection_lost,
+                   CompletionStatus::completed_maybe)));
+}
+
+// --- client transport -------------------------------------------------------
+
+TcpClientTransport::~TcpClientTransport() {
+  std::map<TargetKey, std::shared_ptr<TcpConnection>> connections;
+  {
+    std::lock_guard lock(conn_mu_);
+    connections.swap(connections_);
+  }
+  for (auto& [key, connection] : connections) connection->close();
+  mux_metrics().connections.add(-static_cast<double>(connections.size()));
+}
+
+std::size_t TcpClientTransport::connection_count() const {
+  std::lock_guard lock(conn_mu_);
+  return connections_.size();
+}
+
+std::shared_ptr<TcpConnection> TcpClientTransport::connection_for(
+    const IOR& target, bool* fresh) {
+  const TargetKey key{target.host, target.port};
+  std::vector<std::shared_ptr<TcpConnection>> retired;
+  std::shared_ptr<TcpConnection> existing;
+  {
+    std::lock_guard lock(conn_mu_);
+    const double now = monotonic_seconds();
+    // Sweep broken and idle-expired connections (health check + idle TTL).
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      const auto& connection = it->second;
+      const bool expired = options_.idle_ttl_s > 0 &&
+                           connection->in_flight() == 0 &&
+                           now - connection->last_used() > options_.idle_ttl_s;
+      if (!connection->healthy() || expired) {
+        if (connection->healthy()) mux_metrics().idle_closed.inc();
+        retired.push_back(connection);
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    auto it = connections_.find(key);
+    if (it != connections_.end()) {
+      existing = it->second;
+    } else if (connections_.size() >= options_.max_connections) {
+      // Soft socket cap: evict the least-recently-used *idle* connection
+      // before opening another.  Busy connections are never culled, so the
+      // cap can be exceeded transiently — calls are never failed for lack of
+      // a socket.
+      auto lru = connections_.end();
+      for (auto cand = connections_.begin(); cand != connections_.end(); ++cand)
+        if (cand->second->in_flight() == 0 &&
+            (lru == connections_.end() ||
+             cand->second->last_used() < lru->second->last_used()))
+          lru = cand;
+      if (lru != connections_.end()) {
+        mux_metrics().idle_closed.inc();
+        retired.push_back(lru->second);
+        connections_.erase(lru);
+      }
+    }
+  }
+  // close() takes the connection's own lock to fail in-flight calls — keep
+  // it outside conn_mu_ so other targets' lookups never stall behind it.
+  for (auto& dead : retired) dead->close();
+  mux_metrics().connections.add(-static_cast<double>(retired.size()));
+  if (existing) {
+    *fresh = false;
+    return existing;
+  }
+
+  // Connect without holding conn_mu_ (a slow or dead host must not stall
+  // calls to other targets).  If we lose the race with another opener, adopt
+  // the connection that won.
+  auto opened = TcpConnection::open(target.host, target.port);
+  std::shared_ptr<TcpConnection> loser;
+  {
+    std::lock_guard lock(conn_mu_);
+    auto [it, inserted] = connections_.emplace(key, opened);
+    if (!inserted) {
+      if (it->second->healthy()) {
+        loser = std::move(opened);
+        *fresh = false;
+        opened = it->second;
+      } else {
+        loser = std::move(it->second);
+        it->second = opened;
+        *fresh = true;
+      }
+    } else {
+      *fresh = true;
+      mux_metrics().connections.add(1);
+    }
+  }
+  if (loser) loser->close();
+  return opened;
+}
+
+void TcpClientTransport::drop_connection(
+    const IOR& target, const std::shared_ptr<TcpConnection>& dead) {
+  {
+    std::lock_guard lock(conn_mu_);
+    auto it = connections_.find({target.host, target.port});
+    if (it == connections_.end() || it->second != dead) return;
+    connections_.erase(it);
+    mux_metrics().connections.add(-1);
+  }
+  dead->close();
+}
+
+std::unique_ptr<PendingReply> TcpClientTransport::send_multiplexed(
+    const IOR& target, const RequestMessage& request) {
   std::string trace_detail;
   if (obs::tracing_enabled())
     trace_detail = request.operation + " -> " + target.host + ":" +
                    std::to_string(target.port);
-  obs::Span span("transport.roundtrip", trace_detail);
-  Socket socket = checkout(target.host, target.port);
-  try {
-    FrameBuilder frame = socket.start_frame(MessageType::request,
-                                            request.encoded_size_estimate());
-    request.encode_body(frame.body());
-    socket.finish_frame(frame);
-    if (!request.response_expected) {
-      checkin(target.host, target.port, std::move(socket));
-      return ReplyMessage::make_result(request.request_id, {});
+  obs::Span span("transport.send", trace_detail);
+  for (int attempt = 0;; ++attempt) {
+    bool fresh = false;
+    std::shared_ptr<TcpConnection> connection = connection_for(target, &fresh);
+    try {
+      if (!request.response_expected) {
+        connection->send_oneway(request);
+        return std::make_unique<ImmediateReply>(
+            ReplyMessage::make_result(request.request_id, {}));
+      }
+      return connection->send(request, options_.request_timeout_s);
+    } catch (const COMM_FAILURE& e) {
+      drop_connection(target, connection);
+      // A reused connection can turn out stale (server restarted, idle reset)
+      // with nothing sent — retry exactly once on a fresh socket.  A fresh
+      // connection failing, or anything sent, propagates.
+      if (fresh || attempt > 0 || e.completed() != CompletionStatus::completed_no)
+        throw;
     }
-    MessageHeader header;
-    std::vector<std::byte> reply_bytes;
-    if (!socket.recv_frame(header, reply_bytes, nullptr, request_timeout_s_))
-      throw COMM_FAILURE("server closed connection",
-                         minor_code::connection_lost,
-                         CompletionStatus::completed_maybe);
-    if (header.type != MessageType::reply)
-      throw MARSHAL("unexpected message type in reply");
-    CdrInputStream in(reply_bytes, header.byte_order);
-    ReplyMessage reply = ReplyMessage::decode_body(in);
-    checkin(target.host, target.port, std::move(socket));
-    return reply;
-  } catch (...) {
-    // Connection state is unknown; drop it rather than returning it to the
-    // pool.
-    throw;
   }
 }
 
 namespace {
 
-/// Deferred TCP reply: the round trip runs on a helper thread.
+/// Legacy deferred TCP reply: the round trip runs on a helper thread (one
+/// thread per deferred call — the cost the multiplexed mode removes).
 class TcpPendingReply final : public PendingReply {
  public:
-  TcpPendingReply(std::function<ReplyMessage()> round_trip)
+  explicit TcpPendingReply(std::function<ReplyMessage()> round_trip)
       : future_(std::async(std::launch::async, std::move(round_trip))) {}
 
   bool ready() override {
@@ -211,6 +688,7 @@ class TcpPendingReply final : public PendingReply {
 
 std::unique_ptr<PendingReply> TcpClientTransport::send(const IOR& target,
                                                        RequestMessage request) {
+  if (options_.multiplex) return send_multiplexed(target, request);
   return std::make_unique<TcpPendingReply>(
       [this, target, request = std::move(request)]() {
         return round_trip(target, request);
@@ -219,7 +697,40 @@ std::unique_ptr<PendingReply> TcpClientTransport::send(const IOR& target,
 
 ReplyMessage TcpClientTransport::invoke(const IOR& target,
                                         RequestMessage request) {
+  if (options_.multiplex) return send_multiplexed(target, request)->get();
   return round_trip(target, request);
+}
+
+// --- legacy serialized client (multiplex = false; benchmark baseline) -------
+
+ReplyMessage TcpClientTransport::round_trip(const IOR& target,
+                                            const RequestMessage& request) {
+  std::string trace_detail;
+  if (obs::tracing_enabled())
+    trace_detail = request.operation + " -> " + target.host + ":" +
+                   std::to_string(target.port);
+  obs::Span span("transport.roundtrip", trace_detail);
+  Socket socket = checkout(target.host, target.port);
+  FrameBuilder frame = socket.start_frame(MessageType::request,
+                                          request.encoded_size_estimate());
+  request.encode_body(frame.body());
+  socket.finish_frame(frame);
+  if (!request.response_expected) {
+    checkin(target.host, target.port, std::move(socket));
+    return ReplyMessage::make_result(request.request_id, {});
+  }
+  MessageHeader header;
+  std::vector<std::byte> reply_bytes;
+  if (!socket.recv_frame(header, reply_bytes, nullptr,
+                         options_.request_timeout_s))
+    throw COMM_FAILURE("server closed connection", minor_code::connection_lost,
+                       CompletionStatus::completed_maybe);
+  if (header.type != MessageType::reply)
+    throw MARSHAL("unexpected message type in reply");
+  CdrInputStream in(reply_bytes, header.byte_order);
+  ReplyMessage reply = ReplyMessage::decode_body(in);
+  checkin(target.host, target.port, std::move(socket));
+  return reply;
 }
 
 Socket TcpClientTransport::checkout(const std::string& host,
@@ -242,6 +753,24 @@ void TcpClientTransport::checkin(const std::string& host, std::uint16_t port,
   std::lock_guard lock(pool_mu_);
   auto& sockets = pool_[{host, port}];
   if (sockets.size() < kMaxPooledPerTarget) sockets.push_back(std::move(socket));
+}
+
+// --- server -----------------------------------------------------------------
+
+void TcpServerEndpoint::Connection::write_reply(
+    const ReplyMessage& reply) noexcept {
+  std::lock_guard lock(write_mu);
+  if (dead.load(std::memory_order_acquire)) return;
+  try {
+    FrameBuilder frame =
+        socket.start_frame(MessageType::reply, reply.encoded_size_estimate());
+    reply.encode_body(frame.body());
+    socket.finish_frame(frame);
+  } catch (...) {
+    // Peer is gone; let the receive loop notice and wind the connection
+    // down.  Never close the fd from a writer thread.
+    dead.store(true, std::memory_order_release);
+  }
 }
 
 TcpServerEndpoint::TcpServerEndpoint(const std::string& host,
@@ -319,33 +848,43 @@ void TcpServerEndpoint::accept_loop() {
       ::close(fd);
       break;
     }
-    workers_.emplace_back(
-        [this, socket = Socket(fd)]() mutable {
-          connection_loop(std::move(socket));
-        });
+    auto connection = std::make_shared<Connection>(Socket(fd));
+    workers_.emplace_back([this, connection = std::move(connection)]() mutable {
+      connection_loop(std::move(connection));
+    });
   }
 }
 
-void TcpServerEndpoint::connection_loop(Socket socket) {
+void TcpServerEndpoint::connection_loop(std::shared_ptr<Connection> connection) {
+  // Receive loop: read and decode only.  Servant execution happens on the
+  // adapter's dispatch pool (FIFO per object key); completions write replies
+  // back under the connection's write mutex, in whatever order dispatch
+  // finishes.  The completion's shared_ptr keeps the socket open until the
+  // last queued reply for this connection has been written.
   MessageHeader header;
   std::vector<std::byte> body;
-  while (!stopping_.load(std::memory_order_relaxed)) {
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         !connection->dead.load(std::memory_order_acquire)) {
     try {
-      if (!socket.recv_frame(header, body, &stopping_)) return;
+      if (!connection->socket.recv_frame(header, body, &stopping_)) return;
       if (header.type == MessageType::close_connection) return;
       if (header.type != MessageType::request) {
+        std::lock_guard lock(connection->write_mu);
         CdrOutputStream empty;
-        socket.send_frame(MessageType::message_error, empty);
+        connection->socket.send_frame(MessageType::message_error, empty);
         return;
       }
       CdrInputStream in(body, header.byte_order);
       RequestMessage request = RequestMessage::decode_body(in);
-      ReplyMessage reply = adapter_->dispatch(request);
-      if (!request.response_expected) continue;
-      FrameBuilder frame = socket.start_frame(MessageType::reply,
-                                              reply.encoded_size_estimate());
-      reply.encode_body(frame.body());
-      socket.finish_frame(frame);
+      DispatchPool::Completion done;
+      if (request.response_expected)
+        done = [connection](ReplyMessage reply) {
+          connection->write_reply(reply);
+        };
+      // May block when the pool is at capacity: the receive loop then stops
+      // reading and TCP flow control pushes back to the client (bounded
+      // server memory under overload).
+      adapter_->dispatch_async(std::move(request), std::move(done));
     } catch (const Exception&) {
       // Framing/marshal error on this connection: drop it.  The client sees
       // COMM_FAILURE, which is exactly what a real ORB produces.

@@ -1,15 +1,35 @@
 // Real-socket transport (GIOP-lite over TCP).
 //
-// The server endpoint is a classic thread-per-connection CORBA server: an
-// acceptor thread plus one worker thread per client connection, each running
-// a read-dispatch-write loop against the object adapter.  The client side
-// keeps a small pool of connections per (host, port) and serializes one
-// request per connection at a time.  Deferred-synchronous sends run the
-// round trip on a helper thread so the caller can keep working, which is how
-// the DII layer gets real parallelism in socket mode.
+// Client side: one shared, **multiplexed** connection per (host, port).
+// Concurrent synchronous calls and DII deferred requests are pipelined onto
+// the same socket — a frame is written per request (serialized by a write
+// mutex) and ReplyMessages are demuxed back to the waiting callers by
+// request id (the wire format has always carried it, so messages stay
+// byte-identical).  Demultiplexing follows the leader/followers pattern: the
+// connection owns no reader thread — instead, one blocked caller at a time
+// (the leader) reads the socket, delivering siblings' replies to their
+// waiters and promoting a follower to leader when its own reply arrives.  A
+// lone synchronous caller therefore reads its own reply directly, with the
+// same syscall profile (and latency) as a dedicated per-call socket, while
+// deep pipelines still pay only one thread wakeup per reply.  A
+// connection-level failure fails every in-flight call on that connection
+// with COMM_FAILURE/COMPLETED_MAYBE — the fault-tolerance layer's recovery
+// path is built to absorb such batched failures.  The legacy serialized mode
+// (a pool checkout per call, one outstanding request per socket, a helper
+// thread per deferred send) is kept behind TcpClientOptions::multiplex =
+// false as the benchmark baseline.
+//
+// Server side: an acceptor thread plus one *receive loop* per connection.
+// The receive loop only reads and decodes frames; servant execution happens
+// on the object adapter's bounded dispatch thread pool (dispatch_pool.hpp),
+// whose completions write replies back — possibly out of order — under a
+// per-connection write mutex.  Requests for one object stay FIFO; requests
+// for different objects and connections no longer block each other.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -18,6 +38,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "orb/transport.hpp"
@@ -47,7 +68,8 @@ class Socket {
   /// Zero-copy frame path: start_frame hands out a FrameBuilder backed by
   /// this socket's scratch buffer (pre-sized to `size_hint`); finish_frame
   /// writes it and reclaims the buffer, so steady-state sends on one
-  /// connection allocate nothing.
+  /// connection allocate nothing.  Callers multiplexing one socket across
+  /// threads must serialize start_frame..finish_frame externally.
   FrameBuilder start_frame(MessageType type, std::size_t size_hint = 0);
   void finish_frame(FrameBuilder& frame);
 
@@ -58,6 +80,11 @@ class Socket {
   bool recv_frame(MessageHeader& header, std::vector<std::byte>& body,
                   const std::atomic<bool>* stop = nullptr,
                   double timeout_s = 0);
+
+  /// Polls for readability for up to `timeout_ms` (0 = just check).  Throws
+  /// COMM_FAILURE on poll errors; a hangup reports readable so the next read
+  /// surfaces the close.
+  bool wait_readable(int timeout_ms);
 
  private:
   void write_all(std::span<const std::byte> data);
@@ -70,28 +97,158 @@ class Socket {
   std::vector<std::byte> scratch_;
 };
 
-/// Client transport over TCP with per-target connection pooling.
+/// Client-transport tuning.
+struct TcpClientOptions {
+  /// Bounds the wait for each reply (0 = unbounded).  Expiry raises
+  /// TIMEOUT/COMPLETED_MAYBE; in multiplexed mode the timed-out call is
+  /// abandoned (its late reply is discarded) but the connection — and every
+  /// other in-flight call on it — lives on.
+  double request_timeout_s = 0;
+
+  /// One shared pipelined connection per target (the default) vs the legacy
+  /// serialized pool (one outstanding call per socket; benchmark baseline).
+  bool multiplex = true;
+
+  /// Idle multiplexed connections (no in-flight calls) older than this are
+  /// closed on the next connection lookup; 0 disables the TTL.
+  double idle_ttl_s = 30.0;
+
+  /// Soft cap on open sockets held by this transport: when exceeded, the
+  /// least-recently-used *idle* connection is closed before a new one is
+  /// opened.  Connections with calls in flight are never culled, so the cap
+  /// can be exceeded transiently under load.
+  std::size_t max_connections = 64;
+};
+
+/// One multiplexed connection: a socket, a write mutex, and leader/followers
+/// demultiplexing — the first blocked caller reads the socket and routes
+/// replies to per-request waiters by request id.
+class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
+ public:
+  static std::shared_ptr<TcpConnection> open(const std::string& host,
+                                             std::uint16_t port);
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Writes the request frame and returns a handle completed when a caller
+  /// (this one or a pipelined sibling acting as leader) reads the reply.
+  /// `timeout_s` > 0 bounds the wait inside PendingReply::get().
+  std::unique_ptr<PendingReply> send(const RequestMessage& request,
+                                     double timeout_s);
+
+  /// Writes a request frame without registering a waiter (oneway).
+  void send_oneway(const RequestMessage& request);
+
+  /// False once the connection failed (peer close, reset, protocol error);
+  /// a dead connection is never reused — this is the health check that
+  /// replaces "fail the first call on a stale socket".
+  bool healthy() const noexcept {
+    return !broken_.load(std::memory_order_acquire);
+  }
+
+  std::size_t in_flight() const;
+  /// Monotonic-clock seconds of the last send or reply (idle-TTL input).
+  double last_used() const;
+
+  /// Fails all in-flight calls with COMM_FAILURE; a caller mid-read is
+  /// kicked out by shutting the socket down.
+  void close();
+
+ private:
+  friend class TcpMuxPendingReply;
+
+  struct Waiter {
+    /// Release-stored after reply/error are filled in; acquire-loaded by the
+    /// waiting caller, so a reply demuxed by a sibling leader is consumed
+    /// without retaking the connection lock.
+    std::atomic<bool> done{false};
+    /// Per-waiter wakeup (guarded by the connection's mu_): the leader
+    /// notifies exactly the caller whose reply arrived, so deep pipelines
+    /// don't thundering-herd every blocked caller on every reply.
+    std::condition_variable cv;
+    /// True while the owning caller is blocked in get() as a follower
+    /// (guarded by mu_) — leadership handoff targets a blocked waiter.
+    bool blocked = false;
+    ReplyMessage reply;
+    std::exception_ptr error;
+  };
+
+  explicit TcpConnection(Socket socket);
+  /// Leader loop: reads frames, demuxing each reply to its waiter, until
+  /// `waiter` completes (returns true) or `deadline` expires between frames
+  /// (returns false).  Call with mu_ held and leader_active_ set; returns
+  /// with mu_ held.  Connection failures fail all in-flight calls.
+  bool lead(std::unique_lock<std::mutex>& lock,
+            const std::shared_ptr<Waiter>& waiter,
+            std::chrono::steady_clock::time_point deadline);
+  /// Reads exactly one frame (blocking) and demuxes it.  Call with mu_ held
+  /// and leader_active_ set; returns with mu_ held.  Returns false after a
+  /// connection failure (every in-flight call has been failed).
+  bool read_one_locked(std::unique_lock<std::mutex>& lock);
+  /// Drains frames already buffered on the socket without blocking between
+  /// them (ready()-polling progress).  Locking contract as read_one_locked.
+  void drain_available_locked(std::unique_lock<std::mutex>& lock);
+  /// Wakes one blocked follower to take over reading (call with mu_ held,
+  /// after clearing leader_active_).
+  void promote_follower_locked();
+  /// Marks the connection broken and fails every registered waiter.
+  void fail_all_locked(const std::exception_ptr& error);
+  void write_frame(const RequestMessage& request);
+  void touch() noexcept;
+
+  Socket socket_;
+  std::mutex write_mu_;               ///< serializes frames on the socket
+  mutable std::mutex mu_;  ///< waiters_, leadership, broken bookkeeping
+  std::unordered_map<std::uint64_t, std::shared_ptr<Waiter>> waiters_;
+  /// True while some caller is reading the socket as leader (guarded by mu_).
+  bool leader_active_ = false;
+  std::atomic<bool> broken_{false};
+  std::atomic<bool> closing_{false};
+  std::atomic<double> last_used_{0.0};
+};
+
+/// Client transport over TCP (see file comment for the two modes).
 class TcpClientTransport final : public ClientTransport {
  public:
-  /// `request_timeout_s` bounds the wait for each reply (0 = unbounded);
-  /// expiry raises TIMEOUT/COMPLETED_MAYBE and drops the connection.
-  explicit TcpClientTransport(double request_timeout_s = 0)
-      : request_timeout_s_(request_timeout_s) {}
+  explicit TcpClientTransport(TcpClientOptions options = {})
+      : options_(options) {}
+  /// Back-compat constructor: timeout only.
+  explicit TcpClientTransport(double request_timeout_s)
+      : options_{.request_timeout_s = request_timeout_s} {}
+  ~TcpClientTransport();
 
   std::unique_ptr<PendingReply> send(const IOR& target,
                                      RequestMessage request) override;
   ReplyMessage invoke(const IOR& target, RequestMessage request) override;
 
- private:
-  friend class TcpPendingReply;
-  ReplyMessage round_trip(const IOR& target, const RequestMessage& request);
+  const TcpClientOptions& options() const noexcept { return options_; }
+  /// Open multiplexed connections (telemetry / tests).
+  std::size_t connection_count() const;
 
+ private:
+  using TargetKey = std::pair<std::string, std::uint16_t>;
+
+  /// Returns a healthy shared connection, opening (and, under the socket
+  /// cap, culling idle connections) as needed.  `fresh` reports whether the
+  /// connection was just opened (callers retry once on a stale reused one).
+  std::shared_ptr<TcpConnection> connection_for(const IOR& target, bool* fresh);
+  void drop_connection(const IOR& target,
+                       const std::shared_ptr<TcpConnection>& dead);
+  std::unique_ptr<PendingReply> send_multiplexed(const IOR& target,
+                                                 const RequestMessage& request);
+
+  // Legacy serialized mode.
+  ReplyMessage round_trip(const IOR& target, const RequestMessage& request);
   Socket checkout(const std::string& host, std::uint16_t port);
   void checkin(const std::string& host, std::uint16_t port, Socket socket);
 
-  double request_timeout_s_ = 0;
-  std::mutex pool_mu_;
-  std::map<std::pair<std::string, std::uint16_t>, std::vector<Socket>> pool_;
+  TcpClientOptions options_;
+  mutable std::mutex conn_mu_;
+  std::map<TargetKey, std::shared_ptr<TcpConnection>> connections_;
+  std::mutex pool_mu_;  ///< legacy mode socket pool
+  std::map<TargetKey, std::vector<Socket>> pool_;
 };
 
 /// Server endpoint: accepts connections and dispatches into an adapter.
@@ -113,8 +270,22 @@ class TcpServerEndpoint {
   void stop();
 
  private:
+  /// Write side of one server connection, shared with the dispatch pool's
+  /// completions (which may run after the receive loop exited); the socket
+  /// closes when the last completion releases it.
+  struct Connection {
+    explicit Connection(Socket s) : socket(std::move(s)) {}
+    Socket socket;
+    std::mutex write_mu;
+    std::atomic<bool> dead{false};
+
+    /// Serialized, best-effort reply write; marks the connection dead on
+    /// failure instead of throwing (the reader loop then stops).
+    void write_reply(const ReplyMessage& reply) noexcept;
+  };
+
   void accept_loop();
-  void connection_loop(Socket socket);
+  void connection_loop(std::shared_ptr<Connection> connection);
 
   std::string host_;
   std::uint16_t port_ = 0;

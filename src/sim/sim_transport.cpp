@@ -1,14 +1,15 @@
 #include "sim/sim_transport.hpp"
 
+#include <functional>
 #include <optional>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "orb/exceptions.hpp"
 #include "sim/work_meter.hpp"
 
 namespace sim {
-
-namespace {
 
 /// Shared completion slot between the transport events and the client-side
 /// PendingReply handle.  First completion wins: a duplicated request's
@@ -18,18 +19,83 @@ struct ReplySlot {
   bool done = false;
   std::optional<corba::ReplyMessage> reply;
   std::exception_ptr error;
+  /// Deregistration hook, fired exactly once on the first completion
+  /// (erases this slot from its SimConnection's in-flight table).
+  std::function<void()> on_settle;
 
   void complete(corba::ReplyMessage r) {
     if (done) return;
     reply = std::move(r);
-    done = true;
+    settle();
   }
   void fail(std::exception_ptr e) {
     if (done) return;
     error = std::move(e);
+    settle();
+  }
+
+ private:
+  void settle() {
     done = true;
+    if (on_settle) {
+      std::function<void()> hook = std::move(on_settle);
+      on_settle = nullptr;
+      hook();
+    }
   }
 };
+
+/// See sim_transport.hpp.  Slots are keyed by a local sequence number so the
+/// in-flight table iterates deterministically.
+struct SimConnection {
+  std::map<std::uint64_t, std::shared_ptr<ReplySlot>> inflight;
+  std::uint64_t next_seq = 1;
+};
+
+namespace {
+
+struct SimMuxMetrics {
+  obs::Counter& pipelined = obs::MetricsRegistry::global().counter(
+      "transport.sim.pipelined_total");
+  obs::Counter& batch_failed = obs::MetricsRegistry::global().counter(
+      "transport.sim.batched_failures_total");
+  obs::Gauge& inflight =
+      obs::MetricsRegistry::global().gauge("transport.sim.inflight");
+};
+
+SimMuxMetrics& sim_mux_metrics() {
+  static SimMuxMetrics metrics;
+  return metrics;
+}
+
+/// Registers a slot as in flight on `connection`; the slot deregisters
+/// itself on its first completion, whatever completes it.
+void track_slot(const std::shared_ptr<SimConnection>& connection,
+                const std::shared_ptr<ReplySlot>& slot) {
+  if (!connection->inflight.empty()) sim_mux_metrics().pipelined.inc();
+  const std::uint64_t seq = connection->next_seq++;
+  connection->inflight.emplace(seq, slot);
+  sim_mux_metrics().inflight.add(1);
+  slot->on_settle = [weak = std::weak_ptr<SimConnection>(connection), seq] {
+    sim_mux_metrics().inflight.add(-1);
+    if (auto connection = weak.lock()) connection->inflight.erase(seq);
+  };
+}
+
+/// Connection-level failure: fails every call still in flight on the
+/// connection with `error` (COMPLETED_MAYBE — their requests were on the
+/// wire).  The triggering call must be failed with its own, more specific
+/// error *before* calling this.  Mirrors the real transport's fail_all.
+void fail_connection(const std::shared_ptr<SimConnection>& connection,
+                     const std::exception_ptr& error) {
+  if (connection->inflight.empty()) return;
+  std::vector<std::shared_ptr<ReplySlot>> victims;
+  victims.reserve(connection->inflight.size());
+  for (const auto& [seq, slot] : connection->inflight)
+    victims.push_back(slot);
+  sim_mux_metrics().batch_failed.inc(victims.size());
+  for (const auto& slot : victims) slot->fail(error);
+}
 
 class SimPendingReply final : public corba::PendingReply {
  public:
@@ -67,9 +133,14 @@ class SimPendingReply final : public corba::PendingReply {
       if (!slot_->done) {
         events_.run_until(deadline_);
         finish_trace("timeout");
-        throw corba::TIMEOUT("no reply within the request timeout",
-                             corba::minor_code::unspecified,
-                             corba::CompletionStatus::completed_maybe);
+        // Abandon the call: settle the slot so it leaves the connection's
+        // in-flight table (its late reply, if any, is then discarded —
+        // first completion wins).  The connection itself stays usable.
+        slot_->fail(std::make_exception_ptr(corba::TIMEOUT(
+            "no reply within the request timeout",
+            corba::minor_code::unspecified,
+            corba::CompletionStatus::completed_maybe)));
+        std::rethrow_exception(slot_->error);
       }
     } else {
       events_.run_while([this] { return !slot_->done; });
@@ -117,6 +188,9 @@ struct HopContext {
   Cluster* cluster;
   std::shared_ptr<corba::InProcessNetwork> network;
   std::string source_endpoint;
+  /// The client connection this call is pipelined on; connection-level
+  /// faults (drops = connection reset) fail every call in flight on it.
+  std::shared_ptr<SimConnection> connection;
 };
 
 void send_reply(const HopContext& ctx, std::shared_ptr<ReplySlot> slot,
@@ -133,12 +207,21 @@ void send_reply(const HopContext& ctx, std::shared_ptr<ReplySlot> slot,
     switch (fate.action) {
       case MessageFate::Action::drop:
         // The method ran; its reply is gone — the canonical COMPLETED_MAYBE.
-        events.schedule_after(transfer, [slot, server_host] {
-          slot->fail(comm_failure(
-              "reply from " + server_host + " lost (connection reset)",
-              corba::minor_code::connection_lost,
-              corba::CompletionStatus::completed_maybe));
-        });
+        // The reset tears down the whole connection, so every other call
+        // pipelined on it fails with it.
+        events.schedule_after(
+            transfer, [slot, server_host, connection = ctx.connection] {
+              slot->fail(comm_failure(
+                  "reply from " + server_host + " lost (connection reset)",
+                  corba::minor_code::connection_lost,
+                  corba::CompletionStatus::completed_maybe));
+              fail_connection(
+                  connection,
+                  comm_failure("connection to " + server_host +
+                                   " reset while this call was in flight",
+                               corba::minor_code::connection_lost,
+                               corba::CompletionStatus::completed_maybe));
+            });
         return;
       case MessageFate::Action::blocked:
         if (!fate.heal_at) {
@@ -236,6 +319,13 @@ void dispatch_request(HopContext ctx, std::shared_ptr<ReplySlot> slot,
 
 }  // namespace
 
+std::shared_ptr<SimConnection> SimTransport::connection_for(
+    const std::string& endpoint) {
+  auto [it, inserted] = connections_.try_emplace(endpoint);
+  if (inserted) it->second = std::make_shared<SimConnection>();
+  return it->second;
+}
+
 SimTransport::SimTransport(Cluster& cluster,
                            std::shared_ptr<corba::InProcessNetwork> network,
                            std::string source_endpoint,
@@ -280,7 +370,8 @@ std::unique_ptr<corba::PendingReply> SimTransport::send(
       source_endpoint_, target.host, request.encoded_size_estimate());
   const std::string endpoint = target.host;
   const std::string host_name = host->name();
-  HopContext ctx{&cluster_, network_, source_endpoint_};
+  std::shared_ptr<SimConnection> connection = connection_for(endpoint);
+  HopContext ctx{&cluster_, network_, source_endpoint_, connection};
 
   bool duplicate = false;
   if (FaultInjector* faults = cluster_.fault_injector().get()) {
@@ -301,11 +392,21 @@ std::unique_ptr<corba::PendingReply> SimTransport::send(
         });
         return pending();
       case MessageFate::Action::drop:
-        events.schedule_after(request_transfer, [slot, host_name] {
+        // Connection reset: this request never reached the peer
+        // (COMPLETED_NO), but the reset also kills every *other* call
+        // pipelined on the connection — those were sent (COMPLETED_MAYBE).
+        track_slot(connection, slot);
+        events.schedule_after(request_transfer, [slot, host_name, connection] {
           slot->fail(comm_failure(
               "request to " + host_name + " lost (connection reset)",
               corba::minor_code::connection_lost,
               corba::CompletionStatus::completed_no));
+          fail_connection(
+              connection,
+              comm_failure("connection to " + host_name +
+                               " reset while this call was in flight",
+                           corba::minor_code::connection_lost,
+                           corba::CompletionStatus::completed_maybe));
         });
         return pending();
       case MessageFate::Action::deliver:
@@ -314,6 +415,10 @@ std::unique_ptr<corba::PendingReply> SimTransport::send(
     request_transfer += fate.extra_latency;
     duplicate = fate.duplicate;
   }
+
+  // The request is on the connection from here on: it participates in
+  // pipelining and shares the connection's fate.
+  track_slot(connection, slot);
 
   // Request arrives at the server after the transfer delay.  A duplicated
   // request arrives (and executes) twice; the slot keeps the first reply.

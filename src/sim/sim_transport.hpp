@@ -20,6 +20,7 @@
 // runs unmodified under the simulator.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 
@@ -27,6 +28,17 @@
 #include "sim/cluster.hpp"
 
 namespace sim {
+
+/// In-flight bookkeeping for one simulated client connection (one per
+/// source/target endpoint pair), mirroring the real transport's multiplexed
+/// connection: concurrent DII requests pipeline onto it and a dropped
+/// message ("connection reset") fails *every* in-flight call on it, not just
+/// the one whose message was lost.  Slots deregister themselves on
+/// completion, so after a batch failure the connection is empty — the next
+/// send starts fresh.  Keys are a local sequence (deterministic under the
+/// virtual clock), not request ids, so duplicated deliveries stay keyed to
+/// one entry.
+struct SimConnection;
 
 class SimTransport final : public corba::ClientTransport {
  public:
@@ -47,10 +59,15 @@ class SimTransport final : public corba::ClientTransport {
       const corba::IOR& target, corba::RequestMessage request) override;
 
  private:
+  std::shared_ptr<SimConnection> connection_for(const std::string& endpoint);
+
   Cluster& cluster_;
   std::shared_ptr<corba::InProcessNetwork> network_;
   std::string source_endpoint_;
   double request_timeout_s_;
+  /// One logical connection per target endpoint (ordered map: deterministic
+  /// iteration under the simulator's determinism contract).
+  std::map<std::string, std::shared_ptr<SimConnection>> connections_;
 };
 
 }  // namespace sim

@@ -9,6 +9,7 @@
 // paper).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -73,6 +74,15 @@ class LoadInformationService {
 
   /// Names of all registered hosts.
   virtual std::vector<std::string> known_hosts() = 0;
+
+  /// Monotonic version counter over the manager's ranking inputs: as long
+  /// as two calls return the same non-zero value, rank_hosts() over the
+  /// same candidates returns the same ordering in between.  Returning 0
+  /// means epochs are not tracked (remote stubs, simple implementations)
+  /// and callers must not cache ranking results.  Non-pure with a
+  /// not-tracked default so the wire protocol and existing implementations
+  /// are unaffected.
+  virtual std::uint64_t load_epoch() { return 0; }
 };
 
 }  // namespace winner

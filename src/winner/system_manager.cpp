@@ -46,6 +46,7 @@ void SystemManager::register_host(const std::string& name, double speed_index) {
   std::lock_guard lock(mu_);
   HostEntry& entry = hosts_[name];  // re-registration updates the speed
   entry.speed_index = speed_index;
+  ++epoch_;
 }
 
 void SystemManager::report_load(const std::string& name,
@@ -61,6 +62,7 @@ void SystemManager::report_load(const std::string& name,
   // measured load; only newer ones still need compensation.
   std::erase_if(entry.pending_placements,
                 [&](double placed_at) { return placed_at <= sample.timestamp; });
+  ++epoch_;
 }
 
 double SystemManager::index_locked(const HostEntry& entry) const {
@@ -137,6 +139,7 @@ void SystemManager::notify_placement(const std::string& host) {
   auto it = hosts_.find(host);
   if (it == hosts_.end()) return;
   it->second.pending_placements.push_back(options_.clock());
+  ++epoch_;
 }
 
 double SystemManager::host_index(const std::string& name) {
@@ -159,6 +162,22 @@ std::vector<std::string> SystemManager::known_hosts() {
   names.reserve(hosts_.size());
   for (const auto& [name, entry] : hosts_) names.push_back(name);
   return names;
+}
+
+std::uint64_t SystemManager::load_epoch() {
+  std::lock_guard lock(mu_);
+  // Mutators bump epoch_ directly, but freshness is a function of the
+  // *clock*: a host can cross stale_after (changing the ranking) with no
+  // call announcing it.  Fingerprint per-host freshness and bump on drift,
+  // so "epoch unchanged" really does imply "ranking unchanged".
+  std::vector<bool> fp;
+  fp.reserve(hosts_.size());
+  for (const auto& [name, entry] : hosts_) fp.push_back(fresh_locked(entry));
+  if (fp != freshness_fp_) {
+    freshness_fp_ = std::move(fp);
+    ++epoch_;
+  }
+  return epoch_;
 }
 
 LoadSample SystemManager::last_sample(const std::string& name) const {

@@ -54,6 +54,11 @@ class SystemManager final : public LoadInformationService {
   double host_index(const std::string& name) override;
   double host_speed(const std::string& name) override;
   std::vector<std::string> known_hosts() override;
+  /// Ranking-input version (see LoadInformationService).  Bumped by
+  /// register_host/report_load/notify_placement; additionally detects hosts
+  /// silently crossing the staleness boundary (a clock-driven ranking
+  /// change no mutator announces) by fingerprinting per-host freshness.
+  std::uint64_t load_epoch() override;
 
   /// Last reported sample (diagnostics; throws std::out_of_range).
   LoadSample last_sample(const std::string& name) const;
@@ -83,6 +88,11 @@ class SystemManager final : public LoadInformationService {
   mutable std::mutex mu_;
   std::map<std::string, HostEntry> hosts_;
   mutable std::uint64_t stale_selections_ = 0;
+  /// Ranking-input version; starts at 1 so 0 can mean "not tracked".
+  std::uint64_t epoch_ = 1;
+  /// Per-host freshness bits (hosts_ iteration order) as of the last
+  /// load_epoch() call; a drift means time alone changed the ranking.
+  std::vector<bool> freshness_fp_;
 };
 
 }  // namespace winner

@@ -1,0 +1,214 @@
+// Tests of the per-name ranked-offer cache: winner resolves reuse the
+// ranking while the manager's load epoch is unchanged, and the cache is
+// invalidated by load-report ingest, placements and offer (un)binding.
+// The quarantine filter is applied at pick time, NOT cached.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "naming/naming_context.hpp"
+#include "naming/naming_stub.hpp"
+#include "obs/metrics.hpp"
+#include "orb/orb.hpp"
+#include "winner/system_manager.hpp"
+
+namespace naming {
+namespace {
+
+class TagServant : public corba::Servant {
+ public:
+  std::string_view repo_id() const noexcept override {
+    return "IDL:corbaft/tests/Tag:1.0";
+  }
+  corba::Value dispatch(std::string_view op, const corba::ValueSeq&) override {
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+};
+
+/// Forwarder that hides epoch tracking (load_epoch() = 0): callers must not
+/// cache rankings through it.
+class UntrackedWinner : public winner::LoadInformationService {
+ public:
+  explicit UntrackedWinner(std::shared_ptr<winner::SystemManager> inner)
+      : inner_(std::move(inner)) {}
+  void register_host(const std::string& n, double s) override {
+    inner_->register_host(n, s);
+  }
+  void report_load(const std::string& n,
+                   const winner::LoadSample& s) override {
+    inner_->report_load(n, s);
+  }
+  std::string best_host(std::span<const std::string> c) override {
+    return inner_->best_host(c);
+  }
+  std::vector<std::string> rank_hosts(
+      std::span<const std::string> c) override {
+    return inner_->rank_hosts(c);
+  }
+  void notify_placement(const std::string& h) override {
+    inner_->notify_placement(h);
+  }
+  double host_index(const std::string& n) override {
+    return inner_->host_index(n);
+  }
+  double host_speed(const std::string& n) override {
+    return inner_->host_speed(n);
+  }
+  std::vector<std::string> known_hosts() override {
+    return inner_->known_hosts();
+  }
+  // load_epoch() deliberately NOT overridden: stays 0.
+
+ private:
+  std::shared_ptr<winner::SystemManager> inner_;
+};
+
+class RankCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_shared<corba::InProcessNetwork>();
+    server_ = corba::ORB::init({.endpoint_name = "names", .network = network_});
+    winner_ = std::make_shared<winner::SystemManager>();
+    for (int i = 0; i < 4; ++i) {
+      winner_->register_host(host_name(i), 1.0);
+      winner_->report_load(host_name(i), {double(i), 0.0});  // node0 best
+    }
+    hits_before_ = hits().value();
+    misses_before_ = misses().value();
+  }
+
+  static std::string host_name(int i) { return "node" + std::to_string(i); }
+  static obs::Counter& hits() {
+    return obs::MetricsRegistry::global().counter(
+        "naming.rank_cache_hits_total");
+  }
+  static obs::Counter& misses() {
+    return obs::MetricsRegistry::global().counter(
+        "naming.rank_cache_misses_total");
+  }
+  std::uint64_t new_hits() const { return hits().value() - hits_before_; }
+  std::uint64_t new_misses() const {
+    return misses().value() - misses_before_;
+  }
+
+  /// Root with winner strategy; placements NOT reported, so resolves alone
+  /// do not advance the load epoch (the cache-friendly configuration).
+  NamingContextStub make_root(int offer_count = 4,
+                              bool notify_placements = false,
+                              std::function<bool(const Name&, const Offer&)>
+                                  filter = {},
+                              std::shared_ptr<winner::LoadInformationService>
+                                  winner_override = nullptr) {
+    NamingContextOptions options;
+    options.default_strategy = ResolveStrategy::winner;
+    options.winner = winner_override ? winner_override : winner_;
+    options.notify_placements = notify_placements;
+    options.offer_filter = std::move(filter);
+    auto [servant, ref] = NamingContextServant::create_root(server_, options);
+    servant_ = servant;
+    NamingContextStub root(server_->make_ref(ref.ior()));
+    for (int i = 0; i < offer_count; ++i) {
+      offers_.push_back(server_->activate(std::make_shared<TagServant>(),
+                                          "w" + std::to_string(i)));
+      root.bind_offer(Name::parse("pool"), offers_.back(), host_name(i));
+    }
+    return root;
+  }
+
+  int offer_index(const corba::ObjectRef& ref) const {
+    for (std::size_t i = 0; i < offers_.size(); ++i)
+      if (offers_[i].ior() == ref.ior()) return static_cast<int>(i);
+    return -1;
+  }
+
+  std::shared_ptr<corba::InProcessNetwork> network_;
+  std::shared_ptr<corba::ORB> server_;
+  std::shared_ptr<winner::SystemManager> winner_;
+  std::shared_ptr<NamingContextServant> servant_;
+  std::vector<corba::ObjectRef> offers_;
+  std::uint64_t hits_before_ = 0;
+  std::uint64_t misses_before_ = 0;
+};
+
+TEST_F(RankCacheTest, RepeatedResolvesHitCacheWithinEpoch) {
+  NamingContextStub root = make_root();
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 0);  // miss
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 0);  // hit
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 0);  // hit
+  EXPECT_EQ(new_misses(), 1u);
+  EXPECT_EQ(new_hits(), 2u);
+}
+
+TEST_F(RankCacheTest, LoadReportIngestInvalidatesCache) {
+  NamingContextStub root = make_root();
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 0);
+  winner_->report_load(host_name(0), {9.0, 0.0});  // node0 now worst
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 1);
+  EXPECT_EQ(new_misses(), 2u);
+  EXPECT_EQ(new_hits(), 0u);
+}
+
+TEST_F(RankCacheTest, PlacementNotificationInvalidatesCache) {
+  // With notify_placements on, every successful resolve is itself a ranking
+  // input — the paper's spreading behaviour must be preserved verbatim, so
+  // consecutive resolves re-rank (all misses) and cover distinct hosts.
+  for (int i = 0; i < 4; ++i)
+    winner_->report_load(host_name(i), {0.0, 0.0});  // level the field
+  NamingContextStub root = make_root(4, /*notify_placements=*/true);
+  std::set<int> picked;
+  for (int i = 0; i < 4; ++i)
+    picked.insert(offer_index(root.resolve(Name::parse("pool"))));
+  EXPECT_EQ(picked.size(), 4u);
+  EXPECT_EQ(new_misses(), 4u);
+  EXPECT_EQ(new_hits(), 0u);
+}
+
+TEST_F(RankCacheTest, BindOfferInvalidatesCache) {
+  NamingContextStub root = make_root(3);  // node3 registered but unbound
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 0);
+  EXPECT_EQ(new_hits() + new_misses(), 1u);
+  // Binding an offer on an already-registered host changes no winner state
+  // (no epoch bump) — the *membership* change alone must invalidate.
+  offers_.push_back(server_->activate(std::make_shared<TagServant>(), "w3"));
+  root.bind_offer(Name::parse("pool"), offers_.back(), host_name(3));
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 0);
+  EXPECT_EQ(new_misses(), 2u);
+}
+
+TEST_F(RankCacheTest, UnbindOfferInvalidatesCache) {
+  NamingContextStub root = make_root();
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 0);
+  root.unbind_offer(Name::parse("pool"), host_name(0));
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 1);
+  EXPECT_EQ(new_misses(), 2u);
+  EXPECT_EQ(new_hits(), 0u);
+}
+
+TEST_F(RankCacheTest, FilterAppliedAtPickTimeWithoutInvalidation) {
+  // Quarantining the best offer between two resolves must not force a
+  // re-rank: the cached order is consulted and the filter applied live.
+  std::set<std::string> quarantined;
+  NamingContextStub root = make_root(
+      4, false, [&](const Name&, const Offer& offer) {
+        return !quarantined.contains(offer.host);
+      });
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 0);  // miss
+  quarantined.insert(host_name(0));
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 1);  // hit
+  quarantined.erase(host_name(0));
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 0);  // hit
+  EXPECT_EQ(new_misses(), 1u);
+  EXPECT_EQ(new_hits(), 2u);
+}
+
+TEST_F(RankCacheTest, UntrackedWinnerNeverCaches) {
+  auto untracked = std::make_shared<UntrackedWinner>(winner_);
+  NamingContextStub root = make_root(4, false, {}, untracked);
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 0);
+  EXPECT_EQ(offer_index(root.resolve(Name::parse("pool"))), 0);
+  EXPECT_EQ(new_misses(), 2u);
+  EXPECT_EQ(new_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace naming

@@ -1,0 +1,190 @@
+// DispatchPool unit tests: FIFO-per-key ordering, cross-key parallelism,
+// bounded-queue backpressure and drain-on-stop semantics.
+#include "orb/dispatch_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "orb/exceptions.hpp"
+
+namespace corba {
+namespace {
+
+using namespace std::chrono_literals;
+
+ObjectKey key_of(std::string_view name) {
+  return ObjectKey::from_string(name);
+}
+
+RequestMessage request_for(std::string_view key, std::uint64_t id,
+                           bool response_expected = true) {
+  RequestMessage req;
+  req.request_id = id;
+  req.object_key = key_of(key);
+  req.operation = "op";
+  req.response_expected = response_expected;
+  return req;
+}
+
+TEST(DispatchPoolTest, ExecutesAndCompletes) {
+  DispatchPool pool({.threads = 2}, [](const RequestMessage& req) {
+    return ReplyMessage::make_result(req.request_id, Value(std::int32_t(7)));
+  });
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  ReplyMessage got;
+  pool.submit(request_for("a", 1), [&](ReplyMessage reply) {
+    std::lock_guard lock(mu);
+    got = std::move(reply);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return done; }));
+  EXPECT_EQ(got.request_id, 1u);
+  EXPECT_EQ(got.result_or_throw().as_i32(), 7);
+  pool.stop();
+  EXPECT_EQ(pool.dispatched(), 1u);
+}
+
+TEST(DispatchPoolTest, FifoPerObjectKey) {
+  // Many workers, one key: execution must still be serial and in order.
+  std::mutex mu;
+  std::vector<std::uint64_t> order;
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  DispatchPool pool({.threads = 8}, [&](const RequestMessage& req) {
+    const int now = concurrent.fetch_add(1) + 1;
+    int expected = max_concurrent.load();
+    while (now > expected &&
+           !max_concurrent.compare_exchange_weak(expected, now)) {
+    }
+    std::this_thread::sleep_for(1ms);
+    {
+      std::lock_guard lock(mu);
+      order.push_back(req.request_id);
+    }
+    concurrent.fetch_sub(1);
+    return ReplyMessage::make_result(req.request_id, Value());
+  });
+  constexpr std::uint64_t kCalls = 64;
+  for (std::uint64_t i = 0; i < kCalls; ++i)
+    pool.submit(request_for("serial", i), {});
+  pool.stop();  // drains before joining
+  ASSERT_EQ(order.size(), kCalls);
+  for (std::uint64_t i = 0; i < kCalls; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(max_concurrent.load(), 1);
+}
+
+TEST(DispatchPoolTest, DistinctKeysRunInParallel) {
+  // Two keys, two workers: a request blocked on key A must not stop key B.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> b_done{false};
+  DispatchPool pool({.threads = 2}, [&](const RequestMessage& req) {
+    if (req.object_key == key_of("a")) {
+      std::unique_lock lock(mu);
+      cv.wait_for(lock, 5s, [&] { return release; });
+    } else {
+      b_done.store(true);
+    }
+    return ReplyMessage::make_result(req.request_id, Value());
+  });
+  pool.submit(request_for("a", 1), {});
+  pool.submit(request_for("b", 2), {});
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (!b_done.load() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(1ms);
+  EXPECT_TRUE(b_done.load()) << "key b was stuck behind key a";
+  {
+    std::lock_guard lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  pool.stop();
+}
+
+TEST(DispatchPoolTest, BoundedQueueBlocksSubmitter) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  DispatchPool pool({.threads = 1, .queue_limit = 2},
+                    [&](const RequestMessage& req) {
+                      std::unique_lock lock(mu);
+                      cv.wait_for(lock, 5s, [&] { return release; });
+                      return ReplyMessage::make_result(req.request_id, Value());
+                    });
+  pool.submit(request_for("k", 1), {});  // executing (blocked in dispatch)
+  pool.submit(request_for("k", 2), {});  // queued; pool is now full
+  std::atomic<bool> third_submitted{false};
+  std::thread submitter([&] {
+    pool.submit(request_for("k", 3), {});
+    third_submitted.store(true);
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(third_submitted.load()) << "submit did not block at the limit";
+  EXPECT_EQ(pool.depth(), 2u);
+  {
+    std::lock_guard lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  submitter.join();
+  EXPECT_TRUE(third_submitted.load());
+  pool.stop();
+  EXPECT_EQ(pool.dispatched(), 3u);
+}
+
+TEST(DispatchPoolTest, StopDrainsQueuedWork) {
+  std::atomic<int> executed{0};
+  DispatchPool pool({.threads = 1}, [&](const RequestMessage& req) {
+    std::this_thread::sleep_for(1ms);
+    executed.fetch_add(1);
+    return ReplyMessage::make_result(req.request_id, Value());
+  });
+  for (std::uint64_t i = 0; i < 20; ++i) pool.submit(request_for("k", i), {});
+  pool.stop();
+  EXPECT_EQ(executed.load(), 20);
+  EXPECT_EQ(pool.depth(), 0u);
+}
+
+TEST(DispatchPoolTest, SubmitAfterStopThrows) {
+  DispatchPool pool({.threads = 1}, [](const RequestMessage& req) {
+    return ReplyMessage::make_result(req.request_id, Value());
+  });
+  pool.stop();
+  EXPECT_THROW(pool.submit(request_for("k", 1), {}), BAD_INV_ORDER);
+}
+
+TEST(DispatchPoolTest, CompletionExceptionIsSwallowed) {
+  DispatchPool pool({.threads = 1}, [](const RequestMessage& req) {
+    return ReplyMessage::make_result(req.request_id, Value());
+  });
+  pool.submit(request_for("k", 1),
+              [](ReplyMessage) { throw std::runtime_error("dead connection"); });
+  pool.stop();  // must not terminate / rethrow
+  EXPECT_EQ(pool.dispatched(), 1u);
+}
+
+TEST(DispatchPoolTest, OnewayGetsNoCompletion) {
+  std::atomic<bool> completed{false};
+  DispatchPool pool({.threads = 1}, [](const RequestMessage& req) {
+    return ReplyMessage::make_result(req.request_id, Value());
+  });
+  RequestMessage req = request_for("k", 1, /*response_expected=*/false);
+  pool.submit(std::move(req), [&](ReplyMessage) { completed.store(true); });
+  pool.stop();
+  EXPECT_FALSE(completed.load());
+  EXPECT_EQ(pool.dispatched(), 1u);
+}
+
+}  // namespace
+}  // namespace corba

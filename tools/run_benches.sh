@@ -14,7 +14,8 @@ set -eu
 if [ "$#" -eq 0 ]; then
   root=$(cd "$(dirname "$0")/.." && pwd)
   set -- "$root/build/bench/table1_proxy_overhead" \
-         "$root/build/bench/micro_checkpoint"
+         "$root/build/bench/micro_checkpoint" \
+         "$root/build/bench/micro_orb"
 fi
 
 for bin in "$@"; do
@@ -33,7 +34,7 @@ done
 # src/obs/metrics.hpp: a "metrics" object whose own "metrics" array carries
 # counter/gauge/histogram entries).
 status=0
-for json in BENCH_table1.json BENCH_checkpoint.json; do
+for json in BENCH_table1.json BENCH_checkpoint.json BENCH_multiplex.json; do
   if [ ! -e "$json" ]; then
     echo "run_benches.sh: expected $json was not produced" >&2
     status=1
