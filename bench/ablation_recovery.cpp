@@ -221,9 +221,11 @@ int main() {
     std::fprintf(f, "}%s\n", i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
-  // Same embedded-metrics convention as write_bench_json.
-  const std::string metrics =
-      obs::to_json(obs::MetricsRegistry::global().snapshot());
+  // Same embedded-metrics convention as write_bench_json, including the
+  // zeroed scrape timestamp (bench artifacts diff across runs).
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::global().snapshot();
+  snapshot.taken_at = 0.0;
+  const std::string metrics = obs::to_json(snapshot);
   std::fprintf(f, "  \"metrics\": %s\n}\n", metrics.c_str());
   std::fclose(f);
   std::printf("wrote %s\n", json_path);

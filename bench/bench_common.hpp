@@ -87,8 +87,12 @@ inline bool write_bench_json(const std::string& path, const std::string& name,
     }
     out << "}";
   }
-  out << "\n],\n\"metrics\": "
-      << obs::to_json(obs::MetricsRegistry::global().snapshot()) << "}\n";
+  // Zero the scrape timestamp: bench artifacts are diffed across runs as a
+  // determinism check, and a wall-clock taken_at is meaningless for a
+  // finished run anyway (live scrapers get the real one via telemetry).
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::global().snapshot();
+  snapshot.taken_at = 0.0;
+  out << "\n],\n\"metrics\": " << obs::to_json(snapshot) << "}\n";
   return out.good();
 }
 

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "obs/flight_recorder.hpp"
 #include "orb/dii.hpp"
 #include "orb/orb.hpp"
 #include "orb/tcp_transport.hpp"
@@ -273,6 +274,30 @@ void run_multiplex_sweep() {
     }
   }
 
+  // Flight-recorder overhead: the same single-client synchronous point with
+  // the always-on recorder enabled (the default) vs force-disabled.  The
+  // rpc_start/rpc_end record path is two relaxed atomic claims per call, so
+  // the two p50s must land in the same latency bucket.
+  for (const bool enabled : {true, false}) {
+    obs::FlightRecorder::global().set_enabled(enabled);
+    SweepPoint p = run_sweep_point(true, 1, 1, calls_per_client);
+    p.mode = enabled ? "recorder_on" : "recorder_off";
+    std::printf("%-12s %8d %6d %10llu %12.0f %10.1f %10.1f\n", p.mode.c_str(),
+                p.clients, p.depth, static_cast<unsigned long long>(p.calls),
+                p.throughput_rps, p.p50_s * 1e6, p.p99_s * 1e6);
+    rows.push_back({bench::jstr("mode", p.mode),
+                    bench::jint("clients", std::uint64_t(p.clients)),
+                    bench::jint("depth", std::uint64_t(p.depth)),
+                    bench::jint("calls", p.calls),
+                    bench::jnum("wall_s", p.wall_s),
+                    bench::jnum("throughput_rps", p.throughput_rps),
+                    bench::jnum("p50_s", p.p50_s),
+                    bench::jnum("p99_s", p.p99_s),
+                    bench::jnum("mean_s", p.mean_s)});
+    points.push_back(p);
+  }
+  obs::FlightRecorder::global().set_enabled(true);
+
   // Headline comparison: pipelined throughput at max concurrency, and the
   // single-client latency cost of the demux machinery.
   auto find = [&](const std::string& mode, int clients,
@@ -296,6 +321,11 @@ void run_multiplex_sweep() {
                 "(serialized)\n",
                 mux1->p50_s * 1e6, ser1->p50_s * 1e6);
   }
+  const SweepPoint* rec_on = find("recorder_on", 1, 1);
+  const SweepPoint* rec_off = find("recorder_off", 1, 1);
+  if (rec_on && rec_off)
+    std::printf("flight recorder p50: %.1f us (on) vs %.1f us (off)\n",
+                rec_on->p50_s * 1e6, rec_off->p50_s * 1e6);
   bench::write_bench_json("BENCH_multiplex.json", "micro_orb_multiplex", rows);
 }
 

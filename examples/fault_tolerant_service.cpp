@@ -14,6 +14,7 @@
 #include "ft/proxy.hpp"
 #include "ft/request_proxy.hpp"
 #include "obs/metrics.hpp"
+#include "obs/orbtop.hpp"
 #include "obs/timeline.hpp"
 #include "orb/cdr.hpp"
 #include "sim/work_meter.hpp"
@@ -163,5 +164,14 @@ int main() {
               timeline.to_string().c_str());
   std::printf("\n--- metrics (text exporter) ---\n%s",
               obs::to_text(obs::MetricsRegistry::global().snapshot()).c_str());
+
+  // The same data is reachable in-band: every node binds a telemetry
+  // servant under `_obs/<host>`, and orbtop renders the cluster from it.
+  naming::NamingContextStub root = runtime.naming();
+  std::printf("\n--- orbtop (one snapshot of this cluster) ---\n%s",
+              obs::render_table(obs::collect_cluster(root)).c_str());
+  std::printf(
+      "\n(live TCP deployments: ./build/tools/orbtop --ior <naming IOR> "
+      "--watch 2)\n");
   return size == 3 ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include "ft/checkpoint.hpp"
 #include "naming/naming_context.hpp"
 #include "naming/naming_stub.hpp"
+#include "obs/telemetry.hpp"
 #include "opt/worker.hpp"
 #include "orb/tcp_transport.hpp"
 #include "winner/node_manager.hpp"
@@ -32,6 +33,14 @@ int main() {
   // In a real deployment this string is what you hand to other processes.
   const std::string naming_ior = naming_ref.ior().to_string();
   std::printf("naming service: %.60s...\n", naming_ior.c_str());
+  // Drop the full IOR where tools can pick it up:
+  //   ./build/tools/orbtop --ior-file tcp_cluster.ior --json
+  if (std::FILE* ior_file = std::fopen("tcp_cluster.ior", "w")) {
+    std::fprintf(ior_file, "%s\n", naming_ior.c_str());
+    std::fclose(ior_file);
+    std::printf("full IOR written to tcp_cluster.ior (try: "
+                "tools/orbtop --ior-file tcp_cluster.ior)\n");
+  }
 
   // --- three "workstation processes" ---------------------------------------
   opt::WorkerProblem problem;
@@ -58,6 +67,14 @@ int main() {
             [&, i] { return synthetic_load[static_cast<std::size_t>(i)]; }),
         manager_stub, 0.05));
     managers.back()->start_threaded();
+    // In-band telemetry under the reserved `_obs/<host>` path, so orbtop
+    // (and any other client holding the naming IOR) can inspect this node.
+    obs::TelemetryOptions telemetry;
+    telemetry.host = host;
+    telemetry.load_index = [&winner_impl, host] {
+      return winner_impl->host_index(host);
+    };
+    obs::install_telemetry(orb, *naming_servant, std::move(telemetry));
     nodes.push_back(std::move(orb));
     std::printf("%s listening on port %u, synthetic load %.1f\n", host.c_str(),
                 nodes.back()->tcp_port(),

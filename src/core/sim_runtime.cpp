@@ -1,5 +1,7 @@
 #include "core/sim_runtime.hpp"
 
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
 namespace rt {
@@ -17,6 +19,10 @@ SimRuntime::SimRuntime(sim::Cluster& cluster, RuntimeOptions options)
   obs_clock_token_ =
       obs::set_clock([&events = cluster_.events()] { return events.now(); });
   obs::set_trace_seed(options_.seed);
+  // The always-on flight recorder is part of the same determinism contract:
+  // starting every run from an empty ring (and the sim being single-driver)
+  // makes same-seed chaos runs render byte-identical flight dumps.
+  obs::FlightRecorder::global().clear();
 
   network_ = std::make_shared<corba::InProcessNetwork>();
 
@@ -140,6 +146,38 @@ SimRuntime::SimRuntime(sim::Cluster& cluster, RuntimeOptions options)
         "Factory");
     root.bind(naming::Name::parse(names::kFactoriesContext).append(host),
               node.factory_ref);
+
+    // In-band introspection: every node's telemetry object, reachable under
+    // the reserved `_obs/<host>` path even while the host is quarantined.
+    obs::TelemetryOptions telemetry;
+    telemetry.host = host;
+    std::shared_ptr<winner::SystemManager> site_manager =
+        hierarchical ? site_managers_.at(cluster_.domain_of(host))
+                     : winner_impl_;
+    telemetry.report_age = [this, site_manager, host]() -> double {
+      try {
+        return cluster_.events().now() -
+               site_manager->last_sample(host).timestamp;
+      } catch (const std::out_of_range&) {
+        return -1.0;  // never reported yet
+      }
+    };
+    telemetry.load_index = [this, host]() -> double {
+      try {
+        return load_info_->host_index(host);
+      } catch (...) {
+        return -1.0;
+      }
+    };
+    if (quarantine_)
+      telemetry.quarantined = [this]() -> std::uint64_t {
+        return quarantine_->active(cluster_.events().now());
+      };
+    telemetry.dispatch_queue_depth = [orb = node.orb]() -> std::uint64_t {
+      const corba::DispatchPool* pool = orb->adapter().dispatch_pool();
+      return pool ? pool->depth() : 0;
+    };
+    obs::install_telemetry(node.orb, root, std::move(telemetry));
     nodes_.push_back(std::move(node));
   }
 

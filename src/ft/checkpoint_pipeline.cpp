@@ -1,5 +1,6 @@
 #include "ft/checkpoint_pipeline.hpp"
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
@@ -97,6 +98,8 @@ void CheckpointPipeline::ship_now(std::uint64_t version,
         metrics.stores.inc();
         metrics.delta_stores.inc();
         metrics.bytes_shipped.inc(encoded.size());
+        obs::flight_event(obs::FlightEvent::checkpoint_ship, config_.key,
+                          version, encoded.size());
         if (timed) metrics.store_latency.record(obs::now() - start);
         return;
       } catch (const corba::BAD_PARAM&) {
@@ -112,6 +115,8 @@ void CheckpointPipeline::ship_now(std::uint64_t version,
   ++full_stores_;
   metrics.stores.inc();
   metrics.bytes_shipped.inc(state.size());
+  obs::flight_event(obs::FlightEvent::checkpoint_ship, config_.key, version,
+                    state.size());
   if (timed) metrics.store_latency.record(obs::now() - start);
 }
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
@@ -13,6 +14,13 @@
 namespace ft {
 
 namespace {
+
+// Flight-recorder step tags for recovery_step events (see
+// obs/flight_recorder.hpp).
+constexpr std::uint64_t kStepFailure = 1;
+constexpr std::uint64_t kStepRecover = 2;
+constexpr std::uint64_t kStepRebound = 3;
+constexpr std::uint64_t kStepExhausted = 4;
 
 struct ProxyMetrics {
   obs::Counter& failures =
@@ -132,6 +140,9 @@ void ProxyEngine::on_failure(const corba::SystemException& error, int attempt,
       obs::timeline_event_at(at, "proxy", service_key_,
                              "surfacing batched failure: retry budget "
                              "exhausted");
+      obs::flight_event(obs::FlightEvent::recovery_step, service_key_,
+                        kStepExhausted, static_cast<std::uint64_t>(attempt));
+      obs::flight_auto_dump("recovery exhausted: " + service_key_);
       throw;
     }
     ++batched_failures_;
@@ -145,6 +156,8 @@ void ProxyEngine::on_failure(const corba::SystemException& error, int attempt,
   obs::timeline_event_at(at, "proxy", service_key_,
                          "call failed (attempt " + std::to_string(attempt) +
                              "): " + error.repo_id());
+  obs::flight_event(obs::FlightEvent::recovery_step, service_key_, kStepFailure,
+                    static_cast<std::uint64_t>(attempt));
   if (config_.quarantine) {
     if (current_host_.empty()) current_host_ = host_of_current();
     config_.quarantine->report_failure(service_key_, current_host_, at);
@@ -152,6 +165,9 @@ void ProxyEngine::on_failure(const corba::SystemException& error, int attempt,
   if (attempt >= config_.policy.max_attempts || !should_retry(error)) {
     obs::timeline_event_at(at, "proxy", service_key_,
                            "surfacing failure: retry budget exhausted");
+    obs::flight_event(obs::FlightEvent::recovery_step, service_key_,
+                      kStepExhausted, static_cast<std::uint64_t>(attempt));
+    obs::flight_auto_dump("recovery exhausted: " + service_key_);
     throw;
   }
 
@@ -171,6 +187,9 @@ void ProxyEngine::on_failure(const corba::SystemException& error, int attempt,
     proxy_metrics().deadline_exhaustions.inc();
     obs::timeline_event_at(at, "proxy", service_key_,
                            "surfacing failure: call deadline exhausted");
+    obs::flight_event(obs::FlightEvent::recovery_step, service_key_,
+                      kStepExhausted, static_cast<std::uint64_t>(attempt));
+    obs::flight_auto_dump("call deadline exhausted: " + service_key_);
     corba::log::emit(corba::log::Level::warning, "ft.proxy",
                      "call deadline exhausted for '" + service_key_ +
                          "'; surfacing the failure instead of retrying");
@@ -288,6 +307,8 @@ void ProxyEngine::rebind(corba::ObjectRef next, std::string host) {
   current_host_ = host.empty() ? host_of_current() : std::move(host);
   ++recoveries_;
   proxy_metrics().recoveries.inc();
+  obs::flight_event(obs::FlightEvent::recovery_step, service_key_, kStepRebound,
+                    recoveries_);
   obs::timeline_event_at(
       now(), "proxy", service_key_,
       "rebound to " + (current_host_.empty() ? std::string("<unknown host>")
@@ -305,6 +326,8 @@ void ProxyEngine::recover_now() {
   obs::Span recover_span("proxy.recover", service_key_);
   obs::timeline_event_at(recovery_start, "proxy", service_key_,
                          "recovery started");
+  obs::flight_event(obs::FlightEvent::recovery_step, service_key_,
+                    kStepRecover);
   // Drain the async pipeline before anything else so the restore below sees
   // the newest checkpoint the captures can produce.
   if (pipeline_) pipeline_->flush();

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "orb/log.hpp"
@@ -49,6 +50,7 @@ void OfferQuarantine::report_failure(const std::string& service,
     quarantine_metrics().imposed.inc();
     obs::timeline_event_at(now, "quarantine", service,
                            "re-armed quarantine of " + host);
+    obs::flight_event(obs::FlightEvent::quarantine_trip, service, 0, 1);
     return;
   }
   if (entry.strikes == 0 || now - entry.window_start > options_.strike_window_s) {
@@ -63,6 +65,8 @@ void OfferQuarantine::report_failure(const std::string& service,
     quarantine_metrics().imposed.inc();
     obs::timeline_event_at(now, "quarantine", service,
                            "quarantined " + host + " after repeated failures");
+    obs::flight_event(obs::FlightEvent::quarantine_trip, service);
+    obs::flight_auto_dump("quarantine trip: " + service + " on " + host);
     corba::log::emit(corba::log::Level::warning, "ft.quarantine",
                      "instance of '" + service + "' on " + host +
                          " quarantined after repeated failures");
@@ -115,6 +119,14 @@ std::uint64_t OfferQuarantine::quarantines_imposed() const {
 std::uint64_t OfferQuarantine::probe_releases() const {
   std::lock_guard lock(mu_);
   return probe_releases_;
+}
+
+std::size_t OfferQuarantine::active(double now) const {
+  std::lock_guard lock(mu_);
+  std::size_t count = 0;
+  for (const auto& [key, entry] : entries_)
+    if (now < entry.quarantined_until) ++count;
+  return count;
 }
 
 }  // namespace ft

@@ -71,6 +71,8 @@ class OfferQuarantine {
   std::uint64_t quarantines_imposed() const;
   /// Quarantines lifted early by a full probe streak.
   std::uint64_t probe_releases() const;
+  /// Instances quarantined at time `now` (telemetry health reports).
+  std::size_t active(double now) const;
 
  private:
   struct Entry {

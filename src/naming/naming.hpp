@@ -23,6 +23,20 @@ namespace naming {
 inline constexpr std::string_view kNamingContextRepoId =
     "IDL:corbaft/naming/NamingContext:1.0";
 
+/// Reserved naming subtree for the in-band introspection plane: every
+/// runtime binds its telemetry object under `_obs/<host>`.  Names under the
+/// reserved prefix resolve *exact-match only* — they never participate in
+/// Winner-ranked or otherwise load-balanced offer selection, are never
+/// reported as placements, and bypass the offer filter (a quarantined host's
+/// telemetry must stay reachable, that is the whole point of quarantining
+/// it).  See DESIGN.md "In-band introspection".
+inline constexpr std::string_view kObsContextId = "_obs";
+
+/// True for binding ids inside the reserved introspection namespace.
+inline bool is_reserved_id(std::string_view id) noexcept {
+  return id.starts_with(kObsContextId);
+}
+
 struct NotFound : corba::UserException {
   explicit NotFound(std::string detail)
       : corba::UserException(std::string(static_repo_id()), std::move(detail)) {}

@@ -118,6 +118,14 @@ corba::ObjectRef NamingContextServant::pick_offer(const Name& name,
                                                   ResolveStrategy strategy) {
   if (entry.offers.empty())
     throw NotFound("'" + name.back().id + "' has no offers");
+  // Reserved-name guard: the `_obs` introspection subtree is exact-match
+  // only.  Load balancing a telemetry lookup would answer "how is host X
+  // doing" with some *other* host's telemetry, and the offer filter must not
+  // apply either — a quarantined host's telemetry object is exactly what an
+  // operator wants to reach.  No Winner consult, no rank cache traffic, no
+  // placement notification.
+  if (reserved_ || is_reserved_id(name.back().id))
+    return entry.offers.front().ref;
   // Narrow to the usable candidates.  The filter never mutates the bound
   // offers — a filtered (e.g. quarantined) instance stays visible through
   // list_offers so health probes can rehabilitate it.
@@ -211,6 +219,8 @@ corba::ObjectRef NamingContextServant::bind_new_context(const Name& name) {
   child_options.random_seed = rng_();
   auto child = std::shared_ptr<NamingContextServant>(
       new NamingContextServant(orb_, std::move(child_options)));
+  // The reserved flag is hereditary: everything under `_obs` is exact-match.
+  child->reserved_ = reserved_ || is_reserved_id(name.back().id);
   child->self_ = orb->activate(child, "NamingContext");
   std::lock_guard lock(mu_);
   auto [it, inserted] = bindings_.emplace(key_of(name.back()),
@@ -349,6 +359,7 @@ void NamingContextServant::set_state(const corba::Blob& state) {
       child_options.random_seed = rng_();
       auto child = std::shared_ptr<NamingContextServant>(
           new NamingContextServant(orb_, std::move(child_options)));
+      child->reserved_ = reserved_ || is_reserved_id(key.first);
       child->self_ = orb->activate(child, "NamingContext");
       const corba::Blob blob = in.read_blob();
       child->set_state(blob);

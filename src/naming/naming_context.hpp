@@ -140,6 +140,10 @@ class NamingContextServant final
 
   std::weak_ptr<corba::ORB> orb_;
   NamingContextOptions options_;
+  /// True for contexts bound under the reserved `_obs` prefix (directly or
+  /// transitively): their offers resolve exact-match only — no Winner
+  /// ranking, no rank cache, no placement notification, no offer filter.
+  bool reserved_ = false;
   corba::ObjectRef self_;
   std::mutex mu_;
   std::map<Key, Entry> bindings_;

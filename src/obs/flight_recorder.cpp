@@ -1,0 +1,180 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::string format_time(double t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9f", t);
+  return buf;
+}
+
+}  // namespace
+
+std::string_view to_string(FlightEvent type) noexcept {
+  switch (type) {
+    case FlightEvent::rpc_start: return "rpc_start";
+    case FlightEvent::rpc_end: return "rpc_end";
+    case FlightEvent::recovery_step: return "recovery_step";
+    case FlightEvent::quarantine_trip: return "quarantine_trip";
+    case FlightEvent::checkpoint_ship: return "checkpoint_ship";
+    case FlightEvent::dispatch_depth: return "dispatch_depth";
+    case FlightEvent::conn_open: return "conn_open";
+    case FlightEvent::conn_close: return "conn_close";
+    case FlightEvent::conn_evict: return "conn_evict";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(round_up_pow2(capacity < 2 ? 2 : capacity)),
+      mask_(capacity_ - 1),
+      slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::record(FlightEvent type, std::string_view subject,
+                            std::uint64_t a, std::uint64_t b) noexcept {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const std::uint64_t index = cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[index & mask_];
+  // Invalidate first so a reader racing this overwrite never pairs the old
+  // sequence with new payload words.
+  slot.seq.store(0, std::memory_order_release);
+  slot.t.store(now(), std::memory_order_relaxed);
+  slot.type.store(static_cast<std::uint16_t>(type), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  for (std::size_t word = 0; word < slot.subject.size(); ++word) {
+    std::uint64_t packed = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const std::size_t pos = word * 8 + i;
+      if (pos < subject.size() && pos < kSubjectCapacity)
+        packed |= static_cast<std::uint64_t>(
+                      static_cast<unsigned char>(subject[pos]))
+                  << (8 * i);
+    }
+    slot.subject[word].store(packed, std::memory_order_relaxed);
+  }
+  slot.seq.store(index + 1, std::memory_order_release);
+}
+
+void FlightRecorder::clear() noexcept {
+  // Not atomic with respect to concurrent writers; callers clear between
+  // runs, not mid-traffic.  Slots are invalidated before the cursor resets
+  // so a reader never resurrects a pre-clear event.
+  for (std::size_t i = 0; i < capacity_; ++i)
+    slots_[i].seq.store(0, std::memory_order_release);
+  cursor_.store(0, std::memory_order_release);
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::events() const {
+  const std::uint64_t end = cursor_.load(std::memory_order_acquire);
+  const std::uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t index = begin; index < end; ++index) {
+    const Slot& slot = slots_[index & mask_];
+    if (slot.seq.load(std::memory_order_acquire) != index + 1) continue;
+    Event event;
+    event.index = index;
+    event.t = slot.t.load(std::memory_order_relaxed);
+    event.type =
+        static_cast<FlightEvent>(slot.type.load(std::memory_order_relaxed));
+    event.a = slot.a.load(std::memory_order_relaxed);
+    event.b = slot.b.load(std::memory_order_relaxed);
+    char chars[kSubjectCapacity];
+    for (std::size_t word = 0; word < slot.subject.size(); ++word) {
+      const std::uint64_t packed =
+          slot.subject[word].load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < 8; ++i)
+        chars[word * 8 + i] = static_cast<char>((packed >> (8 * i)) & 0xff);
+    }
+    // Re-check: if a writer lapped us mid-read the payload is torn.
+    if (slot.seq.load(std::memory_order_acquire) != index + 1) continue;
+    std::size_t len = 0;
+    while (len < kSubjectCapacity && chars[len] != '\0') ++len;
+    event.subject.assign(chars, len);
+    out.push_back(std::move(event));
+  }
+  return out;
+}
+
+std::string FlightRecorder::to_text() const {
+  const std::vector<Event> all = events();
+  std::string out = "flight-recorder: " + std::to_string(recorded()) +
+                    " events recorded, " + std::to_string(all.size()) +
+                    " retained (capacity " + std::to_string(capacity_) + ")\n";
+  for (const Event& e : all) {
+    out += "[" + format_time(e.t) + "] #" + std::to_string(e.index) + " " +
+           std::string(to_string(e.type)) + " " + e.subject +
+           " a=" + std::to_string(e.a) + " b=" + std::to_string(e.b) + "\n";
+  }
+  return out;
+}
+
+std::string FlightRecorder::to_json() const {
+  const std::vector<Event> all = events();
+  std::string out = "{\"schema_version\": 1, \"recorded\": " +
+                    std::to_string(recorded()) +
+                    ", \"capacity\": " + std::to_string(capacity_) +
+                    ", \"events\": [";
+  bool first = true;
+  for (const Event& e : all) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"t\": " + format_time(e.t) +
+           ", \"index\": " + std::to_string(e.index) + ", \"type\": \"" +
+           std::string(to_string(e.type)) + "\", \"subject\": \"" + e.subject +
+           "\", \"a\": " + std::to_string(e.a) +
+           ", \"b\": " + std::to_string(e.b) + "}";
+  }
+  out += "\n]}";
+  return out;
+}
+
+void FlightRecorder::set_auto_dump_sink(DumpSink sink) {
+  std::lock_guard lock(sink_mu_);
+  sink_ = std::move(sink);
+}
+
+void FlightRecorder::auto_dump(std::string_view reason) noexcept {
+  auto_dumps_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter& dumps = obs::MetricsRegistry::global().counter(
+      "obs.flight_recorder.auto_dumps_total");
+  dumps.inc();
+  DumpSink sink;
+  {
+    std::lock_guard lock(sink_mu_);
+    sink = sink_;
+  }
+  if (!sink) return;
+  try {
+    sink(reason, to_text());
+  } catch (...) {
+    // A failing sink must never break the (already failing) path that
+    // triggered the dump.
+  }
+}
+
+void flight_auto_dump(std::string_view reason) noexcept {
+  FlightRecorder::global().auto_dump(reason);
+}
+
+}  // namespace obs

@@ -1,0 +1,171 @@
+// Flight recorder: an always-on, allocation-free ring buffer of compact
+// runtime events.
+//
+// Metrics aggregate and spans need a sink installed; the flight recorder
+// fills the gap between them — the *last N things that happened*, captured
+// unconditionally so a crash report or an auto-dump on the first batched
+// COMM_FAILURE carries the preceding RPCs, connection churn and recovery
+// steps without anyone having arranged for it in advance.  The design
+// constraints:
+//
+//   * always on: record() is a relaxed fetch_add to claim a slot plus a
+//     handful of relaxed atomic stores — no locks, no allocation, no
+//     formatting.  Overhead sits well below the micro bench's latency
+//     bucket resolution (see bench/micro_orb.cpp's recorder on/off point).
+//   * fixed capacity: a power-of-two ring; old events are overwritten, and
+//     a per-slot sequence word (seqlock-per-slot) lets readers detect and
+//     skip slots torn by a concurrent writer.  Every slot field is an
+//     atomic, so concurrent writers and dumpers are data-race-free (the
+//     `tsan` ctest label covers this).
+//   * deterministic: timestamps come from obs::now() (virtual under the
+//     simulator) and SimRuntime clear()s the global recorder per run, so two
+//     same-seed chaos runs render byte-identical dumps.
+//
+// Auto-dump: the runtime calls flight_auto_dump() at "something is going
+// wrong" moments — a batched COMM_FAILURE taking down a connection's
+// in-flight calls, a proxy exhausting its retry budget, a quarantine trip.
+// With no sink installed that is one counter increment; with a sink (tests,
+// an operator's stderr hook) the rendered dump is delivered.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obs {
+
+/// Event vocabulary.  Kept deliberately small and stable: dumps are grepped
+/// by humans and diffed byte-for-byte by the determinism tests.
+enum class FlightEvent : std::uint16_t {
+  rpc_start = 1,       ///< subject=operation, a=request id
+  rpc_end = 2,         ///< subject=operation, a=request id, b=1 on exception
+  recovery_step = 3,   ///< subject=service, a=step (1=failure observed,
+                       ///< 2=recovery started, 3=rebound, 4=budget
+                       ///< exhausted), b=attempt number where meaningful
+  quarantine_trip = 4, ///< subject=service, b=1 when re-armed
+  checkpoint_ship = 5, ///< subject=key, a=version, b=bytes shipped
+  dispatch_depth = 6,  ///< subject=operation, a=queued+executing
+  conn_open = 7,       ///< subject=host:port
+  conn_close = 8,      ///< subject=host:port, a=in-flight calls failed
+  conn_evict = 9,      ///< subject=host:port (idle TTL / LRU cull)
+};
+
+std::string_view to_string(FlightEvent type) noexcept;
+
+class FlightRecorder {
+ public:
+  /// Capacity is rounded up to a power of two; 4096 compact slots ≈ 256 KiB.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+  /// Subjects longer than this are truncated (3 packed 8-byte words).
+  static constexpr std::size_t kSubjectCapacity = 24;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder the runtime's call sites write to.
+  static FlightRecorder& global();
+
+  /// Appends one event (relaxed atomics only; safe from any thread).
+  void record(FlightEvent type, std::string_view subject, std::uint64_t a = 0,
+              std::uint64_t b = 0) noexcept;
+
+  /// The kill switch exists for overhead measurement (bench) and for tests
+  /// that need a quiet recorder; production leaves it on.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Forgets every recorded event (per-run determinism; SimRuntime calls
+  /// this on the global recorder at construction).
+  void clear() noexcept;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Events ever recorded (recorded - min(recorded, capacity) of them have
+  /// been overwritten).
+  std::uint64_t recorded() const noexcept {
+    return cursor_.load(std::memory_order_acquire);
+  }
+
+  /// One decoded event, oldest-first in events()/dumps.
+  struct Event {
+    double t = 0.0;
+    FlightEvent type = FlightEvent::rpc_start;
+    std::string subject;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t index = 0;  ///< global event index (0-based, monotonic)
+  };
+
+  /// Decoded surviving events, oldest to newest.  Slots torn by a concurrent
+  /// writer (or already overwritten) are skipped.
+  std::vector<Event> events() const;
+
+  /// Deterministic text rendering:
+  ///   flight-recorder: <recorded> events recorded, <n> retained (capacity <c>)
+  ///   [<t>] #<index> <type> <subject> a=<a> b=<b>
+  std::string to_text() const;
+
+  /// JSON rendering: {"schema_version": 1, "recorded": N, "capacity": C,
+  /// "events": [{"t": ..., "index": N, "type": "...", "subject": "...",
+  /// "a": N, "b": N}, ...]}.
+  std::string to_json() const;
+
+  // --- auto-dump -------------------------------------------------------------
+  /// Sink for auto-dumps; invoked with the trigger reason and the to_text()
+  /// rendering.  Null uninstalls.  Must be thread-safe.
+  using DumpSink = std::function<void(std::string_view reason,
+                                      const std::string& dump)>;
+  void set_auto_dump_sink(DumpSink sink);
+
+  /// Counts the trigger (obs.flight_recorder.auto_dumps_total) and, when a
+  /// sink is installed, renders and delivers the dump.
+  void auto_dump(std::string_view reason) noexcept;
+
+  /// Auto-dump triggers observed so far (with or without a sink).
+  std::uint64_t auto_dumps() const noexcept {
+    return auto_dumps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Per-slot seqlock: seq holds the 1-based global event index once the
+  // payload stores are published; readers check it before and after reading
+  // the payload and skip the slot on any mismatch.
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<double> t{0.0};
+    std::atomic<std::uint16_t> type{0};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+    std::array<std::atomic<std::uint64_t>, 3> subject{};
+  };
+
+  std::size_t capacity_ = 0;  // power of two
+  std::size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> cursor_{0};
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> auto_dumps_{0};
+
+  std::mutex sink_mu_;
+  DumpSink sink_;
+};
+
+/// Convenience wrappers over the global recorder (the runtime's call sites).
+inline void flight_event(FlightEvent type, std::string_view subject,
+                         std::uint64_t a = 0, std::uint64_t b = 0) noexcept {
+  FlightRecorder::global().record(type, subject, a, b);
+}
+void flight_auto_dump(std::string_view reason) noexcept;
+
+}  // namespace obs

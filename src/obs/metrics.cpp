@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace obs {
 
 Histogram::Histogram(std::string name, std::vector<double> bounds)
@@ -132,6 +134,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard lock(mu_);
   MetricsSnapshot out;
+  out.taken_at = now();
   out.entries.reserve(slots_.size());
   for (const auto& [name, slot] : slots_) {  // map order == name order
     MetricEntry entry;
@@ -230,7 +233,67 @@ std::string to_json(const MetricsSnapshot& snapshot) {
       }
     }
   }
-  out += "\n]}";
+  // taken_at goes after the array so the schema prefix existing validators
+  // grep for ('"metrics": {"schema_version": 1, "metrics": [') is unchanged.
+  out += "\n], \"taken_at\": " + format_double(snapshot.taken_at) + "}";
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric name: dots become underscores.
+std::string mangle(std::string_view name) {
+  std::string out(name);
+  std::replace(out.begin(), out.end(), '.', '_');
+  return out;
+}
+
+/// Compact rendering for bucket bounds (le labels want "0.001", not the
+/// round-trip-exact "%.17g" form).
+std::string format_bound(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricEntry& e : snapshot.entries) {
+    std::string name = mangle(e.name);
+    switch (e.kind) {
+      case MetricEntry::Kind::counter: {
+        if (!name.ends_with("_total")) name += "_total";
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(e.counter_value) + "\n";
+        break;
+      }
+      case MetricEntry::Kind::gauge: {
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + format_double(e.gauge_value) + "\n";
+        break;
+      }
+      case MetricEntry::Kind::histogram: {
+        // Our convention suffixes seconds-valued histograms with `_s`;
+        // Prometheus spells the unit out.
+        if (name.ends_with("_s"))
+          name.replace(name.size() - 2, 2, "_seconds");
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < e.histogram.bounds.size(); ++i) {
+          cumulative += e.histogram.buckets[i];
+          out += name + "_bucket{le=\"" + format_bound(e.histogram.bounds[i]) +
+                 "\"} " + std::to_string(cumulative) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(e.histogram.count) + "\n";
+        out += name + "_sum " + format_double(e.histogram.sum) + "\n";
+        out += name + "_count " + std::to_string(e.histogram.count) + "\n";
+        break;
+      }
+    }
+  }
   return out;
 }
 

@@ -143,6 +143,10 @@ struct MetricEntry {
 
 struct MetricsSnapshot {
   std::vector<MetricEntry> entries;  ///< sorted by name (stable exports)
+  /// obs::now() at snapshot time (monotonic; virtual under the simulator).
+  /// Scrapers — orbtop's --watch mode, Prometheus — compute rates from
+  /// (counter delta) / (taken_at delta) between successive snapshots.
+  double taken_at = 0.0;
 };
 
 /// Owner of all metric handles.  Registration is mutex-protected and meant
@@ -188,7 +192,13 @@ std::string to_text(const MetricsSnapshot& snapshot);
 ///     {"name": "...", "kind": "gauge", "value": X},
 ///     {"name": "...", "kind": "histogram", "count": N, "sum": X,
 ///      "bounds": [...], "buckets": [...]}  // buckets has bounds+1 entries
-///   ]}
+///   ], "taken_at": X}
 std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition (version 0.0.4): names mangled `.` -> `_`,
+/// counters end in `_total`, histograms in seconds end in `_seconds` and
+/// render *cumulative* `le` buckets plus `_sum`/`_count`, each metric
+/// preceded by its `# TYPE` line.  Gauges export as-is.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
 
 }  // namespace obs

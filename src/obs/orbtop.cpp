@@ -1,0 +1,210 @@
+#include "obs/orbtop.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+
+#include "naming/naming_stub.hpp"
+#include "obs/trace.hpp"
+
+namespace obs {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Fixed-width cell, left-aligned, truncated with no ellipsis (a terminal
+/// table, not a report).
+std::string cell(std::string text, std::size_t width) {
+  if (text.size() > width) text.resize(width);
+  text.append(width - text.size() + 1, ' ');
+  return text;
+}
+
+std::string num_cell(double v, std::size_t width, const char* spec = "%.3g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return cell(buf, width);
+}
+
+std::string int_cell(std::uint64_t v, std::size_t width) {
+  return cell(std::to_string(v), width);
+}
+
+}  // namespace
+
+ClusterSnapshot collect_cluster(naming::NamingContext& root) {
+  ClusterSnapshot snapshot;
+  snapshot.collected_at = now();
+
+  for (const naming::Binding& binding : root.list()) {
+    if (binding.is_context || binding.offer_count == 0) continue;
+    if (naming::is_reserved_id(binding.name.front().id)) continue;
+    snapshot.offers.push_back(
+        {binding.name.to_string(), binding.offer_count});
+  }
+  std::sort(snapshot.offers.begin(), snapshot.offers.end(),
+            [](const OfferLine& a, const OfferLine& b) { return a.name < b.name; });
+
+  naming::Name obs_name;
+  obs_name.append(std::string(naming::kObsContextId));
+  naming::NamingContextStub obs_context(root.resolve(obs_name));
+  for (const naming::Binding& binding : obs_context.list()) {
+    NodeStatus node;
+    node.name = binding.name.to_string();
+    try {
+      TelemetryStub telemetry(obs_context.resolve(binding.name));
+      node.health = telemetry.health();
+      node.reachable = true;
+    } catch (const std::exception& error) {
+      node.error = error.what();
+    }
+    snapshot.nodes.push_back(std::move(node));
+  }
+  std::sort(snapshot.nodes.begin(), snapshot.nodes.end(),
+            [](const NodeStatus& a, const NodeStatus& b) { return a.name < b.name; });
+  return snapshot;
+}
+
+std::string render_table(const ClusterSnapshot& snapshot,
+                         const ClusterSnapshot* prev) {
+  // Rank reachable hosts by Winner load index, lower first; unknown (-1)
+  // and unreachable hosts sink to the bottom.
+  std::vector<const NodeStatus*> ranked;
+  ranked.reserve(snapshot.nodes.size());
+  for (const NodeStatus& node : snapshot.nodes) ranked.push_back(&node);
+  auto rank_key = [](const NodeStatus& node) {
+    if (!node.reachable) return 2;
+    return node.health.load_index < 0 ? 1 : 0;
+  };
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](const NodeStatus* a, const NodeStatus* b) {
+                     const int ka = rank_key(*a), kb = rank_key(*b);
+                     if (ka != kb) return ka < kb;
+                     if (ka == 0) return a->health.load_index < b->health.load_index;
+                     return a->name < b->name;
+                   });
+
+  std::string out;
+  out += cell("HOST", 12) + cell("RANK", 4) + cell("LOAD", 8) +
+         cell("AGE", 7) + cell("RPCS", 8) + cell("RPC/S", 8) +
+         cell("P50", 9) + cell("P99", 9) + cell("RECOV", 5) +
+         cell("CKPT", 6) + cell("QUAR", 4) + cell("DEPTH", 5) +
+         cell("DUMPS", 5);
+  out += '\n';
+  std::size_t rank = 0;
+  for (const NodeStatus* node : ranked) {
+    out += cell(node->name, 12);
+    if (!node->reachable) {
+      out += cell("-", 4) + "unreachable: " + node->error + '\n';
+      continue;
+    }
+    const HealthReport& h = node->health;
+    out += int_cell(++rank, 4);
+    out += h.load_index < 0 ? cell("-", 8) : num_cell(h.load_index, 8);
+    out += h.report_age < 0 ? cell("-", 7) : num_cell(h.report_age, 7, "%.2f");
+    out += int_cell(h.rpcs, 8);
+    std::string rate = "-";
+    if (prev) {
+      for (const NodeStatus& p : prev->nodes) {
+        if (p.name != node->name || !p.reachable) continue;
+        const double dt = h.now - p.health.now;
+        if (dt > 0) {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%.1f",
+                        static_cast<double>(h.rpcs - p.health.rpcs) / dt);
+          rate = buf;
+        }
+        break;
+      }
+    }
+    out += cell(rate, 8);
+    out += num_cell(h.rpc_p50, 9);
+    out += num_cell(h.rpc_p99, 9);
+    out += int_cell(h.recoveries, 5);
+    out += int_cell(h.checkpoints, 6);
+    out += int_cell(h.quarantined, 4);
+    out += int_cell(h.dispatch_queue_depth, 5);
+    out += int_cell(h.auto_dumps, 5);
+    out += '\n';
+  }
+  if (!snapshot.offers.empty()) {
+    out += "\noffers:\n";
+    for (const OfferLine& line : snapshot.offers)
+      out += "  " + line.name + ": " + std::to_string(line.offers) +
+             " offer(s)\n";
+  }
+  return out;
+}
+
+std::string render_json(const ClusterSnapshot& snapshot) {
+  std::string out = "{\"schema_version\": 1, \"collected_at\": " +
+                    format_double(snapshot.collected_at) + ", \"nodes\": [";
+  bool first = true;
+  for (const NodeStatus& node : snapshot.nodes) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"" + json_escape(node.name) + "\", \"reachable\": ";
+    if (!node.reachable) {
+      out += "false, \"error\": \"" + json_escape(node.error) + "\"}";
+      continue;
+    }
+    const HealthReport& h = node.health;
+    out += "true, \"health\": {";
+    out += "\"host\": \"" + json_escape(h.host) + "\"";
+    out += ", \"now\": " + format_double(h.now);
+    out += ", \"report_age\": " + format_double(h.report_age);
+    out += ", \"load_index\": " + format_double(h.load_index);
+    out += ", \"quarantined\": " + std::to_string(h.quarantined);
+    out += ", \"dispatch_queue_depth\": " +
+           std::to_string(h.dispatch_queue_depth);
+    out += ", \"rpcs\": " + std::to_string(h.rpcs);
+    out += ", \"rpc_p50\": " + format_double(h.rpc_p50);
+    out += ", \"rpc_p99\": " + format_double(h.rpc_p99);
+    out += ", \"recoveries\": " + std::to_string(h.recoveries);
+    out += ", \"checkpoints\": " + std::to_string(h.checkpoints);
+    out += ", \"checkpoint_bytes\": " + std::to_string(h.checkpoint_bytes);
+    out += ", \"flight_recorded\": " + std::to_string(h.flight_recorded);
+    out += ", \"auto_dumps\": " + std::to_string(h.auto_dumps);
+    out += "}}";
+  }
+  out += "], \"offers\": [";
+  first = true;
+  for (const OfferLine& line : snapshot.offers) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"" + json_escape(line.name) +
+           "\", \"offers\": " + std::to_string(line.offers) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs

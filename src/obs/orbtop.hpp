@@ -1,0 +1,62 @@
+// orbtop core: cluster-wide telemetry collection and rendering.
+//
+// The library half of tools/orbtop.cpp, kept separate so the integration
+// tests can drive it against an in-process simulated cluster and an
+// in-process TCP cluster without spawning the CLI.  Collection walks the
+// reserved `_obs` naming subtree (one telemetry binding per node, see
+// obs/telemetry.hpp), polls every node's health() and renders either a
+// human table or JSON.  Rates (RPC/s) need two snapshots; --watch mode
+// passes the previous one.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "naming/naming.hpp"
+#include "obs/telemetry.hpp"
+
+namespace obs {
+
+/// One node's poll result.  Unreachable nodes stay in the table (that is
+/// usually the interesting row) with `reachable` false and the error text.
+struct NodeStatus {
+  std::string name;  ///< binding id under `_obs` (the host name)
+  bool reachable = false;
+  std::string error;
+  HealthReport health;
+};
+
+/// One service name with its current offer count (root-level offer sets).
+struct OfferLine {
+  std::string name;
+  std::size_t offers = 0;
+};
+
+struct ClusterSnapshot {
+  double collected_at = 0.0;  ///< obs::now() on the collecting client
+  std::vector<NodeStatus> nodes;   ///< sorted by name (stable output)
+  std::vector<OfferLine> offers;   ///< root-level offer sets, sorted by name
+};
+
+/// Enumerates `_obs/*` through `root`, polls every telemetry object and
+/// lists root-level offer sets.  Never throws for per-node failures; throws
+/// only when the naming service itself is unreachable or has no `_obs`
+/// context yet (naming::NotFound).
+ClusterSnapshot collect_cluster(naming::NamingContext& root);
+
+/// Renders the cluster table.  With `prev` (an earlier snapshot of the same
+/// cluster) the RPC/s column shows the rate between the two snapshots;
+/// without it the column shows "-".  Hosts are ranked by Winner load index
+/// (lower = better; unknown last).
+std::string render_table(const ClusterSnapshot& snapshot,
+                         const ClusterSnapshot* prev = nullptr);
+
+/// Machine-readable rendering:
+///   {"schema_version": 1, "collected_at": X,
+///    "nodes": [{"name": ..., "reachable": true, "health": {...}} |
+///              {"name": ..., "reachable": false, "error": "..."}],
+///    "offers": [{"name": ..., "offers": N}]}
+std::string render_json(const ClusterSnapshot& snapshot);
+
+}  // namespace obs

@@ -1,0 +1,181 @@
+#include "obs/telemetry.hpp"
+
+#include <utility>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+
+namespace obs {
+
+namespace {
+
+/// Keeps the last `limit` lines of a multi-line rendering (0 = all).
+std::string last_lines(const std::string& text, std::uint64_t limit) {
+  if (limit == 0) return text;
+  std::uint64_t seen = 0;
+  // Walk newlines from the back; a trailing newline does not count as an
+  // extra (empty) line.
+  std::size_t pos = text.size();
+  if (pos > 0 && text.back() == '\n') --pos;
+  while (pos > 0) {
+    const std::size_t nl = text.rfind('\n', pos - 1);
+    if (nl == std::string::npos) break;
+    if (++seen == limit) return text.substr(nl + 1);
+    pos = nl;
+  }
+  return text;
+}
+
+}  // namespace
+
+corba::Value HealthReport::to_value() const {
+  corba::ValueSeq fields;
+  fields.emplace_back(host);
+  fields.emplace_back(now);
+  fields.emplace_back(report_age);
+  fields.emplace_back(load_index);
+  fields.emplace_back(quarantined);
+  fields.emplace_back(dispatch_queue_depth);
+  fields.emplace_back(rpcs);
+  fields.emplace_back(rpc_p50);
+  fields.emplace_back(rpc_p99);
+  fields.emplace_back(recoveries);
+  fields.emplace_back(checkpoints);
+  fields.emplace_back(checkpoint_bytes);
+  fields.emplace_back(flight_recorded);
+  fields.emplace_back(auto_dumps);
+  return corba::Value(std::move(fields));
+}
+
+HealthReport HealthReport::from_value(const corba::Value& value) {
+  const corba::ValueSeq& fields = value.as_sequence();
+  if (fields.size() < 14)
+    throw corba::BAD_PARAM("malformed health report: " +
+                           std::to_string(fields.size()) + " fields");
+  HealthReport report;
+  report.host = fields[0].as_string();
+  report.now = fields[1].as_f64();
+  report.report_age = fields[2].as_f64();
+  report.load_index = fields[3].as_f64();
+  report.quarantined = fields[4].as_u64();
+  report.dispatch_queue_depth = fields[5].as_u64();
+  report.rpcs = fields[6].as_u64();
+  report.rpc_p50 = fields[7].as_f64();
+  report.rpc_p99 = fields[8].as_f64();
+  report.recoveries = fields[9].as_u64();
+  report.checkpoints = fields[10].as_u64();
+  report.checkpoint_bytes = fields[11].as_u64();
+  report.flight_recorded = fields[12].as_u64();
+  report.auto_dumps = fields[13].as_u64();
+  return report;
+}
+
+TelemetryServant::TelemetryServant(TelemetryOptions options)
+    : options_(std::move(options)) {}
+
+HealthReport TelemetryServant::health() const {
+  HealthReport report;
+  report.host = options_.host;
+  report.now = now();
+  if (options_.report_age) report.report_age = options_.report_age();
+  if (options_.load_index) report.load_index = options_.load_index();
+  if (options_.quarantined) report.quarantined = options_.quarantined();
+  if (options_.dispatch_queue_depth)
+    report.dispatch_queue_depth = options_.dispatch_queue_depth();
+
+  // Metric-derived fields read the handles directly (get-or-create is cheap
+  // and the names are this repo's stable taxonomy, DESIGN.md
+  // "Observability") — orbtop never has to parse an exporter format.
+  MetricsRegistry& registry = MetricsRegistry::global();
+  report.rpcs = registry.counter("orb.requests_total").value();
+  const Histogram::Snapshot latency =
+      registry.histogram("orb.request_latency_s").snapshot();
+  report.rpc_p50 = latency.quantile(0.5);
+  report.rpc_p99 = latency.quantile(0.99);
+  report.recoveries = registry.counter("ft.proxy.recoveries_total").value();
+  report.checkpoints = registry.counter("ft.pipeline.stores_total").value();
+  report.checkpoint_bytes =
+      registry.counter("ft.pipeline.bytes_shipped_total").value();
+  report.flight_recorded = FlightRecorder::global().recorded();
+  report.auto_dumps = FlightRecorder::global().auto_dumps();
+  return report;
+}
+
+corba::Value TelemetryServant::dispatch(std::string_view op,
+                                        const corba::ValueSeq& args) {
+  if (op == "get_metrics") {
+    check_arity(op, args, 1);
+    const std::string& format = args[0].as_string();
+    const MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
+    if (format == "text") return corba::Value(to_text(snapshot));
+    if (format == "json") return corba::Value(to_json(snapshot));
+    if (format == "prometheus") return corba::Value(to_prometheus(snapshot));
+    throw corba::BAD_PARAM("unknown metrics format: " + format);
+  }
+  if (op == "get_spans") {
+    check_arity(op, args, 1);
+    const std::uint64_t limit = args[0].as_u64();
+    if (!options_.spans) return corba::Value(std::string());
+    return corba::Value(last_lines(options_.spans->dump(), limit));
+  }
+  if (op == "get_timeline") {
+    check_arity(op, args, 0);
+    const RecoveryTimeline* timeline = installed_timeline();
+    return corba::Value(timeline ? timeline->to_string() : std::string());
+  }
+  if (op == "get_flight_recorder") {
+    check_arity(op, args, 0);
+    return corba::Value(FlightRecorder::global().to_text());
+  }
+  if (op == "health") {
+    check_arity(op, args, 0);
+    return health().to_value();
+  }
+  throw corba::BAD_OPERATION(std::string(op));
+}
+
+std::string TelemetryStub::get_metrics(const std::string& format) const {
+  return call("get_metrics", {corba::Value(format)}).as_string();
+}
+
+std::string TelemetryStub::get_spans(std::uint64_t limit) const {
+  return call("get_spans", {corba::Value(limit)}).as_string();
+}
+
+std::string TelemetryStub::get_timeline() const {
+  return call("get_timeline", {}).as_string();
+}
+
+std::string TelemetryStub::get_flight_recorder() const {
+  return call("get_flight_recorder", {}).as_string();
+}
+
+HealthReport TelemetryStub::health() const {
+  return HealthReport::from_value(call("health", {}));
+}
+
+corba::ObjectRef install_telemetry(const std::shared_ptr<corba::ORB>& orb,
+                                   naming::NamingContext& root,
+                                   TelemetryOptions options) {
+  const std::string host = options.host;
+  if (host.empty()) throw corba::BAD_PARAM("telemetry requires a host name");
+  auto servant = std::make_shared<TelemetryServant>(std::move(options));
+  const corba::ObjectRef ref = orb->activate(servant, "Telemetry");
+
+  naming::Name context_name;
+  context_name.append(std::string(naming::kObsContextId));
+  try {
+    root.bind_new_context(context_name);
+  } catch (const naming::AlreadyBound&) {
+    // Another node created the reserved context first.
+  }
+  naming::Name binding = context_name;
+  binding.append(host);
+  // rebind: a node restarting after a crash replaces its stale registration.
+  root.rebind(binding, ref);
+  return ref;
+}
+
+}  // namespace obs

@@ -1,0 +1,117 @@
+// In-band telemetry: a CORBA servant exposing a node's observability state.
+//
+// Every runtime activates one TelemetryServant per node ORB and binds it
+// under the reserved naming path `_obs/<host>` (naming::kObsContextId).
+// Operators and tools (tools/orbtop.cpp) then inspect a live cluster over
+// the same GIOP-lite wire the application uses — no side channel, no log
+// scraping, and it works identically against the simulator and a real TCP
+// deployment.  The reserved subtree resolves exact-match only and bypasses
+// both Winner ranking and the quarantine offer filter, so a sick node's
+// telemetry stays reachable precisely when it matters.
+//
+// Process-global vs per-node state: metrics, spans and the flight recorder
+// are process-wide substrates, so under the in-process simulator every
+// node's servant reports the same counters; the per-node columns (host,
+// load, report age, dispatch depth) come from the injected callbacks.  In a
+// real deployment each node is its own process and everything is per-node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "naming/naming.hpp"
+#include "orb/object_adapter.hpp"
+#include "orb/orb.hpp"
+#include "orb/stub.hpp"
+
+namespace obs {
+
+class SpanCollector;
+
+inline constexpr std::string_view kTelemetryRepoId =
+    "IDL:corbaft/obs/Telemetry:1.0";
+
+/// Flat health summary returned by Telemetry::health() — the one-row-per-
+/// host view orbtop renders.  Encoded on the wire as a flat sequence in
+/// field order (see to_value()).
+struct HealthReport {
+  std::string host;
+  double now = 0.0;         ///< node's obs::now() when the report was taken
+  double report_age = -1.0; ///< seconds since the node's last Winner load
+                            ///< report reached the system manager; -1 unknown
+  double load_index = -1.0; ///< Winner selection index (lower = better);
+                            ///< -1 unknown
+  std::uint64_t quarantined = 0; ///< instances currently quarantined
+  std::uint64_t dispatch_queue_depth = 0; ///< requests queued + executing
+  std::uint64_t rpcs = 0;                 ///< orb.requests_total
+  double rpc_p50 = 0.0;  ///< orb.request_latency_s p50 (bucket resolution)
+  double rpc_p99 = 0.0;  ///< orb.request_latency_s p99 (bucket resolution)
+  std::uint64_t recoveries = 0;       ///< ft.proxy.recoveries_total
+  std::uint64_t checkpoints = 0;      ///< ft.pipeline.stores_total
+  std::uint64_t checkpoint_bytes = 0; ///< ft.pipeline.bytes_shipped_total
+  std::uint64_t flight_recorded = 0;  ///< flight-recorder events ever written
+  std::uint64_t auto_dumps = 0;       ///< flight-recorder auto-dump triggers
+
+  corba::Value to_value() const;
+  static HealthReport from_value(const corba::Value& value);
+};
+
+/// Per-node wiring of a TelemetryServant.  Every callback is optional —
+/// absent ones report the "unknown" value — so the servant has no hard
+/// dependency on Winner, the quarantine or a dispatch pool being present.
+struct TelemetryOptions {
+  std::string host;
+  std::function<double()> report_age;
+  std::function<double()> load_index;
+  std::function<std::uint64_t()> quarantined;
+  std::function<std::uint64_t()> dispatch_queue_depth;
+  /// When set, get_spans() renders this collector (the caller keeps
+  /// ownership and must outlive the servant).
+  const SpanCollector* spans = nullptr;
+};
+
+/// Servant answering the introspection operations:
+///   get_metrics(format)     format in {"text", "json", "prometheus"}
+///   get_spans(limit)        last `limit` span lines (0 = all)
+///   get_timeline()          installed RecoveryTimeline rendering
+///   get_flight_recorder()   FlightRecorder::global().to_text()
+///   health()                flat HealthReport sequence
+class TelemetryServant final : public corba::Servant {
+ public:
+  explicit TelemetryServant(TelemetryOptions options);
+
+  std::string_view repo_id() const noexcept override { return kTelemetryRepoId; }
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override;
+
+  HealthReport health() const;
+
+ private:
+  TelemetryOptions options_;
+};
+
+/// Typed client stub (what orbtop drives).
+class TelemetryStub final : public corba::StubBase {
+ public:
+  TelemetryStub() = default;
+  explicit TelemetryStub(corba::ObjectRef ref) : StubBase(std::move(ref)) {}
+
+  std::string get_metrics(const std::string& format = "text") const;
+  std::string get_spans(std::uint64_t limit = 0) const;
+  std::string get_timeline() const;
+  std::string get_flight_recorder() const;
+  HealthReport health() const;
+};
+
+/// Activates a TelemetryServant on `orb` and binds it under
+/// `_obs/<options.host>` in `root` (creating the reserved `_obs` context on
+/// first use; rebinding replaces a stale registration after a restart).
+/// Returns the servant's reference.
+corba::ObjectRef install_telemetry(const std::shared_ptr<corba::ORB>& orb,
+                                   naming::NamingContext& root,
+                                   TelemetryOptions options);
+
+}  // namespace obs

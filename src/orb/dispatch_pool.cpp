@@ -1,5 +1,6 @@
 #include "orb/dispatch_pool.hpp"
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "orb/exceptions.hpp"
 
@@ -46,6 +47,8 @@ void DispatchPool::submit(RequestMessage request, Completion done) {
                         CompletionStatus::completed_no);
   ++in_pool_;
   pool_metrics().queue_depth.record(static_cast<double>(in_pool_));
+  obs::flight_event(obs::FlightEvent::dispatch_depth, request.operation,
+                    in_pool_);
   auto [it, inserted] = keys_.try_emplace(request.object_key);
   it->second.waiting.push_back(Job{std::move(request), std::move(done)});
   // A key becomes runnable when its first job arrives; while a worker is

@@ -1,5 +1,6 @@
 #include "orb/orb.hpp"
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "orb/exceptions.hpp"
@@ -182,6 +183,9 @@ std::unique_ptr<PendingReply> ORB::send(const IOR& target, std::string_view op,
   req.operation = std::string(op);
   req.arguments = std::move(args);
   orb_metrics().async_requests.inc();
+  // Deferred sends record only the start edge; the reply is demuxed inside
+  // the transport and has no hook back into the recorder.
+  obs::flight_event(obs::FlightEvent::rpc_start, req.operation, req.request_id);
   // The send span covers only request hand-off; the transport records the
   // round trip when the pending reply completes.
   obs::Span span("rpc.send", req.operation);
@@ -204,8 +208,19 @@ Value ORB::invoke(const IOR& target, std::string_view op, ValueSeq args) {
   if (span.active()) attach_trace_context(req, span.context());
   const bool timed = span.active();  // latency is sampled while tracing is on
   const double start = timed ? obs::now() : 0.0;
-  ReplyMessage reply = transport_for(target).invoke(target, std::move(req));
+  const std::uint64_t request_id = req.request_id;
+  const std::string operation = req.operation;  // survives the move below
+  obs::flight_event(obs::FlightEvent::rpc_start, operation, request_id);
+  ReplyMessage reply;
+  try {
+    reply = transport_for(target).invoke(target, std::move(req));
+  } catch (...) {
+    obs::flight_event(obs::FlightEvent::rpc_end, operation, request_id, 1);
+    throw;
+  }
   if (timed) metrics.latency.record(obs::now() - start);
+  obs::flight_event(obs::FlightEvent::rpc_end, operation, request_id,
+                    reply.status == ReplyStatus::no_exception ? 0 : 1);
   return reply.result_or_throw();
 }
 
@@ -220,6 +235,7 @@ void ORB::send_oneway(const IOR& target, std::string_view op, ValueSeq args) {
   req.arguments = std::move(args);
   req.response_expected = false;
   orb_metrics().oneways.inc();
+  obs::flight_event(obs::FlightEvent::rpc_start, req.operation, req.request_id);
   obs::Span span("rpc.oneway", req.operation);
   if (span.active()) attach_trace_context(req, span.context());
   // Best-effort: the pending handle is discarded; transports deliver without

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "orb/exceptions.hpp"
@@ -302,8 +303,11 @@ class TcpMuxPendingReply final : public PendingReply {
 
 std::shared_ptr<TcpConnection> TcpConnection::open(const std::string& host,
                                                    std::uint16_t port) {
-  return std::shared_ptr<TcpConnection>(
+  auto connection = std::shared_ptr<TcpConnection>(
       new TcpConnection(Socket::connect(host, port)));
+  connection->peer_ = host + ":" + std::to_string(port);
+  obs::flight_event(obs::FlightEvent::conn_open, connection->peer_);
+  return connection;
 }
 
 TcpConnection::TcpConnection(Socket socket) : socket_(std::move(socket)) {
@@ -391,14 +395,19 @@ void TcpConnection::fail_all_locked(const std::exception_ptr& error) {
   // A connection-level failure is a *batched* failure: every in-flight call
   // on this connection sees the same COMM_FAILURE (the FT layer recovers
   // once and re-issues the batch against the new target).
-  broken_.store(true, std::memory_order_release);
-  if (!waiters_.empty()) mux_metrics().batch_failed.inc(waiters_.size());
+  const bool first = !broken_.exchange(true, std::memory_order_acq_rel);
+  const std::size_t victims = waiters_.size();
+  if (victims > 0) mux_metrics().batch_failed.inc(victims);
+  if (first) obs::flight_event(obs::FlightEvent::conn_close, peer_, victims);
   for (auto& [id, waiter] : waiters_) {
     waiter->error = error;
     waiter->done.store(true, std::memory_order_release);
     waiter->cv.notify_one();
   }
   waiters_.clear();
+  // A batch of in-flight calls going down together is the canonical "what
+  // just happened" moment — flush the flight recorder to any installed sink.
+  if (victims > 1) obs::flight_auto_dump("batched COMM_FAILURE on " + peer_);
 }
 
 bool TcpConnection::read_one_locked(std::unique_lock<std::mutex>& lock) {
@@ -560,7 +569,10 @@ std::shared_ptr<TcpConnection> TcpClientTransport::connection_for(
                            connection->in_flight() == 0 &&
                            now - connection->last_used() > options_.idle_ttl_s;
       if (!connection->healthy() || expired) {
-        if (connection->healthy()) mux_metrics().idle_closed.inc();
+        if (connection->healthy()) {
+          mux_metrics().idle_closed.inc();
+          obs::flight_event(obs::FlightEvent::conn_evict, connection->peer());
+        }
         retired.push_back(connection);
         it = connections_.erase(it);
       } else {
@@ -583,6 +595,7 @@ std::shared_ptr<TcpConnection> TcpClientTransport::connection_for(
           lru = cand;
       if (lru != connections_.end()) {
         mux_metrics().idle_closed.inc();
+        obs::flight_event(obs::FlightEvent::conn_evict, lru->second->peer());
         retired.push_back(lru->second);
         connections_.erase(lru);
       }

@@ -152,6 +152,9 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   /// Monotonic-clock seconds of the last send or reply (idle-TTL input).
   double last_used() const;
 
+  /// "host:port" label of the peer (flight-recorder subjects, diagnostics).
+  const std::string& peer() const noexcept { return peer_; }
+
   /// Fails all in-flight calls with COMM_FAILURE; a caller mid-read is
   /// kicked out by shutting the socket down.
   void close();
@@ -199,6 +202,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   void touch() noexcept;
 
   Socket socket_;
+  std::string peer_;  ///< "host:port", set once at open()
   std::mutex write_mu_;               ///< serializes frames on the socket
   mutable std::mutex mu_;  ///< waiters_, leadership, broken bookkeeping
   std::unordered_map<std::uint64_t, std::shared_ptr<Waiter>> waiters_;

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "orb/exceptions.hpp"
@@ -94,7 +95,11 @@ void fail_connection(const std::shared_ptr<SimConnection>& connection,
   for (const auto& [seq, slot] : connection->inflight)
     victims.push_back(slot);
   sim_mux_metrics().batch_failed.inc(victims.size());
+  obs::flight_event(obs::FlightEvent::conn_close, "sim", victims.size());
   for (const auto& slot : victims) slot->fail(error);
+  // Mirror the real transport: a batch failing together flushes the flight
+  // recorder to any installed sink (deterministic under the virtual clock).
+  if (victims.size() > 1) obs::flight_auto_dump("sim batched COMM_FAILURE");
 }
 
 class SimPendingReply final : public corba::PendingReply {

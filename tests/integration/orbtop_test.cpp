@@ -1,0 +1,238 @@
+// orbtop against live clusters: the collector walks a real naming tree and
+// polls every `_obs/<host>` telemetry servant, and the `--json` rendering is
+// well-formed JSON — proved with a strict little validator, against both the
+// simulated NOW deployment and a real TCP cluster.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "core/sim_runtime.hpp"
+#include "obs/orbtop.hpp"
+#include "obs/telemetry.hpp"
+#include "orb/orb.hpp"
+
+namespace rt {
+namespace {
+
+// --- minimal JSON well-formedness checker ----------------------------------
+// Recursive descent over the whole grammar; returns true iff the entire
+// input is exactly one valid JSON value.  No DOM, no allocation.
+class JsonChecker {
+ public:
+  static bool valid(const std::string& text) {
+    JsonChecker checker(text);
+    checker.skip_ws();
+    if (!checker.value()) return false;
+    checker.skip_ws();
+    return checker.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+  bool literal(std::string_view word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i)
+            if (!std::isxdigit(static_cast<unsigned char>(peek())))
+              return false;
+            else
+              ++pos_;
+        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;
+      }
+    }
+    return false;  // unterminated
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    eat('-');
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (eat('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': {
+        ++pos_;
+        skip_ws();
+        if (eat('}')) return true;
+        do {
+          skip_ws();
+          if (!string()) return false;
+          skip_ws();
+          if (!eat(':')) return false;
+          if (!value()) return false;
+          skip_ws();
+        } while (eat(','));
+        return eat('}');
+      }
+      case '[': {
+        ++pos_;
+        skip_ws();
+        if (eat(']')) return true;
+        do {
+          if (!value()) return false;
+          skip_ws();
+        } while (eat(','));
+        return eat(']');
+      }
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonCheckerSelfTest, AcceptsValidRejectsBroken) {
+  EXPECT_TRUE(JsonChecker::valid("{\"a\": [1, 2.5e-3, \"x\\n\", true, null]}"));
+  EXPECT_FALSE(JsonChecker::valid("{\"a\": }"));
+  EXPECT_FALSE(JsonChecker::valid("{\"a\": 1} trailing"));
+  EXPECT_FALSE(JsonChecker::valid("{\"a\": 1,}"));
+  EXPECT_FALSE(JsonChecker::valid("\"unterminated"));
+  EXPECT_FALSE(JsonChecker::valid("[1 2]"));
+}
+
+class EchoServant : public corba::Servant {
+ public:
+  std::string_view repo_id() const noexcept override {
+    return "IDL:corbaft/tests/Echo:1.0";
+  }
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override {
+    if (op == "echo") {
+      check_arity(op, args, 1);
+      return args[0];
+    }
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+};
+
+TEST(OrbtopSimClusterTest, CollectsEveryNodeAndEmitsWellFormedJson) {
+  sim::Cluster cluster;
+  for (int i = 0; i < 3; ++i)
+    cluster.add_host("node" + std::to_string(i), 100.0);
+  SimRuntime runtime(cluster);
+  runtime.events().run_until(2.5);  // load reports flow
+
+  runtime.registry()->register_type(
+      "Echo", [] { return std::make_shared<EchoServant>(); });
+  const naming::Name name = naming::Name::parse("Echo");
+  runtime.deploy_everywhere(name, "Echo");
+  for (int i = 0; i < 5; ++i)
+    runtime.resolve(name).invoke("echo", {corba::Value(std::int64_t{i})});
+
+  naming::NamingContextStub root = runtime.naming();
+  const obs::ClusterSnapshot snapshot = obs::collect_cluster(root);
+
+  // Every worker host registered a telemetry servant; the infra host did not.
+  ASSERT_EQ(snapshot.nodes.size(), 3u);
+  for (std::size_t i = 0; i < snapshot.nodes.size(); ++i) {
+    const obs::NodeStatus& node = snapshot.nodes[i];
+    EXPECT_EQ(node.name, "node" + std::to_string(i));
+    ASSERT_TRUE(node.reachable) << node.error;
+    EXPECT_EQ(node.health.host, node.name);
+    // Load reports arrived, so age and index are known (>= 0), and the
+    // process-wide RPC counter has seen the echo traffic.
+    EXPECT_GE(node.health.report_age, 0.0);
+    EXPECT_GE(node.health.load_index, 0.0);
+    EXPECT_GT(node.health.rpcs, 0u);
+  }
+  // The offer table lists the application pool but never the reserved tree.
+  ASSERT_EQ(snapshot.offers.size(), 1u);
+  EXPECT_EQ(snapshot.offers[0].name, "Echo");
+  EXPECT_EQ(snapshot.offers[0].offers, 3u);
+
+  const std::string json = obs::render_json(snapshot);
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  EXPECT_NE(json.find("\"name\": \"node1\""), std::string::npos);
+  EXPECT_FALSE(obs::render_table(snapshot).empty());
+}
+
+TEST(OrbtopTcpClusterTest, PollsTelemetryOverRealSocketsAndEmitsJson) {
+  // Two server processes (ORBs with TCP endpoints) sharing one naming root,
+  // and a pure-TCP client bootstrapped from the stringified IOR — exactly
+  // what the orbtop CLI does.
+  auto alpha = corba::ORB::init({.endpoint_name = "alpha", .enable_tcp = true});
+  auto beta = corba::ORB::init({.endpoint_name = "beta", .enable_tcp = true});
+  auto [root_servant, root_ref] =
+      naming::NamingContextServant::create_root(alpha);
+  obs::install_telemetry(alpha, *root_servant, {.host = "alpha"});
+  obs::install_telemetry(beta, *root_servant, {.host = "beta"});
+  root_servant->bind_offer(naming::Name::parse("Echo"),
+                           alpha->activate(std::make_shared<EchoServant>()),
+                           "alpha");
+
+  auto watcher =
+      corba::ORB::init({.endpoint_name = "watcher", .enable_tcp = true});
+  naming::NamingContextStub root(
+      watcher->string_to_object(alpha->object_to_string(root_ref)));
+
+  const obs::ClusterSnapshot snapshot = obs::collect_cluster(root);
+  ASSERT_EQ(snapshot.nodes.size(), 2u);
+  EXPECT_EQ(snapshot.nodes[0].name, "alpha");
+  EXPECT_EQ(snapshot.nodes[1].name, "beta");
+  for (const obs::NodeStatus& node : snapshot.nodes) {
+    ASSERT_TRUE(node.reachable) << node.name << ": " << node.error;
+    EXPECT_EQ(node.health.host, node.name);
+  }
+  ASSERT_EQ(snapshot.offers.size(), 1u);
+  EXPECT_EQ(snapshot.offers[0].name, "Echo");
+
+  const std::string json = obs::render_json(snapshot);
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  EXPECT_NE(json.find("\"name\": \"beta\", \"reachable\": true"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,137 @@
+// Regression tests for the reserved `_obs` introspection namespace: names
+// under it resolve exact-match only — first bound offer, no Winner ranking,
+// no offer filter — and the reserved flag is hereditary across
+// bind_new_context and get_state/set_state round-trips.
+#include <gtest/gtest.h>
+
+#include "naming/naming_context.hpp"
+#include "naming/naming_stub.hpp"
+#include "orb/orb.hpp"
+#include "winner/system_manager.hpp"
+
+namespace naming {
+namespace {
+
+class ProbeServant : public corba::Servant {
+ public:
+  std::string_view repo_id() const noexcept override {
+    return "IDL:corbaft/tests/Probe:1.0";
+  }
+  corba::Value dispatch(std::string_view op, const corba::ValueSeq&) override {
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+};
+
+class ReservedNamesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_shared<corba::InProcessNetwork>();
+    server_ = corba::ORB::init({.endpoint_name = "names", .network = network_});
+    winner_ = std::make_shared<winner::SystemManager>();
+    // node1 is dramatically better than node0, so any Winner-ranked resolve
+    // prefers it; a reserved resolve must ignore that and return the first
+    // bound offer (node0's).
+    winner_->register_host("node0", 1.0);
+    winner_->register_host("node1", 1.0);
+    winner_->report_load("node0", {.load_avg = 0.9, .timestamp = 0.0});
+    winner_->report_load("node1", {.load_avg = 0.0, .timestamp = 0.0});
+  }
+
+  NamingContextStub make_root(NamingContextOptions options = {}) {
+    options.winner = winner_;
+    options.default_strategy = ResolveStrategy::winner;
+    auto [servant, ref] = NamingContextServant::create_root(server_, options);
+    servant_ = servant;
+    return NamingContextStub(server_->make_ref(ref.ior()));
+  }
+
+  corba::ObjectRef activate_probe(const std::string& key) {
+    return server_->activate(std::make_shared<ProbeServant>(), key);
+  }
+
+  std::shared_ptr<corba::InProcessNetwork> network_;
+  std::shared_ptr<corba::ORB> server_;
+  std::shared_ptr<winner::SystemManager> winner_;
+  std::shared_ptr<NamingContextServant> servant_;
+};
+
+TEST(ReservedIds, PrefixRuleMatchesTheObsNamespace) {
+  EXPECT_TRUE(is_reserved_id("_obs"));
+  EXPECT_TRUE(is_reserved_id("_obs-shadow"));
+  EXPECT_FALSE(is_reserved_id("obs"));
+  EXPECT_FALSE(is_reserved_id("Solver"));
+}
+
+TEST_F(ReservedNamesTest, ReservedOffersSkipWinnerRanking) {
+  NamingContextStub root = make_root();
+  const corba::ObjectRef first = activate_probe("t0");
+  const corba::ObjectRef second = activate_probe("t1");
+  root.bind_offer(Name::parse("_obs-direct"), first, "node0");
+  root.bind_offer(Name::parse("_obs-direct"), second, "node1");
+  // Control: a plain name with the same offers goes to the better host.
+  root.bind_offer(Name::parse("pool"), first, "node0");
+  root.bind_offer(Name::parse("pool"), second, "node1");
+
+  EXPECT_TRUE(root.resolve(Name::parse("pool")).ior() == second.ior());
+  for (int i = 0; i < 4; ++i) {
+    // Always the first bound offer — no ranking, no round-robin drift.
+    EXPECT_TRUE(root.resolve(Name::parse("_obs-direct")).ior() == first.ior());
+  }
+}
+
+TEST_F(ReservedNamesTest, ReservedContextIsHereditaryAndBypassesTheFilter) {
+  NamingContextOptions options;
+  // A filter that rejects everything: plain resolves starve, reserved
+  // resolves (telemetry of quarantined hosts!) still work.
+  options.offer_filter = [](const Name&, const Offer&) { return false; };
+  NamingContextStub root = make_root(options);
+
+  const corba::ObjectRef telemetry = activate_probe("telemetry");
+  root.bind_new_context(Name::parse("_obs"));
+  // `node0` is NOT itself a reserved id: only the inherited flag covers it.
+  root.bind_offer(Name::parse("_obs/node0"), telemetry, "node0");
+  root.bind_offer(Name::parse("plain"), telemetry, "node0");
+
+  EXPECT_THROW(root.resolve(Name::parse("plain")), NotFound);
+  EXPECT_TRUE(
+      root.resolve(Name::parse("_obs/node0")).ior() == telemetry.ior());
+}
+
+TEST_F(ReservedNamesTest, ReservedFlagSurvivesStateRoundTrip) {
+  NamingContextStub root = make_root();
+  const corba::ObjectRef first = activate_probe("r0");
+  const corba::ObjectRef second = activate_probe("r1");
+  root.bind_new_context(Name::parse("_obs"));
+  root.bind_offer(Name::parse("_obs/shared"), first, "node0");
+  root.bind_offer(Name::parse("_obs/shared"), second, "node1");
+
+  // Restore the tree into a fresh root (the naming service's own
+  // checkpoint/restart path) and verify `_obs` children stay exact-match.
+  const corba::Blob state = servant_->get_state();
+  NamingContextOptions options;
+  options.winner = winner_;
+  options.default_strategy = ResolveStrategy::winner;
+  auto [restored, ref] = NamingContextServant::create_root(server_, options);
+  restored->set_state(state);
+  NamingContextStub restored_root(server_->make_ref(ref.ior()));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(restored_root.resolve(Name::parse("_obs/shared")).ior() ==
+                first.ior());
+  }
+}
+
+TEST_F(ReservedNamesTest, ReservedNamesStayOutOfPlacementNotifications) {
+  NamingContextStub root = make_root();
+  const corba::ObjectRef probe = activate_probe("p0");
+  root.bind_offer(Name::parse("_obs-quiet"), probe, "node1");
+  const std::uint64_t epoch_before = winner_->load_epoch();
+  const double index_before = winner_->host_index("node1");
+  root.resolve(Name::parse("_obs-quiet"));
+  // notify_placement would bump the manager's epoch and the host's selection
+  // index; a reserved resolve must not touch the Winner at all.
+  EXPECT_EQ(winner_->load_epoch(), epoch_before);
+  EXPECT_DOUBLE_EQ(winner_->host_index("node1"), index_before);
+}
+
+}  // namespace
+}  // namespace naming

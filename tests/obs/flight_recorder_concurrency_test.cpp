@@ -1,0 +1,99 @@
+// Concurrency tests for the flight recorder: many writers hammering one
+// ring while a reader renders dumps.  Every slot field is an atomic and the
+// per-slot sequence word pairs payloads with their event index, so this is
+// data-race-free by construction — the `tsan` ctest label runs exactly this
+// binary under a SANITIZE=thread build to prove it.
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace obs {
+namespace {
+
+TEST(FlightRecorderConcurrency, ParallelWritersLoseNothing) {
+  FlightRecorder recorder(1 << 14);
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 2000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w)
+    writers.emplace_back([&recorder, w] {
+      const std::string subject = "writer-" + std::to_string(w);
+      for (std::uint64_t i = 0; i < kPerWriter; ++i)
+        recorder.record(FlightEvent::rpc_start, subject, i);
+    });
+  for (auto& t : writers) t.join();
+
+  EXPECT_EQ(recorder.recorded(), kWriters * kPerWriter);
+  const auto events = recorder.events();
+  // Nothing wrapped (capacity exceeds the total), nothing torn (no writer
+  // is active), so every event survives with a coherent payload.
+  ASSERT_EQ(events.size(), kWriters * kPerWriter);
+  std::vector<std::uint64_t> next(kWriters, 0);
+  for (const auto& event : events) {
+    ASSERT_EQ(event.subject.rfind("writer-", 0), 0u) << event.subject;
+    const int w = event.subject[7] - '0';
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, kWriters);
+    // Per-writer payloads arrive in program order (indices are claimed
+    // monotonically and events() walks them oldest-first).
+    EXPECT_EQ(event.a, next[static_cast<std::size_t>(w)]++);
+  }
+}
+
+TEST(FlightRecorderConcurrency, DumpingWhileWritersWrapStaysCoherent) {
+  FlightRecorder recorder(64);  // small ring: constant wrap-around
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w)
+    writers.emplace_back([&recorder, &stop, w] {
+      const std::string subject = "wrap-" + std::to_string(w);
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed))
+        recorder.record(FlightEvent::dispatch_depth, subject, ++i);
+    });
+
+  for (int round = 0; round < 200; ++round) {
+    const auto events = recorder.events();
+    EXPECT_LE(events.size(), recorder.capacity());
+    for (const auto& event : events) {
+      // A torn slot is skipped, never surfaced: whatever we see must be a
+      // fully published event.
+      EXPECT_EQ(event.type, FlightEvent::dispatch_depth);
+      EXPECT_EQ(event.subject.rfind("wrap-", 0), 0u);
+      EXPECT_GT(event.a, 0u);
+    }
+    const std::string text = recorder.to_text();
+    EXPECT_NE(text.find("flight-recorder: "), std::string::npos);
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+}
+
+TEST(FlightRecorderConcurrency, AutoDumpRacesWithWriters) {
+  FlightRecorder recorder(64);
+  std::atomic<std::uint64_t> delivered{0};
+  recorder.set_auto_dump_sink(
+      [&delivered](std::string_view, const std::string& dump) {
+        ASSERT_FALSE(dump.empty());
+        delivered.fetch_add(1, std::memory_order_relaxed);
+      });
+  std::atomic<bool> stop{false};
+  std::thread writer([&recorder, &stop] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed))
+      recorder.record(FlightEvent::rpc_start, "op", ++i);
+  });
+  for (int i = 0; i < 100; ++i) recorder.auto_dump("race round");
+  stop.store(true);
+  writer.join();
+  recorder.set_auto_dump_sink(nullptr);
+  EXPECT_EQ(recorder.auto_dumps(), 100u);
+  EXPECT_EQ(delivered.load(), 100u);
+}
+
+}  // namespace
+}  // namespace obs

@@ -1,0 +1,140 @@
+// Unit tests for the always-on flight recorder: recording, wrap-around,
+// the enabled kill switch, deterministic renderings and auto-dump triggers.
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace obs {
+namespace {
+
+TEST(FlightRecorder, RecordsAndDecodesEvents) {
+  FlightRecorder recorder(8);
+  recorder.record(FlightEvent::rpc_start, "solve", 7);
+  recorder.record(FlightEvent::rpc_end, "solve", 7, 1);
+  recorder.record(FlightEvent::checkpoint_ship, "worker-0", 3, 1024);
+
+  const std::vector<FlightRecorder::Event> events = recorder.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, FlightEvent::rpc_start);
+  EXPECT_EQ(events[0].subject, "solve");
+  EXPECT_EQ(events[0].a, 7u);
+  EXPECT_EQ(events[0].b, 0u);
+  EXPECT_EQ(events[0].index, 0u);
+  EXPECT_EQ(events[1].type, FlightEvent::rpc_end);
+  EXPECT_EQ(events[1].b, 1u);
+  EXPECT_EQ(events[2].subject, "worker-0");
+  EXPECT_EQ(events[2].a, 3u);
+  EXPECT_EQ(events[2].b, 1024u);
+  EXPECT_EQ(recorder.recorded(), 3u);
+}
+
+TEST(FlightRecorder, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FlightRecorder(5).capacity(), 8u);
+  EXPECT_EQ(FlightRecorder(8).capacity(), 8u);
+  EXPECT_EQ(FlightRecorder(1).capacity(), 2u);
+}
+
+TEST(FlightRecorder, LongSubjectsAreTruncatedNotDropped) {
+  FlightRecorder recorder(4);
+  const std::string subject(40, 'x');
+  recorder.record(FlightEvent::rpc_start, subject);
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].subject,
+            std::string(FlightRecorder::kSubjectCapacity, 'x'));
+}
+
+TEST(FlightRecorder, WrapAroundKeepsTheNewestEvents) {
+  FlightRecorder recorder(4);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    recorder.record(FlightEvent::rpc_start, "op", i);
+  EXPECT_EQ(recorder.recorded(), 10u);
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and exactly the last `capacity` events survive.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].index, 6u + i);
+    EXPECT_EQ(events[i].a, 6u + i);
+  }
+  const std::string text = recorder.to_text();
+  EXPECT_NE(
+      text.find("flight-recorder: 10 events recorded, 4 retained (capacity 4)"),
+      std::string::npos);
+  EXPECT_NE(text.find("#9 rpc_start op a=9 b=0"), std::string::npos);
+  EXPECT_EQ(text.find("#5 "), std::string::npos);  // overwritten
+}
+
+TEST(FlightRecorder, DisabledRecorderDropsEventsAndReenables) {
+  FlightRecorder recorder(4);
+  recorder.set_enabled(false);
+  EXPECT_FALSE(recorder.enabled());
+  recorder.record(FlightEvent::rpc_start, "dropped");
+  EXPECT_EQ(recorder.recorded(), 0u);
+  recorder.set_enabled(true);
+  recorder.record(FlightEvent::rpc_start, "kept");
+  ASSERT_EQ(recorder.events().size(), 1u);
+  EXPECT_EQ(recorder.events()[0].subject, "kept");
+}
+
+TEST(FlightRecorder, ClearForgetsEverything) {
+  FlightRecorder recorder(4);
+  recorder.record(FlightEvent::conn_open, "a:1");
+  recorder.record(FlightEvent::conn_close, "a:1", 2);
+  recorder.clear();
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.events().empty());
+  // Recording restarts from index 0 (per-run determinism).
+  recorder.record(FlightEvent::conn_open, "b:2");
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].index, 0u);
+}
+
+TEST(FlightRecorder, ToJsonCarriesSchemaAndEvents) {
+  FlightRecorder recorder(4);
+  recorder.record(FlightEvent::quarantine_trip, "Solver", 0, 1);
+  const std::string json = recorder.to_json();
+  EXPECT_EQ(json.find("{\"schema_version\": 1, \"recorded\": 1"), 0u);
+  EXPECT_NE(json.find("\"type\": \"quarantine_trip\""), std::string::npos);
+  EXPECT_NE(json.find("\"subject\": \"Solver\""), std::string::npos);
+  EXPECT_NE(json.find("\"b\": 1"), std::string::npos);
+}
+
+TEST(FlightRecorder, AutoDumpCountsWithoutASinkAndDeliversWithOne) {
+  FlightRecorder recorder(4);
+  recorder.record(FlightEvent::rpc_start, "op");
+  EXPECT_EQ(recorder.auto_dumps(), 0u);
+  recorder.auto_dump("no sink installed");
+  EXPECT_EQ(recorder.auto_dumps(), 1u);
+
+  std::string seen_reason;
+  std::string seen_dump;
+  recorder.set_auto_dump_sink(
+      [&](std::string_view reason, const std::string& dump) {
+        seen_reason = std::string(reason);
+        seen_dump = dump;
+      });
+  recorder.auto_dump("batched COMM_FAILURE on node0:1");
+  EXPECT_EQ(recorder.auto_dumps(), 2u);
+  EXPECT_EQ(seen_reason, "batched COMM_FAILURE on node0:1");
+  EXPECT_NE(seen_dump.find("rpc_start op"), std::string::npos);
+
+  // A throwing sink must not propagate out of the failing path.
+  recorder.set_auto_dump_sink(
+      [](std::string_view, const std::string&) { throw std::runtime_error("boom"); });
+  EXPECT_NO_THROW(recorder.auto_dump("still fine"));
+  EXPECT_EQ(recorder.auto_dumps(), 3u);
+  recorder.set_auto_dump_sink(nullptr);
+}
+
+TEST(FlightRecorder, GlobalRecorderIsOnByDefault) {
+  EXPECT_TRUE(FlightRecorder::global().enabled());
+  EXPECT_GE(FlightRecorder::global().capacity(),
+            FlightRecorder::kDefaultCapacity);
+}
+
+}  // namespace
+}  // namespace obs

@@ -152,6 +152,53 @@ TEST(Exporters, TextAndJsonCarryEveryKind) {
   EXPECT_NE(json.find("\"buckets\": [1, 0, 0]"), std::string::npos);
 }
 
+TEST(Exporters, SnapshotCarriesAMonotonicTimestamp) {
+  MetricsRegistry registry;
+  registry.counter("x.count").inc();
+  const MetricsSnapshot first = registry.snapshot();
+  const MetricsSnapshot second = registry.snapshot();
+  // taken_at comes from obs::now() (monotonic wall clock here), so scrapers
+  // can compute rates from successive snapshots.
+  EXPECT_GE(second.taken_at, first.taken_at);
+  const std::string json = to_json(first);
+  EXPECT_NE(json.find("], \"taken_at\": "), std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Exporters, PrometheusExpositionFormat) {
+  MetricsRegistry registry;
+  registry.counter("orb.requests_total").inc(3);
+  registry.counter("naming.resolves").inc(1);  // no _total suffix yet
+  registry.gauge("transport.tcp.connections").set(2.0);
+  Histogram& h = registry.histogram("orb.request_latency_s", {0.1, 1.0});
+  h.record(0.05);
+  h.record(0.5);
+  h.record(5.0);
+  const std::string prom = to_prometheus(registry.snapshot());
+
+  // Dots mangle to underscores; counters keep (or gain) the _total suffix.
+  EXPECT_NE(prom.find("# TYPE orb_requests_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("orb_requests_total 3"), std::string::npos);
+  EXPECT_NE(prom.find("naming_resolves_total 1"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE transport_tcp_connections gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("transport_tcp_connections 2"), std::string::npos);
+
+  // Histograms in seconds rename _s -> _seconds and render *cumulative*
+  // le buckets plus +Inf, _sum and _count.
+  EXPECT_NE(prom.find("# TYPE orb_request_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("orb_request_latency_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("orb_request_latency_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("orb_request_latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("orb_request_latency_seconds_count 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("orb_request_latency_seconds_sum"), std::string::npos);
+}
+
 TEST(Registry, GlobalIsUsableAndStable) {
   Counter& c = MetricsRegistry::global().counter("test.global_probe_total");
   c.inc();

@@ -55,5 +55,14 @@ for json in BENCH_table1.json BENCH_checkpoint.json BENCH_multiplex.json; do
   fi
 done
 
+# The multiplex sweep also carries the flight-recorder overhead point: one
+# single-client row with the recorder on and one with it forced off.
+for needle in '"mode": "recorder_on"' '"mode": "recorder_off"'; do
+  if [ -e BENCH_multiplex.json ] && ! grep -qF "$needle" BENCH_multiplex.json; then
+    echo "run_benches.sh: BENCH_multiplex.json lacks $needle" >&2
+    status=1
+  fi
+done
+
 [ "$status" -eq 0 ] && echo "bench JSON schema: ok"
 exit "$status"
