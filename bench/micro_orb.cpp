@@ -7,9 +7,19 @@
 // sweep: concurrent clients × pipeline depth over the TCP transport in both
 // multiplexed and serialized (per-call socket checkout) modes, emitting
 // BENCH_multiplex.json for the perf trajectory.
+// The session sweep (BENCH_session.json) compares the resumable-session
+// reconnect-with-replay path against the batched-failure + reissue path a
+// caller without sessions pays for the same connection loss, and records the
+// retransmit-buffer footprint as a function of pipeline depth.
 #include <benchmark/benchmark.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
+#include <mutex>
 #include <thread>
 
 #include "bench_common.hpp"
@@ -99,6 +109,12 @@ class EchoServant final : public corba::Servant {
   corba::Value dispatch(std::string_view op,
                         const corba::ValueSeq& args) override {
     if (op == "echo") return args.at(0);
+    if (op == "slow_echo") {
+      // Holds the reply back long enough for a pipelined window to pile up
+      // unacked in the session retransmit buffer (the depth sweep).
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      return args.at(0);
+    }
     throw corba::BAD_OPERATION(std::string(op));
   }
 };
@@ -329,6 +345,224 @@ void run_multiplex_sweep() {
   bench::write_bench_json("BENCH_multiplex.json", "micro_orb_multiplex", rows);
 }
 
+// --- session sweep -----------------------------------------------------------
+
+/// Byte-level TCP relay on loopback: clients connect to port(), bytes are
+/// pumped to the real server, and sever() cuts every live pair — a
+/// deterministic "connection reset, server healthy" fault for measuring the
+/// resume path on real sockets.
+class BenchRelay {
+ public:
+  explicit BenchRelay(std::uint16_t target_port) : target_port_(target_port) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::listen(listen_fd_, 8);
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    acceptor_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~BenchRelay() {
+    stopping_.store(true);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (acceptor_.joinable()) acceptor_.join();
+    sever();
+    std::vector<std::thread> pumps;
+    {
+      std::lock_guard lock(mu_);
+      pumps.swap(pumps_);
+    }
+    for (std::thread& pump : pumps) pump.join();
+    std::lock_guard lock(mu_);
+    for (const auto& [a, b] : pairs_) {
+      ::close(a);
+      ::close(b);
+    }
+  }
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  void sever() {
+    std::lock_guard lock(mu_);
+    for (const auto& [a, b] : pairs_) {
+      ::shutdown(a, SHUT_RDWR);
+      ::shutdown(b, SHUT_RDWR);
+    }
+  }
+
+ private:
+  void accept_loop() {
+    for (;;) {
+      const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (client_fd < 0) {
+        if (stopping_.load()) return;
+        continue;
+      }
+      const int server_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(target_port_);
+      if (::connect(server_fd, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) != 0) {
+        ::close(server_fd);
+        ::close(client_fd);
+        continue;
+      }
+      std::lock_guard lock(mu_);
+      if (stopping_.load()) {
+        ::close(server_fd);
+        ::close(client_fd);
+        return;
+      }
+      pairs_.push_back({client_fd, server_fd});
+      pumps_.emplace_back([client_fd, server_fd] { pump(client_fd, server_fd); });
+      pumps_.emplace_back([client_fd, server_fd] { pump(server_fd, client_fd); });
+    }
+  }
+
+  static void pump(int from, int to) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(from, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      ssize_t sent = 0;
+      while (sent < n) {
+        const ssize_t w = ::send(to, buf + sent, n - sent, MSG_NOSIGNAL);
+        if (w <= 0) { sent = -1; break; }
+        sent += w;
+      }
+      if (sent < 0) break;
+    }
+    ::shutdown(from, SHUT_RDWR);
+    ::shutdown(to, SHUT_RDWR);
+  }
+
+  std::uint16_t port_ = 0;
+  std::uint16_t target_port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex mu_;
+  std::vector<std::pair<int, int>> pairs_;
+  std::vector<std::thread> pumps_;
+};
+
+corba::RequestMessage echo_request(const corba::IOR& ior, std::uint64_t id,
+                                   const char* op,
+                                   const corba::Value& payload) {
+  corba::RequestMessage request;
+  request.request_id = id;
+  request.object_key = ior.key;
+  request.operation = op;
+  request.arguments = {payload};
+  return request;
+}
+
+void run_session_sweep() {
+  const bool smoke = bench::smoke_mode();
+  const int trials = smoke ? 5 : 40;
+  auto server = corba::ORB::init({.endpoint_name = "s", .enable_tcp = true});
+  const corba::ObjectRef ref =
+      server->activate(std::make_shared<EchoServant>());
+  const corba::Value payload(std::vector<double>(16, 1.0));
+  std::vector<bench::JsonRow> rows;
+
+  // Resume vs recovery: the same mid-stream connection loss, absorbed by the
+  // session layer (reconnect + replay, the call completes exactly-once) vs
+  // surfaced to the caller (COMM_FAILURE, reconnect, reissue) — the latency
+  // a proxy pays per reset with and without the session layer.
+  std::printf("\nM-sess — connection loss: session resume vs batched "
+              "failure + reissue\n");
+  std::printf("%-12s %8s %10s %10s %10s\n", "mode", "trials", "p50_us",
+              "p99_us", "mean_us");
+  bench::print_rule(56);
+  for (const bool sessions : {true, false}) {
+    BenchRelay relay(ref.ior().port);
+    corba::IOR ior = ref.ior();
+    ior.port = relay.port();
+    corba::TcpClientOptions options;
+    options.enable_sessions = sessions;
+    options.resume_backoff_s = 0.002;
+    corba::TcpClientTransport transport(options);
+    std::uint64_t id = 1;
+    (void)transport.invoke(ior, echo_request(ior, id++, "echo", payload));
+
+    bench::LatencyRecorder latency(sessions ? "bench.session_resume"
+                                            : "bench.session_recovery");
+    using clock = std::chrono::steady_clock;
+    for (int trial = 0; trial < trials; ++trial) {
+      relay.sever();
+      const auto start = clock::now();
+      if (sessions) {
+        // One call, one reply: the transport resumes under the covers.
+        (void)transport.invoke(ior, echo_request(ior, id++, "echo", payload));
+      } else {
+        // The caller sees the loss and must reissue (the FT-proxy pattern,
+        // minus re-resolve — this is the floor of the recovery path).
+        for (;;) {
+          try {
+            (void)transport.invoke(ior,
+                                   echo_request(ior, id++, "echo", payload));
+            break;
+          } catch (const corba::COMM_FAILURE&) {
+          }
+        }
+      }
+      latency.record(
+          std::chrono::duration<double>(clock::now() - start).count());
+    }
+    const std::string mode = sessions ? "resume" : "recovery";
+    std::printf("%-12s %8d %10.1f %10.1f %10.1f\n", mode.c_str(), trials,
+                latency.quantile(0.5) * 1e6, latency.quantile(0.99) * 1e6,
+                latency.mean() * 1e6);
+    rows.push_back({bench::jstr("mode", mode),
+                    bench::jint("trials", std::uint64_t(trials)),
+                    bench::jnum("p50_s", latency.quantile(0.5)),
+                    bench::jnum("p99_s", latency.quantile(0.99)),
+                    bench::jnum("mean_s", latency.mean())});
+  }
+
+  // Retransmit-buffer footprint: a pipelined window of `depth` unacked
+  // calls held open against a slow servant — the memory the exactly-once
+  // guarantee costs, straight from the transport.session gauge.
+  std::printf("\nM-sess — retransmit buffer vs pipeline depth\n");
+  std::printf("%8s %16s\n", "depth", "buffered_bytes");
+  bench::print_rule(26);
+  obs::Gauge& buffered =
+      obs::MetricsRegistry::global().gauge(
+          "transport.session.retransmit_buffer_bytes");
+  for (const int depth : {1, 4, 16, 64}) {
+    corba::TcpClientOptions options;
+    options.enable_sessions = true;
+    corba::TcpClientTransport transport(options);
+    const corba::IOR ior = ref.ior();
+    std::uint64_t id = 1;
+    (void)transport.invoke(ior, echo_request(ior, id++, "echo", payload));
+    const double before = buffered.value();
+    std::vector<std::unique_ptr<corba::PendingReply>> window;
+    for (int i = 0; i < depth; ++i)
+      window.push_back(
+          transport.send(ior, echo_request(ior, id++, "slow_echo", payload)));
+    const double in_flight = buffered.value() - before;
+    for (const auto& pending : window) (void)pending->get();
+    std::printf("%8d %16.0f\n", depth, in_flight);
+    rows.push_back({bench::jstr("mode", "retransmit_buffer"),
+                    bench::jint("depth", std::uint64_t(depth)),
+                    bench::jnum("buffered_bytes", in_flight)});
+  }
+
+  bench::write_bench_json("BENCH_session.json", "micro_orb_session", rows);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -341,5 +575,6 @@ int main(int argc, char** argv) {
     benchmark::Shutdown();
   }
   run_multiplex_sweep();
+  run_session_sweep();
   return 0;
 }

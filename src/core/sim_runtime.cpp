@@ -39,7 +39,8 @@ SimRuntime::SimRuntime(sim::Cluster& cluster, RuntimeOptions options)
         {.endpoint_name = endpoint,
          .network = network_,
          .client_transport_override = std::make_shared<sim::SimTransport>(
-             cluster_, network_, endpoint, options_.request_timeout),
+             cluster_, network_, endpoint, options_.request_timeout,
+             options_.enable_sessions),
          .adapter_id = ++next_adapter_id_});
     return orb;
   };

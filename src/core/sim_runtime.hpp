@@ -69,6 +69,12 @@ struct RuntimeOptions {
   /// recoverable.
   double request_timeout = 0;
 
+  /// Resumable transport sessions: a connection-reset fault then reconnects
+  /// and replays the lost frame (exactly-once completion, deterministic
+  /// resume penalty) instead of batch-failing the connection and waking the
+  /// fault-tolerance proxies.  Mirrors TcpClientOptions::enable_sessions.
+  bool enable_sessions = false;
+
   // --- recovery hardening -----------------------------------------------------
   /// Stand up a shared OfferQuarantine and wire it into naming resolution
   /// and every make_proxy_config(); repeatedly failing instances are then

@@ -33,6 +33,8 @@ struct ProxyMetrics {
       obs::MetricsRegistry::global().counter("ft.proxy.recoveries_total");
   obs::Counter& deadline_exhaustions = obs::MetricsRegistry::global().counter(
       "ft.proxy.deadline_exhaustions_total");
+  obs::Counter& resume_fallbacks = obs::MetricsRegistry::global().counter(
+      "ft.proxy.resume_fallbacks_total");
   obs::Counter& checkpoint_failures = obs::MetricsRegistry::global().counter(
       "ft.proxy.checkpoint_failures_total");
   obs::Histogram& backoff =
@@ -152,6 +154,16 @@ void ProxyEngine::on_failure(const corba::SystemException& error, int attempt,
                                std::to_string(attempt) +
                                "): sibling already recovered; re-issuing");
     return;
+  }
+  // A session-layer fallback means the transport already spent its resume
+  // budget trying to keep the calls alive; only now does the paper's
+  // recovery machinery take over.  Counted so operators can tell "flaky
+  // network absorbed by sessions" from "recovery actually needed".
+  if (error.minor() == corba::minor_code::session_resume_failed) {
+    proxy_metrics().resume_fallbacks.inc();
+    obs::timeline_event_at(at, "proxy", service_key_,
+                           "session resume exhausted; falling back to "
+                           "recovery");
   }
   obs::timeline_event_at(at, "proxy", service_key_,
                          "call failed (attempt " + std::to_string(attempt) +

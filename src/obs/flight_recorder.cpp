@@ -35,6 +35,7 @@ std::string_view to_string(FlightEvent type) noexcept {
     case FlightEvent::conn_open: return "conn_open";
     case FlightEvent::conn_close: return "conn_close";
     case FlightEvent::conn_evict: return "conn_evict";
+    case FlightEvent::session_resume: return "session_resume";
   }
   return "unknown";
 }

@@ -54,6 +54,7 @@ enum class FlightEvent : std::uint16_t {
   conn_open = 7,       ///< subject=host:port
   conn_close = 8,      ///< subject=host:port, a=in-flight calls failed
   conn_evict = 9,      ///< subject=host:port (idle TTL / LRU cull)
+  session_resume = 10, ///< subject=host:port, a=session id, b=frames replayed
 };
 
 std::string_view to_string(FlightEvent type) noexcept;

@@ -117,7 +117,8 @@ std::string render_table(const ClusterSnapshot& snapshot,
          cell("AGE", 7) + cell("RPCS", 8) + cell("RPC/S", 8) +
          cell("P50", 9) + cell("P99", 9) + cell("RECOV", 5) +
          cell("CKPT", 6) + cell("QUAR", 4) + cell("DEPTH", 5) +
-         cell("DUMPS", 5);
+         cell("DUMPS", 5) + cell("SESS", 5) + cell("RESUM", 6) +
+         cell("RETX", 5);
   out += '\n';
   std::size_t rank = 0;
   for (const NodeStatus* node : ranked) {
@@ -153,6 +154,9 @@ std::string render_table(const ClusterSnapshot& snapshot,
     out += int_cell(h.quarantined, 4);
     out += int_cell(h.dispatch_queue_depth, 5);
     out += int_cell(h.auto_dumps, 5);
+    out += int_cell(h.sessions_active, 5);
+    out += int_cell(h.session_resumes, 6);
+    out += int_cell(h.session_retransmits, 5);
     out += '\n';
   }
   if (!snapshot.offers.empty()) {
@@ -193,6 +197,10 @@ std::string render_json(const ClusterSnapshot& snapshot) {
     out += ", \"checkpoint_bytes\": " + std::to_string(h.checkpoint_bytes);
     out += ", \"flight_recorded\": " + std::to_string(h.flight_recorded);
     out += ", \"auto_dumps\": " + std::to_string(h.auto_dumps);
+    out += ", \"sessions_active\": " + std::to_string(h.sessions_active);
+    out += ", \"session_resumes\": " + std::to_string(h.session_resumes);
+    out += ", \"session_retransmits\": " +
+           std::to_string(h.session_retransmits);
     out += "}}";
   }
   out += "], \"offers\": [";

@@ -46,6 +46,9 @@ corba::Value HealthReport::to_value() const {
   fields.emplace_back(checkpoint_bytes);
   fields.emplace_back(flight_recorded);
   fields.emplace_back(auto_dumps);
+  fields.emplace_back(sessions_active);
+  fields.emplace_back(session_resumes);
+  fields.emplace_back(session_retransmits);
   return corba::Value(std::move(fields));
 }
 
@@ -69,6 +72,13 @@ HealthReport HealthReport::from_value(const corba::Value& value) {
   report.checkpoint_bytes = fields[11].as_u64();
   report.flight_recorded = fields[12].as_u64();
   report.auto_dumps = fields[13].as_u64();
+  // Session fields arrived with resumable sessions; reports from an older
+  // node simply leave them zero.
+  if (fields.size() >= 17) {
+    report.sessions_active = fields[14].as_u64();
+    report.session_resumes = fields[15].as_u64();
+    report.session_retransmits = fields[16].as_u64();
+  }
   return report;
 }
 
@@ -100,6 +110,14 @@ HealthReport TelemetryServant::health() const {
       registry.counter("ft.pipeline.bytes_shipped_total").value();
   report.flight_recorded = FlightRecorder::global().recorded();
   report.auto_dumps = FlightRecorder::global().auto_dumps();
+  const double active = registry.gauge("transport.session.active").value();
+  report.sessions_active =
+      active > 0 ? static_cast<std::uint64_t>(active) : 0;
+  report.session_resumes =
+      registry.counter("transport.session.resumes_total").value();
+  report.session_retransmits =
+      registry.counter("transport.session.retransmitted_frames_total").value() +
+      registry.counter("transport.session.replayed_replies_total").value();
   return report;
 }
 

@@ -54,6 +54,11 @@ struct HealthReport {
   std::uint64_t checkpoint_bytes = 0; ///< ft.pipeline.bytes_shipped_total
   std::uint64_t flight_recorded = 0;  ///< flight-recorder events ever written
   std::uint64_t auto_dumps = 0;       ///< flight-recorder auto-dump triggers
+  std::uint64_t sessions_active = 0;  ///< transport.session.active
+  std::uint64_t session_resumes = 0;  ///< transport.session.resumes_total
+  /// transport.session.retransmitted_frames_total +
+  /// transport.session.replayed_replies_total (both directions of replay)
+  std::uint64_t session_retransmits = 0;
 
   corba::Value to_value() const;
   static HealthReport from_value(const corba::Value& value);

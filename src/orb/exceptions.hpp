@@ -61,6 +61,8 @@ inline constexpr std::uint32_t connection_lost = 2;
 inline constexpr std::uint32_t host_down = 3;
 inline constexpr std::uint32_t endpoint_unknown = 4;
 inline constexpr std::uint32_t server_crashed = 5;
+inline constexpr std::uint32_t session_resume_failed = 6;
+inline constexpr std::uint32_t session_overflow = 7;
 }  // namespace minor_code
 
 #define CORBAFT_DEFINE_SYSTEM_EXCEPTION(NAME)                                \

@@ -41,7 +41,7 @@ MessageHeader MessageHeader::decode(std::span<const std::byte> bytes) {
   if (order > 1) throw MARSHAL("bad byte-order flag");
   h.byte_order = static_cast<ByteOrder>(order);
   const auto type = static_cast<std::uint8_t>(bytes[7]);
-  if (type > static_cast<std::uint8_t>(MessageType::message_error))
+  if (type > static_cast<std::uint8_t>(MessageType::session_accept))
     throw MARSHAL("bad message type");
   h.type = static_cast<MessageType>(type);
   h.body_length = static_cast<std::uint32_t>(bytes[8]) |
@@ -128,6 +128,61 @@ void attach_trace_context(RequestMessage& request,
       ServiceContext{kTraceContextSlot, payload.take_buffer()});
 }
 
+void attach_session_context(RequestMessage& request,
+                            const SessionContext& context) {
+  CdrOutputStream payload(ByteOrder::little_endian);
+  payload.write_u64(context.seq);
+  payload.write_u64(context.ack);
+  for (ServiceContext& ctx : request.service_contexts) {
+    if (ctx.id == kSessionContextSlot) {
+      ctx.data = payload.take_buffer();
+      return;
+    }
+  }
+  request.service_contexts.push_back(
+      ServiceContext{kSessionContextSlot, payload.take_buffer()});
+}
+
+std::optional<SessionContext> extract_session_context(
+    const RequestMessage& request) {
+  for (const ServiceContext& ctx : request.service_contexts) {
+    if (ctx.id != kSessionContextSlot) continue;
+    if (ctx.data.size() < 16) return std::nullopt;  // malformed: ignore
+    CdrInputStream in(ctx.data, ByteOrder::little_endian);
+    SessionContext out;
+    out.seq = in.read_u64();
+    out.ack = in.read_u64();
+    return out;
+  }
+  return std::nullopt;
+}
+
+void SessionHello::encode_body(CdrOutputStream& out) const {
+  out.write_u64(session_id);
+  out.write_u64(highest_reply_seq);
+}
+
+SessionHello SessionHello::decode_body(CdrInputStream& in) {
+  SessionHello hello;
+  hello.session_id = in.read_u64();
+  hello.highest_reply_seq = in.read_u64();
+  return hello;
+}
+
+void SessionAccept::encode_body(CdrOutputStream& out) const {
+  out.write_bool(ok);
+  out.write_u64(session_id);
+  out.write_u64(highest_request_seq);
+}
+
+SessionAccept SessionAccept::decode_body(CdrInputStream& in) {
+  SessionAccept accept;
+  accept.ok = in.read_bool();
+  accept.session_id = in.read_u64();
+  accept.highest_request_seq = in.read_u64();
+  return accept;
+}
+
 std::optional<obs::TraceContext> extract_trace_context(
     const RequestMessage& request) {
   for (const ServiceContext& ctx : request.service_contexts) {
@@ -161,6 +216,12 @@ void ReplyMessage::encode_body(CdrOutputStream& out) const {
       out.write_octet(static_cast<std::uint8_t>(completion));
       break;
   }
+  // Session seq/ack is a tail-optional extension like a request's service
+  // contexts: with sessions off nothing is written and the reply stays
+  // byte-identical to the pre-session format.
+  if (!has_session) return;
+  out.write_u64(session_seq);
+  out.write_u64(session_ack);
 }
 
 ReplyMessage ReplyMessage::decode_body(CdrInputStream& in) {
@@ -189,12 +250,18 @@ ReplyMessage ReplyMessage::decode_body(CdrInputStream& in) {
       break;
     }
   }
+  if (!in.at_end()) {
+    rep.has_session = true;
+    rep.session_seq = in.read_u64();
+    rep.session_ack = in.read_u64();
+  }
   return rep;
 }
 
 std::size_t ReplyMessage::encoded_size_estimate() const noexcept {
   return MessageHeader::kEncodedSize + 8 + 1 + result.encoded_size_estimate() +
-         exception_id.size() + exception_detail.size();
+         exception_id.size() + exception_detail.size() +
+         (has_session ? 24 : 0);
 }
 
 Value ReplyMessage::result_or_throw() const {

@@ -27,6 +27,11 @@ enum class MessageType : std::uint8_t {
   reply = 1,
   close_connection = 2,
   message_error = 3,
+  /// Resumable-session handshake (client -> server, first frame on a
+  /// connection when sessions are enabled).
+  session_hello = 4,
+  /// Handshake answer (server -> client).
+  session_accept = 5,
 };
 
 /// Fixed 12-byte message header (wire layout mirrors GIOP 1.0).
@@ -59,6 +64,45 @@ struct ServiceContext {
 /// message's byte order).
 inline constexpr std::uint32_t kTraceContextSlot = 1;
 
+/// Service-context slot carrying a SessionContext (two u64: session sequence
+/// number of this request, cumulative ack of received replies; always
+/// little-endian like the trace slot).
+inline constexpr std::uint32_t kSessionContextSlot = 2;
+
+/// Per-request session metadata piggybacked on normal traffic: `seq` orders
+/// this request within its session, `ack` acknowledges every reply with a
+/// session sequence number <= ack (cumulative), letting the server evict
+/// those frames from its retransmit buffer.
+struct SessionContext {
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+};
+
+/// First frame a session-enabled client sends on a (re)connected socket.
+/// session_id == 0 asks for a fresh session; a nonzero id resumes an
+/// existing one, and highest_reply_seq tells the server which buffered
+/// replies the client already has (the rest are replayed).
+struct SessionHello {
+  std::uint64_t session_id = 0;
+  std::uint64_t highest_reply_seq = 0;
+
+  void encode_body(CdrOutputStream& out) const;
+  static SessionHello decode_body(CdrInputStream& in);
+};
+
+/// Server's handshake answer.  ok == false rejects a stale/unknown session
+/// (the client falls back to the batched-failure path); on success
+/// highest_request_seq tells the client which buffered requests the server
+/// already received, so only the missing tail is retransmitted.
+struct SessionAccept {
+  bool ok = true;
+  std::uint64_t session_id = 0;
+  std::uint64_t highest_request_seq = 0;
+
+  void encode_body(CdrOutputStream& out) const;
+  static SessionAccept decode_body(CdrInputStream& in);
+};
+
 /// An invocation request: target object key + operation + tagged arguments.
 struct RequestMessage {
   std::uint64_t request_id = 0;
@@ -88,6 +132,15 @@ void attach_trace_context(RequestMessage& request,
 std::optional<obs::TraceContext> extract_trace_context(
     const RequestMessage& request);
 
+/// Appends `context` to the request's service contexts under
+/// kSessionContextSlot (replacing any slot already there).
+void attach_session_context(RequestMessage& request,
+                            const SessionContext& context);
+
+/// Decodes the kSessionContextSlot payload, if present and well-formed.
+std::optional<SessionContext> extract_session_context(
+    const RequestMessage& request);
+
 enum class ReplyStatus : std::uint8_t {
   no_exception = 0,
   user_exception = 1,
@@ -103,6 +156,14 @@ struct ReplyMessage {
   std::string exception_detail;
   std::uint32_t exception_minor = 0;
   CompletionStatus completion = CompletionStatus::completed_yes;
+  /// Tail-optional session fields (resumable sessions): when has_session is
+  /// false nothing extra is written, so session-free replies stay
+  /// byte-identical to the pre-session wire format.  session_seq orders this
+  /// reply within the session; session_ack cumulatively acknowledges every
+  /// request with seq <= session_ack.
+  bool has_session = false;
+  std::uint64_t session_seq = 0;
+  std::uint64_t session_ack = 0;
 
   void encode_body(CdrOutputStream& out) const;
   static ReplyMessage decode_body(CdrInputStream& in);

@@ -1,0 +1,77 @@
+#include "orb/session.hpp"
+
+namespace corba {
+
+SessionMetrics& session_metrics() {
+  static SessionMetrics metrics;
+  return metrics;
+}
+
+void RetransmitBuffer::append(std::uint64_t seq, std::uint64_t request_id,
+                              std::vector<std::byte> bytes) {
+  bytes_ += bytes.size();
+  session_metrics().buffered_bytes.add(static_cast<double>(bytes.size()));
+  frames_.push_back(SessionFrame{seq, request_id, std::move(bytes)});
+}
+
+std::size_t RetransmitBuffer::ack(std::uint64_t ack_seq) {
+  std::size_t evicted = 0;
+  while (!frames_.empty() && frames_.front().seq <= ack_seq) {
+    bytes_ -= frames_.front().bytes.size();
+    session_metrics().buffered_bytes.add(
+        -static_cast<double>(frames_.front().bytes.size()));
+    frames_.pop_front();
+    ++evicted;
+  }
+  return evicted;
+}
+
+std::optional<SessionFrame> RetransmitBuffer::evict_oldest() {
+  if (frames_.empty()) return std::nullopt;
+  SessionFrame frame = std::move(frames_.front());
+  frames_.pop_front();
+  bytes_ -= frame.bytes.size();
+  session_metrics().buffered_bytes.add(
+      -static_cast<double>(frame.bytes.size()));
+  return frame;
+}
+
+std::vector<const SessionFrame*> RetransmitBuffer::after(
+    std::uint64_t peer_highest) const {
+  std::vector<const SessionFrame*> out;
+  for (const SessionFrame& frame : frames_)
+    if (frame.seq > peer_highest) out.push_back(&frame);
+  return out;
+}
+
+void RetransmitBuffer::release_gauge() noexcept {
+  if (bytes_ > 0)
+    session_metrics().buffered_bytes.add(-static_cast<double>(bytes_));
+  bytes_ = 0;
+  frames_.clear();
+}
+
+std::shared_ptr<ServerSession> SessionTable::create() {
+  std::lock_guard lock(mu_);
+  auto session = std::make_shared<ServerSession>(next_id_++, reply_limit_);
+  // Cap the table: drop the oldest session first.  A client resuming a
+  // culled session is rejected and falls back to batched failure, exactly
+  // like a stale session after a server restart.
+  while (sessions_.size() >= max_sessions_)
+    sessions_.erase(sessions_.begin());
+  sessions_.emplace(session->id, session);
+  return session;
+}
+
+std::shared_ptr<ServerSession> SessionTable::find(std::uint64_t id) const {
+  std::lock_guard lock(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::size_t SessionTable::size() const {
+  std::lock_guard lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace corba

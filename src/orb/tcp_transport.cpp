@@ -1,6 +1,7 @@
 #include "orb/tcp_transport.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -38,6 +39,14 @@ struct MuxMetrics {
       "transport.tcp.pipelined_total");
   obs::Counter& discarded = obs::MetricsRegistry::global().counter(
       "transport.tcp.discarded_replies_total");
+  /// discarded_replies_total split by reason: `late` is the reply of a call
+  /// its caller abandoned (timeout / dropped handle) — its pending-table
+  /// entry is reaped on arrival; `duplicate` is a reply nobody ever waited
+  /// for under that id (session replay duplicates, stray frames).
+  obs::Counter& discarded_late = obs::MetricsRegistry::global().counter(
+      "transport.tcp.discarded_replies_late_total");
+  obs::Counter& discarded_duplicate = obs::MetricsRegistry::global().counter(
+      "transport.tcp.discarded_replies_duplicate_total");
   obs::Counter& batch_failed = obs::MetricsRegistry::global().counter(
       "transport.tcp.batched_failures_total");
   obs::Counter& idle_closed = obs::MetricsRegistry::global().counter(
@@ -79,7 +88,8 @@ void Socket::close() noexcept {
   }
 }
 
-Socket Socket::connect(const std::string& host, std::uint16_t port) {
+Socket Socket::connect(const std::string& host, std::uint16_t port,
+                       double timeout_s) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0)
     throw_errno("socket", minor_code::connect_failed,
@@ -91,9 +101,56 @@ Socket Socket::connect(const std::string& host, std::uint16_t port) {
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
     throw COMM_FAILURE("bad address '" + host + "'", minor_code::connect_failed,
                        CompletionStatus::completed_no);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+  // Non-blocking connect + EINTR-safe poll: a black-holed SYN honors the
+  // caller's deadline budget instead of the kernel's minutes-long default.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS)
     throw_errno("connect to " + host + ":" + std::to_string(port),
                 minor_code::connect_failed, CompletionStatus::completed_no);
+  if (rc != 0) {
+    const auto deadline =
+        timeout_s > 0
+            ? std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(timeout_s))
+            : std::chrono::steady_clock::time_point::max();
+    for (;;) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline)
+        throw COMM_FAILURE(
+            "connect to " + host + ":" + std::to_string(port) + " timed out",
+            minor_code::connect_failed, CompletionStatus::completed_no);
+      int slice_ms = kPollIntervalMs;
+      if (deadline != std::chrono::steady_clock::time_point::max()) {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                  now)
+                .count();
+        slice_ms = static_cast<int>(
+            std::min<long long>(slice_ms, std::max<long long>(1, remaining)));
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1, slice_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("poll", minor_code::connect_failed,
+                    CompletionStatus::completed_no);
+      }
+      if (pr > 0) break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      if (err != 0) errno = err;
+      throw_errno("connect to " + host + ":" + std::to_string(port),
+                  minor_code::connect_failed, CompletionStatus::completed_no);
+    }
+  }
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags);  // restore blocking mode
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return socket;
@@ -278,9 +335,11 @@ class TcpMuxPendingReply final : public PendingReply {
 
   /// Abandon this call only (deadline expired, reply still pending).  The
   /// connection and every other in-flight call on it stay healthy; the next
-  /// leader discards our late reply when (if) it arrives.
+  /// leader discards our late reply when (if) it arrives, reaping the
+  /// abandoned-call entry it leaves behind.
   [[noreturn]] ReplyMessage timeout(std::unique_lock<std::mutex>& lock) {
-    connection_->waiters_.erase(request_id_);
+    if (connection_->waiters_.erase(request_id_) > 0)
+      connection_->abandoned_.insert(request_id_);
     lock.unlock();
     mux_metrics().inflight.add(-1);
     throw TIMEOUT("no reply within the request timeout",
@@ -289,8 +348,9 @@ class TcpMuxPendingReply final : public PendingReply {
 
   void abandon() noexcept {
     std::lock_guard lock(connection_->mu_);
-    if (!waiter_->done.load(std::memory_order_acquire))
-      connection_->waiters_.erase(request_id_);
+    if (!waiter_->done.load(std::memory_order_acquire) &&
+        connection_->waiters_.erase(request_id_) > 0)
+      connection_->abandoned_.insert(request_id_);
     mux_metrics().inflight.add(-1);
   }
 
@@ -301,13 +361,67 @@ class TcpMuxPendingReply final : public PendingReply {
   bool consumed_ = false;
 };
 
-std::shared_ptr<TcpConnection> TcpConnection::open(const std::string& host,
-                                                   std::uint16_t port) {
+namespace {
+
+/// Client half of the session handshake: sends hello, waits for accept.
+SessionAccept client_handshake(Socket& socket, std::uint64_t session_id,
+                               std::uint64_t highest_reply_seq,
+                               double timeout_s) {
+  CdrOutputStream hello_body;
+  SessionHello{session_id, highest_reply_seq}.encode_body(hello_body);
+  socket.send_frame(MessageType::session_hello, hello_body);
+  MessageHeader header;
+  std::vector<std::byte> body;
+  if (!socket.recv_frame(header, body, nullptr, timeout_s))
+    throw COMM_FAILURE("connection closed during session handshake",
+                       minor_code::connection_lost,
+                       CompletionStatus::completed_no);
+  if (header.type != MessageType::session_accept)
+    throw MARSHAL("unexpected message type in session handshake");
+  CdrInputStream in(body, header.byte_order);
+  return SessionAccept::decode_body(in);
+}
+
+}  // namespace
+
+std::shared_ptr<TcpConnection> TcpConnection::open(
+    const std::string& host, std::uint16_t port,
+    const TcpClientOptions& options) {
   auto connection = std::shared_ptr<TcpConnection>(
-      new TcpConnection(Socket::connect(host, port)));
+      new TcpConnection(Socket::connect(host, port, options.connect_timeout_s)));
   connection->peer_ = host + ":" + std::to_string(port);
+  connection->host_ = host;
+  connection->port_ = port;
+  connection->options_ = options;
   obs::flight_event(obs::FlightEvent::conn_open, connection->peer_);
+  if (options.enable_sessions) {
+    const SessionAccept accept = client_handshake(
+        connection->socket_, 0, 0, options.connect_timeout_s);
+    if (!accept.ok)
+      throw COMM_FAILURE("server refused session", minor_code::connect_failed,
+                         CompletionStatus::completed_no);
+    connection->session_active_ = true;
+    connection->session_id_ = accept.session_id;
+    connection->retransmit_ =
+        std::make_unique<RetransmitBuffer>(options.session_retransmit_limit);
+    session_metrics().active.add(1);
+  }
   return connection;
+}
+
+std::uint64_t TcpConnection::session_id() const {
+  std::lock_guard lock(mu_);
+  return session_id_;
+}
+
+std::size_t TcpConnection::retransmit_buffered() const {
+  std::lock_guard lock(mu_);
+  return retransmit_ ? retransmit_->size() : 0;
+}
+
+bool TcpConnection::session_active() const {
+  std::lock_guard lock(mu_);
+  return session_active_;
 }
 
 TcpConnection::TcpConnection(Socket socket) : socket_(std::move(socket)) {
@@ -331,10 +445,57 @@ double TcpConnection::last_used() const {
 
 void TcpConnection::write_frame(const RequestMessage& request) {
   std::lock_guard lock(write_mu_);
-  FrameBuilder frame = socket_.start_frame(MessageType::request,
-                                           request.encoded_size_estimate());
-  request.encode_body(frame.body());
-  socket_.finish_frame(frame);
+  if (!retransmit_) {
+    // Sessions off: the original zero-copy scratch path, byte-identical
+    // frames.
+    FrameBuilder frame = socket_.start_frame(MessageType::request,
+                                             request.encoded_size_estimate());
+    request.encode_body(frame.body());
+    socket_.finish_frame(frame);
+    return;
+  }
+  // Session path: stamp seq/ack, encode into an owned buffer and append it
+  // to the retransmit buffer *before* the write — a mid-write connection
+  // loss then just leaves the frame for the resume replay.  Holding
+  // write_mu_ across assignment and write keeps wire order equal to seq
+  // order, which the server's cumulative duplicate check depends on.
+  std::vector<std::byte> bytes;
+  {
+    std::lock_guard state(mu_);
+    RequestMessage stamped = request;
+    const std::uint64_t seq = next_send_seq_++;
+    attach_session_context(stamped, SessionContext{seq, highest_reply_seq_});
+    FrameBuilder frame(MessageType::request);
+    frame.body().reserve(stamped.encoded_size_estimate());
+    stamped.encode_body(frame.body());
+    bytes = frame.finish();
+    if (retransmit_->full()) overflow_evict_locked();
+    retransmit_->append(seq, request.request_id, bytes);
+  }
+  try {
+    socket_.send_bytes(bytes);
+  } catch (const Exception&) {
+    // The frame is safely buffered: kick the socket so the leader notices
+    // the loss and runs the resume protocol; the caller's waiter stays
+    // registered and completes through the replay.
+    if (socket_.valid()) ::shutdown(socket_.fd(), SHUT_RDWR);
+  }
+}
+
+void TcpConnection::overflow_evict_locked() {
+  auto victim = retransmit_->evict_oldest();
+  if (!victim) return;
+  session_metrics().overflow_failures.inc();
+  auto it = waiters_.find(victim->request_id);
+  if (it == waiters_.end()) return;  // oneway or already completed
+  const std::shared_ptr<Waiter> owner = std::move(it->second);
+  waiters_.erase(it);
+  abandoned_.insert(victim->request_id);  // its late reply counts as late
+  owner->error = std::make_exception_ptr(COMM_FAILURE(
+      "session retransmit buffer overflow: oldest in-flight call failed",
+      minor_code::session_overflow, CompletionStatus::completed_maybe));
+  owner->done.store(true, std::memory_order_release);
+  owner->cv.notify_one();
 }
 
 std::unique_ptr<PendingReply> TcpConnection::send(const RequestMessage& request,
@@ -405,12 +566,20 @@ void TcpConnection::fail_all_locked(const std::exception_ptr& error) {
     waiter->cv.notify_one();
   }
   waiters_.clear();
+  abandoned_.clear();
+  if (session_active_) {
+    session_active_ = false;
+    session_metrics().active.add(-1);
+  }
+  if (retransmit_) retransmit_->ack(UINT64_MAX);  // release the buffered bytes
   // A batch of in-flight calls going down together is the canonical "what
   // just happened" moment — flush the flight recorder to any installed sink.
   if (victims > 1) obs::flight_auto_dump("batched COMM_FAILURE on " + peer_);
 }
 
-bool TcpConnection::read_one_locked(std::unique_lock<std::mutex>& lock) {
+bool TcpConnection::read_one_locked(
+    std::unique_lock<std::mutex>& lock,
+    std::chrono::steady_clock::time_point deadline) {
   lock.unlock();
   std::exception_ptr failure;
   ReplyMessage reply;
@@ -436,14 +605,28 @@ bool TcpConnection::read_one_locked(std::unique_lock<std::mutex>& lock) {
   }
   lock.lock();
   if (!have_reply) {
-    fail_all_locked(failure);
-    return false;
+    return handle_failure_locked(lock, failure, deadline);
+  }
+  if (reply.has_session) {
+    if (reply.session_seq <= highest_reply_seq_) {
+      // A replayed reply we already consumed before the connection cut.
+      mux_metrics().discarded.inc();
+      mux_metrics().discarded_duplicate.inc();
+      return true;
+    }
+    highest_reply_seq_ = reply.session_seq;
+    if (retransmit_) retransmit_->ack(reply.session_ack);  // cumulative
   }
   auto it = waiters_.find(reply.request_id);
   if (it == waiters_.end()) {
-    // Duplicate, late (timed-out) or stray reply: ignore it.  Every waiter
-    // is completed exactly once.
+    // Late (timed-out/abandoned) or stray reply: ignore it.  Every waiter
+    // is completed exactly once.  An abandoned call's entry is reaped here,
+    // when its discarded reply finally arrives.
     mux_metrics().discarded.inc();
+    if (abandoned_.erase(reply.request_id) > 0)
+      mux_metrics().discarded_late.inc();
+    else
+      mux_metrics().discarded_duplicate.inc();
     return true;
   }
   const std::shared_ptr<Waiter> owner = std::move(it->second);
@@ -452,6 +635,104 @@ bool TcpConnection::read_one_locked(std::unique_lock<std::mutex>& lock) {
   owner->done.store(true, std::memory_order_release);
   owner->cv.notify_one();  // wake exactly the caller this reply is for
   return true;
+}
+
+bool TcpConnection::handle_failure_locked(
+    std::unique_lock<std::mutex>& lock, const std::exception_ptr& failure,
+    std::chrono::steady_clock::time_point deadline) {
+  if (resume_locked(lock, deadline)) return true;
+  if (session_active_) {
+    // Resume was tried and lost (attempts budget, caller deadline, or the
+    // server rejected the stale session): fire the batched-failure path with
+    // a minor code the FT proxy can attribute to an exhausted resume.
+    fail_all_locked(std::make_exception_ptr(COMM_FAILURE(
+        "session resume failed; falling back to batched failure",
+        minor_code::session_resume_failed, CompletionStatus::completed_maybe)));
+  } else {
+    fail_all_locked(failure);
+  }
+  return false;
+}
+
+bool TcpConnection::resume_locked(
+    std::unique_lock<std::mutex>& lock,
+    std::chrono::steady_clock::time_point deadline) {
+  if (!session_active_ || closing_.load(std::memory_order_acquire))
+    return false;
+  // Only the leader reaches this point (leader_active_ excludes concurrent
+  // resumers and no other thread reads the socket); writers that hit the
+  // dead socket meanwhile have already parked their frames in the
+  // retransmit buffer, so they are covered by the replay below.
+  for (int attempt = 1; attempt <= options_.resume_attempts; ++attempt) {
+    if (closing_.load(std::memory_order_acquire)) return false;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    const std::uint64_t session_id = session_id_;
+    const std::uint64_t hello_ack = highest_reply_seq_;
+    lock.unlock();
+    Socket fresh;
+    SessionAccept accept;
+    bool connected = false;
+    try {
+      double budget = options_.connect_timeout_s;
+      if (deadline != std::chrono::steady_clock::time_point::max()) {
+        const double remaining =
+            std::chrono::duration<double>(deadline -
+                                          std::chrono::steady_clock::now())
+                .count();
+        if (remaining > 0)
+          budget = budget > 0 ? std::min(budget, remaining) : remaining;
+      }
+      fresh = Socket::connect(host_, port_, budget);
+      accept = client_handshake(fresh, session_id, hello_ack, budget);
+      connected = true;
+    } catch (const Exception&) {
+      // Connect refused/timed out or the handshake broke: retry after a
+      // pause (below), within the attempts and deadline budgets.
+    }
+    if (connected && !accept.ok) {
+      // The server no longer knows this session (restart, table cull, or a
+      // gapped reply buffer): resuming cannot be exactly-once, so give up
+      // immediately and let the batched-failure path fire.
+      lock.lock();
+      session_metrics().resume_failures.inc();
+      return false;
+    }
+    if (connected) {
+      // Swap the socket and replay the unacknowledged tail.  Lock order is
+      // write_mu_ -> mu_, so mu_ stays dropped until both are taken; no
+      // writer can interleave a new frame before the replayed ones.
+      bool replay_ok = true;
+      std::size_t replayed = 0;
+      {
+        std::lock_guard writer(write_mu_);
+        std::lock_guard state(mu_);
+        try {
+          for (const SessionFrame* frame :
+               retransmit_->after(accept.highest_request_seq)) {
+            fresh.send_bytes(frame->bytes);
+            ++replayed;
+          }
+          socket_ = std::move(fresh);
+        } catch (const Exception&) {
+          replay_ok = false;  // the fresh socket died too: next attempt
+        }
+      }
+      lock.lock();
+      if (!replay_ok) continue;
+      if (closing_.load(std::memory_order_acquire)) return false;
+      session_metrics().resumes.inc();
+      if (replayed > 0) session_metrics().retransmitted.inc(replayed);
+      obs::flight_event(obs::FlightEvent::session_resume, peer_, session_id_,
+                        replayed);
+      touch();
+      return true;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.resume_backoff_s));
+    lock.lock();
+  }
+  session_metrics().resume_failures.inc();
+  return false;
 }
 
 bool TcpConnection::lead(std::unique_lock<std::mutex>& lock,
@@ -489,10 +770,10 @@ bool TcpConnection::lead(std::unique_lock<std::mutex>& lock,
     }
     lock.lock();
     if (failure) {
-      fail_all_locked(failure);
+      if (handle_failure_locked(lock, failure, deadline)) continue;
       return true;
     }
-    if (readable && !read_one_locked(lock)) return true;
+    if (readable && !read_one_locked(lock, deadline)) return true;
   }
   return true;
 }
@@ -509,10 +790,13 @@ void TcpConnection::drain_available_locked(std::unique_lock<std::mutex>& lock) {
     }
     lock.lock();
     if (failure) {
-      fail_all_locked(failure);
+      handle_failure_locked(lock, failure,
+                            std::chrono::steady_clock::time_point::max());
       return;
     }
-    if (!readable || !read_one_locked(lock)) return;
+    if (!readable ||
+        !read_one_locked(lock, std::chrono::steady_clock::time_point::max()))
+      return;
   }
 }
 
@@ -613,7 +897,7 @@ std::shared_ptr<TcpConnection> TcpClientTransport::connection_for(
   // Connect without holding conn_mu_ (a slow or dead host must not stall
   // calls to other targets).  If we lose the race with another opener, adopt
   // the connection that won.
-  auto opened = TcpConnection::open(target.host, target.port);
+  auto opened = TcpConnection::open(target.host, target.port, options_);
   std::shared_ptr<TcpConnection> loser;
   {
     std::lock_guard lock(conn_mu_);
@@ -757,7 +1041,7 @@ Socket TcpClientTransport::checkout(const std::string& host,
       return socket;
     }
   }
-  return Socket::connect(host, port);
+  return Socket::connect(host, port, options_.connect_timeout_s);
 }
 
 void TcpClientTransport::checkin(const std::string& host, std::uint16_t port,
@@ -783,6 +1067,47 @@ void TcpServerEndpoint::Connection::write_reply(
     // Peer is gone; let the receive loop notice and wind the connection
     // down.  Never close the fd from a writer thread.
     dead.store(true, std::memory_order_release);
+  }
+}
+
+void TcpServerEndpoint::write_session_reply(
+    const std::shared_ptr<ServerSession>& session,
+    const std::shared_ptr<Connection>& fallback, ReplyMessage reply) noexcept {
+  try {
+    // Holding the session mutex across assignment *and* write keeps reply
+    // wire order equal to reply seq order per session — the client's
+    // cumulative highest-reply bookkeeping (and therefore replay) depends
+    // on it.  Lock order: session->mu, then the connection's write_mu.
+    std::lock_guard slock(session->mu);
+    reply.has_session = true;
+    reply.session_seq = session->next_reply_seq++;
+    reply.session_ack = session->highest_request_seq;
+    CdrOutputStream body;
+    reply.encode_body(body);
+    std::vector<std::byte> frame = encode_frame(MessageType::reply, body);
+    // Buffer before writing: a write failure (or a dead connection) leaves
+    // the frame for the next resume's replay instead of losing the reply.
+    if (session->replies.full()) {
+      session->replies.evict_oldest();
+      session->gapped = true;  // replay can no longer cover the hole
+    }
+    session->replies.append(reply.session_seq, reply.request_id, frame);
+    // Route to the session's *current* connection: a completion finishing
+    // after a resume must land on the resumed socket, not the dead one the
+    // request arrived on.
+    auto connection =
+        std::static_pointer_cast<Connection>(session->carrier.lock());
+    if (!connection) connection = fallback;
+    if (!connection || connection->dead.load(std::memory_order_acquire))
+      return;  // buffered; the replay will deliver it
+    std::lock_guard wlock(connection->write_mu);
+    try {
+      connection->socket.send_bytes(frame);
+    } catch (const Exception&) {
+      connection->dead.store(true, std::memory_order_release);
+    }
+  } catch (...) {
+    // Encoding failed: nothing sensible to do from a completion thread.
   }
 }
 
@@ -876,11 +1201,59 @@ void TcpServerEndpoint::connection_loop(std::shared_ptr<Connection> connection) 
   // last queued reply for this connection has been written.
   MessageHeader header;
   std::vector<std::byte> body;
+  std::shared_ptr<ServerSession> session;
   while (!stopping_.load(std::memory_order_relaxed) &&
          !connection->dead.load(std::memory_order_acquire)) {
     try {
       if (!connection->socket.recv_frame(header, body, &stopping_)) return;
       if (header.type == MessageType::close_connection) return;
+      if (header.type == MessageType::session_hello) {
+        CdrInputStream in(body, header.byte_order);
+        const SessionHello hello = SessionHello::decode_body(in);
+        session = hello.session_id == 0 ? sessions_.create()
+                                        : sessions_.find(hello.session_id);
+        SessionAccept accept;
+        accept.ok = false;
+        std::vector<std::vector<std::byte>> replay;
+        if (session) {
+          std::lock_guard slock(session->mu);
+          if (session->gapped) {
+            session.reset();  // reply buffer has a hole: resume is unsafe
+          } else {
+            accept.ok = true;
+            accept.session_id = session->id;
+            accept.highest_request_seq = session->highest_request_seq;
+            session->carrier = connection;
+            session->replies.ack(hello.highest_reply_seq);
+            for (const SessionFrame* frame :
+                 session->replies.after(hello.highest_reply_seq))
+              replay.push_back(frame->bytes);
+            // Send accept + replay while still holding session->mu so a
+            // completing dispatch cannot interleave a new reply before the
+            // replayed ones (lock order: session->mu, then write_mu).
+            std::lock_guard wlock(connection->write_mu);
+            CdrOutputStream accept_body;
+            accept.encode_body(accept_body);
+            connection->socket.send_frame(MessageType::session_accept,
+                                          accept_body);
+            for (const auto& bytes : replay)
+              connection->socket.send_bytes(bytes);
+          }
+        }
+        if (!accept.ok) {
+          // Unknown/stale session (restart, table cull) or a gapped reply
+          // buffer: an exactly-once resume is impossible — reject and let
+          // the client fall back to the batched-failure path.
+          std::lock_guard wlock(connection->write_mu);
+          CdrOutputStream accept_body;
+          accept.encode_body(accept_body);
+          connection->socket.send_frame(MessageType::session_accept,
+                                        accept_body);
+        }
+        if (!replay.empty())
+          session_metrics().replayed_replies.inc(replay.size());
+        continue;
+      }
       if (header.type != MessageType::request) {
         std::lock_guard lock(connection->write_mu);
         CdrOutputStream empty;
@@ -889,11 +1262,33 @@ void TcpServerEndpoint::connection_loop(std::shared_ptr<Connection> connection) 
       }
       CdrInputStream in(body, header.byte_order);
       RequestMessage request = RequestMessage::decode_body(in);
+      if (session) {
+        if (const auto ctx = extract_session_context(request)) {
+          std::lock_guard slock(session->mu);
+          session->replies.ack(ctx->ack);  // piggybacked cumulative ack
+          if (ctx->seq <= session->highest_request_seq) {
+            // Replayed duplicate: the request already executed (or still
+            // is).  Its reply reaches the client through the session's
+            // reply buffer — the hello replay carried it, or the in-flight
+            // completion will land on the resumed connection — so the
+            // duplicate is suppressed, never re-executed.
+            session_metrics().duplicates_suppressed.inc();
+            continue;
+          }
+          session->highest_request_seq = ctx->seq;
+        }
+      }
       DispatchPool::Completion done;
-      if (request.response_expected)
-        done = [connection](ReplyMessage reply) {
-          connection->write_reply(reply);
-        };
+      if (request.response_expected) {
+        if (session)
+          done = [session, connection](ReplyMessage reply) {
+            write_session_reply(session, connection, std::move(reply));
+          };
+        else
+          done = [connection](ReplyMessage reply) {
+            connection->write_reply(reply);
+          };
+      }
       // May block when the pool is at capacity: the receive loop then stops
       // reading and TCP flow control pushes back to the client (bounded
       // server memory under overload).

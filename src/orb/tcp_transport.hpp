@@ -39,8 +39,10 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "orb/session.hpp"
 #include "orb/transport.hpp"
 
 namespace corba {
@@ -56,7 +58,11 @@ class Socket {
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
 
-  static Socket connect(const std::string& host, std::uint16_t port);
+  /// Connects with a non-blocking connect + EINTR-safe poll so `timeout_s`
+  /// (> 0) bounds the TCP handshake — a black-holed SYN respects the
+  /// caller's deadline budget instead of the kernel default.  0 = unbounded.
+  static Socket connect(const std::string& host, std::uint16_t port,
+                        double timeout_s = 0);
 
   bool valid() const noexcept { return fd_ >= 0; }
   int fd() const noexcept { return fd_; }
@@ -64,6 +70,9 @@ class Socket {
 
   /// Writes an entire frame (header + body).
   void send_frame(MessageType type, const CdrOutputStream& body);
+
+  /// Writes pre-encoded frame bytes (session retransmit/replay path).
+  void send_bytes(std::span<const std::byte> data) { write_all(data); }
 
   /// Zero-copy frame path: start_frame hands out a FrameBuilder backed by
   /// this socket's scratch buffer (pre-sized to `size_hint`); finish_frame
@@ -118,6 +127,30 @@ struct TcpClientOptions {
   /// opened.  Connections with calls in flight are never culled, so the cap
   /// can be exceeded transiently under load.
   std::size_t max_connections = 64;
+
+  // --- resumable sessions ---------------------------------------------------
+  /// Negotiate a session per connection and stamp every request/reply with a
+  /// session sequence number, so a lost connection is *resumed* (reconnect
+  /// to the same endpoint + replay of unacknowledged frames) instead of
+  /// batch-failing every in-flight call.  Off by default; when off the wire
+  /// bytes are identical to the pre-session format.
+  bool enable_sessions = false;
+
+  /// Hard cap on unacknowledged request frames buffered for retransmission.
+  /// Appending beyond it fails the *oldest* in-flight call with
+  /// COMM_FAILURE (minor_code::session_overflow).
+  std::size_t session_retransmit_limit = 256;
+
+  /// Reconnect attempts before a resume is abandoned and the batched
+  /// COMM_FAILURE path (minor_code::session_resume_failed) fires.
+  int resume_attempts = 3;
+
+  /// Pause between reconnect attempts.
+  double resume_backoff_s = 0.05;
+
+  /// Bound on each (re)connect's TCP handshake and on the session
+  /// handshake's reply wait; 0 = unbounded.
+  double connect_timeout_s = 10.0;
 };
 
 /// One multiplexed connection: a socket, a write mutex, and leader/followers
@@ -125,8 +158,12 @@ struct TcpClientOptions {
 /// replies to per-request waiters by request id.
 class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
  public:
+  /// Opens the socket and, when options.enable_sessions is set, performs the
+  /// session handshake (hello/accept) before returning.
   static std::shared_ptr<TcpConnection> open(const std::string& host,
-                                             std::uint16_t port);
+                                             std::uint16_t port,
+                                             const TcpClientOptions& options =
+                                                 TcpClientOptions{});
   ~TcpConnection();
 
   TcpConnection(const TcpConnection&) = delete;
@@ -154,6 +191,13 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 
   /// "host:port" label of the peer (flight-recorder subjects, diagnostics).
   const std::string& peer() const noexcept { return peer_; }
+
+  /// Negotiated session id (0 when sessions are off), frames currently held
+  /// for retransmission, and whether the session is still live — telemetry
+  /// and test hooks.
+  std::uint64_t session_id() const;
+  std::size_t retransmit_buffered() const;
+  bool session_active() const;
 
   /// Fails all in-flight calls with COMM_FAILURE; a caller mid-read is
   /// kicked out by shutting the socket down.
@@ -188,8 +232,11 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
             std::chrono::steady_clock::time_point deadline);
   /// Reads exactly one frame (blocking) and demuxes it.  Call with mu_ held
   /// and leader_active_ set; returns with mu_ held.  Returns false after a
-  /// connection failure (every in-flight call has been failed).
-  bool read_one_locked(std::unique_lock<std::mutex>& lock);
+  /// connection failure (every in-flight call has been failed); with a live
+  /// session the failure is first given to resume_locked, bounded by
+  /// `deadline` (the leader's per-call deadline budget).
+  bool read_one_locked(std::unique_lock<std::mutex>& lock,
+                       std::chrono::steady_clock::time_point deadline);
   /// Drains frames already buffered on the socket without blocking between
   /// them (ready()-polling progress).  Locking contract as read_one_locked.
   void drain_available_locked(std::unique_lock<std::mutex>& lock);
@@ -198,19 +245,51 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   void promote_follower_locked();
   /// Marks the connection broken and fails every registered waiter.
   void fail_all_locked(const std::exception_ptr& error);
+  /// Resume protocol (leader only, mu_ held): reconnect to the same
+  /// endpoint, re-present the session id, exchange highest-received sequence
+  /// numbers and replay the unacknowledged tail.  Returns true when the
+  /// connection is live again; false when the attempts budget, `deadline`,
+  /// or a server-side session rejection ends the resume (the caller then
+  /// fires the batched-failure path).
+  bool resume_locked(std::unique_lock<std::mutex>& lock,
+                     std::chrono::steady_clock::time_point deadline);
+  /// Read-side failure funnel: try resume first, fall back to fail_all.
+  /// Returns true when the connection was resumed.
+  bool handle_failure_locked(std::unique_lock<std::mutex>& lock,
+                             const std::exception_ptr& failure,
+                             std::chrono::steady_clock::time_point deadline);
+  /// Fails the oldest buffered call when the retransmit buffer is at its
+  /// hard cap (mu_ held).
+  void overflow_evict_locked();
   void write_frame(const RequestMessage& request);
   void touch() noexcept;
 
   Socket socket_;
   std::string peer_;  ///< "host:port", set once at open()
+  std::string host_;  ///< reconnect target (sessions)
+  std::uint16_t port_ = 0;
+  TcpClientOptions options_;
   std::mutex write_mu_;               ///< serializes frames on the socket
   mutable std::mutex mu_;  ///< waiters_, leadership, broken bookkeeping
   std::unordered_map<std::uint64_t, std::shared_ptr<Waiter>> waiters_;
+  /// Request ids abandoned by their caller (timeout or dropped handle),
+  /// guarded by mu_: the entry is reaped when the late reply arrives, and
+  /// tells the late/duplicate discard reasons apart.
+  std::unordered_set<std::uint64_t> abandoned_;
   /// True while some caller is reading the socket as leader (guarded by mu_).
   bool leader_active_ = false;
   std::atomic<bool> broken_{false};
   std::atomic<bool> closing_{false};
   std::atomic<double> last_used_{0.0};
+
+  // Session state (guarded by mu_; writers reach it holding write_mu_ then
+  // mu_, so sequence assignment and the socket write stay atomic and wire
+  // order equals seq order).
+  bool session_active_ = false;
+  std::uint64_t session_id_ = 0;
+  std::uint64_t next_send_seq_ = 1;
+  std::uint64_t highest_reply_seq_ = 0;
+  std::unique_ptr<RetransmitBuffer> retransmit_;
 };
 
 /// Client transport over TCP (see file comment for the two modes).
@@ -290,6 +369,13 @@ class TcpServerEndpoint {
 
   void accept_loop();
   void connection_loop(std::shared_ptr<Connection> connection);
+  /// Session-aware reply write: stamps seq/ack under the session mutex,
+  /// buffers the encoded frame for replay, and writes it to the session's
+  /// *current* connection (which may have changed since the request arrived
+  /// — a completion finishing after a resume lands on the new socket).
+  static void write_session_reply(const std::shared_ptr<ServerSession>& session,
+                                  const std::shared_ptr<Connection>& fallback,
+                                  ReplyMessage reply) noexcept;
 
   std::string host_;
   std::uint16_t port_ = 0;
@@ -299,6 +385,9 @@ class TcpServerEndpoint {
   std::thread acceptor_;
   std::mutex workers_mu_;
   std::vector<std::thread> workers_;
+  /// Sessions survive connection loss but die with the endpoint — a
+  /// restarted server rejects old session ids (the stale-session path).
+  SessionTable sessions_{/*reply_limit=*/256};
 };
 
 }  // namespace corba

@@ -27,6 +27,7 @@ FaultInjector::FaultInjector(FaultPlan plan)
       throw std::invalid_argument(std::string(what) + " must be in [0, 1]");
   };
   check_probability(plan_.drop_probability, "drop_probability");
+  check_probability(plan_.reset_probability, "reset_probability");
   check_probability(plan_.duplicate_probability, "duplicate_probability");
   check_probability(plan_.latency_spike_probability,
                     "latency_spike_probability");
@@ -121,8 +122,8 @@ MessageFate FaultInjector::fate(const std::string& from_host,
   }
 
   // Random decisions draw from the seeded stream in a fixed order (drop,
-  // duplicate, spike) so a plan toggling one probability leaves the other
-  // draws aligned.
+  // reset, duplicate, spike) so a plan toggling one probability leaves the
+  // other draws aligned.
   auto draw = [&](double probability) {
     if (probability <= 0.0) return false;
     return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < probability;
@@ -131,6 +132,12 @@ MessageFate FaultInjector::fate(const std::string& from_host,
     fate.action = MessageFate::Action::drop;
     ++drops_;
     record(now, std::string("drop ") + kind + " " + hop);
+    return fate;
+  }
+  if (draw(plan_.reset_probability)) {
+    fate.action = MessageFate::Action::reset;
+    ++resets_;
+    record(now, std::string("reset ") + kind + " " + hop);
     return fate;
   }
   if (!is_reply && draw(plan_.duplicate_probability)) {

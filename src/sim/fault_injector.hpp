@@ -30,6 +30,13 @@
 //   duplication, request hop  -> the servant executes the request twice
 //                                (at-least-once delivery; the second reply
 //                                is discarded at the client)
+//   connection reset          -> the TCP connection is severed but both
+//                                hosts stay healthy.  With sessions off
+//                                this behaves exactly like a drop (batched
+//                                COMM_FAILURE); with resumable sessions on
+//                                the transport reconnects, replays the lost
+//                                frame and the call completes exactly-once
+//                                after a deterministic resume penalty.
 #pragma once
 
 #include <cstdint>
@@ -73,6 +80,10 @@ struct HostStall {
 struct FaultPlan {
   std::uint64_t seed = 1;
   double drop_probability = 0.0;
+  /// Connection reset without host failure (the "flaky network, healthy
+  /// hosts" mode).  Drawn after drop, before duplicate, so enabling it
+  /// leaves the other streams aligned when its probability is zero.
+  double reset_probability = 0.0;
   double duplicate_probability = 0.0;
   double latency_spike_probability = 0.0;
   double latency_spike_s = 0.0;
@@ -86,6 +97,7 @@ struct MessageFate {
   enum class Action {
     deliver,  ///< pass through (extra_latency/duplicate may still apply)
     drop,     ///< lost; the connection is reported broken
+    reset,    ///< connection severed, hosts healthy; resumable when sessions on
     blocked,  ///< partition/link fault; heal_at says when (if ever) it ends
   };
   Action action = Action::deliver;
@@ -126,6 +138,7 @@ class FaultInjector {
 
   // --- telemetry ------------------------------------------------------------
   std::uint64_t drops() const noexcept { return drops_; }
+  std::uint64_t connection_resets() const noexcept { return resets_; }
   std::uint64_t duplicates() const noexcept { return duplicates_; }
   std::uint64_t latency_spikes() const noexcept { return spikes_; }
   std::uint64_t partition_blocks() const noexcept { return blocks_; }
@@ -145,6 +158,7 @@ class FaultInjector {
   double origin_ = 0.0;
   std::mt19937_64 rng_;
   std::uint64_t drops_ = 0;
+  std::uint64_t resets_ = 0;
   std::uint64_t duplicates_ = 0;
   std::uint64_t spikes_ = 0;
   std::uint64_t blocks_ = 0;

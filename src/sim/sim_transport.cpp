@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "orb/exceptions.hpp"
+#include "orb/session.hpp"
 #include "sim/work_meter.hpp"
 
 namespace sim {
@@ -196,7 +197,16 @@ struct HopContext {
   /// The client connection this call is pipelined on; connection-level
   /// faults (drops = connection reset) fail every call in flight on it.
   std::shared_ptr<SimConnection> connection;
+  /// Resumable sessions enabled: a reset fault resumes instead of failing.
+  bool sessions = false;
 };
+
+/// Deterministic cost of one session resume: the reconnect round trip plus
+/// the hello/accept handshake plus the replayed frame's transfer, modelled
+/// as three extra one-way latencies on top of the normal transfer time.
+double resume_penalty(const Cluster& cluster) {
+  return 3.0 * cluster.network().latency_s;
+}
 
 void send_reply(const HopContext& ctx, std::shared_ptr<ReplySlot> slot,
                 const std::string& server_host,
@@ -228,6 +238,38 @@ void send_reply(const HopContext& ctx, std::shared_ptr<ReplySlot> slot,
                                corba::CompletionStatus::completed_maybe));
             });
         return;
+      case MessageFate::Action::reset:
+        if (!ctx.sessions) {
+          // Sessions off: a reset is indistinguishable from a lost reply —
+          // the whole connection fails in a batch, exactly like drop.
+          events.schedule_after(
+              transfer, [slot, server_host, connection = ctx.connection] {
+                slot->fail(comm_failure(
+                    "reply from " + server_host + " lost (connection reset)",
+                    corba::minor_code::connection_lost,
+                    corba::CompletionStatus::completed_maybe));
+                fail_connection(
+                    connection,
+                    comm_failure("connection to " + server_host +
+                                     " reset while this call was in flight",
+                                 corba::minor_code::connection_lost,
+                                 corba::CompletionStatus::completed_maybe));
+              });
+          return;
+        }
+        // Resumable session: the client reconnects with its session id and
+        // the server replays the unacknowledged reply frame — the call
+        // completes exactly-once, just later by the resume penalty.  No
+        // other call on the connection is disturbed.
+        {
+          corba::SessionMetrics& session = corba::session_metrics();
+          session.resumes.inc();
+          session.replayed_replies.inc();
+          obs::flight_event(obs::FlightEvent::session_resume, server_host, 0,
+                            1);
+        }
+        transfer += resume_penalty(*ctx.cluster);
+        break;
       case MessageFate::Action::blocked:
         if (!fate.heal_at) {
           events.schedule_after(transfer, [slot, server_host] {
@@ -334,11 +376,12 @@ std::shared_ptr<SimConnection> SimTransport::connection_for(
 SimTransport::SimTransport(Cluster& cluster,
                            std::shared_ptr<corba::InProcessNetwork> network,
                            std::string source_endpoint,
-                           double request_timeout_s)
+                           double request_timeout_s, bool enable_sessions)
     : cluster_(cluster),
       network_(std::move(network)),
       source_endpoint_(std::move(source_endpoint)),
-      request_timeout_s_(request_timeout_s) {
+      request_timeout_s_(request_timeout_s),
+      enable_sessions_(enable_sessions) {
   if (!network_) throw corba::BAD_PARAM("SimTransport requires a network");
   if (request_timeout_s < 0) throw corba::BAD_PARAM("negative request timeout");
 }
@@ -376,7 +419,8 @@ std::unique_ptr<corba::PendingReply> SimTransport::send(
   const std::string endpoint = target.host;
   const std::string host_name = host->name();
   std::shared_ptr<SimConnection> connection = connection_for(endpoint);
-  HopContext ctx{&cluster_, network_, source_endpoint_, connection};
+  HopContext ctx{&cluster_, network_, source_endpoint_, connection,
+                 enable_sessions_};
 
   bool duplicate = false;
   if (FaultInjector* faults = cluster_.fault_injector().get()) {
@@ -414,6 +458,39 @@ std::unique_ptr<corba::PendingReply> SimTransport::send(
                            corba::CompletionStatus::completed_maybe));
         });
         return pending();
+      case MessageFate::Action::reset:
+        if (!enable_sessions_) {
+          // Sessions off: indistinguishable from a drop — this request is
+          // lost (COMPLETED_NO) and the reset batch-fails the connection.
+          track_slot(connection, slot);
+          events.schedule_after(
+              request_transfer, [slot, host_name, connection] {
+                slot->fail(comm_failure(
+                    "request to " + host_name + " lost (connection reset)",
+                    corba::minor_code::connection_lost,
+                    corba::CompletionStatus::completed_no));
+                fail_connection(
+                    connection,
+                    comm_failure("connection to " + host_name +
+                                     " reset while this call was in flight",
+                                 corba::minor_code::connection_lost,
+                                 corba::CompletionStatus::completed_maybe));
+              });
+          return pending();
+        }
+        // Resumable session: the reset severs the connection with the
+        // request frame unacknowledged; the client reconnects with its
+        // session id and retransmits it, so the servant sees the call
+        // exactly once after the resume penalty.  Pipelined neighbours are
+        // untouched.
+        {
+          corba::SessionMetrics& session = corba::session_metrics();
+          session.resumes.inc();
+          session.retransmitted.inc();
+          obs::flight_event(obs::FlightEvent::session_resume, host_name, 0, 1);
+        }
+        request_transfer += resume_penalty(cluster_);
+        break;
       case MessageFate::Action::deliver:
         break;
     }

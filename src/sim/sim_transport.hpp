@@ -49,11 +49,15 @@ class SimTransport final : public corba::ClientTransport {
   /// empty means an external/local driver.  `request_timeout_s` bounds the
   /// virtual time a caller waits for a reply (0 = unbounded): expiry raises
   /// corba::TIMEOUT with COMPLETED_MAYBE, which is how hung or overloaded
-  /// servers become recoverable failures.
+  /// servers become recoverable failures.  `enable_sessions` mirrors the
+  /// real transport's resumable sessions: a connection-reset fault then
+  /// resumes (reconnect + frame replay, modelled as a deterministic latency
+  /// penalty) instead of failing the batch.
   SimTransport(Cluster& cluster,
                std::shared_ptr<corba::InProcessNetwork> network,
                std::string source_endpoint = {},
-               double request_timeout_s = 0);
+               double request_timeout_s = 0,
+               bool enable_sessions = false);
 
   std::unique_ptr<corba::PendingReply> send(
       const corba::IOR& target, corba::RequestMessage request) override;
@@ -65,6 +69,7 @@ class SimTransport final : public corba::ClientTransport {
   std::shared_ptr<corba::InProcessNetwork> network_;
   std::string source_endpoint_;
   double request_timeout_s_;
+  bool enable_sessions_;
   /// One logical connection per target endpoint (ordered map: deterministic
   /// iteration under the simulator's determinism contract).
   std::map<std::string, std::shared_ptr<SimConnection>> connections_;

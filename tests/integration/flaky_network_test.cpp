@@ -1,0 +1,149 @@
+// Chaos scenario "flaky network, healthy hosts": every host stays up for the
+// whole run, but the network keeps resetting connections in seeded bursts.
+// With resumable sessions enabled the transport absorbs every reset by
+// reconnect-with-replay — the run converges to the failure-free minimizer
+// with *zero* FT-proxy recoveries (the expensive re-resolve/restore machinery
+// never wakes up), while the session counters show the resumes that actually
+// happened.  Same fault seed, same event trace, same result — the resume path
+// obeys the repo-wide reproducibility contract.  With sessions disabled the
+// very same plan falls back to the batched-failure path and the proxies must
+// recover the old way, which still converges but is no longer recovery-free.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "opt/manager.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace opt {
+namespace {
+
+constexpr double kHostSpeed = 1e5;
+
+std::uint64_t counter_value(const char* name) {
+  return obs::MetricsRegistry::global().counter(name).value();
+}
+
+class FlakyNetworkTest : public ::testing::Test {
+ protected:
+  rt::SimRuntime& make_runtime(bool enable_sessions) {
+    cluster_ = std::make_unique<sim::Cluster>();
+    for (int i = 0; i < 6; ++i)
+      cluster_->add_host("node" + std::to_string(i), kHostSpeed);
+    rt::RuntimeOptions options;
+    options.winner_stale_after = 2.5;
+    options.enable_sessions = enable_sessions;
+    runtime_ = std::make_unique<rt::SimRuntime>(*cluster_, options);
+    runtime_->events().run_until(0.01);
+    return *runtime_;
+  }
+
+  static SolverConfig flaky_config(bool use_ft = true) {
+    SolverConfig config;
+    config.dimension = 30;
+    config.workers = 3;
+    config.worker_iterations = 400;
+    config.manager_iterations = 12;
+    config.manager_work_per_round = 100.0;
+    config.use_ft = use_ft;
+    config.ft_policy.max_attempts = 6;
+    config.ft_policy.backoff_initial_s = 0.02;
+    config.ft_policy.mode = ft::RecoveryMode::factory;
+    config.ft_policy.rebind_new_offer = false;
+    config.manager_host = "node5";
+    return config;
+  }
+
+  /// Connection resets only: no drops, no partitions, no crashes — the hosts
+  /// are perfectly healthy, the *links* are flaky.
+  static sim::FaultPlan flaky_plan(std::uint64_t seed) {
+    sim::FaultPlan plan;
+    plan.seed = seed;
+    plan.reset_probability = 0.05;
+    return plan;
+  }
+
+  std::shared_ptr<sim::FaultInjector> arm(sim::FaultPlan plan) {
+    auto injector = std::make_shared<sim::FaultInjector>(std::move(plan));
+    injector->set_origin(runtime_->events().now());
+    cluster_->set_fault_injector(injector);
+    return injector;
+  }
+
+  SolverResult undisturbed_result() {
+    rt::SimRuntime& runtime = make_runtime(/*enable_sessions=*/true);
+    DecomposedSolver solver(runtime, flaky_config());
+    solver.deploy();
+    return solver.run();
+  }
+
+  struct FlakyOutcome {
+    SolverResult result;
+    std::vector<std::string> trace;
+    std::uint64_t resumes = 0;       // delta over this run
+    std::uint64_t reset_count = 0;   // resets the injector actually dealt
+  };
+
+  FlakyOutcome flaky_run(std::uint64_t seed, bool enable_sessions) {
+    const std::uint64_t resumes_before =
+        counter_value("transport.session.resumes_total");
+    rt::SimRuntime& runtime = make_runtime(enable_sessions);
+    DecomposedSolver solver(runtime, flaky_config());
+    solver.deploy();
+    const auto injector = arm(flaky_plan(seed));
+    FlakyOutcome outcome;
+    outcome.result = solver.run();
+    outcome.trace = injector->trace();
+    outcome.reset_count = injector->connection_resets();
+    outcome.resumes =
+        counter_value("transport.session.resumes_total") - resumes_before;
+    return outcome;
+  }
+
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<rt::SimRuntime> runtime_;
+};
+
+TEST_F(FlakyNetworkTest, SessionsAbsorbResetsWithZeroRecoveries) {
+  const SolverResult undisturbed = undisturbed_result();
+  for (const std::uint64_t seed : {7u, 19u, 31u}) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    const FlakyOutcome outcome = flaky_run(seed, /*enable_sessions=*/true);
+    // The plan actually bit: resets were dealt and resumed in-band.
+    EXPECT_GT(outcome.reset_count, 0u);
+    EXPECT_GT(outcome.resumes, 0u);
+    // ...yet the FT layer never noticed: exactly-once without one recovery.
+    EXPECT_EQ(outcome.result.recoveries, 0u);
+    EXPECT_EQ(outcome.result.best_value, undisturbed.best_value);
+    EXPECT_EQ(outcome.result.best_coupling, undisturbed.best_coupling);
+  }
+}
+
+TEST_F(FlakyNetworkTest, SameSeedReproducesTraceAndResult) {
+  const FlakyOutcome first = flaky_run(7, /*enable_sessions=*/true);
+  const FlakyOutcome second = flaky_run(7, /*enable_sessions=*/true);
+  ASSERT_FALSE(first.trace.empty());
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.reset_count, second.reset_count);
+  EXPECT_EQ(first.resumes, second.resumes);
+  EXPECT_EQ(first.result.best_value, second.result.best_value);
+  EXPECT_EQ(first.result.virtual_seconds, second.result.virtual_seconds);
+  EXPECT_EQ(first.result.recoveries, second.result.recoveries);
+  EXPECT_EQ(first.result.worker_calls, second.result.worker_calls);
+}
+
+TEST_F(FlakyNetworkTest, WithoutSessionsResetsWakeTheRecoveryPath) {
+  // The control arm: same flaky links, sessions off.  Every reset is a
+  // batched COMM_FAILURE, so the proxies must run the full recovery
+  // machinery — it still converges (that path is well tested), but the
+  // recovery count shows the cost the session layer removes.
+  const SolverResult undisturbed = undisturbed_result();
+  const FlakyOutcome outcome = flaky_run(7, /*enable_sessions=*/false);
+  EXPECT_GT(outcome.reset_count, 0u);
+  EXPECT_EQ(outcome.resumes, 0u);
+  EXPECT_GE(outcome.result.recoveries, 1u);
+  EXPECT_EQ(outcome.result.best_value, undisturbed.best_value);
+  EXPECT_EQ(outcome.result.best_coupling, undisturbed.best_coupling);
+}
+
+}  // namespace
+}  // namespace opt

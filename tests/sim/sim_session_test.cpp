@@ -1,0 +1,215 @@
+// Deterministic mirror of the resumable-session protocol: a connection-reset
+// fault severs the (simulated) connection without killing a host.  With
+// sessions off that is a batched COMM_FAILURE, exactly like a drop; with
+// sessions on the transport resumes — the call completes exactly-once after
+// a deterministic penalty and the session counters advance.  Same-seed runs
+// produce byte-identical fault traces.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "orb/exceptions.hpp"
+#include "orb/orb.hpp"
+#include "orb/session.hpp"
+#include "orb/stub.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/sim_transport.hpp"
+#include "sim/work_meter.hpp"
+
+namespace sim {
+namespace {
+
+std::uint64_t counter_value(const char* name) {
+  return obs::MetricsRegistry::global().counter(name).value();
+}
+
+class EchoServant : public corba::Servant {
+ public:
+  std::string_view repo_id() const noexcept override {
+    return "IDL:corbaft/tests/Echo:1.0";
+  }
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override {
+    if (op == "burn") {
+      check_arity(op, args, 1);
+      WorkMeter::charge(args[0].as_f64());
+      ++calls_;
+      return corba::Value(static_cast<std::int64_t>(calls_));
+    }
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+  int calls_ = 0;
+};
+
+class SimSessionTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override { build(/*enable_sessions=*/GetParam()); }
+
+  void build(bool enable_sessions) {
+    network_ = std::make_shared<corba::InProcessNetwork>();
+    transport_ = std::make_shared<SimTransport>(cluster_, network_, "client",
+                                                /*request_timeout_s=*/0,
+                                                enable_sessions);
+    cluster_.network().latency_s = 1.0;
+    cluster_.network().bandwidth_bytes_per_s = 1e18;
+    cluster_.add_host("server", 100.0);
+    server_orb_ = corba::ORB::init({.endpoint_name = "server",
+                                    .network = network_,
+                                    .client_transport_override = transport_});
+    cluster_.map_endpoint("server", "server");
+    cluster_.add_host("clienthost", 100.0);
+    cluster_.map_endpoint("client", "clienthost");
+    client_ = corba::ORB::init({.endpoint_name = "client",
+                                .network = network_,
+                                .client_transport_override = transport_});
+    servant_ = std::make_shared<EchoServant>();
+    ref_ = client_->make_ref(server_orb_->activate(servant_, "echo").ior());
+  }
+
+  void arm(FaultPlan plan) {
+    cluster_.set_fault_injector(std::make_shared<FaultInjector>(plan));
+  }
+  void arm_at(double t, FaultPlan plan) {
+    cluster_.events().schedule_at(t, [this, plan = std::move(plan)] {
+      auto injector = std::make_shared<FaultInjector>(plan);
+      injector->set_origin(0.0);
+      cluster_.set_fault_injector(injector);
+    });
+  }
+
+  corba::Value burn(double work) {
+    return ref_.invoke("burn", {corba::Value(work)});
+  }
+
+  Cluster cluster_;
+  std::shared_ptr<corba::InProcessNetwork> network_;
+  std::shared_ptr<SimTransport> transport_;
+  std::shared_ptr<corba::ORB> server_orb_;
+  std::shared_ptr<corba::ORB> client_;
+  std::shared_ptr<EchoServant> servant_;
+  corba::ObjectRef ref_;
+};
+
+TEST(FaultPlanResetTest, ValidationAndTraceVocabulary) {
+  EXPECT_THROW(FaultInjector({.reset_probability = -0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector({.reset_probability = 1.5}),
+               std::invalid_argument);
+
+  FaultInjector faults({.seed = 3, .reset_probability = 1.0});
+  const MessageFate request = faults.fate("a", "b", 1.5, /*is_reply=*/false);
+  EXPECT_EQ(request.action, MessageFate::Action::reset);
+  const MessageFate reply = faults.fate("b", "a", 2.5, /*is_reply=*/true);
+  EXPECT_EQ(reply.action, MessageFate::Action::reset);
+  EXPECT_EQ(faults.connection_resets(), 2u);
+  ASSERT_EQ(faults.trace().size(), 2u);
+  EXPECT_NE(faults.trace()[0].find("reset request a->b"), std::string::npos);
+  EXPECT_NE(faults.trace()[1].find("reset reply b->a"), std::string::npos);
+}
+
+TEST(FaultPlanResetTest, SameSeedSameTrace) {
+  const FaultPlan plan{.seed = 11,
+                       .drop_probability = 0.1,
+                       .reset_probability = 0.4,
+                       .duplicate_probability = 0.1,
+                       .latency_spike_probability = 0.1,
+                       .latency_spike_s = 1.0};
+  FaultInjector a(plan), b(plan);
+  for (int i = 0; i < 300; ++i) {
+    a.fate("x", "y", i * 0.1, i % 2 == 0);
+    b.fate("x", "y", i * 0.1, i % 2 == 0);
+  }
+  EXPECT_EQ(a.trace(), b.trace());
+  EXPECT_EQ(a.connection_resets(), b.connection_resets());
+  EXPECT_GT(a.connection_resets(), 0u);
+}
+
+TEST(FaultPlanResetTest, ZeroResetProbabilityLeavesOtherStreamsAligned) {
+  // The reset draw sits between drop and duplicate; with probability 0 it
+  // must not consume from the seeded stream, so pre-session plans keep
+  // byte-identical traces.
+  const FaultPlan with_field{.seed = 5,
+                             .drop_probability = 0.2,
+                             .reset_probability = 0.0,
+                             .duplicate_probability = 0.3,
+                             .latency_spike_probability = 0.2,
+                             .latency_spike_s = 0.5};
+  FaultPlan default_field = with_field;
+  default_field.reset_probability = 0.0;
+  FaultInjector a(with_field), b(default_field);
+  for (int i = 0; i < 300; ++i) {
+    a.fate("x", "y", i * 0.1, i % 3 == 0);
+    b.fate("x", "y", i * 0.1, i % 3 == 0);
+  }
+  EXPECT_EQ(a.trace(), b.trace());
+}
+
+INSTANTIATE_TEST_SUITE_P(SessionsOnOff, SimSessionTest, ::testing::Bool());
+
+TEST_P(SimSessionTest, ResetRequestFate) {
+  const bool sessions = GetParam();
+  const std::uint64_t resumes_before =
+      counter_value("transport.session.resumes_total");
+  const std::uint64_t retransmits_before =
+      counter_value("transport.session.retransmitted_frames_total");
+  // Reset only the request hop: the injector is disarmed again at the
+  // server, before the reply leaves.
+  arm({.seed = 2, .reset_probability = 1.0});
+  arm_at(1.5, {});  // replace with a quiet injector before the reply hop
+
+  if (sessions) {
+    // Request transfer (1s) + resume penalty (3 × latency) → dispatch at
+    // t=4; 1s of work; quiet reply hop (1s) → reply at t=6.  Exactly-once.
+    EXPECT_EQ(burn(100.0).as_i64(), 1);
+    EXPECT_EQ(servant_->calls_, 1);
+    EXPECT_NEAR(cluster_.events().now(), 6.0, 1e-6);
+    EXPECT_EQ(counter_value("transport.session.resumes_total"),
+              resumes_before + 1);
+    EXPECT_EQ(counter_value("transport.session.retransmitted_frames_total"),
+              retransmits_before + 1);
+  } else {
+    try {
+      burn(100.0);
+      FAIL() << "expected COMM_FAILURE";
+    } catch (const corba::COMM_FAILURE& e) {
+      EXPECT_EQ(e.completed(), corba::CompletionStatus::completed_no);
+    }
+    EXPECT_EQ(servant_->calls_, 0);
+    EXPECT_EQ(counter_value("transport.session.resumes_total"),
+              resumes_before);
+  }
+}
+
+TEST_P(SimSessionTest, ResetReplyFate) {
+  const bool sessions = GetParam();
+  const std::uint64_t resumes_before =
+      counter_value("transport.session.resumes_total");
+  const std::uint64_t replayed_before =
+      counter_value("transport.session.replayed_replies_total");
+  // Armed after the request hop (t=1) but before the reply leaves (t=6):
+  // only the reply is reset.  The method ran either way.
+  arm_at(2.0, {.seed = 2, .reset_probability = 1.0});
+
+  if (sessions) {
+    // Request 1s + 5s work; reply transfer 1s + resume penalty 3s → t=10.
+    EXPECT_EQ(burn(500.0).as_i64(), 1);
+    EXPECT_EQ(servant_->calls_, 1);
+    EXPECT_NEAR(cluster_.events().now(), 10.0, 1e-6);
+    EXPECT_EQ(counter_value("transport.session.resumes_total"),
+              resumes_before + 1);
+    EXPECT_EQ(counter_value("transport.session.replayed_replies_total"),
+              replayed_before + 1);
+  } else {
+    try {
+      burn(500.0);
+      FAIL() << "expected COMM_FAILURE";
+    } catch (const corba::COMM_FAILURE& e) {
+      EXPECT_EQ(e.completed(), corba::CompletionStatus::completed_maybe);
+    }
+    EXPECT_EQ(servant_->calls_, 1);  // the method DID run
+    EXPECT_EQ(counter_value("transport.session.resumes_total"),
+              resumes_before);
+  }
+}
+
+}  // namespace
+}  // namespace sim

@@ -34,7 +34,8 @@ done
 # src/obs/metrics.hpp: a "metrics" object whose own "metrics" array carries
 # counter/gauge/histogram entries).
 status=0
-for json in BENCH_table1.json BENCH_checkpoint.json BENCH_multiplex.json; do
+for json in BENCH_table1.json BENCH_checkpoint.json BENCH_multiplex.json \
+            BENCH_session.json; do
   if [ ! -e "$json" ]; then
     echo "run_benches.sh: expected $json was not produced" >&2
     status=1
@@ -60,6 +61,16 @@ done
 for needle in '"mode": "recorder_on"' '"mode": "recorder_off"'; do
   if [ -e BENCH_multiplex.json ] && ! grep -qF "$needle" BENCH_multiplex.json; then
     echo "run_benches.sh: BENCH_multiplex.json lacks $needle" >&2
+    status=1
+  fi
+done
+
+# The session sweep must carry the resume-vs-recovery comparison and the
+# retransmit-buffer depth curve.
+for needle in '"mode": "resume"' '"mode": "recovery"' \
+              '"mode": "retransmit_buffer"'; do
+  if [ -e BENCH_session.json ] && ! grep -qF "$needle" BENCH_session.json; then
+    echo "run_benches.sh: BENCH_session.json lacks $needle" >&2
     status=1
   fi
 done
