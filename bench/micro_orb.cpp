@@ -19,13 +19,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "bench_common.hpp"
 #include "obs/flight_recorder.hpp"
 #include "orb/dii.hpp"
 #include "orb/orb.hpp"
+#include "orb/server_conn.hpp"
 #include "orb/tcp_transport.hpp"
 
 namespace {
@@ -563,6 +566,153 @@ void run_session_sweep() {
   bench::write_bench_json("BENCH_session.json", "micro_orb_session", rows);
 }
 
+// --- connections sweep -------------------------------------------------------
+//
+// The reactor's claim: connection count is decoupled from thread count.  Each
+// cell opens `connections` sockets against one endpoint (most idle, a small
+// active set driving synchronous calls) in reactor and thread-per-connection
+// mode, and records throughput, latency and the server's peak thread cost.
+
+int process_threads() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0)
+      return std::stoi(line.substr(sizeof("Threads:") - 1));
+  }
+  return -1;
+}
+
+struct ConnPoint {
+  std::string mode;
+  int connections = 0;
+  std::uint64_t calls = 0;
+  double throughput_rps = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  int peak_threads = 0;  ///< process thread growth while the sockets are open
+};
+
+ConnPoint run_conn_point(bool reactor, int connections, int active,
+                         int calls_per_active) {
+  using clock = std::chrono::steady_clock;
+  corba::OrbConfig config{.endpoint_name = "s", .enable_tcp = true};
+  config.reactor = reactor;
+  config.io_threads = 2;
+  auto server = corba::ORB::init(config);
+  const corba::IOR ior =
+      server->activate(std::make_shared<EchoServant>()).ior();
+  const int threads_before = process_threads();
+
+  std::vector<corba::Socket> sockets;
+  sockets.reserve(static_cast<std::size_t>(connections));
+  for (int i = 0; i < connections; ++i)
+    sockets.push_back(corba::Socket::connect("127.0.0.1", ior.port));
+  // Let the acceptor catch up with the connect burst, then measure before
+  // the harness spawns its own driver threads: the delta is purely what the
+  // server paid to hold `connections` sockets open (≈connections in threaded
+  // mode, 0 for the reactor).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const int threads_with_conns = process_threads();
+
+  bench::LatencyRecorder latency("bench.connections_rpc");
+  corba::CdrOutputStream body;
+  {
+    corba::RequestMessage req;
+    req.request_id = 1;
+    req.object_key = ior.key;
+    req.operation = "echo";
+    req.arguments = {corba::Value(std::vector<double>(16, 1.0))};
+    req.encode_body(body);
+  }
+  const auto t0 = clock::now();
+  std::vector<std::thread> drivers;
+  for (int c = 0; c < active; ++c) {
+    drivers.emplace_back([&, c] {
+      corba::Socket& socket = sockets[static_cast<std::size_t>(c)];
+      corba::MessageHeader header;
+      std::vector<std::byte> reply;
+      for (int i = 0; i < calls_per_active; ++i) {
+        const auto sent = clock::now();
+        socket.send_frame(corba::MessageType::request, body);
+        if (!socket.recv_frame(header, reply)) return;
+        latency.record(
+            std::chrono::duration<double>(clock::now() - sent).count());
+      }
+    });
+  }
+  for (auto& driver : drivers) driver.join();
+  const double wall = std::chrono::duration<double>(clock::now() - t0).count();
+
+  ConnPoint point;
+  point.mode = reactor ? "reactor" : "threaded";
+  point.connections = connections;
+  point.calls =
+      static_cast<std::uint64_t>(active) * static_cast<std::uint64_t>(calls_per_active);
+  point.throughput_rps = static_cast<double>(point.calls) / wall;
+  point.p50_s = latency.quantile(0.5);
+  point.p99_s = latency.quantile(0.99);
+  point.peak_threads = threads_with_conns - threads_before;
+  return point;
+}
+
+void run_connections_sweep() {
+  const bool smoke = bench::smoke_mode();
+  const std::vector<int> conn_counts =
+      smoke ? std::vector<int>{64, 256} : std::vector<int>{64, 256, 1024, 4096};
+  const int calls_per_active = smoke ? 100 : 1000;
+  const int active = smoke ? 8 : 16;
+  corba::raise_nofile_soft_limit(
+      static_cast<std::size_t>(3 * conn_counts.back() + 256));
+
+  std::printf("\nM-conn — server receive path: connections x mode\n");
+  std::printf("%-10s %12s %10s %12s %10s %10s %13s\n", "mode", "connections",
+              "calls", "rps", "p50_us", "p99_us", "server_threads");
+  bench::print_rule(82);
+
+  std::vector<ConnPoint> points;
+  std::vector<bench::JsonRow> rows;
+  for (const bool reactor : {true, false}) {
+    for (const int connections : conn_counts) {
+      // Thread-per-connection at thousands of sockets means thousands of
+      // threads; cap the baseline and let the reactor column carry the tail.
+      if (!reactor && connections > 1024) continue;
+      const ConnPoint p =
+          run_conn_point(reactor, connections, active, calls_per_active);
+      std::printf("%-10s %12d %10llu %12.0f %10.1f %10.1f %13d\n",
+                  p.mode.c_str(), p.connections,
+                  static_cast<unsigned long long>(p.calls), p.throughput_rps,
+                  p.p50_s * 1e6, p.p99_s * 1e6, p.peak_threads);
+      rows.push_back({bench::jstr("mode", p.mode),
+                      bench::jint("connections", std::uint64_t(p.connections)),
+                      bench::jint("calls", p.calls),
+                      bench::jnum("throughput_rps", p.throughput_rps),
+                      bench::jnum("p50_s", p.p50_s),
+                      bench::jnum("p99_s", p.p99_s),
+                      bench::jint("peak_threads",
+                                  std::uint64_t(std::max(p.peak_threads, 0)))});
+      points.push_back(p);
+    }
+  }
+
+  auto find = [&](const std::string& mode, int connections) -> const ConnPoint* {
+    for (const ConnPoint& p : points)
+      if (p.mode == mode && p.connections == connections) return &p;
+    return nullptr;
+  };
+  const ConnPoint* reactor64 = find("reactor", 64);
+  const ConnPoint* threaded64 = find("threaded", 64);
+  if (reactor64 && threaded64)
+    std::printf("\nthroughput at 64 connections: %.0f (reactor) vs %.0f "
+                "(threaded) rps\n",
+                reactor64->throughput_rps, threaded64->throughput_rps);
+  const ConnPoint* tail = find("reactor", conn_counts.back());
+  if (tail)
+    std::printf("reactor at %d connections: %.0f rps on %d server threads\n",
+                tail->connections, tail->throughput_rps, tail->peak_threads);
+  bench::write_bench_json("BENCH_reactor.json", "micro_orb_connections", rows);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -576,5 +726,6 @@ int main(int argc, char** argv) {
   }
   run_multiplex_sweep();
   run_session_sweep();
+  run_connections_sweep();
   return 0;
 }

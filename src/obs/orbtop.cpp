@@ -118,7 +118,7 @@ std::string render_table(const ClusterSnapshot& snapshot,
          cell("P50", 9) + cell("P99", 9) + cell("RECOV", 5) +
          cell("CKPT", 6) + cell("QUAR", 4) + cell("DEPTH", 5) +
          cell("DUMPS", 5) + cell("SESS", 5) + cell("RESUM", 6) +
-         cell("RETX", 5);
+         cell("RETX", 5) + cell("CONN", 5);
   out += '\n';
   std::size_t rank = 0;
   for (const NodeStatus* node : ranked) {
@@ -157,6 +157,7 @@ std::string render_table(const ClusterSnapshot& snapshot,
     out += int_cell(h.sessions_active, 5);
     out += int_cell(h.session_resumes, 6);
     out += int_cell(h.session_retransmits, 5);
+    out += int_cell(h.tcp_connections, 5);
     out += '\n';
   }
   if (!snapshot.offers.empty()) {
@@ -201,6 +202,7 @@ std::string render_json(const ClusterSnapshot& snapshot) {
     out += ", \"session_resumes\": " + std::to_string(h.session_resumes);
     out += ", \"session_retransmits\": " +
            std::to_string(h.session_retransmits);
+    out += ", \"tcp_connections\": " + std::to_string(h.tcp_connections);
     out += "}}";
   }
   out += "], \"offers\": [";

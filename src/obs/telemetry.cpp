@@ -49,6 +49,7 @@ corba::Value HealthReport::to_value() const {
   fields.emplace_back(sessions_active);
   fields.emplace_back(session_resumes);
   fields.emplace_back(session_retransmits);
+  fields.emplace_back(tcp_connections);
   return corba::Value(std::move(fields));
 }
 
@@ -79,6 +80,9 @@ HealthReport HealthReport::from_value(const corba::Value& value) {
     report.session_resumes = fields[15].as_u64();
     report.session_retransmits = fields[16].as_u64();
   }
+  // Connection gauge arrived with the reactor transport (same size-tolerant
+  // evolution pattern as the session fields).
+  if (fields.size() >= 18) report.tcp_connections = fields[17].as_u64();
   return report;
 }
 
@@ -118,6 +122,9 @@ HealthReport TelemetryServant::health() const {
   report.session_retransmits =
       registry.counter("transport.session.retransmitted_frames_total").value() +
       registry.counter("transport.session.replayed_replies_total").value();
+  const double connections = registry.gauge("transport.tcp.connections").value();
+  report.tcp_connections =
+      connections > 0 ? static_cast<std::uint64_t>(connections) : 0;
   return report;
 }
 

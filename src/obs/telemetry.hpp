@@ -59,6 +59,7 @@ struct HealthReport {
   /// transport.session.retransmitted_frames_total +
   /// transport.session.replayed_replies_total (both directions of replay)
   std::uint64_t session_retransmits = 0;
+  std::uint64_t tcp_connections = 0;  ///< transport.tcp.connections (gauge)
 
   corba::Value to_value() const;
   static HealthReport from_value(const corba::Value& value);

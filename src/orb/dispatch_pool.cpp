@@ -45,6 +45,28 @@ void DispatchPool::submit(RequestMessage request, Completion done) {
   if (stopping_)
     throw BAD_INV_ORDER("dispatch pool is stopped", minor_code::unspecified,
                         CompletionStatus::completed_no);
+  enqueue_locked(std::move(request), std::move(done));
+}
+
+bool DispatchPool::try_submit(RequestMessage& request, Completion& done) {
+  std::lock_guard lock(mu_);
+  if (stopping_)
+    throw BAD_INV_ORDER("dispatch pool is stopped", minor_code::unspecified,
+                        CompletionStatus::completed_no);
+  if (in_pool_ >= options_.queue_limit) {
+    space_wanted_ = true;  // arm the edge: ring once when capacity frees up
+    return false;
+  }
+  enqueue_locked(std::move(request), std::move(done));
+  return true;
+}
+
+void DispatchPool::set_space_callback(std::function<void()> callback) {
+  std::lock_guard lock(mu_);
+  space_callback_ = std::move(callback);
+}
+
+void DispatchPool::enqueue_locked(RequestMessage request, Completion done) {
   ++in_pool_;
   pool_metrics().queue_depth.record(static_cast<double>(in_pool_));
   obs::flight_event(obs::FlightEvent::dispatch_depth, request.operation,
@@ -65,6 +87,12 @@ void DispatchPool::stop() {
     stopping_ = true;
     work_cv_.notify_all();
     space_cv_.notify_all();
+    // A reactor loop parked on the space callback must wake to observe the
+    // stop (its retried try_submit then throws and the connection unwinds).
+    if (space_wanted_ && space_callback_) {
+      space_wanted_ = false;
+      space_callback_();
+    }
   }
   // Serialized so concurrent stop() calls never race a join.
   std::lock_guard join_lock(join_mu_);
@@ -122,6 +150,12 @@ void DispatchPool::worker_loop() {
       work_cv_.notify_one();
     }
     space_cv_.notify_one();
+    if (space_wanted_ && in_pool_ < options_.queue_limit) {
+      // Cheap by contract (an eventfd write), so holding mu_ here is fine
+      // and keeps the arm/ring sequence race-free.
+      space_wanted_ = false;
+      if (space_callback_) space_callback_();
+    }
     if (stopping_ && in_pool_ == 0) work_cv_.notify_all();
   }
 }

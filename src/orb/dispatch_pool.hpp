@@ -61,6 +61,20 @@ class DispatchPool {
   /// pool is at queue_limit; throws BAD_INV_ORDER after stop().
   void submit(RequestMessage request, Completion done);
 
+  /// Non-blocking submit for callers that must never park a thread (the
+  /// reactor's I/O loops): returns false — leaving `request`/`done`
+  /// untouched — when the pool is at queue_limit, and arms the space
+  /// callback so the caller is poked once capacity frees up.  Throws
+  /// BAD_INV_ORDER after stop().
+  bool try_submit(RequestMessage& request, Completion& done);
+
+  /// Installs the capacity notification used by try_submit: invoked (at
+  /// most once per failed-try_submit episode) when the pool drops back
+  /// below queue_limit, and on stop().  The callback runs with the pool
+  /// lock held on a worker thread, so it must be cheap and lock-free — an
+  /// eventfd write, not real work.  Set before the first try_submit.
+  void set_space_callback(std::function<void()> callback);
+
   /// Drains every queued request, then joins the workers.  Idempotent.
   void stop();
 
@@ -84,6 +98,7 @@ class DispatchPool {
   };
 
   void worker_loop();
+  void enqueue_locked(RequestMessage request, Completion done);
 
   Options options_;
   Dispatch dispatch_;
@@ -97,6 +112,10 @@ class DispatchPool {
   std::size_t in_pool_ = 0;  ///< queued + executing
   std::uint64_t dispatched_ = 0;
   bool stopping_ = false;
+  /// True after a try_submit bounced off queue_limit; cleared when the
+  /// space callback fires (edge-triggered, so an idle pool never rings it).
+  bool space_wanted_ = false;
+  std::function<void()> space_callback_;
   std::mutex join_mu_;
   std::vector<std::thread> workers_;
 };

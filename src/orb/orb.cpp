@@ -100,8 +100,13 @@ void ORB::start() {
   EndpointProfile profile;
   profile.adapter_id = config_.adapter_id;
   if (config_.enable_tcp) {
-    tcp_server_ = std::make_unique<TcpServerEndpoint>(config_.tcp_host,
-                                                      config_.tcp_port);
+    TcpServerOptions server_options;
+    server_options.reactor = config_.reactor;
+    server_options.io_threads = config_.io_threads;
+    server_options.listen_backlog = config_.listen_backlog;
+    server_options.idle_timeout_s = config_.server_idle_timeout_s;
+    tcp_server_ = std::make_unique<TcpServerEndpoint>(
+        config_.tcp_host, config_.tcp_port, server_options);
     profile.protocol = std::string(protocol::tcp);
     profile.host = config_.tcp_host;
     profile.port = tcp_server_->port();

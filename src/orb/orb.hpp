@@ -108,6 +108,18 @@ struct OrbConfig {
   std::size_t dispatch_threads = 4;
   /// Requests queued + executing before receive loops block (backpressure).
   std::size_t dispatch_queue_limit = 1024;
+
+  /// Server receive mode.  true (default): epoll reactor — `io_threads`
+  /// event loops serve every connection on a fixed thread budget.  false:
+  /// legacy thread-per-connection receive loops (bench baseline).
+  bool reactor = true;
+  /// Reactor event-loop threads (the whole receive-side thread budget).
+  std::size_t io_threads = 2;
+  /// listen(2) backlog for the server endpoint.
+  int listen_backlog = 256;
+  /// Reactor-only: harvest connections idle for this long (seconds; 0 =
+  /// never).  Must comfortably exceed the slowest expected call.
+  double server_idle_timeout_s = 0;
 };
 
 /// The Object Request Broker.

@@ -1,0 +1,734 @@
+#include "orb/reactor.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+#include "orb/exceptions.hpp"
+#include "orb/log.hpp"
+#include "orb/object_adapter.hpp"
+#include "orb/server_conn.hpp"
+
+namespace corba {
+
+namespace {
+
+struct ReactorMetrics {
+  obs::Counter& wakeups = obs::MetricsRegistry::global().counter(
+      "transport.tcp.reactor.wakeups_total");
+  obs::Counter& events = obs::MetricsRegistry::global().counter(
+      "transport.tcp.reactor.events_total");
+  obs::Counter& deferred_writes = obs::MetricsRegistry::global().counter(
+      "transport.tcp.reactor.deferred_writes_total");
+  obs::Counter& idle_harvested = obs::MetricsRegistry::global().counter(
+      "transport.tcp.reactor.idle_harvested_total");
+  obs::Gauge& registered = obs::MetricsRegistry::global().gauge(
+      "transport.tcp.epoll_registered");
+  /// Shared with the client transport: process-wide open TCP connections
+  /// (the orbtop CONN column reads it through HealthReport).
+  obs::Gauge& connections =
+      obs::MetricsRegistry::global().gauge("transport.tcp.connections");
+};
+
+ReactorMetrics& reactor_metrics() {
+  static ReactorMetrics metrics;
+  return metrics;
+}
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// recv() granularity per syscall.
+constexpr std::size_t kReadChunk = 16 * 1024;
+/// Per-connection byte cap per epoll wake: a firehose client cannot starve
+/// its loop siblings (level-triggered EPOLLIN re-fires for the rest).
+constexpr std::size_t kMaxReadPerWake = 256 * 1024;
+/// Accept backoff after fd exhaustion (EMFILE/ENFILE).
+constexpr double kAcceptBackoffS = 0.1;
+/// Deadline-wheel sentinel "fd" for re-arming the listen socket.
+constexpr int kListenRearmFd = -2;
+/// Compact the read buffer once this much parsed prefix accumulates.
+constexpr std::size_t kCompactThreshold = 64 * 1024;
+
+}  // namespace
+
+/// One reactor-owned server connection.  Read-side state (buffer, session,
+/// stalled request) is touched only by the owning I/O thread; the write side
+/// (pending-write queue, epoll interest mask) is shared with dispatch-pool
+/// completion threads under `wmu`.
+class ReactorConn final : public ServerConn,
+                          public std::enable_shared_from_this<ReactorConn> {
+ public:
+  ReactorConn(int fd, Reactor* reactor, std::size_t loop_index)
+      : fd_(fd), reactor_(reactor), loop_index_(loop_index) {}
+
+  ~ReactorConn() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  ReactorConn(const ReactorConn&) = delete;
+  ReactorConn& operator=(const ReactorConn&) = delete;
+
+  void send_frame_bytes(std::vector<std::byte> bytes) noexcept override {
+    std::lock_guard lock(wmu_);
+    if (dead_.load(std::memory_order_acquire)) return;
+    wq_.push_back(std::move(bytes));
+    flush_locked();
+  }
+
+  void write_reply(const ReplyMessage& reply) noexcept override {
+    try {
+      CdrOutputStream body;
+      reply.encode_body(body);
+      send_frame_bytes(encode_frame(MessageType::reply, body));
+    } catch (...) {
+      // Encoding failed: nothing sensible to do from a completion thread.
+    }
+  }
+
+  bool is_dead() const noexcept override {
+    return dead_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class Reactor;
+
+  /// Drains the pending-write queue until empty or the socket would block
+  /// (then arms EPOLLOUT).  Call with wmu_ held.
+  void flush_locked() noexcept {
+    while (!wq_.empty()) {
+      const std::vector<std::byte>& head = wq_.front();
+      while (woff_ < head.size()) {
+        const ssize_t n = ::send(fd_, head.data() + woff_, head.size() - woff_,
+                                 MSG_NOSIGNAL);
+        if (n >= 0) {
+          woff_ += static_cast<std::size_t>(n);
+          continue;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (!want_write_) {
+            want_write_ = true;
+            update_interest_locked();
+            reactor_metrics().deferred_writes.inc();
+          }
+          return;
+        }
+        mark_dead_locked();
+        return;
+      }
+      woff_ = 0;
+      wq_.pop_front();
+    }
+    touch();
+    if (want_write_) {
+      want_write_ = false;
+      update_interest_locked();
+    }
+    if (close_after_flush_) mark_dead_locked();
+  }
+
+  /// Re-publishes the EPOLLIN/EPOLLOUT interest mask (wmu_ held).  Both the
+  /// I/O thread (back-pressure) and completion threads (deferred writes)
+  /// change interest, which is why the mask lives under the write mutex.
+  void update_interest_locked() noexcept {
+    if (!registered_) return;
+    epoll_event ev{};
+    ev.events = (want_read_ ? EPOLLIN : 0u) | (want_write_ ? EPOLLOUT : 0u);
+    ev.data.fd = fd_;
+    ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd_, &ev);
+  }
+
+  void mark_dead_locked() noexcept {
+    if (dead_.exchange(true, std::memory_order_acq_rel)) return;
+    wq_.clear();
+    reactor_->request_reap(loop_index_, fd_);
+  }
+
+  void touch() noexcept {
+    last_activity_.store(monotonic_seconds(), std::memory_order_relaxed);
+  }
+
+  const int fd_;
+  Reactor* const reactor_;
+  const std::size_t loop_index_;
+  int epfd_ = -1;  ///< set at registration, before any writer can see us
+
+  // --- read side: owning I/O thread only ------------------------------------
+  std::vector<std::byte> rbuf_;
+  std::size_t rlen_ = 0;  ///< valid bytes in rbuf_
+  std::size_t rpos_ = 0;  ///< parse offset
+  std::shared_ptr<ServerSession> session_;
+  /// Decoded request waiting out a full dispatch pool (EPOLLIN disarmed).
+  struct StalledJob {
+    RequestMessage request;
+    DispatchPool::Completion done;
+  };
+  std::optional<StalledJob> stalled_;
+
+  // --- write side: shared with completion threads under wmu_ ----------------
+  std::mutex wmu_;
+  std::deque<std::vector<std::byte>> wq_;
+  std::size_t woff_ = 0;  ///< bytes of wq_.front() already written
+  bool want_read_ = true;
+  bool want_write_ = false;
+  bool close_after_flush_ = false;
+  bool registered_ = false;
+  std::atomic<bool> dead_{false};
+  std::atomic<double> last_activity_{0.0};
+};
+
+/// Per-I/O-thread state.  `conns`, `stalled` and the deadline wheel belong
+/// to the owning thread; `pending_adds`/`pending_reaps` are the cross-thread
+/// handoff, guarded by `mu` and signalled through the wake eventfd.
+struct Reactor::Loop {
+  std::size_t index = 0;
+  int epfd = -1;
+  int wake_fd = -1;
+  int timer_fd = -1;
+  std::thread thread;
+
+  std::unordered_map<int, std::shared_ptr<ReactorConn>> conns;  ///< by fd
+  std::vector<std::shared_ptr<ReactorConn>> stalled;
+  /// Deadline wheel: absolute monotonic seconds -> connection fd (or the
+  /// listen-rearm sentinel).  The timerfd is armed to the earliest entry.
+  std::multimap<double, int> deadlines;
+  double timer_armed_at = std::numeric_limits<double>::infinity();
+  bool listen_paused = false;  ///< loop 0: EMFILE backoff in progress
+
+  std::mutex mu;
+  std::vector<std::shared_ptr<ReactorConn>> pending_adds;
+  std::vector<int> pending_reaps;
+  std::atomic<bool> retry_submits{false};
+};
+
+Reactor::Reactor(int listen_fd, std::shared_ptr<ObjectAdapter> adapter,
+                 SessionTable& sessions, ReactorOptions options)
+    : listen_fd_(listen_fd),
+      adapter_(std::move(adapter)),
+      sessions_(sessions),
+      options_(options) {
+  if (options_.io_threads < 1)
+    throw BAD_PARAM("reactor requires >= 1 io thread");
+}
+
+Reactor::~Reactor() {
+  stop();
+  for (auto& loop : loops_) {
+    if (loop->epfd >= 0) ::close(loop->epfd);
+    if (loop->wake_fd >= 0) ::close(loop->wake_fd);
+    if (loop->timer_fd >= 0) ::close(loop->timer_fd);
+  }
+}
+
+void Reactor::start() {
+  if (started_) return;
+  started_ = true;
+  // The endpoint's listen socket is created blocking (the legacy accept loop
+  // polls before each accept); the reactor accepts in bursts until EAGAIN,
+  // so the fd itself must be non-blocking or loop 0 would park in accept4.
+  const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+  loops_.reserve(options_.io_threads);
+  for (std::size_t i = 0; i < options_.io_threads; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->index = i;
+    loop->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    loop->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    loop->timer_fd = ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+    if (loop->epfd < 0 || loop->wake_fd < 0 || loop->timer_fd < 0)
+      throw COMM_FAILURE(std::string("reactor setup: ") + std::strerror(errno),
+                         minor_code::unspecified,
+                         CompletionStatus::completed_no);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wake_fd;
+    ::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, loop->wake_fd, &ev);
+    ev.data.fd = loop->timer_fd;
+    ::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, loop->timer_fd, &ev);
+    loops_.push_back(std::move(loop));
+  }
+  // Loop 0 owns the listen socket — there is no separate acceptor thread;
+  // io_threads IS the server's receive-side thread budget.
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(loops_[0]->epfd, EPOLL_CTL_ADD, listen_fd_, &ev);
+  for (auto& loop : loops_)
+    loop->thread = std::thread([this, raw = loop.get()] { io_loop(*raw); });
+}
+
+void Reactor::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  for (auto& loop : loops_) wake(*loop);
+  for (auto& loop : loops_)
+    if (loop->thread.joinable()) loop->thread.join();
+  for (auto& loop : loops_) {
+    const auto open = static_cast<double>(loop->conns.size());
+    if (open > 0) {
+      reactor_metrics().registered.add(-open);
+      reactor_metrics().connections.add(-open);
+    }
+    // Dropping the map releases each connection; sockets with completions
+    // still holding a reference stay open until the last reply is written.
+    loop->conns.clear();
+    loop->stalled.clear();
+    loop->deadlines.clear();
+    std::lock_guard lock(loop->mu);
+    loop->pending_adds.clear();
+    loop->pending_reaps.clear();
+  }
+}
+
+void Reactor::notify_pool_space() noexcept {
+  for (auto& loop : loops_) {
+    loop->retry_submits.store(true, std::memory_order_release);
+    wake(*loop);
+  }
+}
+
+void Reactor::wake(Loop& loop) noexcept {
+  if (loop.wake_fd < 0) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(loop.wake_fd, &one, sizeof(one));  // nonblocking; EAGAIN is fine
+}
+
+void Reactor::request_reap(std::size_t loop_index, int fd) noexcept {
+  if (loop_index >= loops_.size()) return;
+  Loop& loop = *loops_[loop_index];
+  {
+    std::lock_guard lock(loop.mu);
+    loop.pending_reaps.push_back(fd);
+  }
+  wake(loop);
+}
+
+void Reactor::io_loop(Loop& loop) {
+  std::vector<epoll_event> events(256);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n =
+        ::epoll_wait(loop.epfd, events.data(), static_cast<int>(events.size()),
+                     -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epfd gone: endpoint torn down
+    }
+    reactor_metrics().wakeups.inc();
+    reactor_metrics().events.inc(static_cast<std::uint64_t>(n));
+    bool woken = false;
+    bool timer_fired = false;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == loop.wake_fd) {
+        std::uint64_t drain = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(loop.wake_fd, &drain, sizeof(drain));
+        woken = true;
+        continue;
+      }
+      if (fd == loop.timer_fd) {
+        std::uint64_t expirations = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(loop.timer_fd, &expirations, sizeof(expirations));
+        timer_fired = true;
+        continue;
+      }
+      if (fd == listen_fd_ && loop.index == 0) {
+        handle_accept(loop);
+        continue;
+      }
+      // Stale events for a connection reaped earlier in this batch miss the
+      // lookup and are skipped — fds are never reused while still mapped,
+      // because the connection owns its fd until the last reference drops.
+      auto it = loop.conns.find(fd);
+      if (it == loop.conns.end()) continue;
+      const std::shared_ptr<ReactorConn> conn = it->second;
+      if (events[i].events & EPOLLERR) {
+        reap_conn(loop, conn);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) {
+        std::lock_guard lock(conn->wmu_);
+        conn->flush_locked();
+      }
+      if (events[i].events & (EPOLLIN | EPOLLHUP)) handle_readable(loop, conn);
+      if (conn->is_dead()) reap_conn(loop, conn);
+    }
+    if (timer_fired) handle_timer(loop);
+    // Cross-thread work *after* the events batch: a connection registered
+    // here cannot alias a same-batch event for a just-freed fd.
+    if (woken) handle_wake(loop);
+    if (loop.retry_submits.exchange(false, std::memory_order_acq_rel))
+      retry_stalled(loop);
+  }
+}
+
+void Reactor::handle_accept(Loop& loop) {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of file descriptors: stop accepting for a beat instead of
+        // spinning on the level-triggered listen event, and let in-flight
+        // work (which may be on the verge of releasing fds) drain.
+        log::emit(log::Level::warning, "reactor",
+                  "accept failed (out of file descriptors); pausing accepts");
+        if (!loop.listen_paused) {
+          loop.listen_paused = true;
+          ::epoll_ctl(loop.epfd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+          schedule_deadline(loop, monotonic_seconds() + kAcceptBackoffS,
+                            kListenRearmFd);
+        }
+        return;
+      }
+      if (errno == ECONNABORTED || errno == EPROTO)
+        continue;  // the would-be client is already gone; keep accepting
+      // Anything else (EBADF during teardown, EINVAL): bail out of the burst
+      // rather than spin — level-triggered EPOLLIN re-fires if the listen
+      // socket is still live and readable.
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const std::size_t target =
+        next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+    auto conn = std::make_shared<ReactorConn>(fd, this, target);
+    conn->touch();
+    reactor_metrics().connections.add(1);
+    if (target == loop.index) {
+      register_conn(loop, conn);
+    } else {
+      Loop& other = *loops_[target];
+      {
+        std::lock_guard lock(other.mu);
+        other.pending_adds.push_back(std::move(conn));
+      }
+      wake(other);
+    }
+  }
+}
+
+void Reactor::register_conn(Loop& loop,
+                            const std::shared_ptr<ReactorConn>& conn) {
+  {
+    std::lock_guard lock(conn->wmu_);
+    conn->epfd_ = loop.epfd;
+    conn->registered_ = true;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = conn->fd_;
+  if (::epoll_ctl(loop.epfd, EPOLL_CTL_ADD, conn->fd_, &ev) != 0) {
+    reactor_metrics().connections.add(-1);
+    return;  // dropping the last reference closes the socket
+  }
+  loop.conns.emplace(conn->fd_, conn);
+  reactor_metrics().registered.add(1);
+  if (options_.idle_timeout_s > 0)
+    schedule_deadline(loop, monotonic_seconds() + options_.idle_timeout_s,
+                      conn->fd_);
+}
+
+void Reactor::reap_conn(Loop& loop, const std::shared_ptr<ReactorConn>& conn) {
+  auto it = loop.conns.find(conn->fd_);
+  if (it == loop.conns.end() || it->second != conn) return;
+  ::epoll_ctl(loop.epfd, EPOLL_CTL_DEL, conn->fd_, nullptr);
+  {
+    std::lock_guard lock(conn->wmu_);
+    conn->registered_ = false;
+  }
+  loop.conns.erase(it);
+  std::erase(loop.stalled, conn);
+  reactor_metrics().registered.add(-1);
+  reactor_metrics().connections.add(-1);
+}
+
+void Reactor::handle_wake(Loop& loop) {
+  std::vector<std::shared_ptr<ReactorConn>> adds;
+  std::vector<int> reaps;
+  {
+    std::lock_guard lock(loop.mu);
+    adds.swap(loop.pending_adds);
+    reaps.swap(loop.pending_reaps);
+  }
+  for (const int fd : reaps) {
+    auto it = loop.conns.find(fd);
+    if (it != loop.conns.end() && it->second->is_dead())
+      reap_conn(loop, it->second);
+  }
+  for (auto& conn : adds) register_conn(loop, conn);
+}
+
+void Reactor::handle_timer(Loop& loop) {
+  const double now = monotonic_seconds();
+  loop.timer_armed_at = std::numeric_limits<double>::infinity();
+  while (!loop.deadlines.empty() && loop.deadlines.begin()->first <= now) {
+    const int fd = loop.deadlines.begin()->second;
+    loop.deadlines.erase(loop.deadlines.begin());
+    if (fd == kListenRearmFd) {
+      loop.listen_paused = false;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = listen_fd_;
+      ::epoll_ctl(loop.epfd, EPOLL_CTL_ADD, listen_fd_, &ev);
+      continue;
+    }
+    auto it = loop.conns.find(fd);
+    if (it == loop.conns.end()) continue;
+    const std::shared_ptr<ReactorConn>& conn = it->second;
+    const double expire =
+        conn->last_activity_.load(std::memory_order_relaxed) +
+        options_.idle_timeout_s;
+    if (expire <= now && !conn->stalled_) {
+      // Lazy wheel: entries are never removed on activity, just checked
+      // against the connection's actual last-activity stamp here.
+      reactor_metrics().idle_harvested.inc();
+      reap_conn(loop, conn);
+    } else {
+      schedule_deadline(loop, std::max(expire, now + 0.001), fd);
+    }
+  }
+  if (!loop.deadlines.empty())
+    arm_timer(loop, loop.deadlines.begin()->first);
+}
+
+void Reactor::schedule_deadline(Loop& loop, double when, int fd) {
+  loop.deadlines.emplace(when, fd);
+  if (when < loop.timer_armed_at) arm_timer(loop, when);
+}
+
+void Reactor::arm_timer(Loop& loop, double when_mono_s) {
+  loop.timer_armed_at = when_mono_s;
+  const double delay = std::max(when_mono_s - monotonic_seconds(), 1e-3);
+  itimerspec spec{};
+  spec.it_value.tv_sec = static_cast<time_t>(delay);
+  spec.it_value.tv_nsec =
+      static_cast<long>((delay - static_cast<double>(spec.it_value.tv_sec)) *
+                        1e9);
+  ::timerfd_settime(loop.timer_fd, 0, &spec, nullptr);
+}
+
+void Reactor::handle_readable(Loop& loop,
+                              const std::shared_ptr<ReactorConn>& conn) {
+  if (conn->stalled_) return;  // EPOLLIN is disarmed; stray level event
+  std::size_t total = 0;
+  bool eof = false;
+  for (;;) {
+    if (conn->rbuf_.size() - conn->rlen_ < kReadChunk)
+      conn->rbuf_.resize(conn->rlen_ + kReadChunk);
+    const ssize_t n = ::recv(conn->fd_, conn->rbuf_.data() + conn->rlen_,
+                             conn->rbuf_.size() - conn->rlen_, 0);
+    if (n > 0) {
+      conn->rlen_ += static_cast<std::size_t>(n);
+      total += static_cast<std::size_t>(n);
+      if (total >= kMaxReadPerWake) break;  // fairness: let siblings run
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    reap_conn(loop, conn);
+    return;
+  }
+  if (total > 0) {
+    conn->touch();
+    if (!parse_frames(loop, conn)) {
+      reap_conn(loop, conn);
+      return;
+    }
+  }
+  if (eof) {
+    // Orderly close: the receive side is done.  Like the legacy loop, the
+    // socket itself stays open while dispatch-pool completions still hold
+    // the connection — queued replies drain best-effort before the last
+    // reference closes the fd.
+    reap_conn(loop, conn);
+  }
+}
+
+bool Reactor::parse_frames(Loop& loop,
+                           const std::shared_ptr<ReactorConn>& conn) {
+  try {
+    while (!conn->stalled_) {
+      const std::size_t avail = conn->rlen_ - conn->rpos_;
+      if (avail < MessageHeader::kEncodedSize) break;
+      const std::span<const std::byte> head(conn->rbuf_.data() + conn->rpos_,
+                                            MessageHeader::kEncodedSize);
+      const MessageHeader header = MessageHeader::decode(head);  // may throw
+      const std::size_t frame_size =
+          MessageHeader::kEncodedSize + header.body_length;
+      if (avail < frame_size) {
+        // Partial frame: make room for the whole body up front so a big
+        // frame arrives through one buffer growth, then wait for more bytes.
+        if (conn->rbuf_.size() < conn->rpos_ + frame_size)
+          conn->rbuf_.resize(conn->rpos_ + frame_size);
+        break;
+      }
+      const std::span<const std::byte> body(
+          conn->rbuf_.data() + conn->rpos_ + MessageHeader::kEncodedSize,
+          header.body_length);
+      // Consume before handling: a stalled request has already been decoded
+      // out of the buffer, so the resume path must not see it again.
+      conn->rpos_ += frame_size;
+      if (!handle_frame(loop, conn, header, body)) return false;
+    }
+  } catch (const Exception&) {
+    // Framing/marshal error: drop the connection.  The client sees
+    // COMM_FAILURE, which is exactly what a real ORB produces.
+    return false;
+  }
+  if (conn->rpos_ == conn->rlen_) {
+    conn->rpos_ = conn->rlen_ = 0;
+  } else if (conn->rpos_ >= kCompactThreshold) {
+    std::memmove(conn->rbuf_.data(), conn->rbuf_.data() + conn->rpos_,
+                 conn->rlen_ - conn->rpos_);
+    conn->rlen_ -= conn->rpos_;
+    conn->rpos_ = 0;
+  }
+  return true;
+}
+
+bool Reactor::handle_frame(Loop& loop,
+                           const std::shared_ptr<ReactorConn>& conn,
+                           const MessageHeader& header,
+                           std::span<const std::byte> body) {
+  switch (header.type) {
+    case MessageType::close_connection:
+      return false;
+    case MessageType::session_hello: {
+      CdrInputStream in(body, header.byte_order);
+      const SessionHello hello = SessionHello::decode_body(in);
+      conn->session_ =
+          server_detail::handle_session_hello(sessions_, hello, conn);
+      return !conn->is_dead();
+    }
+    case MessageType::request: {
+      CdrInputStream in(body, header.byte_order);
+      RequestMessage request = RequestMessage::decode_body(in);
+      if (conn->session_ &&
+          !server_detail::note_session_request(conn->session_, request))
+        return true;  // replayed duplicate: suppressed, never re-executed
+      return submit_request(loop, conn, std::move(request));
+    }
+    default: {
+      // Unknown message type: answer message_error, then close once the
+      // error frame has left the pending-write queue.
+      CdrOutputStream empty;
+      conn->send_frame_bytes(encode_frame(MessageType::message_error, empty));
+      std::lock_guard lock(conn->wmu_);
+      if (conn->wq_.empty())
+        return false;  // already flushed inline: drop now
+      conn->close_after_flush_ = true;
+      conn->want_read_ = false;
+      conn->update_interest_locked();
+      return true;  // reaped via mark_dead once the flush completes
+    }
+  }
+}
+
+bool Reactor::submit_request(Loop& loop,
+                             const std::shared_ptr<ReactorConn>& conn,
+                             RequestMessage request) {
+  DispatchPool::Completion done;
+  if (request.response_expected) {
+    const std::shared_ptr<ServerConn> carrier = conn;
+    if (conn->session_)
+      done = [session = conn->session_, carrier](ReplyMessage reply) {
+        server_detail::write_session_reply(session, carrier, std::move(reply));
+      };
+    else
+      done = [carrier](ReplyMessage reply) { carrier->write_reply(reply); };
+  }
+  DispatchPool* pool = adapter_->dispatch_pool();
+  if (pool == nullptr) {
+    // dispatch_threads = 0: inline dispatch on the I/O thread, the
+    // event-driven analogue of the legacy inline-on-receive-thread mode.
+    adapter_->dispatch_async(std::move(request), std::move(done));
+    return true;
+  }
+  try {
+    if (pool->try_submit(request, done)) return true;
+  } catch (const Exception&) {
+    return false;  // pool stopped: the endpoint is going down
+  }
+  // Pool at capacity: park the request, stop reading this connection, and
+  // let TCP flow control push back to the client.  The pool's space
+  // callback wakes this loop to retry.
+  conn->stalled_.emplace(
+      ReactorConn::StalledJob{std::move(request), std::move(done)});
+  {
+    std::lock_guard lock(conn->wmu_);
+    conn->want_read_ = false;
+    conn->update_interest_locked();
+  }
+  loop.stalled.push_back(conn);
+  return true;
+}
+
+void Reactor::retry_stalled(Loop& loop) {
+  std::vector<std::shared_ptr<ReactorConn>> stalled;
+  stalled.swap(loop.stalled);
+  DispatchPool* pool = adapter_->dispatch_pool();
+  for (std::size_t i = 0; i < stalled.size(); ++i) {
+    const std::shared_ptr<ReactorConn>& conn = stalled[i];
+    if (conn->is_dead() || !conn->stalled_) continue;
+    bool accepted = false;
+    try {
+      accepted = pool == nullptr ||
+                 pool->try_submit(conn->stalled_->request, conn->stalled_->done);
+    } catch (const Exception&) {
+      reap_conn(loop, conn);
+      continue;
+    }
+    if (!accepted) {
+      // Still full: keep this and every remaining connection parked (the
+      // next space callback retries them all).
+      loop.stalled.insert(loop.stalled.end(), stalled.begin() + i,
+                          stalled.end());
+      return;
+    }
+    conn->stalled_.reset();
+    // Drain whatever frames were already buffered (this may stall again,
+    // putting the connection back on the list), then resume reading.
+    if (!parse_frames(loop, conn)) {
+      reap_conn(loop, conn);
+      continue;
+    }
+    if (!conn->stalled_) {
+      std::lock_guard lock(conn->wmu_);
+      conn->want_read_ = true;
+      conn->update_interest_locked();
+    }
+  }
+}
+
+}  // namespace corba

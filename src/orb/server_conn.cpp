@@ -1,0 +1,134 @@
+#include "orb/server_conn.hpp"
+
+#include <sys/resource.h>
+
+#include <mutex>
+#include <string>
+
+#include "orb/log.hpp"
+
+namespace corba {
+namespace server_detail {
+
+void write_session_reply(const std::shared_ptr<ServerSession>& session,
+                         const std::shared_ptr<ServerConn>& fallback,
+                         ReplyMessage reply) noexcept {
+  try {
+    // Lock order: session->mu, then the connection's write mutex (inside
+    // send_frame_bytes).
+    std::lock_guard slock(session->mu);
+    reply.has_session = true;
+    reply.session_seq = session->next_reply_seq++;
+    reply.session_ack = session->highest_request_seq;
+    CdrOutputStream body;
+    reply.encode_body(body);
+    std::vector<std::byte> frame = encode_frame(MessageType::reply, body);
+    // Buffer before writing: a write failure (or a dead connection) leaves
+    // the frame for the next resume's replay instead of losing the reply.
+    if (session->replies.full()) {
+      session->replies.evict_oldest();
+      session->gapped = true;  // replay can no longer cover the hole
+    }
+    session->replies.append(reply.session_seq, reply.request_id, frame);
+    auto connection =
+        std::static_pointer_cast<ServerConn>(session->carrier.lock());
+    if (!connection) connection = fallback;
+    if (!connection || connection->is_dead())
+      return;  // buffered; the replay will deliver it
+    connection->send_frame_bytes(std::move(frame));
+  } catch (...) {
+    // Encoding failed: nothing sensible to do from a completion thread.
+  }
+}
+
+std::shared_ptr<ServerSession> handle_session_hello(
+    SessionTable& table, const SessionHello& hello,
+    const std::shared_ptr<ServerConn>& connection) {
+  std::shared_ptr<ServerSession> session =
+      hello.session_id == 0 ? table.create() : table.find(hello.session_id);
+  SessionAccept accept;
+  accept.ok = false;
+  std::size_t replayed = 0;
+  if (session) {
+    std::lock_guard slock(session->mu);
+    if (session->gapped) {
+      session.reset();  // reply buffer has a hole: resume is unsafe
+    } else {
+      accept.ok = true;
+      accept.session_id = session->id;
+      accept.highest_request_seq = session->highest_request_seq;
+      // The carrier is stored as a type-erased ServerConn so completions in
+      // either receive mode route replies to the session's live socket.
+      session->carrier = std::static_pointer_cast<void>(connection);
+      session->replies.ack(hello.highest_reply_seq);
+      // Write accept + replay while still holding session->mu so a
+      // completing dispatch cannot interleave a new reply before the
+      // replayed ones.
+      CdrOutputStream accept_body;
+      accept.encode_body(accept_body);
+      connection->send_frame_bytes(
+          encode_frame(MessageType::session_accept, accept_body));
+      for (const SessionFrame* frame :
+           session->replies.after(hello.highest_reply_seq)) {
+        connection->send_frame_bytes(frame->bytes);
+        ++replayed;
+      }
+    }
+  }
+  if (!accept.ok) {
+    // Unknown/stale session (restart, table cull) or a gapped reply buffer:
+    // an exactly-once resume is impossible — reject and let the client fall
+    // back to the batched-failure path.
+    CdrOutputStream accept_body;
+    accept.encode_body(accept_body);
+    connection->send_frame_bytes(
+        encode_frame(MessageType::session_accept, accept_body));
+  }
+  if (replayed > 0) session_metrics().replayed_replies.inc(replayed);
+  return session;
+}
+
+bool note_session_request(const std::shared_ptr<ServerSession>& session,
+                          const RequestMessage& request) {
+  const auto ctx = extract_session_context(request);
+  if (!ctx) return true;
+  std::lock_guard slock(session->mu);
+  session->replies.ack(ctx->ack);  // piggybacked cumulative ack
+  if (ctx->seq <= session->highest_request_seq) {
+    // Replayed duplicate: the request already executed (or still is).  Its
+    // reply reaches the client through the session's reply buffer — the
+    // hello replay carried it, or the in-flight completion will land on the
+    // resumed connection — so the duplicate is suppressed, never
+    // re-executed.
+    session_metrics().duplicates_suppressed.inc();
+    return false;
+  }
+  session->highest_request_seq = ctx->seq;
+  return true;
+}
+
+}  // namespace server_detail
+
+std::size_t raise_nofile_soft_limit(std::size_t want) {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return 0;
+  const rlim_t target =
+      limit.rlim_max == RLIM_INFINITY
+          ? static_cast<rlim_t>(want)
+          : std::min<rlim_t>(static_cast<rlim_t>(want), limit.rlim_max);
+  if (limit.rlim_cur < target) {
+    rlimit raised = limit;
+    raised.rlim_cur = target;
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) limit = raised;
+  }
+  const auto result = static_cast<std::size_t>(
+      limit.rlim_cur == RLIM_INFINITY ? want : limit.rlim_cur);
+  if (result < want && log::enabled())
+    log::emit(log::Level::warning, "transport",
+              "RLIMIT_NOFILE soft limit " + std::to_string(result) +
+                  " is below the requested " + std::to_string(want) +
+                  "; connection-heavy workloads may hit EMFILE");
+  return result;
+}
+
+}  // namespace corba

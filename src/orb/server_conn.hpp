@@ -1,0 +1,91 @@
+// Server-side connection abstraction shared by the two receive paths.
+//
+// The TCP endpoint has two server receive implementations — the legacy
+// thread-per-connection loop (blocking sockets) and the epoll reactor
+// (reactor.hpp) — but exactly one set of protocol semantics: session
+// handshakes, duplicate suppression, reply buffering for replay, and the
+// batched-failure behaviour the client transport and the FT layer were
+// written against.  ServerConn is the seam: it abstracts "write a frame to
+// this client, in order, best-effort" so the session helpers below (and the
+// dispatch-pool completions) are byte-for-byte identical in both modes.
+//
+// Ordering contract: send_frame_bytes() calls made under one lock (the
+// session mutex, or any single caller) reach the wire in call order.  The
+// legacy connection writes synchronously under its write mutex; the reactor
+// connection appends to a pending-write queue drained in FIFO order on
+// EPOLLOUT.  Either way a failure marks the connection dead instead of
+// throwing — completions run on dispatch-pool threads where there is nobody
+// to catch.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "orb/message.hpp"
+#include "orb/session.hpp"
+
+namespace corba {
+
+/// Write side of one server connection (see file comment).  Completions and
+/// session state hold it shared: the underlying socket stays open until the
+/// last queued reply for the connection has been written (or dropped).
+class ServerConn {
+ public:
+  virtual ~ServerConn() = default;
+
+  /// Writes one fully encoded frame (header included), preserving the order
+  /// of calls made under a common lock.  Marks the connection dead on
+  /// failure instead of throwing.
+  virtual void send_frame_bytes(std::vector<std::byte> bytes) noexcept = 0;
+
+  /// Encodes and writes a sessionless reply.  (The session path always goes
+  /// through write_session_reply, which pre-encodes for the replay buffer.)
+  virtual void write_reply(const ReplyMessage& reply) noexcept = 0;
+
+  /// True once a write failed or the peer vanished; a dead connection
+  /// silently drops further writes.
+  virtual bool is_dead() const noexcept = 0;
+};
+
+namespace server_detail {
+
+/// Stamps session seq/ack on `reply`, buffers the encoded frame for replay,
+/// and writes it to the session's *current* carrier (which may have changed
+/// since the request arrived — a completion finishing after a resume lands
+/// on the new socket), falling back to the connection the request came in
+/// on.  Holding the session mutex across assignment and write keeps reply
+/// wire order equal to reply seq order per session — the client's cumulative
+/// highest-reply bookkeeping (and therefore replay) depends on it.
+void write_session_reply(const std::shared_ptr<ServerSession>& session,
+                         const std::shared_ptr<ServerConn>& fallback,
+                         ReplyMessage reply) noexcept;
+
+/// Handles one decoded session_hello on `connection`: creates or resumes the
+/// session in `table`, installs `connection` as the session's carrier, and
+/// writes the accept frame plus any replayed replies (all under the session
+/// mutex, so a completing dispatch cannot interleave a fresh reply before
+/// the replayed ones).  Returns the session, or nullptr when the hello was
+/// rejected (unknown/stale id, or a gapped reply buffer made an exactly-once
+/// resume impossible) — the reject accept frame has already been written.
+std::shared_ptr<ServerSession> handle_session_hello(
+    SessionTable& table, const SessionHello& hello,
+    const std::shared_ptr<ServerConn>& connection);
+
+/// Session bookkeeping for one decoded request: applies the piggybacked
+/// cumulative ack and suppresses replayed duplicates.  Returns false when
+/// the request is a duplicate that must NOT be dispatched again (its reply
+/// reaches the client through the session's reply buffer).
+bool note_session_request(const std::shared_ptr<ServerSession>& session,
+                          const RequestMessage& request);
+
+}  // namespace server_detail
+
+/// Raises the process's RLIMIT_NOFILE soft limit toward min(want, hard
+/// limit) and returns the resulting soft limit.  Emits a log warning when
+/// the result is below `want` (a C10K test or bench on a default 1024
+/// ulimit would otherwise fail with confusing EMFILE noise).  Idempotent
+/// and safe to call from any harness.
+std::size_t raise_nofile_soft_limit(std::size_t want);
+
+}  // namespace corba

@@ -16,6 +16,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "orb/exceptions.hpp"
+#include "orb/log.hpp"
+#include "orb/reactor.hpp"
 
 namespace corba {
 
@@ -1070,50 +1072,21 @@ void TcpServerEndpoint::Connection::write_reply(
   }
 }
 
-void TcpServerEndpoint::write_session_reply(
-    const std::shared_ptr<ServerSession>& session,
-    const std::shared_ptr<Connection>& fallback, ReplyMessage reply) noexcept {
+void TcpServerEndpoint::Connection::send_frame_bytes(
+    std::vector<std::byte> bytes) noexcept {
+  std::lock_guard lock(write_mu);
+  if (dead.load(std::memory_order_acquire)) return;
   try {
-    // Holding the session mutex across assignment *and* write keeps reply
-    // wire order equal to reply seq order per session — the client's
-    // cumulative highest-reply bookkeeping (and therefore replay) depends
-    // on it.  Lock order: session->mu, then the connection's write_mu.
-    std::lock_guard slock(session->mu);
-    reply.has_session = true;
-    reply.session_seq = session->next_reply_seq++;
-    reply.session_ack = session->highest_request_seq;
-    CdrOutputStream body;
-    reply.encode_body(body);
-    std::vector<std::byte> frame = encode_frame(MessageType::reply, body);
-    // Buffer before writing: a write failure (or a dead connection) leaves
-    // the frame for the next resume's replay instead of losing the reply.
-    if (session->replies.full()) {
-      session->replies.evict_oldest();
-      session->gapped = true;  // replay can no longer cover the hole
-    }
-    session->replies.append(reply.session_seq, reply.request_id, frame);
-    // Route to the session's *current* connection: a completion finishing
-    // after a resume must land on the resumed socket, not the dead one the
-    // request arrived on.
-    auto connection =
-        std::static_pointer_cast<Connection>(session->carrier.lock());
-    if (!connection) connection = fallback;
-    if (!connection || connection->dead.load(std::memory_order_acquire))
-      return;  // buffered; the replay will deliver it
-    std::lock_guard wlock(connection->write_mu);
-    try {
-      connection->socket.send_bytes(frame);
-    } catch (const Exception&) {
-      connection->dead.store(true, std::memory_order_release);
-    }
+    socket.send_bytes(bytes);
   } catch (...) {
-    // Encoding failed: nothing sensible to do from a completion thread.
+    dead.store(true, std::memory_order_release);
   }
 }
 
 TcpServerEndpoint::TcpServerEndpoint(const std::string& host,
-                                     std::uint16_t port)
-    : host_(host) {
+                                     std::uint16_t port,
+                                     TcpServerOptions options)
+    : host_(host), options_(options) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0)
     throw_errno("socket", minor_code::connect_failed,
@@ -1136,7 +1109,7 @@ TcpServerEndpoint::TcpServerEndpoint(const std::string& host,
     throw_errno("bind " + host + ":" + std::to_string(port),
                 minor_code::connect_failed, CompletionStatus::completed_no);
   }
-  if (::listen(listen_fd_, 64) != 0) {
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
     const int saved = errno;
     ::close(listen_fd_);
     errno = saved;
@@ -1153,11 +1126,29 @@ TcpServerEndpoint::~TcpServerEndpoint() { stop(); }
 
 void TcpServerEndpoint::start(std::shared_ptr<ObjectAdapter> adapter) {
   adapter_ = std::move(adapter);
+  if (options_.reactor) {
+    reactor_ = std::make_unique<Reactor>(
+        listen_fd_, adapter_, sessions_,
+        ReactorOptions{options_.io_threads, options_.idle_timeout_s});
+    // Back-pressure seam: a full pool makes the reactor stop reading the
+    // stalled connections; this callback wakes it once capacity frees up.
+    if (DispatchPool* pool = adapter_->dispatch_pool())
+      pool->set_space_callback(
+          [reactor = reactor_.get()] { reactor->notify_pool_space(); });
+    reactor_->start();
+    return;
+  }
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
 void TcpServerEndpoint::stop() {
   if (stopping_.exchange(true)) return;
+  if (reactor_) {
+    reactor_->stop();
+    if (adapter_)
+      if (DispatchPool* pool = adapter_->dispatch_pool())
+        pool->set_space_callback(nullptr);
+  }
   if (acceptor_.joinable()) acceptor_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -1177,8 +1168,16 @@ void TcpServerEndpoint::accept_loop() {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int pr = ::poll(&pfd, 1, kPollIntervalMs);
     if (pr <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EMFILE || errno == ENFILE)
+        // Out of file descriptors: drop this client and keep accepting —
+        // the poll interval above is the natural backoff.  Exiting the
+        // loop would turn a transient fd shortage into a dead endpoint.
+        log::emit(log::Level::warning, "transport",
+                  "accept failed (out of file descriptors); retrying");
+      continue;
+    }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::lock_guard lock(workers_mu_);
@@ -1187,8 +1186,10 @@ void TcpServerEndpoint::accept_loop() {
       break;
     }
     auto connection = std::make_shared<Connection>(Socket(fd));
+    mux_metrics().connections.add(1);
     workers_.emplace_back([this, connection = std::move(connection)]() mutable {
       connection_loop(std::move(connection));
+      mux_metrics().connections.add(-1);
     });
   }
 }
@@ -1210,48 +1211,11 @@ void TcpServerEndpoint::connection_loop(std::shared_ptr<Connection> connection) 
       if (header.type == MessageType::session_hello) {
         CdrInputStream in(body, header.byte_order);
         const SessionHello hello = SessionHello::decode_body(in);
-        session = hello.session_id == 0 ? sessions_.create()
-                                        : sessions_.find(hello.session_id);
-        SessionAccept accept;
-        accept.ok = false;
-        std::vector<std::vector<std::byte>> replay;
-        if (session) {
-          std::lock_guard slock(session->mu);
-          if (session->gapped) {
-            session.reset();  // reply buffer has a hole: resume is unsafe
-          } else {
-            accept.ok = true;
-            accept.session_id = session->id;
-            accept.highest_request_seq = session->highest_request_seq;
-            session->carrier = connection;
-            session->replies.ack(hello.highest_reply_seq);
-            for (const SessionFrame* frame :
-                 session->replies.after(hello.highest_reply_seq))
-              replay.push_back(frame->bytes);
-            // Send accept + replay while still holding session->mu so a
-            // completing dispatch cannot interleave a new reply before the
-            // replayed ones (lock order: session->mu, then write_mu).
-            std::lock_guard wlock(connection->write_mu);
-            CdrOutputStream accept_body;
-            accept.encode_body(accept_body);
-            connection->socket.send_frame(MessageType::session_accept,
-                                          accept_body);
-            for (const auto& bytes : replay)
-              connection->socket.send_bytes(bytes);
-          }
-        }
-        if (!accept.ok) {
-          // Unknown/stale session (restart, table cull) or a gapped reply
-          // buffer: an exactly-once resume is impossible — reject and let
-          // the client fall back to the batched-failure path.
-          std::lock_guard wlock(connection->write_mu);
-          CdrOutputStream accept_body;
-          accept.encode_body(accept_body);
-          connection->socket.send_frame(MessageType::session_accept,
-                                        accept_body);
-        }
-        if (!replay.empty())
-          session_metrics().replayed_replies.inc(replay.size());
+        // Shared with the reactor path: accept/reject + replay are written
+        // under the session mutex through the ServerConn seam, so both
+        // modes produce identical wire behaviour.
+        session = server_detail::handle_session_hello(sessions_, hello,
+                                                      connection);
         continue;
       }
       if (header.type != MessageType::request) {
@@ -1262,32 +1226,18 @@ void TcpServerEndpoint::connection_loop(std::shared_ptr<Connection> connection) 
       }
       CdrInputStream in(body, header.byte_order);
       RequestMessage request = RequestMessage::decode_body(in);
-      if (session) {
-        if (const auto ctx = extract_session_context(request)) {
-          std::lock_guard slock(session->mu);
-          session->replies.ack(ctx->ack);  // piggybacked cumulative ack
-          if (ctx->seq <= session->highest_request_seq) {
-            // Replayed duplicate: the request already executed (or still
-            // is).  Its reply reaches the client through the session's
-            // reply buffer — the hello replay carried it, or the in-flight
-            // completion will land on the resumed connection — so the
-            // duplicate is suppressed, never re-executed.
-            session_metrics().duplicates_suppressed.inc();
-            continue;
-          }
-          session->highest_request_seq = ctx->seq;
-        }
-      }
+      if (session && !server_detail::note_session_request(session, request))
+        continue;  // replayed duplicate: suppressed, never re-executed
       DispatchPool::Completion done;
       if (request.response_expected) {
+        const std::shared_ptr<ServerConn> carrier = connection;
         if (session)
-          done = [session, connection](ReplyMessage reply) {
-            write_session_reply(session, connection, std::move(reply));
+          done = [session, carrier](ReplyMessage reply) {
+            server_detail::write_session_reply(session, carrier,
+                                               std::move(reply));
           };
         else
-          done = [connection](ReplyMessage reply) {
-            connection->write_reply(reply);
-          };
+          done = [carrier](ReplyMessage reply) { carrier->write_reply(reply); };
       }
       // May block when the pool is at capacity: the receive loop then stops
       // reading and TCP flow control pushes back to the client (bounded

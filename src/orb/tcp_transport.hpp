@@ -19,12 +19,18 @@
 // thread per deferred send) is kept behind TcpClientOptions::multiplex =
 // false as the benchmark baseline.
 //
-// Server side: an acceptor thread plus one *receive loop* per connection.
-// The receive loop only reads and decodes frames; servant execution happens
-// on the object adapter's bounded dispatch thread pool (dispatch_pool.hpp),
-// whose completions write replies back — possibly out of order — under a
-// per-connection write mutex.  Requests for one object stay FIFO; requests
-// for different objects and connections no longer block each other.
+// Server side: two receive paths behind one semantics seam (server_conn.hpp).
+// The default is the epoll reactor (reactor.hpp): a fixed set of
+// TcpServerOptions::io_threads event loops serving any number of
+// non-blocking connections, frames assembled incrementally and handed to
+// the object adapter's bounded dispatch thread pool (dispatch_pool.hpp).
+// The legacy path (reactor = false; bench baseline) spends an acceptor
+// thread plus one blocking *receive loop* per connection.  In both modes
+// the receive side only reads and decodes frames; servant execution happens
+// on the dispatch pool, whose completions write replies back — possibly out
+// of order — serialized per connection.  Requests for one object stay FIFO;
+// requests for different objects and connections no longer block each
+// other.
 #pragma once
 
 #include <atomic>
@@ -42,10 +48,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "orb/server_conn.hpp"
 #include "orb/session.hpp"
 #include "orb/transport.hpp"
 
 namespace corba {
+
+class Reactor;
 
 /// RAII socket with framed message I/O.  Throws COMM_FAILURE on errors.
 class Socket {
@@ -334,11 +343,32 @@ class TcpClientTransport final : public ClientTransport {
   std::map<TargetKey, std::vector<Socket>> pool_;
 };
 
+/// Server-endpoint tuning.
+struct TcpServerOptions {
+  /// Receive path: the epoll reactor (default — io_threads event loops
+  /// serving any number of connections; reactor.hpp) vs the legacy
+  /// thread-per-connection blocking receive loop (the bench baseline).
+  /// Both feed the same dispatch pool with identical wire semantics.
+  bool reactor = true;
+
+  /// Reactor event-loop threads (>= 1); the receive-side thread budget.
+  std::size_t io_threads = 2;
+
+  /// listen(2) backlog: pending-connect queue depth before the kernel
+  /// refuses new SYNs (connect storms deeper than this see timeouts).
+  int listen_backlog = 256;
+
+  /// Reactor-only: harvest connections idle (no bytes in, no replies out)
+  /// for this long, in seconds; 0 disables harvesting.
+  double idle_timeout_s = 0;
+};
+
 /// Server endpoint: accepts connections and dispatches into an adapter.
 class TcpServerEndpoint {
  public:
   /// Binds and listens immediately (port 0 selects an ephemeral port).
-  TcpServerEndpoint(const std::string& host, std::uint16_t port);
+  TcpServerEndpoint(const std::string& host, std::uint16_t port,
+                    TcpServerOptions options = {});
   ~TcpServerEndpoint();
 
   TcpServerEndpoint(const TcpServerEndpoint&) = delete;
@@ -353,10 +383,12 @@ class TcpServerEndpoint {
   void stop();
 
  private:
-  /// Write side of one server connection, shared with the dispatch pool's
-  /// completions (which may run after the receive loop exited); the socket
-  /// closes when the last completion releases it.
-  struct Connection {
+  /// Legacy-mode write side of one server connection, shared with the
+  /// dispatch pool's completions (which may run after the receive loop
+  /// exited); the socket closes when the last completion releases it.  The
+  /// reactor mode uses ReactorConn (reactor.cpp) behind the same ServerConn
+  /// seam, so session/reply semantics are identical in both modes.
+  struct Connection final : ServerConn {
     explicit Connection(Socket s) : socket(std::move(s)) {}
     Socket socket;
     std::mutex write_mu;
@@ -364,27 +396,28 @@ class TcpServerEndpoint {
 
     /// Serialized, best-effort reply write; marks the connection dead on
     /// failure instead of throwing (the reader loop then stops).
-    void write_reply(const ReplyMessage& reply) noexcept;
+    void write_reply(const ReplyMessage& reply) noexcept override;
+    /// Serialized, best-effort raw-frame write (session accept/replay and
+    /// buffered-reply frames).
+    void send_frame_bytes(std::vector<std::byte> bytes) noexcept override;
+    bool is_dead() const noexcept override {
+      return dead.load(std::memory_order_acquire);
+    }
   };
 
   void accept_loop();
   void connection_loop(std::shared_ptr<Connection> connection);
-  /// Session-aware reply write: stamps seq/ack under the session mutex,
-  /// buffers the encoded frame for replay, and writes it to the session's
-  /// *current* connection (which may have changed since the request arrived
-  /// — a completion finishing after a resume lands on the new socket).
-  static void write_session_reply(const std::shared_ptr<ServerSession>& session,
-                                  const std::shared_ptr<Connection>& fallback,
-                                  ReplyMessage reply) noexcept;
 
   std::string host_;
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
+  TcpServerOptions options_;
   std::shared_ptr<ObjectAdapter> adapter_;
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
   std::mutex workers_mu_;
   std::vector<std::thread> workers_;
+  std::unique_ptr<Reactor> reactor_;
   /// Sessions survive connection loss but die with the endpoint — a
   /// restarted server rejects old session ids (the stale-session path).
   SessionTable sessions_{/*reply_limit=*/256};

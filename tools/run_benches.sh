@@ -35,7 +35,7 @@ done
 # counter/gauge/histogram entries).
 status=0
 for json in BENCH_table1.json BENCH_checkpoint.json BENCH_multiplex.json \
-            BENCH_session.json; do
+            BENCH_session.json BENCH_reactor.json; do
   if [ ! -e "$json" ]; then
     echo "run_benches.sh: expected $json was not produced" >&2
     status=1
@@ -71,6 +71,14 @@ for needle in '"mode": "resume"' '"mode": "recovery"' \
               '"mode": "retransmit_buffer"'; do
   if [ -e BENCH_session.json ] && ! grep -qF "$needle" BENCH_session.json; then
     echo "run_benches.sh: BENCH_session.json lacks $needle" >&2
+    status=1
+  fi
+done
+
+# The connections sweep must compare both server receive modes.
+for needle in '"mode": "reactor"' '"mode": "threaded"'; do
+  if [ -e BENCH_reactor.json ] && ! grep -qF "$needle" BENCH_reactor.json; then
+    echo "run_benches.sh: BENCH_reactor.json lacks $needle" >&2
     status=1
   fi
 done
