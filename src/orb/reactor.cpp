@@ -110,6 +110,13 @@ class ReactorConn final : public ServerConn,
     return dead_.load(std::memory_order_acquire);
   }
 
+  /// Decoded request waiting out a full dispatch pool (EPOLLIN disarmed).
+  /// Public so Reactor::Loop can park jobs orphaned by a reaped connection.
+  struct StalledJob {
+    RequestMessage request;
+    DispatchPool::Completion done;
+  };
+
  private:
   friend class Reactor;
 
@@ -179,12 +186,11 @@ class ReactorConn final : public ServerConn,
   std::size_t rlen_ = 0;  ///< valid bytes in rbuf_
   std::size_t rpos_ = 0;  ///< parse offset
   std::shared_ptr<ServerSession> session_;
-  /// Decoded request waiting out a full dispatch pool (EPOLLIN disarmed).
-  struct StalledJob {
-    RequestMessage request;
-    DispatchPool::Completion done;
-  };
   std::optional<StalledJob> stalled_;
+  /// Set after answering an unknown message type with message_error: any
+  /// further input is read (so HUP/EOF is still observed) but discarded,
+  /// matching the legacy loop, which stops processing after a bad frame.
+  bool discard_input_ = false;
 
   // --- write side: shared with completion threads under wmu_ ----------------
   std::mutex wmu_;
@@ -210,6 +216,10 @@ struct Reactor::Loop {
 
   std::unordered_map<int, std::shared_ptr<ReactorConn>> conns;  ///< by fd
   std::vector<std::shared_ptr<ReactorConn>> stalled;
+  /// Parked requests whose connection was reaped while the pool was still
+  /// full; retried (ahead of `stalled`) on the next space callback so their
+  /// replies reach the session replay buffer.
+  std::vector<ReactorConn::StalledJob> orphans;
   /// Deadline wheel: absolute monotonic seconds -> connection fd (or the
   /// listen-rearm sentinel).  The timerfd is armed to the earliest entry.
   std::multimap<double, int> deadlines;
@@ -286,17 +296,20 @@ void Reactor::stop() {
   for (auto& loop : loops_)
     if (loop->thread.joinable()) loop->thread.join();
   for (auto& loop : loops_) {
-    const auto open = static_cast<double>(loop->conns.size());
-    if (open > 0) {
-      reactor_metrics().registered.add(-open);
-      reactor_metrics().connections.add(-open);
-    }
+    std::lock_guard lock(loop->mu);
+    const auto registered = static_cast<double>(loop->conns.size());
+    // pending_adds were counted at accept but never registered with epoll,
+    // so they carry only the connections gauge.
+    const auto open =
+        registered + static_cast<double>(loop->pending_adds.size());
+    if (registered > 0) reactor_metrics().registered.add(-registered);
+    if (open > 0) reactor_metrics().connections.add(-open);
     // Dropping the map releases each connection; sockets with completions
     // still holding a reference stay open until the last reply is written.
     loop->conns.clear();
     loop->stalled.clear();
+    loop->orphans.clear();
     loop->deadlines.clear();
-    std::lock_guard lock(loop->mu);
     loop->pending_adds.clear();
     loop->pending_reaps.clear();
   }
@@ -374,7 +387,18 @@ void Reactor::io_loop(Loop& loop) {
         std::lock_guard lock(conn->wmu_);
         conn->flush_locked();
       }
-      if (events[i].events & (EPOLLIN | EPOLLHUP)) handle_readable(loop, conn);
+      if (events[i].events & (EPOLLIN | EPOLLHUP)) {
+        if (conn->stalled_) {
+          // Interest is 0 while stalled, but HUP (like ERR) cannot be
+          // masked out of epoll, and handle_readable must not consume
+          // while a request is parked.  Reap instead of letting the
+          // level-triggered HUP pin this loop at 100% CPU; the parked
+          // request is salvaged for live sessions inside reap_conn.
+          if (events[i].events & EPOLLHUP) reap_conn(loop, conn);
+        } else {
+          handle_readable(loop, conn);
+        }
+      }
       if (conn->is_dead()) reap_conn(loop, conn);
     }
     if (timer_fired) handle_timer(loop);
@@ -455,7 +479,7 @@ void Reactor::register_conn(Loop& loop,
                       conn->fd_);
 }
 
-void Reactor::reap_conn(Loop& loop, const std::shared_ptr<ReactorConn>& conn) {
+void Reactor::reap_conn(Loop& loop, std::shared_ptr<ReactorConn> conn) {
   auto it = loop.conns.find(conn->fd_);
   if (it == loop.conns.end() || it->second != conn) return;
   ::epoll_ctl(loop.epfd, EPOLL_CTL_DEL, conn->fd_, nullptr);
@@ -467,6 +491,31 @@ void Reactor::reap_conn(Loop& loop, const std::shared_ptr<ReactorConn>& conn) {
   std::erase(loop.stalled, conn);
   reactor_metrics().registered.add(-1);
   reactor_metrics().connections.add(-1);
+  if (conn->stalled_ && conn->session_) salvage_stalled(loop, *conn);
+}
+
+/// A reaped connection can hold a parked request whose seq the session has
+/// already noted — the client's post-resume retransmit of that seq is
+/// suppressed as a duplicate, so dropping the job here would lose the call
+/// with no retry (the legacy blocking submit could never drop a noted
+/// request).  Submit it anyway: the completion routes through
+/// write_session_reply, which buffers into the session replay even though
+/// this connection is gone.
+void Reactor::salvage_stalled(Loop& loop, ReactorConn& conn) {
+  ReactorConn::StalledJob job = std::move(*conn.stalled_);
+  conn.stalled_.reset();
+  DispatchPool* pool = adapter_->dispatch_pool();
+  try {
+    if (pool == nullptr) {
+      adapter_->dispatch_async(std::move(job.request), std::move(job.done));
+      return;
+    }
+    if (pool->try_submit(job.request, job.done)) return;
+  } catch (const Exception&) {
+    return;  // pool stopped: the endpoint is going down
+  }
+  // Pool still full: keep the job loop-side; the space callback retries it.
+  loop.orphans.push_back(std::move(job));
 }
 
 void Reactor::handle_wake(Loop& loop) {
@@ -501,7 +550,8 @@ void Reactor::handle_timer(Loop& loop) {
     }
     auto it = loop.conns.find(fd);
     if (it == loop.conns.end()) continue;
-    const std::shared_ptr<ReactorConn>& conn = it->second;
+    // Copy, not reference: reap_conn erases the map entry this points into.
+    const std::shared_ptr<ReactorConn> conn = it->second;
     const double expire =
         conn->last_activity_.load(std::memory_order_relaxed) +
         options_.idle_timeout_s;
@@ -578,7 +628,7 @@ void Reactor::handle_readable(Loop& loop,
 bool Reactor::parse_frames(Loop& loop,
                            const std::shared_ptr<ReactorConn>& conn) {
   try {
-    while (!conn->stalled_) {
+    while (!conn->stalled_ && !conn->discard_input_) {
       const std::size_t avail = conn->rlen_ - conn->rpos_;
       if (avail < MessageHeader::kEncodedSize) break;
       const std::span<const std::byte> head(conn->rbuf_.data() + conn->rpos_,
@@ -606,6 +656,9 @@ bool Reactor::parse_frames(Loop& loop,
     // COMM_FAILURE, which is exactly what a real ORB produces.
     return false;
   }
+  // After a message_error the legacy loop stops processing input entirely;
+  // discard whatever valid frames were buffered behind the bad one.
+  if (conn->discard_input_) conn->rpos_ = conn->rlen_;
   if (conn->rpos_ == conn->rlen_) {
     conn->rpos_ = conn->rlen_ = 0;
   } else if (conn->rpos_ >= kCompactThreshold) {
@@ -650,6 +703,7 @@ bool Reactor::handle_frame(Loop& loop,
       conn->close_after_flush_ = true;
       conn->want_read_ = false;
       conn->update_interest_locked();
+      conn->discard_input_ = true;  // stop parsing; parse_frames drops the rest
       return true;  // reaped via mark_dead once the flush completes
     }
   }
@@ -695,9 +749,23 @@ bool Reactor::submit_request(Loop& loop,
 }
 
 void Reactor::retry_stalled(Loop& loop) {
+  DispatchPool* pool = adapter_->dispatch_pool();
+  // Orphaned jobs from reaped connections go first: their seqs were noted
+  // before anything now parked on a live connection.
+  while (!loop.orphans.empty()) {
+    ReactorConn::StalledJob& job = loop.orphans.front();
+    try {
+      if (pool != nullptr && !pool->try_submit(job.request, job.done))
+        return;  // still full: the next space callback retries everything
+      if (pool == nullptr)
+        adapter_->dispatch_async(std::move(job.request), std::move(job.done));
+    } catch (const Exception&) {
+      // pool stopped: the endpoint is going down, drop the job
+    }
+    loop.orphans.erase(loop.orphans.begin());
+  }
   std::vector<std::shared_ptr<ReactorConn>> stalled;
   stalled.swap(loop.stalled);
-  DispatchPool* pool = adapter_->dispatch_pool();
   for (std::size_t i = 0; i < stalled.size(); ++i) {
     const std::shared_ptr<ReactorConn>& conn = stalled[i];
     if (conn->is_dead() || !conn->stalled_) continue;

@@ -108,7 +108,14 @@ class Reactor {
                       RequestMessage request);
   void retry_stalled(Loop& loop);
   void register_conn(Loop& loop, const std::shared_ptr<ReactorConn>& conn);
-  void reap_conn(Loop& loop, const std::shared_ptr<ReactorConn>& conn);
+  /// Takes the connection by value: callers routinely pass the shared_ptr
+  /// stored in loop.conns, which the erase inside would otherwise destroy
+  /// out from under them.
+  void reap_conn(Loop& loop, std::shared_ptr<ReactorConn> conn);
+  /// Submits a reaped connection's parked request so its reply still lands
+  /// in the session replay buffer (see definition for why dropping it would
+  /// lose the call).
+  void salvage_stalled(Loop& loop, ReactorConn& conn);
   /// Queues `fd`'s deadline on the loop's wheel, re-arming the timerfd when
   /// it became the earliest.
   void schedule_deadline(Loop& loop, double when, int fd);

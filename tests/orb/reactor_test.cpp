@@ -236,6 +236,128 @@ TEST(ReactorBackPressureTest, FullDispatchQueueStallsConnectionsWithoutLoss) {
   EXPECT_EQ(slow->calls(), kConns * kCallsPerConn);
 }
 
+TEST(ReactorBackPressureTest, StalledRequestSurvivesDisconnectViaSessionReplay) {
+  // Regression: a request parked by back-pressure has already had its seq
+  // noted by the session, so the client's post-resume retransmit of that seq
+  // is suppressed as a duplicate.  If the connection dies while the request
+  // is parked (here: an RST against a stalled connection), the reactor must
+  // still execute it — the reply lands in the session replay buffer —
+  // instead of dropping it, which would lose the call with no retry.
+  auto server = ORB::init({.endpoint_name = "reactor-salvage",
+                           .enable_tcp = true,
+                           .dispatch_threads = 1,
+                           .dispatch_queue_limit = 1,
+                           .io_threads = 1});
+  auto slow = std::make_shared<SlowServant>(400ms);
+  const ObjectRef target = server->activate(slow);
+
+  std::uint64_t session_id = 0;
+  {
+    Socket socket = Socket::connect("127.0.0.1", server->tcp_port());
+    CdrOutputStream hello_body;
+    SessionHello{.session_id = 0, .highest_reply_seq = 0}.encode_body(
+        hello_body);
+    socket.send_bytes(encode_frame(MessageType::session_hello, hello_body));
+    MessageHeader header;
+    std::vector<std::byte> body;
+    ASSERT_TRUE(socket.recv_frame(header, body, nullptr, 5.0));
+    ASSERT_EQ(header.type, MessageType::session_accept);
+    CdrInputStream in(body, header.byte_order);
+    const SessionAccept accept = SessionAccept::decode_body(in);
+    ASSERT_TRUE(accept.ok);
+    session_id = accept.session_id;
+
+    // seq 1 occupies the whole pool (limit 1, servant sleeping); seq 2 is
+    // parked on the connection with EPOLLIN disarmed.
+    RequestMessage first = make_add_request(target.ior(), 1, 10, 1);
+    attach_session_context(first, {.seq = 1, .ack = 0});
+    RequestMessage second = make_add_request(target.ior(), 2, 20, 2);
+    attach_session_context(second, {.seq = 2, .ack = 0});
+    std::vector<std::byte> burst = encode_request(first);
+    const std::vector<std::byte> f2 = encode_request(second);
+    burst.insert(burst.end(), f2.begin(), f2.end());
+    socket.send_bytes(burst);
+    std::this_thread::sleep_for(100ms);  // let the reactor ingest and stall
+    const linger lg{.l_onoff = 1, .l_linger = 0};
+    ::setsockopt(socket.fd(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  }  // RST: EPOLLERR/EPOLLHUP hits the stalled connection
+
+  // Resume: the server must report both seqs received (so the client will
+  // not retransmit either) and deliver both replies — seq 1 completed
+  // against the dead carrier, seq 2 was salvaged from the reaped connection.
+  Socket socket = Socket::connect("127.0.0.1", server->tcp_port());
+  CdrOutputStream hello_body;
+  SessionHello{.session_id = session_id, .highest_reply_seq = 0}.encode_body(
+      hello_body);
+  socket.send_bytes(encode_frame(MessageType::session_hello, hello_body));
+  MessageHeader header;
+  std::vector<std::byte> body;
+  ASSERT_TRUE(socket.recv_frame(header, body, nullptr, 5.0));
+  ASSERT_EQ(header.type, MessageType::session_accept);
+  CdrInputStream in(body, header.byte_order);
+  const SessionAccept accept = SessionAccept::decode_body(in);
+  ASSERT_TRUE(accept.ok);
+  EXPECT_EQ(accept.highest_request_seq, 2u);
+
+  const ReplyMessage r1 = recv_reply(socket);
+  EXPECT_EQ(r1.request_id, 1u);
+  EXPECT_EQ(r1.result_or_throw().as_i32(), 11);
+  const ReplyMessage r2 = recv_reply(socket);
+  EXPECT_EQ(r2.request_id, 2u);
+  EXPECT_EQ(r2.result_or_throw().as_i32(), 22);
+  EXPECT_EQ(slow->calls(), 2);
+}
+
+TEST(ReactorProtocolTest, UnknownMessageTypeStopsProcessingBufferedFrames) {
+  // Regression: when the message_error answer to an unexpected frame type
+  // had to be queued behind deferred reply writes, the reactor kept parsing
+  // and dispatched valid requests buffered after the bad frame.  The legacy
+  // loop stops processing input after a bad frame; the reactor must match.
+  auto server = ORB::init(
+      {.endpoint_name = "reactor-badframe", .enable_tcp = true, .io_threads = 1});
+  auto servant = std::make_shared<CalcServant>();
+  const ObjectRef target = server->activate(servant);
+
+  constexpr int kEchoes = 64;
+  const std::string payload(256 * 1024, 'x');
+  Socket socket = Socket::connect("127.0.0.1", server->tcp_port());
+  for (int i = 0; i < kEchoes; ++i) {
+    RequestMessage req;
+    req.request_id = static_cast<std::uint64_t>(i);
+    req.object_key = target.ior().key;
+    req.operation = "echo";
+    req.arguments = {Value(payload)};
+    socket.send_bytes(encode_request(req));
+  }
+  // Give the replies time to back up into the pending-write queue (~16MiB
+  // vs ~hundreds of KiB of kernel buffering) so the error frame below is
+  // queued, not flushed inline.
+  std::this_thread::sleep_for(200ms);
+
+  // A reply frame is valid wire but meaningless to a server; the request
+  // buffered after it must never execute.
+  CdrOutputStream empty;
+  std::vector<std::byte> tail = encode_frame(MessageType::reply, empty);
+  const std::vector<std::byte> after =
+      encode_request(make_add_request(target.ior(), 999, 1, 2));
+  tail.insert(tail.end(), after.begin(), after.end());
+  socket.send_bytes(tail);
+
+  for (int i = 0; i < kEchoes; ++i) {
+    const ReplyMessage reply = recv_reply(socket, 30.0);
+    EXPECT_EQ(reply.request_id, static_cast<std::uint64_t>(i));
+  }
+  MessageHeader header;
+  std::vector<std::byte> body;
+  ASSERT_TRUE(socket.recv_frame(header, body, nullptr, 10.0));
+  EXPECT_EQ(header.type, MessageType::message_error);
+  EXPECT_FALSE(socket.recv_frame(header, body, nullptr, 10.0))
+      << "connection must close after message_error";
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(servant->calls(), kEchoes)
+      << "request buffered after the bad frame was dispatched";
+}
+
 TEST(ReactorIdleHarvestTest, IdleConnectionsAreClosedAfterTheTimeout) {
   auto server = ORB::init({.endpoint_name = "reactor-idle",
                            .enable_tcp = true,
