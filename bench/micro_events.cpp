@@ -1,0 +1,142 @@
+// micro_events: fan-out cost of the push telemetry channel.
+//
+// Sweeps subscribers x publish volume x overflow policy on a deterministic
+// manual executor (publish cost and queue policy are what's being measured;
+// transport cost is micro_orb's business) and reports publish throughput,
+// delivery totals and overflow accounting per cell.  Emits
+// BENCH_events.json (schema-checked by tools/run_benches.sh).
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/event_channel.hpp"
+
+namespace {
+
+/// Run-to-completion executor: the channel's deferred drains execute when
+/// drain() is called, like SimRuntime's event queue between publishes.
+class ManualExecutor {
+ public:
+  obs::EventChannel::Defer defer() {
+    return [this](double delay, std::function<void()> fn) {
+      pending_.emplace(now_ + delay, std::move(fn));
+    };
+  }
+  void drain() {
+    while (!pending_.empty()) {
+      auto it = pending_.begin();
+      now_ = std::max(now_, it->first);
+      std::function<void()> fn = std::move(it->second);
+      pending_.erase(it);
+      fn();
+    }
+  }
+
+ private:
+  double now_ = 0.0;
+  std::multimap<double, std::function<void()>> pending_;
+};
+
+const char* policy_name(obs::OverflowPolicy policy) {
+  return policy == obs::OverflowPolicy::drop_oldest ? "drop_oldest"
+                                                    : "coalesce_by_key";
+}
+
+struct Cell {
+  std::string mode;
+  int subscribers = 0;
+  std::uint64_t events = 0;
+  double publish_mps = 0.0;  ///< publishes per second, millions
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t coalesced = 0;
+  double wall_s = 0.0;
+};
+
+Cell run_cell(obs::OverflowPolicy policy, int subscribers,
+              std::uint64_t events) {
+  ManualExecutor exec;
+  obs::EventChannel channel;
+  channel.bind({.defer = exec.defer()});
+
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(subscribers), 0);
+  for (int s = 0; s < subscribers; ++s) {
+    channel.subscribe({.queue_limit = 128, .policy = policy},
+                      [&counts, s](std::span<const obs::Event> batch) {
+                        counts[static_cast<std::size_t>(s)] += batch.size();
+                      });
+  }
+
+  // 16-key alphabet: coalescing has real matches to find, drop-oldest pays
+  // the same construction cost.
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t n = 0; n < events; ++n) {
+    channel.publish(obs::Topic::metrics_delta, "bench",
+                    "key" + std::to_string(n % 16),
+                    {obs::int_field("n", n)});
+    // Drain every 4096 publishes: sustained operation, not one giant burst.
+    if ((n & 0xfff) == 0xfff) exec.drain();
+  }
+  exec.drain();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  Cell cell;
+  cell.mode = policy_name(policy);
+  cell.subscribers = subscribers;
+  cell.events = events;
+  cell.wall_s = wall;
+  cell.publish_mps = wall > 0 ? static_cast<double>(events) / wall / 1e6 : 0.0;
+  for (const auto& stat : channel.stats()) {
+    cell.delivered += stat.delivered;
+    cell.dropped += stat.dropped;
+    cell.coalesced += stat.coalesced;
+  }
+  (void)counts;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = bench::smoke_mode();
+  const std::uint64_t events = smoke ? 20'000 : 200'000;
+  const std::vector<int> fleets = smoke ? std::vector<int>{1, 16}
+                                        : std::vector<int>{1, 16, 256, 1024};
+
+  std::printf("micro_events: channel fan-out (%llu events per cell)\n",
+              static_cast<unsigned long long>(events));
+  std::printf("%-16s %11s %10s %12s %12s %12s %10s\n", "mode", "subscribers",
+              "Mpub/s", "delivered", "dropped", "coalesced", "wall_s");
+  bench::print_rule(88);
+
+  std::vector<bench::JsonRow> rows;
+  for (const obs::OverflowPolicy policy :
+       {obs::OverflowPolicy::drop_oldest, obs::OverflowPolicy::coalesce_by_key}) {
+    for (const int subscribers : fleets) {
+      const Cell cell = run_cell(policy, subscribers, events);
+      std::printf("%-16s %11d %10.2f %12llu %12llu %12llu %10.3f\n",
+                  cell.mode.c_str(), cell.subscribers, cell.publish_mps,
+                  static_cast<unsigned long long>(cell.delivered),
+                  static_cast<unsigned long long>(cell.dropped),
+                  static_cast<unsigned long long>(cell.coalesced), cell.wall_s);
+      rows.push_back({bench::jstr("mode", cell.mode),
+                      bench::jint("subscribers",
+                                  static_cast<std::uint64_t>(cell.subscribers)),
+                      bench::jint("events", cell.events),
+                      bench::jnum("publish_mps", cell.publish_mps),
+                      bench::jint("delivered", cell.delivered),
+                      bench::jint("dropped", cell.dropped),
+                      bench::jint("coalesced", cell.coalesced),
+                      bench::jnum("wall_s", cell.wall_s)});
+    }
+  }
+  bench::write_bench_json("BENCH_events.json", "micro_events", rows);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/sim_runtime.hpp"
 
+#include "obs/event_channel.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -23,6 +24,29 @@ SimRuntime::SimRuntime(sim::Cluster& cluster, RuntimeOptions options)
   // starting every run from an empty ring (and the sim being single-driver)
   // makes same-seed chaos runs render byte-identical flight dumps.
   obs::FlightRecorder::global().clear();
+  // The push telemetry plane rides the same contract: the runtime owns the
+  // process-global event channel for its lifetime and binds it to the
+  // virtual clock — deliveries are scheduled events, so a same-seed run
+  // renders a byte-identical event stream.  Sequence numbers restart from
+  // zero with the run (reset()).
+  obs::EventChannel::global().reset();
+  obs::EventChannel::global().bind(
+      {.defer = [&events = cluster_.events()](double delay,
+                                              std::function<void()> fn) {
+        events.schedule_after(delay, std::move(fn));
+      }});
+  if (options_.metrics_epoch > 0) {
+    metrics_publisher_ = std::make_unique<obs::MetricsDeltaPublisher>(
+        obs::MetricsDeltaPublisher::Options{
+            // Empty host: under the in-process simulator the metric
+            // substrate is process-wide, and consumers (orbtop push mode)
+            // apply host-less deltas to every row.
+            .host = "", .epoch = options_.metrics_epoch});
+    metrics_publisher_->start_deferred(
+        [&events = cluster_.events()](double delay, std::function<void()> fn) {
+          events.schedule_after(delay, std::move(fn));
+        });
+  }
 
   network_ = std::make_shared<corba::InProcessNetwork>();
 
@@ -195,10 +219,17 @@ SimRuntime::SimRuntime(sim::Cluster& cluster, RuntimeOptions options)
 
 SimRuntime::~SimRuntime() {
   stop_node_managers();
+  // Release the channel before the virtual clock: queued-but-undelivered
+  // events die with the run, and a later runtime (or a TCP deployment in
+  // the same process) starts from a fresh bind.
+  obs::EventChannel::global().reset();
   obs::clear_clock(obs_clock_token_);
 }
 
 void SimRuntime::stop_node_managers() {
+  // The metrics publisher is a periodic producer like the node managers:
+  // stop it too, so draining the event queue terminates.
+  if (metrics_publisher_) metrics_publisher_->stop();
   for (Node& node : nodes_)
     if (node.node_manager) node.node_manager->stop();
 }

@@ -29,6 +29,7 @@
 #include "ft/service_factory.hpp"
 #include "naming/naming_context.hpp"
 #include "naming/naming_stub.hpp"
+#include "obs/publisher.hpp"
 #include "sim/cluster.hpp"
 #include "sim/sim_transport.hpp"
 #include "winner/meta_manager.hpp"
@@ -99,6 +100,16 @@ struct RuntimeOptions {
   std::string home_domain;
   /// Load-index penalty for placing work outside the home domain.
   double wan_remote_penalty = 1.0;
+
+  // --- push telemetry ---------------------------------------------------------
+  /// When > 0, run a virtual-clock MetricsDeltaPublisher at this epoch
+  /// (virtual seconds): every epoch the runtime publishes changed metrics on
+  /// the `metrics.delta` topic of the process-global event channel.  The
+  /// channel itself is always bound (deferred, virtual-clock delivery), so
+  /// subscribers see flight/session/load/timeline events regardless; this
+  /// option only controls the periodic metrics producer.  Default off: the
+  /// paper's Table 1 runs carry no telemetry traffic.
+  double metrics_epoch = 0.0;
 };
 
 /// Well-known names used by the runtime's naming layout.
@@ -232,6 +243,9 @@ class SimRuntime {
   /// Token of the virtual observability clock this runtime installed; the
   /// destructor only clears its own installation.
   std::uint64_t obs_clock_token_ = 0;
+  /// Virtual-clock metrics producer (metrics_epoch > 0); stopped before the
+  /// event queue is torn down.
+  std::unique_ptr<obs::MetricsDeltaPublisher> metrics_publisher_;
 };
 
 }  // namespace rt

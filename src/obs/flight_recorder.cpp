@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/event_channel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -160,6 +161,12 @@ void FlightRecorder::auto_dump(std::string_view reason) noexcept {
   static obs::Counter& dumps = obs::MetricsRegistry::global().counter(
       "obs.flight_recorder.auto_dumps_total");
   dumps.inc();
+  try {
+    dump_to_events(reason);
+  } catch (...) {
+    // Event publication failing must never break the (already failing) path
+    // that triggered the dump.
+  }
   DumpSink sink;
   {
     std::lock_guard lock(sink_mu_);
@@ -169,8 +176,33 @@ void FlightRecorder::auto_dump(std::string_view reason) noexcept {
   try {
     sink(reason, to_text());
   } catch (...) {
-    // A failing sink must never break the (already failing) path that
-    // triggered the dump.
+    // Likewise for a failing sink.
+  }
+}
+
+void FlightRecorder::dump_to_events(std::string_view reason) {
+  // Guard against publish -> subscriber overflow -> auto_dump recursion: a
+  // dump already on this thread's stack means the ring is being published
+  // right now, and publishing it twice adds nothing.
+  thread_local bool dumping = false;
+  if (dumping || !events_wanted()) return;
+  dumping = true;
+  struct Reset {
+    bool& flag;
+    ~Reset() { flag = false; }
+  } reset{dumping};
+
+  static obs::Counter& event_dumps = obs::MetricsRegistry::global().counter(
+      "obs.flight.event_dumps_total");
+  event_dumps.inc();
+  const std::vector<Event> all = events();
+  for (const Event& e : all) {
+    publish_event(
+        Topic::flight_event, /*host=*/"", /*key=*/to_string(e.type),
+        {str_field("reason", std::string(reason)),
+         str_field("type", std::string(to_string(e.type))),
+         str_field("subject", e.subject), int_field("a", e.a),
+         int_field("b", e.b), num_field("at", e.t), int_field("index", e.index)});
   }
 }
 

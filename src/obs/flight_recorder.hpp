@@ -129,9 +129,17 @@ class FlightRecorder {
                                       const std::string& dump)>;
   void set_auto_dump_sink(DumpSink sink);
 
-  /// Counts the trigger (obs.flight_recorder.auto_dumps_total) and, when a
-  /// sink is installed, renders and delivers the dump.
+  /// Counts the trigger (obs.flight_recorder.auto_dumps_total), publishes
+  /// the ring on the `flight.event` topic (dump_to_events) and, when a sink
+  /// is installed, renders and delivers the text dump.
   void auto_dump(std::string_view reason) noexcept;
+
+  /// Publishes every retained ring event on the `flight.event` channel
+  /// topic (one event per slot: reason/type/subject/a/b/at/index fields)
+  /// and counts `obs.flight.event_dumps_total`.  No-op without channel
+  /// subscribers, and re-entrant calls on one thread collapse (a dump whose
+  /// publication overflows a queue would otherwise dump again forever).
+  void dump_to_events(std::string_view reason);
 
   /// Auto-dump triggers observed so far (with or without a sink).
   std::uint64_t auto_dumps() const noexcept {

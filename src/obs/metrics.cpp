@@ -173,6 +173,32 @@ std::string format_double(double v) {
   return buf;
 }
 
+// Metric names come from code today, but nothing enforces that (tests and
+// future dynamic registration can carry anything), and one hostile name must
+// not corrupt a whole export.  JSON strings escape per RFC 8259.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string to_text(const MetricsSnapshot& snapshot) {
@@ -205,7 +231,7 @@ std::string to_json(const MetricsSnapshot& snapshot) {
   for (const MetricEntry& e : snapshot.entries) {
     out += first ? "\n" : ",\n";
     first = false;
-    out += "  {\"name\": \"" + e.name + "\", ";
+    out += "  {\"name\": \"" + json_escape(e.name) + "\", ";
     switch (e.kind) {
       case MetricEntry::Kind::counter:
         out += "\"kind\": \"counter\", \"value\": " +
@@ -241,10 +267,43 @@ std::string to_json(const MetricsSnapshot& snapshot) {
 
 namespace {
 
-/// Prometheus metric name: dots become underscores.
+/// Prometheus metric name: dots become underscores, and any byte outside
+/// the exposition grammar [a-zA-Z0-9_:] becomes `_` too — a newline or
+/// quote in a name must not be able to smuggle extra exposition lines.
 std::string mangle(std::string_view name) {
-  std::string out(name);
-  std::replace(out.begin(), out.end(), '.', '_');
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+/// HELP text escaping per the exposition format: backslash and line feed.
+std::string escape_help(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// Label value escaping: backslash, double quote and line feed.
+std::string escape_label(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
   return out;
 }
 
@@ -265,11 +324,13 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
     switch (e.kind) {
       case MetricEntry::Kind::counter: {
         if (!name.ends_with("_total")) name += "_total";
+        out += "# HELP " + name + " " + escape_help(e.name) + "\n";
         out += "# TYPE " + name + " counter\n";
         out += name + " " + std::to_string(e.counter_value) + "\n";
         break;
       }
       case MetricEntry::Kind::gauge: {
+        out += "# HELP " + name + " " + escape_help(e.name) + "\n";
         out += "# TYPE " + name + " gauge\n";
         out += name + " " + format_double(e.gauge_value) + "\n";
         break;
@@ -279,12 +340,14 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
         // Prometheus spells the unit out.
         if (name.ends_with("_s"))
           name.replace(name.size() - 2, 2, "_seconds");
+        out += "# HELP " + name + " " + escape_help(e.name) + "\n";
         out += "# TYPE " + name + " histogram\n";
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < e.histogram.bounds.size(); ++i) {
           cumulative += e.histogram.buckets[i];
-          out += name + "_bucket{le=\"" + format_bound(e.histogram.bounds[i]) +
-                 "\"} " + std::to_string(cumulative) + "\n";
+          out += name + "_bucket{le=\"" +
+                 escape_label(format_bound(e.histogram.bounds[i])) + "\"} " +
+                 std::to_string(cumulative) + "\n";
         }
         out += name + "_bucket{le=\"+Inf\"} " +
                std::to_string(e.histogram.count) + "\n";

@@ -195,10 +195,12 @@ std::string to_text(const MetricsSnapshot& snapshot);
 ///   ], "taken_at": X}
 std::string to_json(const MetricsSnapshot& snapshot);
 
-/// Prometheus text exposition (version 0.0.4): names mangled `.` -> `_`,
-/// counters end in `_total`, histograms in seconds end in `_seconds` and
-/// render *cumulative* `le` buckets plus `_sum`/`_count`, each metric
-/// preceded by its `# TYPE` line.  Gauges export as-is.
+/// Prometheus text exposition (version 0.0.4): names sanitized to
+/// `[a-zA-Z0-9_:]` (`.` -> `_`, anything hostile -> `_`, leading digit
+/// prefixed), counters end in `_total`, histograms in seconds end in
+/// `_seconds` and render *cumulative* `le` buckets plus `_sum`/`_count`,
+/// each metric preceded by `# HELP` (the original name, exposition-escaped)
+/// and `# TYPE` lines.  Label values escape `\`, `"` and newline.
 std::string to_prometheus(const MetricsSnapshot& snapshot);
 
 }  // namespace obs

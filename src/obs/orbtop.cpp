@@ -171,7 +171,8 @@ std::string render_table(const ClusterSnapshot& snapshot,
 
 std::string render_json(const ClusterSnapshot& snapshot) {
   std::string out = "{\"schema_version\": 1, \"collected_at\": " +
-                    format_double(snapshot.collected_at) + ", \"nodes\": [";
+                    format_double(snapshot.collected_at) + ", \"transport\": \"" +
+                    json_escape(snapshot.transport) + "\", \"nodes\": [";
   bool first = true;
   for (const NodeStatus& node : snapshot.nodes) {
     if (!first) out += ", ";
@@ -215,6 +216,202 @@ std::string render_json(const ClusterSnapshot& snapshot) {
   }
   out += "]}";
   return out;
+}
+
+// --- push collector ----------------------------------------------------------
+
+namespace {
+
+const EventField* find_field(const Event& event, std::string_view name) {
+  for (const EventField& field : event.fields) {
+    if (field.name == name) return &field;
+  }
+  return nullptr;
+}
+
+std::uint64_t u64_field(const Event& event, std::string_view name) {
+  const EventField* field = find_field(event, name);
+  return field ? (field->kind == EventField::Kind::f64
+                      ? static_cast<std::uint64_t>(std::max(0.0, field->f64))
+                      : field->u64)
+               : 0;
+}
+
+double f64_field(const Event& event, std::string_view name) {
+  const EventField* field = find_field(event, name);
+  return field ? (field->kind == EventField::Kind::u64
+                      ? static_cast<double>(field->u64)
+                      : field->f64)
+               : 0.0;
+}
+
+}  // namespace
+
+struct PushCollector::State {
+  mutable std::mutex mu;
+  std::vector<OfferLine> offers;
+  struct Row {
+    NodeStatus node;
+    double last_report_t = -1.0;  ///< event time of the last load.report
+    /// session_retransmits decomposed: metrics.delta carries the two
+    /// components separately while health() reports their sum.
+    std::uint64_t retransmitted_frames = 0;
+    std::uint64_t replayed_replies = 0;
+    bool retransmits_seen = false;
+  };
+  std::vector<Row> rows;  ///< sorted by name
+  std::uint64_t events_received = 0;
+
+  void apply(const Event& event);
+  void apply_metric(Row& row, const Event& event);
+};
+
+void PushCollector::State::apply_metric(Row& row, const Event& event) {
+  // The metric-name -> HealthReport-field mapping mirrors
+  // TelemetryServant::health(): push and poll render identical columns.
+  HealthReport& h = row.node.health;
+  const std::string& name = event.key;
+  if (name == "orb.requests_total") {
+    h.rpcs = u64_field(event, "value");
+  } else if (name == "orb.request_latency_s") {
+    h.rpc_p50 = f64_field(event, "p50");
+    h.rpc_p99 = f64_field(event, "p99");
+  } else if (name == "ft.proxy.recoveries_total") {
+    h.recoveries = u64_field(event, "value");
+  } else if (name == "ft.pipeline.stores_total") {
+    h.checkpoints = u64_field(event, "value");
+  } else if (name == "ft.pipeline.bytes_shipped_total") {
+    h.checkpoint_bytes = u64_field(event, "value");
+  } else if (name == "obs.flight_recorder.auto_dumps_total") {
+    h.auto_dumps = u64_field(event, "value");
+  } else if (name == "transport.session.active") {
+    h.sessions_active = u64_field(event, "value");
+  } else if (name == "transport.session.resumes_total") {
+    h.session_resumes = u64_field(event, "value");
+  } else if (name == "transport.session.retransmitted_frames_total") {
+    row.retransmitted_frames = u64_field(event, "value");
+    row.retransmits_seen = true;
+  } else if (name == "transport.session.replayed_replies_total") {
+    row.replayed_replies = u64_field(event, "value");
+    row.retransmits_seen = true;
+  } else if (name == "transport.tcp.connections") {
+    h.tcp_connections = u64_field(event, "value");
+  } else {
+    return;  // a metric with no table column
+  }
+  if (row.retransmits_seen) {
+    h.session_retransmits = row.retransmitted_frames + row.replayed_replies;
+  }
+  // The row's clock advances with its newest applied event, so RPC/s
+  // between two snapshots divides by event time — same as poll mode
+  // dividing by health().now deltas.
+  h.now = std::max(h.now, event.t);
+}
+
+void PushCollector::State::apply(const Event& event) {
+  std::lock_guard lock(mu);
+  ++events_received;
+  switch (event.topic) {
+    case Topic::metrics_delta:
+      for (Row& row : rows) {
+        // host == "" is a process-wide event: every row shares the metric
+        // substrate (the simulator's quirk, documented on the class).
+        if (event.host.empty() || event.host == row.node.name)
+          apply_metric(row, event);
+      }
+      break;
+    case Topic::load_report:
+      for (Row& row : rows) {
+        if (row.node.name != event.host) continue;
+        row.node.health.load_index = f64_field(event, "index");
+        row.last_report_t = event.t;
+        row.node.health.now = std::max(row.node.health.now, event.t);
+      }
+      break;
+    default:
+      // flight.event / recovery.timeline / session.state have no table
+      // column yet; they still count as received stream traffic.
+      break;
+  }
+}
+
+PushCollector::PushCollector(std::shared_ptr<corba::ORB> orb,
+                             naming::NamingContext& root,
+                             std::size_t queue_limit)
+    : orb_(std::move(orb)), state_(std::make_shared<State>()) {
+  // Seed rows and offers with one poll pass (the last one): the zero-RPC
+  // contract starts at subscription.
+  ClusterSnapshot seed = collect_cluster(root);
+  state_->offers = std::move(seed.offers);
+  for (NodeStatus& node : seed.nodes) {
+    State::Row row;
+    row.node = std::move(node);
+    state_->rows.push_back(std::move(row));
+  }
+
+  // One consumer servant for every subscription; the handler holds the
+  // shared state (not `this`), so a push already in flight across the
+  // transport stays safe after the collector is destroyed.
+  auto state = state_;
+  auto servant = std::make_shared<EventConsumerServant>(
+      [state](std::vector<Event> events) {
+        for (const Event& event : events) state->apply(event);
+      });
+  const corba::ObjectRef consumer = orb_->activate(servant, "EventConsumer");
+
+  naming::Name obs_name;
+  obs_name.append(std::string(naming::kObsContextId));
+  naming::NamingContextStub obs_context(root.resolve(obs_name));
+  std::exception_ptr last_error;
+  for (const naming::Binding& binding : obs_context.list()) {
+    try {
+      TelemetryStub telemetry(obs_context.resolve(binding.name));
+      const std::uint64_t id =
+          telemetry.subscribe_events(consumer, /*topics=*/{}, queue_limit);
+      subs_.emplace_back(std::move(telemetry), id);
+    } catch (...) {
+      // A node without a channel (or unreachable) does not spoil push mode
+      // for the rest; its seed row just goes stale.
+      last_error = std::current_exception();
+    }
+  }
+  // No subscription at all means push mode is not available here — let the
+  // caller's poll fallback see why.
+  if (subs_.empty() && last_error) std::rethrow_exception(last_error);
+  if (subs_.empty())
+    throw corba::BAD_INV_ORDER("no telemetry node accepted a subscription");
+}
+
+PushCollector::~PushCollector() {
+  for (auto& [telemetry, id] : subs_) {
+    try {
+      telemetry.unsubscribe_events(id);
+    } catch (...) {
+      // The node may be gone; the channel reaps dead consumers on its own
+      // (three failed pushes).
+    }
+  }
+}
+
+ClusterSnapshot PushCollector::snapshot() const {
+  ClusterSnapshot out;
+  out.collected_at = now();
+  out.transport = "push";
+  std::lock_guard lock(state_->mu);
+  out.offers = state_->offers;
+  out.nodes.reserve(state_->rows.size());
+  for (const State::Row& row : state_->rows) {
+    NodeStatus node = row.node;
+    if (row.last_report_t >= 0)
+      node.health.report_age = std::max(0.0, out.collected_at - row.last_report_t);
+    out.nodes.push_back(std::move(node));
+  }
+  return out;
+}
+
+std::uint64_t PushCollector::events_received() const {
+  std::lock_guard lock(state_->mu);
+  return state_->events_received;
 }
 
 }  // namespace obs

@@ -10,7 +10,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "naming/naming.hpp"
@@ -35,6 +39,10 @@ struct OfferLine {
 
 struct ClusterSnapshot {
   double collected_at = 0.0;  ///< obs::now() on the collecting client
+  /// How the data arrived: "poll" (collect_cluster) or "push"
+  /// (PushCollector).  Emitted in render_json so scripts can assert the
+  /// push path is active.
+  std::string transport = "poll";
   std::vector<NodeStatus> nodes;   ///< sorted by name (stable output)
   std::vector<OfferLine> offers;   ///< root-level offer sets, sorted by name
 };
@@ -53,10 +61,54 @@ std::string render_table(const ClusterSnapshot& snapshot,
                          const ClusterSnapshot* prev = nullptr);
 
 /// Machine-readable rendering:
-///   {"schema_version": 1, "collected_at": X,
+///   {"schema_version": 1, "collected_at": X, "transport": "poll"|"push",
 ///    "nodes": [{"name": ..., "reachable": true, "health": {...}} |
 ///              {"name": ..., "reachable": false, "error": "..."}],
 ///    "offers": [{"name": ..., "offers": N}]}
 std::string render_json(const ClusterSnapshot& snapshot);
+
+/// Subscription-driven collector: the push-mode engine behind
+/// `orbtop --watch`.
+///
+/// Construction enumerates `_obs/*` once, polls each node's health() once
+/// (the seed row — allowed: the zero-polling contract starts *after*
+/// subscription), activates an EventConsumer servant on `orb` and
+/// subscribes it through every node's telemetry servant.  The channel
+/// dedupes on the consumer's stringified IOR, so a shared-process
+/// (simulated) cluster yields one subscription however many nodes it has.
+/// From then on snapshot() is purely local: `metrics.delta` events update
+/// the health columns through the same metric-name mapping health() uses,
+/// `load.report` events refresh LOAD/AGE, and no RPC is issued.
+///
+/// Events with an empty host apply to every row — under the in-process
+/// simulator the metric substrate is process-wide and every node's health()
+/// reports the same counters (see obs/telemetry.hpp); push mode mirrors
+/// that quirk instead of hiding it.
+class PushCollector {
+ public:
+  /// Throws corba::BAD_INV_ORDER (surfaced from subscribe) when no node has
+  /// an event channel bound — callers catch and fall back to polling.
+  PushCollector(std::shared_ptr<corba::ORB> orb, naming::NamingContext& root,
+                std::size_t queue_limit = 4096);
+  ~PushCollector();
+  PushCollector(const PushCollector&) = delete;
+  PushCollector& operator=(const PushCollector&) = delete;
+
+  /// Current view, assembled locally from the seed rows plus every event
+  /// received so far (transport = "push"; never an RPC).
+  ClusterSnapshot snapshot() const;
+
+  /// Events applied so far (tests assert the stream is live).
+  std::uint64_t events_received() const;
+  /// Telemetry servants successfully subscribed through.
+  std::size_t subscriptions() const noexcept { return subs_.size(); }
+
+ private:
+  struct State;
+
+  std::shared_ptr<corba::ORB> orb_;
+  std::shared_ptr<State> state_;  ///< shared with the consumer servant
+  std::vector<std::pair<TelemetryStub, std::uint64_t>> subs_;
+};
 
 }  // namespace obs

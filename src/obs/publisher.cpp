@@ -1,0 +1,167 @@
+#include "obs/publisher.hpp"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "obs/event_channel.hpp"
+
+namespace obs {
+
+struct MetricsDeltaPublisher::State {
+  std::mutex mu;
+  std::condition_variable cv;  ///< threaded mode: stop() wakes the sleeper
+  Options options;
+  MetricsSnapshot last;        ///< baseline of the previous subscribed tick
+  bool stopped = false;
+  Defer defer;
+  std::atomic<std::uint64_t> ticks{0};
+};
+
+namespace {
+
+// A dormant entry: registered but never moved.  New-and-zero entries are
+// not published — a handle's registration time is an implementation detail
+// (often lazy, mid-run), and publishing zeros on first sight would make the
+// stream depend on registration order instead of on what actually happened.
+bool entry_is_zero(const MetricEntry& entry) {
+  switch (entry.kind) {
+    case MetricEntry::Kind::counter:
+      return entry.counter_value == 0;
+    case MetricEntry::Kind::gauge:
+      return entry.gauge_value == 0.0;
+    case MetricEntry::Kind::histogram:
+      return entry.histogram.count == 0 && entry.histogram.sum == 0.0;
+  }
+  return true;
+}
+
+bool entry_changed(const MetricEntry& a, const MetricEntry& b) {
+  if (a.kind != b.kind) return true;
+  switch (a.kind) {
+    case MetricEntry::Kind::counter:
+      return a.counter_value != b.counter_value;
+    case MetricEntry::Kind::gauge:
+      return a.gauge_value != b.gauge_value;
+    case MetricEntry::Kind::histogram:
+      return a.histogram.count != b.histogram.count ||
+             a.histogram.sum != b.histogram.sum;
+  }
+  return true;
+}
+
+void publish_entry(const std::string& host, const MetricEntry& entry) {
+  std::vector<EventField> fields;
+  switch (entry.kind) {
+    case MetricEntry::Kind::counter:
+      fields.push_back(str_field("kind", "counter"));
+      fields.push_back(int_field("value", entry.counter_value));
+      break;
+    case MetricEntry::Kind::gauge:
+      fields.push_back(str_field("kind", "gauge"));
+      fields.push_back(num_field("value", entry.gauge_value));
+      break;
+    case MetricEntry::Kind::histogram:
+      fields.push_back(str_field("kind", "histogram"));
+      fields.push_back(int_field("count", entry.histogram.count));
+      fields.push_back(num_field("sum", entry.histogram.sum));
+      fields.push_back(num_field("p50", entry.histogram.quantile(0.5)));
+      fields.push_back(num_field("p99", entry.histogram.quantile(0.99)));
+      break;
+  }
+  publish_event(Topic::metrics_delta, host, entry.name, std::move(fields));
+}
+
+}  // namespace
+
+MetricsDeltaPublisher::MetricsDeltaPublisher(Options options)
+    : state_(std::make_shared<State>()) {
+  state_->options = std::move(options);
+  if (state_->options.epoch <= 0.0) state_->options.epoch = 1.0;
+}
+
+MetricsDeltaPublisher::~MetricsDeltaPublisher() { stop(); }
+
+void MetricsDeltaPublisher::tick_state(State& state) {
+  state.ticks.fetch_add(1, std::memory_order_relaxed);
+  // No subscriber: skip without advancing the baseline, so the next
+  // subscribed tick publishes everything that moved in the meantime.
+  if (!events_wanted()) return;
+  const MetricsRegistry* registry = state.options.registry
+                                        ? state.options.registry
+                                        : &MetricsRegistry::global();
+  MetricsSnapshot current = registry->snapshot();
+  // Both entry lists are name-sorted: one merge pass finds new and changed
+  // entries (metrics never unregister, so no removal arm is needed).
+  auto it_last = state.last.entries.begin();
+  for (const auto& entry : current.entries) {
+    while (it_last != state.last.entries.end() && it_last->name < entry.name) {
+      ++it_last;
+    }
+    const bool known =
+        it_last != state.last.entries.end() && it_last->name == entry.name;
+    if (known ? entry_changed(entry, *it_last) : !entry_is_zero(entry)) {
+      publish_entry(state.options.host, entry);
+    }
+  }
+  state.last = std::move(current);
+}
+
+void MetricsDeltaPublisher::tick() {
+  std::lock_guard lock(state_->mu);
+  if (!state_->stopped) tick_state(*state_);
+}
+
+void MetricsDeltaPublisher::start_threaded() {
+  auto state = state_;
+  {
+    std::lock_guard lock(state->mu);
+    if (threaded_ || state->defer) return;
+    threaded_ = true;
+  }
+  thread_ = std::thread([state] {
+    std::unique_lock lock(state->mu);
+    while (!state->stopped) {
+      state->cv.wait_for(
+          lock, std::chrono::duration<double>(state->options.epoch));
+      if (state->stopped) break;
+      tick_state(*state);
+    }
+  });
+}
+
+void MetricsDeltaPublisher::schedule_deferred(
+    const std::shared_ptr<State>& state) {
+  std::weak_ptr<State> weak = state;
+  state->defer(state->options.epoch, [weak] {
+    auto state = weak.lock();
+    if (!state) return;
+    std::lock_guard lock(state->mu);
+    if (state->stopped) return;
+    tick_state(*state);
+    schedule_deferred(state);
+  });
+}
+
+void MetricsDeltaPublisher::start_deferred(Defer defer) {
+  std::lock_guard lock(state_->mu);
+  if (threaded_ || state_->defer || !defer) return;
+  state_->defer = std::move(defer);
+  schedule_deferred(state_);
+}
+
+void MetricsDeltaPublisher::stop() {
+  {
+    std::lock_guard lock(state_->mu);
+    state_->stopped = true;
+    state_->cv.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+  threaded_ = false;
+}
+
+std::uint64_t MetricsDeltaPublisher::ticks() const noexcept {
+  return state_->ticks.load(std::memory_order_relaxed);
+}
+
+}  // namespace obs

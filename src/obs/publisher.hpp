@@ -1,0 +1,78 @@
+// Metrics-delta publisher: turns the pull-only MetricsRegistry into a
+// `metrics.delta` event stream.
+//
+// Every epoch it snapshots the registry and publishes one event per entry
+// that changed since the previous tick — key = metric name, absolute values
+// (not increments), so the channel's coalesce-by-key overflow policy is
+// lossless: a consumer that missed three updates of `orb.requests_total`
+// still converges on the latest value.  The first tick with a subscriber
+// present publishes every entry (the baseline); ticks with no subscriber are
+// free and do not advance the baseline, so a late subscriber still gets the
+// full picture on the next epoch.
+//
+// Two drive modes mirror NodeManager: start_threaded() for real deployments
+// (a wall-clock thread owned by the publisher), start_deferred() for the
+// simulator (self-rescheduling through the virtual-clock executor; the
+// internal state is shared_ptr-owned and ticks hold only a weak_ptr, so a
+// tick scheduled past stop() is a no-op rather than a use-after-free).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace obs {
+
+class MetricsDeltaPublisher {
+ public:
+  /// Schedules `fn` to run `delay` seconds from now (the simulator's
+  /// virtual-clock executor; see EventChannel::Defer).
+  using Defer = std::function<void(double delay, std::function<void()> fn)>;
+
+  struct Options {
+    /// Origin stamped on published events ("" = process-wide).
+    std::string host;
+    /// Seconds between ticks.
+    double epoch = 1.0;
+    /// Snapshot source; null = MetricsRegistry::global().
+    const MetricsRegistry* registry = nullptr;
+  };
+
+  explicit MetricsDeltaPublisher(Options options);
+  ~MetricsDeltaPublisher();
+  MetricsDeltaPublisher(const MetricsDeltaPublisher&) = delete;
+  MetricsDeltaPublisher& operator=(const MetricsDeltaPublisher&) = delete;
+
+  /// One comparison pass: publishes changed entries, advances the baseline.
+  /// With no channel subscriber this is one atomic load (and the baseline
+  /// stays put).  Callable directly in tests; the drive modes call it.
+  void tick();
+
+  /// Wall-clock drive: a thread ticking every epoch seconds.
+  void start_threaded();
+  /// Virtual-clock drive: self-reschedules through `defer` every epoch.
+  void start_deferred(Defer defer);
+  /// Stops either drive mode; joins the thread, orphans pending deferred
+  /// ticks (they no-op through the weak_ptr).  Idempotent.
+  void stop();
+
+  std::uint64_t ticks() const noexcept;
+
+ private:
+  struct State;
+  static void tick_state(State& state);
+  static void schedule_deferred(const std::shared_ptr<State>& state);
+
+  std::shared_ptr<State> state_;
+  std::thread thread_;
+  bool threaded_ = false;
+};
+
+}  // namespace obs

@@ -30,6 +30,86 @@ std::string last_lines(const std::string& text, std::uint64_t limit) {
 
 }  // namespace
 
+corba::Value event_to_value(const Event& event) {
+  corba::ValueSeq out;
+  out.emplace_back(std::string(to_string(event.topic)));
+  out.emplace_back(event.host);
+  out.emplace_back(event.key);
+  out.emplace_back(event.t);
+  out.emplace_back(event.seq);
+  corba::ValueSeq fields;
+  fields.reserve(event.fields.size());
+  for (const EventField& field : event.fields) {
+    corba::ValueSeq f;
+    f.emplace_back(field.name);
+    switch (field.kind) {
+      case EventField::Kind::f64:
+        f.emplace_back("f64");
+        f.emplace_back(field.f64);
+        break;
+      case EventField::Kind::u64:
+        f.emplace_back("u64");
+        f.emplace_back(field.u64);
+        break;
+      case EventField::Kind::str:
+        f.emplace_back("str");
+        f.emplace_back(field.str);
+        break;
+    }
+    fields.emplace_back(std::move(f));
+  }
+  out.emplace_back(std::move(fields));
+  return corba::Value(std::move(out));
+}
+
+Event event_from_value(const corba::Value& value) {
+  const corba::ValueSeq& seq = value.as_sequence();
+  if (seq.size() < 6)
+    throw corba::BAD_PARAM("malformed event: " + std::to_string(seq.size()) +
+                           " fields");
+  Event event;
+  const auto topic = parse_topic(seq[0].as_string());
+  if (!topic) throw corba::BAD_PARAM("unknown topic: " + seq[0].as_string());
+  event.topic = *topic;
+  event.host = seq[1].as_string();
+  event.key = seq[2].as_string();
+  event.t = seq[3].as_f64();
+  event.seq = seq[4].as_u64();
+  for (const corba::Value& fv : seq[5].as_sequence()) {
+    const corba::ValueSeq& f = fv.as_sequence();
+    if (f.size() < 3) throw corba::BAD_PARAM("malformed event field");
+    const std::string& tag = f[1].as_string();
+    if (tag == "f64")
+      event.fields.push_back(num_field(f[0].as_string(), f[2].as_f64()));
+    else if (tag == "u64")
+      event.fields.push_back(int_field(f[0].as_string(), f[2].as_u64()));
+    else if (tag == "str")
+      event.fields.push_back(str_field(f[0].as_string(), f[2].as_string()));
+    else
+      throw corba::BAD_PARAM("unknown event field tag: " + tag);
+  }
+  return event;
+}
+
+EventConsumerServant::EventConsumerServant(Handler handler)
+    : handler_(std::move(handler)) {
+  if (!handler_) throw corba::BAD_PARAM("event consumer requires a handler");
+}
+
+corba::Value EventConsumerServant::dispatch(std::string_view op,
+                                            const corba::ValueSeq& args) {
+  if (op == "push") {
+    check_arity(op, args, 1);
+    const corba::ValueSeq& batch = args[0].as_sequence();
+    std::vector<Event> events;
+    events.reserve(batch.size());
+    for (const corba::Value& v : batch) events.push_back(event_from_value(v));
+    handler_(std::move(events));
+    return corba::Value();
+  }
+  throw corba::BAD_OPERATION(std::string(op));
+}
+
 corba::Value HealthReport::to_value() const {
   corba::ValueSeq fields;
   fields.emplace_back(host);
@@ -87,7 +167,18 @@ HealthReport HealthReport::from_value(const corba::Value& value) {
 }
 
 TelemetryServant::TelemetryServant(TelemetryOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  if (options_.metrics_epoch > 0) {
+    metrics_publisher_ = std::make_unique<MetricsDeltaPublisher>(
+        MetricsDeltaPublisher::Options{options_.host, options_.metrics_epoch,
+                                       nullptr});
+    metrics_publisher_->start_threaded();
+  }
+}
+
+TelemetryServant::~TelemetryServant() {
+  if (metrics_publisher_) metrics_publisher_->stop();
+}
 
 HealthReport TelemetryServant::health() const {
   HealthReport report;
@@ -158,7 +249,60 @@ corba::Value TelemetryServant::dispatch(std::string_view op,
     check_arity(op, args, 0);
     return health().to_value();
   }
+  if (op == "subscribe") return subscribe(args);
+  if (op == "unsubscribe") {
+    check_arity(op, args, 1);
+    return corba::Value(EventChannel::global().unsubscribe(args[0].as_u64()));
+  }
   throw corba::BAD_OPERATION(std::string(op));
+}
+
+corba::Value TelemetryServant::subscribe(const corba::ValueSeq& args) {
+  check_arity("subscribe", args, 5);
+  auto orb = options_.orb.lock();
+  if (!orb)
+    throw corba::BAD_INV_ORDER("telemetry servant has no ORB for push");
+  EventChannel& channel = EventChannel::global();
+  if (!channel.bound())
+    throw corba::BAD_INV_ORDER(
+        "no event channel bound on this node; poll instead");
+
+  const corba::ObjectRef consumer =
+      corba::ObjectRef::from_value(orb, args[0]);
+  SubscribeOptions options;
+  for (const corba::Value& tv : args[1].as_sequence()) {
+    const auto topic = parse_topic(tv.as_string());
+    if (!topic) throw corba::BAD_PARAM("unknown topic: " + tv.as_string());
+    options.topics.push_back(*topic);
+  }
+  if (const std::uint64_t limit = args[2].as_u64(); limit > 0)
+    options.queue_limit = static_cast<std::size_t>(limit);
+  const std::string& policy = args[3].as_string();
+  if (policy == "drop_oldest")
+    options.policy = OverflowPolicy::drop_oldest;
+  else if (policy == "coalesce_by_key")
+    options.policy = OverflowPolicy::coalesce_by_key;
+  else if (!policy.empty())
+    throw corba::BAD_PARAM("unknown overflow policy: " + policy);
+  options.delivery_interval = args[4].as_f64();
+  // The stringified IOR identifies the consumer across servants: N sim
+  // nodes share one process-wide channel, and orbtop subscribing through
+  // each node's servant must still receive every event exactly once.
+  options.consumer_id = orb->object_to_string(consumer);
+
+  const std::uint64_t id = channel.subscribe(
+      std::move(options), [consumer](std::span<const Event> batch) {
+        corba::ValueSeq encoded;
+        encoded.reserve(batch.size());
+        for (const Event& event : batch)
+          encoded.push_back(event_to_value(event));
+        // Oneway: the publisher side never blocks on a consumer's reply.  A
+        // dead consumer throws here; three consecutive failures and the
+        // channel drops the subscription.
+        consumer.invoke_oneway("push",
+                               {corba::Value(std::move(encoded))});
+      });
+  return corba::Value(id);
 }
 
 std::string TelemetryStub::get_metrics(const std::string& format) const {
@@ -181,11 +325,34 @@ HealthReport TelemetryStub::health() const {
   return HealthReport::from_value(call("health", {}));
 }
 
+std::uint64_t TelemetryStub::subscribe_events(
+    const corba::ObjectRef& consumer, const std::vector<std::string>& topics,
+    std::uint64_t queue_limit, const std::string& policy,
+    double delivery_interval) const {
+  corba::ValueSeq topic_values;
+  topic_values.reserve(topics.size());
+  for (const std::string& topic : topics) topic_values.emplace_back(topic);
+  return call("subscribe",
+              {consumer.to_value(), corba::Value(std::move(topic_values)),
+               corba::Value(queue_limit), corba::Value(policy),
+               corba::Value(delivery_interval)})
+      .as_u64();
+}
+
+bool TelemetryStub::unsubscribe_events(std::uint64_t id) const {
+  return call("unsubscribe", {corba::Value(id)}).as_bool();
+}
+
 corba::ObjectRef install_telemetry(const std::shared_ptr<corba::ORB>& orb,
                                    naming::NamingContext& root,
                                    TelemetryOptions options) {
   const std::string host = options.host;
   if (host.empty()) throw corba::BAD_PARAM("telemetry requires a host name");
+  options.orb = orb;
+  // A TCP deployment has no simulator to bind the channel; open it here in
+  // worker mode so subscribe() works out of the box.  A SimRuntime binds
+  // first (virtual-clock defer executor) and this leaves it alone.
+  if (!EventChannel::global().bound()) EventChannel::global().bind({});
   auto servant = std::make_shared<TelemetryServant>(std::move(options));
   const corba::ObjectRef ref = orb->activate(servant, "Telemetry");
 

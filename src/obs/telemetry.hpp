@@ -21,8 +21,11 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "naming/naming.hpp"
+#include "obs/event_channel.hpp"
+#include "obs/publisher.hpp"
 #include "orb/object_adapter.hpp"
 #include "orb/orb.hpp"
 #include "orb/stub.hpp"
@@ -33,6 +36,37 @@ class SpanCollector;
 
 inline constexpr std::string_view kTelemetryRepoId =
     "IDL:corbaft/obs/Telemetry:1.0";
+inline constexpr std::string_view kEventConsumerRepoId =
+    "IDL:corbaft/obs/EventConsumer:1.0";
+
+// --- push-carrier wire format ------------------------------------------------
+// One event is a flat Value sequence:
+//   [topic(str), host(str), key(str), t(f64), seq(u64),
+//    fields: seq of [name(str), tag("f64"|"u64"|"str"), value]]
+// A push batch is one Value: a sequence of event values.  The carrier is the
+// normal GIOP-lite transport — the channel delivers a batch by invoking the
+// oneway `push` operation on the consumer's EventConsumer servant, so push
+// telemetry rides sessions, multiplexing and the reactor like any other call.
+corba::Value event_to_value(const Event& event);
+Event event_from_value(const corba::Value& value);
+
+/// Consumer-side servant: receives `push` batches and hands the decoded
+/// events to `handler` (invoked on the transport's dispatch thread — under
+/// the simulator, on the virtual-clock event loop).
+class EventConsumerServant final : public corba::Servant {
+ public:
+  using Handler = std::function<void(std::vector<Event>)>;
+  explicit EventConsumerServant(Handler handler);
+
+  std::string_view repo_id() const noexcept override {
+    return kEventConsumerRepoId;
+  }
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override;
+
+ private:
+  Handler handler_;
+};
 
 /// Flat health summary returned by Telemetry::health() — the one-row-per-
 /// host view orbtop renders.  Encoded on the wire as a flat sequence in
@@ -77,6 +111,15 @@ struct TelemetryOptions {
   /// When set, get_spans() renders this collector (the caller keeps
   /// ownership and must outlive the servant).
   const SpanCollector* spans = nullptr;
+  /// The node's ORB; the subscribe operation needs it to turn the wire
+  /// consumer reference back into an invocable ObjectRef (install_telemetry
+  /// fills this in).
+  std::weak_ptr<corba::ORB> orb;
+  /// When > 0, the servant runs a wall-clock MetricsDeltaPublisher at this
+  /// epoch (seconds) for the node — the TCP-deployment producer.  Simulated
+  /// runtimes leave this 0 and drive a virtual-clock publisher instead
+  /// (core::RuntimeOptions::metrics_epoch).
+  double metrics_epoch = 0.0;
 };
 
 /// Servant answering the introspection operations:
@@ -85,9 +128,20 @@ struct TelemetryOptions {
 ///   get_timeline()          installed RecoveryTimeline rendering
 ///   get_flight_recorder()   FlightRecorder::global().to_text()
 ///   health()                flat HealthReport sequence
+///   subscribe(consumer, topics, queue_limit, policy, interval)
+///                           registers `consumer` (an EventConsumer ref) on
+///                           the node's event channel; returns the u64
+///                           subscription id.  Throws BAD_INV_ORDER when no
+///                           channel is bound (callers fall back to polling).
+///                           The consumer's stringified IOR is the dedupe
+///                           identity, so subscribing through every servant
+///                           of a shared-process sim cluster yields one
+///                           subscription.
+///   unsubscribe(id)         bool: removed
 class TelemetryServant final : public corba::Servant {
  public:
   explicit TelemetryServant(TelemetryOptions options);
+  ~TelemetryServant() override;
 
   std::string_view repo_id() const noexcept override { return kTelemetryRepoId; }
   corba::Value dispatch(std::string_view op,
@@ -96,7 +150,11 @@ class TelemetryServant final : public corba::Servant {
   HealthReport health() const;
 
  private:
+  corba::Value subscribe(const corba::ValueSeq& args);
+
   TelemetryOptions options_;
+  /// Wall-clock metrics producer (metrics_epoch > 0 deployments).
+  std::unique_ptr<MetricsDeltaPublisher> metrics_publisher_;
 };
 
 /// Typed client stub (what orbtop drives).
@@ -110,6 +168,17 @@ class TelemetryStub final : public corba::StubBase {
   std::string get_timeline() const;
   std::string get_flight_recorder() const;
   HealthReport health() const;
+
+  /// Registers `consumer` on the node's push channel.  `topics` empty = all;
+  /// `queue_limit` 0 = channel default; `policy` in {"", "drop_oldest",
+  /// "coalesce_by_key"} ("" = per-topic defaults).  Returns the subscription
+  /// id; throws corba::BAD_INV_ORDER when the node has no channel bound.
+  std::uint64_t subscribe_events(const corba::ObjectRef& consumer,
+                                 const std::vector<std::string>& topics = {},
+                                 std::uint64_t queue_limit = 0,
+                                 const std::string& policy = "",
+                                 double delivery_interval = 0.0) const;
+  bool unsubscribe_events(std::uint64_t id) const;
 };
 
 /// Activates a TelemetryServant on `orb` and binds it under

@@ -3,12 +3,25 @@
 #include <atomic>
 #include <cstdio>
 
+#include "obs/event_channel.hpp"
 #include "obs/trace.hpp"
 
 namespace obs {
 
 namespace {
 std::atomic<RecoveryTimeline*> g_timeline{nullptr};
+
+// Mirrors a timeline event onto the `recovery.timeline` channel topic so
+// push subscribers see recovery lifecycle live, not only in the post-run
+// rendering.  Free when the channel has no subscriber.
+void publish_timeline(double t, std::string_view category,
+                      std::string_view subject, std::string_view detail) {
+  if (!events_wanted()) return;
+  publish_event(Topic::recovery_timeline, /*host=*/"", /*key=*/subject,
+                {str_field("category", std::string(category)),
+                 str_field("subject", std::string(subject)),
+                 str_field("detail", std::string(detail)), num_field("at", t)});
+}
 }  // namespace
 
 void RecoveryTimeline::record(std::string_view category,
@@ -67,14 +80,14 @@ RecoveryTimeline* installed_timeline() noexcept {
 
 void timeline_event(std::string_view category, std::string_view subject,
                     std::string_view detail) {
-  if (RecoveryTimeline* t = installed_timeline())
-    t->record(category, subject, detail);
+  timeline_event_at(now(), category, subject, detail);
 }
 
 void timeline_event_at(double t, std::string_view category,
                        std::string_view subject, std::string_view detail) {
   if (RecoveryTimeline* tl = installed_timeline())
     tl->record_at(t, category, subject, detail);
+  publish_timeline(t, category, subject, detail);
 }
 
 }  // namespace obs

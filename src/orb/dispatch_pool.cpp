@@ -1,5 +1,8 @@
 #include "orb/dispatch_pool.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "orb/exceptions.hpp"
@@ -16,11 +19,24 @@ struct PoolMetrics {
   obs::Histogram& queue_depth = obs::MetricsRegistry::global().histogram(
       "orb.dispatch_pool.queue_depth",
       {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  /// Time a request sat queued before a worker picked it up — the "where
+  /// does latency come from" attribution for a saturated pool.
+  obs::Histogram& queue_wait = obs::MetricsRegistry::global().histogram(
+      "orb.dispatch_pool.queue_wait_s");
 };
 
 PoolMetrics& pool_metrics() {
   static PoolMetrics metrics;
   return metrics;
+}
+
+// Wall (steady) clock, deliberately not obs::now(): pool workers run real
+// threads even while a simulator's virtual clock is installed in the same
+// process, and a virtual timestamp here would render nonsense waits.
+double pool_monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -72,7 +88,8 @@ void DispatchPool::enqueue_locked(RequestMessage request, Completion done) {
   obs::flight_event(obs::FlightEvent::dispatch_depth, request.operation,
                     in_pool_);
   auto [it, inserted] = keys_.try_emplace(request.object_key);
-  it->second.waiting.push_back(Job{std::move(request), std::move(done)});
+  it->second.waiting.push_back(
+      Job{std::move(request), std::move(done), pool_monotonic_seconds()});
   // A key becomes runnable when its first job arrives; while a worker is
   // executing the key stays out of ready_ (the worker re-queues it).
   if (inserted) {
@@ -124,6 +141,8 @@ void DispatchPool::worker_loop() {
     it->second.waiting.pop_front();
 
     pool_metrics().inflight.add(1);
+    pool_metrics().queue_wait.record(
+        std::max(0.0, pool_monotonic_seconds() - job.enqueued_at));
     lock.unlock();
     ReplyMessage reply = dispatch_(job.request);
     if (job.request.response_expected && job.done) {

@@ -90,6 +90,7 @@ class DispatchPool {
   struct Job {
     RequestMessage request;
     Completion done;
+    double enqueued_at = 0.0;  ///< steady-clock seconds; queue-wait metric
   };
   /// Per-object-key FIFO.  Present in keys_ iff it has waiting jobs or a
   /// worker is executing its head job.

@@ -45,6 +45,12 @@ struct ReactorMetrics {
   /// (the orbtop CONN column reads it through HealthReport).
   obs::Gauge& connections =
       obs::MetricsRegistry::global().gauge("transport.tcp.connections");
+  /// Time one epoll batch spends being processed — how long every other
+  /// ready connection on this loop waited.  A fat tail here is an I/O
+  /// thread overloaded (or a servant sneaking work onto it), invisible in
+  /// per-request latency until throughput collapses.
+  obs::Histogram& loop_lag = obs::MetricsRegistry::global().histogram(
+      "transport.tcp.reactor.loop_lag_s");
 };
 
 ReactorMetrics& reactor_metrics() {
@@ -351,6 +357,7 @@ void Reactor::io_loop(Loop& loop) {
     }
     reactor_metrics().wakeups.inc();
     reactor_metrics().events.inc(static_cast<std::uint64_t>(n));
+    const double batch_started = monotonic_seconds();
     bool woken = false;
     bool timer_fired = false;
     for (int i = 0; i < n; ++i) {
@@ -407,6 +414,7 @@ void Reactor::io_loop(Loop& loop) {
     if (woken) handle_wake(loop);
     if (loop.retry_submits.exchange(false, std::memory_order_acq_rel))
       retry_stalled(loop);
+    reactor_metrics().loop_lag.record(monotonic_seconds() - batch_started);
   }
 }
 

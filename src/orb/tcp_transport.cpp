@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/event_channel.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -488,6 +489,12 @@ void TcpConnection::overflow_evict_locked() {
   auto victim = retransmit_->evict_oldest();
   if (!victim) return;
   session_metrics().overflow_failures.inc();
+  if (obs::events_wanted()) {
+    obs::publish_event(obs::Topic::session_state, /*host=*/"", /*key=*/peer_,
+                       {obs::str_field("state", "overflow"),
+                        obs::int_field("session", session_id_),
+                        obs::int_field("request", victim->request_id)});
+  }
   auto it = waiters_.find(victim->request_id);
   if (it == waiters_.end()) return;  // oneway or already completed
   const std::shared_ptr<Waiter> owner = std::move(it->second);
@@ -647,6 +654,12 @@ bool TcpConnection::handle_failure_locked(
     // Resume was tried and lost (attempts budget, caller deadline, or the
     // server rejected the stale session): fire the batched-failure path with
     // a minor code the FT proxy can attribute to an exhausted resume.
+    if (obs::events_wanted()) {
+      obs::publish_event(obs::Topic::session_state, /*host=*/"",
+                         /*key=*/peer_,
+                         {obs::str_field("state", "resume_failed"),
+                          obs::int_field("session", session_id_)});
+    }
     fail_all_locked(std::make_exception_ptr(COMM_FAILURE(
         "session resume failed; falling back to batched failure",
         minor_code::session_resume_failed, CompletionStatus::completed_maybe)));
@@ -726,6 +739,13 @@ bool TcpConnection::resume_locked(
       if (replayed > 0) session_metrics().retransmitted.inc(replayed);
       obs::flight_event(obs::FlightEvent::session_resume, peer_, session_id_,
                         replayed);
+      if (obs::events_wanted()) {
+        obs::publish_event(obs::Topic::session_state, /*host=*/"",
+                           /*key=*/peer_,
+                           {obs::str_field("state", "resumed"),
+                            obs::int_field("session", session_id_),
+                            obs::int_field("frames", replayed)});
+      }
       touch();
       return true;
     }

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/event_channel.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -267,6 +268,12 @@ void send_reply(const HopContext& ctx, std::shared_ptr<ReplySlot> slot,
           session.replayed_replies.inc();
           obs::flight_event(obs::FlightEvent::session_resume, server_host, 0,
                             1);
+          if (obs::events_wanted()) {
+            obs::publish_event(obs::Topic::session_state,
+                               /*host=*/server_host, /*key=*/server_host,
+                               {obs::str_field("state", "resumed"),
+                                obs::int_field("frames", 1)});
+          }
         }
         transfer += resume_penalty(*ctx.cluster);
         break;
@@ -488,6 +495,12 @@ std::unique_ptr<corba::PendingReply> SimTransport::send(
           session.resumes.inc();
           session.retransmitted.inc();
           obs::flight_event(obs::FlightEvent::session_resume, host_name, 0, 1);
+          if (obs::events_wanted()) {
+            obs::publish_event(obs::Topic::session_state, /*host=*/host_name,
+                               /*key=*/host_name,
+                               {obs::str_field("state", "resumed"),
+                                obs::int_field("frames", 1)});
+          }
         }
         request_transfer += resume_penalty(cluster_);
         break;

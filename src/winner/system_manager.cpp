@@ -5,6 +5,7 @@
 #include <iterator>
 #include <stdexcept>
 
+#include "obs/event_channel.hpp"
 #include "obs/metrics.hpp"
 
 namespace winner {
@@ -51,18 +52,32 @@ void SystemManager::register_host(const std::string& name, double speed_index) {
 
 void SystemManager::report_load(const std::string& name,
                                 const LoadSample& sample) {
-  std::lock_guard lock(mu_);
-  auto it = hosts_.find(name);
-  if (it == hosts_.end()) return;  // reports from unknown hosts are dropped
-  HostEntry& entry = it->second;
-  entry.last = sample;
-  entry.reported = true;
-  winner_metrics().load_reports.inc();
-  // Placements made before the sample was taken are now visible in the
-  // measured load; only newer ones still need compensation.
-  std::erase_if(entry.pending_placements,
-                [&](double placed_at) { return placed_at <= sample.timestamp; });
-  ++epoch_;
+  double index = 0.0;
+  {
+    std::lock_guard lock(mu_);
+    auto it = hosts_.find(name);
+    if (it == hosts_.end()) return;  // reports from unknown hosts are dropped
+    HostEntry& entry = it->second;
+    entry.last = sample;
+    entry.reported = true;
+    winner_metrics().load_reports.inc();
+    // Placements made before the sample was taken are now visible in the
+    // measured load; only newer ones still need compensation.
+    std::erase_if(entry.pending_placements, [&](double placed_at) {
+      return placed_at <= sample.timestamp;
+    });
+    ++epoch_;
+    index = index_locked(entry);
+  }
+  // Outside the lock: a slow channel consumer must never serialize the
+  // selection path.  Coalesce-by-key (key = host) keeps only the newest
+  // report for a backlogged subscriber, matching the manager's own state.
+  if (obs::events_wanted()) {
+    obs::publish_event(obs::Topic::load_report, /*host=*/name, /*key=*/name,
+                       {obs::num_field("index", index),
+                        obs::num_field("load_avg", sample.load_avg),
+                        obs::num_field("timestamp", sample.timestamp)});
+  }
 }
 
 double SystemManager::index_locked(const HostEntry& entry) const {

@@ -1,0 +1,115 @@
+// Determinism of the push telemetry plane under chaos: two runs with the
+// same seed — same cluster, same fault plan, same workload — must render
+// byte-identical event streams through a subscriber.  The channel rides the
+// virtual clock (SimRuntime binds it with the event-queue defer executor),
+// sequence numbers restart per run, and every producer stamps obs::now(),
+// so the stream is as reproducible as the flight-recorder dumps whose
+// contract it extends.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+
+#include "core/sim_runtime.hpp"
+#include "obs/event_channel.hpp"
+#include "obs/metrics.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace rt {
+namespace {
+
+class EchoServant : public corba::Servant {
+ public:
+  std::string_view repo_id() const noexcept override {
+    return "IDL:corbaft/tests/Echo:1.0";
+  }
+  corba::Value dispatch(std::string_view op,
+                        const corba::ValueSeq& args) override {
+    if (op == "echo") {
+      check_arity(op, args, 1);
+      return args[0];
+    }
+    throw corba::BAD_OPERATION(std::string(op));
+  }
+};
+
+/// One complete chaos run; returns the subscriber's rendered stream.
+std::string run_once(std::uint64_t seed) {
+  // The stream includes metrics.delta events carrying absolute counter
+  // values, so per-run determinism needs the process-wide registry zeroed —
+  // the same contract benches and the flight recorder already follow.
+  obs::MetricsRegistry::global().reset();
+
+  sim::Cluster cluster;
+  for (int i = 0; i < 3; ++i)
+    cluster.add_host("node" + std::to_string(i), 1e5);
+
+  RuntimeOptions options;
+  options.seed = seed;
+  options.winner_stale_after = 2.5;
+  options.enable_sessions = true;  // drops then exercise resume events
+  options.metrics_epoch = 0.5;     // periodic metrics.delta producer
+  SimRuntime runtime(cluster, options);
+
+  std::string stream;
+  const std::uint64_t sub = obs::EventChannel::global().subscribe(
+      {.queue_limit = 65536}, [&stream](std::span<const obs::Event> batch) {
+        for (const obs::Event& event : batch) {
+          stream += event.to_line();
+          stream += '\n';
+        }
+      });
+
+  runtime.events().run_until(1.1);  // first load reports land
+
+  runtime.registry()->register_type(
+      "Echo", [] { return std::make_shared<EchoServant>(); });
+  const naming::Name name = naming::Name::parse("Echo");
+  runtime.deploy_everywhere(name, "Echo");
+
+  // Seeded message-level chaos: drops force session resumes, spikes shift
+  // timings.  Armed after deployment, like the experiment harness does.
+  sim::FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_probability = 0.05;
+  plan.latency_spike_probability = 0.05;
+  plan.latency_spike_s = 0.02;
+  auto injector = std::make_shared<sim::FaultInjector>(plan);
+  injector->set_origin(runtime.events().now());
+  cluster.set_fault_injector(injector);
+
+  for (int i = 0; i < 120; ++i) {
+    try {
+      runtime.resolve(name).invoke("echo", {corba::Value(std::int64_t{i})});
+    } catch (const corba::SystemException&) {
+      // Chaos may kill an individual call; the stream, not the workload's
+      // success, is under test.
+    }
+    runtime.events().run_until(runtime.events().now() + 0.05);
+  }
+
+  cluster.set_fault_injector(nullptr);
+  runtime.stop_node_managers();
+  // Drain the queue so every scheduled delivery lands before we stop.
+  runtime.events().run_until(runtime.events().now() + 5.0);
+  obs::EventChannel::global().unsubscribe(sub);
+  return stream;
+}
+
+TEST(EventStreamDeterminism, SameSeedRendersByteIdenticalStreams) {
+  const std::string first = run_once(42);
+  const std::string second = run_once(42);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << "same-seed event streams diverged";
+
+  // The stream actually carries the plane's traffic, not just one topic.
+  EXPECT_NE(first.find(" metrics.delta "), std::string::npos);
+  EXPECT_NE(first.find(" load.report "), std::string::npos);
+
+  // A different seed shifts fault timing, so the stream differs (the
+  // equality above is not vacuous).
+  EXPECT_NE(run_once(43), first);
+}
+
+}  // namespace
+}  // namespace rt

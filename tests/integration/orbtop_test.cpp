@@ -5,9 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <chrono>
 #include <string>
+#include <thread>
 
 #include "core/sim_runtime.hpp"
+#include "obs/event_channel.hpp"
+#include "obs/metrics.hpp"
 #include "obs/orbtop.hpp"
 #include "obs/telemetry.hpp"
 #include "orb/orb.hpp"
@@ -232,6 +236,99 @@ TEST(OrbtopTcpClusterTest, PollsTelemetryOverRealSocketsAndEmitsJson) {
   EXPECT_TRUE(JsonChecker::valid(json)) << json;
   EXPECT_NE(json.find("\"name\": \"beta\", \"reachable\": true"),
             std::string::npos);
+}
+
+TEST(OrbtopSimClusterTest, PushCollectorStreamsWithZeroPollingRpcs) {
+  sim::Cluster cluster;
+  for (int i = 0; i < 2; ++i)
+    cluster.add_host("node" + std::to_string(i), 100.0);
+  RuntimeOptions options;
+  options.metrics_epoch = 0.5;  // runtime-level metrics.delta producer
+  SimRuntime runtime(cluster, options);
+  runtime.events().run_until(2.5);
+
+  runtime.registry()->register_type(
+      "Echo", [] { return std::make_shared<EchoServant>(); });
+  const naming::Name name = naming::Name::parse("Echo");
+  runtime.deploy_everywhere(name, "Echo");
+
+  naming::NamingContextStub root = runtime.naming();
+  obs::PushCollector collector(runtime.client_orb(), root);
+  // The consumer's IOR is the dedupe identity: subscribing through both
+  // nodes' servants of this shared-process cluster lands one subscription.
+  EXPECT_EQ(collector.subscriptions(), 2u);
+  EXPECT_EQ(obs::EventChannel::global().subscriber_count(), 1u);
+
+  // Traffic + epochs + load reports flow; deliveries ride the virtual clock.
+  for (int i = 0; i < 5; ++i)
+    runtime.resolve(name).invoke("echo", {corba::Value(std::int64_t{i})});
+  runtime.events().run_until(6.0);
+  EXPECT_GT(collector.events_received(), 0u);
+
+  const obs::ClusterSnapshot snapshot = collector.snapshot();
+  EXPECT_EQ(snapshot.transport, "push");
+  ASSERT_EQ(snapshot.nodes.size(), 2u);
+  for (const obs::NodeStatus& node : snapshot.nodes) {
+    EXPECT_TRUE(node.reachable) << node.error;
+    // load.report events refreshed the Winner columns ...
+    EXPECT_GE(node.health.load_index, 0.0);
+    EXPECT_GE(node.health.report_age, 0.0);
+    // ... and metrics.delta events the RPC columns.
+    EXPECT_GT(node.health.rpcs, 0u);
+  }
+  EXPECT_NE(obs::render_json(snapshot).find("\"transport\": \"push\""),
+            std::string::npos);
+  EXPECT_NE(obs::render_json(obs::collect_cluster(root))
+                .find("\"transport\": \"poll\""),
+            std::string::npos);
+
+  // The zero-polling contract: snapshot() is assembled locally.  Under the
+  // simulator any RPC must run the (currently idle) event queue, and the
+  // process-wide request counter must not move.
+  const obs::Counter& requests =
+      obs::MetricsRegistry::global().counter("orb.requests_total");
+  const std::uint64_t before = requests.value();
+  (void)collector.snapshot();
+  (void)collector.snapshot();
+  EXPECT_EQ(requests.value(), before);
+}
+
+TEST(OrbtopTcpClusterTest, PushCollectorStreamsOverRealSockets) {
+  obs::EventChannel::global().reset();
+  auto alpha = corba::ORB::init({.endpoint_name = "alpha2", .enable_tcp = true});
+  auto [root_servant, root_ref] =
+      naming::NamingContextServant::create_root(alpha);
+  // install_telemetry binds the global channel in worker mode for a TCP
+  // deployment; the push carrier is the normal GIOP-lite wire.
+  obs::install_telemetry(alpha, *root_servant, {.host = "alpha2"});
+
+  auto watcher =
+      corba::ORB::init({.endpoint_name = "watcher3", .enable_tcp = true});
+  naming::NamingContextStub root(
+      watcher->string_to_object(alpha->object_to_string(root_ref)));
+  {
+    obs::PushCollector collector(watcher, root);
+    EXPECT_EQ(collector.subscriptions(), 1u);
+    EXPECT_EQ(collector.snapshot().transport, "push");
+
+    obs::publish_event(obs::Topic::load_report, "alpha2", "alpha2",
+                       {obs::num_field("index", 2.5),
+                        obs::num_field("load_avg", 1.0),
+                        obs::num_field("timestamp", 0.0)});
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (collector.events_received() == 0) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "no push event arrived over TCP";
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const obs::ClusterSnapshot snapshot = collector.snapshot();
+    ASSERT_EQ(snapshot.nodes.size(), 1u);
+    EXPECT_DOUBLE_EQ(snapshot.nodes[0].health.load_index, 2.5);
+  }
+  obs::EventChannel::global().reset();
+  watcher->shutdown();
+  alpha->shutdown();
 }
 
 }  // namespace

@@ -199,6 +199,42 @@ TEST(Exporters, PrometheusExpositionFormat) {
   EXPECT_NE(prom.find("orb_request_latency_seconds_sum"), std::string::npos);
 }
 
+// Hostile metric names must not corrupt either exporter: a name carrying a
+// quote, backslash or newline could otherwise break JSON parsing or smuggle
+// extra lines (even fake samples) into the Prometheus exposition.
+TEST(Exporters, HostileMetricNamesAreEscapedEverywhere) {
+  MetricsRegistry registry;
+  const std::string hostile = "bad\nname\\with\"quote";
+  registry.counter(hostile).inc(7);
+  registry.gauge("9leads.with.digit").set(1.0);
+  registry.histogram("evil\tlat_s", {0.1}).record(0.05);
+
+  const std::string prom = to_prometheus(registry.snapshot());
+  // Sample names sanitize every hostile byte to '_' (leading digits get a
+  // prefix), so the exposition stays parseable...
+  EXPECT_NE(prom.find("bad_name_with_quote_total 7"), std::string::npos);
+  EXPECT_NE(prom.find("_9leads_with_digit 1"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE evil_lat_seconds histogram"), std::string::npos);
+  EXPECT_NE(prom.find("evil_lat_seconds_count 1"), std::string::npos);
+  // ... and the HELP line keeps the original name with exposition escaping
+  // (literal backslash-n, escaped backslash), never a raw newline.
+  EXPECT_NE(prom.find("# HELP bad_name_with_quote_total bad\\nname\\\\with\"quote"),
+            std::string::npos);
+  EXPECT_EQ(prom.find("bad\nname"), std::string::npos);
+  // Every metric kind announces itself.
+  EXPECT_NE(prom.find("# TYPE bad_name_with_quote_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE _9leads_with_digit gauge"), std::string::npos);
+
+  const std::string json = to_json(registry.snapshot());
+  // RFC 8259 escapes: no raw newline/tab/quote/backslash inside the name
+  // string, so the document stays one valid JSON value.
+  EXPECT_NE(json.find("\"bad\\nname\\\\with\\\"quote\""), std::string::npos);
+  EXPECT_NE(json.find("\"evil\\tlat_s\""), std::string::npos);
+  EXPECT_EQ(json.find("bad\nname"), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+}
+
 TEST(Registry, GlobalIsUsableAndStable) {
   Counter& c = MetricsRegistry::global().counter("test.global_probe_total");
   c.inc();

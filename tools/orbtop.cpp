@@ -7,15 +7,23 @@
 // checkpoints, quarantine state and dispatch queue depth — all collected
 // in-band over the same GIOP-lite wire the application uses.
 //
+// Watch mode is push-first: it subscribes an EventConsumer through every
+// node's telemetry servant and re-renders from the live event stream — zero
+// polling RPCs after the subscription.  Nodes without an event channel (or
+// --poll) fall back to the classic poll loop.
+//
 //   orbtop --ior <IOR:...>        naming service reference
 //   orbtop --ior-file <path>      ... read from a file instead
 //   orbtop --watch <seconds>      refresh continuously (enables RPC/s)
-//   orbtop --json                 machine-readable snapshot(s)
+//   orbtop --json                 machine-readable snapshot(s); includes
+//                                 "transport": "poll"|"push"
+//   orbtop --poll                 force poll mode even when push works
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -30,7 +38,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--ior <IOR:...> | --ior-file <path>) "
-               "[--watch <seconds>] [--json]\n",
+               "[--watch <seconds>] [--json] [--poll]\n",
                argv0);
   return 2;
 }
@@ -43,12 +51,24 @@ std::string read_ior_file(const std::string& path) {
   return ior;
 }
 
+void render(const obs::ClusterSnapshot& snapshot,
+            const obs::ClusterSnapshot* prev, bool json, bool watching) {
+  if (json) {
+    std::printf("%s\n", obs::render_json(snapshot).c_str());
+  } else {
+    if (watching) std::printf("\x1b[2J\x1b[H");  // clear, home
+    std::fputs(obs::render_table(snapshot, prev).c_str(), stdout);
+  }
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string ior;
   double watch = 0.0;
   bool json = false;
+  bool force_poll = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--ior" && i + 1 < argc) {
@@ -68,6 +88,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--poll") {
+      force_poll = true;
     } else {
       return usage(argv[0]);
     }
@@ -75,27 +97,33 @@ int main(int argc, char** argv) {
   if (ior.empty()) return usage(argv[0]);
 
   try {
-    // A pure client: the TCP endpoint is only opened because the ORB needs
-    // at least one transport at init; nothing is ever served on it.
+    // Mostly a client, but push mode serves the EventConsumer callback
+    // object on this endpoint.
     auto orb = corba::ORB::init({.endpoint_name = "orbtop", .enable_tcp = true});
     naming::NamingContextStub root(orb->string_to_object(ior));
 
+    // Push applies to watch mode only: a single-shot run would tear the
+    // subscription down before the first event could arrive.
+    std::unique_ptr<obs::PushCollector> push;
+    if (watch > 0 && !force_poll) {
+      try {
+        push = std::make_unique<obs::PushCollector>(orb, root);
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "orbtop: push unavailable (%s); polling\n",
+                     error.what());
+      }
+    }
+
     std::optional<obs::ClusterSnapshot> prev;
     for (;;) {
-      const obs::ClusterSnapshot snapshot = obs::collect_cluster(root);
-      if (json) {
-        std::printf("%s\n", obs::render_json(snapshot).c_str());
-      } else {
-        if (watch > 0) std::printf("\x1b[2J\x1b[H");  // clear, home
-        std::fputs(
-            obs::render_table(snapshot, prev ? &*prev : nullptr).c_str(),
-            stdout);
-      }
-      std::fflush(stdout);
+      const obs::ClusterSnapshot snapshot =
+          push ? push->snapshot() : obs::collect_cluster(root);
+      render(snapshot, prev ? &*prev : nullptr, json, watch > 0);
       if (watch <= 0) break;
       prev = snapshot;
       std::this_thread::sleep_for(std::chrono::duration<double>(watch));
     }
+    push.reset();
     orb->shutdown();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "orbtop: %s\n", error.what());

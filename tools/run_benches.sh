@@ -15,7 +15,8 @@ if [ "$#" -eq 0 ]; then
   root=$(cd "$(dirname "$0")/.." && pwd)
   set -- "$root/build/bench/table1_proxy_overhead" \
          "$root/build/bench/micro_checkpoint" \
-         "$root/build/bench/micro_orb"
+         "$root/build/bench/micro_orb" \
+         "$root/build/bench/micro_events"
 fi
 
 for bin in "$@"; do
@@ -35,7 +36,7 @@ done
 # counter/gauge/histogram entries).
 status=0
 for json in BENCH_table1.json BENCH_checkpoint.json BENCH_multiplex.json \
-            BENCH_session.json BENCH_reactor.json; do
+            BENCH_session.json BENCH_reactor.json BENCH_events.json; do
   if [ ! -e "$json" ]; then
     echo "run_benches.sh: expected $json was not produced" >&2
     status=1
@@ -79,6 +80,14 @@ done
 for needle in '"mode": "reactor"' '"mode": "threaded"'; do
   if [ -e BENCH_reactor.json ] && ! grep -qF "$needle" BENCH_reactor.json; then
     echo "run_benches.sh: BENCH_reactor.json lacks $needle" >&2
+    status=1
+  fi
+done
+
+# The event-channel sweep must exercise both overflow policies.
+for needle in '"mode": "drop_oldest"' '"mode": "coalesce_by_key"'; do
+  if [ -e BENCH_events.json ] && ! grep -qF "$needle" BENCH_events.json; then
+    echo "run_benches.sh: BENCH_events.json lacks $needle" >&2
     status=1
   fi
 done
