@@ -26,6 +26,9 @@ corbaft_add_bench(micro_orb GBENCH LIBS corbaft::opt)
 # the shared bench scaffolding in bench_common.hpp.
 corbaft_add_bench(micro_checkpoint GBENCH LIBS corbaft::opt)
 corbaft_add_bench(micro_sim GBENCH LIBS corbaft::sim)
+# Sharded checkpoint store scaling sweep (TCP ORBs; no google-benchmark —
+# it drives its own writer threads and wall clock).
+corbaft_add_bench(micro_ckptstore LIBS corbaft::ft)
 corbaft_add_bench(micro_events LIBS corbaft::opt)
 corbaft_add_bench(ablation_replication LIBS corbaft::opt)
 corbaft_add_bench(ablation_wan_metacomputing LIBS corbaft::opt)
@@ -38,12 +41,14 @@ corbaft_add_bench(ablation_wan_metacomputing LIBS corbaft::opt)
 set(_corbaft_bench_smoke_cmd
   ${CMAKE_CURRENT_LIST_DIR}/../tools/run_benches.sh
   $<TARGET_FILE:table1_proxy_overhead> $<TARGET_FILE:micro_checkpoint>
-  $<TARGET_FILE:micro_orb> $<TARGET_FILE:micro_events>)
+  $<TARGET_FILE:micro_orb> $<TARGET_FILE:micro_events>
+  $<TARGET_FILE:micro_ckptstore>)
 add_custom_target(bench-smoke
   COMMAND ${CMAKE_COMMAND} -E env CORBAFT_BENCH_SMOKE=1
           ${_corbaft_bench_smoke_cmd}
   WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench
   DEPENDS table1_proxy_overhead micro_checkpoint micro_orb micro_events
+          micro_ckptstore
   VERBATIM)
 add_test(NAME bench_smoke COMMAND ${_corbaft_bench_smoke_cmd})
 # The `obs` label groups everything that exercises the observability layer:

@@ -1,5 +1,7 @@
 #include "core/sim_runtime.hpp"
 
+#include "winner/placement.hpp"
+
 #include "obs/event_channel.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
@@ -206,6 +208,54 @@ SimRuntime::SimRuntime(sim::Cluster& cluster, RuntimeOptions options)
     nodes_.push_back(std::move(node));
   }
 
+  // Sharded checkpoint store: shard primaries on the least-loaded worker
+  // hosts (distinct per replica set), each asynchronously replicating every
+  // acknowledged write to its followers.  The central servant above stays
+  // up regardless; with shards deployed, checkpoint_store() routes to them.
+  if (options_.checkpoint_shards > 0) {
+    const std::size_t replicas =
+        std::max<std::size_t>(1, options_.checkpoint_replicas);
+    const winner::PlacementPlan plan = winner::plan_shard_placements(
+        *load_info_, worker_hosts_, options_.checkpoint_shards, replicas);
+    for (std::size_t shard = 0; shard < plan.shard_hosts.size(); ++shard) {
+      const std::vector<std::string>& hosts = plan.shard_hosts[shard];
+      std::vector<corba::ObjectRef> refs(hosts.size());
+      // Followers first — the primary's forwarder needs their references.
+      for (std::size_t r = 1; r < hosts.size(); ++r) {
+        refs[r] = node_orb(hosts[r])->activate(
+            std::make_shared<ft::CheckpointStoreServant>(
+                std::make_shared<ft::MemoryCheckpointStore>(
+                    options_.checkpoint_cost)),
+            "CheckpointShard-" + std::to_string(shard) + "-r" +
+                std::to_string(r));
+      }
+      ft::ReplicatingStore::Options replication;
+      for (std::size_t r = 1; r < hosts.size(); ++r) {
+        // Follower stubs minted from the *primary's* ORB: forwards travel
+        // primary host -> follower host over the virtual network.
+        replication.followers.push_back(
+            std::make_shared<ft::CheckpointStoreStub>(
+                node_orb(hosts[0])->make_ref(refs[r].ior())));
+      }
+      replication.defer = [this](std::function<void()> fn) {
+        cluster_.events().schedule_after(0.0, std::move(fn));
+      };
+      replication.shard_label = "shard-" + std::to_string(shard);
+      replication.host = hosts[0];
+      replication.shard_id = shard;
+      auto primary = std::make_shared<ft::ReplicatingStore>(
+          std::make_shared<ft::MemoryCheckpointStore>(
+              options_.checkpoint_cost),
+          std::move(replication));
+      refs[0] = node_orb(hosts[0])->activate(
+          std::make_shared<ft::CheckpointStoreServant>(primary),
+          "CheckpointShard-" + std::to_string(shard));
+      shard_primaries_.push_back(std::move(primary));
+      shard_refs_.push_back(std::move(refs));
+      shard_hosts_.push_back(hosts);
+    }
+  }
+
   // Make the services discoverable the CORBA way.
   for (const auto& orb : {infra_orb_, client_orb_}) {
     orb->register_initial_reference("NameService",
@@ -249,8 +299,32 @@ winner::SystemManagerStub SimRuntime::winner_stub() const {
 }
 
 std::shared_ptr<ft::CheckpointStoreClient> SimRuntime::checkpoint_store() const {
-  return std::make_shared<ft::CheckpointStoreStub>(
-      client_orb_->make_ref(store_ref_.ior()));
+  if (shard_refs_.empty()) {
+    return std::make_shared<ft::CheckpointStoreStub>(
+        client_orb_->make_ref(store_ref_.ior()));
+  }
+  // Every call builds a fresh sharded client: each proxy/worker fails over
+  // independently, exactly as separate client processes would.
+  std::vector<ft::ShardedCheckpointStore::ShardReplicas> shards;
+  shards.reserve(shard_refs_.size());
+  for (std::size_t shard = 0; shard < shard_refs_.size(); ++shard) {
+    ft::ShardedCheckpointStore::ShardReplicas set;
+    set.replicas.reserve(shard_refs_[shard].size());
+    for (const corba::ObjectRef& ref : shard_refs_[shard])
+      set.replicas.push_back(std::make_shared<ft::CheckpointStoreStub>(
+          client_orb_->make_ref(ref.ior())));
+    set.hosts = shard_hosts_[shard];
+    shards.push_back(std::move(set));
+  }
+  return std::make_shared<ft::ShardedCheckpointStore>(std::move(shards));
+}
+
+std::size_t SimRuntime::shard_for_key(const std::string& key) const {
+  if (shard_refs_.empty()) return 0;
+  // Same ring parameters as the clients checkpoint_store() builds.
+  return ft::HashRing(shard_refs_.size(),
+                      ft::ShardedCheckpointStore::Options{}.virtual_nodes)
+      .shard_for(key);
 }
 
 corba::ObjectRef SimRuntime::deploy(const std::string& host,

@@ -25,6 +25,8 @@
 
 #include "ft/checkpoint_store.hpp"
 #include "ft/proxy.hpp"
+#include "ft/sharded_store.hpp"
+#include "ft/store_replication.hpp"
 #include "ft/quarantine.hpp"
 #include "ft/service_factory.hpp"
 #include "naming/naming_context.hpp"
@@ -101,6 +103,19 @@ struct RuntimeOptions {
   /// Load-index penalty for placing work outside the home domain.
   double wan_remote_penalty = 1.0;
 
+  // --- sharded checkpoint store ----------------------------------------------
+  /// When > 0, the checkpoint store is sharded: this many store servants are
+  /// placed on the least-loaded worker hosts (winner::plan_shard_placements)
+  /// and checkpoint_store() consistent-hashes keys across them.  0 keeps the
+  /// paper's layout — one servant on the infra host — with zero behavioral
+  /// drift for the Table 1 experiments.
+  std::size_t checkpoint_shards = 0;
+  /// Copies per shard including the primary (with checkpoint_shards > 0).
+  /// Followers land on hosts distinct from their primary and receive
+  /// asynchronous forwards of every acknowledged write; clients fail over
+  /// to the freshest follower when the primary's host crashes.
+  std::size_t checkpoint_replicas = 1;
+
   // --- push telemetry ---------------------------------------------------------
   /// When > 0, run a virtual-clock MetricsDeltaPublisher at this epoch
   /// (virtual seconds): every epoch the runtime publishes changed metrics on
@@ -164,9 +179,27 @@ class SimRuntime {
   std::shared_ptr<winner::SystemManager> site_manager(
       const std::string& domain) const;
   /// Direct access to the in-memory checkpoint backend (telemetry).
+  /// The central (unsharded) store; still live with sharding on, but
+  /// checkpoint traffic goes to the shards then.
   const std::shared_ptr<ft::MemoryCheckpointStore>& checkpoint_backend()
       const noexcept {
     return checkpoint_backend_;
+  }
+
+  // --- sharded checkpoint store (checkpoint_shards > 0) ---------------------
+  std::size_t checkpoint_shard_count() const noexcept {
+    return shard_refs_.size();
+  }
+  /// shard_hosts()[s][r] = host of shard s, replica r (0 = primary).
+  const std::vector<std::vector<std::string>>& shard_hosts() const noexcept {
+    return shard_hosts_;
+  }
+  /// Shard a key routes to (the ring every checkpoint_store() client uses).
+  std::size_t shard_for_key(const std::string& key) const;
+  /// The primary's replicating wrapper (tests: flush, lag, catch-up counts).
+  const std::shared_ptr<ft::ReplicatingStore>& shard_primary(
+      std::size_t shard) const {
+    return shard_primaries_.at(shard);
   }
   const std::shared_ptr<ft::ServantFactoryRegistry>& registry() const noexcept {
     return registry_;
@@ -229,6 +262,9 @@ class SimRuntime {
   std::map<std::string, std::shared_ptr<winner::SystemManager>> site_managers_;
   std::map<std::string, corba::ObjectRef> site_manager_refs_;
   std::shared_ptr<ft::MemoryCheckpointStore> checkpoint_backend_;
+  std::vector<std::vector<corba::ObjectRef>> shard_refs_;
+  std::vector<std::vector<std::string>> shard_hosts_;
+  std::vector<std::shared_ptr<ft::ReplicatingStore>> shard_primaries_;
   std::shared_ptr<ft::ServantFactoryRegistry> registry_;
   std::shared_ptr<ft::OfferQuarantine> quarantine_;
   std::shared_ptr<naming::NamingContextServant> naming_servant_;

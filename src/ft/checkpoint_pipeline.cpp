@@ -21,6 +21,8 @@ struct PipelineMetrics {
       obs::MetricsRegistry::global().counter("ft.pipeline.coalesced_total");
   obs::Counter& bytes_shipped =
       obs::MetricsRegistry::global().counter("ft.pipeline.bytes_shipped_total");
+  obs::Counter& delta_fallbacks = obs::MetricsRegistry::global().counter(
+      "ft.checkpoint.delta_fallbacks_total");
   obs::Histogram& store_latency =
       obs::MetricsRegistry::global().histogram("ft.pipeline.store_latency_s");
 };
@@ -103,9 +105,16 @@ void CheckpointPipeline::ship_now(std::uint64_t version,
         if (timed) metrics.store_latency.record(obs::now() - start);
         return;
       } catch (const corba::BAD_PARAM&) {
-        // The store's view of the base moved (wiped, replaced, or another
-        // writer won) — re-anchor with a full snapshot.
+        // The store's view of the base moved (wiped, replaced, another
+        // writer won, or shard failover promoted a follower that missed
+        // the base) — re-anchor with a full snapshot.  A storm of these
+        // is the signature of a lagging promoted replica, so it is
+        // counted and flight-recorded.
         have_acked_ = false;
+        ++delta_fallbacks_;
+        metrics.delta_fallbacks.inc();
+        obs::flight_event(obs::FlightEvent::delta_fallback, config_.key,
+                          acked_version_, version);
       }
     }
   }

@@ -100,6 +100,12 @@ class CheckpointPipeline {
   std::uint64_t coalesced() const noexcept { return coalesced_.load(); }
   /// Bytes actually shipped to the store (delta payloads, full states).
   std::uint64_t bytes_shipped() const noexcept { return bytes_shipped_.load(); }
+  /// Deltas the store rejected (base moved under us — wipe, competing
+  /// writer, shard failover to a lagging replica), answered by a full
+  /// re-anchor.  Mirrored in `ft.checkpoint.delta_fallbacks_total`.
+  std::uint64_t delta_fallbacks() const noexcept {
+    return delta_fallbacks_.load();
+  }
 
  private:
   struct Item {
@@ -150,6 +156,7 @@ class CheckpointPipeline {
   std::atomic<std::uint64_t> failures_{0};
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> bytes_shipped_{0};
+  std::atomic<std::uint64_t> delta_fallbacks_{0};
 };
 
 }  // namespace ft

@@ -1,10 +1,15 @@
 #include "ft/checkpoint_store.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
 #include <fstream>
 
 #include "ft/delta.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/work_meter.hpp"
 
 namespace ft {
@@ -13,15 +18,10 @@ namespace {
 
 corba::RegisterUserException<NoCheckpoint> register_no_checkpoint;
 
-void throw_stale(std::uint64_t version, std::uint64_t stored) {
-  throw corba::BAD_PARAM("stale checkpoint version " + std::to_string(version) +
-                         " <= " + std::to_string(stored));
-}
-
-void throw_base_mismatch(std::uint64_t base_version, std::uint64_t stored) {
-  throw corba::BAD_PARAM("delta base version " + std::to_string(base_version) +
-                         " does not match stored version " +
-                         std::to_string(stored));
+obs::Histogram& fsync_latency() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::global().histogram("ft.store.fsync_latency_s");
+  return histogram;
 }
 
 }  // namespace
@@ -42,15 +42,24 @@ void CheckpointStoreClient::store_delta(const std::string& key,
   store(key, version, StateDelta::decode(delta).apply(current->state));
 }
 
+std::uint64_t CheckpointStoreClient::head_version(const std::string& key) {
+  const auto current = load(key);
+  return current ? current->version : 0;
+}
+
+CheckpointLog CheckpointStoreClient::fetch_log(const std::string& key,
+                                               std::uint64_t since) {
+  CheckpointLog log;
+  const auto current = load(key);
+  if (!current || current->version == since) return log;
+  log.has_base = true;
+  log.base_version = current->version;
+  log.base = current->state;
+  return log;
+}
+
 MemoryCheckpointStore::MemoryCheckpointStore(CostModel cost, DeltaPolicy delta)
     : cost_(cost), delta_policy_(delta) {}
-
-corba::Blob MemoryCheckpointStore::materialize(const Entry& entry) {
-  corba::Blob state = entry.base;
-  for (const Segment& segment : entry.chain)
-    state = StateDelta::decode(segment.delta).apply(state);
-  return state;
-}
 
 void MemoryCheckpointStore::store(const std::string& key, std::uint64_t version,
                                   const corba::Blob& state) {
@@ -60,13 +69,10 @@ void MemoryCheckpointStore::store(const std::string& key, std::uint64_t version,
   // potentially large allocation + memcpy.
   corba::Blob copy = state;
   std::lock_guard lock(mu_);
-  Entry& entry = checkpoints_[key];
-  if (entry.version() != 0 && version <= entry.version())
-    throw_stale(version, entry.version());
-  entry.base_version = version;
-  entry.base = std::move(copy);
-  entry.chain.clear();
-  entry.chain_payload = 0;
+  auto it = checkpoints_.find(key);
+  if (it == checkpoints_.end())
+    it = checkpoints_.emplace(key, SegmentLog(delta_policy_)).first;
+  it->second.put_full(version, std::move(copy));
   ++store_count_;
 }
 
@@ -84,21 +90,9 @@ void MemoryCheckpointStore::store_delta(const std::string& key,
   if (it == checkpoints_.end())
     throw corba::BAD_PARAM("delta without base checkpoint for key '" + key +
                            "'");
-  Entry& entry = it->second;
-  if (version <= entry.version()) throw_stale(version, entry.version());
-  if (base_version != entry.version())
-    throw_base_mismatch(base_version, entry.version());
-  entry.chain_payload += copy.size();
-  entry.chain.push_back({version, std::move(copy)});
-  ++delta_store_count_;
-  if (entry.chain.size() >= delta_policy_.max_chain ||
-      entry.chain_payload > entry.base.size()) {
-    entry.base = materialize(entry);
-    entry.base_version = version;
-    entry.chain.clear();
-    entry.chain_payload = 0;
+  if (it->second.append_delta(base_version, version, std::move(copy)))
     ++compaction_count_;
-  }
+  ++delta_store_count_;
 }
 
 std::optional<Checkpoint> MemoryCheckpointStore::load(const std::string& key) {
@@ -107,7 +101,7 @@ std::optional<Checkpoint> MemoryCheckpointStore::load(const std::string& key) {
     std::lock_guard lock(mu_);
     auto it = checkpoints_.find(key);
     if (it == checkpoints_.end()) return std::nullopt;
-    result = Checkpoint{it->second.version(), materialize(it->second)};
+    result = Checkpoint{it->second.version(), it->second.materialize()};
     ++load_count_;
   }
   // Charge the simulated cost after dropping mu_: WorkMeter::charge may pump
@@ -131,6 +125,20 @@ std::vector<std::string> MemoryCheckpointStore::keys() {
   return result;
 }
 
+std::uint64_t MemoryCheckpointStore::head_version(const std::string& key) {
+  std::lock_guard lock(mu_);
+  auto it = checkpoints_.find(key);
+  return it == checkpoints_.end() ? 0 : it->second.version();
+}
+
+CheckpointLog MemoryCheckpointStore::fetch_log(const std::string& key,
+                                               std::uint64_t since) {
+  std::lock_guard lock(mu_);
+  auto it = checkpoints_.find(key);
+  if (it == checkpoints_.end()) return {};
+  return it->second.log_since(since);
+}
+
 std::uint64_t MemoryCheckpointStore::stores() const {
   std::lock_guard lock(mu_);
   return store_count_;
@@ -151,9 +159,23 @@ std::uint64_t MemoryCheckpointStore::compactions() const {
   return compaction_count_;
 }
 
+std::string_view to_string(FsyncMode mode) noexcept {
+  switch (mode) {
+    case FsyncMode::off:
+      return "off";
+    case FsyncMode::data:
+      return "data";
+    case FsyncMode::full:
+      return "full";
+  }
+  return "unknown";
+}
+
 FileCheckpointStore::FileCheckpointStore(std::filesystem::path directory,
-                                         DeltaPolicy delta)
-    : directory_(std::move(directory)), delta_policy_(delta) {
+                                         DeltaPolicy delta, FsyncMode fsync)
+    : directory_(std::move(directory)),
+      delta_policy_(delta),
+      fsync_mode_(fsync) {
   std::filesystem::create_directories(directory_);
 }
 
@@ -183,20 +205,65 @@ void FileCheckpointStore::write_atomically(
     const std::filesystem::path& target,
     std::span<const std::byte> payload) const {
   const std::filesystem::path tmp = target.string() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw corba::INTERNAL("cannot write " + tmp.string());
-    out.write(reinterpret_cast<const char*>(payload.data()),
-              static_cast<std::streamsize>(payload.size()));
-    if (!out) throw corba::INTERNAL("short write to " + tmp.string());
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw corba::INTERNAL("cannot write " + tmp.string());
+  std::size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n = ::write(fd, payload.data() + written,
+                              payload.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      throw corba::INTERNAL("short write to " + tmp.string());
+    }
+    written += static_cast<std::size_t>(n);
   }
+  double sync_started = 0.0;
+  if (fsync_mode_ != FsyncMode::off) {
+    sync_started = obs::now();
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      throw corba::INTERNAL("fsync failed for " + tmp.string());
+    }
+  }
+  ::close(fd);
   std::filesystem::rename(tmp, target);
+  if (fsync_mode_ == FsyncMode::full) {
+    // Make the rename itself durable: sync the containing directory.
+    const int dir_fd =
+        ::open(directory_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dir_fd >= 0) {
+      ::fsync(dir_fd);
+      ::close(dir_fd);
+    }
+  }
+  if (fsync_mode_ != FsyncMode::off)
+    fsync_latency().record(obs::now() - sync_started);
 }
 
-std::vector<FileCheckpointStore::Segment> FileCheckpointStore::read_segments(
+std::optional<Checkpoint> FileCheckpointStore::read_base(
+    const std::string& key) const {
+  std::ifstream in(path_for(key), std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const auto size = static_cast<std::size_t>(in.tellg());
+  if (size < sizeof(std::uint64_t))
+    throw corba::INTERNAL("corrupt checkpoint file for key '" + key + "'");
+  in.seekg(0);
+  Checkpoint base;
+  if (!in.read(reinterpret_cast<char*>(&base.version), sizeof(base.version)))
+    throw corba::INTERNAL("corrupt checkpoint file for key '" + key + "'");
+  base.state.resize(size - sizeof(std::uint64_t));
+  if (!base.state.empty() &&
+      !in.read(reinterpret_cast<char*>(base.state.data()),
+               static_cast<std::streamsize>(base.state.size())))
+    throw corba::INTERNAL("corrupt checkpoint file for key '" + key + "'");
+  return base;
+}
+
+std::vector<FileCheckpointStore::DiskSegment> FileCheckpointStore::read_segments(
     const std::string& key) const {
   const std::string prefix = encoded_key(key) + ".";
-  std::vector<Segment> segments;
+  std::vector<DiskSegment> segments;
   for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
     if (entry.path().extension() != ".dckpt") continue;
     const std::string name = entry.path().filename().string();
@@ -206,69 +273,60 @@ std::vector<FileCheckpointStore::Segment> FileCheckpointStore::read_segments(
     const auto size = static_cast<std::size_t>(in.tellg());
     if (size < 2 * sizeof(std::uint64_t)) continue;  // truncated: orphan
     in.seekg(0);
-    Segment segment;
+    DiskSegment segment;
     segment.path = entry.path();
-    in.read(reinterpret_cast<char*>(&segment.version), sizeof(segment.version));
-    in.read(reinterpret_cast<char*>(&segment.base_version),
-            sizeof(segment.base_version));
-    segment.delta.resize(size - 2 * sizeof(std::uint64_t));
-    if (!segment.delta.empty())
-      in.read(reinterpret_cast<char*>(segment.delta.data()),
-              static_cast<std::streamsize>(segment.delta.size()));
+    in.read(reinterpret_cast<char*>(&segment.segment.version),
+            sizeof(segment.segment.version));
+    in.read(reinterpret_cast<char*>(&segment.segment.base_version),
+            sizeof(segment.segment.base_version));
+    segment.segment.delta.resize(size - 2 * sizeof(std::uint64_t));
+    if (!segment.segment.delta.empty())
+      in.read(reinterpret_cast<char*>(segment.segment.delta.data()),
+              static_cast<std::streamsize>(segment.segment.delta.size()));
     if (!in) continue;
     segments.push_back(std::move(segment));
   }
   std::sort(segments.begin(), segments.end(),
-            [](const Segment& a, const Segment& b) {
-              return a.version < b.version;
+            [](const DiskSegment& a, const DiskSegment& b) {
+              return a.segment.version < b.segment.version;
             });
   return segments;
 }
 
 std::optional<FileCheckpointStore::Materialized>
 FileCheckpointStore::load_locked(const std::string& key) {
-  std::ifstream in(path_for(key), std::ios::binary | std::ios::ate);
-  if (!in) {
+  auto base = read_base(key);
+  if (!base) {
     // No base: any delta segments lying around (crash between base removal
     // and segment cleanup) can never apply again — discard them.
     remove_segments(key);
     return std::nullopt;
   }
-  const auto size = static_cast<std::size_t>(in.tellg());
-  if (size < sizeof(std::uint64_t))
-    throw corba::INTERNAL("corrupt checkpoint file for key '" + key + "'");
-  in.seekg(0);
   Materialized m;
-  if (!in.read(reinterpret_cast<char*>(&m.checkpoint.version),
-               sizeof(m.checkpoint.version)))
-    throw corba::INTERNAL("corrupt checkpoint file for key '" + key + "'");
-  m.checkpoint.state.resize(size - sizeof(std::uint64_t));
-  if (!m.checkpoint.state.empty() &&
-      !in.read(reinterpret_cast<char*>(m.checkpoint.state.data()),
-               static_cast<std::streamsize>(m.checkpoint.state.size())))
-    throw corba::INTERNAL("corrupt checkpoint file for key '" + key + "'");
+  m.checkpoint = std::move(*base);
   m.base_version = m.checkpoint.version;
   m.base_size = m.checkpoint.state.size();
 
-  // Replay the delta chain, discarding orphans: segments at or below the
-  // base (stale leftovers from before a compaction) and segments whose
-  // declared base breaks the chain (crash-restart gap).  Once the chain
-  // breaks, everything after it is unreachable too.
-  bool broken = false;
-  for (Segment& segment : read_segments(key)) {
-    const bool stale = segment.version <= m.checkpoint.version;
-    const bool gap = !stale && segment.base_version != m.checkpoint.version;
-    if (stale || gap || broken) {
-      broken = broken || gap;
-      std::error_code ignored;
-      std::filesystem::remove(segment.path, ignored);
-      continue;
-    }
+  // Replay the delta chain through the shared crash-recovery validation
+  // (segment_log.hpp): stale leftovers and gap orphans are deleted.
+  std::vector<DiskSegment> disk = read_segments(key);
+  std::vector<LogSegment> candidates;
+  candidates.reserve(disk.size());
+  for (DiskSegment& segment : disk)
+    candidates.push_back(std::move(segment.segment));
+  const ChainSplit split = validate_chain(m.base_version, candidates);
+  for (const std::size_t index : split.orphans) {
+    std::error_code ignored;
+    std::filesystem::remove(disk[index].path, ignored);
+  }
+  for (const std::size_t index : split.keep) {
+    LogSegment& segment = candidates[index];
     m.checkpoint.state =
         StateDelta::decode(segment.delta).apply(m.checkpoint.state);
     m.checkpoint.version = segment.version;
     ++m.chain_length;
     m.chain_payload += segment.delta.size();
+    m.chain.push_back(std::move(segment));
   }
   return m;
 }
@@ -292,7 +350,7 @@ void FileCheckpointStore::store(const std::string& key, std::uint64_t version,
   std::lock_guard lock(mu_);
   if (const auto existing = load_locked(key);
       existing && version <= existing->checkpoint.version)
-    throw_stale(version, existing->checkpoint.version);
+    throw_stale_version(version, existing->checkpoint.version);
   corba::Blob payload(sizeof(version) + state.size());
   std::memcpy(payload.data(), &version, sizeof(version));
   if (!state.empty())
@@ -312,7 +370,7 @@ void FileCheckpointStore::store_delta(const std::string& key,
     throw corba::BAD_PARAM("delta without base checkpoint for key '" + key +
                            "'");
   if (version <= existing->checkpoint.version)
-    throw_stale(version, existing->checkpoint.version);
+    throw_stale_version(version, existing->checkpoint.version);
   if (base_version != existing->checkpoint.version)
     throw_base_mismatch(base_version, existing->checkpoint.version);
 
@@ -379,6 +437,46 @@ std::vector<std::string> FileCheckpointStore::keys() {
   return result;
 }
 
+std::uint64_t FileCheckpointStore::head_version(const std::string& key) {
+  std::lock_guard lock(mu_);
+  auto m = load_locked(key);
+  return m ? m->checkpoint.version : 0;
+}
+
+CheckpointLog FileCheckpointStore::fetch_log(const std::string& key,
+                                             std::uint64_t since) {
+  std::lock_guard lock(mu_);
+  auto m = load_locked(key);
+  CheckpointLog log;
+  if (!m || m->checkpoint.version == since) return log;
+  // Suffix when `since` is a version the validated chain still passes
+  // through; full base + chain otherwise.
+  bool anchored = since == m->base_version;
+  std::size_t first = 0;
+  if (!anchored) {
+    for (std::size_t i = 0; i < m->chain.size(); ++i) {
+      if (m->chain[i].version == since) {
+        anchored = true;
+        first = i + 1;
+        break;
+      }
+    }
+  }
+  if (anchored) {
+    log.segments.assign(
+        std::make_move_iterator(m->chain.begin() +
+                                static_cast<std::ptrdiff_t>(first)),
+        std::make_move_iterator(m->chain.end()));
+    return log;
+  }
+  log.has_base = true;
+  log.base_version = m->base_version;
+  auto base = read_base(key);
+  log.base = base ? std::move(base->state) : corba::Blob{};
+  log.segments = std::move(m->chain);
+  return log;
+}
+
 CheckpointStoreServant::CheckpointStoreServant(
     std::shared_ptr<CheckpointStoreClient> impl)
     : impl_(std::move(impl)) {
@@ -417,6 +515,14 @@ corba::Value CheckpointStoreServant::dispatch(std::string_view op,
     for (const std::string& key : impl_->keys()) out.emplace_back(key);
     return corba::Value(std::move(out));
   }
+  if (op == "head_version") {
+    check_arity(op, args, 1);
+    return corba::Value(impl_->head_version(args[0].as_string()));
+  }
+  if (op == "fetch_log") {
+    check_arity(op, args, 2);
+    return impl_->fetch_log(args[0].as_string(), args[1].as_u64()).to_value();
+  }
   throw corba::BAD_OPERATION(std::string(op));
 }
 
@@ -453,6 +559,16 @@ std::vector<std::string> CheckpointStoreStub::keys() {
   for (const corba::Value& key : reply.as_sequence())
     result.push_back(key.as_string());
   return result;
+}
+
+std::uint64_t CheckpointStoreStub::head_version(const std::string& key) {
+  return call("head_version", {corba::Value(key)}).as_u64();
+}
+
+CheckpointLog CheckpointStoreStub::fetch_log(const std::string& key,
+                                             std::uint64_t since) {
+  return CheckpointLog::from_value(
+      call("fetch_log", {corba::Value(key), corba::Value(since)}));
 }
 
 }  // namespace ft

@@ -6,7 +6,10 @@
 // a versioned key -> blob store with an in-memory backend (the paper's
 // prototype, including a configurable simulated cost so the Table 1 overhead
 // experiment can model the "rather inefficient" implementation) and a
-// file-backed backend (the persistence the paper lists as missing).
+// file-backed backend (the persistence the paper lists as missing).  Both
+// backends keep their per-key state as a log-structured base + delta chain
+// (ft/segment_log.hpp), which also feeds the shard replication catch-up
+// stream (ft/store_replication.hpp).
 #pragma once
 
 #include <filesystem>
@@ -16,6 +19,7 @@
 #include <optional>
 #include <span>
 
+#include "ft/segment_log.hpp"
 #include "orb/object_adapter.hpp"
 #include "orb/stub.hpp"
 
@@ -35,14 +39,6 @@ struct NoCheckpoint : corba::UserException {
 struct Checkpoint {
   std::uint64_t version = 0;
   corba::Blob state;
-};
-
-/// Compaction policy for delta chains: a key's chain collapses into a new
-/// full base snapshot once it holds `max_chain` deltas or once the chain's
-/// payload bytes exceed the base size (whichever comes first), bounding
-/// both replay work on load and storage growth.
-struct DeltaPolicy {
-  std::uint32_t max_chain = 8;
 };
 
 /// Client API of the checkpoint store; implemented by the backends (for
@@ -77,6 +73,19 @@ class CheckpointStoreClient {
   virtual void remove(const std::string& key) = 0;
 
   virtual std::vector<std::string> keys() = 0;
+
+  /// Version currently stored for `key`; 0 when absent.  The cheap probe
+  /// shard failover uses to find the freshest replica.  The default loads
+  /// and inspects (correct, not cheap); backends override.
+  virtual std::uint64_t head_version(const std::string& key);
+
+  /// The key's log from `since` forward: a segment suffix when the
+  /// backend's chain still anchors at `since`, the full base + chain
+  /// otherwise, an empty log when the key is absent or already caught up.
+  /// Replication catch-up calls this on the primary so a follower that
+  /// missed a few deltas receives the suffix instead of a full snapshot.
+  /// The default ships the full checkpoint as a base-only log.
+  virtual CheckpointLog fetch_log(const std::string& key, std::uint64_t since);
 };
 
 /// In-memory backend — the paper's proof-of-concept store.  `work_per_byte`
@@ -100,6 +109,8 @@ class MemoryCheckpointStore final : public CheckpointStoreClient {
   std::optional<Checkpoint> load(const std::string& key) override;
   void remove(const std::string& key) override;
   std::vector<std::string> keys() override;
+  std::uint64_t head_version(const std::string& key) override;
+  CheckpointLog fetch_log(const std::string& key, std::uint64_t since) override;
 
   std::uint64_t stores() const;
   std::uint64_t loads() const;
@@ -107,45 +118,39 @@ class MemoryCheckpointStore final : public CheckpointStoreClient {
   std::uint64_t compactions() const;
 
  private:
-  // Per-key storage: a full base snapshot plus an ordered chain of encoded
-  // deltas.  The entry's logical version is the chain tip (or the base when
-  // the chain is empty).
-  struct Segment {
-    std::uint64_t version = 0;
-    corba::Blob delta;
-  };
-  struct Entry {
-    std::uint64_t base_version = 0;
-    corba::Blob base;
-    std::vector<Segment> chain;
-    std::size_t chain_payload = 0;
-
-    std::uint64_t version() const noexcept {
-      return chain.empty() ? base_version : chain.back().version;
-    }
-  };
-
-  static corba::Blob materialize(const Entry& entry);
-
   CostModel cost_;
   DeltaPolicy delta_policy_;
   mutable std::mutex mu_;
-  std::map<std::string, Entry> checkpoints_;
+  std::map<std::string, SegmentLog> checkpoints_;
   std::uint64_t store_count_ = 0;
   std::uint64_t load_count_ = 0;
   std::uint64_t delta_store_count_ = 0;
   std::uint64_t compaction_count_ = 0;
 };
 
+/// Durability of FileCheckpointStore's atomic writes.  tmp+rename alone
+/// survives a process crash but not power loss: the rename can land while
+/// the data blocks are still dirty in the page cache.
+enum class FsyncMode : std::uint8_t {
+  off,   ///< no fsync; process-crash durability only (fastest, CI default off)
+  data,  ///< fsync the tmp file before rename (default)
+  full,  ///< data + fsync the directory after rename (the rename itself
+         ///< is durable too)
+};
+
+std::string_view to_string(FsyncMode mode) noexcept;
+
 /// File-backed backend: one base file per key under `directory` plus
 /// numbered delta segments, each written atomically (tmp + rename),
 /// surviving process restarts.  Orphan delta segments left behind by a
 /// crash (stale, or with a gap in the chain) are detected and discarded
-/// the next time the key is loaded.
+/// the next time the key is loaded.  Sync latency is recorded in the
+/// `ft.store.fsync_latency_s` histogram (modes other than off).
 class FileCheckpointStore final : public CheckpointStoreClient {
  public:
   explicit FileCheckpointStore(std::filesystem::path directory,
-                               DeltaPolicy delta = {});
+                               DeltaPolicy delta = {},
+                               FsyncMode fsync = FsyncMode::data);
 
   void store(const std::string& key, std::uint64_t version,
              const corba::Blob& state) override;
@@ -154,14 +159,15 @@ class FileCheckpointStore final : public CheckpointStoreClient {
   std::optional<Checkpoint> load(const std::string& key) override;
   void remove(const std::string& key) override;
   std::vector<std::string> keys() override;
+  std::uint64_t head_version(const std::string& key) override;
+  CheckpointLog fetch_log(const std::string& key, std::uint64_t since) override;
 
   const std::filesystem::path& directory() const noexcept { return directory_; }
+  FsyncMode fsync_mode() const noexcept { return fsync_mode_; }
 
  private:
-  struct Segment {
-    std::uint64_t version = 0;
-    std::uint64_t base_version = 0;
-    corba::Blob delta;
+  struct DiskSegment {
+    LogSegment segment;
     std::filesystem::path path;
   };
   struct Materialized {
@@ -170,14 +176,18 @@ class FileCheckpointStore final : public CheckpointStoreClient {
     std::size_t base_size = 0;
     std::size_t chain_length = 0;
     std::size_t chain_payload = 0;
+    /// The validated chain (fetch_log serves suffixes straight from it).
+    std::vector<LogSegment> chain;
   };
 
   std::string encoded_key(const std::string& key) const;
   std::filesystem::path path_for(const std::string& key) const;
   std::filesystem::path delta_path_for(const std::string& key,
                                        std::uint64_t version) const;
+  /// The raw base file (version + state), nullopt when absent.
+  std::optional<Checkpoint> read_base(const std::string& key) const;
   /// All delta segments for `key`, sorted by version (unvalidated).
-  std::vector<Segment> read_segments(const std::string& key) const;
+  std::vector<DiskSegment> read_segments(const std::string& key) const;
   /// Base + validated chain with orphans discarded (deleted from disk).
   /// Returns nullopt when no base exists.
   std::optional<Materialized> load_locked(const std::string& key);
@@ -187,6 +197,7 @@ class FileCheckpointStore final : public CheckpointStoreClient {
 
   std::filesystem::path directory_;
   DeltaPolicy delta_policy_;
+  FsyncMode fsync_mode_;
   mutable std::mutex mu_;
 };
 
@@ -220,6 +231,8 @@ class CheckpointStoreStub final : public corba::StubBase,
   std::optional<Checkpoint> load(const std::string& key) override;
   void remove(const std::string& key) override;
   std::vector<std::string> keys() override;
+  std::uint64_t head_version(const std::string& key) override;
+  CheckpointLog fetch_log(const std::string& key, std::uint64_t since) override;
 };
 
 }  // namespace ft

@@ -11,6 +11,10 @@
 // IGOR) so the trade-off can be measured instead of asserted — see
 // bench/ablation_replication.
 //
+// Distinct from ft/store_replication.hpp, which replicates the *checkpoint
+// store's data* (primary shard -> followers, asynchronously) rather than
+// application object groups.
+//
 //   * active:  every invocation executes on ALL group members (deferred-
 //     synchronous fan-out); the first successful reply is returned, so a
 //     member failure is masked with zero disruption.  Requires

@@ -1,0 +1,137 @@
+#include "ft/segment_log.hpp"
+
+#include "ft/delta.hpp"
+
+namespace ft {
+
+void throw_stale_version(std::uint64_t version, std::uint64_t stored) {
+  throw corba::BAD_PARAM("stale checkpoint version " + std::to_string(version) +
+                         " <= " + std::to_string(stored));
+}
+
+void throw_base_mismatch(std::uint64_t base_version, std::uint64_t stored) {
+  throw corba::BAD_PARAM("delta base version " + std::to_string(base_version) +
+                         " does not match stored version " +
+                         std::to_string(stored));
+}
+
+corba::Value CheckpointLog::to_value() const {
+  corba::ValueSeq encoded_segments;
+  encoded_segments.reserve(segments.size());
+  for (const LogSegment& segment : segments)
+    encoded_segments.emplace_back(corba::ValueSeq{
+        corba::Value(segment.version), corba::Value(segment.base_version),
+        corba::Value(segment.delta)});
+  return corba::Value(corba::ValueSeq{
+      corba::Value(static_cast<std::uint64_t>(has_base ? 1 : 0)),
+      corba::Value(base_version), corba::Value(base),
+      corba::Value(std::move(encoded_segments))});
+}
+
+CheckpointLog CheckpointLog::from_value(const corba::Value& value) {
+  const corba::ValueSeq& fields = value.as_sequence();
+  if (fields.size() != 4)
+    throw corba::MARSHAL("malformed checkpoint log payload");
+  CheckpointLog log;
+  log.has_base = fields[0].as_u64() != 0;
+  log.base_version = fields[1].as_u64();
+  log.base = fields[2].as_blob();
+  for (const corba::Value& encoded : fields[3].as_sequence()) {
+    const corba::ValueSeq& parts = encoded.as_sequence();
+    if (parts.size() != 3)
+      throw corba::MARSHAL("malformed checkpoint log segment");
+    log.segments.push_back(
+        {parts[0].as_u64(), parts[1].as_u64(), parts[2].as_blob()});
+  }
+  return log;
+}
+
+corba::Blob materialize(const CheckpointLog& log) {
+  if (!log.has_base)
+    throw corba::BAD_PARAM("cannot materialize a baseless log suffix");
+  corba::Blob state = log.base;
+  for (const LogSegment& segment : log.segments)
+    state = StateDelta::decode(segment.delta).apply(state);
+  return state;
+}
+
+ChainSplit validate_chain(std::uint64_t base_version,
+                          std::span<const LogSegment> segments) {
+  ChainSplit split;
+  std::uint64_t head = base_version;
+  bool broken = false;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const bool stale = segments[i].version <= base_version;
+    const bool gap = !stale && segments[i].base_version != head;
+    if (stale || gap || broken) {
+      broken = broken || gap;
+      split.orphans.push_back(i);
+      continue;
+    }
+    split.keep.push_back(i);
+    head = segments[i].version;
+  }
+  return split;
+}
+
+void SegmentLog::put_full(std::uint64_t new_version, corba::Blob state) {
+  if (version() != 0 && new_version <= version())
+    throw_stale_version(new_version, version());
+  base_version_ = new_version;
+  base_ = std::move(state);
+  chain_.clear();
+  chain_payload_ = 0;
+}
+
+bool SegmentLog::append_delta(std::uint64_t delta_base, std::uint64_t new_version,
+                              corba::Blob delta) {
+  if (new_version <= version()) throw_stale_version(new_version, version());
+  if (delta_base != version()) throw_base_mismatch(delta_base, version());
+  chain_payload_ += delta.size();
+  chain_.push_back({new_version, delta_base, std::move(delta)});
+  if (chain_.size() >= policy_.max_chain || chain_payload_ > base_.size()) {
+    base_ = materialize();
+    base_version_ = new_version;
+    chain_.clear();
+    chain_payload_ = 0;
+    return true;
+  }
+  return false;
+}
+
+corba::Blob SegmentLog::materialize() const {
+  corba::Blob state = base_;
+  for (const LogSegment& segment : chain_)
+    state = StateDelta::decode(segment.delta).apply(state);
+  return state;
+}
+
+CheckpointLog SegmentLog::log_since(std::uint64_t since) const {
+  CheckpointLog log;
+  if (since == version()) return log;  // caught up: empty suffix
+  // A suffix applies when `since` is a version the chain still passes
+  // through — the base itself, or any chained segment.
+  bool anchored = since == base_version_;
+  std::size_t first = 0;
+  if (!anchored) {
+    for (std::size_t i = 0; i < chain_.size(); ++i) {
+      if (chain_[i].version == since) {
+        anchored = true;
+        first = i + 1;
+        break;
+      }
+    }
+  }
+  if (anchored) {
+    log.segments.assign(chain_.begin() + static_cast<std::ptrdiff_t>(first),
+                        chain_.end());
+    return log;
+  }
+  log.has_base = true;
+  log.base_version = base_version_;
+  log.base = base_;
+  log.segments = chain_;
+  return log;
+}
+
+}  // namespace ft

@@ -1,0 +1,137 @@
+// Log-structured checkpoint segments: the shared core of every store
+// backend and of the shard replication catch-up stream.
+//
+// PR 2 gave both checkpoint backends the same shape — a full base snapshot
+// plus a bounded chain of encoded deltas, compacted once the chain grows
+// past the policy bound — but each backend carried its own copy of the
+// chain bookkeeping and validation rules.  The sharded store needs that
+// machinery a third time (a follower that missed forwards asks the primary
+// for the *segment suffix* since its head instead of a full snapshot), so
+// this module generalizes it:
+//
+//   * LogSegment / CheckpointLog — the value types: one appended delta, and
+//     a transferable slice of a key's log (optionally anchored by a base).
+//     CheckpointLog round-trips through corba::Value, so a catch-up payload
+//     travels the wire like any other argument.
+//   * SegmentLog — the in-memory log for one key (MemoryCheckpointStore's
+//     per-key entry, ReplicatingStore's source of catch-up suffixes).
+//   * validate_chain — the crash-recovery rule both file and replicated
+//     stores apply to an unvalidated segment list: drop stale leftovers,
+//     drop everything after a gap (orphans of an interrupted write).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "orb/value.hpp"
+
+namespace ft {
+
+/// Compaction policy for delta chains: a key's chain collapses into a new
+/// full base snapshot once it holds `max_chain` deltas or once the chain's
+/// payload bytes exceed the base size (whichever comes first), bounding
+/// both replay work on load and storage growth.
+struct DeltaPolicy {
+  std::uint32_t max_chain = 8;
+};
+
+/// One appended delta segment: `delta` is a CDR-encoded ft::StateDelta
+/// diffed against the state at `base_version`.
+struct LogSegment {
+  std::uint64_t version = 0;
+  std::uint64_t base_version = 0;
+  corba::Blob delta;
+};
+
+/// A transferable slice of one key's log.  Two shapes:
+///   * suffix (has_base == false): segments chained onto state the receiver
+///     already holds — the cheap catch-up path;
+///   * full (has_base == true): a base snapshot plus its current chain —
+///     what a receiver with nothing (or diverged state) gets.
+struct CheckpointLog {
+  bool has_base = false;
+  std::uint64_t base_version = 0;
+  corba::Blob base;
+  std::vector<LogSegment> segments;
+
+  bool empty() const noexcept { return !has_base && segments.empty(); }
+  /// Version the log materializes to (the last segment's, else the base's).
+  std::uint64_t head_version() const noexcept {
+    return segments.empty() ? base_version : segments.back().version;
+  }
+
+  /// Wire round-trip (the `fetch_log` operation's reply payload).
+  corba::Value to_value() const;
+  static CheckpointLog from_value(const corba::Value& value);
+};
+
+/// Materializes the state a full log describes (base + replay).  Throws
+/// corba::BAD_PARAM when the log has no base.
+corba::Blob materialize(const CheckpointLog& log);
+
+/// Shared rejection helpers, so every backend raises byte-identical
+/// BAD_PARAM diagnostics for the two contract violations.
+[[noreturn]] void throw_stale_version(std::uint64_t version,
+                                      std::uint64_t stored);
+[[noreturn]] void throw_base_mismatch(std::uint64_t base_version,
+                                      std::uint64_t stored);
+
+/// Crash-recovery chain validation: given the base's version and the
+/// candidate segments sorted by version, partitions them into the
+/// applicable chain (`keep`) and discardable orphans — segments at or below
+/// the base (stale leftovers from before a compaction) and segments whose
+/// declared base breaks the chain (crash-restart gap; everything after a
+/// gap is unreachable too).
+struct ChainSplit {
+  std::vector<std::size_t> keep;
+  std::vector<std::size_t> orphans;
+};
+ChainSplit validate_chain(std::uint64_t base_version,
+                          std::span<const LogSegment> segments);
+
+/// In-memory log for one key: base snapshot + bounded delta chain with
+/// policy-driven compaction.  Enforces the store contract (monotone
+/// versions, exact base match) with the shared BAD_PARAM diagnostics.
+class SegmentLog {
+ public:
+  explicit SegmentLog(DeltaPolicy policy = {}) : policy_(policy) {}
+
+  /// Head version; 0 when nothing was ever stored.
+  std::uint64_t version() const noexcept {
+    return chain_.empty() ? base_version_ : chain_.back().version;
+  }
+  bool empty() const noexcept { return base_version_ == 0 && chain_.empty(); }
+
+  /// Full snapshot: replaces the base and clears the chain.  Throws
+  /// corba::BAD_PARAM when `version` is not newer than the head.
+  void put_full(std::uint64_t version, corba::Blob state);
+
+  /// Appends one delta.  Throws corba::BAD_PARAM when the log is empty,
+  /// `version` is stale, or `base_version` is not the current head.
+  /// Returns true when the append triggered a compaction.
+  bool append_delta(std::uint64_t base_version, std::uint64_t version,
+                    corba::Blob delta);
+
+  /// Base + chain replay — always a full state blob.
+  corba::Blob materialize() const;
+
+  /// The log's content from `since` forward: a segment suffix when the
+  /// chain still anchors at `since` (the receiver holds that state), the
+  /// full log otherwise.  `since` == version() yields an empty suffix.
+  CheckpointLog log_since(std::uint64_t since) const;
+
+  std::uint64_t base_version() const noexcept { return base_version_; }
+  const corba::Blob& base() const noexcept { return base_; }
+  const std::vector<LogSegment>& segments() const noexcept { return chain_; }
+  std::size_t chain_payload() const noexcept { return chain_payload_; }
+
+ private:
+  DeltaPolicy policy_;
+  std::uint64_t base_version_ = 0;
+  corba::Blob base_;
+  std::vector<LogSegment> chain_;
+  std::size_t chain_payload_ = 0;
+};
+
+}  // namespace ft

@@ -1,0 +1,199 @@
+#include "ft/sharded_store.hpp"
+
+#include <algorithm>
+
+#include "ft/delta.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace ft {
+
+namespace {
+
+obs::Counter& failover_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("ft.shard.failovers_total");
+  return counter;
+}
+
+/// FNV-1a avalanches poorly in the high bits for short, similar strings
+/// ("object-1", "object-2", ... cluster in a narrow band of the 64-bit
+/// space, which starves most ring arcs).  A murmur-style finalizer spreads
+/// the clusters across the whole ring.
+std::uint64_t mix64(std::uint64_t h) noexcept {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+std::uint64_t ring_hash(std::string_view text) noexcept {
+  return mix64(fnv1a(std::as_bytes(std::span(text.data(), text.size()))));
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t shards, std::size_t virtual_nodes)
+    : shard_count_(shards) {
+  if (shards == 0) throw corba::BAD_PARAM("hash ring needs at least one shard");
+  if (virtual_nodes == 0)
+    throw corba::BAD_PARAM("hash ring needs at least one virtual node");
+  points_.reserve(shards * virtual_nodes);
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    for (std::size_t vnode = 0; vnode < virtual_nodes; ++vnode) {
+      const std::string label = "shard-" + std::to_string(shard) + "-vnode-" +
+                                std::to_string(vnode);
+      points_.push_back({ring_hash(label), static_cast<std::uint32_t>(shard)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+std::size_t HashRing::shard_for(std::string_view key) const {
+  if (shard_count_ == 1) return 0;
+  const std::uint64_t hash = ring_hash(key);
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), hash,
+      [](std::uint64_t h, const Point& p) { return h < p.hash; });
+  return it == points_.end() ? points_.front().shard : it->shard;
+}
+
+ShardedCheckpointStore::ShardedCheckpointStore(std::vector<ShardReplicas> shards,
+                                               Options options)
+    : shards_(std::move(shards)),
+      options_(std::move(options)),
+      ring_(shards_.size(), options_.virtual_nodes == 0 ? 1
+                                                        : options_.virtual_nodes),
+      active_(shards_.size(), 0) {
+  for (const ShardReplicas& shard : shards_) {
+    if (shard.replicas.empty())
+      throw corba::BAD_PARAM("shard with no replicas");
+    for (const auto& replica : shard.replicas)
+      if (!replica) throw corba::BAD_PARAM("null shard replica");
+  }
+}
+
+template <typename Fn>
+decltype(auto) ShardedCheckpointStore::with_replica(std::size_t shard,
+                                                    const std::string& key,
+                                                    Fn&& fn) {
+  std::size_t index;
+  {
+    std::lock_guard lock(mu_);
+    index = active_[shard];
+  }
+  try {
+    return fn(*shards_[shard].replicas[index]);
+  } catch (const corba::BAD_PARAM&) {
+    // A contract rejection (stale version, base mismatch) comes from a
+    // healthy store doing its job — it must never trigger failover, so it
+    // is rethrown before the SystemException clause can see it.
+    throw;
+  } catch (const corba::SystemException&) {
+    // Unreachable replica.
+    const auto [next, version] = probe_freshest(shard, key, index);
+    if (next == index) throw;  // nobody else answered either
+    {
+      std::lock_guard lock(mu_);
+      active_[shard] = next;
+      ++failover_count_;
+    }
+    failover_counter().inc();
+    std::string label = "shard-" + std::to_string(shard);
+    if (!options_.origin.empty()) label = options_.origin + "/" + label;
+    obs::flight_event(obs::FlightEvent::shard_failover, label,
+                      static_cast<std::uint64_t>(next), version);
+    return fn(*shards_[shard].replicas[next]);
+  }
+}
+
+std::pair<std::size_t, std::uint64_t> ShardedCheckpointStore::probe_freshest(
+    std::size_t shard, const std::string& key, std::size_t failed) {
+  std::size_t best = failed;
+  std::uint64_t best_version = 0;
+  const ShardReplicas& replicas = shards_[shard];
+  for (std::size_t i = 0; i < replicas.replicas.size(); ++i) {
+    if (i == failed) continue;
+    std::uint64_t version = 0;
+    try {
+      version = replicas.replicas[i]->head_version(key);
+    } catch (const corba::SystemException&) {
+      continue;  // also down; keep probing
+    }
+    if (best == failed || version > best_version) {
+      best = i;
+      best_version = version;
+    }
+  }
+  return {best, best_version};
+}
+
+void ShardedCheckpointStore::store(const std::string& key,
+                                   std::uint64_t version,
+                                   const corba::Blob& state) {
+  with_replica(ring_.shard_for(key), key,
+               [&](CheckpointStoreClient& s) { s.store(key, version, state); });
+}
+
+void ShardedCheckpointStore::store_delta(const std::string& key,
+                                         std::uint64_t base_version,
+                                         std::uint64_t version,
+                                         const corba::Blob& delta) {
+  with_replica(ring_.shard_for(key), key, [&](CheckpointStoreClient& s) {
+    s.store_delta(key, base_version, version, delta);
+  });
+}
+
+std::optional<Checkpoint> ShardedCheckpointStore::load(const std::string& key) {
+  return with_replica(
+      ring_.shard_for(key), key,
+      [&](CheckpointStoreClient& s) { return s.load(key); });
+}
+
+void ShardedCheckpointStore::remove(const std::string& key) {
+  with_replica(ring_.shard_for(key), key,
+               [&](CheckpointStoreClient& s) { s.remove(key); });
+}
+
+std::vector<std::string> ShardedCheckpointStore::keys() {
+  std::vector<std::string> merged;
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    std::vector<std::string> shard_keys = with_replica(
+        shard, std::string(),
+        [&](CheckpointStoreClient& s) { return s.keys(); });
+    merged.insert(merged.end(), std::make_move_iterator(shard_keys.begin()),
+                  std::make_move_iterator(shard_keys.end()));
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+std::uint64_t ShardedCheckpointStore::head_version(const std::string& key) {
+  return with_replica(
+      ring_.shard_for(key), key,
+      [&](CheckpointStoreClient& s) { return s.head_version(key); });
+}
+
+CheckpointLog ShardedCheckpointStore::fetch_log(const std::string& key,
+                                                std::uint64_t since) {
+  return with_replica(
+      ring_.shard_for(key), key,
+      [&](CheckpointStoreClient& s) { return s.fetch_log(key, since); });
+}
+
+std::size_t ShardedCheckpointStore::active_replica(std::size_t shard) const {
+  std::lock_guard lock(mu_);
+  return active_.at(shard);
+}
+
+std::uint64_t ShardedCheckpointStore::failovers() const {
+  std::lock_guard lock(mu_);
+  return failover_count_;
+}
+
+}  // namespace ft

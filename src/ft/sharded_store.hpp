@@ -1,0 +1,111 @@
+// Sharded, replicated checkpoint store — the client side.
+//
+// The single CheckpointStore servant serializes every checkpoint write in
+// the system through one dispatch queue (the DispatchPool executes FIFO per
+// object).  ShardedCheckpointStore removes that bottleneck on the client:
+// object keys are consistent-hashed across N independent store servants, so
+// writes for different keys land on different dispatch queues (and, when
+// the shards are placed on distinct hosts, different machines).
+//
+// Each shard is a replica set: index 0 is the primary (a ReplicatingStore
+// that forwards accepted writes to the followers), the rest are followers.
+// All traffic goes to the shard's active replica — the primary until it
+// becomes unreachable.  On a SystemException the client probes the other
+// replicas' head_version for the routed key, promotes the freshest one
+// (ties break to the lowest index) and re-issues the call once.  Promotion
+// is sticky per client instance, so each worker proxy fails over
+// independently and a recovered primary is simply a fresh follower until
+// re-deployment says otherwise.  BAD_PARAM never triggers failover: it is a
+// contract rejection (stale version, delta base mismatch) from a healthy
+// store, and the caller's full-store fallback handles it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "ft/checkpoint_store.hpp"
+
+namespace ft {
+
+/// Consistent-hash ring: `virtual_nodes` FNV-1a points per shard, lookup by
+/// successor point with wrap-around.  Deterministic across processes and
+/// runs — placement depends only on (shards, virtual_nodes, key).
+class HashRing {
+ public:
+  HashRing(std::size_t shards, std::size_t virtual_nodes);
+
+  std::size_t shard_for(std::string_view key) const;
+  std::size_t shards() const noexcept { return shard_count_; }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t shard;
+  };
+  std::size_t shard_count_;
+  std::vector<Point> points_;  // sorted by (hash, shard)
+};
+
+class ShardedCheckpointStore final : public CheckpointStoreClient {
+ public:
+  /// One shard's replica set; replicas[0] is the primary.  `hosts` is
+  /// parallel to `replicas` (labels for diagnostics; may be empty).
+  struct ShardReplicas {
+    std::vector<std::shared_ptr<CheckpointStoreClient>> replicas;
+    std::vector<std::string> hosts;
+  };
+
+  struct Options {
+    std::size_t virtual_nodes = 64;
+    /// Label stamped on failover flight events ("worker-3's view").
+    std::string origin;
+  };
+
+  explicit ShardedCheckpointStore(std::vector<ShardReplicas> shards)
+      : ShardedCheckpointStore(std::move(shards), Options{}) {}
+  ShardedCheckpointStore(std::vector<ShardReplicas> shards, Options options);
+
+  void store(const std::string& key, std::uint64_t version,
+             const corba::Blob& state) override;
+  void store_delta(const std::string& key, std::uint64_t base_version,
+                   std::uint64_t version, const corba::Blob& delta) override;
+  std::optional<Checkpoint> load(const std::string& key) override;
+  void remove(const std::string& key) override;
+  /// Union of every shard's keys (each shard queried at its active replica).
+  std::vector<std::string> keys() override;
+  std::uint64_t head_version(const std::string& key) override;
+  CheckpointLog fetch_log(const std::string& key, std::uint64_t since) override;
+
+  std::size_t shard_for_key(std::string_view key) const {
+    return ring_.shard_for(key);
+  }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Replica index this client currently routes the shard's traffic to.
+  std::size_t active_replica(std::size_t shard) const;
+  /// Promotions this client performed (a probe that found no reachable
+  /// replica rethrows and does not count).
+  std::uint64_t failovers() const;
+
+ private:
+  template <typename Fn>
+  decltype(auto) with_replica(std::size_t shard, const std::string& key,
+                              Fn&& fn);
+  /// Probes every replica except `failed`; returns the freshest reachable
+  /// one (max head_version for `key`, ties to the lowest index) or `failed`
+  /// itself when none responds.
+  std::pair<std::size_t, std::uint64_t> probe_freshest(std::size_t shard,
+                                                       const std::string& key,
+                                                       std::size_t failed);
+
+  std::vector<ShardReplicas> shards_;
+  Options options_;
+  HashRing ring_;
+  mutable std::mutex mu_;
+  std::vector<std::size_t> active_;
+  std::uint64_t failover_count_ = 0;
+};
+
+}  // namespace ft

@@ -1,0 +1,334 @@
+#include "ft/store_replication.hpp"
+
+#include <algorithm>
+
+#include "obs/event_channel.hpp"
+#include "obs/metrics.hpp"
+
+namespace ft {
+
+namespace {
+
+struct ReplicationMetrics {
+  obs::Counter& forwards =
+      obs::MetricsRegistry::global().counter("ft.replication.forwards_total");
+  obs::Counter& failures = obs::MetricsRegistry::global().counter(
+      "ft.replication.forward_failures_total");
+  obs::Counter& catchup_suffixes = obs::MetricsRegistry::global().counter(
+      "ft.replication.catchup_suffixes_total");
+  obs::Counter& catchup_fulls = obs::MetricsRegistry::global().counter(
+      "ft.replication.catchup_fulls_total");
+  obs::Counter& overflow_drops = obs::MetricsRegistry::global().counter(
+      "ft.replication.overflow_drops_total");
+};
+
+ReplicationMetrics& replication_metrics() {
+  static ReplicationMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+ReplicatingStore::ReplicatingStore(
+    std::shared_ptr<CheckpointStoreClient> backend, Options options)
+    : backend_(std::move(backend)), options_(std::move(options)) {
+  if (!backend_) throw corba::BAD_PARAM("replicating store requires a backend");
+  for (const auto& follower : options_.followers)
+    if (!follower) throw corba::BAD_PARAM("null follower store");
+  if (options_.forward_attempts < 1)
+    throw corba::BAD_PARAM("forward_attempts must be >= 1");
+  if (options_.queue_limit == 0)
+    throw corba::BAD_PARAM("queue_limit must be >= 1");
+  follower_high_water_.assign(options_.followers.size(), 0);
+}
+
+ReplicatingStore::~ReplicatingStore() {
+  *alive_ = false;
+  if (worker_.joinable()) {
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    worker_.join();
+  }
+}
+
+void ReplicatingStore::store(const std::string& key, std::uint64_t version,
+                             const corba::Blob& state) {
+  backend_->store(key, version, state);  // the acknowledgement
+  {
+    std::lock_guard lock(mu_);
+    high_water_ = std::max(high_water_, version);
+  }
+  if (!options_.followers.empty())
+    enqueue({Kind::full, key, 0, version, state});
+  publish_state();
+}
+
+void ReplicatingStore::store_delta(const std::string& key,
+                                   std::uint64_t base_version,
+                                   std::uint64_t version,
+                                   const corba::Blob& delta) {
+  backend_->store_delta(key, base_version, version, delta);
+  {
+    std::lock_guard lock(mu_);
+    high_water_ = std::max(high_water_, version);
+  }
+  if (!options_.followers.empty())
+    enqueue({Kind::delta, key, base_version, version, delta});
+  publish_state();
+}
+
+std::optional<Checkpoint> ReplicatingStore::load(const std::string& key) {
+  return backend_->load(key);
+}
+
+void ReplicatingStore::remove(const std::string& key) {
+  backend_->remove(key);
+  if (!options_.followers.empty()) enqueue({Kind::erase, key, 0, 0, {}});
+}
+
+std::vector<std::string> ReplicatingStore::keys() { return backend_->keys(); }
+
+std::uint64_t ReplicatingStore::head_version(const std::string& key) {
+  return backend_->head_version(key);
+}
+
+CheckpointLog ReplicatingStore::fetch_log(const std::string& key,
+                                          std::uint64_t since) {
+  return backend_->fetch_log(key, since);
+}
+
+void ReplicatingStore::enqueue(Forward forward) {
+  {
+    std::lock_guard lock(mu_);
+    if (queue_.size() >= options_.queue_limit) {
+      // Dropping the oldest pending forward is safe: the follower it was
+      // destined for ends up with a gap, which the next forward's BAD_PARAM
+      // turns into a catch-up from the backend's log.
+      queue_.pop_front();
+      ++overflow_drop_count_;
+      replication_metrics().overflow_drops.inc();
+    }
+    queue_.push_back(std::move(forward));
+  }
+  if (options_.defer) {
+    if (!drain_scheduled_) {
+      drain_scheduled_ = true;
+      options_.defer([this, alive = alive_] {
+        if (!*alive) return;
+        drain_scheduled_ = false;
+        drain();
+      });
+    }
+  } else {
+    {
+      std::lock_guard lock(mu_);
+      ensure_worker_locked();
+    }
+    wake_.notify_one();
+  }
+}
+
+void ReplicatingStore::drain() {
+  // Forwarding below may pump the simulator's event queue, which can fire
+  // this store's own next drain event re-entrantly; the guard turns the
+  // nested drain into a no-op and the outer loop finishes the queue.
+  if (draining_) return;
+  draining_ = true;
+  for (;;) {
+    Forward forward;
+    {
+      std::lock_guard lock(mu_);
+      if (queue_.empty()) break;
+      forward = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    for (std::size_t follower = 0; follower < options_.followers.size();
+         ++follower)
+      forward_to(follower, forward);
+    publish_state();
+  }
+  draining_ = false;
+}
+
+void ReplicatingStore::forward_to(std::size_t follower,
+                                  const Forward& forward) {
+  CheckpointStoreClient& target = *options_.followers[follower];
+  for (int attempt = 1;; ++attempt) {
+    try {
+      switch (forward.kind) {
+        case Kind::full:
+          target.store(forward.key, forward.version, forward.payload);
+          break;
+        case Kind::delta:
+          target.store_delta(forward.key, forward.base_version,
+                             forward.version, forward.payload);
+          break;
+        case Kind::erase:
+          target.remove(forward.key);
+          break;
+      }
+      std::lock_guard lock(mu_);
+      ++forward_count_;
+      replication_metrics().forwards.inc();
+      follower_high_water_[follower] =
+          std::max(follower_high_water_[follower], forward.version);
+      return;
+    } catch (const corba::BAD_PARAM&) {
+      // The follower's log diverged from the forward stream — it missed
+      // writes (overflow drop, unreachable spell) or already holds newer
+      // state (a full store raced a catch-up).  Re-sync from the log.
+      catch_up(follower, forward.key);
+      return;
+    } catch (const corba::SystemException&) {
+      if (attempt >= options_.forward_attempts) {
+        std::lock_guard lock(mu_);
+        ++forward_failure_count_;
+        replication_metrics().failures.inc();
+        return;  // follower presumed down; catch-up heals it later
+      }
+    }
+  }
+}
+
+void ReplicatingStore::catch_up(std::size_t follower, const std::string& key) {
+  CheckpointStoreClient& target = *options_.followers[follower];
+  std::uint64_t since = 0;
+  try {
+    since = target.head_version(key);
+  } catch (const corba::SystemException&) {
+    std::lock_guard lock(mu_);
+    ++forward_failure_count_;
+    replication_metrics().failures.inc();
+    return;
+  }
+  const CheckpointLog log = backend_->fetch_log(key, since);
+  if (log.empty()) return;  // follower already caught up (or key is gone)
+  try {
+    if (!log.has_base) {
+      // The cheap path: replay just the segment suffix the follower missed.
+      for (const LogSegment& segment : log.segments)
+        target.store_delta(key, segment.base_version, segment.version,
+                           segment.delta);
+      std::lock_guard lock(mu_);
+      ++catchup_suffix_count_;
+      replication_metrics().catchup_suffixes.inc();
+    } else {
+      // Compaction moved the chain past the follower's head: one full
+      // snapshot at the log's tip.
+      target.store(key, log.head_version(), materialize(log));
+      std::lock_guard lock(mu_);
+      ++catchup_full_count_;
+      replication_metrics().catchup_fulls.inc();
+    }
+    std::lock_guard lock(mu_);
+    follower_high_water_[follower] =
+        std::max(follower_high_water_[follower], log.head_version());
+  } catch (const corba::BAD_PARAM&) {
+    // Raced with a newer forward already queued for this follower; that
+    // forward (or its own catch-up) finishes the job.
+  } catch (const corba::SystemException&) {
+    std::lock_guard lock(mu_);
+    ++forward_failure_count_;
+    replication_metrics().failures.inc();
+  }
+}
+
+void ReplicatingStore::publish_state() {
+  if (!options_.publish_events || !obs::events_wanted()) return;
+  std::uint64_t version = 0;
+  std::uint64_t lag = 0;
+  {
+    std::lock_guard lock(mu_);
+    version = high_water_;
+    if (!follower_high_water_.empty()) {
+      const std::uint64_t slowest = *std::min_element(
+          follower_high_water_.begin(), follower_high_water_.end());
+      lag = high_water_ - std::min(high_water_, slowest);
+    }
+  }
+  obs::publish_event(
+      obs::Topic::shard_state, options_.host, options_.shard_label,
+      {obs::int_field("shard", options_.shard_id),
+       obs::str_field("role", "primary"), obs::int_field("version", version),
+       obs::int_field("lag", lag),
+       obs::int_field("followers", options_.followers.size())});
+}
+
+void ReplicatingStore::ensure_worker_locked() {
+  if (worker_.joinable()) return;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void ReplicatingStore::worker_loop() {
+  for (;;) {
+    Forward forward;
+    {
+      std::unique_lock lock(mu_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with nothing left to forward
+      forward = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_ = true;
+    }
+    for (std::size_t follower = 0; follower < options_.followers.size();
+         ++follower)
+      forward_to(follower, forward);
+    publish_state();
+    {
+      std::lock_guard lock(mu_);
+      in_flight_ = false;
+    }
+    idle_.notify_all();
+  }
+}
+
+void ReplicatingStore::flush() {
+  if (options_.defer) {
+    const bool was_draining = draining_;
+    draining_ = false;
+    drain();
+    draining_ = was_draining;
+    return;
+  }
+  if (!worker_.joinable()) return;
+  std::unique_lock lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && !in_flight_; });
+}
+
+std::uint64_t ReplicatingStore::forwards() const {
+  std::lock_guard lock(mu_);
+  return forward_count_;
+}
+
+std::uint64_t ReplicatingStore::forward_failures() const {
+  std::lock_guard lock(mu_);
+  return forward_failure_count_;
+}
+
+std::uint64_t ReplicatingStore::catchup_suffixes() const {
+  std::lock_guard lock(mu_);
+  return catchup_suffix_count_;
+}
+
+std::uint64_t ReplicatingStore::catchup_fulls() const {
+  std::lock_guard lock(mu_);
+  return catchup_full_count_;
+}
+
+std::uint64_t ReplicatingStore::overflow_drops() const {
+  std::lock_guard lock(mu_);
+  return overflow_drop_count_;
+}
+
+std::uint64_t ReplicatingStore::replication_lag() const {
+  std::lock_guard lock(mu_);
+  if (follower_high_water_.empty()) return 0;
+  const std::uint64_t slowest = *std::min_element(follower_high_water_.begin(),
+                                                  follower_high_water_.end());
+  return high_water_ - std::min(high_water_, slowest);
+}
+
+}  // namespace ft

@@ -1,0 +1,144 @@
+// Primary-side shard replication for the checkpoint store.
+//
+// ReplicatingStore decorates a local backend (the shard primary's storage)
+// with asynchronous forwarding to K follower stores.  The write path is:
+//
+//   1. apply to the local backend — this IS the acknowledgement; a write the
+//      backend rejects is never forwarded;
+//   2. enqueue the accepted write on a bounded forward queue;
+//   3. a deferred drain (the simulator's virtual-clock executor) or a lazy
+//      worker thread replays the queue to every follower in accept order.
+//
+// The delta-shipping path is reused end to end: an accepted `store_delta`
+// forwards as the same delta.  A follower that rejects a forward with
+// BAD_PARAM has missed writes (dropped forwards while it was unreachable,
+// queue overflow) — it is caught up from the primary backend's log:
+// `fetch_log(key, follower_head)` returns the *segment suffix* when the
+// primary's chain still covers the follower's head, and only degrades to a
+// full base snapshot when compaction has moved the chain past it.  Queue
+// overflow therefore stays safe: dropped forwards surface as a follower
+// gap, and the next forward heals it through catch-up.
+//
+// Failover is the client's job (ft/sharded_store.hpp): when the primary
+// dies, readers probe the followers' head_version and adopt the freshest.
+// Everything the primary acknowledged before the crash either reached that
+// follower (forwards drain before the crash in accept order) or is gone
+// with the primary — the chaos suite's "zero acknowledged checkpoints
+// lost" contract holds because acknowledged-and-forwarded is the steady
+// state and the simulator drains forward events before a later crash event.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "ft/checkpoint_store.hpp"
+
+namespace ft {
+
+class ReplicatingStore final : public CheckpointStoreClient {
+ public:
+  struct Options {
+    /// Follower stores (remote stubs in a real deployment).  May be empty —
+    /// a shard with replication factor 1 is just a pass-through.
+    std::vector<std::shared_ptr<CheckpointStoreClient>> followers;
+    /// Deferred executor for the forward drain; null spawns a lazy worker
+    /// thread on first use (real deployments).  The simulator passes its
+    /// virtual-clock scheduler so forwards drain deterministically.
+    std::function<void(std::function<void()>)> defer;
+    /// Transient-failure retries per forward before the follower is left
+    /// for catch-up.
+    int forward_attempts = 2;
+    /// Forward-queue bound; overflow drops the oldest pending forward
+    /// (safe: catch-up heals the gap it leaves on the follower).
+    std::size_t queue_limit = 128;
+    /// Shard identity for telemetry ("shard-3"); also the `shard.state`
+    /// event key.
+    std::string shard_label;
+    /// Origin host stamped on published events.
+    std::string host;
+    /// Numeric shard id carried in `shard.state` events.
+    std::uint64_t shard_id = 0;
+    /// Publish `shard.state` events on the global channel (on when a
+    /// subscriber exists; the flag exists for tests wanting silence).
+    bool publish_events = true;
+  };
+
+  ReplicatingStore(std::shared_ptr<CheckpointStoreClient> backend,
+                   Options options);
+  ~ReplicatingStore() override;
+
+  ReplicatingStore(const ReplicatingStore&) = delete;
+  ReplicatingStore& operator=(const ReplicatingStore&) = delete;
+
+  // --- CheckpointStoreClient -------------------------------------------------
+  void store(const std::string& key, std::uint64_t version,
+             const corba::Blob& state) override;
+  void store_delta(const std::string& key, std::uint64_t base_version,
+                   std::uint64_t version, const corba::Blob& delta) override;
+  std::optional<Checkpoint> load(const std::string& key) override;
+  void remove(const std::string& key) override;
+  std::vector<std::string> keys() override;
+  std::uint64_t head_version(const std::string& key) override;
+  CheckpointLog fetch_log(const std::string& key, std::uint64_t since) override;
+
+  /// Replication barrier: returns once every queued forward was attempted
+  /// (worker mode blocks; defer mode drains inline).
+  void flush();
+
+  // --- accounting ------------------------------------------------------------
+  std::uint64_t forwards() const;          ///< follower writes that succeeded
+  std::uint64_t forward_failures() const;  ///< exhausted transient retries
+  std::uint64_t catchup_suffixes() const;  ///< gap healed by a segment suffix
+  std::uint64_t catchup_fulls() const;     ///< gap needed a full snapshot
+  std::uint64_t overflow_drops() const;    ///< forwards dropped at the bound
+  /// Primary high-water version minus the slowest follower's acknowledged
+  /// high water (0 with no followers).
+  std::uint64_t replication_lag() const;
+
+ private:
+  enum class Kind : std::uint8_t { full, delta, erase };
+  struct Forward {
+    Kind kind = Kind::full;
+    std::string key;
+    std::uint64_t base_version = 0;
+    std::uint64_t version = 0;
+    corba::Blob payload;
+  };
+
+  void enqueue(Forward forward);
+  void drain();
+  /// One forward against one follower; classifies the outcome.
+  void forward_to(std::size_t follower, const Forward& forward);
+  /// Heals a gapped follower from the backend's log.
+  void catch_up(std::size_t follower, const std::string& key);
+  void publish_state();
+  void ensure_worker_locked();
+  void worker_loop();
+
+  std::shared_ptr<CheckpointStoreClient> backend_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::deque<Forward> queue_;
+  bool drain_scheduled_ = false;
+  bool draining_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  std::uint64_t high_water_ = 0;
+  std::vector<std::uint64_t> follower_high_water_;
+  std::uint64_t forward_count_ = 0;
+  std::uint64_t forward_failure_count_ = 0;
+  std::uint64_t catchup_suffix_count_ = 0;
+  std::uint64_t catchup_full_count_ = 0;
+  std::uint64_t overflow_drop_count_ = 0;
+  // worker mode
+  std::thread worker_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  bool stop_ = false;
+  bool in_flight_ = false;
+};
+
+}  // namespace ft

@@ -60,7 +60,7 @@ std::string format_time(double t) {
 
 constexpr std::string_view kTopicNames[kTopicCount] = {
     "metrics.delta", "flight.event", "load.report", "recovery.timeline",
-    "session.state"};
+    "session.state", "shard.state"};
 
 // After this many consecutive consumer invocations throw, the subscription
 // is torn down — a departed remote consumer must not hold its queue forever.
@@ -140,6 +140,7 @@ OverflowPolicy default_policy(Topic topic) noexcept {
   switch (topic) {
     case Topic::metrics_delta:
     case Topic::load_report:
+    case Topic::shard_state:
       // State topics carry absolute values; a newer one supersedes an
       // unsent older one losslessly.
       return OverflowPolicy::coalesce_by_key;

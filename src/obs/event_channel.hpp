@@ -56,8 +56,9 @@ enum class Topic : std::uint8_t {
   load_report = 2,       ///< Winner load reports as the system manager sees them
   recovery_timeline = 3, ///< RecoveryTimeline events (proxy/detector/pipeline)
   session_state = 4,     ///< transport session lifecycle (resume/overflow)
+  shard_state = 5,       ///< checkpoint-shard primary state (version, lag)
 };
-inline constexpr std::size_t kTopicCount = 5;
+inline constexpr std::size_t kTopicCount = 6;
 
 std::string_view to_string(Topic topic) noexcept;
 /// Parses the dotted topic name ("metrics.delta"); nullopt when unknown.

@@ -37,6 +37,8 @@ std::string_view to_string(FlightEvent type) noexcept {
     case FlightEvent::conn_close: return "conn_close";
     case FlightEvent::conn_evict: return "conn_evict";
     case FlightEvent::session_resume: return "session_resume";
+    case FlightEvent::delta_fallback: return "delta_fallback";
+    case FlightEvent::shard_failover: return "shard_failover";
   }
   return "unknown";
 }

@@ -55,6 +55,8 @@ enum class FlightEvent : std::uint16_t {
   conn_close = 8,      ///< subject=host:port, a=in-flight calls failed
   conn_evict = 9,      ///< subject=host:port (idle TTL / LRU cull)
   session_resume = 10, ///< subject=host:port, a=session id, b=frames replayed
+  delta_fallback = 11, ///< subject=checkpoint key, a=acked base, b=version
+  shard_failover = 12, ///< subject=shard label, a=replica index, b=version
 };
 
 std::string_view to_string(FlightEvent type) noexcept;

@@ -166,6 +166,16 @@ std::string render_table(const ClusterSnapshot& snapshot,
       out += "  " + line.name + ": " + std::to_string(line.offers) +
              " offer(s)\n";
   }
+  if (!snapshot.shards.empty()) {
+    out += "\nshards:\n";
+    out += "  " + cell("SHARD", 6) + cell("HOST", 12) + cell("ROLE", 8) +
+           cell("VERSION", 8) + cell("LAG", 5) + cell("FOLLOW", 6) + '\n';
+    for (const ShardLine& line : snapshot.shards) {
+      out += "  " + int_cell(line.shard, 6) + cell(line.host, 12) +
+             cell(line.role, 8) + int_cell(line.version, 8) +
+             int_cell(line.lag, 5) + int_cell(line.followers, 6) + '\n';
+    }
+  }
   return out;
 }
 
@@ -214,6 +224,18 @@ std::string render_json(const ClusterSnapshot& snapshot) {
     out += "{\"name\": \"" + json_escape(line.name) +
            "\", \"offers\": " + std::to_string(line.offers) + "}";
   }
+  out += "], \"shards\": [";
+  first = true;
+  for (const ShardLine& line : snapshot.shards) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"shard\": " + std::to_string(line.shard) + ", \"host\": \"" +
+           json_escape(line.host) + "\", \"role\": \"" +
+           json_escape(line.role) + "\", \"version\": " +
+           std::to_string(line.version) + ", \"lag\": " +
+           std::to_string(line.lag) +
+           ", \"followers\": " + std::to_string(line.followers) + "}";
+  }
   out += "]}";
   return out;
 }
@@ -245,6 +267,12 @@ double f64_field(const Event& event, std::string_view name) {
                : 0.0;
 }
 
+std::string str_field(const Event& event, std::string_view name) {
+  const EventField* field = find_field(event, name);
+  return field && field->kind == EventField::Kind::str ? field->str
+                                                       : std::string();
+}
+
 }  // namespace
 
 struct PushCollector::State {
@@ -260,10 +288,12 @@ struct PushCollector::State {
     bool retransmits_seen = false;
   };
   std::vector<Row> rows;  ///< sorted by name
+  std::vector<ShardLine> shards;  ///< sorted by (shard, host)
   std::uint64_t events_received = 0;
 
   void apply(const Event& event);
   void apply_metric(Row& row, const Event& event);
+  void apply_shard(const Event& event);
 };
 
 void PushCollector::State::apply_metric(Row& row, const Event& event) {
@@ -308,6 +338,27 @@ void PushCollector::State::apply_metric(Row& row, const Event& event) {
   h.now = std::max(h.now, event.t);
 }
 
+void PushCollector::State::apply_shard(const Event& event) {
+  ShardLine line;
+  line.shard = u64_field(event, "shard");
+  line.host = event.host;
+  line.role = str_field(event, "role");
+  line.version = u64_field(event, "version");
+  line.lag = u64_field(event, "lag");
+  line.followers = u64_field(event, "followers");
+  // One line per (shard, host): a promoted replica on another host gets its
+  // own line rather than overwriting the dead primary's last state.
+  const auto at = std::lower_bound(
+      shards.begin(), shards.end(), line,
+      [](const ShardLine& a, const ShardLine& b) {
+        return a.shard != b.shard ? a.shard < b.shard : a.host < b.host;
+      });
+  if (at != shards.end() && at->shard == line.shard && at->host == line.host)
+    *at = std::move(line);
+  else
+    shards.insert(at, std::move(line));
+}
+
 void PushCollector::State::apply(const Event& event) {
   std::lock_guard lock(mu);
   ++events_received;
@@ -327,6 +378,9 @@ void PushCollector::State::apply(const Event& event) {
         row.last_report_t = event.t;
         row.node.health.now = std::max(row.node.health.now, event.t);
       }
+      break;
+    case Topic::shard_state:
+      apply_shard(event);
       break;
     default:
       // flight.event / recovery.timeline / session.state have no table
@@ -399,6 +453,7 @@ ClusterSnapshot PushCollector::snapshot() const {
   out.transport = "push";
   std::lock_guard lock(state_->mu);
   out.offers = state_->offers;
+  out.shards = state_->shards;
   out.nodes.reserve(state_->rows.size());
   for (const State::Row& row : state_->rows) {
     NodeStatus node = row.node;

@@ -37,6 +37,17 @@ struct OfferLine {
   std::size_t offers = 0;
 };
 
+/// One checkpoint-store shard replica's state, as streamed on the
+/// `shard.state` topic (push mode only — the poll path has no store view).
+struct ShardLine {
+  std::uint64_t shard = 0;
+  std::string host;
+  std::string role;             ///< "primary" (followers do not publish)
+  std::uint64_t version = 0;    ///< version high-water on this replica
+  std::uint64_t lag = 0;        ///< high-water minus slowest follower
+  std::uint64_t followers = 0;  ///< replica-set size minus the primary
+};
+
 struct ClusterSnapshot {
   double collected_at = 0.0;  ///< obs::now() on the collecting client
   /// How the data arrived: "poll" (collect_cluster) or "push"
@@ -45,6 +56,8 @@ struct ClusterSnapshot {
   std::string transport = "poll";
   std::vector<NodeStatus> nodes;   ///< sorted by name (stable output)
   std::vector<OfferLine> offers;   ///< root-level offer sets, sorted by name
+  /// Checkpoint shards, sorted by (shard, host); empty in poll mode.
+  std::vector<ShardLine> shards;
 };
 
 /// Enumerates `_obs/*` through `root`, polls every telemetry object and
@@ -64,7 +77,9 @@ std::string render_table(const ClusterSnapshot& snapshot,
 ///   {"schema_version": 1, "collected_at": X, "transport": "poll"|"push",
 ///    "nodes": [{"name": ..., "reachable": true, "health": {...}} |
 ///              {"name": ..., "reachable": false, "error": "..."}],
-///    "offers": [{"name": ..., "offers": N}]}
+///    "offers": [{"name": ..., "offers": N}],
+///    "shards": [{"shard": S, "host": ..., "role": "primary",
+///                "version": V, "lag": L, "followers": K}]}
 std::string render_json(const ClusterSnapshot& snapshot);
 
 /// Subscription-driven collector: the push-mode engine behind

@@ -1,0 +1,45 @@
+#include "winner/placement.hpp"
+
+#include <algorithm>
+
+namespace winner {
+
+PlacementPlan plan_shard_placements(LoadInformationService& service,
+                                    std::span<const std::string> hosts,
+                                    std::size_t shards, std::size_t replicas) {
+  PlacementPlan plan;
+  if (shards == 0 || replicas == 0 || hosts.empty()) return plan;
+  plan.shard_hosts.reserve(shards);
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    // Re-rank per shard: notify_placement below shifts the next ranking
+    // away from hosts this plan already loaded.
+    std::vector<std::string> ranked;
+    try {
+      ranked = service.rank_hosts(hosts);
+    } catch (const std::exception&) {
+      // No usable ranking (no reports yet, every host stale) — candidate
+      // order is the deterministic fallback.
+    }
+    // Ranking may exclude candidates (staleness); append them so a replica
+    // set still spans distinct hosts whenever enough hosts exist at all.
+    for (const std::string& host : hosts) {
+      if (std::find(ranked.begin(), ranked.end(), host) == ranked.end())
+        ranked.push_back(host);
+    }
+    std::vector<std::string> replica_hosts;
+    replica_hosts.reserve(replicas);
+    for (std::size_t replica = 0; replica < replicas; ++replica) {
+      const std::string& pick = ranked[replica % ranked.size()];
+      replica_hosts.push_back(pick);
+      try {
+        service.notify_placement(pick);
+      } catch (const std::exception&) {
+        // Feedback is best-effort; the plan itself stands.
+      }
+    }
+    plan.shard_hosts.push_back(std::move(replica_hosts));
+  }
+  return plan;
+}
+
+}  // namespace winner

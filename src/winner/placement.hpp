@@ -1,0 +1,36 @@
+// Shard placement through the Winner load service.
+//
+// The sharded checkpoint store (ft/sharded_store.hpp) wants its shard
+// primaries spread across the least-loaded workstations and every replica
+// of a shard on a *distinct* host — a shard whose primary and follower
+// share a machine loses both copies to one crash.  plan_shard_placements
+// asks the LoadInformationService to rank the candidate hosts, deals
+// replica sets round-robin off that ranking, and reports each pick back
+// via notify_placement so subsequent ranking (including the next shard's)
+// sees the load the store processes are about to add — the same
+// feedback loop the Winner uses for ordinary object placement.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "winner/load_info.hpp"
+
+namespace winner {
+
+struct PlacementPlan {
+  /// shard_hosts[s][r] = host of shard s, replica r (r == 0 is the primary).
+  std::vector<std::vector<std::string>> shard_hosts;
+};
+
+/// Plans `shards` replica sets of `replicas` hosts each over `hosts`.
+/// Hosts within one shard are distinct whenever `hosts.size() >= replicas`
+/// (with fewer hosts the set wraps — degraded but functional).  Ranking
+/// failures (e.g. no load reports yet) fall back to the candidate order, so
+/// the plan is always total and, for a fixed ranking, deterministic.
+PlacementPlan plan_shard_placements(LoadInformationService& service,
+                                    std::span<const std::string> hosts,
+                                    std::size_t shards, std::size_t replicas);
+
+}  // namespace winner

@@ -293,6 +293,44 @@ TEST(OrbtopSimClusterTest, PushCollectorStreamsWithZeroPollingRpcs) {
   EXPECT_EQ(requests.value(), before);
 }
 
+TEST(OrbtopSimClusterTest, PushCollectorStreamsShardStoreColumns) {
+  sim::Cluster cluster;
+  for (int i = 0; i < 4; ++i)
+    cluster.add_host("node" + std::to_string(i), 100.0);
+  RuntimeOptions options;
+  options.checkpoint_shards = 2;
+  options.checkpoint_replicas = 2;
+  SimRuntime runtime(cluster, options);
+  runtime.events().run_until(0.5);
+
+  // Subscribe first: the shard primaries publish shard.state only while
+  // somebody is listening.
+  naming::NamingContextStub root = runtime.naming();
+  obs::PushCollector collector(runtime.client_orb(), root);
+
+  auto store = runtime.checkpoint_store();
+  const corba::Blob state(256, std::byte{7});
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    for (int i = 0; i < 8; ++i)
+      store->store("svc-" + std::to_string(i), v, state);
+    runtime.events().run_until(runtime.events().now() + 0.1);
+  }
+
+  const obs::ClusterSnapshot snapshot = collector.snapshot();
+  ASSERT_EQ(snapshot.shards.size(), 2u);  // one line per shard primary
+  for (const obs::ShardLine& line : snapshot.shards) {
+    EXPECT_EQ(line.role, "primary");
+    EXPECT_FALSE(line.host.empty());
+    EXPECT_GT(line.version, 0u);   // writes hit both shards
+    EXPECT_EQ(line.followers, 1u);
+    EXPECT_EQ(line.lag, 0u);  // forwards drained on the virtual clock
+  }
+  const std::string json = obs::render_json(snapshot);
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  EXPECT_NE(json.find("\"shards\""), std::string::npos);
+  EXPECT_NE(obs::render_table(snapshot).find("shards:"), std::string::npos);
+}
+
 TEST(OrbtopTcpClusterTest, PushCollectorStreamsOverRealSockets) {
   obs::EventChannel::global().reset();
   auto alpha = corba::ORB::init({.endpoint_name = "alpha2", .enable_tcp = true});

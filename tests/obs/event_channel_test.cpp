@@ -82,9 +82,9 @@ std::uint64_t payload(const Event& event) {
 }
 
 TEST(TopicVocabulary, NamesRoundTripAndDefaultsMatchDesign) {
-  const Topic all[] = {Topic::metrics_delta, Topic::flight_event,
-                       Topic::load_report, Topic::recovery_timeline,
-                       Topic::session_state};
+  const Topic all[] = {Topic::metrics_delta,     Topic::flight_event,
+                       Topic::load_report,       Topic::recovery_timeline,
+                       Topic::session_state,     Topic::shard_state};
   for (Topic topic : all) {
     const auto parsed = parse_topic(to_string(topic));
     ASSERT_TRUE(parsed.has_value()) << to_string(topic);
@@ -104,6 +104,8 @@ TEST(TopicVocabulary, NamesRoundTripAndDefaultsMatchDesign) {
   EXPECT_EQ(default_policy(Topic::recovery_timeline),
             OverflowPolicy::drop_oldest);
   EXPECT_EQ(default_policy(Topic::session_state), OverflowPolicy::drop_oldest);
+  EXPECT_EQ(default_policy(Topic::shard_state),
+            OverflowPolicy::coalesce_by_key);
 }
 
 TEST(TopicVocabulary, ToLineIsTheDeterministicStreamFormat) {

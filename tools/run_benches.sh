@@ -16,7 +16,8 @@ if [ "$#" -eq 0 ]; then
   set -- "$root/build/bench/table1_proxy_overhead" \
          "$root/build/bench/micro_checkpoint" \
          "$root/build/bench/micro_orb" \
-         "$root/build/bench/micro_events"
+         "$root/build/bench/micro_events" \
+         "$root/build/bench/micro_ckptstore"
 fi
 
 for bin in "$@"; do
@@ -36,7 +37,8 @@ done
 # counter/gauge/histogram entries).
 status=0
 for json in BENCH_table1.json BENCH_checkpoint.json BENCH_multiplex.json \
-            BENCH_session.json BENCH_reactor.json BENCH_events.json; do
+            BENCH_session.json BENCH_reactor.json BENCH_events.json \
+            BENCH_ckptstore.json; do
   if [ ! -e "$json" ]; then
     echo "run_benches.sh: expected $json was not produced" >&2
     status=1
@@ -80,6 +82,17 @@ done
 for needle in '"mode": "reactor"' '"mode": "threaded"'; do
   if [ -e BENCH_reactor.json ] && ! grep -qF "$needle" BENCH_reactor.json; then
     echo "run_benches.sh: BENCH_reactor.json lacks $needle" >&2
+    status=1
+  fi
+done
+
+# The checkpoint-store sweep must carry the single-servant baseline, the
+# sharded points, and all three fsync modes.
+for needle in '"mode": "single"' '"mode": "sharded"' '"mode": "off"' \
+              '"mode": "data"' '"mode": "full"' '"section": "shard_sweep"' \
+              '"section": "fsync_modes"'; do
+  if [ -e BENCH_ckptstore.json ] && ! grep -qF "$needle" BENCH_ckptstore.json; then
+    echo "run_benches.sh: BENCH_ckptstore.json lacks $needle" >&2
     status=1
   fi
 done
